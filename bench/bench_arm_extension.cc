@@ -1,0 +1,74 @@
+// Experiment E15 — the association-rule axis of the related work:
+// Rizvi & Haritsa's MASK distortion ([8]) estimates supports from a
+// bit-flipped release and recovers the rule set only approximately, while
+// a custodian-style item relabeling preserves the rules *exactly* and
+// returns them encoded — the paper's three pillars transplanted to ARM.
+
+#include <cstdio>
+
+#include "arm/apriori.h"
+#include "arm/mask.h"
+#include "arm/relabel.h"
+#include "experiment_common.h"
+#include "util/table.h"
+
+namespace popp::bench {
+namespace {
+
+int Run() {
+  const ExperimentEnv env = GetEnv();
+  PrintBanner("Association rules — MASK vs item relabeling", env);
+
+  Rng rng(env.seed);
+  const TransactionDb db =
+      GenerateBaskets(DefaultBasketSpec(4000), rng);
+  AprioriOptions options;
+  options.min_support = 0.08;
+  options.min_confidence = 0.6;
+  options.max_itemset_size = 4;
+  const auto reference = MineRules(db, options);
+  std::printf("reference rule set: %zu rules from %zu transactions\n\n",
+              reference.size(), db.NumTransactions());
+
+  // --- item relabeling: exact recovery --------------------------------
+  {
+    Rng relabel_rng(env.seed + 1);
+    const ItemRelabeling relabeling =
+        ItemRelabeling::Sample(db.num_items(), relabel_rng);
+    auto decoded = MineRules(relabeling.EncodeDb(db), options);
+    for (auto& rule : decoded) rule = relabeling.DecodeRule(rule);
+    const RuleRecovery recovery = CompareRuleSets(reference, decoded);
+    std::printf("item relabeling:   precision %.0f%%  recall %.0f%%  "
+                "(exact, decodable)\n",
+                100 * recovery.precision, 100 * recovery.recall);
+  }
+
+  // --- MASK at several distortion levels ------------------------------
+  TablePrinter table({"keep prob p", "bit retention", "precision",
+                      "recall", "recovered rules"});
+  for (double p : {0.95, 0.9, 0.8, 0.7}) {
+    Rng mask_rng(env.seed + static_cast<uint64_t>(p * 100));
+    MaskOptions mask;
+    mask.keep_prob = p;
+    const TransactionDb distorted = MaskDistort(db, mask, mask_rng);
+    const auto recovered = MineRulesFromMasked(distorted, options, p);
+    const RuleRecovery recovery = CompareRuleSets(reference, recovered);
+    table.AddRow({TablePrinter::Fmt(p, 2),
+                  TablePrinter::Pct(MaskBitRetention(db, distorted)),
+                  TablePrinter::Pct(recovery.precision),
+                  TablePrinter::Pct(recovery.recall),
+                  std::to_string(recovery.recovered_rules)});
+  }
+  table.Print("MASK distortion: rule recovery vs distortion level");
+  std::printf(
+      "\nExpected shape: relabeling recovers 100%%/100%% (and only the "
+      "custodian can\ndecode the item identities); MASK degrades with the "
+      "flip probability, and\neven at high p the recovered supports are "
+      "estimates, not the true values.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace popp::bench
+
+int main() { return popp::bench::Run(); }

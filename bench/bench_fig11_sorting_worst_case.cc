@@ -1,0 +1,73 @@
+// Experiment E6 — the paper's Figure 11: worst-case sorting attack. The
+// hacker knows the true minimum and maximum of each attribute's dynamic
+// range, sorts the released values and rank-maps them onto the assumed
+// integer domain. Attributes with no discontinuities and few
+// monochromatic values (2, 3, 9) are the vulnerable ones.
+//
+// Paper values: attr1 26%, attr2 100%, attr3 78%, attr4 4%, attr5 22%,
+// attr6 8%, attr7 13%, attr8 11%, attr9 90%, attr10 7%.
+
+#include <cstdio>
+
+#include "attack/sorting_attack.h"
+#include "data/summary.h"
+#include "experiment_common.h"
+#include "risk/trials.h"
+#include "transform/pieces.h"
+#include "util/table.h"
+
+namespace popp::bench {
+namespace {
+
+constexpr double kPaperCrack[10] = {26, 100, 78, 4, 22, 8, 13, 11, 90, 7};
+
+int Run() {
+  const ExperimentEnv env = GetEnv();
+  PrintBanner("Figure 11 — sorting attack, worst case", env);
+  const Dataset data = LoadCovtype(env);
+
+  TablePrinter table({"attr", "# discontinuities", "% mono values",
+                      "worst-case crack %", "(paper)", "analytic model %"});
+  for (size_t a = 0; a < data.NumAttributes(); ++a) {
+    const AttributeSummary s = AttributeSummary::FromDataset(data, a);
+    // Exact integer recovery: the paper's Figure 11 behaves like a
+    // value-identification attack (e.g. attribute 1's 26% equals its
+    // non-monochromatic value share exactly).
+    const double rho = 0.5;
+    // Median over fresh ChooseMaxMP transforms; the worst-case hacker
+    // knows the true min/max (SortingAttackRisk assumes exactly that).
+    const double risk = MedianOverTrials(
+        env.trials, env.seed * 71 + a, [&](Rng& rng) {
+          const PiecewiseTransform f = PiecewiseTransform::Create(
+              s, PaperTransform(BreakpointPolicy::kChooseMaxMP), rng);
+          return SortingAttackRisk(s, f, rho).risk;
+        });
+    const double analytic = MedianOverTrials(
+        env.trials, env.seed * 73 + a, [&](Rng& rng) {
+          const PiecewiseTransform f = PiecewiseTransform::Create(
+              s, PaperTransform(BreakpointPolicy::kChooseMaxMP), rng);
+          return SortingAttackRisk(s, f, rho).analytic;
+        });
+    table.AddRow({"#" + std::to_string(a + 1),
+                  std::to_string(s.NumDiscontinuities()),
+                  TablePrinter::Pct(ComputeMonoStats(s, 2).value_fraction),
+                  TablePrinter::Pct(risk),
+                  TablePrinter::Fmt(kPaperCrack[a], 0) + "%",
+                  TablePrinter::Pct(analytic)});
+  }
+  table.Print(
+      "Figure 11: sorting attack with known true min/max (exact recovery)");
+  std::printf(
+      "\nExpected shape (paper): attributes 2, 3, 9 (no discontinuities, "
+      "little mono\nstructure) are the most vulnerable; attributes with "
+      "many discontinuities or\nmono values stay below ~25%%. The analytic "
+      "column is the Section 5.4 model\n(hacker assumes an order-preserving "
+      "release): an upper bound for the actual\nrank-spread attack, which "
+      "permutations additionally degrade.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace popp::bench
+
+int main() { return popp::bench::Run(); }

@@ -1,0 +1,102 @@
+// Experiment E7 — the paper's Figure 12: subspace association disclosure
+// risk. Two categories of attributes:
+//   * {4, 7, 10}: curve fitting is the stronger attack — the bars show
+//     each attribute's own (domain) risk followed by all pair/triple
+//     association risks, which drop sharply with subspace size
+//     (paper: risk(4)=16%, risk(7)=25%, risk(4,7)=4%, risk(4,7,10)=0.2%);
+//   * attribute 2: sorting is the stronger attack (100% alone in the
+//     worst case), yet its associations with other attributes remain
+//     moderate (paper: risk(2,10)=15% < risk(10)=18% — i.e.
+//     risk(A,B) < risk(A)*risk(B) can even flip the comparison).
+
+#include <cstdio>
+
+#include "data/summary.h"
+#include "experiment_common.h"
+#include "risk/subspace_risk.h"
+#include "risk/trials.h"
+#include "transform/plan.h"
+#include "util/table.h"
+
+namespace popp::bench {
+namespace {
+
+/// Median association risk over trials: each trial samples a fresh plan
+/// for the subspace attributes and fresh knowledge points. Attribute 2
+/// (index 1) is attacked by sorting; all others by polyline fitting.
+double MedianAssociationRisk(const Dataset& data,
+                             const std::vector<size_t>& subspace,
+                             const ExperimentEnv& env, uint64_t salt) {
+  const KnowledgeOptions knowledge = PaperKnowledge(HackerProfile::kExpert);
+  return MedianOverTrials(
+      env.trials, env.seed * 37 + salt, [&](Rng& rng) {
+        const TransformPlan plan = TransformPlan::Create(
+            data, PaperTransform(BreakpointPolicy::kChooseMaxMP), rng);
+        std::vector<std::unique_ptr<CrackFunction>> owned;
+        std::vector<const CrackFunction*> cracks;
+        std::vector<double> rhos;
+        for (size_t attr : subspace) {
+          const AttributeSummary s =
+              AttributeSummary::FromDataset(data, attr);
+          rhos.push_back(CrackRadius(s, knowledge.radius_fraction));
+          if (attr == 1) {
+            owned.push_back(
+                std::make_unique<SortingCrack>(s, plan.transform(attr)));
+          } else {
+            owned.push_back(FitCurve(
+                FitMethod::kPolyline,
+                SampleKnowledgePoints(s, plan.transform(attr), knowledge,
+                                      rng)));
+          }
+          cracks.push_back(owned.back().get());
+        }
+        return SubspaceAssociationRisk(data, plan, subspace, cracks, rhos)
+            .risk;
+      });
+}
+
+int Run() {
+  const ExperimentEnv env = GetEnv();
+  PrintBanner("Figure 12 — subspace association disclosure risk", env);
+  const Dataset data = LoadCovtype(env);
+
+  struct Bar {
+    const char* label;
+    std::vector<size_t> subspace;  // 0-based attribute indices
+    const char* paper;
+  };
+  const Bar bars[] = {
+      {"{4}", {3}, "~16%"},
+      {"{7}", {6}, "~25%"},
+      {"{10}", {9}, "~18%"},
+      {"{4,7}", {3, 6}, "~4%"},
+      {"{4,10}", {3, 9}, "(small)"},
+      {"{7,10}", {6, 9}, "(small)"},
+      {"{4,7,10}", {3, 6, 9}, "~0.2%"},
+      {"{2} (sorting)", {1}, "~100% worst case"},
+      {"{2,4}", {1, 3}, "(moderate)"},
+      {"{2,7}", {1, 6}, "(moderate)"},
+      {"{2,10}", {1, 9}, "~15%"},
+  };
+
+  TablePrinter table({"subspace", "association risk", "(paper)"});
+  size_t salt = 0;
+  for (const Bar& bar : bars) {
+    const double risk =
+        MedianAssociationRisk(data, bar.subspace, env, ++salt);
+    table.AddRow({bar.label, TablePrinter::Pct(risk, 2), bar.paper});
+  }
+  table.Print(
+      "Figure 12: subspace association risk, expert hacker, rho = 1%");
+  std::printf(
+      "\nExpected shape (paper): association risk drops sharply as the "
+      "subspace grows\n(pairs << singles, triple << pairs); attribute 2 is "
+      "fully cracked alone in the\nworst case but its associations stay "
+      "moderate — risk(A,B) < risk(A)*risk(B)\ncan even hold.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace popp::bench
+
+int main() { return popp::bench::Run(); }

@@ -1,0 +1,61 @@
+// Experiment E17 — the data-exchange baseline of the related work
+// ([9] Sweeney / k-anonymity): "If the transformed data were mined
+// directly, the mining outcome could be significantly affected."
+// Mondrian k-anonymization trades equivalence-class size against model
+// quality; the piecewise framework row shows the contrast.
+
+#include <cstdio>
+
+#include "anon/mondrian.h"
+#include "core/custodian.h"
+#include "experiment_common.h"
+#include "tree/builder.h"
+#include "tree/compare.h"
+#include "util/table.h"
+
+namespace popp::bench {
+namespace {
+
+int Run() {
+  const ExperimentEnv env = GetEnv();
+  PrintBanner("k-anonymity baseline — outcome change vs k", env);
+  const Dataset data = LoadCovtype(env);
+  const DecisionTreeBuilder builder;
+  const DecisionTree direct = builder.Build(data);
+  const double direct_accuracy = direct.Accuracy(data);
+
+  TablePrinter table({"defense", "groups", "min group", "tree accuracy on D",
+                      "outcome preserved"});
+  for (size_t k : {5u, 25u, 100u, 500u}) {
+    MondrianOptions options;
+    options.k = k;
+    const AnonymizationResult result = MondrianAnonymize(data, options);
+    const DecisionTree blurred = builder.Build(result.data);
+    table.AddRow({"k-anonymity, k=" + std::to_string(k),
+                  std::to_string(result.num_groups),
+                  std::to_string(result.min_group),
+                  TablePrinter::Pct(blurred.Accuracy(data)),
+                  StructurallyIdentical(direct, blurred) ? "yes" : "NO"});
+  }
+  {
+    CustodianOptions options;
+    options.seed = env.seed + 3;
+    const Custodian custodian(Dataset(data), options);
+    const DecisionTree decoded = custodian.Decode(custodian.MineReleased());
+    table.AddRow({"piecewise transform", "-", "-",
+                  TablePrinter::Pct(decoded.Accuracy(data)),
+                  ExactlyEqual(direct, decoded) ? "YES (exact)" : "NO"});
+  }
+  table.Print("mining the released data directly (direct tree accuracy " +
+              TablePrinter::Pct(direct_accuracy) + ")");
+  std::printf(
+      "\nExpected shape: model quality decays monotonically with k and the "
+      "tree\nstructure changes at every k; the piecewise release preserves "
+      "the outcome\nexactly (after decoding).\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace popp::bench
+
+int main() { return popp::bench::Run(); }

@@ -1,0 +1,90 @@
+// Experiment E10 — the random-perturbation baseline the paper contrasts
+// against (Sections 1, 2 and 6.2.1):
+//  * on a discrete domain, additive noise leaves a fraction of values
+//    unchanged (the paper cites ~30% retention for configurations of [8]),
+//    whereas the piecewise framework transforms *every* value;
+//  * the zero-effort "take values at face value" attack already cracks a
+//    large share of perturbed values within rho;
+//  * AS00 distribution reconstruction recovers the original distribution
+//    shape from the noisy release (the [7]/[6] line of attack goes
+//    further); and
+//  * the mining outcome changes (pillar 1 fails).
+
+#include <cstdio>
+
+#include "data/summary.h"
+#include "experiment_common.h"
+#include "perturb/comparison.h"
+#include "perturb/reconstruction.h"
+#include "util/table.h"
+
+namespace popp::bench {
+namespace {
+
+int Run() {
+  const ExperimentEnv env = GetEnv();
+  PrintBanner("Perturbation baseline — retention, disclosure, outcome", env);
+  const Dataset data = LoadCovtype(env);
+
+  for (double scale : {0.05, 0.25}) {
+    Rng rng(env.seed + static_cast<uint64_t>(scale * 100));
+    PerturbOptions perturb;
+    perturb.scale_fraction = scale;
+    const PerturbationImpact impact =
+        MeasurePerturbationImpact(data, perturb, BuildOptions{}, 0.02, rng);
+
+    TablePrinter table({"attr", "% unchanged", "% within rho (naive crack)"});
+    for (size_t a = 0; a < data.NumAttributes(); ++a) {
+      table.AddRow({"#" + std::to_string(a + 1),
+                    TablePrinter::Pct(impact.unchanged_fraction[a]),
+                    TablePrinter::Pct(impact.within_rho_fraction[a])});
+    }
+    char title[128];
+    std::snprintf(title, sizeof(title),
+                  "uniform noise, scale = %.0f%% of range, rho = 2%%",
+                  scale * 100);
+    table.Print(title);
+    std::printf("tree accuracy on D: direct %.2f%% vs perturbed-tree %.2f%% "
+                "(outcome changed: %s)\n\n",
+                100.0 * impact.original_accuracy,
+                100.0 * impact.perturbed_tree_accuracy,
+                impact.same_tree ? "no" : "yes");
+  }
+
+  // Distribution reconstruction (AS00), demonstrated on a shaped
+  // (bimodal) attribute — reconstruction leaks the most where the
+  // original distribution has structure the noise smeared out.
+  std::printf("--- AS00 distribution reconstruction (bimodal attribute) ---\n");
+  Rng rng(env.seed + 1234);
+  std::vector<AttrValue> original;
+  original.reserve(env.rows);
+  for (size_t i = 0; i < env.rows; ++i) {
+    const double center = rng.Bernoulli(0.6) ? 25.0 : 75.0;
+    original.push_back(center + rng.Uniform(-8.0, 8.0));
+  }
+  const double scale = 25.0;
+  std::vector<AttrValue> released;
+  released.reserve(original.size());
+  for (double v : original) {
+    released.push_back(v + rng.Uniform(-scale, scale));
+  }
+  const size_t bins = 20;
+  const auto truth = EmpiricalDistribution(original, 0, 100, bins);
+  const auto observed = EmpiricalDistribution(released, 0, 100, bins);
+  const auto reconstructed = ReconstructDistribution(
+      released, PerturbOptions::Noise::kUniform, scale, 0, 100, bins);
+  std::printf("total variation to truth: released %.3f -> reconstructed "
+              "%.3f (lower = more leaked)\n",
+              TotalVariation(truth, observed),
+              TotalVariation(truth, reconstructed));
+  std::printf(
+      "\nExpected shape: smaller noise -> more values retained; "
+      "reconstruction\nrecovers a large part of the distributional "
+      "information the noise hid.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace popp::bench
+
+int main() { return popp::bench::Run(); }

@@ -1,0 +1,75 @@
+// Experiment E16 — the strongest prior in Section 3.3's list: "samples of
+// similar data (e.g., a rival company having data similar to D)". The
+// rival sorts the released values and maps them onto his own sample's
+// quantiles, upgrading the min/max sorting attack. Monochromatic pieces
+// (which scramble released ranks) remain the effective defense.
+
+#include <cstdio>
+
+#include "attack/quantile_attack.h"
+#include "attack/sorting_attack.h"
+#include "data/summary.h"
+#include "experiment_common.h"
+#include "risk/trials.h"
+#include "transform/pieces.h"
+#include "util/table.h"
+
+namespace popp::bench {
+namespace {
+
+int Run() {
+  const ExperimentEnv env = GetEnv();
+  PrintBanner("Quantile-matching attack (rival's sample prior)", env);
+  const Dataset data = LoadCovtype(env);
+
+  TablePrinter table({"attr", "% mono values", "min/max sorting",
+                      "quantile (exact rival)", "quantile (noisy rival)"});
+  for (size_t a = 0; a < data.NumAttributes(); ++a) {
+    const AttributeSummary s = AttributeSummary::FromDataset(data, a);
+    const double rho = 0.01 * (s.MaxValue() - s.MinValue());
+    const double noise = 0.05 * (s.MaxValue() - s.MinValue());
+    auto risk = [&](auto&& fn) {
+      return MedianOverTrials(std::min<size_t>(env.trials, 31),
+                              env.seed * 97 + a, fn);
+    };
+    const double sorting = risk([&](Rng& rng) {
+      const auto f = PiecewiseTransform::Create(
+          s, PaperTransform(BreakpointPolicy::kChooseMaxMP), rng);
+      return SortingAttackRisk(s, f, rho).risk;
+    });
+    const double exact_rival = risk([&](Rng& rng) {
+      const auto f = PiecewiseTransform::Create(
+          s, PaperTransform(BreakpointPolicy::kChooseMaxMP), rng);
+      return QuantileAttackRisk(s, f, 20000, 0.0, rho, rng);
+    });
+    const double noisy_rival = risk([&](Rng& rng) {
+      const auto f = PiecewiseTransform::Create(
+          s, PaperTransform(BreakpointPolicy::kChooseMaxMP), rng);
+      return QuantileAttackRisk(s, f, 20000, noise, rho, rng);
+    });
+    table.AddRow({"#" + std::to_string(a + 1),
+                  TablePrinter::Pct(ComputeMonoStats(s, 2).value_fraction),
+                  TablePrinter::Pct(sorting),
+                  TablePrinter::Pct(exact_rival),
+                  TablePrinter::Pct(noisy_rival)});
+  }
+  table.Print(
+      "rank attacks under increasing priors (rho = 1%, ChooseMaxMP)");
+  std::printf(
+      "\nExpected shape: a rival's sample dominates the min/max prior "
+      "wherever the\nsupport is clustered (attrs 4, 6, 8, 10 jump from "
+      "<20%% to >85%%). Only LONG\nmonochromatic pieces defend: attribute 1 "
+      "(avg piece length 163 values, spans\nwider than rho) stays near its "
+      "non-monochromatic share, while short pieces\n(attrs 6, 10, avg "
+      "length ~17) scramble ranks by less than rho and fall. This\nis a "
+      "stronger prior than the paper's worst case and an honest limitation "
+      "of\nthe framework: against a rival holding the true marginal, "
+      "piece widths must\nbe comparable to the crack radius to protect an "
+      "attribute.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace popp::bench
+
+int main() { return popp::bench::Run(); }

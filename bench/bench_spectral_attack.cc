@@ -1,0 +1,99 @@
+// Experiment E14 — the related-work attack axis ([7] Kargupta et al.,
+// [6] Huang et al.): spectral noise filtering against additive
+// perturbation on correlated data. The paper cites these results as
+// evidence that "more accurate individual data can be revealed than
+// originally thought" under the perturbation baseline; the piecewise
+// framework's release is not signal-plus-noise, so the attack gains
+// nothing against it.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "attack/spectral.h"
+#include "experiment_common.h"
+#include "perturb/perturbation.h"
+#include "synth/presets.h"
+#include "transform/plan.h"
+#include "util/table.h"
+
+namespace popp::bench {
+namespace {
+
+double RangeOf(const Dataset& d, size_t attr) {
+  const auto& col = d.Column(attr);
+  return *std::max_element(col.begin(), col.end()) -
+         *std::min_element(col.begin(), col.end());
+}
+
+int Run() {
+  const ExperimentEnv env = GetEnv();
+  PrintBanner("Spectral filtering attack on perturbed data ([6],[7])", env);
+
+  Rng rng(env.seed);
+  const Dataset original = MakeCorrelatedDataset(6000, 8, 2, 5.0, rng);
+
+  TablePrinter table({"noise scale", "crack % raw", "crack % filtered",
+                      "MAE raw", "MAE filtered"});
+  for (double scale : {0.1, 0.25, 0.5}) {
+    PerturbOptions perturb;
+    perturb.scale_fraction = scale;
+    perturb.round_to_int = false;
+    perturb.clamp_to_range = false;
+    Rng noise_rng(env.seed + static_cast<uint64_t>(scale * 100));
+    const Dataset released = PerturbDataset(original, perturb, noise_rng);
+
+    SpectralFilterOptions options;
+    for (size_t a = 0; a < original.NumAttributes(); ++a) {
+      options.noise_stddev.push_back(
+          scale * std::max(RangeOf(original, a), 1.0) / std::sqrt(3.0));
+    }
+    const Dataset filtered = SpectralNoiseFilter(released, options);
+
+    // Average crack fraction / MAE over all attributes, rho = 2% of range.
+    double crack_raw = 0, crack_filtered = 0, mae_raw = 0, mae_filtered = 0;
+    for (size_t a = 0; a < original.NumAttributes(); ++a) {
+      const double rho = 0.02 * RangeOf(original, a);
+      crack_raw += CrackFraction(original, released, a, rho);
+      crack_filtered += CrackFraction(original, filtered, a, rho);
+      mae_raw += MeanAbsoluteError(original, released, a);
+      mae_filtered += MeanAbsoluteError(original, filtered, a);
+    }
+    const double m = static_cast<double>(original.NumAttributes());
+    table.AddRow({TablePrinter::Pct(scale, 0),
+                  TablePrinter::Pct(crack_raw / m / 1.0),
+                  TablePrinter::Pct(crack_filtered / m),
+                  TablePrinter::Fmt(mae_raw / m, 1),
+                  TablePrinter::Fmt(mae_filtered / m, 1)});
+  }
+  table.Print("perturbation vs spectral filtering (correlated attributes)");
+
+  // Control: the attack against the piecewise framework.
+  Rng plan_rng(env.seed + 9);
+  PiecewiseOptions plan_options;
+  plan_options.min_breakpoints = 20;
+  const TransformPlan plan =
+      TransformPlan::Create(original, plan_options, plan_rng);
+  const Dataset released = plan.EncodeDataset(original);
+  SpectralFilterOptions options;
+  options.noise_stddev.assign(original.NumAttributes(), 1.0);
+  const Dataset filtered = SpectralNoiseFilter(released, options);
+  double crack = 0;
+  for (size_t a = 0; a < original.NumAttributes(); ++a) {
+    crack += CrackFraction(original, filtered, a,
+                           0.02 * RangeOf(original, a));
+  }
+  std::printf("\ncontrol — same attack on the popp release: %.1f%% cracked "
+              "(no additive noise to filter)\n",
+              100.0 * crack / static_cast<double>(original.NumAttributes()));
+  std::printf(
+      "\nExpected shape: filtering multiplies the crack rate on perturbed "
+      "correlated\ndata and cuts the reconstruction error roughly in half "
+      "or better; against the\npiecewise release it recovers nothing.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace popp::bench
+
+int main() { return popp::bench::Run(); }

@@ -1,0 +1,124 @@
+// Experiment E13 — Section 7 (future work): does the piecewise framework
+// extend beyond decision trees? This bench quantifies the obstacle the
+// paper names ("the dividing planes can have arbitrary orientations"):
+// on the same data and the same transform, the decision tree's outcome is
+// preserved exactly while a linear SVM's decision function drifts — and
+// per-attribute affine maps (which standardization absorbs) are the
+// precise limit of what an SVM tolerates.
+
+#include <cstdio>
+
+#include "experiment_common.h"
+#include "nb/naive_bayes.h"
+#include "svm/linear_svm.h"
+#include "synth/presets.h"
+#include "transform/plan.h"
+#include "transform/tree_decode.h"
+#include "tree/builder.h"
+#include "tree/compare.h"
+#include "util/table.h"
+
+namespace popp::bench {
+namespace {
+
+int Run() {
+  const ExperimentEnv env = GetEnv();
+  PrintBanner("Section 7 — SVM vs decision tree under transforms", env);
+
+  Rng rng(env.seed);
+  const Dataset d = MakeCorrelatedDataset(4000, 6, 2, 10.0, rng);
+  const LinearSvm svm_original = LinearSvm::Train(d, 1);
+  const DecisionTreeBuilder builder;
+  const DecisionTree tree_original = builder.Build(d);
+
+  TablePrinter table({"transform", "SVM agreement", "tree preserved"});
+
+  // 1. per-attribute affine rescaling.
+  {
+    Dataset affine = d;
+    Rng t_rng(env.seed + 1);
+    for (size_t a = 0; a < d.NumAttributes(); ++a) {
+      const double scale = t_rng.Uniform(0.1, 10.0);
+      const double shift = t_rng.Uniform(-100.0, 100.0);
+      for (auto& v : affine.MutableColumn(a)) v = scale * v + shift;
+    }
+    const LinearSvm svm_t = LinearSvm::Train(affine, 1);
+    const DecisionTree tree_t = builder.Build(affine);
+    table.AddRow(
+        {"affine (per attribute)",
+         TablePrinter::Pct(
+             CrossRepresentationAgreement(svm_original, d, svm_t, affine)),
+         StructurallyIdentical(tree_original, tree_t) ? "YES" : "no"});
+  }
+
+  // 2. single nonlinear monotone function per attribute.
+  {
+    Rng t_rng(env.seed + 2);
+    PiecewiseOptions options;
+    options.policy = BreakpointPolicy::kNone;
+    const TransformPlan plan = TransformPlan::Create(d, options, t_rng);
+    const Dataset released = plan.EncodeDataset(d);
+    const LinearSvm svm_t = LinearSvm::Train(released, 1);
+    const DecisionTree decoded =
+        DecodeTreeWithData(builder.Build(released), plan, d);
+    table.AddRow(
+        {"monotone (sqrt-log etc.)",
+         TablePrinter::Pct(CrossRepresentationAgreement(svm_original, d,
+                                                        svm_t, released)),
+         ExactlyEqual(tree_original, decoded) ? "YES (exact)" : "no"});
+  }
+
+  // 3. the full piecewise framework.
+  {
+    Rng t_rng(env.seed + 3);
+    PiecewiseOptions options;
+    options.min_breakpoints = 20;
+    const TransformPlan plan = TransformPlan::Create(d, options, t_rng);
+    const Dataset released = plan.EncodeDataset(d);
+    const LinearSvm svm_t = LinearSvm::Train(released, 1);
+    const DecisionTree decoded =
+        DecodeTreeWithData(builder.Build(released), plan, d);
+    table.AddRow(
+        {"piecewise (ChooseMaxMP)",
+         TablePrinter::Pct(CrossRepresentationAgreement(svm_original, d,
+                                                        svm_t, released)),
+         ExactlyEqual(tree_original, decoded) ? "YES (exact)" : "no"});
+  }
+
+  table.Print("model outcome under per-attribute transforms");
+
+  // The other end of the spectrum: discrete naive Bayes only sees
+  // per-value class counts, so ANY per-attribute bijection preserves it.
+  {
+    Rng t_rng(env.seed + 4);
+    PiecewiseOptions options;
+    options.min_breakpoints = 20;
+    const TransformPlan plan = TransformPlan::Create(d, options, t_rng);
+    const Dataset released = plan.EncodeDataset(d);
+    const NaiveBayes nb_a = NaiveBayes::Train(d);
+    const NaiveBayes nb_b = NaiveBayes::Train(released);
+    size_t agree = 0;
+    for (size_t r = 0; r < d.NumRows(); ++r) {
+      if (nb_a.Predict(d.Row(r)) == nb_b.Predict(released.Row(r))) ++agree;
+    }
+    std::printf("\ndiscrete naive Bayes under the piecewise transform: "
+                "%.1f%% agreement (exact)\n",
+                100.0 * static_cast<double>(agree) /
+                    static_cast<double>(d.NumRows()));
+  }
+
+  std::printf(
+      "\nExpected shape: the tree column is YES everywhere (the paper's "
+      "guarantee);\nthe SVM agrees ~100%% only for affine maps and drifts "
+      "for nonlinear and\npiecewise transforms — supporting Section 7's "
+      "assessment that extending the\nframework to arbitrary-orientation "
+      "separators requires new machinery. The\nlearner spectrum: discrete "
+      "NB tolerates any bijection, trees any\norder-preserving map, SVMs "
+      "only affine maps.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace popp::bench
+
+int main() { return popp::bench::Run(); }

@@ -1,0 +1,99 @@
+#include "experiment_common.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "attack/sorting_attack.h"
+#include "util/status.h"
+
+namespace popp::bench {
+namespace {
+
+size_t EnvSize(const char* name, size_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(value, &end, 10);
+  if (end == value || *end != '\0' || parsed == 0) {
+    std::fprintf(stderr, "ignoring invalid %s='%s'\n", name, value);
+    return fallback;
+  }
+  return static_cast<size_t>(parsed);
+}
+
+}  // namespace
+
+ExperimentEnv GetEnv() {
+  ExperimentEnv env;
+  env.rows = EnvSize("POPP_ROWS", env.rows);
+  env.trials = EnvSize("POPP_TRIALS", env.trials);
+  env.seed = EnvSize("POPP_SEED", env.seed);
+  return env;
+}
+
+void PrintBanner(const std::string& name, const ExperimentEnv& env) {
+  std::printf("\n################ %s ################\n", name.c_str());
+  std::printf(
+      "# rows=%zu trials=%zu seed=%llu   (override with POPP_ROWS / "
+      "POPP_TRIALS / POPP_SEED;\n#  paper scale: POPP_ROWS=581012 "
+      "POPP_TRIALS=500)\n\n",
+      env.rows, env.trials, static_cast<unsigned long long>(env.seed));
+}
+
+Dataset LoadCovtype(const ExperimentEnv& env) {
+  Rng rng(env.seed);
+  return GenerateCovtypeLike(DefaultCovtypeSpec(env.rows), rng);
+}
+
+PiecewiseOptions PaperTransform(BreakpointPolicy policy) {
+  PiecewiseOptions options;
+  options.policy = policy;
+  options.min_breakpoints = 20;
+  options.min_mono_width = 2;
+  options.family.forced_shape = FamilyOptions::ShapeChoice::kSqrtLog;
+  return options;
+}
+
+KnowledgeOptions PaperKnowledge(HackerProfile profile,
+                                double radius_fraction) {
+  KnowledgeOptions options;
+  options.num_good = GoodKpCount(profile);
+  options.num_bad = 0;
+  options.radius_fraction = radius_fraction;
+  return options;
+}
+
+SortingCrack::SortingCrack(const AttributeSummary& original,
+                           const PiecewiseTransform& transform) {
+  POPP_CHECK(!original.empty());
+  released_sorted_.reserve(original.NumDistinct());
+  for (AttrValue v : original.values()) {
+    released_sorted_.push_back(transform.Apply(v));
+  }
+  std::sort(released_sorted_.begin(), released_sorted_.end());
+  guesses_ = SortingAttackGuesses(released_sorted_.size(),
+                                  original.MinValue(), original.MaxValue());
+}
+
+AttrValue SortingCrack::Guess(AttrValue released) const {
+  auto it = std::lower_bound(released_sorted_.begin(),
+                             released_sorted_.end(), released);
+  size_t rank;
+  if (it == released_sorted_.end()) {
+    rank = released_sorted_.size() - 1;
+  } else if (it == released_sorted_.begin()) {
+    rank = 0;
+  } else {
+    // Nearest released value (the hacker only ever sees released values,
+    // but Guess must be total).
+    const size_t hi = static_cast<size_t>(it - released_sorted_.begin());
+    rank = (released - released_sorted_[hi - 1]) <=
+                   (released_sorted_[hi] - released)
+               ? hi - 1
+               : hi;
+  }
+  return guesses_[rank];
+}
+
+}  // namespace popp::bench

@@ -1,0 +1,104 @@
+// The hacker's view: given a released dataset D', mount every attack the
+// paper analyzes — curve fitting (regression / polyline / spline) with
+// varying prior knowledge, the worst-case sorting attack, and the
+// combination attack — and report what actually cracks.
+//
+// Build & run:  ./build/examples/example_attack_lab
+
+#include <cstdio>
+
+#include "attack/combination.h"
+#include "attack/curve_fit.h"
+#include "attack/knowledge.h"
+#include "attack/sorting_attack.h"
+#include "data/summary.h"
+#include "risk/domain_risk.h"
+#include "synth/covtype_like.h"
+#include "transform/plan.h"
+#include "util/table.h"
+
+int main() {
+  using namespace popp;
+
+  // The custodian's side (hidden from the hacker): data + secret plan.
+  Rng rng(2718);
+  const Dataset data =
+      GenerateCovtypeLike(DefaultCovtypeSpec(12000), rng);
+  PiecewiseOptions transform_options;
+  transform_options.policy = BreakpointPolicy::kChooseMaxMP;
+  transform_options.min_breakpoints = 20;
+  const TransformPlan plan =
+      TransformPlan::Create(data, transform_options, rng);
+
+  std::printf("The hacker sees D' (%zu rows, %zu attributes) and knows the "
+              "schema,\nbut not the transformation plan.\n\n",
+              data.NumRows(), data.NumAttributes());
+
+  // --- curve fitting with increasing prior knowledge -----------------
+  TablePrinter table({"attribute", "hacker", "regression", "polyline",
+                      "spline"});
+  for (size_t attr : {0u, 1u, 9u}) {
+    const AttributeSummary s = AttributeSummary::FromDataset(data, attr);
+    for (auto profile : {HackerProfile::kIgnorant,
+                         HackerProfile::kKnowledgeable,
+                         HackerProfile::kExpert, HackerProfile::kInsider}) {
+      KnowledgeOptions ko;
+      ko.num_good = GoodKpCount(profile);
+      ko.radius_fraction = 0.02;
+      std::vector<std::string> row{data.schema().AttributeName(attr),
+                                   ToString(profile)};
+      for (auto method : {FitMethod::kLinearRegression, FitMethod::kPolyline,
+                          FitMethod::kSpline}) {
+        Rng attack_rng(1000 + attr * 10 +
+                       static_cast<uint64_t>(profile));
+        const auto result = CurveFitDomainRisk(s, plan.transform(attr),
+                                               method, ko, attack_rng);
+        row.push_back(TablePrinter::Pct(result.risk));
+      }
+      table.AddRow(row);
+    }
+  }
+  table.Print("Curve-fitting attacks (domain disclosure, rho = 2%)");
+
+  // --- the combination attack ----------------------------------------
+  {
+    const AttributeSummary s = AttributeSummary::FromDataset(data, 9);
+    const double rho = CrackRadius(s, 0.02);
+    Rng attack_rng(555);
+    KnowledgeOptions ko;
+    ko.num_good = 4;
+    const auto points =
+        SampleKnowledgePoints(s, plan.transform(9), ko, attack_rng);
+    const auto venn = CombineCrackSets(
+        DomainCrackVector(s, plan.transform(9),
+                          *FitCurve(FitMethod::kLinearRegression, points),
+                          rho),
+        DomainCrackVector(s, plan.transform(9),
+                          *FitCurve(FitMethod::kSpline, points), rho),
+        DomainCrackVector(s, plan.transform(9),
+                          *FitCurve(FitMethod::kPolyline, points), rho));
+    std::printf("\nCombination attack on %s:\n%s",
+                data.schema().AttributeName(9).c_str(),
+                venn.ToString("regression", "spline", "polyline").c_str());
+    std::printf("union %.1f%% | expected %.1f%% | majority %.1f%%\n",
+                100 * venn.UnionRisk(), 100 * venn.ExpectedRisk(),
+                100 * venn.MajorityRisk());
+  }
+
+  // --- worst-case sorting attack --------------------------------------
+  std::printf("\nWorst-case sorting attack (hacker knows true min/max):\n");
+  for (size_t attr = 0; attr < data.NumAttributes(); ++attr) {
+    const AttributeSummary s = AttributeSummary::FromDataset(data, attr);
+    const auto result =
+        SortingAttackRisk(s, plan.transform(attr), /*rho=*/0.5);
+    std::printf("  %-18s %5.1f%% cracked (%zu discontinuities)\n",
+                data.schema().AttributeName(attr).c_str(),
+                100.0 * result.risk, s.NumDiscontinuities());
+  }
+  std::printf(
+      "\nTakeaway: without good knowledge points the hacker recovers almost "
+      "nothing;\neven an insider cracks only a minority of values, and "
+      "attributes with\ndiscontinuities or monochromatic structure resist "
+      "the sorting attack.\n");
+  return 0;
+}

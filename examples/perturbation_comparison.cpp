@@ -1,0 +1,69 @@
+// Side-by-side: the data-collector baseline (random perturbation, AS00)
+// vs the data-custodian model (piecewise monotone transformations) on the
+// same data — the paper's three pillars made concrete:
+//   pillar 1: no outcome change,
+//   pillar 2: input privacy,
+//   pillar 3: output privacy.
+//
+// Build & run:  ./build/examples/example_perturbation_comparison
+
+#include <cstdio>
+
+#include "core/custodian.h"
+#include "data/summary.h"
+#include "perturb/comparison.h"
+#include "synth/covtype_like.h"
+#include "tree/compare.h"
+#include "util/table.h"
+
+int main() {
+  using namespace popp;
+
+  Rng rng(31415);
+  Dataset data = GenerateCovtypeLike(DefaultCovtypeSpec(12000), rng);
+  const Dataset original = data;  // keep a copy for the baseline
+
+  // --- custodian model -------------------------------------------------
+  CustodianOptions options;
+  options.seed = 11;
+  Custodian custodian(std::move(data), options);
+  const bool no_change = custodian.VerifyNoOutcomeChange();
+  const Dataset released = custodian.Release();
+  size_t unchanged = 0;
+  for (size_t r = 0; r < original.NumRows(); ++r) {
+    if (released.Value(r, 0) == original.Value(r, 0)) ++unchanged;
+  }
+
+  // --- perturbation baseline -------------------------------------------
+  Rng perturb_rng(17);
+  PerturbOptions perturb;
+  perturb.scale_fraction = 0.25;
+  const PerturbationImpact impact = MeasurePerturbationImpact(
+      original, perturb, BuildOptions{}, 0.02, perturb_rng);
+
+  // --- the scoreboard ----------------------------------------------------
+  TablePrinter table({"criterion", "piecewise transform (custodian)",
+                      "random perturbation (collector)"});
+  table.AddRow({"outcome preserved (pillar 1)", no_change ? "YES — exact" : "NO",
+                impact.same_tree ? "yes" : "NO — tree changed"});
+  table.AddRow({"model accuracy on true data",
+                TablePrinter::Pct(custodian.MineDirectly().Accuracy(original)),
+                TablePrinter::Pct(impact.perturbed_tree_accuracy)});
+  table.AddRow({"values released unchanged (attr 1)",
+                TablePrinter::Pct(static_cast<double>(unchanged) /
+                                  static_cast<double>(original.NumRows())),
+                TablePrinter::Pct(impact.unchanged_fraction[0])});
+  table.AddRow({"zero-effort cracks within rho (attr 1)", "0.0%",
+                TablePrinter::Pct(impact.within_rho_fraction[0])});
+  table.AddRow({"mining outcome encoded (pillar 3)",
+                "yes — thresholds transformed", "no — tree is in the clear"});
+  table.AddRow({"custodian recovers exact model", "yes — decode with key",
+                "no — model is permanently distorted"});
+  table.Print("Custodian model vs perturbation baseline");
+
+  std::printf(
+      "\nThe collector model trades model quality for privacy and still "
+      "leaks\nunchanged discrete values; the custodian model keeps the model "
+      "exact and\nencodes both the data and the mining outcome.\n");
+  return no_change ? 0 : 1;
+}

@@ -1,0 +1,116 @@
+#include "anon/mondrian.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+
+#include "data/summary.h"
+#include "util/status.h"
+
+namespace popp {
+
+AnonymizationResult MondrianAnonymize(const Dataset& data,
+                                      const MondrianOptions& options) {
+  POPP_CHECK_MSG(options.k >= 1, "k must be >= 1");
+  POPP_CHECK_MSG(data.NumRows() >= options.k,
+                 "fewer rows than k — nothing can be released");
+
+  AnonymizationResult result;
+  result.data = data;
+  result.min_group = data.NumRows();
+  result.max_group = 0;
+
+  // Global attribute ranges for split-attribute normalization.
+  std::vector<double> global_width(data.NumAttributes(), 1.0);
+  for (size_t a = 0; a < data.NumAttributes(); ++a) {
+    const AttributeSummary s = AttributeSummary::FromDataset(data, a);
+    global_width[a] =
+        std::max(1e-12, double{s.MaxValue()} - double{s.MinValue()});
+  }
+
+  std::function<void(std::vector<size_t>&)> partition =
+      [&](std::vector<size_t>& rows) {
+        // Pick the attribute with the widest normalized range that allows
+        // an (>= k | >= k) median cut.
+        size_t best_attr = data.NumAttributes();
+        double best_width = -1.0;
+        size_t best_cut = 0;
+        std::vector<std::pair<AttrValue, size_t>> best_order;
+
+        std::vector<std::pair<AttrValue, size_t>> order;
+        for (size_t a = 0; a < data.NumAttributes(); ++a) {
+          order.clear();
+          order.reserve(rows.size());
+          for (size_t r : rows) order.emplace_back(data.Value(r, a), r);
+          std::sort(order.begin(), order.end());
+          const double width =
+              (order.back().first - order.front().first) / global_width[a];
+          if (width <= best_width || width <= 0.0) continue;
+          // Median cut position: the strict-Mondrian "allowable cut" must
+          // put whole value-groups on each side, each side >= k.
+          const size_t mid = rows.size() / 2;
+          // Move the cut to a value boundary at or after the median...
+          size_t cut = mid;
+          while (cut < order.size() &&
+                 order[cut].first == order[cut - 1].first) {
+            ++cut;
+          }
+          // ...or before it if the right side starved.
+          if (order.size() - cut < options.k) {
+            cut = mid;
+            while (cut > 0 && order[cut].first == order[cut - 1].first) {
+              --cut;
+            }
+          }
+          if (cut < options.k || order.size() - cut < options.k) continue;
+          best_attr = a;
+          best_width = width;
+          best_cut = cut;
+          best_order = order;
+        }
+
+        if (best_attr == data.NumAttributes()) {
+          // No allowable cut: this is an equivalence class. Generalize
+          // every attribute to the class mean.
+          result.num_groups++;
+          result.min_group = std::min(result.min_group, rows.size());
+          result.max_group = std::max(result.max_group, rows.size());
+          for (size_t a = 0; a < data.NumAttributes(); ++a) {
+            double mean = 0.0;
+            for (size_t r : rows) mean += data.Value(r, a);
+            mean /= static_cast<double>(rows.size());
+            for (size_t r : rows) result.data.SetValue(r, a, mean);
+          }
+          return;
+        }
+
+        std::vector<size_t> left, right;
+        left.reserve(best_cut);
+        right.reserve(best_order.size() - best_cut);
+        for (size_t i = 0; i < best_order.size(); ++i) {
+          (i < best_cut ? left : right).push_back(best_order[i].second);
+        }
+        rows.clear();
+        rows.shrink_to_fit();
+        partition(left);
+        partition(right);
+      };
+
+  std::vector<size_t> rows(data.NumRows());
+  for (size_t r = 0; r < rows.size(); ++r) rows[r] = r;
+  partition(rows);
+  return result;
+}
+
+bool IsKAnonymous(const Dataset& data, size_t k) {
+  std::map<std::vector<AttrValue>, size_t> counts;
+  for (size_t r = 0; r < data.NumRows(); ++r) {
+    counts[data.Row(r)]++;
+  }
+  for (const auto& [key, count] : counts) {
+    if (count < k) return false;
+  }
+  return true;
+}
+
+}  // namespace popp

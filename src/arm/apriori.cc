@@ -1,0 +1,141 @@
+#include "arm/apriori.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+#include "util/status.h"
+
+namespace popp {
+namespace {
+
+/// Joins two k-itemsets sharing a (k-1)-prefix into a (k+1)-candidate.
+bool JoinablePrefix(const Transaction& a, const Transaction& b) {
+  for (size_t i = 0; i + 1 < a.size(); ++i) {
+    if (a[i] != b[i]) return false;
+  }
+  return a.back() < b.back();
+}
+
+/// True iff every k-subset of `candidate` is frequent (Apriori property);
+/// `frequent` holds the sorted frequent k-itemsets.
+bool AllSubsetsFrequent(const Transaction& candidate,
+                        const std::vector<Transaction>& frequent) {
+  Transaction subset(candidate.size() - 1);
+  for (size_t skip = 0; skip < candidate.size(); ++skip) {
+    size_t j = 0;
+    for (size_t i = 0; i < candidate.size(); ++i) {
+      if (i != skip) subset[j++] = candidate[i];
+    }
+    if (!std::binary_search(frequent.begin(), frequent.end(), subset)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<FrequentItemset> MineFrequentItemsets(
+    const TransactionDb& db, const AprioriOptions& options) {
+  POPP_CHECK(options.min_support > 0.0 && options.min_support <= 1.0);
+  const size_t n = db.NumTransactions();
+  std::vector<FrequentItemset> result;
+  if (n == 0) return result;
+  const size_t min_count = static_cast<size_t>(
+      std::max(1.0, options.min_support * static_cast<double>(n)));
+
+  // Level 1: count singletons in one pass.
+  std::vector<size_t> counts(db.num_items(), 0);
+  for (const Transaction& t : db.transactions()) {
+    for (ItemId item : t) counts[item]++;
+  }
+  std::vector<Transaction> level;
+  for (ItemId item = 0; item < db.num_items(); ++item) {
+    if (counts[item] >= min_count) {
+      level.push_back({item});
+      result.push_back({{item}, counts[item]});
+    }
+  }
+
+  // Levels k >= 2.
+  for (size_t k = 2; k <= options.max_itemset_size && level.size() > 1;
+       ++k) {
+    std::vector<Transaction> candidates;
+    for (size_t i = 0; i < level.size(); ++i) {
+      for (size_t j = i + 1; j < level.size(); ++j) {
+        if (!JoinablePrefix(level[i], level[j])) continue;
+        Transaction candidate = level[i];
+        candidate.push_back(level[j].back());
+        if (AllSubsetsFrequent(candidate, level)) {
+          candidates.push_back(std::move(candidate));
+        }
+      }
+    }
+    std::vector<Transaction> next_level;
+    for (Transaction& candidate : candidates) {
+      const size_t support = db.SupportCount(candidate);
+      if (support >= min_count) {
+        result.push_back({candidate, support});
+        next_level.push_back(std::move(candidate));
+      }
+    }
+    level = std::move(next_level);
+  }
+
+  std::sort(result.begin(), result.end(),
+            [](const FrequentItemset& a, const FrequentItemset& b) {
+              return a.items < b.items;
+            });
+  return result;
+}
+
+std::vector<AssociationRule> MineRules(const TransactionDb& db,
+                                       const AprioriOptions& options) {
+  const auto frequent = MineFrequentItemsets(db, options);
+  // Support lookup for confidence computation.
+  std::map<Transaction, size_t> support;
+  for (const auto& f : frequent) support[f.items] = f.support;
+
+  const double n = static_cast<double>(db.NumTransactions());
+  std::vector<AssociationRule> rules;
+  for (const auto& f : frequent) {
+    const size_t k = f.items.size();
+    if (k < 2) continue;
+    // Enumerate non-empty proper subsets as antecedents.
+    for (uint32_t mask = 1; mask + 1 < (1u << k); ++mask) {
+      AssociationRule rule;
+      for (size_t i = 0; i < k; ++i) {
+        ((mask >> i) & 1u ? rule.antecedent : rule.consequent)
+            .push_back(f.items[i]);
+      }
+      const auto it = support.find(rule.antecedent);
+      POPP_CHECK_MSG(it != support.end(),
+                     "antecedent of a frequent itemset must be frequent");
+      rule.support = static_cast<double>(f.support) / n;
+      rule.confidence =
+          static_cast<double>(f.support) / static_cast<double>(it->second);
+      if (rule.confidence >= options.min_confidence) {
+        rules.push_back(std::move(rule));
+      }
+    }
+  }
+  std::sort(rules.begin(), rules.end(),
+            [](const AssociationRule& a, const AssociationRule& b) {
+              if (a.antecedent != b.antecedent) {
+                return a.antecedent < b.antecedent;
+              }
+              return a.consequent < b.consequent;
+            });
+  return rules;
+}
+
+std::string RuleToString(const AssociationRule& rule) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), " (sup %.3f, conf %.3f)", rule.support,
+                rule.confidence);
+  return ItemsetToString(rule.antecedent) + " => " +
+         ItemsetToString(rule.consequent) + buf;
+}
+
+}  // namespace popp

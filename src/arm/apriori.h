@@ -1,0 +1,58 @@
+#ifndef POPP_ARM_APRIORI_H_
+#define POPP_ARM_APRIORI_H_
+
+#include <string>
+#include <vector>
+
+#include "arm/itemset.h"
+
+/// \file
+/// Apriori frequent-itemset mining and association-rule generation — the
+/// mining task of the paper's related work ([5], [8]). Deterministic:
+/// itemsets and rules come out in lexicographic order, so two runs over
+/// equivalent databases produce comparable outputs.
+
+namespace popp {
+
+/// A frequent itemset with its support count.
+struct FrequentItemset {
+  Transaction items;
+  size_t support = 0;
+
+  friend bool operator==(const FrequentItemset&,
+                         const FrequentItemset&) = default;
+};
+
+/// An association rule antecedent => consequent.
+struct AssociationRule {
+  Transaction antecedent;
+  Transaction consequent;
+  double support = 0;     ///< fraction of transactions with both sides
+  double confidence = 0;  ///< support(both) / support(antecedent)
+
+  friend bool operator==(const AssociationRule&,
+                         const AssociationRule&) = default;
+};
+
+/// Mining thresholds.
+struct AprioriOptions {
+  double min_support = 0.05;     ///< fraction of transactions
+  double min_confidence = 0.6;
+  size_t max_itemset_size = 6;
+};
+
+/// All itemsets with support >= min_support, in lexicographic order.
+std::vector<FrequentItemset> MineFrequentItemsets(
+    const TransactionDb& db, const AprioriOptions& options);
+
+/// All rules meeting both thresholds, derived from the frequent itemsets,
+/// in lexicographic (antecedent, consequent) order.
+std::vector<AssociationRule> MineRules(const TransactionDb& db,
+                                       const AprioriOptions& options);
+
+/// Renders "{a} => {b} (sup 0.21, conf 0.84)".
+std::string RuleToString(const AssociationRule& rule);
+
+}  // namespace popp
+
+#endif  // POPP_ARM_APRIORI_H_

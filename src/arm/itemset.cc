@@ -1,0 +1,81 @@
+#include "arm/itemset.h"
+
+#include <algorithm>
+
+namespace popp {
+
+void TransactionDb::Add(Transaction t) {
+  for (size_t i = 0; i < t.size(); ++i) {
+    POPP_CHECK_MSG(t[i] < num_items_, "item id out of range");
+    POPP_CHECK_MSG(i == 0 || t[i - 1] < t[i],
+                   "transaction items must be strictly increasing");
+  }
+  transactions_.push_back(std::move(t));
+}
+
+const Transaction& TransactionDb::transaction(size_t i) const {
+  POPP_CHECK_MSG(i < transactions_.size(), "bad transaction index");
+  return transactions_[i];
+}
+
+size_t TransactionDb::SupportCount(const Transaction& itemset) const {
+  size_t count = 0;
+  for (const Transaction& t : transactions_) {
+    if (std::includes(t.begin(), t.end(), itemset.begin(), itemset.end())) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+BasketSpec DefaultBasketSpec(size_t num_transactions) {
+  BasketSpec spec;
+  spec.num_items = 60;
+  spec.num_transactions = num_transactions;
+  spec.patterns = {
+      {{2, 7, 19}, 0.25},
+      {{7, 19, 33}, 0.15},
+      {{4, 11}, 0.30},
+      {{40, 41, 42, 43}, 0.12},
+  };
+  spec.noise_items = 3.0;
+  return spec;
+}
+
+TransactionDb GenerateBaskets(const BasketSpec& spec, Rng& rng) {
+  POPP_CHECK(spec.num_items > 0 && spec.num_transactions > 0);
+  TransactionDb db(spec.num_items);
+  std::vector<char> present(spec.num_items);
+  for (size_t t = 0; t < spec.num_transactions; ++t) {
+    std::fill(present.begin(), present.end(), 0);
+    for (const auto& pattern : spec.patterns) {
+      if (rng.Bernoulli(pattern.frequency)) {
+        for (ItemId item : pattern.items) present[item] = 1;
+      }
+    }
+    // Poisson-ish noise: each item independently with prob
+    // noise_items / num_items.
+    const double p = spec.noise_items / static_cast<double>(spec.num_items);
+    for (size_t item = 0; item < spec.num_items; ++item) {
+      if (rng.Bernoulli(p)) present[item] = 1;
+    }
+    Transaction transaction;
+    for (size_t item = 0; item < spec.num_items; ++item) {
+      if (present[item]) transaction.push_back(static_cast<ItemId>(item));
+    }
+    db.Add(std::move(transaction));
+  }
+  return db;
+}
+
+std::string ItemsetToString(const Transaction& itemset) {
+  std::string out = "{";
+  for (size_t i = 0; i < itemset.size(); ++i) {
+    if (i > 0) out += ",";
+    out += std::to_string(itemset[i]);
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace popp

@@ -1,0 +1,79 @@
+#ifndef POPP_ARM_ITEMSET_H_
+#define POPP_ARM_ITEMSET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/status.h"
+
+/// \file
+/// Market-basket substrate for the association-rule-mining axis of the
+/// paper's related work ([5] Evfimievski et al., [8] Rizvi & Haritsa):
+/// transactions over a catalog of items, plus a synthetic generator with
+/// embedded frequent patterns.
+
+namespace popp {
+
+/// Dense item identifier, 0-based.
+using ItemId = uint32_t;
+
+/// A transaction: strictly increasing item ids.
+using Transaction = std::vector<ItemId>;
+
+/// A set of transactions over a fixed catalog.
+class TransactionDb {
+ public:
+  TransactionDb() = default;
+  explicit TransactionDb(size_t num_items) : num_items_(num_items) {}
+
+  size_t num_items() const { return num_items_; }
+  size_t NumTransactions() const { return transactions_.size(); }
+
+  /// Adds a transaction; items must be strictly increasing and < num_items.
+  void Add(Transaction t);
+
+  const Transaction& transaction(size_t i) const;
+  const std::vector<Transaction>& transactions() const {
+    return transactions_;
+  }
+
+  /// Number of transactions containing every item of (sorted) `itemset`.
+  size_t SupportCount(const Transaction& itemset) const;
+
+  friend bool operator==(const TransactionDb&, const TransactionDb&) =
+      default;
+
+ private:
+  size_t num_items_ = 0;
+  std::vector<Transaction> transactions_;
+};
+
+/// Parameters for the synthetic basket generator.
+struct BasketSpec {
+  size_t num_items = 50;
+  size_t num_transactions = 2000;
+  /// Embedded frequent patterns: each is planted into a random fraction of
+  /// the transactions, giving the miner real structure to find.
+  struct Pattern {
+    Transaction items;
+    double frequency = 0.1;
+  };
+  std::vector<Pattern> patterns;
+  /// Expected number of additional random items per transaction.
+  double noise_items = 3.0;
+};
+
+/// A default spec with three overlapping planted patterns.
+BasketSpec DefaultBasketSpec(size_t num_transactions = 2000);
+
+/// Generates transactions per `spec`.
+TransactionDb GenerateBaskets(const BasketSpec& spec, Rng& rng);
+
+/// Renders an itemset like "{3,7,12}".
+std::string ItemsetToString(const Transaction& itemset);
+
+}  // namespace popp
+
+#endif  // POPP_ARM_ITEMSET_H_

@@ -1,0 +1,224 @@
+#include "arm/mask.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "util/status.h"
+
+namespace popp {
+namespace {
+
+/// Solves the dense linear system a x = b by Gaussian elimination with
+/// partial pivoting. Sizes here are 2^k x 2^k for small k.
+std::vector<double> SolveLinear(std::vector<std::vector<double>> a,
+                                std::vector<double> b) {
+  const size_t n = a.size();
+  for (size_t col = 0; col < n; ++col) {
+    size_t pivot = col;
+    for (size_t r = col + 1; r < n; ++r) {
+      if (std::fabs(a[r][col]) > std::fabs(a[pivot][col])) pivot = r;
+    }
+    POPP_CHECK_MSG(std::fabs(a[pivot][col]) > 1e-12,
+                   "singular distortion matrix (keep_prob too close to "
+                   "0.5?)");
+    std::swap(a[col], a[pivot]);
+    std::swap(b[col], b[pivot]);
+    for (size_t r = col + 1; r < n; ++r) {
+      const double factor = a[r][col] / a[col][col];
+      if (factor == 0.0) continue;
+      for (size_t c = col; c < n; ++c) a[r][c] -= factor * a[col][c];
+      b[r] -= factor * b[col];
+    }
+  }
+  std::vector<double> x(n);
+  for (size_t col = n; col-- > 0;) {
+    double sum = b[col];
+    for (size_t c = col + 1; c < n; ++c) sum -= a[col][c] * x[c];
+    x[col] = sum / a[col][col];
+  }
+  return x;
+}
+
+}  // namespace
+
+TransactionDb MaskDistort(const TransactionDb& db, const MaskOptions& options,
+                          Rng& rng) {
+  POPP_CHECK_MSG(options.keep_prob > 0.5 && options.keep_prob <= 1.0,
+                 "keep_prob must be in (0.5, 1]");
+  TransactionDb out(db.num_items());
+  std::vector<char> present(db.num_items());
+  for (const Transaction& t : db.transactions()) {
+    std::fill(present.begin(), present.end(), 0);
+    for (ItemId item : t) present[item] = 1;
+    Transaction released;
+    for (size_t item = 0; item < db.num_items(); ++item) {
+      const bool keep = rng.Bernoulli(options.keep_prob);
+      const bool bit = keep ? present[item] != 0 : present[item] == 0;
+      if (bit) released.push_back(static_cast<ItemId>(item));
+    }
+    out.Add(std::move(released));
+  }
+  return out;
+}
+
+double MaskEstimateSupport(const TransactionDb& distorted,
+                           const Transaction& itemset, double keep_prob) {
+  const size_t k = itemset.size();
+  POPP_CHECK_MSG(k >= 1 && k <= 10, "itemset size out of range");
+  const size_t patterns = size_t{1} << k;
+  const size_t n = distorted.NumTransactions();
+  POPP_CHECK(n > 0);
+
+  // Observed pattern counts over the itemset's columns.
+  std::vector<double> observed(patterns, 0.0);
+  for (const Transaction& t : distorted.transactions()) {
+    size_t mask = 0;
+    for (size_t i = 0; i < k; ++i) {
+      if (std::binary_search(t.begin(), t.end(), itemset[i])) {
+        mask |= size_t{1} << i;
+      }
+    }
+    observed[mask] += 1.0;
+  }
+
+  // Distortion matrix: T[obs][true] = prod_bits p^(same) (1-p)^(diff).
+  std::vector<std::vector<double>> transition(
+      patterns, std::vector<double>(patterns));
+  for (size_t obs = 0; obs < patterns; ++obs) {
+    for (size_t truth = 0; truth < patterns; ++truth) {
+      const size_t diff = obs ^ truth;
+      double prob = 1.0;
+      for (size_t i = 0; i < k; ++i) {
+        prob *= ((diff >> i) & 1u) ? (1.0 - keep_prob) : keep_prob;
+      }
+      transition[obs][truth] = prob;
+    }
+  }
+  const std::vector<double> estimated = SolveLinear(transition, observed);
+  return estimated[patterns - 1] / static_cast<double>(n);
+}
+
+double MaskBitRetention(const TransactionDb& original,
+                        const TransactionDb& distorted) {
+  POPP_CHECK(original.NumTransactions() == distorted.NumTransactions());
+  POPP_CHECK(original.num_items() == distorted.num_items());
+  size_t same = 0;
+  size_t total = 0;
+  std::vector<char> a(original.num_items()), b(original.num_items());
+  for (size_t t = 0; t < original.NumTransactions(); ++t) {
+    std::fill(a.begin(), a.end(), 0);
+    std::fill(b.begin(), b.end(), 0);
+    for (ItemId item : original.transaction(t)) a[item] = 1;
+    for (ItemId item : distorted.transaction(t)) b[item] = 1;
+    for (size_t i = 0; i < a.size(); ++i) {
+      same += a[i] == b[i];
+      ++total;
+    }
+  }
+  return total == 0 ? 0.0
+                    : static_cast<double>(same) / static_cast<double>(total);
+}
+
+std::vector<AssociationRule> MineRulesFromMasked(
+    const TransactionDb& distorted, const AprioriOptions& options,
+    double keep_prob) {
+  const size_t n = distorted.NumTransactions();
+  std::vector<AssociationRule> rules;
+  if (n == 0) return rules;
+
+  // Level-wise search over *estimated* supports.
+  std::map<Transaction, double> support;
+  std::vector<Transaction> level;
+  for (ItemId item = 0; item < distorted.num_items(); ++item) {
+    const double s = MaskEstimateSupport(distorted, {item}, keep_prob);
+    if (s >= options.min_support) {
+      support[{item}] = s;
+      level.push_back({item});
+    }
+  }
+  std::vector<Transaction> frequent = level;
+  for (size_t k = 2; k <= options.max_itemset_size && level.size() > 1;
+       ++k) {
+    std::vector<Transaction> next;
+    for (size_t i = 0; i < level.size(); ++i) {
+      for (size_t j = i + 1; j < level.size(); ++j) {
+        // Prefix join.
+        bool joinable = level[i].back() < level[j].back();
+        for (size_t b = 0; joinable && b + 1 < level[i].size(); ++b) {
+          joinable = level[i][b] == level[j][b];
+        }
+        if (!joinable) continue;
+        Transaction candidate = level[i];
+        candidate.push_back(level[j].back());
+        const double s =
+            MaskEstimateSupport(distorted, candidate, keep_prob);
+        if (s >= options.min_support) {
+          support[candidate] = s;
+          next.push_back(std::move(candidate));
+        }
+      }
+    }
+    frequent.insert(frequent.end(), next.begin(), next.end());
+    level = std::move(next);
+  }
+
+  for (const Transaction& itemset : frequent) {
+    const size_t k = itemset.size();
+    if (k < 2) continue;
+    const double whole = support.at(itemset);
+    for (uint32_t mask = 1; mask + 1 < (1u << k); ++mask) {
+      AssociationRule rule;
+      for (size_t i = 0; i < k; ++i) {
+        ((mask >> i) & 1u ? rule.antecedent : rule.consequent)
+            .push_back(itemset[i]);
+      }
+      const auto it = support.find(rule.antecedent);
+      if (it == support.end() || it->second <= 0.0) continue;
+      rule.support = whole;
+      rule.confidence = whole / it->second;
+      if (rule.confidence >= options.min_confidence) {
+        rules.push_back(std::move(rule));
+      }
+    }
+  }
+  std::sort(rules.begin(), rules.end(),
+            [](const AssociationRule& a, const AssociationRule& b) {
+              if (a.antecedent != b.antecedent) {
+                return a.antecedent < b.antecedent;
+              }
+              return a.consequent < b.consequent;
+            });
+  return rules;
+}
+
+RuleRecovery CompareRuleSets(const std::vector<AssociationRule>& reference,
+                             const std::vector<AssociationRule>& recovered) {
+  std::set<std::pair<Transaction, Transaction>> ref_keys;
+  for (const auto& rule : reference) {
+    ref_keys.emplace(rule.antecedent, rule.consequent);
+  }
+  size_t hits = 0;
+  std::set<std::pair<Transaction, Transaction>> rec_keys;
+  for (const auto& rule : recovered) {
+    rec_keys.emplace(rule.antecedent, rule.consequent);
+  }
+  for (const auto& key : rec_keys) {
+    if (ref_keys.count(key) > 0) ++hits;
+  }
+  RuleRecovery result;
+  result.reference_rules = ref_keys.size();
+  result.recovered_rules = rec_keys.size();
+  result.precision = rec_keys.empty() ? 0.0
+                                      : static_cast<double>(hits) /
+                                            static_cast<double>(
+                                                rec_keys.size());
+  result.recall = ref_keys.empty() ? 0.0
+                                   : static_cast<double>(hits) /
+                                         static_cast<double>(
+                                             ref_keys.size());
+  return result;
+}
+
+}  // namespace popp

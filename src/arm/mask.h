@@ -1,0 +1,62 @@
+#ifndef POPP_ARM_MASK_H_
+#define POPP_ARM_MASK_H_
+
+#include <vector>
+
+#include "arm/apriori.h"
+#include "arm/itemset.h"
+#include "util/rng.h"
+
+/// \file
+/// The MASK probabilistic-distortion baseline (Rizvi & Haritsa, VLDB 2002
+/// — the paper's reference [8]): every presence bit of the basket matrix
+/// is kept with probability p and flipped with probability 1-p. The miner
+/// then *estimates* true supports from the distorted data by inverting the
+/// per-itemset distortion matrix. Estimates carry variance, so the mining
+/// outcome changes — the contrast to item relabeling (relabel.h), which
+/// preserves it exactly.
+
+namespace popp {
+
+/// Distortion parameter: probability a bit is kept (p in the paper;
+/// 1-p is the flip probability).
+struct MaskOptions {
+  double keep_prob = 0.9;
+};
+
+/// Releases a MASK-distorted copy of `db`.
+TransactionDb MaskDistort(const TransactionDb& db, const MaskOptions& options,
+                          Rng& rng);
+
+/// MASK's unbiased support estimator for `itemset` (size <= 10): counts
+/// the 2^k observed presence patterns over the itemset's columns and
+/// inverts the distortion matrix. The estimate may be negative under
+/// sampling noise; it is NOT clamped so callers can see the variance.
+double MaskEstimateSupport(const TransactionDb& distorted,
+                           const Transaction& itemset, double keep_prob);
+
+/// Fraction of bits of the full presence matrix left unchanged (the
+/// baseline's per-entry disclosure surface).
+double MaskBitRetention(const TransactionDb& original,
+                        const TransactionDb& distorted);
+
+/// Level-wise rule mining over *estimated* supports — what the data
+/// collector actually gets from the MASK release.
+std::vector<AssociationRule> MineRulesFromMasked(
+    const TransactionDb& distorted, const AprioriOptions& options,
+    double keep_prob);
+
+/// Precision/recall of a recovered rule set against the reference rules
+/// (rules compared by antecedent/consequent only).
+struct RuleRecovery {
+  double precision = 0;
+  double recall = 0;
+  size_t reference_rules = 0;
+  size_t recovered_rules = 0;
+};
+RuleRecovery CompareRuleSets(const std::vector<AssociationRule>& reference,
+                             const std::vector<AssociationRule>& recovered);
+
+}  // namespace popp
+
+#endif  // POPP_ARM_MASK_H_

@@ -1,0 +1,63 @@
+#include "arm/relabel.h"
+
+#include <algorithm>
+
+#include "util/status.h"
+
+namespace popp {
+
+ItemRelabeling ItemRelabeling::Sample(size_t num_items, Rng& rng) {
+  POPP_CHECK(num_items > 0);
+  ItemRelabeling relabeling;
+  relabeling.forward_.resize(num_items);
+  for (size_t i = 0; i < num_items; ++i) {
+    relabeling.forward_[i] = static_cast<ItemId>(i);
+  }
+  rng.Shuffle(relabeling.forward_);
+  relabeling.backward_.resize(num_items);
+  for (size_t i = 0; i < num_items; ++i) {
+    relabeling.backward_[relabeling.forward_[i]] = static_cast<ItemId>(i);
+  }
+  return relabeling;
+}
+
+ItemId ItemRelabeling::Encode(ItemId item) const {
+  POPP_CHECK_MSG(item < forward_.size(), "item id out of range");
+  return forward_[item];
+}
+
+ItemId ItemRelabeling::Decode(ItemId item) const {
+  POPP_CHECK_MSG(item < backward_.size(), "item id out of range");
+  return backward_[item];
+}
+
+TransactionDb ItemRelabeling::EncodeDb(const TransactionDb& db) const {
+  POPP_CHECK(db.num_items() == forward_.size());
+  TransactionDb out(db.num_items());
+  for (const Transaction& t : db.transactions()) {
+    Transaction encoded;
+    encoded.reserve(t.size());
+    for (ItemId item : t) encoded.push_back(forward_[item]);
+    std::sort(encoded.begin(), encoded.end());
+    out.Add(std::move(encoded));
+  }
+  return out;
+}
+
+Transaction ItemRelabeling::DecodeItemset(const Transaction& itemset) const {
+  Transaction decoded;
+  decoded.reserve(itemset.size());
+  for (ItemId item : itemset) decoded.push_back(Decode(item));
+  std::sort(decoded.begin(), decoded.end());
+  return decoded;
+}
+
+AssociationRule ItemRelabeling::DecodeRule(
+    const AssociationRule& rule) const {
+  AssociationRule decoded = rule;
+  decoded.antecedent = DecodeItemset(rule.antecedent);
+  decoded.consequent = DecodeItemset(rule.consequent);
+  return decoded;
+}
+
+}  // namespace popp

@@ -1,0 +1,46 @@
+#ifndef POPP_ARM_RELABEL_H_
+#define POPP_ARM_RELABEL_H_
+
+#include <vector>
+
+#include "arm/apriori.h"
+#include "arm/itemset.h"
+#include "util/rng.h"
+
+/// \file
+/// Item relabeling: the association-rule analogue of the paper's
+/// custodian-scenario transformations. A random bijection over item ids
+/// is applied to every transaction before release; supports and
+/// confidences are invariant under any bijection, so the mining outcome
+/// is preserved *exactly* (pillar 1), while the released baskets hide the
+/// item identities (pillar 2) and the mined rules come back encoded and
+/// only the custodian can decode them (pillar 3). Contrast with the MASK
+/// distortion baseline (mask.h), which only estimates supports.
+
+namespace popp {
+
+/// A bijection over the item catalog.
+class ItemRelabeling {
+ public:
+  /// Samples a uniform random permutation of `num_items` ids.
+  static ItemRelabeling Sample(size_t num_items, Rng& rng);
+
+  size_t num_items() const { return forward_.size(); }
+  ItemId Encode(ItemId item) const;
+  ItemId Decode(ItemId item) const;
+
+  /// Encodes a whole database (per-transaction item sets stay sorted).
+  TransactionDb EncodeDb(const TransactionDb& db) const;
+
+  /// Decodes an itemset / a rule mined from the encoded database.
+  Transaction DecodeItemset(const Transaction& itemset) const;
+  AssociationRule DecodeRule(const AssociationRule& rule) const;
+
+ private:
+  std::vector<ItemId> forward_;   // original -> released
+  std::vector<ItemId> backward_;  // released -> original
+};
+
+}  // namespace popp
+
+#endif  // POPP_ARM_RELABEL_H_

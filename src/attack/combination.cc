@@ -1,0 +1,74 @@
+#include "attack/combination.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "util/status.h"
+
+namespace popp {
+
+double VennCounts::UnionRisk() const {
+  if (total == 0) return 0.0;
+  return static_cast<double>(Union()) / static_cast<double>(total);
+}
+
+double VennCounts::ExpectedRisk() const {
+  if (total == 0) return 0.0;
+  const size_t weighted = (only_a + only_b + only_c) * 1 +
+                          (ab + ac + bc) * 2 + abc * 3;
+  return static_cast<double>(weighted) / (3.0 * static_cast<double>(total));
+}
+
+double VennCounts::MajorityRisk() const {
+  if (total == 0) return 0.0;
+  return static_cast<double>(ab + ac + bc + abc) /
+         static_cast<double>(total);
+}
+
+std::string VennCounts::ToString(const std::string& name_a,
+                                 const std::string& name_b,
+                                 const std::string& name_c) const {
+  auto pct = [&](size_t count) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%5.1f%%",
+                  total == 0 ? 0.0
+                             : 100.0 * static_cast<double>(count) /
+                                   static_cast<double>(total));
+    return std::string(buf);
+  };
+  std::ostringstream oss;
+  oss << "only " << name_a << ":          " << pct(only_a) << "\n"
+      << "only " << name_b << ":          " << pct(only_b) << "\n"
+      << "only " << name_c << ":          " << pct(only_c) << "\n"
+      << name_a << " & " << name_b << " only:    " << pct(ab) << "\n"
+      << name_a << " & " << name_c << " only:    " << pct(ac) << "\n"
+      << name_b << " & " << name_c << " only:    " << pct(bc) << "\n"
+      << "all three:              " << pct(abc) << "\n"
+      << "none:                   " << pct(none) << "\n";
+  return oss.str();
+}
+
+VennCounts CombineCrackSets(const std::vector<bool>& a,
+                            const std::vector<bool>& b,
+                            const std::vector<bool>& c) {
+  POPP_CHECK_MSG(a.size() == b.size() && b.size() == c.size(),
+                 "crack sets must be aligned");
+  VennCounts v;
+  v.total = a.size();
+  for (size_t i = 0; i < a.size(); ++i) {
+    const int mask = (a[i] ? 4 : 0) | (b[i] ? 2 : 0) | (c[i] ? 1 : 0);
+    switch (mask) {
+      case 0: v.none++; break;
+      case 1: v.only_c++; break;
+      case 2: v.only_b++; break;
+      case 3: v.bc++; break;
+      case 4: v.only_a++; break;
+      case 5: v.ac++; break;
+      case 6: v.ab++; break;
+      case 7: v.abc++; break;
+    }
+  }
+  return v;
+}
+
+}  // namespace popp

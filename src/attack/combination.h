@@ -1,0 +1,57 @@
+#ifndef POPP_ATTACK_COMBINATION_H_
+#define POPP_ATTACK_COMBINATION_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+/// \file
+/// The combination attack (paper Section 6.2.2 and Figure 10): the hacker
+/// mounts all three curve-fitting attacks and combines their verdicts.
+/// The Venn decomposition of the per-value crack sets quantifies how much
+/// the attacks overlap; the paper's two aggregate measures are the
+/// expected risk (the hacker trusts the three models equally and each
+/// value cracked by k of 3 models is revealed with probability k/3) and
+/// the majority risk (count a value only when >= 2 models agree it).
+
+namespace popp {
+
+/// Venn region counts for three crack sets A, B, C over `total` items.
+struct VennCounts {
+  size_t only_a = 0;
+  size_t only_b = 0;
+  size_t only_c = 0;
+  size_t ab = 0;   ///< in A and B but not C
+  size_t ac = 0;
+  size_t bc = 0;
+  size_t abc = 0;
+  size_t none = 0;
+  size_t total = 0;
+
+  size_t InA() const { return only_a + ab + ac + abc; }
+  size_t InB() const { return only_b + ab + bc + abc; }
+  size_t InC() const { return only_c + ac + bc + abc; }
+  size_t Union() const { return total - none; }
+
+  /// Fraction cracked by at least one model (the 25%-style over-estimate).
+  double UnionRisk() const;
+  /// Expected fraction revealed when the hacker picks one model's answer
+  /// uniformly at random per value: sum_i k_i / (3 * total).
+  double ExpectedRisk() const;
+  /// Fraction of values at least two models agree on.
+  double MajorityRisk() const;
+
+  /// Multi-line rendering of all seven regions as percentages.
+  std::string ToString(const std::string& name_a, const std::string& name_b,
+                       const std::string& name_c) const;
+};
+
+/// Builds Venn counts from three aligned per-item crack indicators
+/// (all vectors must have equal length).
+VennCounts CombineCrackSets(const std::vector<bool>& a,
+                            const std::vector<bool>& b,
+                            const std::vector<bool>& c);
+
+}  // namespace popp
+
+#endif  // POPP_ATTACK_COMBINATION_H_

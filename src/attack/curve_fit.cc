@@ -1,0 +1,241 @@
+#include "attack/curve_fit.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/status.h"
+
+namespace popp {
+namespace {
+
+/// Sorts by transformed value and merges duplicate x's (averaging y).
+std::vector<KnowledgePoint> Normalize(std::vector<KnowledgePoint> points) {
+  std::sort(points.begin(), points.end(),
+            [](const KnowledgePoint& a, const KnowledgePoint& b) {
+              return a.transformed < b.transformed;
+            });
+  std::vector<KnowledgePoint> out;
+  size_t i = 0;
+  while (i < points.size()) {
+    const AttrValue x = points[i].transformed;
+    double sum = 0.0;
+    size_t count = 0;
+    while (i < points.size() && points[i].transformed == x) {
+      sum += points[i].guessed_original;
+      ++count;
+      ++i;
+    }
+    out.push_back({x, sum / static_cast<double>(count)});
+  }
+  return out;
+}
+
+class IdentityCrack : public CrackFunction {
+ public:
+  AttrValue Guess(AttrValue transformed) const override {
+    return transformed;
+  }
+  std::string Name() const override { return "identity"; }
+};
+
+class ConstantCrack : public CrackFunction {
+ public:
+  explicit ConstantCrack(AttrValue value) : value_(value) {}
+  AttrValue Guess(AttrValue) const override { return value_; }
+  std::string Name() const override { return "constant"; }
+
+ private:
+  AttrValue value_;
+};
+
+class LinearCrack : public CrackFunction {
+ public:
+  LinearCrack(double slope, double intercept, std::string name)
+      : slope_(slope), intercept_(intercept), name_(std::move(name)) {}
+  AttrValue Guess(AttrValue transformed) const override {
+    return slope_ * transformed + intercept_;
+  }
+  std::string Name() const override { return name_; }
+
+ private:
+  double slope_;
+  double intercept_;
+  std::string name_;
+};
+
+/// Piecewise-linear interpolation through the points; beyond the ends the
+/// first/last segment is extended.
+class PolylineCrack : public CrackFunction {
+ public:
+  explicit PolylineCrack(std::vector<KnowledgePoint> points)
+      : points_(std::move(points)) {
+    POPP_CHECK(points_.size() >= 2);
+  }
+
+  AttrValue Guess(AttrValue x) const override {
+    size_t hi = 1;
+    while (hi + 1 < points_.size() && points_[hi].transformed < x) ++hi;
+    const auto& a = points_[hi - 1];
+    const auto& b = points_[hi];
+    const double t =
+        (x - a.transformed) / (b.transformed - a.transformed);
+    return a.guessed_original + t * (b.guessed_original - a.guessed_original);
+  }
+  std::string Name() const override { return "polyline"; }
+
+ private:
+  std::vector<KnowledgePoint> points_;
+};
+
+/// Natural cubic spline through the points (second derivative zero at both
+/// ends); linear extrapolation with the boundary slope outside the hull.
+class SplineCrack : public CrackFunction {
+ public:
+  explicit SplineCrack(std::vector<KnowledgePoint> points)
+      : points_(std::move(points)) {
+    const size_t n = points_.size();
+    POPP_CHECK(n >= 3);
+    // Solve the tridiagonal system for the second derivatives m_i
+    // (Thomas algorithm), with natural boundary m_0 = m_{n-1} = 0.
+    std::vector<double> h(n - 1);
+    for (size_t i = 0; i + 1 < n; ++i) {
+      h[i] = points_[i + 1].transformed - points_[i].transformed;
+      POPP_CHECK(h[i] > 0.0);
+    }
+    m_.assign(n, 0.0);
+    if (n > 2) {
+      const size_t k = n - 2;  // interior unknowns m_1..m_{n-2}
+      std::vector<double> diag(k), rhs(k), upper(k);
+      for (size_t i = 0; i < k; ++i) {
+        const size_t j = i + 1;  // global index
+        diag[i] = 2.0 * (h[j - 1] + h[j]);
+        upper[i] = h[j];
+        const double d1 = (points_[j + 1].guessed_original -
+                           points_[j].guessed_original) /
+                          h[j];
+        const double d0 = (points_[j].guessed_original -
+                           points_[j - 1].guessed_original) /
+                          h[j - 1];
+        rhs[i] = 6.0 * (d1 - d0);
+      }
+      // Forward elimination (lower diagonal equals h[j-1]).
+      for (size_t i = 1; i < k; ++i) {
+        const double w = h[i] / diag[i - 1];
+        diag[i] -= w * upper[i - 1];
+        rhs[i] -= w * rhs[i - 1];
+      }
+      // Back substitution.
+      m_[k] = rhs[k - 1] / diag[k - 1];
+      for (size_t i = k - 1; i >= 1; --i) {
+        m_[i] = (rhs[i - 1] - upper[i - 1] * m_[i + 1]) / diag[i - 1];
+      }
+    }
+  }
+
+  AttrValue Guess(AttrValue x) const override {
+    const size_t n = points_.size();
+    if (x <= points_.front().transformed) {
+      return points_.front().guessed_original +
+             BoundarySlope(0) * (x - points_.front().transformed);
+    }
+    if (x >= points_.back().transformed) {
+      return points_.back().guessed_original +
+             BoundarySlope(n - 2) * (x - points_.back().transformed);
+    }
+    size_t i = 0;
+    while (i + 2 < n && points_[i + 1].transformed < x) ++i;
+    const double h = points_[i + 1].transformed - points_[i].transformed;
+    const double a = (points_[i + 1].transformed - x) / h;
+    const double b = (x - points_[i].transformed) / h;
+    return a * points_[i].guessed_original +
+           b * points_[i + 1].guessed_original +
+           ((a * a * a - a) * m_[i] + (b * b * b - b) * m_[i + 1]) *
+               (h * h) / 6.0;
+  }
+  std::string Name() const override { return "spline"; }
+
+ private:
+  /// Spline slope at the left end of segment i.
+  double BoundarySlope(size_t i) const {
+    const double h = points_[i + 1].transformed - points_[i].transformed;
+    const double dy =
+        (points_[i + 1].guessed_original - points_[i].guessed_original) / h;
+    // Derivative of the cubic at the segment ends.
+    if (i == 0) {
+      return dy - h / 6.0 * (2.0 * m_[i] + m_[i + 1]);
+    }
+    return dy + h / 6.0 * (m_[i] + 2.0 * m_[i + 1]);
+  }
+
+  std::vector<KnowledgePoint> points_;
+  std::vector<double> m_;  // second derivatives at the points
+};
+
+std::unique_ptr<CrackFunction> FitRegression(
+    const std::vector<KnowledgePoint>& points) {
+  const size_t n = points.size();
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  for (const auto& p : points) {
+    sx += p.transformed;
+    sy += p.guessed_original;
+    sxx += p.transformed * p.transformed;
+    sxy += p.transformed * p.guessed_original;
+  }
+  const double denom = static_cast<double>(n) * sxx - sx * sx;
+  if (denom == 0.0) {
+    return std::make_unique<ConstantCrack>(sy / static_cast<double>(n));
+  }
+  const double slope = (static_cast<double>(n) * sxy - sx * sy) / denom;
+  const double intercept = (sy - slope * sx) / static_cast<double>(n);
+  return std::make_unique<LinearCrack>(slope, intercept, "regression");
+}
+
+}  // namespace
+
+std::string ToString(FitMethod method) {
+  switch (method) {
+    case FitMethod::kLinearRegression:
+      return "regression";
+    case FitMethod::kPolyline:
+      return "polyline";
+    case FitMethod::kSpline:
+      return "spline";
+  }
+  return "?";
+}
+
+std::unique_ptr<CrackFunction> MakeIdentityCrack() {
+  return std::make_unique<IdentityCrack>();
+}
+
+std::unique_ptr<CrackFunction> FitCurve(FitMethod method,
+                                        std::vector<KnowledgePoint> points) {
+  std::vector<KnowledgePoint> pts = Normalize(std::move(points));
+  if (pts.empty()) {
+    return MakeIdentityCrack();
+  }
+  if (pts.size() == 1) {
+    return std::make_unique<ConstantCrack>(pts[0].guessed_original);
+  }
+  switch (method) {
+    case FitMethod::kLinearRegression:
+      return FitRegression(pts);
+    case FitMethod::kPolyline:
+      return std::make_unique<PolylineCrack>(std::move(pts));
+    case FitMethod::kSpline:
+      if (pts.size() == 2) {
+        // Two points: the natural spline degenerates to their chord.
+        const double slope =
+            (pts[1].guessed_original - pts[0].guessed_original) /
+            (pts[1].transformed - pts[0].transformed);
+        const double intercept =
+            pts[0].guessed_original - slope * pts[0].transformed;
+        return std::make_unique<LinearCrack>(slope, intercept, "spline");
+      }
+      return std::make_unique<SplineCrack>(std::move(pts));
+  }
+  POPP_CHECK_MSG(false, "unknown fit method");
+  return nullptr;
+}
+
+}  // namespace popp

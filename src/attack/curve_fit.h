@@ -1,0 +1,51 @@
+#ifndef POPP_ATTACK_CURVE_FIT_H_
+#define POPP_ATTACK_CURVE_FIT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "attack/knowledge.h"
+#include "data/value.h"
+
+/// \file
+/// Curve-fitting attacks (paper Definition 5 and Section 6.1): the hacker
+/// fits a crack function g : delta'(A) -> delta(A) through his knowledge
+/// points and applies it to every released value. Three fitting methods,
+/// as in the paper: least-squares regression line, polyline (piecewise
+/// linear through the points), and a natural cubic spline.
+
+namespace popp {
+
+/// The hacker's guess function g (Definition 1's "domain crack function").
+class CrackFunction {
+ public:
+  virtual ~CrackFunction() = default;
+  /// The hacker's guessed original for a released (transformed) value.
+  virtual AttrValue Guess(AttrValue transformed) const = 0;
+  virtual std::string Name() const = 0;
+};
+
+/// Curve-fitting method selector.
+enum class FitMethod {
+  kLinearRegression,
+  kPolyline,
+  kSpline,
+};
+
+/// Returns "regression", "polyline" or "spline".
+std::string ToString(FitMethod method);
+
+/// The ignorant hacker's only move: take released values at face value
+/// (g = identity). Its success measures how "realistic" D' looks.
+std::unique_ptr<CrackFunction> MakeIdentityCrack();
+
+/// Fits `method` through the knowledge points. Degenerate inputs degrade
+/// gracefully: 0 points -> identity, 1 point -> constant, collinear /
+/// duplicate-x points are deduplicated (averaging their guesses).
+std::unique_ptr<CrackFunction> FitCurve(FitMethod method,
+                                        std::vector<KnowledgePoint> points);
+
+}  // namespace popp
+
+#endif  // POPP_ATTACK_CURVE_FIT_H_

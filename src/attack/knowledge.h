@@ -1,0 +1,68 @@
+#ifndef POPP_ATTACK_KNOWLEDGE_H_
+#define POPP_ATTACK_KNOWLEDGE_H_
+
+#include <string>
+#include <vector>
+
+#include "data/summary.h"
+#include "transform/piecewise.h"
+#include "util/rng.h"
+
+/// \file
+/// Hacker prior knowledge, modeled as knowledge points (paper Definition 4
+/// and Section 6.1).
+///
+/// A knowledge point pairs a transformed value nu' with the hacker's guess
+/// nu for its original. A *good* KP has |nu - f^{-1}(nu')| <= rho; a *bad*
+/// KP (a prior the hacker wrongly trusts) is off by more than 5 rho. The
+/// paper's hacker tiers: ignorant (0 KPs), knowledgeable (2), expert (4),
+/// insider (8).
+
+namespace popp {
+
+/// One knowledge point (nu, nu') in Definition 4's sense, stored as
+/// (transformed, guessed-original).
+struct KnowledgePoint {
+  AttrValue transformed = 0;
+  AttrValue guessed_original = 0;
+};
+
+/// The paper's named hacker tiers; the value is the good-KP count.
+enum class HackerProfile {
+  kIgnorant = 0,
+  kKnowledgeable = 2,
+  kExpert = 4,
+  kInsider = 8,
+};
+
+/// Returns "ignorant", "knowledgeable", "expert" or "insider".
+std::string ToString(HackerProfile profile);
+
+/// Number of good knowledge points a profile carries.
+size_t GoodKpCount(HackerProfile profile);
+
+/// Parameters for sampling knowledge points.
+struct KnowledgeOptions {
+  size_t num_good = 4;
+  size_t num_bad = 0;
+  /// rho as a fraction of the attribute's dynamic-range width (the paper
+  /// uses 1%, 2% and 5%).
+  double radius_fraction = 0.02;
+};
+
+/// The absolute crack radius rho for an attribute: radius_fraction times
+/// the width of its original dynamic range.
+double CrackRadius(const AttributeSummary& original, double radius_fraction);
+
+/// Samples knowledge points against one attribute's transformation.
+///
+/// Locations are uniform over the distinct values (Section 6.1); a good KP
+/// guesses the true original within +-rho, a bad KP misses by a uniform
+/// offset in (5 rho, 15 rho] on a random side.
+std::vector<KnowledgePoint> SampleKnowledgePoints(
+    const AttributeSummary& original, const PiecewiseTransform& transform,
+    const KnowledgeOptions& options, Rng& rng);
+
+}  // namespace popp
+
+#endif  // POPP_ATTACK_KNOWLEDGE_H_

@@ -1,0 +1,68 @@
+#include "attack/quantile_attack.h"
+
+#include <algorithm>
+
+#include "risk/domain_risk.h"
+#include "util/status.h"
+
+namespace popp {
+
+QuantileMatchingCrack::QuantileMatchingCrack(
+    std::vector<AttrValue> released_values,
+    std::vector<AttrValue> reference_values)
+    : released_sorted_(std::move(released_values)),
+      reference_sorted_(std::move(reference_values)) {
+  POPP_CHECK_MSG(!released_sorted_.empty(), "no released values");
+  POPP_CHECK_MSG(!reference_sorted_.empty(), "no reference values");
+  std::sort(released_sorted_.begin(), released_sorted_.end());
+  std::sort(reference_sorted_.begin(), reference_sorted_.end());
+}
+
+AttrValue QuantileMatchingCrack::Guess(AttrValue released) const {
+  // Rank of the released value among the released distinct values.
+  const auto it = std::lower_bound(released_sorted_.begin(),
+                                   released_sorted_.end(), released);
+  const size_t rank = static_cast<size_t>(it - released_sorted_.begin());
+  const double q =
+      released_sorted_.size() == 1
+          ? 0.0
+          : static_cast<double>(std::min(rank, released_sorted_.size() - 1)) /
+                static_cast<double>(released_sorted_.size() - 1);
+  // The same quantile of the reference sample, linearly interpolated.
+  const double pos = q * static_cast<double>(reference_sorted_.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const size_t hi = std::min(lo + 1, reference_sorted_.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return reference_sorted_[lo] * (1.0 - frac) +
+         reference_sorted_[hi] * frac;
+}
+
+double QuantileAttackRisk(const AttributeSummary& original,
+                          const PiecewiseTransform& transform,
+                          size_t reference_size, double reference_noise,
+                          double rho, Rng& rng) {
+  POPP_CHECK(reference_size > 0);
+  POPP_CHECK(!original.empty());
+
+  // The rival's sample: original values re-sampled with displacement.
+  std::vector<AttrValue> reference(reference_size);
+  const int64_t n = static_cast<int64_t>(original.NumDistinct());
+  for (auto& v : reference) {
+    const AttrValue base =
+        original.ValueAt(static_cast<size_t>(rng.UniformInt(0, n - 1)));
+    v = reference_noise > 0.0
+            ? base + rng.Uniform(-reference_noise, reference_noise)
+            : base;
+  }
+
+  std::vector<AttrValue> released;
+  released.reserve(original.NumDistinct());
+  for (AttrValue v : original.values()) {
+    released.push_back(transform.Apply(v));
+  }
+  const QuantileMatchingCrack crack(std::move(released),
+                                    std::move(reference));
+  return DomainDisclosureRisk(original, transform, crack, rho).risk;
+}
+
+}  // namespace popp

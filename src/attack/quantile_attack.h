@@ -1,0 +1,55 @@
+#ifndef POPP_ATTACK_QUANTILE_ATTACK_H_
+#define POPP_ATTACK_QUANTILE_ATTACK_H_
+
+#include <vector>
+
+#include "attack/curve_fit.h"
+#include "data/summary.h"
+#include "transform/piecewise.h"
+
+/// \file
+/// The quantile-matching attack: Section 3.3 lists "samples of similar
+/// data (e.g., a rival company having data similar to D)" among the
+/// hacker's priors. A hacker holding such a reference sample does not
+/// need the true min/max — he sorts the released values and maps the
+/// r-th released quantile onto the r-th quantile of his reference sample,
+/// upgrading the sorting attack from "assume a contiguous integer domain"
+/// to "assume my population looks like theirs".
+///
+/// Like the sorting attack, it is defeated by monochromatic pieces (which
+/// scramble the released ranks) and blunted by how much the reference
+/// sample differs from D.
+
+namespace popp {
+
+/// A crack function that maps released ranks onto reference quantiles.
+class QuantileMatchingCrack : public CrackFunction {
+ public:
+  /// `released_values`: the distinct values the hacker observes in D'
+  /// (any order). `reference_values`: the hacker's own sample of a
+  /// similar population (any order, any size >= 1).
+  QuantileMatchingCrack(std::vector<AttrValue> released_values,
+                        std::vector<AttrValue> reference_values);
+
+  AttrValue Guess(AttrValue released) const override;
+  std::string Name() const override { return "quantile-match"; }
+
+ private:
+  std::vector<AttrValue> released_sorted_;
+  std::vector<AttrValue> reference_sorted_;
+};
+
+/// Convenience: mounts the attack against one attribute. The reference
+/// sample is drawn by perturbing a fraction of D's own values (a rival's
+/// data is similar, not identical): each reference point is a random
+/// original value displaced by a centered uniform of half-width
+/// `reference_noise` (in value units). Returns the domain-disclosure risk
+/// at radius rho.
+double QuantileAttackRisk(const AttributeSummary& original,
+                          const PiecewiseTransform& transform,
+                          size_t reference_size, double reference_noise,
+                          double rho, Rng& rng);
+
+}  // namespace popp
+
+#endif  // POPP_ATTACK_QUANTILE_ATTACK_H_

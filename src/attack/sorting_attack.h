@@ -1,0 +1,61 @@
+#ifndef POPP_ATTACK_SORTING_ATTACK_H_
+#define POPP_ATTACK_SORTING_ATTACK_H_
+
+#include <vector>
+
+#include "data/summary.h"
+#include "transform/piecewise.h"
+
+/// \file
+/// The sorting attack (paper Sections 3.3 and 5.4): the hacker sorts the
+/// released distinct values and maps them, in order, onto his assumed
+/// original domain. In the worst case the hacker knows the true minimum
+/// and maximum of the dynamic range (the setting of Figure 11).
+///
+/// Discontinuities (integer grid points with no tuple) are the defense:
+/// they make the rank-to-value mapping drift, and the analytic crack
+/// probability of Section 5.4 — |R_g intersect R_rho| / |R_g| — shrinks as
+/// the feasible range R_g widens.
+
+namespace popp {
+
+/// Rank-spread guesses: the i-th smallest released value is guessed to be
+///   assumed_min + round(i * (assumed_max - assumed_min) / (n - 1)),
+/// i.e. the released order mapped evenly onto the assumed integer domain.
+/// Returns guesses aligned with the *domain order* of `original`'s values
+/// (the i-th guess targets the i-th smallest ORIGINAL value when the
+/// transform is order-preserving; in general alignment goes through the
+/// released order — see SortingAttackRisk).
+std::vector<AttrValue> SortingAttackGuesses(size_t num_values,
+                                            AttrValue assumed_min,
+                                            AttrValue assumed_max);
+
+/// Result of a sorting attack over one attribute.
+struct SortingRiskResult {
+  double risk = 0;     ///< crack fraction (deterministic rank-spread guess)
+  double analytic = 0; ///< mean of the Section 5.4 crack probability
+  size_t cracks = 0;
+  size_t total = 0;
+};
+
+/// Mounts the worst-case sorting attack: the hacker knows assumed_min and
+/// assumed_max equal the true dynamic range of `original`, sorts the
+/// images under `transform`, and rank-maps them onto the integer domain.
+/// A released value cracks when the guess lands within `rho` of its true
+/// original. Also reports the analytic expected crack probability (hacker
+/// guessing uniformly within each value's rank-feasible range R_g).
+SortingRiskResult SortingAttackRisk(const AttributeSummary& original,
+                                    const PiecewiseTransform& transform,
+                                    double rho);
+
+/// Section 5.4's crack probability for one value: the hacker knows the
+/// value's rank (k values below, m above) within the assumed domain
+/// [dmin, dmax], so the feasible range is R_g = [dmin + k, dmax - m];
+/// returns |R_g intersect [truth - rho, truth + rho]| / |R_g| using
+/// integer-slot counting.
+double RankCrackProbability(AttrValue dmin, AttrValue dmax, size_t below,
+                            size_t above, AttrValue truth, double rho);
+
+}  // namespace popp
+
+#endif  // POPP_ATTACK_SORTING_ATTACK_H_

@@ -1,0 +1,192 @@
+#include "attack/spectral.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/status.h"
+
+namespace popp {
+
+EigenResult SymmetricEigen(std::vector<std::vector<double>> a,
+                           size_t max_sweeps) {
+  const size_t n = a.size();
+  POPP_CHECK(n > 0);
+  for (const auto& row : a) {
+    POPP_CHECK_MSG(row.size() == n, "matrix must be square");
+  }
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      POPP_CHECK_MSG(std::fabs(a[i][j] - a[j][i]) <=
+                         1e-9 * (1.0 + std::fabs(a[i][j])),
+                     "matrix must be symmetric");
+    }
+  }
+
+  // v starts as identity; accumulates the rotations.
+  std::vector<std::vector<double>> v(n, std::vector<double>(n, 0.0));
+  for (size_t i = 0; i < n; ++i) v[i][i] = 1.0;
+
+  for (size_t sweep = 0; sweep < max_sweeps; ++sweep) {
+    double off = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = i + 1; j < n; ++j) off += a[i][j] * a[i][j];
+    }
+    if (off < 1e-24) break;
+    for (size_t p = 0; p < n; ++p) {
+      for (size_t q = p + 1; q < n; ++q) {
+        if (std::fabs(a[p][q]) < 1e-18) continue;
+        const double theta = (a[q][q] - a[p][p]) / (2.0 * a[p][q]);
+        const double t = (theta >= 0 ? 1.0 : -1.0) /
+                         (std::fabs(theta) +
+                          std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+        // Rotate rows/columns p and q of a.
+        for (size_t k = 0; k < n; ++k) {
+          const double akp = a[k][p];
+          const double akq = a[k][q];
+          a[k][p] = c * akp - s * akq;
+          a[k][q] = s * akp + c * akq;
+        }
+        for (size_t k = 0; k < n; ++k) {
+          const double apk = a[p][k];
+          const double aqk = a[q][k];
+          a[p][k] = c * apk - s * aqk;
+          a[q][k] = s * apk + c * aqk;
+        }
+        // Accumulate into v (columns are eigenvectors).
+        for (size_t k = 0; k < n; ++k) {
+          const double vkp = v[k][p];
+          const double vkq = v[k][q];
+          v[k][p] = c * vkp - s * vkq;
+          v[k][q] = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  // Extract and sort by eigenvalue, descending.
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](size_t x, size_t y) { return a[x][x] > a[y][y]; });
+  EigenResult result;
+  result.values.reserve(n);
+  result.vectors.reserve(n);
+  for (size_t idx : order) {
+    result.values.push_back(a[idx][idx]);
+    std::vector<double> vec(n);
+    for (size_t k = 0; k < n; ++k) vec[k] = v[k][idx];
+    result.vectors.push_back(std::move(vec));
+  }
+  return result;
+}
+
+std::vector<std::vector<double>> CovarianceMatrix(const Dataset& data) {
+  const size_t n = data.NumRows();
+  const size_t m = data.NumAttributes();
+  POPP_CHECK(n > 1 && m > 0);
+  std::vector<double> mean(m, 0.0);
+  for (size_t a = 0; a < m; ++a) {
+    for (double v : data.Column(a)) mean[a] += v;
+    mean[a] /= static_cast<double>(n);
+  }
+  std::vector<std::vector<double>> cov(m, std::vector<double>(m, 0.0));
+  for (size_t i = 0; i < m; ++i) {
+    const auto& ci = data.Column(i);
+    for (size_t j = i; j < m; ++j) {
+      const auto& cj = data.Column(j);
+      double sum = 0.0;
+      for (size_t r = 0; r < n; ++r) {
+        sum += (ci[r] - mean[i]) * (cj[r] - mean[j]);
+      }
+      cov[i][j] = cov[j][i] = sum / static_cast<double>(n - 1);
+    }
+  }
+  return cov;
+}
+
+Dataset SpectralNoiseFilter(const Dataset& perturbed,
+                            const SpectralFilterOptions& options) {
+  const size_t n = perturbed.NumRows();
+  const size_t m = perturbed.NumAttributes();
+  POPP_CHECK_MSG(options.noise_stddev.size() == m,
+                 "need one noise stddev per attribute");
+  for (double s : options.noise_stddev) {
+    POPP_CHECK_MSG(s > 0.0, "noise stddev must be positive");
+  }
+
+  // Column means (for centering) and whitened covariance: scaling each
+  // column by 1/sigma makes the additive noise isotropic with unit
+  // variance, so its eigenvalue floor is 1.
+  std::vector<double> mean(m, 0.0);
+  for (size_t a = 0; a < m; ++a) {
+    for (double v : perturbed.Column(a)) mean[a] += v;
+    mean[a] /= static_cast<double>(n);
+  }
+  Dataset whitened = perturbed;
+  for (size_t a = 0; a < m; ++a) {
+    auto& col = whitened.MutableColumn(a);
+    for (auto& v : col) {
+      v = (v - mean[a]) / options.noise_stddev[a];
+    }
+  }
+  const EigenResult eig = SymmetricEigen(CovarianceMatrix(whitened));
+
+  // Signal components with Wiener shrinkage (lambda - 1)/lambda: the
+  // optimal linear attenuation of a component carrying unit noise.
+  std::vector<size_t> kept;
+  std::vector<double> gain;
+  for (size_t i = 0; i < eig.values.size(); ++i) {
+    if (eig.values[i] > options.eigenvalue_threshold) {
+      kept.push_back(i);
+      gain.push_back((eig.values[i] - 1.0) / eig.values[i]);
+    }
+  }
+
+  Dataset filtered = perturbed;
+  std::vector<double> z(m), projected(m);
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t a = 0; a < m; ++a) z[a] = whitened.Value(r, a);
+    std::fill(projected.begin(), projected.end(), 0.0);
+    for (size_t k = 0; k < kept.size(); ++k) {
+      const auto& vec = eig.vectors[kept[k]];
+      double coord = 0.0;
+      for (size_t a = 0; a < m; ++a) coord += vec[a] * z[a];
+      coord *= gain[k];
+      for (size_t a = 0; a < m; ++a) projected[a] += coord * vec[a];
+    }
+    for (size_t a = 0; a < m; ++a) {
+      filtered.SetValue(r, a,
+                        mean[a] + projected[a] * options.noise_stddev[a]);
+    }
+  }
+  return filtered;
+}
+
+double MeanAbsoluteError(const Dataset& a, const Dataset& b, size_t attr) {
+  POPP_CHECK(a.NumRows() == b.NumRows());
+  if (a.NumRows() == 0) return 0.0;
+  double sum = 0.0;
+  for (size_t r = 0; r < a.NumRows(); ++r) {
+    sum += std::fabs(a.Value(r, attr) - b.Value(r, attr));
+  }
+  return sum / static_cast<double>(a.NumRows());
+}
+
+double CrackFraction(const Dataset& original, const Dataset& guess,
+                     size_t attr, double rho) {
+  POPP_CHECK(original.NumRows() == guess.NumRows());
+  if (original.NumRows() == 0) return 0.0;
+  size_t cracks = 0;
+  for (size_t r = 0; r < original.NumRows(); ++r) {
+    if (std::fabs(original.Value(r, attr) - guess.Value(r, attr)) <= rho) {
+      ++cracks;
+    }
+  }
+  return static_cast<double>(cracks) /
+         static_cast<double>(original.NumRows());
+}
+
+}  // namespace popp

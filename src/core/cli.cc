@@ -1,0 +1,306 @@
+#include "core/cli.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+#include <optional>
+
+#include "core/custodian.h"
+#include "core/recipe.h"
+#include "core/report.h"
+#include "data/csv.h"
+#include "transform/serialize.h"
+#include "transform/tree_decode.h"
+#include "tree/builder.h"
+#include "tree/compare.h"
+#include "tree/prune.h"
+#include "tree/serialize.h"
+
+namespace popp {
+namespace {
+
+constexpr char kUsage[] =
+    "usage: popp <command> [args]\n"
+    "\n"
+    "custodian commands:\n"
+    "  encode <in.csv> <out.csv> <key.out> [--seed N] [--policy "
+    "none|bp|maxmp]\n"
+    "         [--breakpoints W] [--anti]\n"
+    "  decode <tree.in> <key> <original.csv> <tree.out>\n"
+    "  verify <original.csv> [--seed N]\n"
+    "  report <data.csv> [--trials N] [--seed N]\n"
+    "  harden <data.csv> [--max-risk PCT] [--trials N] [--seed N]\n"
+    "\n"
+    "provider commands:\n"
+    "  mine <data.csv> <tree.out> [--criterion gini|entropy|gainratio]\n"
+    "       [--prune] [--max-depth D] [--min-leaf N]\n";
+
+/// Splits `args` into positional arguments and --flag[=value] options
+/// (flags may also take their value as the next token).
+struct ParsedArgs {
+  std::vector<std::string> positional;
+  std::map<std::string, std::string> flags;  // name (no dashes) -> value
+};
+
+ParsedArgs Parse(const std::vector<std::string>& args,
+                 const std::vector<std::string>& value_flags) {
+  ParsedArgs parsed;
+  for (size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (arg.rfind("--", 0) != 0) {
+      parsed.positional.push_back(arg);
+      continue;
+    }
+    std::string name = arg.substr(2);
+    std::string value;
+    const size_t eq = name.find('=');
+    if (eq != std::string::npos) {
+      value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+    } else if (std::find(value_flags.begin(), value_flags.end(), name) !=
+                   value_flags.end() &&
+               i + 1 < args.size()) {
+      value = args[++i];
+    }
+    parsed.flags[name] = value;
+  }
+  return parsed;
+}
+
+uint64_t FlagInt(const ParsedArgs& args, const std::string& name,
+                 uint64_t fallback) {
+  auto it = args.flags.find(name);
+  if (it == args.flags.end() || it->second.empty()) return fallback;
+  return std::strtoull(it->second.c_str(), nullptr, 10);
+}
+
+std::optional<PiecewiseOptions> TransformFlags(const ParsedArgs& args,
+                                               std::ostream& err) {
+  PiecewiseOptions options;
+  auto it = args.flags.find("policy");
+  if (it != args.flags.end()) {
+    if (it->second == "none") {
+      options.policy = BreakpointPolicy::kNone;
+    } else if (it->second == "bp") {
+      options.policy = BreakpointPolicy::kChooseBP;
+    } else if (it->second == "maxmp") {
+      options.policy = BreakpointPolicy::kChooseMaxMP;
+    } else {
+      err << "unknown --policy '" << it->second << "'\n";
+      return std::nullopt;
+    }
+  }
+  options.min_breakpoints = FlagInt(args, "breakpoints", 20);
+  options.global_anti_monotone = args.flags.count("anti") > 0;
+  return options;
+}
+
+std::optional<BuildOptions> TreeFlags(const ParsedArgs& args,
+                                      std::ostream& err) {
+  BuildOptions options;
+  auto it = args.flags.find("criterion");
+  if (it != args.flags.end()) {
+    if (it->second == "gini") {
+      options.criterion = SplitCriterion::kGini;
+    } else if (it->second == "entropy") {
+      options.criterion = SplitCriterion::kEntropy;
+    } else if (it->second == "gainratio") {
+      options.criterion = SplitCriterion::kGainRatio;
+    } else {
+      err << "unknown --criterion '" << it->second << "'\n";
+      return std::nullopt;
+    }
+  }
+  options.max_depth = FlagInt(args, "max-depth", options.max_depth);
+  options.min_leaf_size = FlagInt(args, "min-leaf", options.min_leaf_size);
+  return options;
+}
+
+int CmdEncode(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
+  if (args.positional.size() != 3) {
+    err << "encode needs <in.csv> <out.csv> <key.out>\n";
+    return 2;
+  }
+  auto data = ReadCsv(args.positional[0]);
+  if (!data.ok()) {
+    err << data.status().ToString() << "\n";
+    return 1;
+  }
+  auto options = TransformFlags(args, err);
+  if (!options) return 2;
+  Rng rng(FlagInt(args, "seed", 1));
+  const TransformPlan plan =
+      TransformPlan::Create(data.value(), *options, rng);
+  const Dataset released = plan.EncodeDataset(data.value());
+
+  Status status = WriteCsv(released, args.positional[1]);
+  if (!status.ok()) {
+    err << status.ToString() << "\n";
+    return 1;
+  }
+  status = SavePlan(plan, args.positional[2]);
+  if (!status.ok()) {
+    err << status.ToString() << "\n";
+    return 1;
+  }
+  out << "encoded " << released.NumRows() << " rows x "
+      << released.NumAttributes() << " attributes -> " << args.positional[1]
+      << "\nkey written to " << args.positional[2]
+      << " (keep it secret; it decodes the mining outcome)\n";
+  return 0;
+}
+
+int CmdMine(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
+  if (args.positional.size() != 2) {
+    err << "mine needs <data.csv> <tree.out>\n";
+    return 2;
+  }
+  auto options = TreeFlags(args, err);
+  if (!options) return 2;
+  auto data = ReadCsv(args.positional[0]);
+  if (!data.ok()) {
+    err << data.status().ToString() << "\n";
+    return 1;
+  }
+  DecisionTree tree = DecisionTreeBuilder(*options).Build(data.value());
+  if (args.flags.count("prune") > 0) {
+    tree = PruneTree(tree);
+  }
+  const Status status = SaveTree(tree, args.positional[1]);
+  if (!status.ok()) {
+    err << status.ToString() << "\n";
+    return 1;
+  }
+  out << "mined tree: " << tree.NumLeaves() << " leaves, depth "
+      << tree.Depth() << ", training accuracy "
+      << 100.0 * tree.Accuracy(data.value()) << "% -> " << args.positional[1]
+      << "\n";
+  return 0;
+}
+
+int CmdDecode(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
+  if (args.positional.size() != 4) {
+    err << "decode needs <tree.in> <key> <original.csv> <tree.out>\n";
+    return 2;
+  }
+  auto tree = LoadTree(args.positional[0]);
+  if (!tree.ok()) {
+    err << tree.status().ToString() << "\n";
+    return 1;
+  }
+  auto plan = LoadPlan(args.positional[1]);
+  if (!plan.ok()) {
+    err << plan.status().ToString() << "\n";
+    return 1;
+  }
+  auto original = ReadCsv(args.positional[2]);
+  if (!original.ok()) {
+    err << original.status().ToString() << "\n";
+    return 1;
+  }
+  const DecisionTree decoded =
+      DecodeTreeWithData(tree.value(), plan.value(), original.value());
+  const Status status = SaveTree(decoded, args.positional[3]);
+  if (!status.ok()) {
+    err << status.ToString() << "\n";
+    return 1;
+  }
+  out << "decoded tree (" << decoded.NumLeaves() << " leaves) -> "
+      << args.positional[3] << "\n"
+      << decoded.ToText(original.value().schema());
+  return 0;
+}
+
+int CmdVerify(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
+  if (args.positional.size() != 1) {
+    err << "verify needs <original.csv>\n";
+    return 2;
+  }
+  auto data = ReadCsv(args.positional[0]);
+  if (!data.ok()) {
+    err << data.status().ToString() << "\n";
+    return 1;
+  }
+  auto transform = TransformFlags(args, err);
+  if (!transform) return 2;
+  auto tree = TreeFlags(args, err);
+  if (!tree) return 2;
+  CustodianOptions options;
+  options.seed = FlagInt(args, "seed", 1);
+  options.transform = *transform;
+  options.tree = *tree;
+  const Custodian custodian(std::move(data).value(), options);
+  std::string detail;
+  const bool ok = custodian.VerifyNoOutcomeChange(&detail);
+  out << "no-outcome-change: " << (ok ? "VERIFIED" : "FAILED") << "\n";
+  if (!ok) {
+    err << detail << "\n";
+  }
+  return ok ? 0 : 1;
+}
+
+int CmdReport(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
+  if (args.positional.size() != 1) {
+    err << "report needs <data.csv>\n";
+    return 2;
+  }
+  auto data = ReadCsv(args.positional[0]);
+  if (!data.ok()) {
+    err << data.status().ToString() << "\n";
+    return 1;
+  }
+  CustodianOptions options;
+  options.seed = FlagInt(args, "seed", 1);
+  const Custodian custodian(std::move(data).value(), options);
+  ReportOptions report_options;
+  report_options.num_trials = FlagInt(args, "trials", 31);
+  report_options.seed = options.seed + 1;
+  out << RenderRiskReport(BuildRiskReport(custodian, report_options));
+  return 0;
+}
+
+int CmdHarden(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
+  if (args.positional.size() != 1) {
+    err << "harden needs <data.csv>\n";
+    return 2;
+  }
+  auto data = ReadCsv(args.positional[0]);
+  if (!data.ok()) {
+    err << data.status().ToString() << "\n";
+    return 1;
+  }
+  HardeningTargets targets;
+  targets.max_risk =
+      static_cast<double>(FlagInt(args, "max-risk", 25)) / 100.0;
+  targets.trials = FlagInt(args, "trials", 21);
+  const auto decisions = RecommendPerAttributeOptions(
+      data.value(), PiecewiseOptions{}, targets, FlagInt(args, "seed", 1));
+  out << RenderHardeningDecisions(data.value(), decisions);
+  return 0;
+}
+
+}  // namespace
+
+int RunCli(const std::vector<std::string>& args, std::ostream& out,
+           std::ostream& err) {
+  if (args.empty() || args[0] == "help" || args[0] == "--help") {
+    out << kUsage;
+    return args.empty() ? 2 : 0;
+  }
+  const std::string& command = args[0];
+  const std::vector<std::string> rest(args.begin() + 1, args.end());
+  static const std::vector<std::string> kValueFlags = {
+      "seed",     "policy",   "breakpoints", "criterion",
+      "max-depth", "min-leaf", "trials", "max-risk"};
+  const ParsedArgs parsed = Parse(rest, kValueFlags);
+  if (command == "encode") return CmdEncode(parsed, out, err);
+  if (command == "mine") return CmdMine(parsed, out, err);
+  if (command == "decode") return CmdDecode(parsed, out, err);
+  if (command == "verify") return CmdVerify(parsed, out, err);
+  if (command == "report") return CmdReport(parsed, out, err);
+  if (command == "harden") return CmdHarden(parsed, out, err);
+  err << "unknown command '" << command << "'\n" << kUsage;
+  return 2;
+}
+
+}  // namespace popp

@@ -1,0 +1,35 @@
+#ifndef POPP_CORE_CLI_H_
+#define POPP_CORE_CLI_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+/// \file
+/// The `popp` command-line tool, implemented as a library function so the
+/// full workflow is unit-testable. Subcommands mirror the custodian /
+/// provider roles:
+///
+///   popp encode <in.csv> <out.csv> <key.out> [--seed N] [--policy P]
+///               [--breakpoints W] [--anti]
+///       custodian: sample a plan, write the released data and the key.
+///   popp mine <data.csv> <tree.out> [--criterion C] [--prune]
+///             [--max-depth D] [--min-leaf N]
+///       provider: induce a decision tree and write it out.
+///   popp decode <tree.in> <key> <original.csv> <tree.out>
+///       custodian: decode a mined tree against the key + original data.
+///   popp verify <original.csv> [--seed N]
+///       end-to-end self check of the no-outcome-change guarantee.
+///   popp report <data.csv> [--trials N] [--seed N]
+///       custodian: pre-release disclosure-risk report.
+
+namespace popp {
+
+/// Runs the CLI. `args` excludes the program name. Returns the process
+/// exit code; human-readable output goes to `out`, errors to `err`.
+int RunCli(const std::vector<std::string>& args, std::ostream& out,
+           std::ostream& err);
+
+}  // namespace popp
+
+#endif  // POPP_CORE_CLI_H_

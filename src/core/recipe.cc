@@ -1,0 +1,93 @@
+#include "core/recipe.h"
+
+#include <algorithm>
+
+#include "attack/knowledge.h"
+#include "attack/sorting_attack.h"
+#include "data/summary.h"
+#include "risk/domain_risk.h"
+#include "risk/trials.h"
+#include "util/table.h"
+#include "util/status.h"
+
+namespace popp {
+namespace {
+
+/// Median of the strongest probed attack at one configuration.
+double ProbeRisk(const AttributeSummary& summary,
+                 const PiecewiseOptions& options,
+                 const HardeningTargets& targets, uint64_t seed) {
+  const double rho = CrackRadius(summary, targets.radius_fraction);
+
+  DomainRiskExperiment curve;
+  curve.transform_options = options;
+  curve.method = FitMethod::kPolyline;
+  curve.knowledge.num_good = GoodKpCount(HackerProfile::kExpert);
+  curve.knowledge.radius_fraction = targets.radius_fraction;
+  curve.num_trials = targets.trials;
+  curve.seed = seed;
+  const double curve_risk = MedianDomainRisk(summary, curve);
+
+  const double sorting_risk = MedianOverTrials(
+      targets.trials, seed + 1, [&](Rng& rng) {
+        const PiecewiseTransform f =
+            PiecewiseTransform::Create(summary, options, rng);
+        return SortingAttackRisk(summary, f, rho).risk;
+      });
+  return std::max(curve_risk, sorting_risk);
+}
+
+}  // namespace
+
+std::vector<HardeningDecision> RecommendPerAttributeOptions(
+    const Dataset& data, const PiecewiseOptions& base,
+    const HardeningTargets& targets, uint64_t seed) {
+  POPP_CHECK(targets.max_risk > 0.0 && targets.max_risk <= 1.0);
+  std::vector<HardeningDecision> decisions;
+  decisions.reserve(data.NumAttributes());
+
+  for (size_t attr = 0; attr < data.NumAttributes(); ++attr) {
+    const AttributeSummary summary =
+        AttributeSummary::FromDataset(data, attr);
+    HardeningDecision decision;
+    decision.options = base;
+    size_t w = std::max<size_t>(1, base.min_breakpoints);
+    while (true) {
+      decision.options.min_breakpoints = w;
+      decision.measured_risk =
+          ProbeRisk(summary, decision.options, targets,
+                    seed * 131 + attr * 17 + decision.probes);
+      decision.probes++;
+      if (decision.measured_risk <= targets.max_risk) {
+        decision.met_target = true;
+        break;
+      }
+      if (w >= targets.max_breakpoints ||
+          w >= summary.NumDistinct()) {
+        decision.met_target = false;
+        break;
+      }
+      w = std::min({w * 2, targets.max_breakpoints, summary.NumDistinct()});
+    }
+    decisions.push_back(std::move(decision));
+  }
+  return decisions;
+}
+
+std::string RenderHardeningDecisions(
+    const Dataset& data, const std::vector<HardeningDecision>& decisions) {
+  POPP_CHECK(decisions.size() == data.NumAttributes());
+  TablePrinter table({"attribute", "breakpoints w", "measured risk",
+                      "configs tried", "verdict"});
+  for (size_t attr = 0; attr < decisions.size(); ++attr) {
+    const HardeningDecision& d = decisions[attr];
+    table.AddRow({data.schema().AttributeName(attr),
+                  std::to_string(d.options.min_breakpoints),
+                  TablePrinter::Pct(d.measured_risk),
+                  std::to_string(d.probes),
+                  d.met_target ? "safe" : "STILL UNSAFE AT CAP"});
+  }
+  return table.ToString("Hardening recommendations (Section 5.4 recipe)");
+}
+
+}  // namespace popp

@@ -1,0 +1,58 @@
+#ifndef POPP_CORE_RECIPE_H_
+#define POPP_CORE_RECIPE_H_
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "transform/piecewise.h"
+
+/// \file
+/// The custodian's "recipe" (paper Section 5.4), automated: decide per
+/// attribute whether it is safe for disclosure and, if not, harden its
+/// transform configuration until it is (or report that it cannot be).
+///
+/// The paper's recipe: an attribute is safe when it has many
+/// monochromatic pieces or many discontinuities; the dangerous case is
+/// few of both. The automation probes the actual attacks (expert
+/// polyline curve fit and worst-case sorting) and doubles the breakpoint
+/// budget until the measured risk clears the target.
+
+namespace popp {
+
+/// Acceptance targets for hardening.
+struct HardeningTargets {
+  /// Per-attribute risk ceiling (max of the probed attacks).
+  double max_risk = 0.25;
+  /// Crack radius as a fraction of the dynamic range.
+  double radius_fraction = 0.01;
+  /// Randomized trials per probe (medians).
+  size_t trials = 21;
+  /// Breakpoint budget cap; attributes still unsafe at the cap are
+  /// reported as such.
+  size_t max_breakpoints = 512;
+};
+
+/// Hardening outcome for one attribute.
+struct HardeningDecision {
+  PiecewiseOptions options;
+  double measured_risk = 0;  ///< risk at the chosen configuration
+  bool met_target = false;
+  size_t probes = 0;  ///< configurations evaluated
+};
+
+/// Derives per-attribute transform options from `base`: breakpoints are
+/// doubled (starting from base.min_breakpoints, at least 1) until the
+/// strongest probed attack's median risk is at most targets.max_risk or
+/// the cap is reached. Deterministic given `seed`.
+std::vector<HardeningDecision> RecommendPerAttributeOptions(
+    const Dataset& data, const PiecewiseOptions& base,
+    const HardeningTargets& targets, uint64_t seed);
+
+/// Renders the decisions as an aligned table.
+std::string RenderHardeningDecisions(
+    const Dataset& data, const std::vector<HardeningDecision>& decisions);
+
+}  // namespace popp
+
+#endif  // POPP_CORE_RECIPE_H_

@@ -1,0 +1,89 @@
+#include "core/report.h"
+
+#include <algorithm>
+
+#include "attack/quantile_attack.h"
+#include "attack/sorting_attack.h"
+#include "data/summary.h"
+#include "risk/domain_risk.h"
+#include "risk/trials.h"
+#include "transform/pieces.h"
+#include "util/table.h"
+
+namespace popp {
+
+std::vector<AttributeRiskReport> BuildRiskReport(
+    const Custodian& custodian, const ReportOptions& options) {
+  const Dataset& data = custodian.original();
+  std::vector<AttributeRiskReport> report;
+  report.reserve(data.NumAttributes());
+
+  for (size_t attr = 0; attr < data.NumAttributes(); ++attr) {
+    const AttributeSummary summary =
+        AttributeSummary::FromDataset(data, attr);
+    AttributeRiskReport row;
+    row.name = data.schema().AttributeName(attr);
+    row.num_distinct = summary.NumDistinct();
+    row.num_discontinuities = summary.NumDiscontinuities();
+    row.mono_value_fraction = ComputeMonoStats(summary).value_fraction;
+    const double rho = CrackRadius(summary, options.radius_fraction);
+
+    // Median curve-fit risk (expert hacker, polyline) over fresh
+    // transform + knowledge draws.
+    DomainRiskExperiment experiment;
+    experiment.transform_options = custodian.options().transform;
+    experiment.method = FitMethod::kPolyline;
+    experiment.knowledge.num_good = GoodKpCount(HackerProfile::kExpert);
+    experiment.knowledge.radius_fraction = options.radius_fraction;
+    experiment.num_trials = options.num_trials;
+    experiment.seed = options.seed + attr;
+    row.curve_fit_risk = MedianDomainRisk(summary, experiment);
+
+    // Ignorant hacker against the custodian's actual plan.
+    row.ignorant_risk =
+        DomainDisclosureRisk(summary, custodian.plan().transform(attr),
+                             *MakeIdentityCrack(), rho)
+            .risk;
+
+    // Worst-case sorting attack, median over fresh transforms.
+    row.sorting_risk = MedianOverTrials(
+        options.num_trials, options.seed + 1000 + attr, [&](Rng& rng) {
+          const PiecewiseTransform transform = PiecewiseTransform::Create(
+              summary, custodian.options().transform, rng);
+          return SortingAttackRisk(summary, transform, rho).risk;
+        });
+
+    // Rival-sample quantile attack (exact reference), the strongest prior.
+    row.quantile_risk = MedianOverTrials(
+        options.num_trials, options.seed + 2000 + attr, [&](Rng& rng) {
+          const PiecewiseTransform transform = PiecewiseTransform::Create(
+              summary, custodian.options().transform, rng);
+          return QuantileAttackRisk(summary, transform, 20000, 0.0, rho,
+                                    rng);
+        });
+
+    row.safe = std::max({row.curve_fit_risk, row.sorting_risk,
+                         row.quantile_risk}) <= options.safety_threshold;
+    report.push_back(row);
+  }
+  return report;
+}
+
+std::string RenderRiskReport(const std::vector<AttributeRiskReport>& report) {
+  TablePrinter table({"attribute", "#distinct", "#discont", "% mono",
+                      "curve-fit risk", "sorting risk", "quantile risk",
+                      "ignorant risk", "verdict"});
+  for (const auto& row : report) {
+    table.AddRow({row.name, std::to_string(row.num_distinct),
+                  std::to_string(row.num_discontinuities),
+                  TablePrinter::Pct(row.mono_value_fraction),
+                  TablePrinter::Pct(row.curve_fit_risk),
+                  TablePrinter::Pct(row.sorting_risk),
+                  TablePrinter::Pct(row.quantile_risk),
+                  TablePrinter::Pct(row.ignorant_risk),
+                  row.safe ? "safe" : "REVIEW"});
+  }
+  return table.ToString("Custodian pre-release risk report");
+}
+
+}  // namespace popp

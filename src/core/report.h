@@ -1,0 +1,58 @@
+#ifndef POPP_CORE_REPORT_H_
+#define POPP_CORE_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "core/custodian.h"
+#include "util/rng.h"
+
+/// \file
+/// The custodian's pre-release risk report: per attribute, the Section 5.4
+/// "recipe" inputs (monochromatic share, discontinuities) and the measured
+/// disclosure risks under the standard attack battery. This is the
+/// decision aid the paper describes for judging whether an attribute "is
+/// safe for disclosure".
+
+namespace popp {
+
+/// One attribute's risk profile.
+struct AttributeRiskReport {
+  std::string name;
+  size_t num_distinct = 0;
+  size_t num_discontinuities = 0;
+  double mono_value_fraction = 0;
+  /// Median domain-disclosure risk under a polyline attack by an expert
+  /// hacker (4 good KPs).
+  double curve_fit_risk = 0;
+  /// Worst-case sorting-attack risk (hacker knows true min/max).
+  double sorting_risk = 0;
+  /// Quantile-matching risk against a rival holding an exact sample of
+  /// the population — the strongest prior in Section 3.3's list.
+  double quantile_risk = 0;
+  /// Risk against an ignorant hacker (identity guess).
+  double ignorant_risk = 0;
+  /// Section 5.4 recipe verdict.
+  bool safe = false;
+};
+
+/// Options for building a risk report.
+struct ReportOptions {
+  double radius_fraction = 0.02;  ///< rho, as fraction of range width
+  size_t num_trials = 51;         ///< randomized attack trials per figure
+  uint64_t seed = 7;
+  /// Recipe threshold: an attribute is flagged unsafe when both its
+  /// curve-fit and sorting risks exceed this.
+  double safety_threshold = 0.25;
+};
+
+/// Runs the attack battery against the custodian's released data.
+std::vector<AttributeRiskReport> BuildRiskReport(const Custodian& custodian,
+                                                 const ReportOptions& options);
+
+/// Renders the report as an aligned text table.
+std::string RenderRiskReport(const std::vector<AttributeRiskReport>& report);
+
+}  // namespace popp
+
+#endif  // POPP_CORE_REPORT_H_

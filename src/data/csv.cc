@@ -1,0 +1,160 @@
+#include "data/csv.h"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "data/value.h"
+
+namespace popp {
+namespace {
+
+std::vector<std::string> SplitLine(const std::string& line, char delim) {
+  std::vector<std::string> fields;
+  std::string cur;
+  for (char ch : line) {
+    if (ch == delim) {
+      fields.push_back(cur);
+      cur.clear();
+    } else if (ch != '\r') {
+      cur += ch;
+    }
+  }
+  fields.push_back(cur);
+  return fields;
+}
+
+Result<double> ParseNumber(const std::string& text, size_t line_no) {
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || *end != '\0' || errno == ERANGE) {
+    std::ostringstream oss;
+    oss << "line " << line_no << ": cannot parse number '" << text << "'";
+    return Status::InvalidArgument(oss.str());
+  }
+  return v;
+}
+
+/// Exact serialization for data cells: integral values print compactly,
+/// everything else with 17 significant digits so IEEE-754 doubles
+/// round-trip bit-exactly (released transformed values must not collapse
+/// onto each other, or the provider would mine from different data).
+std::string FormatCell(AttrValue v) {
+  if (std::isfinite(v) && v == std::floor(v) && std::fabs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+    return buf;
+  }
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+Result<Dataset> ParseCsv(const std::string& text, const CsvOptions& options) {
+  std::istringstream in(text);
+  std::string line;
+  size_t line_no = 0;
+
+  std::vector<std::string> attr_names;
+  bool have_schema = false;
+  Dataset data;
+
+  if (options.has_header) {
+    if (!std::getline(in, line)) {
+      return Status::InvalidArgument("empty CSV input");
+    }
+    ++line_no;
+    auto fields = SplitLine(line, options.delimiter);
+    if (fields.size() < 2) {
+      return Status::InvalidArgument(
+          "header must have at least one attribute and the class column");
+    }
+    attr_names.assign(fields.begin(), fields.end() - 1);
+    data = Dataset(Schema(attr_names, {}));
+    have_schema = true;
+  }
+
+  std::vector<AttrValue> values;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    auto fields = SplitLine(line, options.delimiter);
+    if (!have_schema) {
+      if (fields.size() < 2) {
+        return Status::InvalidArgument("rows need >= 2 columns");
+      }
+      attr_names.resize(fields.size() - 1);
+      for (size_t i = 0; i + 1 < fields.size(); ++i) {
+        attr_names[i] = "attr" + std::to_string(i + 1);
+      }
+      data = Dataset(Schema(attr_names, {}));
+      have_schema = true;
+    }
+    if (fields.size() != attr_names.size() + 1) {
+      std::ostringstream oss;
+      oss << "line " << line_no << ": expected " << attr_names.size() + 1
+          << " fields, got " << fields.size();
+      return Status::InvalidArgument(oss.str());
+    }
+    values.resize(attr_names.size());
+    for (size_t i = 0; i < attr_names.size(); ++i) {
+      auto parsed = ParseNumber(fields[i], line_no);
+      if (!parsed.ok()) return parsed.status();
+      values[i] = parsed.value();
+    }
+    const ClassId label = data.mutable_schema().GetOrAddClass(fields.back());
+    data.AddRow(values, label);
+  }
+  if (!have_schema) {
+    return Status::InvalidArgument("empty CSV input");
+  }
+  return data;
+}
+
+Result<Dataset> ReadCsv(const std::string& path, const CsvOptions& options) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::IoError("cannot open '" + path + "' for reading");
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ParseCsv(buffer.str(), options);
+}
+
+std::string ToCsvString(const Dataset& data, const CsvOptions& options) {
+  std::ostringstream out;
+  const char d = options.delimiter;
+  if (options.has_header) {
+    for (size_t a = 0; a < data.NumAttributes(); ++a) {
+      out << data.schema().AttributeName(a) << d;
+    }
+    out << "class\n";
+  }
+  for (size_t r = 0; r < data.NumRows(); ++r) {
+    for (size_t a = 0; a < data.NumAttributes(); ++a) {
+      out << FormatCell(data.Value(r, a)) << d;
+    }
+    out << data.schema().ClassName(data.Label(r)) << "\n";
+  }
+  return out.str();
+}
+
+Status WriteCsv(const Dataset& data, const std::string& path,
+                const CsvOptions& options) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::IoError("cannot open '" + path + "' for writing");
+  }
+  out << ToCsvString(data, options);
+  if (!out) {
+    return Status::IoError("error while writing '" + path + "'");
+  }
+  return Status::Ok();
+}
+
+}  // namespace popp

@@ -1,0 +1,45 @@
+#ifndef POPP_DATA_CSV_H_
+#define POPP_DATA_CSV_H_
+
+#include <string>
+
+#include "data/dataset.h"
+#include "util/status.h"
+
+/// \file
+/// CSV import/export for datasets.
+///
+/// Format: one header line with attribute names followed by the class
+/// column name; each data line holds numeric attribute values and a class
+/// label string in the last field. This is the layout of the UCI covertype
+/// distribution after column selection, so a user with the real data can
+/// load it directly and rerun every experiment against it.
+
+namespace popp {
+
+/// Options controlling CSV parsing.
+struct CsvOptions {
+  char delimiter = ',';
+  /// If true, the first line is a header naming the columns.
+  bool has_header = true;
+};
+
+/// Reads a dataset from a CSV file. The last column is the class label
+/// (string); all preceding columns must parse as numbers.
+Result<Dataset> ReadCsv(const std::string& path,
+                        const CsvOptions& options = {});
+
+/// Parses a dataset from an in-memory CSV string (same format as ReadCsv).
+Result<Dataset> ParseCsv(const std::string& text,
+                         const CsvOptions& options = {});
+
+/// Writes `data` to `path` in the format ReadCsv accepts.
+Status WriteCsv(const Dataset& data, const std::string& path,
+                const CsvOptions& options = {});
+
+/// Serializes `data` to a CSV string.
+std::string ToCsvString(const Dataset& data, const CsvOptions& options = {});
+
+}  // namespace popp
+
+#endif  // POPP_DATA_CSV_H_

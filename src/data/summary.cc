@@ -1,0 +1,115 @@
+#include "data/summary.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/status.h"
+
+namespace popp {
+
+AttributeSummary AttributeSummary::FromDataset(const Dataset& data,
+                                               size_t attr) {
+  const auto& col = data.Column(attr);
+  std::vector<ValueLabel> tuples(col.size());
+  for (size_t r = 0; r < col.size(); ++r) {
+    tuples[r] = ValueLabel{col[r], data.Label(r)};
+  }
+  return FromTuples(std::move(tuples), data.NumClasses());
+}
+
+AttributeSummary AttributeSummary::FromTuples(std::vector<ValueLabel> tuples,
+                                              size_t num_classes) {
+  std::sort(tuples.begin(), tuples.end(), ValueLabelLess());
+  return FromSortedTuples(tuples, num_classes);
+}
+
+AttributeSummary AttributeSummary::FromSortedTuples(
+    const std::vector<ValueLabel>& tuples, size_t num_classes) {
+  POPP_CHECK(num_classes > 0);
+  AttributeSummary s;
+  s.num_classes_ = num_classes;
+  s.num_tuples_ = tuples.size();
+  if (tuples.empty()) return s;
+
+  for (size_t i = 0; i < tuples.size();) {
+    POPP_DCHECK(i == 0 || tuples[i - 1].value <= tuples[i].value);
+    const AttrValue v = tuples[i].value;
+    s.values_.push_back(v);
+    s.totals_.push_back(0);
+    s.class_counts_.resize(s.class_counts_.size() + num_classes, 0);
+    uint32_t* counts =
+        &s.class_counts_[(s.values_.size() - 1) * num_classes];
+    while (i < tuples.size() && tuples[i].value == v) {
+      const ClassId c = tuples[i].label;
+      POPP_CHECK_MSG(c >= 0 && static_cast<size_t>(c) < num_classes,
+                     "bad class id " << c);
+      counts[c]++;
+      s.totals_.back()++;
+      ++i;
+    }
+  }
+  return s;
+}
+
+AttrValue AttributeSummary::MinValue() const {
+  POPP_CHECK(!values_.empty());
+  return values_.front();
+}
+
+AttrValue AttributeSummary::MaxValue() const {
+  POPP_CHECK(!values_.empty());
+  return values_.back();
+}
+
+uint32_t AttributeSummary::ClassCountAt(size_t i, ClassId c) const {
+  POPP_DCHECK(i < values_.size());
+  POPP_DCHECK(c >= 0 && static_cast<size_t>(c) < num_classes_);
+  return class_counts_[i * num_classes_ + static_cast<size_t>(c)];
+}
+
+bool AttributeSummary::IsMonochromatic(size_t i) const {
+  return MonoClassAt(i) != kNoClass;
+}
+
+ClassId AttributeSummary::MonoClassAt(size_t i) const {
+  POPP_DCHECK(i < values_.size());
+  ClassId mono = kNoClass;
+  for (size_t c = 0; c < num_classes_; ++c) {
+    if (class_counts_[i * num_classes_ + c] > 0) {
+      if (mono != kNoClass) return kNoClass;  // second class seen
+      mono = static_cast<ClassId>(c);
+    }
+  }
+  return mono;
+}
+
+double AttributeSummary::DynamicRangeWidth(double step) const {
+  if (values_.empty()) return 0.0;
+  POPP_CHECK(step > 0.0);
+  return std::round((values_.back() - values_.front()) / step) + 1.0;
+}
+
+size_t AttributeSummary::NumDiscontinuities(double step) const {
+  if (values_.empty()) return 0;
+  const double width = DynamicRangeWidth(step);
+  const double distinct = static_cast<double>(values_.size());
+  return width > distinct ? static_cast<size_t>(width - distinct) : 0;
+}
+
+size_t AttributeSummary::IndexOf(AttrValue v) const {
+  auto it = std::lower_bound(values_.begin(), values_.end(), v);
+  if (it == values_.end() || *it != v) return npos;
+  return static_cast<size_t>(it - values_.begin());
+}
+
+std::vector<size_t> AttributeSummary::ClassHistogram() const {
+  std::vector<size_t> hist(num_classes_, 0);
+  for (size_t i = 0; i < values_.size(); ++i) {
+    for (size_t c = 0; c < num_classes_; ++c) {
+      hist[c] += class_counts_[i * num_classes_ + c];
+    }
+  }
+  return hist;
+}
+
+}  // namespace popp

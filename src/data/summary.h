@@ -1,0 +1,90 @@
+#ifndef POPP_DATA_SUMMARY_H_
+#define POPP_DATA_SUMMARY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.h"
+#include "data/value.h"
+
+/// \file
+/// Distinct-value summary of one attribute: the domain-level view on which
+/// most of the paper's machinery operates (label runs, monochromatic
+/// analysis, ChooseBP/ChooseMaxMP, domain-disclosure attacks).
+///
+/// Summarizing first makes 500-trial experiments cheap: a trial touches
+/// O(#distinct values) state instead of O(#tuples).
+
+namespace popp {
+
+/// Sorted distinct values of an attribute with a per-value class histogram.
+class AttributeSummary {
+ public:
+  AttributeSummary() = default;
+
+  /// Builds the summary of `attr` from `data`. O(n log n).
+  static AttributeSummary FromDataset(const Dataset& data, size_t attr);
+
+  /// Builds a summary directly from value/label pairs (need not be sorted).
+  static AttributeSummary FromTuples(std::vector<ValueLabel> tuples,
+                                     size_t num_classes);
+
+  /// Builds a summary from tuples already sorted by value — one linear
+  /// scan, no sort. The presorted tree builder depends on this being
+  /// O(n). Sortedness is checked in debug builds.
+  static AttributeSummary FromSortedTuples(const std::vector<ValueLabel>& tuples,
+                                           size_t num_classes);
+
+  size_t NumDistinct() const { return values_.size(); }
+  size_t NumClasses() const { return num_classes_; }
+  size_t NumTuples() const { return num_tuples_; }
+  bool empty() const { return values_.empty(); }
+
+  /// Sorted distinct values (the active domain delta(A)).
+  const std::vector<AttrValue>& values() const { return values_; }
+
+  AttrValue ValueAt(size_t i) const { return values_[i]; }
+  AttrValue MinValue() const;
+  AttrValue MaxValue() const;
+
+  /// Number of tuples having the i-th distinct value.
+  uint32_t CountAt(size_t i) const { return totals_[i]; }
+
+  /// Number of tuples with the i-th distinct value and class `c`.
+  uint32_t ClassCountAt(size_t i, ClassId c) const;
+
+  /// True iff all tuples carrying the i-th value share one class label
+  /// (Definition 9: a *monochromatic* value).
+  bool IsMonochromatic(size_t i) const;
+
+  /// The single class of a monochromatic value, or kNoClass otherwise.
+  ClassId MonoClassAt(size_t i) const;
+
+  /// Width of the dynamic range in units of `step` (for integer domains,
+  /// step=1 makes this max - min + 1, matching the paper's Figure 8).
+  double DynamicRangeWidth(double step = 1.0) const;
+
+  /// Number of *discontinuities*: grid points of the dynamic range (with
+  /// spacing `step`) at which no tuple occurs. For integer domains this is
+  /// DynamicRangeWidth - NumDistinct, the quantity the paper derives from
+  /// Figure 8 and uses in Figure 11.
+  size_t NumDiscontinuities(double step = 1.0) const;
+
+  /// Index of `v` in values(), or npos if absent. O(log n).
+  static constexpr size_t npos = static_cast<size_t>(-1);
+  size_t IndexOf(AttrValue v) const;
+
+  /// Aggregate class histogram over all tuples.
+  std::vector<size_t> ClassHistogram() const;
+
+ private:
+  std::vector<AttrValue> values_;               // sorted distinct
+  std::vector<uint32_t> totals_;                // tuples per value
+  std::vector<uint32_t> class_counts_;          // [i * num_classes_ + c]
+  size_t num_classes_ = 0;
+  size_t num_tuples_ = 0;
+};
+
+}  // namespace popp
+
+#endif  // POPP_DATA_SUMMARY_H_

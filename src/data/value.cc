@@ -1,0 +1,19 @@
+#include "data/value.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace popp {
+
+std::string FormatValue(AttrValue v) {
+  if (std::isfinite(v) && v == std::floor(v) && std::fabs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+    return buf;
+  }
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%g", v);
+  return buf;
+}
+
+}  // namespace popp

@@ -1,0 +1,50 @@
+#ifndef POPP_DATA_VALUE_H_
+#define POPP_DATA_VALUE_H_
+
+#include <cstdint>
+#include <string>
+
+/// \file
+/// Elementary value types of the training-data model (paper Section 3.1).
+///
+/// A training data set is a relation instance with m numeric attributes
+/// A_1..A_m and one categorical class-label attribute C. Attribute values
+/// are stored as `double` (the paper's attributes are integers; doubles
+/// represent them exactly up to 2^53 and also admit transformed values,
+/// which are generally non-integral). Class labels are small dense ids.
+
+namespace popp {
+
+/// A numeric attribute value (original or transformed).
+using AttrValue = double;
+
+/// Dense id of a class label; valid ids are 0..NumClasses()-1.
+using ClassId = int32_t;
+
+/// Sentinel for "no class" (used e.g. by monochromatic queries).
+inline constexpr ClassId kNoClass = -1;
+
+/// One A-projected tuple: the A-value together with the class label
+/// (paper Section 3.1, "A-projected tuple").
+struct ValueLabel {
+  AttrValue value = 0;
+  ClassId label = kNoClass;
+
+  friend bool operator==(const ValueLabel&, const ValueLabel&) = default;
+};
+
+/// Compares ValueLabel by value only (the "canonical order" of Definition 6
+/// leaves ties unconstrained; we keep the sort stable instead).
+struct ValueLabelLess {
+  bool operator()(const ValueLabel& a, const ValueLabel& b) const {
+    return a.value < b.value;
+  }
+};
+
+/// Renders a value trimming a trailing ".000000" for integral values,
+/// so didactic output matches the paper's figures (e.g. "23", "27.5").
+std::string FormatValue(AttrValue v);
+
+}  // namespace popp
+
+#endif  // POPP_DATA_VALUE_H_

@@ -1,0 +1,86 @@
+#include "nb/naive_bayes.h"
+
+#include <cmath>
+
+#include "util/status.h"
+
+namespace popp {
+
+NaiveBayes NaiveBayes::Train(const Dataset& data,
+                             const NaiveBayesOptions& options) {
+  POPP_CHECK_MSG(data.NumRows() > 0, "NB needs data");
+  POPP_CHECK_MSG(options.alpha > 0.0, "alpha must be positive");
+  NaiveBayes model;
+  model.alpha_ = options.alpha;
+  model.total_rows_ = data.NumRows();
+  model.class_counts_.assign(data.NumClasses(), 0);
+  model.tables_.resize(data.NumAttributes());
+  model.distinct_.assign(data.NumAttributes(), 0);
+
+  for (size_t r = 0; r < data.NumRows(); ++r) {
+    model.class_counts_[static_cast<size_t>(data.Label(r))]++;
+  }
+  for (size_t a = 0; a < data.NumAttributes(); ++a) {
+    auto& table = model.tables_[a];
+    const auto& col = data.Column(a);
+    for (size_t r = 0; r < data.NumRows(); ++r) {
+      auto [it, inserted] = table.try_emplace(
+          col[r], std::vector<uint64_t>(data.NumClasses(), 0));
+      it->second[static_cast<size_t>(data.Label(r))]++;
+    }
+    model.distinct_[a] = table.size();
+  }
+  return model;
+}
+
+std::vector<double> NaiveBayes::LogPosterior(
+    const std::vector<AttrValue>& values) const {
+  POPP_CHECK_MSG(values.size() == tables_.size(),
+                 "tuple arity mismatches the model");
+  const size_t k = class_counts_.size();
+  std::vector<double> log_post(k);
+  for (size_t c = 0; c < k; ++c) {
+    // Smoothed class prior.
+    log_post[c] = std::log(
+        (static_cast<double>(class_counts_[c]) + alpha_) /
+        (static_cast<double>(total_rows_) + alpha_ * static_cast<double>(k)));
+  }
+  for (size_t a = 0; a < tables_.size(); ++a) {
+    const auto it = tables_[a].find(values[a]);
+    for (size_t c = 0; c < k; ++c) {
+      const double count =
+          it == tables_[a].end() ? 0.0
+                                 : static_cast<double>(it->second[c]);
+      const double denom =
+          static_cast<double>(class_counts_[c]) +
+          alpha_ * static_cast<double>(distinct_[a] + 1);
+      log_post[c] += std::log((count + alpha_) / denom);
+    }
+  }
+  return log_post;
+}
+
+ClassId NaiveBayes::Predict(const std::vector<AttrValue>& values) const {
+  const std::vector<double> log_post = LogPosterior(values);
+  ClassId best = 0;
+  for (size_t c = 1; c < log_post.size(); ++c) {
+    // Strict improvement: ties break to the smaller class id, a
+    // count-only rule (like the tree builder's), so predictions are
+    // invariant under value bijections.
+    if (log_post[c] > log_post[static_cast<size_t>(best)]) {
+      best = static_cast<ClassId>(c);
+    }
+  }
+  return best;
+}
+
+double NaiveBayes::Accuracy(const Dataset& data) const {
+  if (data.NumRows() == 0) return 0.0;
+  size_t correct = 0;
+  for (size_t r = 0; r < data.NumRows(); ++r) {
+    if (Predict(data.Row(r)) == data.Label(r)) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(data.NumRows());
+}
+
+}  // namespace popp

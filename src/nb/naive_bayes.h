@@ -1,0 +1,67 @@
+#ifndef POPP_NB_NAIVE_BAYES_H_
+#define POPP_NB_NAIVE_BAYES_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "data/dataset.h"
+
+/// \file
+/// Discrete (categorical-likelihood) naive Bayes over numeric attributes:
+/// each attribute value is treated as a category with Laplace-smoothed
+/// per-class frequencies.
+///
+/// Its role here is to complete the learner spectrum around the paper's
+/// guarantee:
+///   * decision trees  — preserved under order-preserving per-attribute
+///                       transforms (the paper's result);
+///   * discrete NB     — preserved under *arbitrary* per-attribute
+///                       bijections, even order-destroying ones, because it
+///                       only ever compares per-value class counts (tested
+///                       in nb_test.cc);
+///   * linear SVMs     — preserved only up to per-attribute affine maps
+///                       (svm/linear_svm.h).
+/// So the custodian model extends beyond trees to any learner whose
+/// statistics are per-attribute-value class counts — with *more* freedom,
+/// since no global invariant is needed at all.
+
+namespace popp {
+
+/// Smoothing and fallback parameters.
+struct NaiveBayesOptions {
+  /// Laplace pseudo-count added to every (value, class) cell.
+  double alpha = 1.0;
+};
+
+/// A trained discrete naive Bayes classifier.
+class NaiveBayes {
+ public:
+  /// Trains on all rows of `data`. Requires NumRows() > 0.
+  static NaiveBayes Train(const Dataset& data,
+                          const NaiveBayesOptions& options = {});
+
+  /// Predicts the class of a full attribute-value tuple. Unseen values
+  /// contribute only the smoothing mass (identically across classes).
+  ClassId Predict(const std::vector<AttrValue>& values) const;
+
+  /// Per-class log-posterior (up to the shared evidence constant).
+  std::vector<double> LogPosterior(const std::vector<AttrValue>& values) const;
+
+  /// Fraction of rows of `data` classified correctly.
+  double Accuracy(const Dataset& data) const;
+
+  size_t NumClasses() const { return class_counts_.size(); }
+
+ private:
+  double alpha_ = 1.0;
+  uint64_t total_rows_ = 0;
+  std::vector<uint64_t> class_counts_;
+  /// Per attribute: value -> per-class counts.
+  std::vector<std::unordered_map<AttrValue, std::vector<uint64_t>>> tables_;
+  /// Per attribute: number of distinct values (the smoothing denominator).
+  std::vector<size_t> distinct_;
+};
+
+}  // namespace popp
+
+#endif  // POPP_NB_NAIVE_BAYES_H_

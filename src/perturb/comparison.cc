@@ -1,0 +1,48 @@
+#include "perturb/comparison.h"
+
+#include <cmath>
+
+#include "data/summary.h"
+#include "tree/compare.h"
+#include "util/status.h"
+
+namespace popp {
+
+PerturbationImpact MeasurePerturbationImpact(const Dataset& data,
+                                             const PerturbOptions& perturb,
+                                             const BuildOptions& tree,
+                                             double rho_fraction, Rng& rng) {
+  POPP_CHECK(data.NumRows() > 0);
+  PerturbationImpact impact;
+
+  const Dataset released = PerturbDataset(data, perturb, rng);
+
+  impact.unchanged_fraction.resize(data.NumAttributes());
+  impact.within_rho_fraction.resize(data.NumAttributes());
+  for (size_t attr = 0; attr < data.NumAttributes(); ++attr) {
+    impact.unchanged_fraction[attr] = FractionUnchanged(data, released, attr);
+    const AttributeSummary summary =
+        AttributeSummary::FromDataset(data, attr);
+    const double rho =
+        rho_fraction * (summary.MaxValue() - summary.MinValue());
+    size_t within = 0;
+    for (size_t r = 0; r < data.NumRows(); ++r) {
+      if (std::fabs(released.Value(r, attr) - data.Value(r, attr)) <= rho) {
+        ++within;
+      }
+    }
+    impact.within_rho_fraction[attr] =
+        static_cast<double>(within) / static_cast<double>(data.NumRows());
+  }
+
+  const DecisionTreeBuilder builder(tree);
+  const DecisionTree original_tree = builder.Build(data);
+  const DecisionTree perturbed_tree = builder.Build(released);
+
+  impact.original_accuracy = original_tree.Accuracy(data);
+  impact.perturbed_tree_accuracy = perturbed_tree.Accuracy(data);
+  impact.same_tree = StructurallyIdentical(original_tree, perturbed_tree);
+  return impact;
+}
+
+}  // namespace popp

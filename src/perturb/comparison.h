@@ -1,0 +1,48 @@
+#ifndef POPP_PERTURB_COMPARISON_H_
+#define POPP_PERTURB_COMPARISON_H_
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "perturb/perturbation.h"
+#include "tree/builder.h"
+#include "util/rng.h"
+
+/// \file
+/// Head-to-head comparison of the perturbation baseline against the
+/// paper's three-pillar claims: perturbation changes the mining outcome
+/// (no pillar 1), leaves discrete values unchanged (weak pillar 2), and
+/// does not encode the outcome (no pillar 3).
+
+namespace popp {
+
+/// Per-attribute and outcome-level effects of perturbing one dataset.
+struct PerturbationImpact {
+  /// Fraction of values unchanged, per attribute (pillar-2 weakness).
+  std::vector<double> unchanged_fraction;
+  /// Naive disclosure: fraction of tuples whose released value already
+  /// lies within rho of the truth (the hacker's zero-effort crack rate).
+  std::vector<double> within_rho_fraction;
+  /// Self-accuracy of the tree built on original data, evaluated on the
+  /// original data (reference point).
+  double original_accuracy = 0;
+  /// Accuracy on the *original* data of the tree built on perturbed data
+  /// (the outcome-change cost: how wrong the collector's tree is).
+  double perturbed_tree_accuracy = 0;
+  /// Whether the two trees are structurally identical (they essentially
+  /// never are — that is the point).
+  bool same_tree = false;
+};
+
+/// Perturbs `data`, builds trees on both versions, measures the impact.
+/// `rho_fraction` is the crack radius as a fraction of each attribute's
+/// dynamic-range width.
+PerturbationImpact MeasurePerturbationImpact(const Dataset& data,
+                                             const PerturbOptions& perturb,
+                                             const BuildOptions& tree,
+                                             double rho_fraction, Rng& rng);
+
+}  // namespace popp
+
+#endif  // POPP_PERTURB_COMPARISON_H_

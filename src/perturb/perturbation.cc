@@ -1,0 +1,71 @@
+#include "perturb/perturbation.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "data/summary.h"
+#include "util/status.h"
+
+namespace popp {
+
+std::string ToString(PerturbOptions::Noise noise) {
+  switch (noise) {
+    case PerturbOptions::Noise::kUniform:
+      return "uniform";
+    case PerturbOptions::Noise::kGaussian:
+      return "gaussian";
+  }
+  return "?";
+}
+
+Dataset PerturbDataset(const Dataset& data, const PerturbOptions& options,
+                       Rng& rng) {
+  POPP_CHECK_MSG(options.scale_fraction >= 0.0, "negative noise scale");
+  Dataset out = data;
+  for (size_t attr = 0; attr < data.NumAttributes(); ++attr) {
+    const AttributeSummary summary =
+        AttributeSummary::FromDataset(data, attr);
+    if (summary.empty()) continue;
+    const double width = summary.MaxValue() - summary.MinValue();
+    const double scale = options.scale_fraction * std::max(width, 1.0);
+    auto& col = out.MutableColumn(attr);
+    for (auto& v : col) {
+      double noise;
+      switch (options.noise) {
+        case PerturbOptions::Noise::kUniform:
+          noise = scale > 0.0 ? rng.Uniform(-scale, scale) : 0.0;
+          break;
+        case PerturbOptions::Noise::kGaussian:
+          noise = rng.Gaussian(0.0, scale);
+          break;
+        default:
+          noise = 0.0;
+      }
+      double released = v + noise;
+      if (options.round_to_int) {
+        released = std::round(released);
+      }
+      if (options.clamp_to_range) {
+        released = std::min(static_cast<double>(summary.MaxValue()),
+                            std::max(static_cast<double>(summary.MinValue()),
+                                     released));
+      }
+      v = released;
+    }
+  }
+  return out;
+}
+
+double FractionUnchanged(const Dataset& original, const Dataset& perturbed,
+                         size_t attr) {
+  POPP_CHECK(original.NumRows() == perturbed.NumRows());
+  if (original.NumRows() == 0) return 0.0;
+  size_t same = 0;
+  for (size_t r = 0; r < original.NumRows(); ++r) {
+    if (original.Value(r, attr) == perturbed.Value(r, attr)) ++same;
+  }
+  return static_cast<double>(same) /
+         static_cast<double>(original.NumRows());
+}
+
+}  // namespace popp

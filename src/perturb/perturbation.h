@@ -1,0 +1,53 @@
+#ifndef POPP_PERTURB_PERTURBATION_H_
+#define POPP_PERTURB_PERTURBATION_H_
+
+#include <string>
+
+#include "data/dataset.h"
+#include "util/rng.h"
+
+/// \file
+/// The random-perturbation baseline (Agrawal & Srikant, SIGMOD 2000): the
+/// dominant data-collector-scenario transformation the paper contrasts
+/// against. Each value is released as value + noise. Unlike the piecewise
+/// framework it changes the mining outcome, and on discrete domains it
+/// leaves a fraction of values unchanged (the paper cites ~30% retention
+/// for some configurations of [8]).
+
+namespace popp {
+
+/// Additive-noise configuration.
+struct PerturbOptions {
+  enum class Noise {
+    kUniform,   ///< noise uniform in [-scale, +scale]
+    kGaussian,  ///< noise N(0, scale)
+  };
+  Noise noise = Noise::kUniform;
+
+  /// Noise scale as a fraction of each attribute's dynamic-range width
+  /// (AS00 parameterize privacy the same way).
+  double scale_fraction = 0.25;
+
+  /// Round perturbed values to integers (discrete-domain release, the
+  /// setting in which values can survive unchanged).
+  bool round_to_int = true;
+
+  /// Clamp perturbed values into the attribute's original dynamic range.
+  bool clamp_to_range = true;
+};
+
+/// Returns "uniform" or "gaussian".
+std::string ToString(PerturbOptions::Noise noise);
+
+/// Perturbs every attribute value of `data` (labels unchanged).
+Dataset PerturbDataset(const Dataset& data, const PerturbOptions& options,
+                       Rng& rng);
+
+/// Fraction of tuples whose value of `attr` is identical in both datasets
+/// — the "true value revealed" weakness of perturbation on discrete data.
+double FractionUnchanged(const Dataset& original, const Dataset& perturbed,
+                         size_t attr);
+
+}  // namespace popp
+
+#endif  // POPP_PERTURB_PERTURBATION_H_

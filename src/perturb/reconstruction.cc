@@ -1,0 +1,119 @@
+#include "perturb/reconstruction.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/status.h"
+
+namespace popp {
+namespace {
+
+/// Noise density evaluated at displacement d.
+double NoiseDensity(PerturbOptions::Noise noise, double scale, double d) {
+  switch (noise) {
+    case PerturbOptions::Noise::kUniform:
+      if (scale <= 0.0) return d == 0.0 ? 1.0 : 0.0;
+      return std::fabs(d) <= scale ? 1.0 / (2.0 * scale) : 0.0;
+    case PerturbOptions::Noise::kGaussian: {
+      if (scale <= 0.0) return d == 0.0 ? 1.0 : 0.0;
+      const double z = d / scale;
+      return std::exp(-0.5 * z * z) / (scale * std::sqrt(2.0 * M_PI));
+    }
+  }
+  return 0.0;
+}
+
+void NormalizeInPlace(std::vector<double>& density) {
+  double sum = 0.0;
+  for (double d : density) sum += d;
+  if (sum <= 0.0) {
+    const double uniform = 1.0 / static_cast<double>(density.size());
+    std::fill(density.begin(), density.end(), uniform);
+    return;
+  }
+  for (double& d : density) d /= sum;
+}
+
+}  // namespace
+
+BinnedDistribution EmpiricalDistribution(const std::vector<AttrValue>& values,
+                                         double lo, double hi,
+                                         size_t num_bins) {
+  POPP_CHECK(num_bins > 0);
+  POPP_CHECK(lo < hi);
+  BinnedDistribution dist;
+  dist.lo = lo;
+  dist.hi = hi;
+  dist.density.assign(num_bins, 0.0);
+  if (values.empty()) return dist;
+  const double width = (hi - lo) / static_cast<double>(num_bins);
+  for (AttrValue v : values) {
+    const double clamped = std::min(hi, std::max(lo, static_cast<double>(v)));
+    size_t b = static_cast<size_t>((clamped - lo) / width);
+    b = std::min(b, num_bins - 1);
+    dist.density[b] += 1.0;
+  }
+  NormalizeInPlace(dist.density);
+  return dist;
+}
+
+BinnedDistribution ReconstructDistribution(
+    const std::vector<AttrValue>& perturbed, PerturbOptions::Noise noise,
+    double noise_scale, double lo, double hi, size_t num_bins,
+    size_t iterations) {
+  POPP_CHECK(num_bins > 0 && lo < hi);
+
+  // Bin the released values once; the update only needs their histogram.
+  const BinnedDistribution released =
+      EmpiricalDistribution(perturbed, lo, hi, num_bins);
+
+  // Precompute the noise kernel between bin centers: K[wb][ab].
+  std::vector<std::vector<double>> kernel(num_bins,
+                                          std::vector<double>(num_bins));
+  for (size_t wb = 0; wb < num_bins; ++wb) {
+    for (size_t ab = 0; ab < num_bins; ++ab) {
+      kernel[wb][ab] = NoiseDensity(
+          noise, noise_scale,
+          released.BinCenter(wb) - released.BinCenter(ab));
+    }
+  }
+
+  // AS00 iterative Bayes update, starting from the uniform prior:
+  //   f^{j+1}(a) = sum_w P(w) * K(w,a) f^j(a) / sum_a' K(w,a') f^j(a').
+  BinnedDistribution estimate;
+  estimate.lo = lo;
+  estimate.hi = hi;
+  estimate.density.assign(num_bins, 1.0 / static_cast<double>(num_bins));
+  std::vector<double> next(num_bins);
+  for (size_t it = 0; it < iterations; ++it) {
+    std::fill(next.begin(), next.end(), 0.0);
+    for (size_t wb = 0; wb < num_bins; ++wb) {
+      if (released.density[wb] == 0.0) continue;
+      double denom = 0.0;
+      for (size_t ab = 0; ab < num_bins; ++ab) {
+        denom += kernel[wb][ab] * estimate.density[ab];
+      }
+      if (denom <= 0.0) continue;
+      for (size_t ab = 0; ab < num_bins; ++ab) {
+        next[ab] += released.density[wb] * kernel[wb][ab] *
+                    estimate.density[ab] / denom;
+      }
+    }
+    estimate.density = next;
+    NormalizeInPlace(estimate.density);
+  }
+  return estimate;
+}
+
+double TotalVariation(const BinnedDistribution& p,
+                      const BinnedDistribution& q) {
+  POPP_CHECK_MSG(p.NumBins() == q.NumBins(),
+                 "distributions must share a bin grid");
+  double tv = 0.0;
+  for (size_t b = 0; b < p.NumBins(); ++b) {
+    tv += std::fabs(p.density[b] - q.density[b]);
+  }
+  return 0.5 * tv;
+}
+
+}  // namespace popp

@@ -1,0 +1,11 @@
+#include "risk/crack.h"
+
+#include <cmath>
+
+namespace popp {
+
+bool IsCrack(AttrValue guess, AttrValue truth, double rho) {
+  return std::fabs(guess - truth) <= rho;
+}
+
+}  // namespace popp

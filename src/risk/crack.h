@@ -1,0 +1,18 @@
+#ifndef POPP_RISK_CRACK_H_
+#define POPP_RISK_CRACK_H_
+
+#include "data/value.h"
+
+/// \file
+/// The crack predicate shared by all three disclosure metrics
+/// (Definitions 1–3): a guess cracks a value when it falls within radius
+/// rho of the true original.
+
+namespace popp {
+
+/// |guess - truth| <= rho (Definition 1's crack condition).
+bool IsCrack(AttrValue guess, AttrValue truth, double rho);
+
+}  // namespace popp
+
+#endif  // POPP_RISK_CRACK_H_

@@ -1,0 +1,73 @@
+#include "risk/domain_risk.h"
+
+#include "risk/crack.h"
+#include "util/stats.h"
+#include "util/status.h"
+
+namespace popp {
+
+std::vector<bool> DomainCrackVector(const AttributeSummary& original,
+                                    const PiecewiseTransform& transform,
+                                    const CrackFunction& crack, double rho) {
+  std::vector<bool> cracked;
+  cracked.reserve(original.NumDistinct());
+  for (AttrValue truth : original.values()) {
+    const AttrValue released = transform.Apply(truth);
+    cracked.push_back(IsCrack(crack.Guess(released), truth, rho));
+  }
+  return cracked;
+}
+
+DomainRiskResult DomainDisclosureRisk(const AttributeSummary& original,
+                                      const PiecewiseTransform& transform,
+                                      const CrackFunction& crack,
+                                      double rho) {
+  DomainRiskResult result;
+  const std::vector<bool> cracked =
+      DomainCrackVector(original, transform, crack, rho);
+  result.total = cracked.size();
+  for (bool c : cracked) {
+    if (c) result.cracks++;
+  }
+  result.risk = result.total == 0
+                    ? 0.0
+                    : static_cast<double>(result.cracks) /
+                          static_cast<double>(result.total);
+  return result;
+}
+
+DomainRiskResult CurveFitDomainRisk(const AttributeSummary& original,
+                                    const PiecewiseTransform& transform,
+                                    FitMethod method,
+                                    const KnowledgeOptions& knowledge,
+                                    Rng& rng) {
+  const double rho = CrackRadius(original, knowledge.radius_fraction);
+  std::unique_ptr<CrackFunction> crack;
+  if (knowledge.num_good + knowledge.num_bad == 0) {
+    crack = MakeIdentityCrack();
+  } else {
+    crack = FitCurve(
+        method, SampleKnowledgePoints(original, transform, knowledge, rng));
+  }
+  return DomainDisclosureRisk(original, transform, *crack, rho);
+}
+
+double MedianDomainRisk(const AttributeSummary& original,
+                        const DomainRiskExperiment& experiment) {
+  POPP_CHECK(experiment.num_trials > 0);
+  Rng master(experiment.seed);
+  std::vector<double> risks;
+  risks.reserve(experiment.num_trials);
+  for (size_t t = 0; t < experiment.num_trials; ++t) {
+    Rng trial = master.Fork();
+    const PiecewiseTransform transform = PiecewiseTransform::Create(
+        original, experiment.transform_options, trial);
+    risks.push_back(CurveFitDomainRisk(original, transform,
+                                       experiment.method,
+                                       experiment.knowledge, trial)
+                        .risk);
+  }
+  return Median(std::move(risks));
+}
+
+}  // namespace popp

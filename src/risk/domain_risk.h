@@ -1,0 +1,63 @@
+#ifndef POPP_RISK_DOMAIN_RISK_H_
+#define POPP_RISK_DOMAIN_RISK_H_
+
+#include <vector>
+
+#include "attack/curve_fit.h"
+#include "attack/knowledge.h"
+#include "data/summary.h"
+#include "transform/piecewise.h"
+#include "util/rng.h"
+
+/// \file
+/// Domain disclosure risk (paper Definition 1): the fraction of distinct
+/// released values the hacker's crack function recovers to within rho of
+/// their true originals.
+
+namespace popp {
+
+/// Outcome of one domain-disclosure evaluation.
+struct DomainRiskResult {
+  double risk = 0;
+  size_t cracks = 0;
+  size_t total = 0;
+};
+
+/// Per-distinct-value crack indicators, aligned with `original.values()`:
+/// entry i tells whether g(f(v_i)) falls within rho of v_i.
+std::vector<bool> DomainCrackVector(const AttributeSummary& original,
+                                    const PiecewiseTransform& transform,
+                                    const CrackFunction& crack, double rho);
+
+/// Definition 1's risk: cracked distinct values / distinct values.
+DomainRiskResult DomainDisclosureRisk(const AttributeSummary& original,
+                                      const PiecewiseTransform& transform,
+                                      const CrackFunction& crack, double rho);
+
+/// Full single-trial pipeline for a curve-fitting attack: sample knowledge
+/// points, fit `method`, evaluate the risk. With zero knowledge points the
+/// hacker falls back to the identity guess (the ignorant hacker).
+DomainRiskResult CurveFitDomainRisk(const AttributeSummary& original,
+                                    const PiecewiseTransform& transform,
+                                    FitMethod method,
+                                    const KnowledgeOptions& knowledge,
+                                    Rng& rng);
+
+/// Configuration for a randomized multi-trial domain-risk experiment: each
+/// trial draws a fresh transform and fresh knowledge points.
+struct DomainRiskExperiment {
+  PiecewiseOptions transform_options;
+  FitMethod method = FitMethod::kPolyline;
+  KnowledgeOptions knowledge;
+  size_t num_trials = 101;
+  uint64_t seed = 42;
+};
+
+/// Runs the experiment and returns the *median* risk over the trials (the
+/// paper reports medians of 500 random trials).
+double MedianDomainRisk(const AttributeSummary& original,
+                        const DomainRiskExperiment& experiment);
+
+}  // namespace popp
+
+#endif  // POPP_RISK_DOMAIN_RISK_H_

@@ -1,0 +1,69 @@
+#include "risk/pattern_risk.h"
+
+#include "data/summary.h"
+#include "risk/crack.h"
+#include "util/status.h"
+
+namespace popp {
+
+PatternRiskResult PatternDisclosureRisk(
+    const DecisionTree& tprime, const TransformPlan& plan,
+    const std::vector<const CrackFunction*>& cracks,
+    const std::vector<double>& rhos) {
+  POPP_CHECK(cracks.size() == plan.NumAttributes());
+  POPP_CHECK(rhos.size() == plan.NumAttributes());
+
+  PatternRiskResult result;
+  const std::vector<TreePath> paths = tprime.Paths();
+  result.total = paths.size();
+  for (const TreePath& path : paths) {
+    result.paths_by_length[path.length()]++;
+    bool all = true;
+    for (const PathCondition& cond : path.conditions) {
+      const AttrValue truth =
+          plan.transform(cond.attribute).InverseThreshold(cond.threshold)
+              .value;
+      const AttrValue guess = cracks[cond.attribute]->Guess(cond.threshold);
+      if (!IsCrack(guess, truth, rhos[cond.attribute])) {
+        all = false;
+        break;
+      }
+    }
+    if (all) {
+      result.cracks++;
+      result.cracks_by_length[path.length()]++;
+    }
+  }
+  result.risk = result.total == 0
+                    ? 0.0
+                    : static_cast<double>(result.cracks) /
+                          static_cast<double>(result.total);
+  return result;
+}
+
+PatternRiskResult CurveFitPatternRisk(const DecisionTree& tprime,
+                                      const Dataset& original,
+                                      const TransformPlan& plan,
+                                      FitMethod method,
+                                      const KnowledgeOptions& knowledge,
+                                      Rng& rng) {
+  std::vector<std::unique_ptr<CrackFunction>> owned;
+  std::vector<const CrackFunction*> cracks;
+  std::vector<double> rhos;
+  for (size_t attr = 0; attr < original.NumAttributes(); ++attr) {
+    const AttributeSummary summary =
+        AttributeSummary::FromDataset(original, attr);
+    rhos.push_back(CrackRadius(summary, knowledge.radius_fraction));
+    if (knowledge.num_good + knowledge.num_bad == 0) {
+      owned.push_back(MakeIdentityCrack());
+    } else {
+      owned.push_back(FitCurve(
+          method, SampleKnowledgePoints(summary, plan.transform(attr),
+                                        knowledge, rng)));
+    }
+    cracks.push_back(owned.back().get());
+  }
+  return PatternDisclosureRisk(tprime, plan, cracks, rhos);
+}
+
+}  // namespace popp

@@ -1,0 +1,55 @@
+#ifndef POPP_RISK_PATTERN_RISK_H_
+#define POPP_RISK_PATTERN_RISK_H_
+
+#include <map>
+#include <vector>
+
+#include "attack/curve_fit.h"
+#include "attack/knowledge.h"
+#include "data/dataset.h"
+#include "transform/plan.h"
+#include "tree/decision_tree.h"
+#include "util/rng.h"
+
+/// \file
+/// Pattern (output-privacy) disclosure risk (paper Definition 3 and
+/// Section 6.4): the hacker sees the encoded tree T' and tries to crack
+/// the thresholds along its root-to-leaf paths. A path cracks only when
+/// *every* threshold on it is guessed to within the per-attribute radius.
+
+namespace popp {
+
+/// Outcome of a pattern-disclosure evaluation.
+struct PatternRiskResult {
+  double risk = 0;
+  size_t cracks = 0;  ///< cracked paths
+  size_t total = 0;   ///< paths in T'
+
+  /// Path-length histogram and per-length cracks (the Section 6.4 table).
+  std::map<size_t, size_t> paths_by_length;
+  std::map<size_t, size_t> cracks_by_length;
+};
+
+/// Evaluates Definition 3 on the paths of `tprime`.
+///
+/// For each path condition `A theta nu'`, the hacker's guess is
+/// `cracks[A]->Guess(nu')` and the truth is the plan's exact decode of
+/// nu'; the condition cracks when they differ by at most rhos[A].
+PatternRiskResult PatternDisclosureRisk(
+    const DecisionTree& tprime, const TransformPlan& plan,
+    const std::vector<const CrackFunction*>& cracks,
+    const std::vector<double>& rhos);
+
+/// Full single-trial pipeline: per-attribute knowledge points and curve
+/// fits (against each attribute's transform), then path cracking.
+/// `original` supplies the attribute summaries for KP sampling and radii.
+PatternRiskResult CurveFitPatternRisk(const DecisionTree& tprime,
+                                      const Dataset& original,
+                                      const TransformPlan& plan,
+                                      FitMethod method,
+                                      const KnowledgeOptions& knowledge,
+                                      Rng& rng);
+
+}  // namespace popp
+
+#endif  // POPP_RISK_PATTERN_RISK_H_

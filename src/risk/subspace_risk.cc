@@ -1,0 +1,76 @@
+#include "risk/subspace_risk.h"
+
+#include <unordered_map>
+
+#include "data/summary.h"
+#include "risk/crack.h"
+#include "util/status.h"
+
+namespace popp {
+
+SubspaceRiskResult SubspaceAssociationRisk(
+    const Dataset& original, const TransformPlan& plan,
+    const std::vector<size_t>& subspace,
+    const std::vector<const CrackFunction*>& cracks,
+    const std::vector<double>& rhos) {
+  POPP_CHECK_MSG(!subspace.empty(), "empty subspace");
+  POPP_CHECK(cracks.size() == subspace.size());
+  POPP_CHECK(rhos.size() == subspace.size());
+
+  // Per attribute: crack verdict per distinct value, computed once.
+  std::vector<std::unordered_map<AttrValue, bool>> verdicts(subspace.size());
+  for (size_t s = 0; s < subspace.size(); ++s) {
+    const size_t attr = subspace[s];
+    const AttributeSummary summary =
+        AttributeSummary::FromDataset(original, attr);
+    const PiecewiseTransform& f = plan.transform(attr);
+    auto& verdict = verdicts[s];
+    verdict.reserve(summary.NumDistinct());
+    for (AttrValue truth : summary.values()) {
+      const AttrValue guess = cracks[s]->Guess(f.Apply(truth));
+      verdict.emplace(truth, IsCrack(guess, truth, rhos[s]));
+    }
+  }
+
+  SubspaceRiskResult result;
+  result.total = original.NumRows();
+  for (size_t r = 0; r < original.NumRows(); ++r) {
+    bool all = true;
+    for (size_t s = 0; s < subspace.size() && all; ++s) {
+      all = verdicts[s].at(original.Value(r, subspace[s]));
+    }
+    if (all) result.cracks++;
+  }
+  result.risk = result.total == 0
+                    ? 0.0
+                    : static_cast<double>(result.cracks) /
+                          static_cast<double>(result.total);
+  return result;
+}
+
+SubspaceRiskResult CurveFitSubspaceRisk(const Dataset& original,
+                                        const TransformPlan& plan,
+                                        const std::vector<size_t>& subspace,
+                                        FitMethod method,
+                                        const KnowledgeOptions& knowledge,
+                                        Rng& rng) {
+  std::vector<std::unique_ptr<CrackFunction>> owned;
+  std::vector<const CrackFunction*> cracks;
+  std::vector<double> rhos;
+  for (size_t attr : subspace) {
+    const AttributeSummary summary =
+        AttributeSummary::FromDataset(original, attr);
+    rhos.push_back(CrackRadius(summary, knowledge.radius_fraction));
+    if (knowledge.num_good + knowledge.num_bad == 0) {
+      owned.push_back(MakeIdentityCrack());
+    } else {
+      owned.push_back(FitCurve(
+          method, SampleKnowledgePoints(summary, plan.transform(attr),
+                                        knowledge, rng)));
+    }
+    cracks.push_back(owned.back().get());
+  }
+  return SubspaceAssociationRisk(original, plan, subspace, cracks, rhos);
+}
+
+}  // namespace popp

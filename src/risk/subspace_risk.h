@@ -1,0 +1,51 @@
+#ifndef POPP_RISK_SUBSPACE_RISK_H_
+#define POPP_RISK_SUBSPACE_RISK_H_
+
+#include <vector>
+
+#include "attack/curve_fit.h"
+#include "attack/knowledge.h"
+#include "data/dataset.h"
+#include "transform/plan.h"
+#include "util/rng.h"
+
+/// \file
+/// Subspace association disclosure risk (paper Definition 2): for a subset
+/// S of attributes, the fraction of S-tuples in D' whose *every*
+/// coordinate is cracked simultaneously. This is the metric the paper
+/// argues matters most to custodians ("protecting Bob of age 45 earning
+/// 50K, rather than the individual values").
+
+namespace popp {
+
+/// Outcome of one subspace-association evaluation.
+struct SubspaceRiskResult {
+  double risk = 0;
+  size_t cracks = 0;  ///< S-tuples with all coordinates cracked
+  size_t total = 0;   ///< S-tuples (rows) evaluated
+};
+
+/// Evaluates Definition 2 over the rows of `original`.
+///
+/// `subspace` lists the attribute indices of S; `cracks[i]` is the crack
+/// function the hacker uses against subspace[i]; `rhos[i]` the per-
+/// attribute radius. Per-attribute crack outcomes are computed once per
+/// distinct value, then combined per row.
+SubspaceRiskResult SubspaceAssociationRisk(
+    const Dataset& original, const TransformPlan& plan,
+    const std::vector<size_t>& subspace,
+    const std::vector<const CrackFunction*>& cracks,
+    const std::vector<double>& rhos);
+
+/// Full single-trial pipeline: samples per-attribute knowledge points,
+/// fits `method` per attribute, evaluates the association risk.
+SubspaceRiskResult CurveFitSubspaceRisk(const Dataset& original,
+                                        const TransformPlan& plan,
+                                        const std::vector<size_t>& subspace,
+                                        FitMethod method,
+                                        const KnowledgeOptions& knowledge,
+                                        Rng& rng);
+
+}  // namespace popp
+
+#endif  // POPP_RISK_SUBSPACE_RISK_H_

@@ -1,0 +1,67 @@
+#include "risk/trials.h"
+
+#include <atomic>
+#include <thread>
+
+#include "util/status.h"
+
+namespace popp {
+
+std::vector<double> CollectTrials(size_t num_trials, uint64_t seed,
+                                  const std::function<double(Rng&)>& trial) {
+  POPP_CHECK(num_trials > 0);
+  Rng master(seed);
+  std::vector<double> values;
+  values.reserve(num_trials);
+  for (size_t t = 0; t < num_trials; ++t) {
+    Rng stream = master.Fork();
+    values.push_back(trial(stream));
+  }
+  return values;
+}
+
+std::vector<double> CollectTrialsParallel(
+    size_t num_trials, uint64_t seed,
+    const std::function<double(Rng&)>& trial, size_t threads) {
+  POPP_CHECK(num_trials > 0);
+  if (threads == 0) {
+    threads = std::max<size_t>(1, std::thread::hardware_concurrency());
+  }
+  // Fork all per-trial streams up front (the fork sequence is what makes
+  // results identical to the sequential harness).
+  Rng master(seed);
+  std::vector<Rng> streams;
+  streams.reserve(num_trials);
+  for (size_t t = 0; t < num_trials; ++t) {
+    streams.push_back(master.Fork());
+  }
+  std::vector<double> values(num_trials);
+  std::atomic<size_t> next{0};
+  auto worker = [&]() {
+    while (true) {
+      const size_t t = next.fetch_add(1);
+      if (t >= num_trials) return;
+      values[t] = trial(streams[t]);
+    }
+  };
+  std::vector<std::thread> pool;
+  const size_t workers = std::min(threads, num_trials);
+  pool.reserve(workers);
+  for (size_t w = 0; w < workers; ++w) {
+    pool.emplace_back(worker);
+  }
+  for (auto& t : pool) t.join();
+  return values;
+}
+
+double MedianOverTrials(size_t num_trials, uint64_t seed,
+                        const std::function<double(Rng&)>& trial) {
+  return Median(CollectTrials(num_trials, seed, trial));
+}
+
+Summary SummarizeTrials(size_t num_trials, uint64_t seed,
+                        const std::function<double(Rng&)>& trial) {
+  return Summarize(CollectTrials(num_trials, seed, trial));
+}
+
+}  // namespace popp

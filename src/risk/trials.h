@@ -1,0 +1,42 @@
+#ifndef POPP_RISK_TRIALS_H_
+#define POPP_RISK_TRIALS_H_
+
+#include <functional>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/stats.h"
+
+/// \file
+/// Multi-trial harness: the paper reports each disclosure figure as the
+/// median over 500 random trials (Section 6.1). Every trial gets an
+/// independent forked RNG stream, so trial counts can change without
+/// perturbing individual trials.
+
+namespace popp {
+
+/// Runs `trial` `num_trials` times with independent RNG streams seeded
+/// from `seed`; returns the collected values.
+std::vector<double> CollectTrials(size_t num_trials, uint64_t seed,
+                                  const std::function<double(Rng&)>& trial);
+
+/// Parallel variant: trial i still gets the i-th forked stream, so the
+/// result vector is bit-identical to CollectTrials regardless of
+/// `threads` (0 = hardware concurrency). `trial` must be safe to invoke
+/// concurrently (the usual pattern — capturing only const references to
+/// shared inputs — is).
+std::vector<double> CollectTrialsParallel(
+    size_t num_trials, uint64_t seed,
+    const std::function<double(Rng&)>& trial, size_t threads = 0);
+
+/// Median over the trials.
+double MedianOverTrials(size_t num_trials, uint64_t seed,
+                        const std::function<double(Rng&)>& trial);
+
+/// Full distribution summary over the trials.
+Summary SummarizeTrials(size_t num_trials, uint64_t seed,
+                        const std::function<double(Rng&)>& trial);
+
+}  // namespace popp
+
+#endif  // POPP_RISK_TRIALS_H_

@@ -1,0 +1,127 @@
+#include "svm/linear_svm.h"
+
+#include <cmath>
+
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace popp {
+
+LinearSvm LinearSvm::Train(const Dataset& data, ClassId positive,
+                           const SvmOptions& options) {
+  const size_t n = data.NumRows();
+  const size_t m = data.NumAttributes();
+  POPP_CHECK_MSG(n > 1 && m > 0, "SVM needs data");
+  POPP_CHECK(options.lambda > 0.0 && options.epochs > 0);
+
+  LinearSvm model;
+  model.positive_ = positive;
+  model.mean_.assign(m, 0.0);
+  model.inv_std_.assign(m, 1.0);
+
+  if (options.standardize) {
+    for (size_t a = 0; a < m; ++a) {
+      const auto& col = data.Column(a);
+      double sum = 0.0;
+      for (double v : col) sum += v;
+      const double mean = sum / static_cast<double>(n);
+      double ss = 0.0;
+      for (double v : col) ss += (v - mean) * (v - mean);
+      const double stddev = std::sqrt(ss / static_cast<double>(n));
+      model.mean_[a] = mean;
+      model.inv_std_[a] = stddev > 0.0 ? 1.0 / stddev : 1.0;
+    }
+  }
+
+  std::vector<int> labels(n);
+  size_t positives = 0;
+  for (size_t r = 0; r < n; ++r) {
+    labels[r] = data.Label(r) == positive ? 1 : -1;
+    if (labels[r] > 0) ++positives;
+  }
+  POPP_CHECK_MSG(positives > 0 && positives < n,
+                 "need both polarities to train an SVM");
+
+  // Pegasos: at step t, eta = 1 / (lambda t); hinge subgradient update.
+  model.weights_.assign(m, 0.0);
+  model.bias_ = 0.0;
+  Rng rng(options.seed);
+  std::vector<size_t> order(n);
+  for (size_t r = 0; r < n; ++r) order[r] = r;
+  size_t t = 1;
+  std::vector<double> x(m);
+  for (size_t epoch = 0; epoch < options.epochs; ++epoch) {
+    rng.Shuffle(order);
+    for (size_t r : order) {
+      const double eta = 1.0 / (options.lambda * static_cast<double>(t));
+      ++t;
+      for (size_t a = 0; a < m; ++a) {
+        x[a] = (data.Value(r, a) - model.mean_[a]) * model.inv_std_[a];
+      }
+      double margin = model.bias_;
+      for (size_t a = 0; a < m; ++a) margin += model.weights_[a] * x[a];
+      margin *= labels[r];
+      // w <- (1 - eta lambda) w [+ eta y x  if margin < 1]
+      const double shrink = 1.0 - eta * options.lambda;
+      for (size_t a = 0; a < m; ++a) model.weights_[a] *= shrink;
+      if (margin < 1.0) {
+        const double step = eta * labels[r];
+        for (size_t a = 0; a < m; ++a) model.weights_[a] += step * x[a];
+        model.bias_ += step;
+      }
+    }
+  }
+  return model;
+}
+
+double LinearSvm::Decision(const std::vector<AttrValue>& values) const {
+  POPP_DCHECK(values.size() == weights_.size());
+  double d = bias_;
+  for (size_t a = 0; a < weights_.size(); ++a) {
+    d += weights_[a] * (values[a] - mean_[a]) * inv_std_[a];
+  }
+  return d;
+}
+
+bool LinearSvm::Predict(const std::vector<AttrValue>& values) const {
+  return Decision(values) >= 0.0;
+}
+
+double LinearSvm::Accuracy(const Dataset& data) const {
+  if (data.NumRows() == 0) return 0.0;
+  size_t correct = 0;
+  std::vector<AttrValue> row;
+  for (size_t r = 0; r < data.NumRows(); ++r) {
+    row = data.Row(r);
+    const bool predicted = Predict(row);
+    const bool actual = data.Label(r) == positive_;
+    if (predicted == actual) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(data.NumRows());
+}
+
+double PredictionAgreement(const LinearSvm& a, const LinearSvm& b,
+                           const Dataset& data) {
+  if (data.NumRows() == 0) return 0.0;
+  size_t agree = 0;
+  for (size_t r = 0; r < data.NumRows(); ++r) {
+    const auto row = data.Row(r);
+    if (a.Predict(row) == b.Predict(row)) ++agree;
+  }
+  return static_cast<double>(agree) / static_cast<double>(data.NumRows());
+}
+
+double CrossRepresentationAgreement(const LinearSvm& a, const Dataset& data_a,
+                                    const LinearSvm& b,
+                                    const Dataset& data_b) {
+  POPP_CHECK(data_a.NumRows() == data_b.NumRows());
+  if (data_a.NumRows() == 0) return 0.0;
+  size_t agree = 0;
+  for (size_t r = 0; r < data_a.NumRows(); ++r) {
+    if (a.Predict(data_a.Row(r)) == b.Predict(data_b.Row(r))) ++agree;
+  }
+  return static_cast<double>(agree) /
+         static_cast<double>(data_a.NumRows());
+}
+
+}  // namespace popp

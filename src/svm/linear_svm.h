@@ -1,0 +1,82 @@
+#ifndef POPP_SVM_LINEAR_SVM_H_
+#define POPP_SVM_LINEAR_SVM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+
+/// \file
+/// A linear soft-margin SVM, trained with deterministic Pegasos-style
+/// stochastic subgradient descent — the substrate for exploring the
+/// paper's Section 7 ("how to generalize the piecewise framework from
+/// decision trees to SVM ... the dividing planes can have arbitrary
+/// orientations").
+///
+/// The point this substrate makes precise: a decision tree's splits are
+/// axis-aligned and rank-based, so any order-preserving per-attribute
+/// transformation leaves the outcome untouched; an SVM's separating
+/// hyperplane mixes attributes linearly, so even *linear* per-attribute
+/// rescaling changes the solution — unless the learner standardizes its
+/// inputs, which buys invariance exactly up to per-attribute affine maps
+/// and no further. Nonlinear monotone or piecewise transforms change the
+/// SVM outcome. (See svm_test.cc and bench_svm_extension.cc.)
+
+namespace popp {
+
+/// Training hyperparameters. Training is deterministic given the seed.
+struct SvmOptions {
+  double lambda = 1e-4;   ///< L2 regularization strength
+  size_t epochs = 20;     ///< full passes over the data
+  uint64_t seed = 1;      ///< shuffling seed
+  bool standardize = true;  ///< z-score features before training
+};
+
+/// A trained binary linear classifier over numeric attributes.
+class LinearSvm {
+ public:
+  /// Trains on `data`, treating class id `positive` as +1 and every other
+  /// class as -1. Requires at least one example of each polarity.
+  static LinearSvm Train(const Dataset& data, ClassId positive,
+                         const SvmOptions& options = {});
+
+  /// Signed decision value w . x + b (after internal standardization).
+  double Decision(const std::vector<AttrValue>& values) const;
+
+  /// True for the positive class.
+  bool Predict(const std::vector<AttrValue>& values) const;
+
+  /// Fraction of rows classified correctly (positive-vs-rest).
+  double Accuracy(const Dataset& data) const;
+
+  /// Hyperplane weights in the (standardized) feature space.
+  const std::vector<double>& weights() const { return weights_; }
+  double bias() const { return bias_; }
+  ClassId positive_class() const { return positive_; }
+
+ private:
+  std::vector<double> weights_;
+  double bias_ = 0;
+  ClassId positive_ = 0;
+  // Standardization parameters (identity when disabled).
+  std::vector<double> mean_;
+  std::vector<double> inv_std_;
+};
+
+/// Fraction of rows on which two classifiers agree (same predicted side).
+double PredictionAgreement(const LinearSvm& a, const LinearSvm& b,
+                           const Dataset& data);
+
+/// Agreement across representations: classifier `a` sees row r of
+/// `data_a`, classifier `b` sees row r of `data_b` (the same tuple in a
+/// transformed representation). This is the outcome-preservation test for
+/// a model trained on released data: does it classify every (transformed)
+/// tuple the way the original model classifies the original tuple?
+double CrossRepresentationAgreement(const LinearSvm& a, const Dataset& data_a,
+                                    const LinearSvm& b,
+                                    const Dataset& data_b);
+
+}  // namespace popp
+
+#endif  // POPP_SVM_LINEAR_SVM_H_

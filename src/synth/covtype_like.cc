@@ -1,0 +1,315 @@
+#include "synth/covtype_like.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "synth/distributions.h"
+#include "util/status.h"
+
+namespace popp {
+namespace {
+
+/// A zone of the sorted support: a run of distinct-value indices that is
+/// either a monochromatic piece (with a class) or a mixed region.
+struct Zone {
+  size_t begin = 0;
+  size_t end = 0;
+  bool mono = false;
+  ClassId label = kNoClass;
+};
+
+/// Splits `total` into `parts` positive integers, each >= min_part, with
+/// random proportions. Requires total >= parts * min_part.
+std::vector<size_t> RandomComposition(size_t total, size_t parts,
+                                      size_t min_part, Rng& rng) {
+  POPP_CHECK(parts > 0);
+  POPP_CHECK_MSG(total >= parts * min_part,
+                 "cannot split " << total << " into " << parts
+                                 << " parts of >= " << min_part);
+  std::vector<size_t> out(parts, min_part);
+  size_t remaining = total - parts * min_part;
+  // Dirichlet-ish: distribute the remainder with random weights.
+  std::vector<double> weights(parts);
+  double sum = 0.0;
+  for (auto& w : weights) {
+    w = rng.Uniform(0.2, 1.0);
+    sum += w;
+  }
+  size_t given = 0;
+  for (size_t i = 0; i + 1 < parts; ++i) {
+    const size_t share = static_cast<size_t>(
+        static_cast<double>(remaining) * weights[i] / sum);
+    out[i] += share;
+    given += share;
+  }
+  out[parts - 1] += remaining - given;
+  return out;
+}
+
+/// Lays out mono pieces and mixed gaps over `num_distinct` value slots.
+std::vector<Zone> LayoutZones(const AttributeTargets& t, Rng& rng) {
+  const size_t distinct = t.num_distinct;
+  size_t total_mono = static_cast<size_t>(
+      std::llround(t.mono_value_fraction * static_cast<double>(distinct)));
+  size_t pieces = t.num_mono_pieces;
+  if (pieces == 0 || total_mono == 0) {
+    return {Zone{0, distinct, false, kNoClass}};
+  }
+  // Each piece needs >= 2 values to be a meaningful piece; shrink the
+  // piece count if the mono budget cannot afford it.
+  pieces = std::min(pieces, total_mono / 2);
+  POPP_CHECK(pieces > 0);
+  const size_t mixed_total = distinct - total_mono;
+  POPP_CHECK_MSG(mixed_total >= pieces - 1,
+                 "not enough mixed values to separate " << pieces
+                                                        << " mono pieces");
+
+  const std::vector<size_t> piece_lens =
+      RandomComposition(total_mono, pieces, 2, rng);
+  // pieces+1 gaps; interior gaps (1..pieces-1) must be >= 1.
+  std::vector<size_t> gap_lens;
+  // pieces+1 gaps; interior gaps (1..pieces-1) must be >= 1 so adjacent
+  // mono pieces stay maximal. Spread the rest uniformly over all gaps.
+  gap_lens.assign(pieces + 1, 0);
+  for (size_t i = 1; i < pieces; ++i) gap_lens[i] = 1;
+  size_t spread = mixed_total - (pieces - 1);
+  while (spread > 0) {
+    const size_t g = static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(pieces)));
+    gap_lens[g] += 1;
+    --spread;
+  }
+
+  std::vector<Zone> zones;
+  size_t pos = 0;
+  for (size_t p = 0; p < pieces; ++p) {
+    if (gap_lens[p] > 0) {
+      zones.push_back(Zone{pos, pos + gap_lens[p], false, kNoClass});
+      pos += gap_lens[p];
+    }
+    zones.push_back(Zone{pos, pos + piece_lens[p], true, kNoClass});
+    pos += piece_lens[p];
+  }
+  if (gap_lens[pieces] > 0) {
+    zones.push_back(Zone{pos, pos + gap_lens[pieces], false, kNoClass});
+    pos += gap_lens[pieces];
+  }
+  POPP_CHECK(pos == distinct);
+  return zones;
+}
+
+}  // namespace
+
+CovtypeLikeSpec DefaultCovtypeSpec(size_t num_rows) {
+  CovtypeLikeSpec spec;
+  spec.num_rows = num_rows;
+  // Calibrated to Figure 8 of the paper (width, #distinct, #mono pieces,
+  // fraction of distinct values inside mono pieces).
+  spec.attributes = {
+      {"elevation", 1859, 2000, 1978, 9, 0.742},
+      {"aspect", 0, 361, 361, 0, 0.000},
+      {"slope", 0, 67, 67, 1, 0.224},
+      {"horiz_dist_hydro", 0, 1398, 551, 22, 0.400},
+      {"vert_dist_hydro", -173, 775, 700, 14, 0.480},
+      {"horiz_dist_road", 0, 7118, 5785, 202, 0.629},
+      {"hillshade_9am", 0, 255, 207, 2, 0.396},
+      {"hillshade_noon", 0, 255, 185, 8, 0.259},
+      {"hillshade_3pm", 0, 255, 255, 3, 0.094},
+      {"horiz_dist_fire", 0, 7174, 5827, 229, 0.668},
+  };
+  spec.class_names = {"spruce_fir", "lodgepole", "ponderosa", "cottonwood",
+                      "aspen",      "douglas",   "krummholz"};
+  return spec;
+}
+
+CovtypeLikeSpec SmallCovtypeSpec(size_t num_rows) {
+  CovtypeLikeSpec spec;
+  spec.num_rows = num_rows;
+  // Sized so that even a few hundred rows can cover every distinct value
+  // (mono coverage + two-class seeding of every mixed value).
+  spec.attributes = {
+      {"a1", 0, 120, 100, 4, 0.5},
+      {"a2", 10, 60, 60, 0, 0.0},
+      {"a3", -50, 300, 80, 5, 0.3},
+  };
+  spec.class_weights = {0.5, 0.3, 0.2};
+  spec.class_names = {"x", "y", "z"};
+  return spec;
+}
+
+Dataset GenerateCovtypeLike(const CovtypeLikeSpec& spec, Rng& rng) {
+  POPP_CHECK_MSG(!spec.attributes.empty(), "spec has no attributes");
+  POPP_CHECK_MSG(spec.class_weights.size() >= 2, "need >= 2 classes");
+  const size_t num_classes = spec.class_weights.size();
+
+  std::vector<std::string> attr_names;
+  for (const auto& a : spec.attributes) attr_names.push_back(a.name);
+  std::vector<std::string> class_names = spec.class_names;
+  if (class_names.empty()) {
+    for (size_t c = 0; c < num_classes; ++c) {
+      class_names.push_back("c" + std::to_string(c + 1));
+    }
+  }
+  POPP_CHECK(class_names.size() == num_classes);
+
+  // --- Labels first: one shared class column couples all attributes. ---
+  const size_t n = spec.num_rows;
+  CategoricalSampler class_sampler(spec.class_weights);
+  std::vector<ClassId> labels(n);
+  std::vector<std::vector<size_t>> by_class(num_classes);
+  for (size_t r = 0; r < n; ++r) {
+    const size_t c = class_sampler.Sample(rng);
+    labels[r] = static_cast<ClassId>(c);
+    by_class[c].push_back(r);
+  }
+
+  Dataset data(Schema(attr_names, class_names));
+  data.Reserve(n);
+  {
+    // Materialize rows with placeholder values; columns filled in below.
+    const std::vector<AttrValue> zeros(spec.attributes.size(), 0.0);
+    for (size_t r = 0; r < n; ++r) {
+      data.AddRow(zeros, labels[r]);
+    }
+  }
+
+  // --- Per-attribute value assignment. ------------------------------
+  for (size_t a = 0; a < spec.attributes.size(); ++a) {
+    const AttributeTargets& t = spec.attributes[a];
+    POPP_CHECK_MSG(t.num_distinct >= 2, "attribute needs >= 2 values");
+    POPP_CHECK_MSG(static_cast<int64_t>(t.num_distinct) <= t.range_width,
+                   "num_distinct exceeds range width");
+
+    // Clustered support: real measurement attributes have dense stretches
+    // and sparse tails, which is what gives discontinuities their
+    // protective power against the sorting attack (Figure 11).
+    const std::vector<int64_t> support = SampleClusteredSupport(
+        t.min_value, t.min_value + t.range_width - 1, t.num_distinct,
+        /*num_segments=*/12, /*log_density_spread=*/2.5, rng);
+    std::vector<Zone> zones = LayoutZones(t, rng);
+
+    // Per-attribute class pools: shuffled tuple ids per class, consumed
+    // from a cursor.
+    std::vector<std::vector<size_t>> pool = by_class;
+    for (auto& p : pool) rng.Shuffle(p);
+    std::vector<size_t> cursor(num_classes, 0);
+    auto remaining = [&](size_t c) { return pool[c].size() - cursor[c]; };
+
+    // Assign a class to every mono zone, respecting remaining capacity.
+    for (auto& zone : zones) {
+      if (!zone.mono) continue;
+      const size_t len = zone.end - zone.begin;
+      double total_weight = 0.0;
+      for (size_t c = 0; c < num_classes; ++c) {
+        if (remaining(c) >= len) total_weight += spec.class_weights[c];
+      }
+      POPP_CHECK_MSG(total_weight > 0.0,
+                     "no class has capacity for a mono piece of " << len);
+      double pick = rng.Uniform(0.0, total_weight);
+      size_t chosen = num_classes;
+      for (size_t c = 0; c < num_classes; ++c) {
+        if (remaining(c) < len) continue;
+        chosen = c;  // remember the last eligible class
+        pick -= spec.class_weights[c];
+        if (pick <= 0.0) break;
+      }
+      POPP_CHECK(chosen < num_classes);
+      zone.label = static_cast<ClassId>(chosen);
+      cursor[chosen] += len;  // reserve now; tuples drawn later
+    }
+    // Rewind cursors: reservation was only a feasibility check.
+    std::fill(cursor.begin(), cursor.end(), 0);
+
+    std::vector<AttrValue> column(n, 0.0);
+    std::vector<char> assigned(n, 0);
+    std::vector<size_t> mixed_values;  // support indices of mixed values
+    // Candidate extra slots per class: mixed values + own mono values.
+    std::vector<std::vector<size_t>> extra_slots(num_classes);
+
+    for (const auto& zone : zones) {
+      if (zone.mono) {
+        const size_t c = static_cast<size_t>(zone.label);
+        for (size_t i = zone.begin; i < zone.end; ++i) {
+          POPP_CHECK_MSG(cursor[c] < pool[c].size(),
+                         "class pool exhausted during mono coverage");
+          const size_t tuple = pool[c][cursor[c]++];
+          column[tuple] = static_cast<AttrValue>(support[i]);
+          assigned[tuple] = 1;
+          extra_slots[c].push_back(i);
+        }
+      } else {
+        for (size_t i = zone.begin; i < zone.end; ++i) {
+          mixed_values.push_back(i);
+        }
+      }
+    }
+
+    // Seed every mixed value with two tuples of *different* classes, drawn
+    // from the two largest remaining pools. Feasibility: the number of
+    // distinct-class pairs that can be formed from the remaining pools is
+    // min(floor(total/2), total - max_pool) (and greedy two-largest
+    // pairing achieves it) — check it up front with a clear message.
+    {
+      size_t rem_total = 0, rem_max = 0;
+      for (size_t c = 0; c < num_classes; ++c) {
+        rem_total += remaining(c);
+        rem_max = std::max(rem_max, remaining(c));
+      }
+      const size_t max_pairs = std::min(rem_total / 2, rem_total - rem_max);
+      POPP_CHECK_MSG(
+          mixed_values.size() <= max_pairs,
+          "attribute '" << t.name << "': " << mixed_values.size()
+                        << " mixed values need two distinct-class tuples "
+                           "each, but only "
+                        << max_pairs
+                        << " such pairs exist — increase num_rows or reduce "
+                           "num_distinct");
+    }
+    for (size_t i : mixed_values) {
+      size_t c1 = num_classes, c2 = num_classes;
+      for (size_t c = 0; c < num_classes; ++c) {
+        if (remaining(c) == 0) continue;
+        if (c1 == num_classes || remaining(c) > remaining(c1)) {
+          c2 = c1;
+          c1 = c;
+        } else if (c2 == num_classes || remaining(c) > remaining(c2)) {
+          c2 = c;
+        }
+      }
+      POPP_CHECK_MSG(c1 < num_classes && c2 < num_classes,
+                     "mixing infeasible despite up-front check");
+      for (size_t c : {c1, c2}) {
+        const size_t tuple = pool[c][cursor[c]++];
+        column[tuple] = static_cast<AttrValue>(support[i]);
+        assigned[tuple] = 1;
+      }
+    }
+    for (size_t c = 0; c < num_classes; ++c) {
+      for (size_t i : mixed_values) extra_slots[c].push_back(i);
+    }
+
+    // Spread the leftovers: each unassigned tuple goes to a uniformly
+    // random compatible value (mixed, or a mono value of its own class).
+    for (size_t c = 0; c < num_classes; ++c) {
+      const auto& slots = extra_slots[c];
+      while (cursor[c] < pool[c].size()) {
+        const size_t tuple = pool[c][cursor[c]++];
+        POPP_CHECK_MSG(!slots.empty(),
+                       "class " << c << " has tuples but no compatible value");
+        const size_t i = slots[static_cast<size_t>(
+            rng.UniformInt(0, static_cast<int64_t>(slots.size()) - 1))];
+        column[tuple] = static_cast<AttrValue>(support[i]);
+        assigned[tuple] = 1;
+      }
+    }
+
+    auto& col = data.MutableColumn(a);
+    for (size_t r = 0; r < n; ++r) {
+      POPP_CHECK_MSG(assigned[r], "tuple " << r << " left unassigned");
+      col[r] = column[r];
+    }
+  }
+  return data;
+}
+
+}  // namespace popp

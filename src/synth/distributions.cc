@@ -1,0 +1,168 @@
+#include "synth/distributions.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/status.h"
+
+namespace popp {
+
+CategoricalSampler::CategoricalSampler(const std::vector<double>& weights) {
+  POPP_CHECK_MSG(!weights.empty(), "CategoricalSampler: empty weights");
+  double sum = 0.0;
+  for (double w : weights) {
+    POPP_CHECK_MSG(w >= 0.0, "CategoricalSampler: negative weight");
+    sum += w;
+  }
+  POPP_CHECK_MSG(sum > 0.0, "CategoricalSampler: zero total weight");
+
+  const size_t n = weights.size();
+  prob_.assign(n, 0.0);
+  alias_.assign(n, 0);
+  // Vose's alias method.
+  std::vector<double> scaled(n);
+  for (size_t i = 0; i < n; ++i) {
+    scaled[i] = weights[i] / sum * static_cast<double>(n);
+  }
+  std::vector<size_t> small, large;
+  for (size_t i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(i);
+  }
+  while (!small.empty() && !large.empty()) {
+    const size_t s = small.back();
+    small.pop_back();
+    const size_t l = large.back();
+    large.pop_back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    (scaled[l] < 1.0 ? small : large).push_back(l);
+  }
+  for (size_t i : large) prob_[i] = 1.0;
+  for (size_t i : small) prob_[i] = 1.0;
+}
+
+size_t CategoricalSampler::Sample(Rng& rng) const {
+  const size_t i = static_cast<size_t>(
+      rng.UniformInt(0, static_cast<int64_t>(prob_.size()) - 1));
+  return rng.Uniform01() < prob_[i] ? i : alias_[i];
+}
+
+ZipfSampler::ZipfSampler(size_t n, double s) {
+  POPP_CHECK_MSG(n > 0, "ZipfSampler: n must be positive");
+  cdf_.resize(n);
+  double acc = 0.0;
+  for (size_t r = 1; r <= n; ++r) {
+    acc += std::pow(static_cast<double>(r), -s);
+    cdf_[r - 1] = acc;
+  }
+  for (auto& c : cdf_) c /= acc;
+}
+
+size_t ZipfSampler::Sample(Rng& rng) const {
+  const double u = rng.Uniform01();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<size_t>(it - cdf_.begin()) + 1;
+}
+
+std::vector<int64_t> SampleDistinctSupport(int64_t lo, int64_t hi,
+                                           size_t count, Rng& rng) {
+  POPP_CHECK_MSG(lo < hi, "SampleDistinctSupport: lo must be < hi");
+  const uint64_t slots = static_cast<uint64_t>(hi - lo) + 1;
+  POPP_CHECK_MSG(count >= 2 && count <= slots,
+                 "SampleDistinctSupport: bad count " << count);
+  // Endpoints are pinned; sample count-2 interior values from (lo, hi).
+  std::vector<size_t> interior =
+      rng.SampleIndices(static_cast<size_t>(slots - 2), count - 2);
+  std::vector<int64_t> out;
+  out.reserve(count);
+  out.push_back(lo);
+  for (size_t offset : interior) {
+    out.push_back(lo + 1 + static_cast<int64_t>(offset));
+  }
+  out.push_back(hi);
+  return out;
+}
+
+std::vector<int64_t> SampleClusteredSupport(int64_t lo, int64_t hi,
+                                            size_t count,
+                                            size_t num_segments,
+                                            double log_density_spread,
+                                            Rng& rng) {
+  const uint64_t slots = static_cast<uint64_t>(hi - lo) + 1;
+  POPP_CHECK_MSG(count >= 2 && count <= slots,
+                 "SampleClusteredSupport: bad count " << count);
+  POPP_CHECK(num_segments >= 1);
+  if (count == slots) {
+    std::vector<int64_t> out(count);
+    for (size_t i = 0; i < count; ++i) out[i] = lo + static_cast<int64_t>(i);
+    return out;
+  }
+
+  // Endpoints are pinned; allocate the remaining count-2 picks over the
+  // interior slots (lo+1 .. hi-1), split into segments with log-uniform
+  // densities.
+  const size_t interior = static_cast<size_t>(slots - 2);
+  const size_t picks = count - 2;
+  const size_t segments = std::min(num_segments, std::max<size_t>(1, interior));
+
+  std::vector<size_t> seg_begin(segments + 1);
+  for (size_t s = 0; s <= segments; ++s) {
+    seg_begin[s] = interior * s / segments;
+  }
+  std::vector<double> weight(segments);
+  for (auto& w : weight) {
+    w = std::exp(rng.Uniform(-log_density_spread, log_density_spread));
+  }
+
+  // Quotas by weighted share, capped at segment capacity; redistribute
+  // any shortfall to segments with spare room (by weight order).
+  std::vector<size_t> quota(segments, 0);
+  double weighted_total = 0.0;
+  for (size_t s = 0; s < segments; ++s) {
+    weighted_total +=
+        weight[s] * static_cast<double>(seg_begin[s + 1] - seg_begin[s]);
+  }
+  size_t assigned = 0;
+  for (size_t s = 0; s < segments; ++s) {
+    const size_t cap = seg_begin[s + 1] - seg_begin[s];
+    const double share =
+        weight[s] * static_cast<double>(cap) / weighted_total;
+    quota[s] = std::min(cap, static_cast<size_t>(share *
+                                                 static_cast<double>(picks)));
+    assigned += quota[s];
+  }
+  // Distribute the remainder round-robin to segments with spare capacity.
+  size_t s = 0;
+  while (assigned < picks) {
+    const size_t cap = seg_begin[s + 1] - seg_begin[s];
+    if (quota[s] < cap) {
+      quota[s]++;
+      assigned++;
+    }
+    s = (s + 1) % segments;
+  }
+
+  std::vector<int64_t> out;
+  out.reserve(count);
+  out.push_back(lo);
+  for (size_t seg = 0; seg < segments; ++seg) {
+    const size_t cap = seg_begin[seg + 1] - seg_begin[seg];
+    if (quota[seg] == 0 || cap == 0) continue;
+    for (size_t offset : rng.SampleIndices(cap, quota[seg])) {
+      out.push_back(lo + 1 + static_cast<int64_t>(seg_begin[seg] + offset));
+    }
+  }
+  out.push_back(hi);
+  POPP_CHECK(out.size() == count);
+  return out;
+}
+
+int64_t ClampedGaussianInt(double mean, double stddev, int64_t lo, int64_t hi,
+                           Rng& rng) {
+  const double draw = rng.Gaussian(mean, stddev);
+  const int64_t rounded = static_cast<int64_t>(std::llround(draw));
+  return std::min(hi, std::max(lo, rounded));
+}
+
+}  // namespace popp

@@ -1,0 +1,73 @@
+#ifndef POPP_SYNTH_DISTRIBUTIONS_H_
+#define POPP_SYNTH_DISTRIBUTIONS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+/// \file
+/// Sampling primitives for synthetic workloads: categorical draws, Zipf
+/// ranks, and distinct-support sampling for integer domains. The paper's
+/// attack model explicitly lists Zipf and Gaussian as distributions a
+/// hacker may assume as prior knowledge (Section 3.3), so the generators
+/// here let experiments produce both shapes.
+
+namespace popp {
+
+/// Weighted categorical sampler with O(1) draws (alias method).
+class CategoricalSampler {
+ public:
+  /// `weights` must be non-empty with non-negative entries and a positive
+  /// sum; they need not be normalized.
+  explicit CategoricalSampler(const std::vector<double>& weights);
+
+  /// Draws an index in [0, weights.size()).
+  size_t Sample(Rng& rng) const;
+
+  size_t size() const { return prob_.size(); }
+
+ private:
+  std::vector<double> prob_;   // alias-method cut probabilities
+  std::vector<size_t> alias_;  // alias targets
+};
+
+/// Zipf(s) sampler over ranks 1..n (probability of rank r proportional to
+/// r^-s). Draws by inverse CDF over a precomputed table; O(log n).
+class ZipfSampler {
+ public:
+  ZipfSampler(size_t n, double s);
+
+  /// Draws a rank in [1, n].
+  size_t Sample(Rng& rng) const;
+
+ private:
+  std::vector<double> cdf_;
+};
+
+/// Samples `count` distinct integers from [lo, hi], always including both
+/// endpoints (so the dynamic range width is exactly hi - lo + 1). Requires
+/// 2 <= count <= hi - lo + 1. Returned sorted ascending.
+std::vector<int64_t> SampleDistinctSupport(int64_t lo, int64_t hi,
+                                           size_t count, Rng& rng);
+
+/// Like SampleDistinctSupport, but *clustered*: the range is divided into
+/// `num_segments` runs whose sampling densities differ by up to
+/// exp(2 * log_density_spread), so the support has dense stretches and
+/// sparse stretches — the shape of real sensor/measurement attributes
+/// (e.g. covertype's distance fields). Clustering matters for the sorting
+/// attack: rank-to-value drift accumulates across sparse stretches, while
+/// a uniformly sampled support would keep the drift tiny everywhere.
+std::vector<int64_t> SampleClusteredSupport(int64_t lo, int64_t hi,
+                                            size_t count,
+                                            size_t num_segments,
+                                            double log_density_spread,
+                                            Rng& rng);
+
+/// Rounds a Gaussian draw to an integer and clamps it into [lo, hi].
+int64_t ClampedGaussianInt(double mean, double stddev, int64_t lo, int64_t hi,
+                           Rng& rng);
+
+}  // namespace popp
+
+#endif  // POPP_SYNTH_DISTRIBUTIONS_H_

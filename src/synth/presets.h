@@ -1,0 +1,52 @@
+#ifndef POPP_SYNTH_PRESETS_H_
+#define POPP_SYNTH_PRESETS_H_
+
+#include <cstddef>
+
+#include "data/dataset.h"
+#include "synth/covtype_like.h"
+#include "util/rng.h"
+
+/// \file
+/// Ready-made datasets and generator specs used by examples, tests and
+/// experiments.
+
+namespace popp {
+
+/// The didactic training set of the paper's Figure 1: six tuples over
+/// (age, salary) with classes High/Low, with sigma_age = HHHLHL and a
+/// salary arrangement that reproduces the figure's tree (age at the root,
+/// salary in the right subtree) — see the note in the implementation.
+Dataset MakeFigure1Dataset();
+
+/// The transformed Figure 1 data D' under the paper's example functions
+/// age' = 0.9 * age + 10 and salary' = 0.5 * salary.
+Dataset MakeFigure1Transformed();
+
+/// A census-income-like spec (the paper's second benchmark): fewer rows,
+/// a binary class, wide age/income-style attributes.
+CovtypeLikeSpec CensusLikeSpec(size_t num_rows = 20000);
+
+/// A WDBC-like spec (the paper's third benchmark): small and numeric-dense
+/// with a binary class.
+CovtypeLikeSpec WdbcLikeSpec(size_t num_rows = 4000);
+
+/// A fully random dataset for property tests: `num_rows` tuples over
+/// `num_attrs` integer attributes with values in [0, max_value] and
+/// `num_classes` uniformly random classes. No structure is enforced.
+Dataset MakeRandomDataset(size_t num_rows, size_t num_attrs,
+                          size_t num_classes, int64_t max_value, Rng& rng);
+
+/// A latent-factor dataset: every attribute is a noisy linear view of
+/// `num_factors` shared latent variables, so the columns are strongly
+/// correlated — the setting in which the spectral attack on perturbed
+/// data shines and a linear separator is the natural model. The binary
+/// class is the sign of the first latent factor, which makes the classes
+/// linearly separable up to the attribute noise.
+Dataset MakeCorrelatedDataset(size_t num_rows, size_t num_attrs,
+                              size_t num_factors, double attribute_noise,
+                              Rng& rng);
+
+}  // namespace popp
+
+#endif  // POPP_SYNTH_PRESETS_H_

@@ -1,0 +1,23 @@
+#include "transform/choose_bp.h"
+
+#include <algorithm>
+
+#include "util/status.h"
+
+namespace popp {
+
+std::vector<size_t> ChooseBP(const AttributeSummary& summary, size_t w,
+                             Rng& rng) {
+  const size_t n = summary.NumDistinct();
+  POPP_CHECK_MSG(n > 0, "ChooseBP on empty summary");
+  // Candidate breakpoints CBP are the distinct A-values; index 0 is always
+  // a piece start, so sample from indices [1, n).
+  const size_t available = n - 1;
+  const size_t k = std::min(w, available);
+  std::vector<size_t> starts = rng.SampleIndices(available, k);
+  for (size_t& s : starts) s += 1;  // shift into [1, n)
+  starts.insert(starts.begin(), 0);
+  return starts;
+}
+
+}  // namespace popp

@@ -1,0 +1,28 @@
+#ifndef POPP_TRANSFORM_CHOOSE_BP_H_
+#define POPP_TRANSFORM_CHOOSE_BP_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "data/summary.h"
+#include "util/rng.h"
+
+/// \file
+/// Procedure ChooseBP (paper Figure 5): random breakpoint selection.
+///
+/// Breakpoints are drawn uniformly from the attribute's distinct values; a
+/// breakpoint at value v starts a new piece whose smallest value is v. The
+/// privacy power of this simple procedure comes from the hacker's
+/// uncertainty about both the number w and the O(2^N) possible locations.
+
+namespace popp {
+
+/// Picks `w` random breakpoints among the distinct values of `summary` and
+/// returns the resulting sorted piece-start indices (always including 0).
+/// If w >= NumDistinct, every value becomes its own piece.
+std::vector<size_t> ChooseBP(const AttributeSummary& summary, size_t w,
+                             Rng& rng);
+
+}  // namespace popp
+
+#endif  // POPP_TRANSFORM_CHOOSE_BP_H_

@@ -1,0 +1,95 @@
+#include "transform/choose_max_mp.h"
+
+#include <algorithm>
+
+#include "util/status.h"
+
+namespace popp {
+
+size_t ChooseMaxMPResult::NumMonochromatic() const {
+  size_t n = 0;
+  for (const auto& piece : pieces) {
+    if (piece.monochromatic) ++n;
+  }
+  return n;
+}
+
+ChooseMaxMPResult ChooseMaxMP(const AttributeSummary& summary, size_t w,
+                              size_t min_mono_width, Rng& rng) {
+  const size_t n = summary.NumDistinct();
+  POPP_CHECK_MSG(n > 0, "ChooseMaxMP on empty summary");
+
+  // Phase 1 — the scan of Figure 6: breakpoints open a new piece whenever
+  // the monochromatic state flips or the (single) class changes.
+  std::vector<size_t> starts;
+  starts.push_back(0);
+  bool in_mono = summary.IsMonochromatic(0);
+  ClassId cur_label = summary.MonoClassAt(0);
+  for (size_t i = 1; i < n; ++i) {
+    const ClassId mono = summary.MonoClassAt(i);
+    if (mono == kNoClass) {
+      if (in_mono) {
+        starts.push_back(i);  // end of a monochromatic piece
+        in_mono = false;
+        cur_label = kNoClass;
+      }
+    } else {
+      if (!in_mono) {
+        starts.push_back(i);  // a new monochromatic piece begins
+        in_mono = true;
+        cur_label = mono;
+      } else if (cur_label != mono) {
+        starts.push_back(i);  // different label: a different mono piece
+        cur_label = mono;
+      }
+    }
+  }
+
+  // Phase 2 — enforce the minimum monochromatic width: pieces that fail it
+  // lose their bijective privilege; merge adjacent non-monochromatic
+  // pieces so demoted slivers join their neighbors.
+  std::vector<PieceSpec> pieces = ComputePieces(summary, starts,
+                                                min_mono_width);
+  std::vector<size_t> merged_starts;
+  for (size_t k = 0; k < pieces.size(); ++k) {
+    const bool mergeable = k > 0 && !pieces[k].monochromatic &&
+                           !pieces[k - 1].monochromatic;
+    if (!mergeable) {
+      merged_starts.push_back(pieces[k].begin);
+    }
+    if (mergeable) {
+      pieces[k].begin = pieces[k - 1].begin;  // keep flags consistent
+    }
+  }
+  starts = std::move(merged_starts);
+  pieces = ComputePieces(summary, starts, min_mono_width);
+
+  // Phase 3 — top up to w breakpoints from the non-monochromatic values
+  // (Figure 6 lines 18–20). Candidate positions are interior indices of
+  // non-monochromatic pieces.
+  if (starts.size() - 1 < w) {
+    std::vector<size_t> candidates;
+    for (const auto& piece : pieces) {
+      if (piece.monochromatic) continue;
+      for (size_t i = piece.begin + 1; i < piece.end; ++i) {
+        candidates.push_back(i);
+      }
+    }
+    const size_t need =
+        std::min(w - (starts.size() - 1), candidates.size());
+    if (need > 0) {
+      std::vector<size_t> picks = rng.SampleIndices(candidates.size(), need);
+      for (size_t p : picks) starts.push_back(candidates[p]);
+      std::sort(starts.begin(), starts.end());
+      starts.erase(std::unique(starts.begin(), starts.end()), starts.end());
+      pieces = ComputePieces(summary, starts, min_mono_width);
+    }
+  }
+
+  ChooseMaxMPResult result;
+  result.piece_starts = std::move(starts);
+  result.pieces = std::move(pieces);
+  return result;
+}
+
+}  // namespace popp

@@ -1,0 +1,48 @@
+#ifndef POPP_TRANSFORM_CHOOSE_MAX_MP_H_
+#define POPP_TRANSFORM_CHOOSE_MAX_MP_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "data/summary.h"
+#include "transform/pieces.h"
+#include "util/rng.h"
+
+/// \file
+/// Procedure ChooseMaxMP (paper Figure 6): breakpoint selection that grows
+/// monochromatic values into *maximal* monochromatic pieces, so that the
+/// largest possible share of the domain can be transformed with arbitrary
+/// bijections (F_bi) instead of merely (anti-)monotone functions.
+///
+/// After the scan, if fewer than the desired `w` breakpoints were found,
+/// the remainder is drawn randomly from the non-monochromatic values, as
+/// in ChooseBP (paper Figure 6, lines 18–20).
+
+namespace popp {
+
+/// Result of ChooseMaxMP: the final piece layout.
+struct ChooseMaxMPResult {
+  /// Sorted piece-start indices, beginning with 0.
+  std::vector<size_t> piece_starts;
+  /// Pieces induced by the starts, with monochromatic flags (a piece is
+  /// monochromatic iff single-class and >= min_mono_width values wide).
+  std::vector<PieceSpec> pieces;
+
+  size_t NumMonochromatic() const;
+};
+
+/// Runs ChooseMaxMP on `summary`.
+///
+/// \param w              desired minimum number of breakpoints (the paper's
+///                       experiments use w >= 20); the scan may produce
+///                       more, and fewer are returned only when the domain
+///                       runs out of values to break at.
+/// \param min_mono_width monochromatic pieces narrower than this are merged
+///                       into their neighbors and transformed monotonically
+///                       (the paper's "minimum width threshold").
+ChooseMaxMPResult ChooseMaxMP(const AttributeSummary& summary, size_t w,
+                              size_t min_mono_width, Rng& rng);
+
+}  // namespace popp
+
+#endif  // POPP_TRANSFORM_CHOOSE_MAX_MP_H_

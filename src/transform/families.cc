@@ -1,0 +1,89 @@
+#include "transform/families.h"
+
+#include <algorithm>
+
+#include "util/status.h"
+
+namespace popp {
+namespace {
+
+using ShapeChoice = FamilyOptions::ShapeChoice;
+
+std::unique_ptr<ShapeFunction> MakeShape(ShapeChoice choice,
+                                         const FamilyOptions& options,
+                                         Rng& rng) {
+  switch (choice) {
+    case ShapeChoice::kLinear:
+      return std::make_unique<IdentityShape>();
+    case ShapeChoice::kPolynomial:
+      return std::make_unique<PowerShape>(
+          rng.Uniform(options.min_power, options.max_power));
+    case ShapeChoice::kLog:
+      return std::make_unique<LogShape>(
+          rng.Uniform(options.min_alpha, options.max_alpha));
+    case ShapeChoice::kSqrtLog:
+      return std::make_unique<SqrtLogShape>(
+          rng.Uniform(options.min_alpha, options.max_alpha));
+    case ShapeChoice::kRandom:
+      break;
+  }
+  POPP_CHECK_MSG(false, "MakeShape: kRandom must be resolved by caller");
+  return nullptr;
+}
+
+}  // namespace
+
+std::unique_ptr<ShapeFunction> SampleShape(const FamilyOptions& options,
+                                           Rng& rng) {
+  if (options.forced_shape != ShapeChoice::kRandom) {
+    return MakeShape(options.forced_shape, options, rng);
+  }
+  std::vector<ShapeChoice> enabled;
+  if (options.allow_linear) enabled.push_back(ShapeChoice::kLinear);
+  if (options.allow_polynomial) enabled.push_back(ShapeChoice::kPolynomial);
+  if (options.allow_log) enabled.push_back(ShapeChoice::kLog);
+  if (options.allow_sqrt_log) enabled.push_back(ShapeChoice::kSqrtLog);
+  POPP_CHECK_MSG(!enabled.empty(), "no shape family enabled");
+  const size_t pick = static_cast<size_t>(
+      rng.UniformInt(0, static_cast<int64_t>(enabled.size()) - 1));
+  return MakeShape(enabled[pick], options, rng);
+}
+
+std::unique_ptr<Transformation> SampleMonotone(const FamilyOptions& options,
+                                               AttrValue dlo, AttrValue dhi,
+                                               AttrValue olo, AttrValue ohi,
+                                               Rng& rng) {
+  const bool anti = rng.Bernoulli(options.anti_monotone_prob);
+  return SampleMonotoneDirected(options, dlo, dhi, olo, ohi, anti, rng);
+}
+
+std::unique_ptr<Transformation> SampleMonotoneDirected(
+    const FamilyOptions& options, AttrValue dlo, AttrValue dhi, AttrValue olo,
+    AttrValue ohi, bool anti_monotone, Rng& rng) {
+  return std::make_unique<RescaledFunction>(SampleShape(options, rng), dlo,
+                                            dhi, olo, ohi, anti_monotone);
+}
+
+std::unique_ptr<Transformation> SamplePermutation(
+    const std::vector<AttrValue>& domain_values, AttrValue olo, AttrValue ohi,
+    Rng& rng) {
+  POPP_CHECK(!domain_values.empty());
+  POPP_CHECK_MSG(olo < ohi, "SamplePermutation: empty target interval");
+  const size_t n = domain_values.size();
+
+  // Jittered strictly-increasing positions inside [olo, ohi]: value i sits
+  // near the center of its 1/n slot, displaced by less than half a slot,
+  // which keeps positions distinct.
+  std::vector<AttrValue> positions(n);
+  const double slot = (ohi - olo) / static_cast<double>(n);
+  for (size_t i = 0; i < n; ++i) {
+    const double center = olo + (static_cast<double>(i) + 0.5) * slot;
+    positions[i] = center + rng.Uniform(-0.45, 0.45) * slot;
+  }
+  // Random bijection: permute which domain value gets which position.
+  rng.Shuffle(positions);
+  return std::make_unique<PermutationFunction>(domain_values,
+                                               std::move(positions));
+}
+
+}  // namespace popp

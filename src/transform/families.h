@@ -1,0 +1,84 @@
+#ifndef POPP_TRANSFORM_FAMILIES_H_
+#define POPP_TRANSFORM_FAMILIES_H_
+
+#include <memory>
+#include <vector>
+
+#include "transform/function.h"
+#include "util/rng.h"
+
+/// \file
+/// Randomized selection of transformation functions (paper Section 5.3):
+/// "after breakpoints are selected, the next step is to choose a
+/// transformation for each piece from a family of functions".
+
+namespace popp {
+
+/// Configuration of the function family to sample from.
+///
+/// F_mono members: linear, higher-order polynomials (power k in
+/// [min_power, max_power]), log, and sqrt(log) — exactly the families the
+/// paper's experiments use. Each can be disabled; `forced_shape` pins the
+/// choice for controlled experiments (the Section 6.2.2 table).
+struct FamilyOptions {
+  enum class ShapeChoice {
+    kRandom,      ///< uniform over the enabled shapes
+    kLinear,
+    kPolynomial,  ///< power with random exponent in [min_power, max_power]
+    kLog,
+    kSqrtLog,
+  };
+  ShapeChoice forced_shape = ShapeChoice::kRandom;
+
+  bool allow_linear = true;
+  bool allow_polynomial = true;
+  bool allow_log = true;
+  bool allow_sqrt_log = true;
+
+  /// Exponent range for polynomial shapes (the paper uses degree >= 2).
+  double min_power = 2.0;
+  double max_power = 3.0;
+
+  /// Curvature range for log / sqrt-log shapes.
+  double min_alpha = 1.0;
+  double max_alpha = 8.0;
+
+  /// Probability that a sampled piece function is anti-monotone
+  /// (0 disables anti-monotone members).
+  double anti_monotone_prob = 0.5;
+};
+
+/// Samples a shape according to `options`. At least one shape must be
+/// enabled (or forced).
+std::unique_ptr<ShapeFunction> SampleShape(const FamilyOptions& options,
+                                           Rng& rng);
+
+/// Samples an F_mono member carrying [dlo, dhi] onto [olo, ohi]; the
+/// direction (monotone vs anti-monotone) is drawn from
+/// options.anti_monotone_prob.
+///
+/// Direction freedom is only outcome-safe on monochromatic pieces (or for
+/// a whole-domain transform): an anti-monotone function on a
+/// non-monochromatic piece reverses that piece's sub-class-string and
+/// breaks the no-outcome-change guarantee. PiecewiseTransform::Create
+/// therefore uses SampleMonotoneDirected for non-monochromatic pieces.
+std::unique_ptr<Transformation> SampleMonotone(const FamilyOptions& options,
+                                               AttrValue dlo, AttrValue dhi,
+                                               AttrValue olo, AttrValue ohi,
+                                               Rng& rng);
+
+/// Samples an F_mono member with the direction pinned by the caller.
+std::unique_ptr<Transformation> SampleMonotoneDirected(
+    const FamilyOptions& options, AttrValue dlo, AttrValue dhi, AttrValue olo,
+    AttrValue ohi, bool anti_monotone, Rng& rng);
+
+/// Samples an F_bi member: a random bijection from `domain_values` (sorted,
+/// distinct) onto jittered positions inside [olo, ohi], randomly permuted.
+/// This is the "random permutation function" of Section 6.1.
+std::unique_ptr<Transformation> SamplePermutation(
+    const std::vector<AttrValue>& domain_values, AttrValue olo, AttrValue ohi,
+    Rng& rng);
+
+}  // namespace popp
+
+#endif  // POPP_TRANSFORM_FAMILIES_H_

@@ -1,0 +1,196 @@
+#ifndef POPP_TRANSFORM_FUNCTION_H_
+#define POPP_TRANSFORM_FUNCTION_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/value.h"
+
+/// \file
+/// Transformation functions (paper Sections 3.1 and 5.3).
+///
+/// Two families:
+///  * `F_mono` — invertible (anti-)monotone functions over an interval,
+///    realized as `RescaledFunction`: a normalized monotone *shape*
+///    (linear, power, log, sqrt-log) composed with affine maps that carry
+///    the piece's domain interval onto its target output interval, forward
+///    or reversed. Composing with affine maps keeps the family closed under
+///    the global-monotone interval allocation of Definition 8.
+///  * `F_bi`  — arbitrary bijections over a finite set of values, realized
+///    as `PermutationFunction`. Only applicable to monochromatic pieces
+///    (Section 5.2); strictly larger than F_mono and blocks sorting attacks.
+
+namespace popp {
+
+/// Direction/kind of a transformation.
+enum class FunctionKind {
+  kMonotone,      ///< strictly increasing
+  kAntiMonotone,  ///< strictly decreasing
+  kBijective,     ///< arbitrary bijection on a finite value set (F_bi)
+};
+
+/// Returns "monotone", "anti-monotone" or "bijective".
+std::string ToString(FunctionKind kind);
+
+/// An invertible value transformation f : delta(A) -> delta'(A).
+///
+/// `Apply` is the custodian's encoding direction, `Inverse` the decoding
+/// direction. Inverse(Apply(x)) == x is exact for every active-domain
+/// value; for other inputs (e.g. decoded split thresholds) Inverse returns
+/// a value in the correct inter-value gap.
+class Transformation {
+ public:
+  virtual ~Transformation() = default;
+
+  virtual AttrValue Apply(AttrValue x) const = 0;
+  virtual AttrValue Inverse(AttrValue y) const = 0;
+  virtual FunctionKind kind() const = 0;
+
+  /// Short diagnostic rendering, e.g. "power(2)[10,44]->[3,97]".
+  virtual std::string Describe() const = 0;
+
+  virtual std::unique_ptr<Transformation> Clone() const = 0;
+};
+
+/// A strictly increasing bijection of [0,1] onto [0,1] with F(0)=0, F(1)=1:
+/// the normalized "shape" of a monotone transformation.
+class ShapeFunction {
+ public:
+  virtual ~ShapeFunction() = default;
+  virtual double Forward(double t) const = 0;
+  virtual double Backward(double s) const = 0;
+  virtual std::string Name() const = 0;
+  /// Machine-readable token form for serialization, e.g. "linear",
+  /// "power 2.5", "log 8" — parsed back by ParseShape (serialize.h).
+  virtual std::string Serialize() const = 0;
+  virtual std::unique_ptr<ShapeFunction> Clone() const = 0;
+};
+
+/// The identity shape: a linear transformation after rescaling.
+class IdentityShape : public ShapeFunction {
+ public:
+  double Forward(double t) const override { return t; }
+  double Backward(double s) const override { return s; }
+  std::string Name() const override { return "linear"; }
+  std::string Serialize() const override { return "linear"; }
+  std::unique_ptr<ShapeFunction> Clone() const override {
+    return std::make_unique<IdentityShape>();
+  }
+};
+
+/// t -> t^k for k > 0 (k=2,3 give the paper's higher-order polynomials;
+/// fractional k gives root functions).
+class PowerShape : public ShapeFunction {
+ public:
+  explicit PowerShape(double exponent);
+  double Forward(double t) const override;
+  double Backward(double s) const override;
+  std::string Name() const override;
+  std::string Serialize() const override;
+  std::unique_ptr<ShapeFunction> Clone() const override {
+    return std::make_unique<PowerShape>(exponent_);
+  }
+
+ private:
+  double exponent_;
+};
+
+/// t -> log(1 + alpha t) / log(1 + alpha) for alpha > 0 (the paper's "log").
+class LogShape : public ShapeFunction {
+ public:
+  explicit LogShape(double alpha);
+  double Forward(double t) const override;
+  double Backward(double s) const override;
+  std::string Name() const override;
+  std::string Serialize() const override;
+  std::unique_ptr<ShapeFunction> Clone() const override {
+    return std::make_unique<LogShape>(alpha_);
+  }
+
+ private:
+  double alpha_;
+};
+
+/// t -> sqrt(log(1 + alpha t) / log(1 + alpha)) (the paper's "sqrt(log)").
+class SqrtLogShape : public ShapeFunction {
+ public:
+  explicit SqrtLogShape(double alpha);
+  double Forward(double t) const override;
+  double Backward(double s) const override;
+  std::string Name() const override;
+  std::string Serialize() const override;
+  std::unique_ptr<ShapeFunction> Clone() const override {
+    return std::make_unique<SqrtLogShape>(alpha_);
+  }
+
+ private:
+  double alpha_;
+};
+
+/// A member of F_mono: shape composed with affine domain/output rescaling.
+///
+/// Monotone direction:      f(x) = olo + (ohi-olo) * S((x-dlo)/(dhi-dlo))
+/// Anti-monotone direction: f(x) = ohi - (ohi-olo) * S((x-dlo)/(dhi-dlo))
+class RescaledFunction : public Transformation {
+ public:
+  /// Requires dlo < dhi and olo < ohi.
+  RescaledFunction(std::unique_ptr<ShapeFunction> shape, AttrValue dlo,
+                   AttrValue dhi, AttrValue olo, AttrValue ohi,
+                   bool anti_monotone);
+
+  AttrValue Apply(AttrValue x) const override;
+  AttrValue Inverse(AttrValue y) const override;
+  FunctionKind kind() const override {
+    return anti_ ? FunctionKind::kAntiMonotone : FunctionKind::kMonotone;
+  }
+  std::string Describe() const override;
+  std::unique_ptr<Transformation> Clone() const override;
+
+  const ShapeFunction& shape() const { return *shape_; }
+  AttrValue dlo() const { return dlo_; }
+  AttrValue dhi() const { return dhi_; }
+  AttrValue olo() const { return olo_; }
+  AttrValue ohi() const { return ohi_; }
+  bool anti_monotone() const { return anti_; }
+
+ private:
+  std::unique_ptr<ShapeFunction> shape_;
+  AttrValue dlo_, dhi_, olo_, ohi_;
+  bool anti_;
+};
+
+/// A member of F_bi: an explicit bijection from a finite set of domain
+/// values onto an equal-sized set of image values (any pairing). Used for
+/// monochromatic pieces, where Lemma 1's order constraint is vacuous.
+///
+/// Apply/Inverse of a value not in the respective set snaps to the nearest
+/// set element (by absolute distance, ties to the smaller value); this only
+/// arises for non-active-domain probes such as attack guesses.
+class PermutationFunction : public Transformation {
+ public:
+  /// `domain` must be strictly increasing; `image[i]` is the image of
+  /// `domain[i]` and all images must be distinct.
+  PermutationFunction(std::vector<AttrValue> domain,
+                      std::vector<AttrValue> image);
+
+  AttrValue Apply(AttrValue x) const override;
+  AttrValue Inverse(AttrValue y) const override;
+  FunctionKind kind() const override { return FunctionKind::kBijective; }
+  std::string Describe() const override;
+  std::unique_ptr<Transformation> Clone() const override;
+
+  size_t size() const { return domain_.size(); }
+  const std::vector<AttrValue>& domain() const { return domain_; }
+  const std::vector<AttrValue>& image() const { return image_; }
+
+ private:
+  std::vector<AttrValue> domain_;  // sorted ascending
+  std::vector<AttrValue> image_;   // image_[i] = f(domain_[i])
+  // Inverse index: pairs (image value, domain value) sorted by image value.
+  std::vector<std::pair<AttrValue, AttrValue>> by_image_;
+};
+
+}  // namespace popp
+
+#endif  // POPP_TRANSFORM_FUNCTION_H_

@@ -1,0 +1,79 @@
+#include "transform/pieces.h"
+
+#include "util/status.h"
+
+namespace popp {
+
+bool IsMonochromaticRange(const AttributeSummary& summary, size_t begin,
+                          size_t end) {
+  POPP_CHECK(begin < end && end <= summary.NumDistinct());
+  const ClassId common = summary.MonoClassAt(begin);
+  if (common == kNoClass) return false;
+  for (size_t i = begin + 1; i < end; ++i) {
+    if (summary.MonoClassAt(i) != common) return false;
+  }
+  return true;
+}
+
+std::vector<PieceSpec> ComputePieces(const AttributeSummary& summary,
+                                     const std::vector<size_t>& starts,
+                                     size_t min_mono_width) {
+  const size_t n = summary.NumDistinct();
+  POPP_CHECK_MSG(!starts.empty() && starts[0] == 0,
+                 "piece starts must begin with 0");
+  std::vector<PieceSpec> pieces;
+  pieces.reserve(starts.size());
+  for (size_t k = 0; k < starts.size(); ++k) {
+    PieceSpec piece;
+    piece.begin = starts[k];
+    piece.end = (k + 1 < starts.size()) ? starts[k + 1] : n;
+    POPP_CHECK_MSG(piece.begin < piece.end,
+                   "piece starts must be strictly increasing and < n");
+    piece.monochromatic =
+        piece.length() >= min_mono_width &&
+        IsMonochromaticRange(summary, piece.begin, piece.end);
+    pieces.push_back(piece);
+  }
+  return pieces;
+}
+
+std::vector<PieceSpec> MaximalMonochromaticPieces(
+    const AttributeSummary& summary, size_t min_width) {
+  std::vector<PieceSpec> pieces;
+  const size_t n = summary.NumDistinct();
+  size_t i = 0;
+  while (i < n) {
+    const ClassId mono = summary.MonoClassAt(i);
+    if (mono == kNoClass) {
+      ++i;
+      continue;
+    }
+    size_t j = i + 1;
+    while (j < n && summary.MonoClassAt(j) == mono) ++j;
+    if (j - i >= min_width) {
+      pieces.push_back(PieceSpec{i, j, true});
+    }
+    i = j;
+  }
+  return pieces;
+}
+
+MonoStats ComputeMonoStats(const AttributeSummary& summary,
+                           size_t min_width) {
+  MonoStats stats;
+  const auto pieces = MaximalMonochromaticPieces(summary, min_width);
+  stats.num_pieces = pieces.size();
+  size_t covered = 0;
+  for (const auto& piece : pieces) covered += piece.length();
+  if (!pieces.empty()) {
+    stats.avg_length =
+        static_cast<double>(covered) / static_cast<double>(pieces.size());
+  }
+  if (summary.NumDistinct() > 0) {
+    stats.value_fraction = static_cast<double>(covered) /
+                           static_cast<double>(summary.NumDistinct());
+  }
+  return stats;
+}
+
+}  // namespace popp

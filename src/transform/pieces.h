@@ -1,0 +1,62 @@
+#ifndef POPP_TRANSFORM_PIECES_H_
+#define POPP_TRANSFORM_PIECES_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "data/summary.h"
+
+/// \file
+/// Pieces of an attribute domain (paper Section 5): contiguous ranges of
+/// the sorted distinct values, produced by breakpoint selection, each of
+/// which will receive its own transformation function.
+
+namespace popp {
+
+/// One piece: the distinct-value index range [begin, end) of an
+/// AttributeSummary, plus whether the piece qualifies as monochromatic
+/// (every value monochromatic with one common class — Definition 9 — and
+/// at least `min_mono_width` values wide).
+struct PieceSpec {
+  size_t begin = 0;
+  size_t end = 0;
+  bool monochromatic = false;
+
+  size_t length() const { return end - begin; }
+  friend bool operator==(const PieceSpec&, const PieceSpec&) = default;
+};
+
+/// True iff all values in [begin, end) of `summary` are monochromatic and
+/// share a single class label.
+bool IsMonochromaticRange(const AttributeSummary& summary, size_t begin,
+                          size_t end);
+
+/// Builds the piece list induced by sorted piece-start indices
+/// (`starts[0]` must be 0; the last piece ends at NumDistinct). A piece is
+/// flagged monochromatic iff IsMonochromaticRange holds and its length is
+/// at least `min_mono_width`.
+std::vector<PieceSpec> ComputePieces(const AttributeSummary& summary,
+                                     const std::vector<size_t>& starts,
+                                     size_t min_mono_width = 1);
+
+/// The *maximal* monochromatic pieces of the attribute: maximal runs of
+/// consecutive monochromatic values sharing one class, each at least
+/// `min_width` values long. This is what ChooseMaxMP's scan discovers and
+/// what the paper's Figure 8 tabulates.
+std::vector<PieceSpec> MaximalMonochromaticPieces(
+    const AttributeSummary& summary, size_t min_width = 1);
+
+/// Figure 8 statistics of one attribute.
+struct MonoStats {
+  size_t num_pieces = 0;      ///< number of maximal monochromatic pieces
+  double avg_length = 0;      ///< average piece length in distinct values
+  double value_fraction = 0;  ///< fraction of distinct values inside pieces
+};
+
+/// Computes MonoStats over the maximal monochromatic pieces (min `min_width`).
+MonoStats ComputeMonoStats(const AttributeSummary& summary,
+                           size_t min_width = 1);
+
+}  // namespace popp
+
+#endif  // POPP_TRANSFORM_PIECES_H_

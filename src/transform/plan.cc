@@ -1,0 +1,78 @@
+#include "transform/plan.h"
+
+#include <sstream>
+
+#include "data/summary.h"
+#include "util/status.h"
+
+namespace popp {
+
+TransformPlan TransformPlan::Create(const Dataset& data,
+                                    const PiecewiseOptions& options,
+                                    Rng& rng) {
+  return CreatePerAttribute(
+      data, std::vector<PiecewiseOptions>(data.NumAttributes(), options),
+      rng);
+}
+
+TransformPlan TransformPlan::CreatePerAttribute(
+    const Dataset& data, const std::vector<PiecewiseOptions>& options,
+    Rng& rng) {
+  POPP_CHECK_MSG(options.size() == data.NumAttributes(),
+                 "need one PiecewiseOptions per attribute");
+  TransformPlan plan;
+  plan.transforms_.reserve(data.NumAttributes());
+  for (size_t attr = 0; attr < data.NumAttributes(); ++attr) {
+    const AttributeSummary summary =
+        AttributeSummary::FromDataset(data, attr);
+    plan.transforms_.push_back(
+        PiecewiseTransform::Create(summary, options[attr], rng));
+  }
+  return plan;
+}
+
+TransformPlan TransformPlan::FromTransforms(
+    std::vector<PiecewiseTransform> transforms) {
+  POPP_CHECK_MSG(!transforms.empty(), "FromTransforms: no transforms");
+  TransformPlan plan;
+  plan.transforms_ = std::move(transforms);
+  return plan;
+}
+
+const PiecewiseTransform& TransformPlan::transform(size_t attr) const {
+  POPP_CHECK_MSG(attr < transforms_.size(), "bad attribute " << attr);
+  return transforms_[attr];
+}
+
+AttrValue TransformPlan::Encode(size_t attr, AttrValue v) const {
+  return transform(attr).Apply(v);
+}
+
+AttrValue TransformPlan::Decode(size_t attr, AttrValue v) const {
+  return transform(attr).Inverse(v);
+}
+
+Dataset TransformPlan::EncodeDataset(const Dataset& data) const {
+  POPP_CHECK_MSG(data.NumAttributes() == transforms_.size(),
+                 "plan/dataset attribute count mismatch");
+  Dataset out = data;  // copies schema + labels + values
+  for (size_t attr = 0; attr < transforms_.size(); ++attr) {
+    auto& col = out.MutableColumn(attr);
+    const PiecewiseTransform& f = transforms_[attr];
+    for (auto& v : col) {
+      v = f.Apply(v);
+    }
+  }
+  return out;
+}
+
+std::string TransformPlan::Describe(const Schema& schema) const {
+  std::ostringstream oss;
+  for (size_t attr = 0; attr < transforms_.size(); ++attr) {
+    oss << schema.AttributeName(attr) << ": "
+        << transforms_[attr].Describe();
+  }
+  return oss.str();
+}
+
+}  // namespace popp

@@ -1,0 +1,66 @@
+#ifndef POPP_TRANSFORM_PLAN_H_
+#define POPP_TRANSFORM_PLAN_H_
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "transform/piecewise.h"
+#include "util/rng.h"
+
+/// \file
+/// A TransformPlan is the custodian's complete encoding key for one
+/// dataset: one PiecewiseTransform per attribute (the vector of
+/// transformations f of Section 3.1). It encodes D into D' for release and
+/// decodes values/thresholds of the mining outcome back into the original
+/// space. Class labels are never transformed (the paper transforms
+/// attribute values only).
+
+namespace popp {
+
+class TransformPlan {
+ public:
+  TransformPlan() = default;
+
+  /// Samples a fresh plan for `data`, using the same options for every
+  /// attribute. Every attribute must have at least one value.
+  static TransformPlan Create(const Dataset& data,
+                              const PiecewiseOptions& options, Rng& rng);
+
+  /// Samples a plan with per-attribute options; `options.size()` must
+  /// equal data.NumAttributes().
+  static TransformPlan CreatePerAttribute(
+      const Dataset& data, const std::vector<PiecewiseOptions>& options,
+      Rng& rng);
+
+  /// Reassembles a plan from explicit per-attribute transforms
+  /// (deserialization).
+  static TransformPlan FromTransforms(
+      std::vector<PiecewiseTransform> transforms);
+
+  size_t NumAttributes() const { return transforms_.size(); }
+
+  const PiecewiseTransform& transform(size_t attr) const;
+
+  /// Encodes one value of attribute `attr`.
+  AttrValue Encode(size_t attr, AttrValue v) const;
+
+  /// Decodes one transformed value of attribute `attr`.
+  AttrValue Decode(size_t attr, AttrValue v) const;
+
+  /// Produces D': every attribute column transformed, labels unchanged.
+  /// `data` must have the same number of attributes as the plan.
+  Dataset EncodeDataset(const Dataset& data) const;
+
+  /// Renders the decoding key the custodian stores: per attribute, the
+  /// breakpoints and the function used in each piece (Section 5.4 notes
+  /// this is all that must be kept).
+  std::string Describe(const Schema& schema) const;
+
+ private:
+  std::vector<PiecewiseTransform> transforms_;
+};
+
+}  // namespace popp
+
+#endif  // POPP_TRANSFORM_PLAN_H_

@@ -1,0 +1,242 @@
+#include "transform/serialize.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "transform/piecewise.h"
+
+namespace popp {
+namespace {
+
+std::string Num(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+/// Minimal whitespace tokenizer with typed reads and error context.
+class Reader {
+ public:
+  explicit Reader(const std::string& text) : in_(text) {}
+
+  Result<std::string> Word(const char* what) {
+    std::string token;
+    if (!(in_ >> token)) {
+      return Status::InvalidArgument(std::string("expected ") + what +
+                                     ", got end of input");
+    }
+    return token;
+  }
+
+  Status Expect(const std::string& literal) {
+    auto word = Word(literal.c_str());
+    POPP_RETURN_IF_ERROR(word.status());
+    if (word.value() != literal) {
+      return Status::InvalidArgument("expected '" + literal + "', got '" +
+                                     word.value() + "'");
+    }
+    return Status::Ok();
+  }
+
+  Result<double> Number(const char* what) {
+    auto word = Word(what);
+    if (!word.ok()) return word.status();
+    char* end = nullptr;
+    const double v = std::strtod(word.value().c_str(), &end);
+    if (end == word.value().c_str() || *end != '\0') {
+      return Status::InvalidArgument(std::string("bad number for ") + what +
+                                     ": '" + word.value() + "'");
+    }
+    return v;
+  }
+
+  Result<size_t> Count(const char* what) {
+    auto v = Number(what);
+    if (!v.ok()) return v.status();
+    if (v.value() < 0 || v.value() != static_cast<size_t>(v.value())) {
+      return Status::InvalidArgument(std::string("bad count for ") + what);
+    }
+    return static_cast<size_t>(v.value());
+  }
+
+ private:
+  std::istringstream in_;
+};
+
+void SerializeFunction(const Transformation& fn, std::ostringstream& out) {
+  if (fn.kind() == FunctionKind::kBijective) {
+    const auto& perm = static_cast<const PermutationFunction&>(fn);
+    out << "perm " << perm.size() << "\n";
+    for (size_t i = 0; i < perm.size(); ++i) {
+      out << Num(perm.domain()[i]) << " " << Num(perm.image()[i]) << "\n";
+    }
+    return;
+  }
+  const auto& rescaled = static_cast<const RescaledFunction&>(fn);
+  out << "rescaled " << rescaled.shape().Serialize() << " "
+      << Num(rescaled.dlo()) << " " << Num(rescaled.dhi()) << " "
+      << Num(rescaled.olo()) << " " << Num(rescaled.ohi()) << " "
+      << (rescaled.anti_monotone() ? 1 : 0) << "\n";
+}
+
+Result<std::unique_ptr<Transformation>> ParseFunction(Reader& reader) {
+  auto kind = reader.Word("function kind");
+  if (!kind.ok()) return kind.status();
+  if (kind.value() == "perm") {
+    auto count = reader.Count("perm size");
+    if (!count.ok()) return count.status();
+    std::vector<AttrValue> domain(count.value()), image(count.value());
+    for (size_t i = 0; i < count.value(); ++i) {
+      auto d = reader.Number("perm domain value");
+      if (!d.ok()) return d.status();
+      auto m = reader.Number("perm image value");
+      if (!m.ok()) return m.status();
+      domain[i] = d.value();
+      image[i] = m.value();
+    }
+    return {std::make_unique<PermutationFunction>(std::move(domain),
+                                                  std::move(image))};
+  }
+  if (kind.value() == "rescaled") {
+    auto shape_name = reader.Word("shape name");
+    if (!shape_name.ok()) return shape_name.status();
+    std::string token = shape_name.value();
+    if (token != "linear") {
+      auto param = reader.Number("shape parameter");
+      if (!param.ok()) return param.status();
+      token += " " + Num(param.value());
+    }
+    auto shape = ParseShape(token);
+    if (!shape.ok()) return shape.status();
+    auto dlo = reader.Number("dlo");
+    if (!dlo.ok()) return dlo.status();
+    auto dhi = reader.Number("dhi");
+    if (!dhi.ok()) return dhi.status();
+    auto olo = reader.Number("olo");
+    if (!olo.ok()) return olo.status();
+    auto ohi = reader.Number("ohi");
+    if (!ohi.ok()) return ohi.status();
+    auto anti = reader.Number("anti flag");
+    if (!anti.ok()) return anti.status();
+    return {std::make_unique<RescaledFunction>(
+        std::move(shape).value(), dlo.value(), dhi.value(), olo.value(),
+        ohi.value(), anti.value() != 0.0)};
+  }
+  return Status::InvalidArgument("unknown function kind '" + kind.value() +
+                                 "'");
+}
+
+}  // namespace
+
+Result<std::unique_ptr<ShapeFunction>> ParseShape(const std::string& token) {
+  std::istringstream in(token);
+  std::string name;
+  in >> name;
+  if (name == "linear") {
+    return {std::make_unique<IdentityShape>()};
+  }
+  double param = 0;
+  if (!(in >> param) || param <= 0.0) {
+    return Status::InvalidArgument("bad shape parameter in '" + token + "'");
+  }
+  if (name == "power") return {std::make_unique<PowerShape>(param)};
+  if (name == "log") return {std::make_unique<LogShape>(param)};
+  if (name == "sqrtlog") return {std::make_unique<SqrtLogShape>(param)};
+  return Status::InvalidArgument("unknown shape '" + name + "'");
+}
+
+std::string SerializePlan(const TransformPlan& plan) {
+  std::ostringstream out;
+  out << "popp-plan v1\n";
+  out << "attributes " << plan.NumAttributes() << "\n";
+  for (size_t attr = 0; attr < plan.NumAttributes(); ++attr) {
+    const PiecewiseTransform& f = plan.transform(attr);
+    out << "attribute " << attr << " pieces " << f.NumPieces()
+        << " global_anti " << (f.global_anti_monotone() ? 1 : 0) << "\n";
+    for (size_t p = 0; p < f.NumPieces(); ++p) {
+      const auto& piece = f.piece(p);
+      out << "piece " << Num(piece.domain_lo) << " " << Num(piece.domain_hi)
+          << " " << Num(piece.out_lo) << " " << Num(piece.out_hi) << " "
+          << (piece.bijective ? 1 : 0) << "\n";
+      SerializeFunction(*piece.fn, out);
+    }
+  }
+  return out.str();
+}
+
+Result<TransformPlan> ParsePlan(const std::string& text) {
+  Reader reader(text);
+  POPP_RETURN_IF_ERROR(reader.Expect("popp-plan"));
+  POPP_RETURN_IF_ERROR(reader.Expect("v1"));
+  POPP_RETURN_IF_ERROR(reader.Expect("attributes"));
+  auto num_attrs = reader.Count("attribute count");
+  if (!num_attrs.ok()) return num_attrs.status();
+
+  std::vector<PiecewiseTransform> transforms;
+  transforms.reserve(num_attrs.value());
+  for (size_t attr = 0; attr < num_attrs.value(); ++attr) {
+    POPP_RETURN_IF_ERROR(reader.Expect("attribute"));
+    auto index = reader.Count("attribute index");
+    if (!index.ok()) return index.status();
+    if (index.value() != attr) {
+      return Status::InvalidArgument("attribute indices out of order");
+    }
+    POPP_RETURN_IF_ERROR(reader.Expect("pieces"));
+    auto num_pieces = reader.Count("piece count");
+    if (!num_pieces.ok()) return num_pieces.status();
+    POPP_RETURN_IF_ERROR(reader.Expect("global_anti"));
+    auto anti = reader.Count("global_anti flag");
+    if (!anti.ok()) return anti.status();
+
+    std::vector<PiecewiseTransform::Piece> pieces(num_pieces.value());
+    for (auto& piece : pieces) {
+      POPP_RETURN_IF_ERROR(reader.Expect("piece"));
+      auto dlo = reader.Number("piece domain_lo");
+      if (!dlo.ok()) return dlo.status();
+      auto dhi = reader.Number("piece domain_hi");
+      if (!dhi.ok()) return dhi.status();
+      auto olo = reader.Number("piece out_lo");
+      if (!olo.ok()) return olo.status();
+      auto ohi = reader.Number("piece out_hi");
+      if (!ohi.ok()) return ohi.status();
+      auto bijective = reader.Count("piece bijective flag");
+      if (!bijective.ok()) return bijective.status();
+      piece.domain_lo = dlo.value();
+      piece.domain_hi = dhi.value();
+      piece.out_lo = olo.value();
+      piece.out_hi = ohi.value();
+      piece.bijective = bijective.value() != 0;
+      auto fn = ParseFunction(reader);
+      if (!fn.ok()) return fn.status();
+      piece.fn = std::move(fn).value();
+    }
+    transforms.push_back(
+        PiecewiseTransform::FromPieces(std::move(pieces), anti.value() != 0));
+  }
+  return TransformPlan::FromTransforms(std::move(transforms));
+}
+
+Status SavePlan(const TransformPlan& plan, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::IoError("cannot open '" + path + "' for writing");
+  }
+  out << SerializePlan(plan);
+  if (!out) {
+    return Status::IoError("error writing '" + path + "'");
+  }
+  return Status::Ok();
+}
+
+Result<TransformPlan> LoadPlan(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::IoError("cannot open '" + path + "' for reading");
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ParsePlan(buffer.str());
+}
+
+}  // namespace popp

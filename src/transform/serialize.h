@@ -1,0 +1,39 @@
+#ifndef POPP_TRANSFORM_SERIALIZE_H_
+#define POPP_TRANSFORM_SERIALIZE_H_
+
+#include <memory>
+#include <string>
+
+#include "transform/function.h"
+#include "transform/plan.h"
+#include "util/status.h"
+
+/// \file
+/// Persistence of the custodian's decoding key (Section 5.4: "the
+/// information required is rather minimal — the locations of breakpoints
+/// and the transformations used").
+///
+/// The format is a line-oriented text format ("popp-plan v1"). All doubles
+/// are written with 17 significant digits, which round-trips IEEE-754
+/// binary64 exactly, so a reloaded plan encodes and decodes bit-identically
+/// to the original.
+
+namespace popp {
+
+/// Serializes a plan to the popp-plan v1 text format.
+std::string SerializePlan(const TransformPlan& plan);
+
+/// Parses a popp-plan v1 document.
+Result<TransformPlan> ParsePlan(const std::string& text);
+
+/// File convenience wrappers.
+Status SavePlan(const TransformPlan& plan, const std::string& path);
+Result<TransformPlan> LoadPlan(const std::string& path);
+
+/// Parses a shape token produced by ShapeFunction::Serialize ("linear",
+/// "power <k>", "log <a>", "sqrtlog <a>").
+Result<std::unique_ptr<ShapeFunction>> ParseShape(const std::string& token);
+
+}  // namespace popp
+
+#endif  // POPP_TRANSFORM_SERIALIZE_H_

@@ -1,0 +1,288 @@
+#include "tree/builder.h"
+
+#include <algorithm>
+
+#include "data/summary.h"
+#include "tree/label_runs.h"
+#include "util/status.h"
+
+namespace popp {
+namespace {
+
+/// Class histogram of a row subset.
+std::vector<uint64_t> HistogramOf(const Dataset& data,
+                                  const std::vector<size_t>& rows) {
+  std::vector<uint64_t> hist(data.NumClasses(), 0);
+  for (size_t r : rows) {
+    hist[static_cast<size_t>(data.Label(r))]++;
+  }
+  return hist;
+}
+
+bool IsPure(const std::vector<uint64_t>& hist) {
+  int nonzero = 0;
+  for (uint64_t c : hist) {
+    if (c > 0 && ++nonzero > 1) return false;
+  }
+  return true;
+}
+
+/// Decides the canonical scan orientation of an attribute at a node: true
+/// if the per-value class-count sequence read backwards is lexicographically
+/// smaller than read forwards. An order-reversing transformation reverses
+/// the sequence and therefore flips this bit, so tie-breaking by *canonical*
+/// boundary position is invariant under anti-monotone transforms (except
+/// for fully palindromic sequences, where the two orientations are
+/// indistinguishable by class structure alone).
+bool ReversedIsCanonical(const AttributeSummary& summary) {
+  const size_t n = summary.NumDistinct();
+  const size_t k = summary.NumClasses();
+  for (size_t i = 0, j = n; i < j--; ++i) {
+    for (size_t c = 0; c < k; ++c) {
+      const uint32_t fwd = summary.ClassCountAt(i, static_cast<ClassId>(c));
+      const uint32_t bwd = summary.ClassCountAt(j, static_cast<ClassId>(c));
+      if (fwd != bwd) return bwd < fwd;
+    }
+  }
+  return false;  // palindrome: keep the forward orientation
+}
+
+}  // namespace
+
+ClassId MajorityClass(const std::vector<uint64_t>& hist) {
+  ClassId best = kNoClass;
+  uint64_t best_count = 0;
+  for (size_t c = 0; c < hist.size(); ++c) {
+    if (hist[c] > best_count) {
+      best_count = hist[c];
+      best = static_cast<ClassId>(c);
+    }
+  }
+  return best;
+}
+
+/// Evaluates one attribute's candidates against the running best.
+///
+/// Tie-breaking: lower badness wins; among exact ties, lower attribute
+/// index, then lower *canonical* boundary position. The canonical position
+/// counts from whichever end makes the class-count sequence
+/// lexicographically smaller, so the choice is invariant under
+/// order-reversing transformations of the attribute (Theorem 1/2 under
+/// ties; see ReversedIsCanonical).
+void DecisionTreeBuilder::ScanAttribute(
+    size_t attr, const AttributeSummary& summary,
+    const std::vector<uint64_t>& parent_hist, SplitDecision& best,
+    double& best_canon_pos) const {
+  const size_t n = summary.NumDistinct();
+  if (n < 2) return;
+  const size_t num_classes = summary.NumClasses();
+
+  std::vector<size_t> candidates;
+  if (options_.candidate_mode == BuildOptions::CandidateMode::kRunBoundaries) {
+    candidates = RunBoundaryCandidates(summary);
+  } else {
+    candidates.reserve(n - 1);
+    for (size_t b = 1; b < n; ++b) candidates.push_back(b);
+  }
+
+  const bool reversed = ReversedIsCanonical(summary);
+
+  // Left-side class counts, advanced value by value; `next` is the first
+  // summary index not yet merged into the left side.
+  std::vector<uint64_t> left(num_classes, 0);
+  std::vector<uint64_t> right(num_classes, 0);
+  uint64_t left_total = 0;
+  uint64_t total = 0;
+  for (size_t c = 0; c < num_classes; ++c) {
+    right[c] = parent_hist[c];
+    total += parent_hist[c];
+  }
+
+  size_t next = 0;
+  for (size_t b : candidates) {
+    while (next < b) {
+      for (size_t c = 0; c < num_classes; ++c) {
+        const uint64_t k =
+            summary.ClassCountAt(next, static_cast<ClassId>(c));
+        left[c] += k;
+        right[c] -= k;
+        left_total += k;
+      }
+      ++next;
+    }
+    const uint64_t right_total = total - left_total;
+    if (left_total < options_.min_leaf_size ||
+        right_total < options_.min_leaf_size) {
+      continue;
+    }
+    const double badness = SplitBadness(options_.criterion, left, right);
+    const double canon_pos =
+        reversed ? static_cast<double>(n - b) : static_cast<double>(b);
+    const bool better =
+        !best.found || badness < best.impurity ||
+        (badness == best.impurity && attr == best.attribute &&
+         canon_pos < best_canon_pos);
+    if (better) {
+      best.found = true;
+      best.attribute = attr;
+      best.boundary_index = b;
+      best.left_max = summary.ValueAt(b - 1);
+      best.right_min = summary.ValueAt(b);
+      best.threshold = best.left_max + (best.right_min - best.left_max) / 2;
+      best.impurity = badness;
+      best.improvement =
+          SplitImprovement(options_.criterion, parent_hist, left, right);
+      best_canon_pos = canon_pos;
+    }
+  }
+}
+
+SplitDecision DecisionTreeBuilder::FindBestSplit(
+    const Dataset& data, const std::vector<size_t>& rows) const {
+  SplitDecision best;
+  double best_canon_pos = 0.0;
+  const size_t num_classes = data.NumClasses();
+  const std::vector<uint64_t> parent_hist = HistogramOf(data, rows);
+
+  std::vector<ValueLabel> tuples;
+  tuples.reserve(rows.size());
+  for (size_t attr = 0; attr < data.NumAttributes(); ++attr) {
+    tuples.clear();
+    const auto& col = data.Column(attr);
+    for (size_t r : rows) {
+      tuples.push_back(ValueLabel{col[r], data.Label(r)});
+    }
+    const AttributeSummary summary =
+        AttributeSummary::FromTuples(std::move(tuples), num_classes);
+    tuples = {};  // moved-from; reset for the next iteration
+    tuples.reserve(rows.size());
+    ScanAttribute(attr, summary, parent_hist, best, best_canon_pos);
+  }
+  return best;
+}
+
+NodeId DecisionTreeBuilder::BuildNode(const Dataset& data,
+                                      std::vector<size_t>& rows, size_t depth,
+                                      DecisionTree& tree) const {
+  std::vector<uint64_t> hist = HistogramOf(data, rows);
+  const ClassId majority = MajorityClass(hist);
+
+  if (IsPure(hist) || rows.size() < options_.min_split_size ||
+      depth >= options_.max_depth) {
+    return tree.AddLeaf(majority, std::move(hist));
+  }
+
+  const SplitDecision split = FindBestSplit(data, rows);
+  if (!split.found ||
+      !(split.improvement > options_.min_impurity_decrease)) {
+    return tree.AddLeaf(majority, std::move(hist));
+  }
+
+  // Partition by comparing against the left-side maximum value rather than
+  // the midpoint threshold, so the routing is exact regardless of how the
+  // midpoint rounds.
+  std::vector<size_t> left_rows;
+  std::vector<size_t> right_rows;
+  left_rows.reserve(rows.size());
+  right_rows.reserve(rows.size());
+  const auto& col = data.Column(split.attribute);
+  for (size_t r : rows) {
+    (col[r] <= split.left_max ? left_rows : right_rows).push_back(r);
+  }
+  POPP_CHECK(!left_rows.empty() && !right_rows.empty());
+  rows.clear();
+  rows.shrink_to_fit();
+
+  const NodeId left = BuildNode(data, left_rows, depth + 1, tree);
+  const NodeId right = BuildNode(data, right_rows, depth + 1, tree);
+  return tree.AddInternal(split.attribute, split.threshold, left, right,
+                          std::move(hist));
+}
+
+NodeId DecisionTreeBuilder::BuildNodePresorted(
+    const Dataset& data, std::vector<std::vector<size_t>>& columns,
+    size_t depth, DecisionTree& tree) const {
+  // All columns hold the same row set; use column 0 for node statistics.
+  const std::vector<size_t>& rows = columns[0];
+  std::vector<uint64_t> hist = HistogramOf(data, rows);
+  const ClassId majority = MajorityClass(hist);
+
+  if (IsPure(hist) || rows.size() < options_.min_split_size ||
+      depth >= options_.max_depth) {
+    return tree.AddLeaf(majority, std::move(hist));
+  }
+
+  // Best-split search over the presorted columns: each attribute's
+  // summary is a single linear scan, no sorting.
+  SplitDecision best;
+  double best_canon_pos = 0.0;
+  std::vector<ValueLabel> tuples;
+  tuples.reserve(rows.size());
+  for (size_t attr = 0; attr < data.NumAttributes(); ++attr) {
+    tuples.clear();
+    const auto& col = data.Column(attr);
+    for (size_t r : columns[attr]) {
+      tuples.push_back(ValueLabel{col[r], data.Label(r)});
+    }
+    const AttributeSummary summary =
+        AttributeSummary::FromSortedTuples(tuples, data.NumClasses());
+    ScanAttribute(attr, summary, hist, best, best_canon_pos);
+  }
+  if (!best.found || !(best.improvement > options_.min_impurity_decrease)) {
+    return tree.AddLeaf(majority, std::move(hist));
+  }
+
+  // Partition every attribute's sorted list, preserving order.
+  const auto& split_col = data.Column(best.attribute);
+  std::vector<std::vector<size_t>> left_columns(columns.size());
+  std::vector<std::vector<size_t>> right_columns(columns.size());
+  for (size_t attr = 0; attr < columns.size(); ++attr) {
+    for (size_t r : columns[attr]) {
+      (split_col[r] <= best.left_max ? left_columns[attr]
+                                     : right_columns[attr])
+          .push_back(r);
+    }
+    columns[attr].clear();
+    columns[attr].shrink_to_fit();
+  }
+  POPP_CHECK(!left_columns[0].empty() && !right_columns[0].empty());
+  columns.clear();
+  columns.shrink_to_fit();
+
+  const NodeId left =
+      BuildNodePresorted(data, left_columns, depth + 1, tree);
+  const NodeId right =
+      BuildNodePresorted(data, right_columns, depth + 1, tree);
+  return tree.AddInternal(best.attribute, best.threshold, left, right,
+                          std::move(hist));
+}
+
+DecisionTree DecisionTreeBuilder::Build(const Dataset& data) const {
+  POPP_CHECK_MSG(data.NumRows() > 0, "cannot build a tree from 0 rows");
+  POPP_CHECK_MSG(data.NumClasses() > 0, "dataset has no classes");
+  DecisionTree tree;
+
+  if (options_.algorithm == BuildOptions::Algorithm::kResort) {
+    std::vector<size_t> rows(data.NumRows());
+    for (size_t r = 0; r < rows.size(); ++r) rows[r] = r;
+    tree.SetRoot(BuildNode(data, rows, 0, tree));
+    return tree;
+  }
+
+  // Presorted: one stable sort per attribute, ever. Stability matches the
+  // canonical tie order of Dataset::SortedProjection, so both algorithms
+  // see identical summaries and produce bit-identical trees.
+  std::vector<std::vector<size_t>> columns(data.NumAttributes());
+  for (size_t attr = 0; attr < data.NumAttributes(); ++attr) {
+    auto& order = columns[attr];
+    order.resize(data.NumRows());
+    for (size_t r = 0; r < order.size(); ++r) order[r] = r;
+    const auto& col = data.Column(attr);
+    std::stable_sort(order.begin(), order.end(),
+                     [&col](size_t a, size_t b) { return col[a] < col[b]; });
+  }
+  tree.SetRoot(BuildNodePresorted(data, columns, 0, tree));
+  return tree;
+}
+
+}  // namespace popp

@@ -1,0 +1,180 @@
+#include "tree/compare.h"
+
+#include <algorithm>
+#include <functional>
+#include <sstream>
+
+#include "data/value.h"
+#include "util/status.h"
+
+namespace popp {
+namespace {
+
+enum class Mode { kExact, kStructural };
+
+bool EqualRec(const DecisionTree& a, NodeId ia, const DecisionTree& b,
+              NodeId ib, Mode mode, std::string* diff) {
+  const auto& na = a.node(ia);
+  const auto& nb = b.node(ib);
+  if (na.is_leaf != nb.is_leaf) {
+    if (diff) {
+      std::ostringstream oss;
+      oss << "node kind mismatch (leaf vs internal) at ids " << ia << "/"
+          << ib;
+      *diff = oss.str();
+    }
+    return false;
+  }
+  if (na.is_leaf) {
+    if (na.label != nb.label) {
+      if (diff) {
+        std::ostringstream oss;
+        oss << "leaf label mismatch: " << na.label << " vs " << nb.label;
+        *diff = oss.str();
+      }
+      return false;
+    }
+    return true;
+  }
+  if (na.attribute != nb.attribute) {
+    if (diff) {
+      std::ostringstream oss;
+      oss << "split attribute mismatch: " << na.attribute << " vs "
+          << nb.attribute;
+      *diff = oss.str();
+    }
+    return false;
+  }
+  if (mode == Mode::kExact && na.threshold != nb.threshold) {
+    if (diff) {
+      std::ostringstream oss;
+      oss << "threshold mismatch on attribute " << na.attribute << ": "
+          << FormatValue(na.threshold) << " vs "
+          << FormatValue(nb.threshold);
+      *diff = oss.str();
+    }
+    return false;
+  }
+  return EqualRec(a, na.left, b, nb.left, mode, diff) &&
+         EqualRec(a, na.right, b, nb.right, mode, diff);
+}
+
+}  // namespace
+
+bool ExactlyEqual(const DecisionTree& a, const DecisionTree& b) {
+  if (a.empty() || b.empty()) return a.empty() == b.empty();
+  return EqualRec(a, a.root(), b, b.root(), Mode::kExact, nullptr);
+}
+
+bool StructurallyIdentical(const DecisionTree& a, const DecisionTree& b) {
+  if (a.empty() || b.empty()) return a.empty() == b.empty();
+  return EqualRec(a, a.root(), b, b.root(), Mode::kStructural, nullptr);
+}
+
+bool PartitionIdenticalOn(const DecisionTree& a, const DecisionTree& b,
+                          const Dataset& data) {
+  if (a.empty() || b.empty()) return a.empty() == b.empty();
+
+  std::function<bool(NodeId, NodeId, const std::vector<size_t>&)> walk =
+      [&](NodeId ia, NodeId ib, const std::vector<size_t>& rows) -> bool {
+    const auto& na = a.node(ia);
+    const auto& nb = b.node(ib);
+    if (na.is_leaf != nb.is_leaf) return false;
+    if (na.is_leaf) return na.label == nb.label;
+    if (na.attribute != nb.attribute) return false;
+
+    std::vector<size_t> left_a, right_a;
+    for (size_t r : rows) {
+      const AttrValue v = data.Value(r, na.attribute);
+      (v <= na.threshold ? left_a : right_a).push_back(r);
+    }
+    // Check tree b routes the same rows the same way.
+    for (size_t r : left_a) {
+      if (!(data.Value(r, nb.attribute) <= nb.threshold)) return false;
+    }
+    for (size_t r : right_a) {
+      if (data.Value(r, nb.attribute) <= nb.threshold) return false;
+    }
+    return walk(na.left, nb.left, left_a) && walk(na.right, nb.right, right_a);
+  };
+
+  std::vector<size_t> rows(data.NumRows());
+  for (size_t r = 0; r < rows.size(); ++r) rows[r] = r;
+  return walk(a.root(), b.root(), rows);
+}
+
+void CanonicalizeThresholds(DecisionTree& tree, const Dataset& data) {
+  if (tree.empty()) return;
+
+  std::function<void(NodeId, const std::vector<size_t>&)> walk =
+      [&](NodeId id, const std::vector<size_t>& rows) {
+        auto& n = tree.mutable_node(id);
+        if (n.is_leaf) return;
+        std::vector<size_t> left_rows, right_rows;
+        bool have_left = false, have_right = false;
+        AttrValue left_max = 0, right_min = 0;
+        for (size_t r : rows) {
+          const AttrValue v = data.Value(r, n.attribute);
+          if (v <= n.threshold) {
+            left_rows.push_back(r);
+            if (!have_left || v > left_max) {
+              left_max = v;
+              have_left = true;
+            }
+          } else {
+            right_rows.push_back(r);
+            if (!have_right || v < right_min) {
+              right_min = v;
+              have_right = true;
+            }
+          }
+        }
+        if (have_left && have_right) {
+          n.threshold = left_max + (right_min - left_max) / 2;
+        }
+        walk(n.left, left_rows);
+        walk(n.right, right_rows);
+      };
+
+  std::vector<size_t> rows(data.NumRows());
+  for (size_t r = 0; r < rows.size(); ++r) rows[r] = r;
+  walk(tree.root(), rows);
+}
+
+std::string DescribeDifference(const DecisionTree& a, const DecisionTree& b) {
+  if (a.empty() || b.empty()) {
+    if (a.empty() == b.empty()) return "";
+    return "one tree is empty";
+  }
+  std::string diff;
+  if (EqualRec(a, a.root(), b, b.root(), Mode::kExact, &diff)) return "";
+  return diff;
+}
+
+bool SameDecisionFunction(const DecisionTree& a, const DecisionTree& b,
+                          const Dataset& data, size_t num_probes, Rng& rng) {
+  if (a.empty() || b.empty()) return a.empty() == b.empty();
+  for (size_t r = 0; r < data.NumRows(); ++r) {
+    if (a.Predict(data, r) != b.Predict(data, r)) return false;
+  }
+  if (data.NumRows() == 0 || data.NumAttributes() == 0) return true;
+  // Per-attribute bounding box.
+  std::vector<AttrValue> lo(data.NumAttributes());
+  std::vector<AttrValue> hi(data.NumAttributes());
+  for (size_t attr = 0; attr < data.NumAttributes(); ++attr) {
+    const auto& col = data.Column(attr);
+    lo[attr] = *std::min_element(col.begin(), col.end());
+    hi[attr] = *std::max_element(col.begin(), col.end());
+  }
+  std::vector<AttrValue> probe(data.NumAttributes());
+  for (size_t p = 0; p < num_probes; ++p) {
+    for (size_t attr = 0; attr < data.NumAttributes(); ++attr) {
+      probe[attr] =
+          lo[attr] < hi[attr] ? rng.Uniform(lo[attr], hi[attr]) : lo[attr];
+    }
+    if (a.Predict(probe) != b.Predict(probe)) return false;
+  }
+  return true;
+}
+
+}  // namespace popp

@@ -1,0 +1,66 @@
+#ifndef POPP_TREE_COMPARE_H_
+#define POPP_TREE_COMPARE_H_
+
+#include <string>
+
+#include "data/dataset.h"
+#include "tree/decision_tree.h"
+#include "util/rng.h"
+
+/// \file
+/// Tree comparison and threshold canonicalization — the machinery behind
+/// verifying Theorem 2 (decode(T') == T).
+///
+/// Three notions of equality, strongest first:
+///  * ExactlyEqual          — identical structure, attributes, leaf labels
+///                            and bit-equal thresholds;
+///  * PartitionIdenticalOn  — identical structure/attributes/labels and the
+///                            thresholds route every tuple of a reference
+///                            dataset identically (the semantic identity the
+///                            theorem guarantees for *all* monotone
+///                            families, where a non-linear f^{-1} may move a
+///                            midpoint threshold within its label-run gap);
+///  * StructurallyIdentical — identical shape, split attributes and leaf
+///                            labels, thresholds ignored.
+///
+/// `CanonicalizeThresholds` snaps every threshold to the midpoint of the
+/// two adjacent attribute values actually observed at that node, after
+/// which ExactlyEqual holds whenever PartitionIdenticalOn does.
+
+namespace popp {
+
+/// Bit-exact tree equality (structure, attributes, thresholds, labels).
+bool ExactlyEqual(const DecisionTree& a, const DecisionTree& b);
+
+/// Equality of shape, split attributes and leaf labels only.
+bool StructurallyIdentical(const DecisionTree& a, const DecisionTree& b);
+
+/// True iff both trees have the same structure/attributes/labels and route
+/// every row of `data` identically at every corresponding node.
+bool PartitionIdenticalOn(const DecisionTree& a, const DecisionTree& b,
+                          const Dataset& data);
+
+/// Rewrites every internal threshold of `tree` to the midpoint between the
+/// largest attribute value routed left and the smallest routed right among
+/// the rows of `data` reaching that node. Nodes reached by no rows, or
+/// whose split separates no rows, are left untouched.
+void CanonicalizeThresholds(DecisionTree& tree, const Dataset& data);
+
+/// Human-readable description of the first difference found between the
+/// trees (for test failure messages); empty string if ExactlyEqual.
+std::string DescribeDifference(const DecisionTree& a, const DecisionTree& b);
+
+/// True iff both trees predict the same class on every row of `data` and
+/// on `num_probes` uniformly random points drawn from the per-attribute
+/// bounding box of `data`.
+///
+/// This is the *decision-function* form of outcome equality: two trees of
+/// different shape can classify identically everywhere (e.g. the mirrored
+/// resolutions of an exactly-tied split at a class-palindromic node, the
+/// one case where an order-reversing transform can alter the tree shape).
+bool SameDecisionFunction(const DecisionTree& a, const DecisionTree& b,
+                          const Dataset& data, size_t num_probes, Rng& rng);
+
+}  // namespace popp
+
+#endif  // POPP_TREE_COMPARE_H_

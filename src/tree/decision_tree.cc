@@ -1,0 +1,151 @@
+#include "tree/decision_tree.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "util/status.h"
+
+namespace popp {
+
+NodeId DecisionTree::AddLeaf(ClassId label, std::vector<uint64_t> class_hist) {
+  Node node;
+  node.is_leaf = true;
+  node.label = label;
+  node.class_hist = std::move(class_hist);
+  nodes_.push_back(std::move(node));
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+NodeId DecisionTree::AddInternal(size_t attribute, AttrValue threshold,
+                                 NodeId left, NodeId right,
+                                 std::vector<uint64_t> class_hist) {
+  CheckId(left);
+  CheckId(right);
+  Node node;
+  node.is_leaf = false;
+  node.attribute = attribute;
+  node.threshold = threshold;
+  node.left = left;
+  node.right = right;
+  node.class_hist = std::move(class_hist);
+  nodes_.push_back(std::move(node));
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+void DecisionTree::SetRoot(NodeId id) {
+  CheckId(id);
+  POPP_CHECK_MSG(root_ == kNoNode, "root already set");
+  root_ = id;
+}
+
+const DecisionTree::Node& DecisionTree::node(NodeId id) const {
+  CheckId(id);
+  return nodes_[static_cast<size_t>(id)];
+}
+
+DecisionTree::Node& DecisionTree::mutable_node(NodeId id) {
+  CheckId(id);
+  return nodes_[static_cast<size_t>(id)];
+}
+
+void DecisionTree::CheckId(NodeId id) const {
+  POPP_CHECK_MSG(id >= 0 && static_cast<size_t>(id) < nodes_.size(),
+                 "bad node id " << id);
+}
+
+size_t DecisionTree::NumLeaves() const {
+  size_t n = 0;
+  for (const auto& node : nodes_) {
+    if (node.is_leaf) ++n;
+  }
+  return n;
+}
+
+size_t DecisionTree::Depth() const {
+  if (empty()) return 0;
+  std::function<size_t(NodeId)> depth_of = [&](NodeId id) -> size_t {
+    const Node& n = node(id);
+    if (n.is_leaf) return 0;
+    return 1 + std::max(depth_of(n.left), depth_of(n.right));
+  };
+  return depth_of(root_);
+}
+
+ClassId DecisionTree::Predict(const std::vector<AttrValue>& values) const {
+  POPP_CHECK_MSG(!empty(), "Predict on empty tree");
+  NodeId id = root_;
+  while (true) {
+    const Node& n = node(id);
+    if (n.is_leaf) return n.label;
+    POPP_DCHECK(n.attribute < values.size());
+    id = values[n.attribute] <= n.threshold ? n.left : n.right;
+  }
+}
+
+ClassId DecisionTree::Predict(const Dataset& data, size_t row) const {
+  POPP_CHECK_MSG(!empty(), "Predict on empty tree");
+  NodeId id = root_;
+  while (true) {
+    const Node& n = node(id);
+    if (n.is_leaf) return n.label;
+    id = data.Value(row, n.attribute) <= n.threshold ? n.left : n.right;
+  }
+}
+
+double DecisionTree::Accuracy(const Dataset& data) const {
+  if (data.NumRows() == 0) return 0.0;
+  size_t correct = 0;
+  for (size_t r = 0; r < data.NumRows(); ++r) {
+    if (Predict(data, r) == data.Label(r)) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(data.NumRows());
+}
+
+std::vector<TreePath> DecisionTree::Paths() const {
+  std::vector<TreePath> paths;
+  if (empty()) return paths;
+  std::vector<PathCondition> stack;
+  std::function<void(NodeId)> walk = [&](NodeId id) {
+    const Node& n = node(id);
+    if (n.is_leaf) {
+      TreePath path;
+      path.conditions = stack;
+      path.leaf_label = n.label;
+      path.leaf = id;
+      paths.push_back(std::move(path));
+      return;
+    }
+    stack.push_back(
+        {n.attribute, PathCondition::Op::kLe, n.threshold});
+    walk(n.left);
+    stack.back().op = PathCondition::Op::kGt;
+    walk(n.right);
+    stack.pop_back();
+  };
+  walk(root_);
+  return paths;
+}
+
+std::string DecisionTree::ToText(const Schema& schema) const {
+  if (empty()) return "(empty tree)\n";
+  std::string out;
+  std::function<void(NodeId, const std::string&, const std::string&)> walk =
+      [&](NodeId id, const std::string& prefix, const std::string& branch) {
+        const Node& n = node(id);
+        out += prefix + branch;
+        if (n.is_leaf) {
+          out += "-> " + schema.ClassName(n.label) + "\n";
+          return;
+        }
+        out += schema.AttributeName(n.attribute) + " <= " +
+               FormatValue(n.threshold) + " ?\n";
+        const std::string child_prefix =
+            prefix + (branch.empty() ? "" : "   ");
+        walk(n.left, child_prefix, "yes ");
+        walk(n.right, child_prefix, "no  ");
+      };
+  walk(root_, "", "");
+  return out;
+}
+
+}  // namespace popp

@@ -1,0 +1,116 @@
+#ifndef POPP_TREE_DECISION_TREE_H_
+#define POPP_TREE_DECISION_TREE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "data/schema.h"
+#include "data/value.h"
+
+/// \file
+/// Binary decision tree over numeric attributes: the mining outcome T (or
+/// T' when mined from transformed data) whose paths are the patterns the
+/// paper's output-privacy pillar protects.
+
+namespace popp {
+
+/// Index of a node inside a DecisionTree's arena.
+using NodeId = int32_t;
+inline constexpr NodeId kNoNode = -1;
+
+/// One comparison along a root-to-leaf path: `attribute theta threshold`
+/// where theta is <= (kLe, the left branch) or > (kGt, the right branch).
+struct PathCondition {
+  enum class Op { kLe, kGt };
+  size_t attribute = 0;
+  Op op = Op::kLe;
+  AttrValue threshold = 0;
+
+  friend bool operator==(const PathCondition&, const PathCondition&) = default;
+};
+
+/// A root-to-leaf path: the conjunction of its conditions plus the leaf
+/// class (Definition 3's "path" whose thresholds a hacker tries to crack).
+struct TreePath {
+  std::vector<PathCondition> conditions;
+  ClassId leaf_label = kNoClass;
+  NodeId leaf = kNoNode;
+
+  size_t length() const { return conditions.size(); }
+};
+
+/// An arena-allocated binary decision tree. Value type (copyable/movable).
+///
+/// Internal nodes test `value(attribute) <= threshold`: true goes left,
+/// false goes right. Leaves carry the majority class label. Every node
+/// remembers the class histogram of the training tuples that reached it,
+/// which downstream tooling (canonicalization, risk metrics, pretty
+/// printing) relies on.
+class DecisionTree {
+ public:
+  struct Node {
+    bool is_leaf = true;
+    // Leaf payload.
+    ClassId label = kNoClass;
+    // Internal payload.
+    size_t attribute = 0;
+    AttrValue threshold = 0;
+    NodeId left = kNoNode;
+    NodeId right = kNoNode;
+    // Diagnostics: training tuples that reached this node, per class.
+    std::vector<uint64_t> class_hist;
+  };
+
+  DecisionTree() = default;
+
+  /// Creates a leaf node; returns its id.
+  NodeId AddLeaf(ClassId label, std::vector<uint64_t> class_hist = {});
+
+  /// Creates an internal node; children must already exist.
+  NodeId AddInternal(size_t attribute, AttrValue threshold, NodeId left,
+                     NodeId right, std::vector<uint64_t> class_hist = {});
+
+  /// Declares `id` the root. Must be called exactly once per tree.
+  void SetRoot(NodeId id);
+
+  bool empty() const { return root_ == kNoNode; }
+  NodeId root() const { return root_; }
+  size_t NumNodes() const { return nodes_.size(); }
+
+  const Node& node(NodeId id) const;
+  Node& mutable_node(NodeId id);
+
+  size_t NumLeaves() const;
+  size_t NumInternal() const { return NumNodes() - NumLeaves(); }
+
+  /// Height of the tree: a single leaf has depth 0.
+  size_t Depth() const;
+
+  /// Class predicted for a tuple given as a full attribute vector.
+  ClassId Predict(const std::vector<AttrValue>& values) const;
+
+  /// Class predicted for row `row` of `data`.
+  ClassId Predict(const Dataset& data, size_t row) const;
+
+  /// Fraction of rows of `data` the tree labels correctly.
+  double Accuracy(const Dataset& data) const;
+
+  /// All root-to-leaf paths, in left-to-right (in-order leaf) order.
+  std::vector<TreePath> Paths() const;
+
+  /// Multi-line ASCII rendering with attribute and class names resolved
+  /// against `schema`, matching the style of the paper's Figure 1.
+  std::string ToText(const Schema& schema) const;
+
+ private:
+  void CheckId(NodeId id) const;
+
+  std::vector<Node> nodes_;
+  NodeId root_ = kNoNode;
+};
+
+}  // namespace popp
+
+#endif  // POPP_TREE_DECISION_TREE_H_

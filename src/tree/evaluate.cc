@@ -1,0 +1,159 @@
+#include "tree/evaluate.h"
+
+#include <algorithm>
+
+#include "util/table.h"
+#include "util/status.h"
+
+namespace popp {
+
+TrainTestSplit StratifiedSplit(const Dataset& data, double test_fraction,
+                               Rng& rng) {
+  POPP_CHECK_MSG(test_fraction > 0.0 && test_fraction < 1.0,
+                 "test_fraction must be in (0, 1)");
+  // Rows per class, shuffled.
+  std::vector<std::vector<size_t>> by_class(data.NumClasses());
+  for (size_t r = 0; r < data.NumRows(); ++r) {
+    by_class[static_cast<size_t>(data.Label(r))].push_back(r);
+  }
+  TrainTestSplit split;
+  for (auto& rows : by_class) {
+    rng.Shuffle(rows);
+    const size_t test_count = static_cast<size_t>(
+        test_fraction * static_cast<double>(rows.size()) + 0.5);
+    for (size_t i = 0; i < rows.size(); ++i) {
+      (i < test_count ? split.test : split.train).push_back(rows[i]);
+    }
+  }
+  std::sort(split.train.begin(), split.train.end());
+  std::sort(split.test.begin(), split.test.end());
+  POPP_CHECK_MSG(!split.train.empty() && !split.test.empty(),
+                 "split produced an empty side — adjust test_fraction");
+  return split;
+}
+
+std::vector<TrainTestSplit> StratifiedKFold(const Dataset& data, size_t k,
+                                            Rng& rng) {
+  POPP_CHECK_MSG(k >= 2, "need k >= 2 folds");
+  POPP_CHECK_MSG(data.NumRows() >= k, "fewer rows than folds");
+  std::vector<std::vector<size_t>> by_class(data.NumClasses());
+  for (size_t r = 0; r < data.NumRows(); ++r) {
+    by_class[static_cast<size_t>(data.Label(r))].push_back(r);
+  }
+  // Round-robin class rows into folds after shuffling.
+  std::vector<std::vector<size_t>> folds(k);
+  for (auto& rows : by_class) {
+    rng.Shuffle(rows);
+    for (size_t i = 0; i < rows.size(); ++i) {
+      folds[i % k].push_back(rows[i]);
+    }
+  }
+  std::vector<TrainTestSplit> splits(k);
+  for (size_t f = 0; f < k; ++f) {
+    splits[f].test = folds[f];
+    for (size_t other = 0; other < k; ++other) {
+      if (other == f) continue;
+      splits[f].train.insert(splits[f].train.end(), folds[other].begin(),
+                             folds[other].end());
+    }
+    std::sort(splits[f].train.begin(), splits[f].train.end());
+    std::sort(splits[f].test.begin(), splits[f].test.end());
+  }
+  return splits;
+}
+
+ConfusionMatrix::ConfusionMatrix(size_t num_classes)
+    : num_classes_(num_classes), counts_(num_classes * num_classes, 0) {
+  POPP_CHECK(num_classes > 0);
+}
+
+void ConfusionMatrix::Add(ClassId actual, ClassId predicted) {
+  POPP_DCHECK(actual >= 0 && static_cast<size_t>(actual) < num_classes_);
+  POPP_DCHECK(predicted >= 0 &&
+              static_cast<size_t>(predicted) < num_classes_);
+  counts_[static_cast<size_t>(actual) * num_classes_ +
+          static_cast<size_t>(predicted)]++;
+  total_++;
+}
+
+uint64_t ConfusionMatrix::Count(ClassId actual, ClassId predicted) const {
+  return counts_[static_cast<size_t>(actual) * num_classes_ +
+                 static_cast<size_t>(predicted)];
+}
+
+double ConfusionMatrix::Accuracy() const {
+  if (total_ == 0) return 0.0;
+  uint64_t correct = 0;
+  for (size_t c = 0; c < num_classes_; ++c) {
+    correct += counts_[c * num_classes_ + c];
+  }
+  return static_cast<double>(correct) / static_cast<double>(total_);
+}
+
+double ConfusionMatrix::Recall(ClassId label) const {
+  uint64_t actual_total = 0;
+  for (size_t p = 0; p < num_classes_; ++p) {
+    actual_total += counts_[static_cast<size_t>(label) * num_classes_ + p];
+  }
+  if (actual_total == 0) return 0.0;
+  return static_cast<double>(Count(label, label)) /
+         static_cast<double>(actual_total);
+}
+
+double ConfusionMatrix::Precision(ClassId label) const {
+  uint64_t predicted_total = 0;
+  for (size_t a = 0; a < num_classes_; ++a) {
+    predicted_total += counts_[a * num_classes_ + static_cast<size_t>(label)];
+  }
+  if (predicted_total == 0) return 0.0;
+  return static_cast<double>(Count(label, label)) /
+         static_cast<double>(predicted_total);
+}
+
+std::string ConfusionMatrix::ToString(const Schema& schema) const {
+  std::vector<std::string> headers{"actual \\ predicted"};
+  for (size_t c = 0; c < num_classes_; ++c) {
+    headers.push_back(schema.ClassName(static_cast<ClassId>(c)));
+  }
+  headers.push_back("recall");
+  TablePrinter table(headers);
+  for (size_t a = 0; a < num_classes_; ++a) {
+    std::vector<std::string> row{schema.ClassName(static_cast<ClassId>(a))};
+    for (size_t p = 0; p < num_classes_; ++p) {
+      row.push_back(std::to_string(
+          Count(static_cast<ClassId>(a), static_cast<ClassId>(p))));
+    }
+    row.push_back(TablePrinter::Pct(Recall(static_cast<ClassId>(a))));
+    table.AddRow(row);
+  }
+  return table.ToString();
+}
+
+ConfusionMatrix Evaluate(const DecisionTree& tree, const Dataset& data,
+                         const std::vector<size_t>& rows) {
+  ConfusionMatrix matrix(data.NumClasses());
+  for (size_t r : rows) {
+    matrix.Add(data.Label(r), tree.Predict(data, r));
+  }
+  return matrix;
+}
+
+CrossValidationResult CrossValidate(const Dataset& data,
+                                    const BuildOptions& options, size_t k,
+                                    Rng& rng) {
+  CrossValidationResult result;
+  const DecisionTreeBuilder builder(options);
+  for (const TrainTestSplit& split : StratifiedKFold(data, k, rng)) {
+    const Dataset train = data.Select(split.train);
+    const DecisionTree tree = builder.Build(train);
+    const ConfusionMatrix matrix = Evaluate(tree, data, split.test);
+    result.fold_accuracies.push_back(matrix.Accuracy());
+  }
+  double sum = 0.0;
+  for (double a : result.fold_accuracies) sum += a;
+  result.mean_accuracy =
+      sum / static_cast<double>(result.fold_accuracies.size());
+  return result;
+}
+
+}  // namespace popp

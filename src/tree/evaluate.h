@@ -1,0 +1,80 @@
+#ifndef POPP_TREE_EVALUATE_H_
+#define POPP_TREE_EVALUATE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "tree/builder.h"
+#include "tree/decision_tree.h"
+#include "util/rng.h"
+
+/// \file
+/// Model evaluation utilities: stratified holdout splits, k-fold
+/// cross-validation and confusion matrices. Besides ordinary model
+/// assessment, these close the loop on the no-outcome-change guarantee:
+/// because the decoded tree *is* the direct tree, its held-out behavior
+/// is identical too — the custodian loses no generalization quality by
+/// outsourcing (tested in evaluate_test.cc).
+
+namespace popp {
+
+/// A train/test split as row-index sets over one dataset.
+struct TrainTestSplit {
+  std::vector<size_t> train;
+  std::vector<size_t> test;
+};
+
+/// Stratified split: each class contributes ~`test_fraction` of its rows
+/// to the test set. Deterministic given the rng state.
+TrainTestSplit StratifiedSplit(const Dataset& data, double test_fraction,
+                               Rng& rng);
+
+/// `k` stratified folds; fold i is the test set of round i.
+std::vector<TrainTestSplit> StratifiedKFold(const Dataset& data, size_t k,
+                                            Rng& rng);
+
+/// A confusion matrix over the dataset's classes.
+class ConfusionMatrix {
+ public:
+  explicit ConfusionMatrix(size_t num_classes);
+
+  void Add(ClassId actual, ClassId predicted);
+
+  uint64_t Count(ClassId actual, ClassId predicted) const;
+  uint64_t Total() const { return total_; }
+
+  double Accuracy() const;
+  /// Per-class recall (0 when the class never occurs).
+  double Recall(ClassId label) const;
+  /// Per-class precision (0 when the class is never predicted).
+  double Precision(ClassId label) const;
+
+  /// Aligned text rendering with class names from `schema`.
+  std::string ToString(const Schema& schema) const;
+
+ private:
+  size_t num_classes_;
+  std::vector<uint64_t> counts_;  // [actual * num_classes_ + predicted]
+  uint64_t total_ = 0;
+};
+
+/// Evaluates `tree` on the given rows of `data`.
+ConfusionMatrix Evaluate(const DecisionTree& tree, const Dataset& data,
+                         const std::vector<size_t>& rows);
+
+/// Result of a cross-validation run.
+struct CrossValidationResult {
+  std::vector<double> fold_accuracies;
+  double mean_accuracy = 0;
+};
+
+/// k-fold cross-validation of a tree configuration on `data`.
+CrossValidationResult CrossValidate(const Dataset& data,
+                                    const BuildOptions& options, size_t k,
+                                    Rng& rng);
+
+}  // namespace popp
+
+#endif  // POPP_TREE_EVALUATE_H_

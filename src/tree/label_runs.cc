@@ -1,0 +1,67 @@
+#include "tree/label_runs.h"
+
+#include <algorithm>
+
+#include "util/status.h"
+
+namespace popp {
+
+std::vector<ClassId> ClassString(const std::vector<ValueLabel>& sorted) {
+  std::vector<ClassId> s(sorted.size());
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    POPP_DCHECK(i == 0 || sorted[i - 1].value <= sorted[i].value);
+    s[i] = sorted[i].label;
+  }
+  return s;
+}
+
+std::string ClassStringText(const std::vector<ClassId>& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (ClassId c : s) {
+    POPP_CHECK_MSG(c >= 0 && c < 26, "class id " << c << " not renderable");
+    out += static_cast<char>('A' + c);
+  }
+  return out;
+}
+
+std::vector<LabelRun> ComputeLabelRuns(const std::vector<ClassId>& s) {
+  std::vector<LabelRun> runs;
+  size_t i = 0;
+  while (i < s.size()) {
+    LabelRun run;
+    run.label = s[i];
+    run.begin = i;
+    while (i < s.size() && s[i] == run.label) ++i;
+    run.end = i;
+    runs.push_back(run);
+  }
+  return runs;
+}
+
+std::vector<LabelRun> LabelRunsOf(const Dataset& data, size_t attr) {
+  return ComputeLabelRuns(ClassString(data.SortedProjection(attr)));
+}
+
+std::vector<ClassId> Reversed(std::vector<ClassId> s) {
+  std::reverse(s.begin(), s.end());
+  return s;
+}
+
+std::vector<size_t> RunBoundaryCandidates(const AttributeSummary& summary) {
+  std::vector<size_t> candidates;
+  const size_t n = summary.NumDistinct();
+  for (size_t b = 1; b < n; ++b) {
+    const ClassId before = summary.MonoClassAt(b - 1);
+    const ClassId after = summary.MonoClassAt(b);
+    // If either neighboring value mixes classes, the boundary coincides
+    // with a run boundary under some canonical tie order; if both are
+    // pure, it is a run boundary iff their classes differ.
+    if (before == kNoClass || after == kNoClass || before != after) {
+      candidates.push_back(b);
+    }
+  }
+  return candidates;
+}
+
+}  // namespace popp

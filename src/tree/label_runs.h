@@ -1,0 +1,62 @@
+#ifndef POPP_TREE_LABEL_RUNS_H_
+#define POPP_TREE_LABEL_RUNS_H_
+
+#include <string>
+#include <vector>
+
+#include "data/summary.h"
+#include "data/value.h"
+
+/// \file
+/// Class strings and label runs (paper Definitions 6 and 7).
+///
+/// The class string sigma_{A,D} is the concatenation of class labels of the
+/// A-projected tuples sorted by A-value; a label run is a maximal substring
+/// of one class. Lemma 1: monotone transforms preserve the class string,
+/// anti-monotone transforms reverse it. Lemma 2: optimal gini/entropy split
+/// points only occur at boundaries between successive label runs.
+
+namespace popp {
+
+/// One maximal single-class run over the *tuple* sequence.
+struct LabelRun {
+  ClassId label = kNoClass;
+  size_t begin = 0;  ///< first tuple index of the run (inclusive)
+  size_t end = 0;    ///< one past the last tuple index (exclusive)
+
+  size_t length() const { return end - begin; }
+  friend bool operator==(const LabelRun&, const LabelRun&) = default;
+};
+
+/// The class string of a sorted tuple sequence, as a vector of class ids.
+/// `sorted` must be ordered by value (ties in any canonical order).
+std::vector<ClassId> ClassString(const std::vector<ValueLabel>& sorted);
+
+/// Renders a class string as text, class id c -> 'A' + c, e.g. "AAABAB".
+/// Requires all ids < 26.
+std::string ClassStringText(const std::vector<ClassId>& s);
+
+/// Decomposes a class string into label runs (Definition 7).
+std::vector<LabelRun> ComputeLabelRuns(const std::vector<ClassId>& s);
+
+/// Label runs of attribute `attr`'s sorted projection in `data`.
+std::vector<LabelRun> LabelRunsOf(const Dataset& data, size_t attr);
+
+/// Reverses a class string (the image of an anti-monotone transform,
+/// Lemma 1).
+std::vector<ClassId> Reversed(std::vector<ClassId> s);
+
+/// The *value-boundary* candidate positions of Lemma 2, expressed over the
+/// distinct-value summary: boundary b (1 <= b <= NumDistinct-1) separates
+/// values[0..b-1] from values[b..]. A boundary is a *run boundary* iff the
+/// class content changes across it, i.e. it is not interior to a single
+/// label run of the tuple sequence. Lemma 2 says the optimal split is
+/// always at such a boundary; the builder can restrict its search to them.
+///
+/// A boundary b is kept iff value b-1 or value b is non-monochromatic, or
+/// the two values' (single) classes differ.
+std::vector<size_t> RunBoundaryCandidates(const AttributeSummary& summary);
+
+}  // namespace popp
+
+#endif  // POPP_TREE_LABEL_RUNS_H_

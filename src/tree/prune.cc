@@ -1,0 +1,137 @@
+#include "tree/prune.h"
+
+#include <cmath>
+#include <functional>
+
+#include "tree/builder.h"
+#include "util/status.h"
+
+namespace popp {
+namespace {
+
+/// Inverse of the standard normal upper tail for the confidence factors
+/// C4.5 supports, via the Beasley–Springer–Moro rational approximation.
+double UpperTailZ(double cf) {
+  POPP_CHECK_MSG(cf > 0.0 && cf < 1.0, "confidence must be in (0,1)");
+  // z with P(N(0,1) > z) = cf  <=>  quantile(1 - cf).
+  const double p = 1.0 - cf;
+  // Acklam's approximation of the normal quantile.
+  static const double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                             -2.759285104469687e+02, 1.383577518672690e+02,
+                             -3.066479806614716e+01, 2.506628277459239e+00};
+  static const double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                             -1.556989798598866e+02, 6.680131188771972e+01,
+                             -1.328068155288572e+01};
+  static const double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                             -2.400758277161838e+00, -2.549732539343734e+00,
+                             4.374664141464968e+00,  2.938163982698783e+00};
+  static const double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                             2.445134137142996e+00, 3.754408661907416e+00};
+  const double plow = 0.02425;
+  double q, r;
+  if (p < plow) {
+    q = std::sqrt(-2.0 * std::log(p));
+    return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+             c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  if (p <= 1.0 - plow) {
+    q = p - 0.5;
+    r = q * q;
+    return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r +
+            a[5]) *
+           q /
+           (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r +
+            1.0);
+  }
+  q = std::sqrt(-2.0 * std::log(1.0 - p));
+  return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+          c[5]) /
+         ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+}
+
+uint64_t Total(const std::vector<uint64_t>& hist) {
+  uint64_t n = 0;
+  for (uint64_t c : hist) n += c;
+  return n;
+}
+
+}  // namespace
+
+double PessimisticExtraErrors(double n, double errors, double cf) {
+  POPP_CHECK_MSG(n > 0.0, "PessimisticExtraErrors: empty node");
+  POPP_CHECK_MSG(errors >= 0.0 && errors <= n, "bad error count");
+  // The C4.5 AddErrs cases (Quinlan, C4.5: Programs for Machine Learning).
+  if (errors < 1e-9) {
+    return n * (1.0 - std::pow(cf, 1.0 / n));
+  }
+  if (errors < 1.0) {
+    const double base = n * (1.0 - std::pow(cf, 1.0 / n));
+    return base + errors * (PessimisticExtraErrors(n, 1.0, cf) - base);
+  }
+  if (errors + 0.5 >= n) {
+    return 0.67 * (n - errors);
+  }
+  const double z = UpperTailZ(cf);
+  const double f = (errors + 0.5) / n;
+  const double pr =
+      (f + z * z / (2.0 * n) +
+       z * std::sqrt(f / n * (1.0 - f) + z * z / (4.0 * n * n))) /
+      (1.0 + z * z / n);
+  return pr * n - errors;
+}
+
+double PessimisticLeafErrors(const std::vector<uint64_t>& hist, double cf) {
+  const uint64_t n = Total(hist);
+  if (n == 0) return 0.0;
+  uint64_t majority = 0;
+  for (uint64_t c : hist) majority = std::max(majority, c);
+  const double errors = static_cast<double>(n - majority);
+  return errors + PessimisticExtraErrors(static_cast<double>(n), errors, cf);
+}
+
+DecisionTree PruneTree(const DecisionTree& tree, const PruneOptions& options) {
+  DecisionTree pruned;
+  if (tree.empty()) return pruned;
+
+  // Pass 1: decide per node whether its subtree collapses to a leaf, and
+  // compute each (pruned) subtree's pessimistic error estimate.
+  std::vector<char> collapse(tree.NumNodes(), 0);
+  std::function<double(NodeId)> estimate = [&](NodeId id) -> double {
+    const auto& node = tree.node(id);
+    POPP_CHECK_MSG(!node.class_hist.empty(),
+                   "PruneTree needs per-node class histograms");
+    const double as_leaf =
+        PessimisticLeafErrors(node.class_hist, options.confidence);
+    if (node.is_leaf) return as_leaf;
+    const double subtree = estimate(node.left) + estimate(node.right);
+    // C4.5 replaces the subtree when collapsing does not cost more than
+    // +0.1 estimated errors.
+    if (as_leaf <= subtree + 0.1) {
+      collapse[static_cast<size_t>(id)] = 1;
+      return as_leaf;
+    }
+    return subtree;
+  };
+  estimate(tree.root());
+
+  // Pass 2: rebuild compactly, honoring the collapse decisions.
+  std::function<NodeId(NodeId)> build = [&](NodeId id) -> NodeId {
+    const auto& node = tree.node(id);
+    if (node.is_leaf) {
+      return pruned.AddLeaf(node.label, node.class_hist);
+    }
+    if (collapse[static_cast<size_t>(id)]) {
+      return pruned.AddLeaf(MajorityClass(node.class_hist),
+                            node.class_hist);
+    }
+    const NodeId left = build(node.left);
+    const NodeId right = build(node.right);
+    return pruned.AddInternal(node.attribute, node.threshold, left, right,
+                              node.class_hist);
+  };
+  pruned.SetRoot(build(tree.root()));
+  return pruned;
+}
+
+}  // namespace popp

@@ -1,0 +1,45 @@
+#ifndef POPP_TREE_PRUNE_H_
+#define POPP_TREE_PRUNE_H_
+
+#include "tree/decision_tree.h"
+
+/// \file
+/// C4.5-style pessimistic error pruning.
+///
+/// Every node's training-error count is inflated by an upper confidence
+/// bound on the binomial error rate (confidence factor CF, default 0.25,
+/// as in C4.5); a subtree is replaced by a leaf when the leaf's
+/// pessimistic error estimate does not exceed the subtree's.
+///
+/// Pruning decisions depend only on the per-node class histograms — never
+/// on attribute values — so the paper's no-outcome-change guarantee
+/// extends to pruned trees: prune(decode(T')) == prune(T).
+
+namespace popp {
+
+/// Pruning parameters.
+struct PruneOptions {
+  /// Confidence factor of the pessimistic error bound, in (0, 1).
+  /// Smaller values prune more aggressively. C4.5's default is 0.25.
+  double confidence = 0.25;
+};
+
+/// C4.5's "AddErrs": the number of *extra* errors to add to `errors`
+/// observed among `n` cases so that the total reflects the upper
+/// confidence limit at factor `cf`. Requires n > 0, 0 <= errors <= n.
+double PessimisticExtraErrors(double n, double errors, double cf);
+
+/// The pessimistic error estimate of predicting the majority class for a
+/// histogram: observed errors plus PessimisticExtraErrors.
+double PessimisticLeafErrors(const std::vector<uint64_t>& hist, double cf);
+
+/// Returns a pruned copy of `tree`. Every node must carry its training
+/// class histogram (trees built by DecisionTreeBuilder and trees produced
+/// by the decoders do). The result is compact: pruned-away nodes are not
+/// retained in the arena.
+DecisionTree PruneTree(const DecisionTree& tree,
+                       const PruneOptions& options = {});
+
+}  // namespace popp
+
+#endif  // POPP_TREE_PRUNE_H_

@@ -1,0 +1,150 @@
+#include "tree/serialize.h"
+
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <sstream>
+
+namespace popp {
+namespace {
+
+std::string Num(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+void WriteHist(const std::vector<uint64_t>& hist, std::ostringstream& out) {
+  out << " hist " << hist.size();
+  for (uint64_t c : hist) out << " " << c;
+  out << "\n";
+}
+
+}  // namespace
+
+std::string SerializeTree(const DecisionTree& tree) {
+  std::ostringstream out;
+  out << "popp-tree v1\n";
+  if (tree.empty()) {
+    out << "empty\n";
+    return out.str();
+  }
+  std::function<void(NodeId)> walk = [&](NodeId id) {
+    const auto& node = tree.node(id);
+    if (node.is_leaf) {
+      out << "leaf " << node.label;
+      WriteHist(node.class_hist, out);
+      return;
+    }
+    out << "split " << node.attribute << " " << Num(node.threshold);
+    WriteHist(node.class_hist, out);
+    walk(node.left);
+    walk(node.right);
+  };
+  walk(tree.root());
+  return out.str();
+}
+
+Result<DecisionTree> ParseTree(const std::string& text) {
+  std::istringstream in(text);
+  std::string magic, version;
+  if (!(in >> magic >> version) || magic != "popp-tree" || version != "v1") {
+    return Status::InvalidArgument("not a popp-tree v1 document");
+  }
+
+  DecisionTree tree;
+  Status error = Status::Ok();
+
+  std::function<NodeId()> parse_node = [&]() -> NodeId {
+    if (!error.ok()) return kNoNode;
+    std::string kind;
+    if (!(in >> kind)) {
+      error = Status::InvalidArgument("unexpected end of tree document");
+      return kNoNode;
+    }
+    auto read_hist = [&](std::vector<uint64_t>& hist) {
+      std::string word;
+      size_t count = 0;
+      if (!(in >> word >> count) || word != "hist") {
+        error = Status::InvalidArgument("expected 'hist <n>'");
+        return;
+      }
+      hist.resize(count);
+      for (auto& c : hist) {
+        if (!(in >> c)) {
+          error = Status::InvalidArgument("truncated histogram");
+          return;
+        }
+      }
+    };
+    if (kind == "leaf") {
+      ClassId label = kNoClass;
+      if (!(in >> label)) {
+        error = Status::InvalidArgument("leaf without label");
+        return kNoNode;
+      }
+      std::vector<uint64_t> hist;
+      read_hist(hist);
+      if (!error.ok()) return kNoNode;
+      return tree.AddLeaf(label, std::move(hist));
+    }
+    if (kind == "split") {
+      size_t attribute = 0;
+      double threshold = 0;
+      if (!(in >> attribute >> threshold)) {
+        error = Status::InvalidArgument("split without attribute/threshold");
+        return kNoNode;
+      }
+      std::vector<uint64_t> hist;
+      read_hist(hist);
+      if (!error.ok()) return kNoNode;
+      const NodeId left = parse_node();
+      const NodeId right = parse_node();
+      if (!error.ok()) return kNoNode;
+      return tree.AddInternal(attribute, threshold, left, right,
+                              std::move(hist));
+    }
+    if (kind == "empty") {
+      return kNoNode;
+    }
+    error = Status::InvalidArgument("unknown node kind '" + kind + "'");
+    return kNoNode;
+  };
+
+  const NodeId root = parse_node();
+  if (!error.ok()) return error;
+  if (root != kNoNode) {
+    tree.SetRoot(root);
+  }
+  // Trailing garbage check.
+  std::string extra;
+  if (in >> extra) {
+    return Status::InvalidArgument("trailing content after tree: '" + extra +
+                                   "'");
+  }
+  return tree;
+}
+
+Status SaveTree(const DecisionTree& tree, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::IoError("cannot open '" + path + "' for writing");
+  }
+  out << SerializeTree(tree);
+  if (!out) {
+    return Status::IoError("error writing '" + path + "'");
+  }
+  return Status::Ok();
+}
+
+Result<DecisionTree> LoadTree(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::IoError("cannot open '" + path + "' for reading");
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ParseTree(buffer.str());
+}
+
+}  // namespace popp

@@ -1,0 +1,30 @@
+#ifndef POPP_TREE_SERIALIZE_H_
+#define POPP_TREE_SERIALIZE_H_
+
+#include <string>
+
+#include "tree/decision_tree.h"
+#include "util/status.h"
+
+/// \file
+/// Text persistence for decision trees — the exchange format between the
+/// mining service (which produces T') and the custodian (who decodes it).
+/// Pre-order, line-oriented ("popp-tree v1"), thresholds with 17
+/// significant digits for exact double round-trips, per-node class
+/// histograms included (the decoders and the pruner rely on them).
+
+namespace popp {
+
+/// Serializes a tree to the popp-tree v1 text format.
+std::string SerializeTree(const DecisionTree& tree);
+
+/// Parses a popp-tree v1 document.
+Result<DecisionTree> ParseTree(const std::string& text);
+
+/// File convenience wrappers.
+Status SaveTree(const DecisionTree& tree, const std::string& path);
+Result<DecisionTree> LoadTree(const std::string& path);
+
+}  // namespace popp
+
+#endif  // POPP_TREE_SERIALIZE_H_

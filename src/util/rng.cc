@@ -1,0 +1,106 @@
+#include "util/rng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+namespace popp {
+namespace {
+
+uint64_t SplitMix64(uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ull;
+  uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : state_) {
+    s = SplitMix64(sm);
+  }
+  // A state of all zeros would be a fixed point; splitmix64 cannot produce
+  // four zero outputs in a row, but guard anyway.
+  if ((state_[0] | state_[1] | state_[2] | state_[3]) == 0) {
+    state_[0] = 0x9e3779b97f4a7c15ull;
+  }
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  POPP_CHECK_MSG(lo <= hi, "UniformInt: lo=" << lo << " > hi=" << hi);
+  const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  if (span == 0) {
+    // Full 64-bit range requested.
+    return static_cast<int64_t>(Next());
+  }
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t limit = (~uint64_t{0} / span) * span;
+  uint64_t draw = Next();
+  while (draw >= limit) {
+    draw = Next();
+  }
+  return lo + static_cast<int64_t>(draw % span);
+}
+
+double Rng::Uniform01() {
+  // 53 random bits into [0, 1).
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::Uniform(double lo, double hi) {
+  POPP_CHECK_MSG(lo < hi, "Uniform: lo=" << lo << " >= hi=" << hi);
+  return lo + (hi - lo) * Uniform01();
+}
+
+double Rng::Gaussian(double mean, double stddev) {
+  // Box–Muller; draw u1 away from 0 to keep log finite.
+  double u1 = Uniform01();
+  while (u1 <= 0.0) {
+    u1 = Uniform01();
+  }
+  const double u2 = Uniform01();
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  return mean + stddev * radius * std::cos(2.0 * M_PI * u2);
+}
+
+bool Rng::Bernoulli(double p) {
+  POPP_CHECK_MSG(p >= 0.0 && p <= 1.0, "Bernoulli: p=" << p);
+  return Uniform01() < p;
+}
+
+std::vector<size_t> Rng::SampleIndices(size_t n, size_t k) {
+  POPP_CHECK_MSG(k <= n, "SampleIndices: k=" << k << " > n=" << n);
+  // Floyd's algorithm yields a uniform k-subset with k draws.
+  std::unordered_set<size_t> chosen;
+  chosen.reserve(k);
+  for (size_t j = n - k; j < n; ++j) {
+    size_t t = static_cast<size_t>(UniformInt(0, static_cast<int64_t>(j)));
+    if (!chosen.insert(t).second) {
+      chosen.insert(j);
+    }
+  }
+  std::vector<size_t> out(chosen.begin(), chosen.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Rng Rng::Fork() { return Rng(Next()); }
+
+}  // namespace popp

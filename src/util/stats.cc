@@ -1,0 +1,62 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/status.h"
+
+namespace popp {
+
+double Mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+double SampleStdDev(const std::vector<double>& xs) {
+  if (xs.size() < 2) return 0.0;
+  const double mu = Mean(xs);
+  double ss = 0.0;
+  for (double x : xs) ss += (x - mu) * (x - mu);
+  return std::sqrt(ss / static_cast<double>(xs.size() - 1));
+}
+
+double Median(std::vector<double> xs) { return Quantile(std::move(xs), 0.5); }
+
+double Quantile(std::vector<double> xs, double q) {
+  if (xs.empty()) return 0.0;
+  POPP_CHECK_MSG(q >= 0.0 && q <= 1.0, "Quantile: q=" << q);
+  std::sort(xs.begin(), xs.end());
+  const double pos = q * static_cast<double>(xs.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const size_t hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+double Min(const std::vector<double>& xs) {
+  POPP_CHECK(!xs.empty());
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+double Max(const std::vector<double>& xs) {
+  POPP_CHECK(!xs.empty());
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+Summary Summarize(const std::vector<double>& xs) {
+  Summary s;
+  if (xs.empty()) return s;
+  s.n = xs.size();
+  s.mean = Mean(xs);
+  s.stddev = SampleStdDev(xs);
+  s.min = Min(xs);
+  s.p25 = Quantile(xs, 0.25);
+  s.median = Quantile(xs, 0.50);
+  s.p75 = Quantile(xs, 0.75);
+  s.max = Max(xs);
+  return s;
+}
+
+}  // namespace popp

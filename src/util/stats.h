@@ -1,0 +1,47 @@
+#ifndef POPP_UTIL_STATS_H_
+#define POPP_UTIL_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+/// \file
+/// Small numerical-statistics helpers used by the risk harness and the
+/// experiment drivers (medians over randomized trials, summary rows).
+
+namespace popp {
+
+/// Arithmetic mean; returns 0 for an empty input.
+double Mean(const std::vector<double>& xs);
+
+/// Unbiased sample standard deviation; returns 0 for n < 2.
+double SampleStdDev(const std::vector<double>& xs);
+
+/// Median (average of the two middle order statistics for even n).
+/// Returns 0 for an empty input. Does not modify the input.
+double Median(std::vector<double> xs);
+
+/// Linear-interpolation quantile, q in [0, 1]. Returns 0 for empty input.
+double Quantile(std::vector<double> xs, double q);
+
+/// Minimum / maximum; both require a non-empty input.
+double Min(const std::vector<double>& xs);
+double Max(const std::vector<double>& xs);
+
+/// Five-number-style summary of a sample.
+struct Summary {
+  size_t n = 0;
+  double mean = 0;
+  double stddev = 0;
+  double min = 0;
+  double p25 = 0;
+  double median = 0;
+  double p75 = 0;
+  double max = 0;
+};
+
+/// Computes a Summary of `xs` (all zeros for an empty sample).
+Summary Summarize(const std::vector<double>& xs);
+
+}  // namespace popp
+
+#endif  // POPP_UTIL_STATS_H_

@@ -1,0 +1,168 @@
+#ifndef POPP_UTIL_STATUS_H_
+#define POPP_UTIL_STATUS_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <utility>
+
+/// \file
+/// Lightweight error-handling primitives for the popp library.
+///
+/// Following the project style (no exceptions in library code), there are
+/// two distinct mechanisms:
+///  * `POPP_CHECK` / `POPP_DCHECK` — invariant checks for programmer errors;
+///    failure aborts the process with a diagnostic.
+///  * `popp::Status` / `popp::Result<T>` — recoverable failures (I/O,
+///    malformed configuration) that callers are expected to handle.
+
+namespace popp {
+
+/// Coarse error category attached to a failed Status.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kFailedPrecondition,
+  kIoError,
+  kInternal,
+};
+
+/// Returns a stable human-readable name for a StatusCode.
+const char* StatusCodeName(StatusCode code);
+
+/// Value-semantic success-or-error result without a payload.
+///
+/// A default-constructed Status is OK. Failed statuses carry a code and a
+/// free-form message suitable for logging. Status is cheap to copy and move.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a failed status; `code` must not be kOk.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders "OK" or "<CODE>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A Status plus a value on success (a minimal `expected`-like type).
+///
+/// Callers must check `ok()` before calling `value()`; accessing the value
+/// of a failed Result is a checked programmer error.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from a value: success.
+  Result(T value) : status_(), value_(std::move(value)) {}  // NOLINT
+  /// Implicit from a failed status.
+  Result(Status status) : status_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    AbortIfNotOk();
+    return value_;
+  }
+  T& value() & {
+    AbortIfNotOk();
+    return value_;
+  }
+  T&& value() && {
+    AbortIfNotOk();
+    return std::move(value_);
+  }
+
+ private:
+  void AbortIfNotOk() const {
+    if (!status_.ok()) {
+      std::fprintf(stderr, "popp: Result::value() on error: %s\n",
+                   status_.ToString().c_str());
+      std::abort();
+    }
+  }
+
+  Status status_;
+  T value_{};
+};
+
+namespace internal {
+/// Aborts the process after printing a check-failure diagnostic.
+[[noreturn]] void CheckFailed(const char* file, int line, const char* expr,
+                              const std::string& extra);
+}  // namespace internal
+
+}  // namespace popp
+
+/// Aborts with a diagnostic if `cond` is false. Always enabled.
+#define POPP_CHECK(cond)                                              \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      ::popp::internal::CheckFailed(__FILE__, __LINE__, #cond, "");   \
+    }                                                                 \
+  } while (0)
+
+/// Like POPP_CHECK but appends a streamed message, e.g.
+/// `POPP_CHECK_MSG(i < n, "index " << i << " out of range " << n);`
+#define POPP_CHECK_MSG(cond, stream_expr)                                  \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::ostringstream popp_check_oss_;                                  \
+      popp_check_oss_ << stream_expr;                                      \
+      ::popp::internal::CheckFailed(__FILE__, __LINE__, #cond,             \
+                                    popp_check_oss_.str());                \
+    }                                                                      \
+  } while (0)
+
+/// Debug-only invariant check (compiled out in NDEBUG builds).
+#ifdef NDEBUG
+#define POPP_DCHECK(cond) \
+  do {                    \
+  } while (0)
+#else
+#define POPP_DCHECK(cond) POPP_CHECK(cond)
+#endif
+
+/// Early-returns the status if it is not OK.
+#define POPP_RETURN_IF_ERROR(expr)          \
+  do {                                      \
+    ::popp::Status popp_status_ = (expr);   \
+    if (!popp_status_.ok()) {               \
+      return popp_status_;                  \
+    }                                       \
+  } while (0)
+
+#endif  // POPP_UTIL_STATUS_H_

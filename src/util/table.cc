@@ -1,0 +1,77 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/status.h"
+
+namespace popp {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  POPP_CHECK(!headers_.empty());
+}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  POPP_CHECK_MSG(cells.size() == headers_.size(),
+                 "row has " << cells.size() << " cells, expected "
+                            << headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TablePrinter::Fmt(double value, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, value);
+  return buf;
+}
+
+std::string TablePrinter::Pct(double fraction, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", digits, fraction * 100.0);
+  return buf;
+}
+
+std::string TablePrinter::ToString(const std::string& title) const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto render_row = [&](const std::vector<std::string>& cells) {
+    std::string line;
+    for (size_t c = 0; c < cells.size(); ++c) {
+      if (c > 0) line += " | ";
+      line += cells[c];
+      line.append(widths[c] - cells[c].size(), ' ');
+    }
+    line += "\n";
+    return line;
+  };
+
+  std::string out;
+  if (!title.empty()) {
+    out += "=== " + title + " ===\n";
+  }
+  out += render_row(headers_);
+  std::string sep;
+  for (size_t c = 0; c < widths.size(); ++c) {
+    if (c > 0) sep += "-+-";
+    sep.append(widths[c], '-');
+  }
+  out += sep + "\n";
+  for (const auto& row : rows_) {
+    out += render_row(row);
+  }
+  return out;
+}
+
+void TablePrinter::Print(const std::string& title) const {
+  std::fputs(ToString(title).c_str(), stdout);
+}
+
+}  // namespace popp

@@ -1,0 +1,49 @@
+#ifndef POPP_UTIL_TABLE_H_
+#define POPP_UTIL_TABLE_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+/// \file
+/// Fixed-width text table printer used by the experiment binaries to
+/// regenerate the paper's tables with aligned, copy-paste-friendly output.
+
+namespace popp {
+
+/// Accumulates rows of string cells and prints them with column-fitted
+/// widths, an optional title line, and a header separator, e.g.
+///
+///   === Figure 8: Statistics of Attributes ===
+///   attr | dynamic range width | # distinct | ...
+///   -----+---------------------+------------+ ...
+///   #1   | 2000                | 1978       | ...
+class TablePrinter {
+ public:
+  /// Creates a printer with the given column headers.
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Adds a data row; must have exactly as many cells as there are headers.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience: formats a double with `digits` decimal places.
+  static std::string Fmt(double value, int digits = 2);
+
+  /// Convenience: formats a fraction as a percentage string, e.g. "12.5%".
+  static std::string Pct(double fraction, int digits = 1);
+
+  /// Renders the table to a string. If `title` is non-empty it is printed
+  /// first as "=== title ===".
+  std::string ToString(const std::string& title = "") const;
+
+  /// Prints ToString(title) to stdout.
+  void Print(const std::string& title = "") const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace popp
+
+#endif  // POPP_UTIL_TABLE_H_

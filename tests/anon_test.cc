@@ -1,0 +1,193 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "anon/mondrian.h"
+#include "attack/quantile_attack.h"
+#include "attack/sorting_attack.h"
+#include "data/summary.h"
+#include "synth/covtype_like.h"
+#include "synth/presets.h"
+#include "transform/piecewise.h"
+#include "tree/builder.h"
+#include "tree/compare.h"
+
+namespace popp {
+namespace {
+
+// ---------------------------------------------------------------- mondrian --
+
+TEST(MondrianTest, ProducesKAnonymousData) {
+  Rng rng(3);
+  const Dataset d = GenerateCovtypeLike(SmallCovtypeSpec(1000), rng);
+  for (size_t k : {2u, 5u, 25u}) {
+    MondrianOptions options;
+    options.k = k;
+    const AnonymizationResult result = MondrianAnonymize(d, options);
+    EXPECT_TRUE(IsKAnonymous(result.data, k)) << "k=" << k;
+    EXPECT_GE(result.min_group, k);
+    EXPECT_GT(result.num_groups, 1u);
+  }
+}
+
+TEST(MondrianTest, LabelsUntouched) {
+  Rng rng(5);
+  const Dataset d = GenerateCovtypeLike(SmallCovtypeSpec(600), rng);
+  const AnonymizationResult result = MondrianAnonymize(d, MondrianOptions{});
+  for (size_t r = 0; r < d.NumRows(); ++r) {
+    EXPECT_EQ(result.data.Label(r), d.Label(r));
+  }
+}
+
+TEST(MondrianTest, LargerKCoarsensGroups) {
+  Rng rng(7);
+  const Dataset d = GenerateCovtypeLike(SmallCovtypeSpec(1000), rng);
+  MondrianOptions k5;
+  k5.k = 5;
+  MondrianOptions k50;
+  k50.k = 50;
+  const auto fine = MondrianAnonymize(d, k5);
+  const auto coarse = MondrianAnonymize(d, k50);
+  EXPECT_GT(fine.num_groups, coarse.num_groups);
+}
+
+TEST(MondrianTest, GroupMeansPreserveColumnSums) {
+  // Replacing values by group means keeps each column's total.
+  Rng rng(9);
+  const Dataset d = GenerateCovtypeLike(SmallCovtypeSpec(600), rng);
+  const auto result = MondrianAnonymize(d, MondrianOptions{});
+  for (size_t a = 0; a < d.NumAttributes(); ++a) {
+    double before = 0, after = 0;
+    for (size_t r = 0; r < d.NumRows(); ++r) {
+      before += d.Value(r, a);
+      after += result.data.Value(r, a);
+    }
+    EXPECT_NEAR(after, before, 1e-6 * std::max(1.0, std::fabs(before)));
+  }
+}
+
+TEST(MondrianTest, Deterministic) {
+  Rng rng(11);
+  const Dataset d = GenerateCovtypeLike(SmallCovtypeSpec(500), rng);
+  EXPECT_EQ(MondrianAnonymize(d, MondrianOptions{}).data,
+            MondrianAnonymize(d, MondrianOptions{}).data);
+}
+
+TEST(MondrianTest, RejectsKAboveRowCount) {
+  Dataset d({"x"}, {"a", "b"});
+  d.AddRow({1}, 0);
+  d.AddRow({2}, 1);
+  MondrianOptions options;
+  options.k = 5;
+  EXPECT_DEATH(MondrianAnonymize(d, options), "fewer rows");
+}
+
+TEST(MondrianTest, MiningAnonymizedDataChangesOutcome) {
+  // The paper's related-work claim ([9]): mining k-anonymized data
+  // directly degrades the outcome — unlike the piecewise transform.
+  Rng rng(13);
+  const Dataset d = GenerateCovtypeLike(SmallCovtypeSpec(1500), rng);
+  const DecisionTreeBuilder builder;
+  const DecisionTree direct = builder.Build(d);
+  MondrianOptions options;
+  options.k = 25;
+  const auto anonymized = MondrianAnonymize(d, options);
+  const DecisionTree blurred = builder.Build(anonymized.data);
+  // Accuracy *on the true data* drops.
+  EXPECT_LT(blurred.Accuracy(d), direct.Accuracy(d) - 0.02);
+  EXPECT_FALSE(StructurallyIdentical(direct, blurred));
+}
+
+// --------------------------------------------------------- quantile attack --
+
+AttributeSummary DenseMixedSummary(size_t n) {
+  std::vector<ValueLabel> tuples;
+  for (size_t v = 0; v < n; ++v) {
+    tuples.push_back({static_cast<double>(v), 0});
+    tuples.push_back({static_cast<double>(v), 1});
+  }
+  return AttributeSummary::FromTuples(std::move(tuples), 2);
+}
+
+TEST(QuantileAttackTest, PerfectReferenceCracksMonotoneDenseRelease) {
+  // A rival whose data *is* D, against an order-preserving release of a
+  // dense domain: quantile matching recovers everything.
+  const auto s = DenseMixedSummary(200);
+  Rng rng(17);
+  PiecewiseOptions options;
+  options.policy = BreakpointPolicy::kChooseBP;
+  options.min_breakpoints = 10;
+  options.family.anti_monotone_prob = 0.0;
+  const auto f = PiecewiseTransform::Create(s, options, rng);
+  // Sampling noise in the reference quantiles costs a little accuracy
+  // even with a perfect population: expect a large majority cracked.
+  const double risk =
+      QuantileAttackRisk(s, f, /*reference_size=*/20000,
+                         /*reference_noise=*/0.0, /*rho=*/1.0, rng);
+  EXPECT_GT(risk, 0.7);
+}
+
+TEST(QuantileAttackTest, MonochromaticPiecesBlockIt) {
+  // An all-monochromatic domain gets permutations: released ranks no
+  // longer correspond to original ranks.
+  std::vector<ValueLabel> tuples;
+  for (size_t v = 0; v < 200; ++v) {
+    tuples.push_back({static_cast<double>(v), v < 100 ? 0 : 1});
+  }
+  const auto s = AttributeSummary::FromTuples(std::move(tuples), 2);
+  Rng rng(19);
+  PiecewiseOptions options;
+  options.policy = BreakpointPolicy::kChooseMaxMP;
+  const auto f = PiecewiseTransform::Create(s, options, rng);
+  const double risk = QuantileAttackRisk(s, f, 5000, 0.0, 1.0, rng);
+  EXPECT_LT(risk, 0.25);
+}
+
+TEST(QuantileAttackTest, NoisyReferenceWeakensTheAttack) {
+  const auto s = DenseMixedSummary(300);
+  Rng rng(23);
+  PiecewiseOptions options;
+  options.policy = BreakpointPolicy::kChooseBP;
+  options.min_breakpoints = 10;
+  options.family.anti_monotone_prob = 0.0;
+  const auto f = PiecewiseTransform::Create(s, options, rng);
+  Rng rng_a(29), rng_b(29);
+  const double sharp = QuantileAttackRisk(s, f, 2000, 0.0, 2.0, rng_a);
+  const double noisy = QuantileAttackRisk(s, f, 2000, 40.0, 2.0, rng_b);
+  EXPECT_GT(sharp, noisy);
+}
+
+TEST(QuantileAttackTest, GuessesAreReferenceQuantiles) {
+  QuantileMatchingCrack crack({10, 20, 30}, {100, 200, 300});
+  EXPECT_DOUBLE_EQ(crack.Guess(10), 100);
+  EXPECT_DOUBLE_EQ(crack.Guess(20), 200);
+  EXPECT_DOUBLE_EQ(crack.Guess(30), 300);
+}
+
+TEST(QuantileAttackTest, SingleReferencePoint) {
+  QuantileMatchingCrack crack({1, 2, 3}, {42});
+  EXPECT_DOUBLE_EQ(crack.Guess(2), 42);
+}
+
+TEST(QuantileAttackTest, StrongerThanMinMaxSortingOnClusteredSupport) {
+  // Clustered supports defeat the min/max sorting attack (Figure 11), but
+  // a rival's sample reveals the support's shape: quantile matching
+  // cracks substantially more on the same attribute.
+  Rng data_rng(31);
+  const Dataset data = GenerateCovtypeLike(SmallCovtypeSpec(2000), data_rng);
+  const auto s = AttributeSummary::FromDataset(data, 0);  // clustered support
+  Rng rng(37);
+  PiecewiseOptions options;
+  options.policy = BreakpointPolicy::kChooseBP;
+  options.min_breakpoints = 20;
+  options.family.anti_monotone_prob = 0.0;
+  const auto f = PiecewiseTransform::Create(s, options, rng);
+  const double rho = 0.02 * (s.MaxValue() - s.MinValue());
+  const double sorting = SortingAttackRisk(s, f, rho).risk;
+  const double quantile = QuantileAttackRisk(s, f, 20000, 0.0, rho, rng);
+  EXPECT_GT(quantile, sorting);
+  EXPECT_GT(quantile, 0.3);
+}
+
+}  // namespace
+}  // namespace popp

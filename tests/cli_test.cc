@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "core/cli.h"
+#include "data/csv.h"
+#include "synth/covtype_like.h"
+#include "synth/presets.h"
+#include "tree/compare.h"
+#include "tree/serialize.h"
+#include "util/rng.h"
+
+namespace popp {
+namespace {
+
+/// Runs the CLI and captures its streams.
+struct CliResult {
+  int code;
+  std::string out;
+  std::string err;
+};
+
+CliResult RunPopp(const std::vector<std::string>& args) {
+  std::ostringstream out, err;
+  const int code = RunCli(args, out, err);
+  return {code, out.str(), err.str()};
+}
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/popp_cli_" + name;
+}
+
+class CliTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    Rng rng(5);
+    data_ = GenerateCovtypeLike(SmallCovtypeSpec(600), rng);
+    csv_path_ = TempPath("data.csv");
+    ASSERT_TRUE(WriteCsv(data_, csv_path_).ok());
+  }
+
+  Dataset data_;
+  std::string csv_path_;
+};
+
+TEST(CliBasicsTest, NoArgsPrintsUsageAndFails) {
+  const CliResult r = RunPopp({});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.out.find("usage:"), std::string::npos);
+}
+
+TEST(CliBasicsTest, HelpSucceeds) {
+  const CliResult r = RunPopp({"help"});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("encode"), std::string::npos);
+}
+
+TEST(CliBasicsTest, UnknownCommandFails) {
+  const CliResult r = RunPopp({"frobnicate"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("unknown command"), std::string::npos);
+}
+
+TEST(CliBasicsTest, MissingFileReported) {
+  const CliResult r = RunPopp({"verify", "/nonexistent/data.csv"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("IO_ERROR"), std::string::npos);
+}
+
+TEST(CliBasicsTest, BadFlagValueReported) {
+  const CliResult r = RunPopp({"mine", "in.csv", "out.tree", "--criterion",
+                           "id3"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("unknown --criterion"), std::string::npos);
+}
+
+TEST_F(CliTest, VerifyPasses) {
+  const CliResult r = RunPopp({"verify", csv_path_, "--seed", "9"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("VERIFIED"), std::string::npos);
+}
+
+TEST_F(CliTest, FullEncodeMineDecodePipeline) {
+  const std::string released = TempPath("released.csv");
+  const std::string key = TempPath("plan.key");
+  const std::string mined = TempPath("mined.tree");
+  const std::string decoded = TempPath("decoded.tree");
+  const std::string direct = TempPath("direct.tree");
+
+  // Custodian encodes.
+  CliResult r = RunPopp({"encode", csv_path_, released, key, "--seed", "3"});
+  ASSERT_EQ(r.code, 0) << r.err;
+
+  // Provider mines the released data.
+  r = RunPopp({"mine", released, mined});
+  ASSERT_EQ(r.code, 0) << r.err;
+
+  // Custodian decodes with her key + original data.
+  r = RunPopp({"decode", mined, key, csv_path_, decoded});
+  ASSERT_EQ(r.code, 0) << r.err;
+
+  // Reference: mining the original directly.
+  r = RunPopp({"mine", csv_path_, direct});
+  ASSERT_EQ(r.code, 0) << r.err;
+
+  auto decoded_tree = LoadTree(decoded);
+  auto direct_tree = LoadTree(direct);
+  ASSERT_TRUE(decoded_tree.ok());
+  ASSERT_TRUE(direct_tree.ok());
+  EXPECT_TRUE(ExactlyEqual(direct_tree.value(), decoded_tree.value()))
+      << DescribeDifference(direct_tree.value(), decoded_tree.value());
+}
+
+TEST_F(CliTest, EncodedCsvDiffersEverywhere) {
+  const std::string released = TempPath("released2.csv");
+  const std::string key = TempPath("plan2.key");
+  ASSERT_EQ(RunPopp({"encode", csv_path_, released, key}).code, 0);
+  auto reloaded = ReadCsv(released);
+  ASSERT_TRUE(reloaded.ok());
+  const Dataset& enc = reloaded.value();
+  ASSERT_EQ(enc.NumRows(), data_.NumRows());
+  size_t same = 0;
+  for (size_t rix = 0; rix < data_.NumRows(); ++rix) {
+    for (size_t a = 0; a < data_.NumAttributes(); ++a) {
+      if (enc.Value(rix, a) == data_.Value(rix, a)) ++same;
+    }
+  }
+  EXPECT_EQ(same, 0u);
+}
+
+TEST_F(CliTest, MineSupportsCriteriaAndPruning) {
+  const std::string tree_path = TempPath("pruned.tree");
+  const CliResult r = RunPopp({"mine", csv_path_, tree_path, "--criterion",
+                           "gainratio", "--prune", "--max-depth", "6"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  auto tree = LoadTree(tree_path);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_LE(tree.value().Depth(), 6u);
+}
+
+TEST_F(CliTest, ReportPrintsAllAttributes) {
+  const CliResult r = RunPopp({"report", csv_path_, "--trials", "3"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  for (size_t a = 0; a < data_.NumAttributes(); ++a) {
+    EXPECT_NE(r.out.find(data_.schema().AttributeName(a)),
+              std::string::npos);
+  }
+}
+
+TEST_F(CliTest, HardenPrintsRecommendations) {
+  const CliResult r = RunPopp({"harden", csv_path_, "--trials", "3",
+                               "--max-risk", "90"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("Hardening recommendations"), std::string::npos);
+  for (size_t a = 0; a < data_.NumAttributes(); ++a) {
+    EXPECT_NE(r.out.find(data_.schema().AttributeName(a)),
+              std::string::npos);
+  }
+}
+
+TEST_F(CliTest, VerifyWithAntiMonotoneAndEntropy) {
+  const CliResult r = RunPopp({"verify", csv_path_, "--seed", "11", "--policy",
+                           "bp", "--criterion", "entropy"});
+  EXPECT_EQ(r.code, 0) << r.err;
+}
+
+}  // namespace
+}  // namespace popp

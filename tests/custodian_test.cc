@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include "core/custodian.h"
+#include "core/report.h"
+#include "synth/covtype_like.h"
+#include "synth/presets.h"
+#include "tree/compare.h"
+
+namespace popp {
+namespace {
+
+Custodian MakeCustodian(size_t rows = 500, uint64_t seed = 1) {
+  Rng data_rng(seed + 1000);
+  Dataset d = GenerateCovtypeLike(SmallCovtypeSpec(rows), data_rng);
+  CustodianOptions options;
+  options.seed = seed;
+  options.transform.min_breakpoints = 8;
+  return Custodian(std::move(d), options);
+}
+
+TEST(CustodianTest, ReleasePreservesShapeAndChangesValues) {
+  const Custodian custodian = MakeCustodian();
+  const Dataset released = custodian.Release();
+  const Dataset& original = custodian.original();
+  ASSERT_EQ(released.NumRows(), original.NumRows());
+  size_t changed = 0;
+  for (size_t r = 0; r < original.NumRows(); ++r) {
+    EXPECT_EQ(released.Label(r), original.Label(r));
+    for (size_t a = 0; a < original.NumAttributes(); ++a) {
+      if (released.Value(r, a) != original.Value(r, a)) ++changed;
+    }
+  }
+  // Every value transformed (paper Section 1's contrast to perturbation).
+  EXPECT_EQ(changed, original.NumRows() * original.NumAttributes());
+}
+
+TEST(CustodianTest, ReleaseIsDeterministicPerSeed) {
+  const Custodian a = MakeCustodian(300, 5);
+  const Custodian b = MakeCustodian(300, 5);
+  EXPECT_EQ(a.Release(), b.Release());
+  const Custodian c = MakeCustodian(300, 6);
+  EXPECT_NE(a.Release(), c.Release());
+}
+
+TEST(CustodianTest, NoOutcomeChangeEndToEnd) {
+  const Custodian custodian = MakeCustodian();
+  std::string detail;
+  EXPECT_TRUE(custodian.VerifyNoOutcomeChange(&detail)) << detail;
+  EXPECT_TRUE(detail.empty());
+}
+
+TEST(CustodianTest, DecodeRecoversDirectTree) {
+  const Custodian custodian = MakeCustodian(400, 9);
+  const DecisionTree mined = custodian.MineReleased();
+  const DecisionTree decoded = custodian.Decode(mined);
+  const DecisionTree direct = custodian.MineDirectly();
+  EXPECT_TRUE(ExactlyEqual(direct, decoded))
+      << DescribeDifference(direct, decoded);
+  // The mined tree itself is in transformed space: structurally identical
+  // but with different thresholds.
+  EXPECT_TRUE(StructurallyIdentical(direct, mined));
+  EXPECT_FALSE(ExactlyEqual(direct, mined));
+}
+
+TEST(CustodianTest, EntropyCriterionSupported) {
+  Rng data_rng(77);
+  Dataset d = GenerateCovtypeLike(SmallCovtypeSpec(600), data_rng);
+  CustodianOptions options;
+  options.tree.criterion = SplitCriterion::kEntropy;
+  const Custodian custodian(std::move(d), options);
+  EXPECT_TRUE(custodian.VerifyNoOutcomeChange());
+}
+
+TEST(CustodianTest, Figure1WorkflowMatchesPaper) {
+  CustodianOptions options;
+  options.transform.policy = BreakpointPolicy::kNone;
+  options.transform.family.forced_shape =
+      FamilyOptions::ShapeChoice::kLinear;
+  options.transform.family.anti_monotone_prob = 0.0;
+  const Custodian custodian(MakeFigure1Dataset(), options);
+  EXPECT_TRUE(custodian.VerifyNoOutcomeChange());
+  const DecisionTree direct = custodian.MineDirectly();
+  EXPECT_DOUBLE_EQ(direct.node(direct.root()).threshold, 27.5);
+}
+
+TEST(ReportTest, CoversEveryAttribute) {
+  const Custodian custodian = MakeCustodian(800, 21);
+  ReportOptions options;
+  options.num_trials = 7;
+  const auto report = BuildRiskReport(custodian, options);
+  ASSERT_EQ(report.size(), custodian.original().NumAttributes());
+  for (const auto& row : report) {
+    EXPECT_FALSE(row.name.empty());
+    EXPECT_GT(row.num_distinct, 0u);
+    EXPECT_GE(row.curve_fit_risk, 0.0);
+    EXPECT_LE(row.curve_fit_risk, 1.0);
+    EXPECT_GE(row.sorting_risk, 0.0);
+    EXPECT_LE(row.sorting_risk, 1.0);
+  }
+}
+
+TEST(ReportTest, RenderedTableContainsVerdicts) {
+  const Custodian custodian = MakeCustodian(600, 23);
+  ReportOptions options;
+  options.num_trials = 5;
+  const auto report = BuildRiskReport(custodian, options);
+  const std::string text = RenderRiskReport(report);
+  EXPECT_NE(text.find("attribute"), std::string::npos);
+  EXPECT_NE(text.find("curve-fit risk"), std::string::npos);
+  EXPECT_TRUE(text.find("safe") != std::string::npos ||
+              text.find("REVIEW") != std::string::npos);
+}
+
+}  // namespace
+}  // namespace popp

@@ -1,0 +1,286 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "data/csv.h"
+#include "data/dataset.h"
+#include "data/schema.h"
+#include "data/summary.h"
+#include "data/value.h"
+#include "synth/presets.h"
+
+namespace popp {
+namespace {
+
+Dataset TwoAttrData() {
+  Dataset d({"x", "y"}, {"a", "b"});
+  d.AddRow({1, 10}, 0);
+  d.AddRow({2, 20}, 1);
+  d.AddRow({2, 30}, 0);
+  d.AddRow({5, 10}, 1);
+  return d;
+}
+
+// ----------------------------------------------------------------- value --
+
+TEST(ValueTest, FormatIntegral) {
+  EXPECT_EQ(FormatValue(23.0), "23");
+  EXPECT_EQ(FormatValue(-7.0), "-7");
+  EXPECT_EQ(FormatValue(0.0), "0");
+}
+
+TEST(ValueTest, FormatFractional) {
+  EXPECT_EQ(FormatValue(27.5), "27.5");
+}
+
+TEST(ValueTest, ValueLabelOrdering) {
+  ValueLabelLess less;
+  EXPECT_TRUE(less(ValueLabel{1, 0}, ValueLabel{2, 0}));
+  EXPECT_FALSE(less(ValueLabel{2, 0}, ValueLabel{2, 1}));
+}
+
+// ---------------------------------------------------------------- schema --
+
+TEST(SchemaTest, NamesAndLookup) {
+  Schema s({"age", "salary"}, {"High", "Low"});
+  EXPECT_EQ(s.NumAttributes(), 2u);
+  EXPECT_EQ(s.NumClasses(), 2u);
+  EXPECT_EQ(s.AttributeName(0), "age");
+  EXPECT_EQ(s.ClassName(1), "Low");
+  ASSERT_TRUE(s.AttributeIndex("salary").ok());
+  EXPECT_EQ(s.AttributeIndex("salary").value(), 1u);
+  EXPECT_FALSE(s.AttributeIndex("missing").ok());
+  ASSERT_TRUE(s.ClassIdOf("High").ok());
+  EXPECT_EQ(s.ClassIdOf("High").value(), 0);
+  EXPECT_FALSE(s.ClassIdOf("Mid").ok());
+}
+
+TEST(SchemaTest, GetOrAddClass) {
+  Schema s({"x"}, {});
+  EXPECT_EQ(s.GetOrAddClass("a"), 0);
+  EXPECT_EQ(s.GetOrAddClass("b"), 1);
+  EXPECT_EQ(s.GetOrAddClass("a"), 0);
+  EXPECT_EQ(s.NumClasses(), 2u);
+}
+
+// --------------------------------------------------------------- dataset --
+
+TEST(DatasetTest, AddAndAccess) {
+  Dataset d = TwoAttrData();
+  EXPECT_EQ(d.NumRows(), 4u);
+  EXPECT_EQ(d.NumAttributes(), 2u);
+  EXPECT_EQ(d.NumClasses(), 2u);
+  EXPECT_DOUBLE_EQ(d.Value(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(d.Value(3, 1), 10.0);
+  EXPECT_EQ(d.Label(1), 1);
+  EXPECT_EQ(d.Row(2), (std::vector<AttrValue>{2, 30}));
+}
+
+TEST(DatasetTest, SetValueMutates) {
+  Dataset d = TwoAttrData();
+  d.SetValue(0, 1, 99.0);
+  EXPECT_DOUBLE_EQ(d.Value(0, 1), 99.0);
+}
+
+TEST(DatasetTest, ColumnAccess) {
+  Dataset d = TwoAttrData();
+  EXPECT_EQ(d.Column(0), (std::vector<AttrValue>{1, 2, 2, 5}));
+  d.MutableColumn(0)[0] = 7;
+  EXPECT_DOUBLE_EQ(d.Value(0, 0), 7.0);
+}
+
+TEST(DatasetTest, SortedProjectionStableOnTies) {
+  Dataset d = TwoAttrData();
+  const auto proj = d.SortedProjection(0);
+  ASSERT_EQ(proj.size(), 4u);
+  EXPECT_DOUBLE_EQ(proj[0].value, 1.0);
+  // The two value-2 tuples keep their original relative order (row 1 then
+  // row 2): labels b then a.
+  EXPECT_EQ(proj[1].label, 1);
+  EXPECT_EQ(proj[2].label, 0);
+  EXPECT_DOUBLE_EQ(proj[3].value, 5.0);
+}
+
+TEST(DatasetTest, ActiveDomainIsSortedDistinct) {
+  Dataset d = TwoAttrData();
+  EXPECT_EQ(d.ActiveDomain(0), (std::vector<AttrValue>{1, 2, 5}));
+  EXPECT_EQ(d.ActiveDomain(1), (std::vector<AttrValue>{10, 20, 30}));
+}
+
+TEST(DatasetTest, ClassHistogram) {
+  Dataset d = TwoAttrData();
+  EXPECT_EQ(d.ClassHistogram(), (std::vector<size_t>{2, 2}));
+}
+
+TEST(DatasetTest, SelectSubset) {
+  Dataset d = TwoAttrData();
+  Dataset sub = d.Select({3, 0});
+  ASSERT_EQ(sub.NumRows(), 2u);
+  EXPECT_DOUBLE_EQ(sub.Value(0, 0), 5.0);
+  EXPECT_DOUBLE_EQ(sub.Value(1, 0), 1.0);
+  EXPECT_EQ(sub.Label(0), 1);
+  EXPECT_EQ(sub.schema(), d.schema());
+}
+
+TEST(DatasetTest, EqualityIsDeep) {
+  Dataset a = TwoAttrData();
+  Dataset b = TwoAttrData();
+  EXPECT_EQ(a, b);
+  b.SetValue(0, 0, 42.0);
+  EXPECT_NE(a, b);
+}
+
+TEST(DatasetTest, Figure1DatasetShape) {
+  const Dataset d = MakeFigure1Dataset();
+  EXPECT_EQ(d.NumRows(), 6u);
+  EXPECT_EQ(d.NumAttributes(), 2u);
+  EXPECT_EQ(d.schema().AttributeName(0), "age");
+  EXPECT_EQ(d.ClassHistogram(), (std::vector<size_t>{4, 2}));
+}
+
+// --------------------------------------------------------------- summary --
+
+TEST(SummaryTest, FromDatasetBasics) {
+  Dataset d = TwoAttrData();
+  const auto s = AttributeSummary::FromDataset(d, 0);
+  EXPECT_EQ(s.NumDistinct(), 3u);
+  EXPECT_EQ(s.NumTuples(), 4u);
+  EXPECT_EQ(s.NumClasses(), 2u);
+  EXPECT_DOUBLE_EQ(s.MinValue(), 1.0);
+  EXPECT_DOUBLE_EQ(s.MaxValue(), 5.0);
+  EXPECT_EQ(s.CountAt(1), 2u);  // value 2 occurs twice
+}
+
+TEST(SummaryTest, ClassCounts) {
+  Dataset d = TwoAttrData();
+  const auto s = AttributeSummary::FromDataset(d, 0);
+  EXPECT_EQ(s.ClassCountAt(0, 0), 1u);  // value 1: class a once
+  EXPECT_EQ(s.ClassCountAt(0, 1), 0u);
+  EXPECT_EQ(s.ClassCountAt(1, 0), 1u);  // value 2: one of each
+  EXPECT_EQ(s.ClassCountAt(1, 1), 1u);
+}
+
+TEST(SummaryTest, Monochromaticity) {
+  Dataset d = TwoAttrData();
+  const auto s = AttributeSummary::FromDataset(d, 0);
+  EXPECT_TRUE(s.IsMonochromatic(0));   // value 1: only class a
+  EXPECT_FALSE(s.IsMonochromatic(1));  // value 2: both classes
+  EXPECT_TRUE(s.IsMonochromatic(2));   // value 5: only class b
+  EXPECT_EQ(s.MonoClassAt(0), 0);
+  EXPECT_EQ(s.MonoClassAt(1), kNoClass);
+  EXPECT_EQ(s.MonoClassAt(2), 1);
+}
+
+TEST(SummaryTest, DynamicRangeAndDiscontinuities) {
+  Dataset d = TwoAttrData();
+  const auto s = AttributeSummary::FromDataset(d, 0);
+  // Values 1, 2, 5 in [1, 5]: width 5, distinct 3, discontinuities 2
+  // (the missing 3 and 4).
+  EXPECT_DOUBLE_EQ(s.DynamicRangeWidth(), 5.0);
+  EXPECT_EQ(s.NumDiscontinuities(), 2u);
+}
+
+TEST(SummaryTest, NoDiscontinuitiesWhenDense) {
+  Dataset d({"x"}, {"a", "b"});
+  for (int v = 10; v <= 20; ++v) d.AddRow({static_cast<double>(v)}, v % 2);
+  const auto s = AttributeSummary::FromDataset(d, 0);
+  EXPECT_EQ(s.NumDiscontinuities(), 0u);
+  EXPECT_DOUBLE_EQ(s.DynamicRangeWidth(), 11.0);
+}
+
+TEST(SummaryTest, IndexOf) {
+  Dataset d = TwoAttrData();
+  const auto s = AttributeSummary::FromDataset(d, 0);
+  EXPECT_EQ(s.IndexOf(2.0), 1u);
+  EXPECT_EQ(s.IndexOf(3.0), AttributeSummary::npos);
+}
+
+TEST(SummaryTest, ClassHistogramMatchesDataset) {
+  Dataset d = TwoAttrData();
+  const auto s = AttributeSummary::FromDataset(d, 0);
+  EXPECT_EQ(s.ClassHistogram(), d.ClassHistogram());
+}
+
+TEST(SummaryTest, FromTuplesUnsortedInput) {
+  const auto s = AttributeSummary::FromTuples(
+      {{5, 0}, {1, 1}, {5, 0}, {3, 1}}, 2);
+  EXPECT_EQ(s.NumDistinct(), 3u);
+  EXPECT_DOUBLE_EQ(s.ValueAt(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.ValueAt(2), 5.0);
+  EXPECT_EQ(s.CountAt(2), 2u);
+}
+
+TEST(SummaryTest, EmptyTuples) {
+  const auto s = AttributeSummary::FromTuples({}, 2);
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.NumDistinct(), 0u);
+  EXPECT_EQ(s.NumTuples(), 0u);
+}
+
+// ------------------------------------------------------------------- csv --
+
+TEST(CsvTest, RoundTrip) {
+  Dataset d = TwoAttrData();
+  const std::string text = ToCsvString(d);
+  auto parsed = ParseCsv(text);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value(), d);
+}
+
+TEST(CsvTest, HeaderParsed) {
+  auto parsed = ParseCsv("age,salary,class\n20,100,yes\n30,200,no\n");
+  ASSERT_TRUE(parsed.ok());
+  const Dataset& d = parsed.value();
+  EXPECT_EQ(d.schema().AttributeName(0), "age");
+  EXPECT_EQ(d.schema().AttributeName(1), "salary");
+  EXPECT_EQ(d.NumRows(), 2u);
+  EXPECT_EQ(d.schema().ClassName(d.Label(0)), "yes");
+}
+
+TEST(CsvTest, HeaderlessGetsGeneratedNames) {
+  CsvOptions options;
+  options.has_header = false;
+  auto parsed = ParseCsv("1,2,x\n3,4,y\n", options);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().schema().AttributeName(0), "attr1");
+  EXPECT_EQ(parsed.value().NumRows(), 2u);
+}
+
+TEST(CsvTest, RejectsMalformedNumber) {
+  auto parsed = ParseCsv("a,class\nnot_a_number,x\n");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CsvTest, RejectsWrongFieldCount) {
+  auto parsed = ParseCsv("a,b,class\n1,x\n");
+  ASSERT_FALSE(parsed.ok());
+}
+
+TEST(CsvTest, RejectsEmptyInput) {
+  EXPECT_FALSE(ParseCsv("").ok());
+}
+
+TEST(CsvTest, SkipsBlankLines) {
+  auto parsed = ParseCsv("a,class\n1,x\n\n2,y\n");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().NumRows(), 2u);
+}
+
+TEST(CsvTest, ReadWriteFile) {
+  Dataset d = TwoAttrData();
+  const std::string path = testing::TempDir() + "/popp_csv_test.csv";
+  ASSERT_TRUE(WriteCsv(d, path).ok());
+  auto readback = ReadCsv(path);
+  ASSERT_TRUE(readback.ok());
+  EXPECT_EQ(readback.value(), d);
+}
+
+TEST(CsvTest, ReadMissingFileFails) {
+  auto result = ReadCsv("/nonexistent/definitely/missing.csv");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace popp

@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "synth/covtype_like.h"
+#include "transform/plan.h"
+#include "transform/tree_decode.h"
+#include "tree/evaluate.h"
+
+namespace popp {
+namespace {
+
+Dataset EvalData(size_t rows = 1200, uint64_t seed = 3) {
+  Rng rng(seed);
+  return GenerateCovtypeLike(SmallCovtypeSpec(rows), rng);
+}
+
+// ----------------------------------------------------------------- split --
+
+TEST(SplitTest, PartitionsAllRowsExactlyOnce) {
+  const Dataset d = EvalData();
+  Rng rng(5);
+  const TrainTestSplit split = StratifiedSplit(d, 0.25, rng);
+  EXPECT_EQ(split.train.size() + split.test.size(), d.NumRows());
+  std::set<size_t> seen(split.train.begin(), split.train.end());
+  seen.insert(split.test.begin(), split.test.end());
+  EXPECT_EQ(seen.size(), d.NumRows());
+}
+
+TEST(SplitTest, RespectsTestFraction) {
+  const Dataset d = EvalData();
+  Rng rng(7);
+  const TrainTestSplit split = StratifiedSplit(d, 0.3, rng);
+  EXPECT_NEAR(static_cast<double>(split.test.size()) /
+                  static_cast<double>(d.NumRows()),
+              0.3, 0.02);
+}
+
+TEST(SplitTest, StratificationPreservesClassBalance) {
+  const Dataset d = EvalData();
+  Rng rng(9);
+  const TrainTestSplit split = StratifiedSplit(d, 0.25, rng);
+  const auto full_hist = d.ClassHistogram();
+  std::vector<size_t> test_hist(d.NumClasses(), 0);
+  for (size_t r : split.test) {
+    test_hist[static_cast<size_t>(d.Label(r))]++;
+  }
+  for (size_t c = 0; c < d.NumClasses(); ++c) {
+    if (full_hist[c] < 20) continue;
+    const double full_share =
+        static_cast<double>(full_hist[c]) / static_cast<double>(d.NumRows());
+    const double test_share = static_cast<double>(test_hist[c]) /
+                              static_cast<double>(split.test.size());
+    EXPECT_NEAR(test_share, full_share, 0.03) << "class " << c;
+  }
+}
+
+TEST(SplitTest, KFoldCoversEveryRowOnceAsTest) {
+  const Dataset d = EvalData(600);
+  Rng rng(11);
+  const auto folds = StratifiedKFold(d, 5, rng);
+  ASSERT_EQ(folds.size(), 5u);
+  std::vector<int> test_seen(d.NumRows(), 0);
+  for (const auto& fold : folds) {
+    EXPECT_EQ(fold.train.size() + fold.test.size(), d.NumRows());
+    for (size_t r : fold.test) test_seen[r]++;
+  }
+  for (size_t r = 0; r < d.NumRows(); ++r) {
+    EXPECT_EQ(test_seen[r], 1) << "row " << r;
+  }
+}
+
+TEST(SplitTest, RejectsBadParameters) {
+  const Dataset d = EvalData(600);
+  Rng rng(13);
+  EXPECT_DEATH(StratifiedSplit(d, 0.0, rng), "test_fraction");
+  EXPECT_DEATH(StratifiedKFold(d, 1, rng), "k >= 2");
+}
+
+// ------------------------------------------------------------- confusion --
+
+TEST(ConfusionTest, CountsAndMetrics) {
+  ConfusionMatrix m(2);
+  // 8 true negatives, 2 false positives, 1 false negative, 9 true pos.
+  for (int i = 0; i < 8; ++i) m.Add(0, 0);
+  for (int i = 0; i < 2; ++i) m.Add(0, 1);
+  m.Add(1, 0);
+  for (int i = 0; i < 9; ++i) m.Add(1, 1);
+  EXPECT_EQ(m.Total(), 20u);
+  EXPECT_DOUBLE_EQ(m.Accuracy(), 17.0 / 20.0);
+  EXPECT_DOUBLE_EQ(m.Recall(0), 0.8);
+  EXPECT_DOUBLE_EQ(m.Recall(1), 0.9);
+  EXPECT_DOUBLE_EQ(m.Precision(1), 9.0 / 11.0);
+}
+
+TEST(ConfusionTest, EmptyClassMetricsAreZero) {
+  ConfusionMatrix m(3);
+  m.Add(0, 0);
+  EXPECT_DOUBLE_EQ(m.Recall(2), 0.0);
+  EXPECT_DOUBLE_EQ(m.Precision(2), 0.0);
+}
+
+TEST(ConfusionTest, RendersWithClassNames) {
+  const Dataset d = EvalData(300);
+  ConfusionMatrix m(d.NumClasses());
+  m.Add(0, 1);
+  const std::string text = m.ToString(d.schema());
+  EXPECT_NE(text.find("recall"), std::string::npos);
+  EXPECT_NE(text.find(d.schema().ClassName(0)), std::string::npos);
+}
+
+// --------------------------------------------------------------- evaluate --
+
+TEST(EvaluateTest, HoldoutAccuracyIsReasonable) {
+  const Dataset d = EvalData(2000);
+  Rng rng(17);
+  const TrainTestSplit split = StratifiedSplit(d, 0.3, rng);
+  const DecisionTree tree =
+      DecisionTreeBuilder().Build(d.Select(split.train));
+  const ConfusionMatrix matrix = Evaluate(tree, d, split.test);
+  EXPECT_EQ(matrix.Total(), split.test.size());
+  // Structured data: held-out accuracy comfortably above chance.
+  EXPECT_GT(matrix.Accuracy(), 0.5);
+}
+
+TEST(EvaluateTest, CrossValidationAggregates) {
+  const Dataset d = EvalData(900);
+  Rng rng(19);
+  const CrossValidationResult cv =
+      CrossValidate(d, BuildOptions{}, 4, rng);
+  ASSERT_EQ(cv.fold_accuracies.size(), 4u);
+  double sum = 0;
+  for (double a : cv.fold_accuracies) {
+    EXPECT_GE(a, 0.0);
+    EXPECT_LE(a, 1.0);
+    sum += a;
+  }
+  EXPECT_DOUBLE_EQ(cv.mean_accuracy, sum / 4.0);
+}
+
+TEST(EvaluateTest, DecodedTreeGeneralizesIdentically) {
+  // The point of the guarantee: the custodian's decoded tree behaves on
+  // held-out data exactly like the tree she would have mined herself.
+  const Dataset d = EvalData(1500, 23);
+  Rng rng(29);
+  const TrainTestSplit split = StratifiedSplit(d, 0.3, rng);
+  const Dataset train = d.Select(split.train);
+
+  Rng plan_rng(31);
+  PiecewiseOptions options;
+  options.min_breakpoints = 12;
+  const TransformPlan plan = TransformPlan::Create(train, options, plan_rng);
+  const DecisionTreeBuilder builder;
+  const DecisionTree direct = builder.Build(train);
+  const DecisionTree decoded = DecodeTreeWithData(
+      builder.Build(plan.EncodeDataset(train)), plan, train);
+
+  const ConfusionMatrix m_direct = Evaluate(direct, d, split.test);
+  const ConfusionMatrix m_decoded = Evaluate(decoded, d, split.test);
+  EXPECT_DOUBLE_EQ(m_direct.Accuracy(), m_decoded.Accuracy());
+  for (size_t a = 0; a < d.NumClasses(); ++a) {
+    for (size_t p = 0; p < d.NumClasses(); ++p) {
+      EXPECT_EQ(m_direct.Count(static_cast<ClassId>(a),
+                               static_cast<ClassId>(p)),
+                m_decoded.Count(static_cast<ClassId>(a),
+                                static_cast<ClassId>(p)));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace popp

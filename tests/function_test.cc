@@ -1,0 +1,297 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "transform/families.h"
+#include "transform/function.h"
+#include "util/rng.h"
+
+namespace popp {
+namespace {
+
+// ---------------------------------------------------------------- shapes --
+
+TEST(ShapeTest, IdentityIsIdentity) {
+  IdentityShape s;
+  for (double t : {0.0, 0.25, 0.5, 1.0}) {
+    EXPECT_DOUBLE_EQ(s.Forward(t), t);
+    EXPECT_DOUBLE_EQ(s.Backward(t), t);
+  }
+  EXPECT_EQ(s.Name(), "linear");
+}
+
+TEST(ShapeTest, PowerEndpointsAndInverse) {
+  PowerShape s(2.5);
+  EXPECT_DOUBLE_EQ(s.Forward(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(s.Forward(1.0), 1.0);
+  for (double t : {0.1, 0.3, 0.7, 0.95}) {
+    EXPECT_NEAR(s.Backward(s.Forward(t)), t, 1e-12);
+  }
+}
+
+TEST(ShapeTest, PowerIsStrictlyIncreasing) {
+  PowerShape s(3.0);
+  double prev = -1;
+  for (int i = 0; i <= 100; ++i) {
+    const double v = s.Forward(i / 100.0);
+    EXPECT_GT(v, prev);
+    prev = v;
+  }
+}
+
+TEST(ShapeTest, LogEndpointsAndInverse) {
+  LogShape s(10.0);
+  EXPECT_DOUBLE_EQ(s.Forward(0.0), 0.0);
+  EXPECT_NEAR(s.Forward(1.0), 1.0, 1e-12);
+  for (double t : {0.05, 0.4, 0.8}) {
+    EXPECT_NEAR(s.Backward(s.Forward(t)), t, 1e-12);
+  }
+}
+
+TEST(ShapeTest, LogIsConcave) {
+  // A log shape bends above the diagonal.
+  LogShape s(10.0);
+  EXPECT_GT(s.Forward(0.5), 0.5);
+}
+
+TEST(ShapeTest, SqrtLogEndpointsAndInverse) {
+  SqrtLogShape s(8.0);
+  EXPECT_DOUBLE_EQ(s.Forward(0.0), 0.0);
+  EXPECT_NEAR(s.Forward(1.0), 1.0, 1e-12);
+  for (double t : {0.1, 0.5, 0.9}) {
+    EXPECT_NEAR(s.Backward(s.Forward(t)), t, 1e-12);
+  }
+}
+
+TEST(ShapeTest, ClonePreservesBehavior) {
+  PowerShape original(2.0);
+  auto clone = original.Clone();
+  EXPECT_DOUBLE_EQ(clone->Forward(0.3), original.Forward(0.3));
+}
+
+// ------------------------------------------------------ RescaledFunction --
+
+TEST(RescaledTest, LinearMonotoneMapsEndpoints) {
+  RescaledFunction f(std::make_unique<IdentityShape>(), 10, 50, 100, 300,
+                     /*anti_monotone=*/false);
+  EXPECT_DOUBLE_EQ(f.Apply(10), 100);
+  EXPECT_DOUBLE_EQ(f.Apply(50), 300);
+  EXPECT_DOUBLE_EQ(f.Apply(30), 200);
+  EXPECT_EQ(f.kind(), FunctionKind::kMonotone);
+}
+
+TEST(RescaledTest, AntiMonotoneReverses) {
+  RescaledFunction f(std::make_unique<IdentityShape>(), 0, 10, 0, 100,
+                     /*anti_monotone=*/true);
+  EXPECT_DOUBLE_EQ(f.Apply(0), 100);
+  EXPECT_DOUBLE_EQ(f.Apply(10), 0);
+  EXPECT_DOUBLE_EQ(f.Apply(2.5), 75);
+  EXPECT_EQ(f.kind(), FunctionKind::kAntiMonotone);
+}
+
+TEST(RescaledTest, RoundTripAllShapes) {
+  std::vector<std::unique_ptr<ShapeFunction>> shapes;
+  shapes.push_back(std::make_unique<IdentityShape>());
+  shapes.push_back(std::make_unique<PowerShape>(2.0));
+  shapes.push_back(std::make_unique<PowerShape>(3.0));
+  shapes.push_back(std::make_unique<LogShape>(5.0));
+  shapes.push_back(std::make_unique<SqrtLogShape>(12.0));
+  for (auto& shape : shapes) {
+    for (bool anti : {false, true}) {
+      RescaledFunction f(shape->Clone(), -20, 80, 5, 305, anti);
+      for (double x : {-20.0, -3.0, 0.0, 17.5, 42.0, 80.0}) {
+        EXPECT_NEAR(f.Inverse(f.Apply(x)), x, 1e-8)
+            << shape->Name() << " anti=" << anti << " x=" << x;
+      }
+    }
+  }
+}
+
+TEST(RescaledTest, MonotonePreservesOrder) {
+  Rng rng(3);
+  RescaledFunction f(std::make_unique<LogShape>(9.0), 0, 1000, -50, 450,
+                     false);
+  double prev = f.Apply(0);
+  for (int x = 1; x <= 1000; x += 7) {
+    const double y = f.Apply(x);
+    EXPECT_GT(y, prev);
+    prev = y;
+  }
+}
+
+TEST(RescaledTest, AntiMonotoneReversesOrder) {
+  RescaledFunction f(std::make_unique<PowerShape>(2.0), 0, 100, 0, 100,
+                     true);
+  double prev = f.Apply(0);
+  for (int x = 5; x <= 100; x += 5) {
+    const double y = f.Apply(x);
+    EXPECT_LT(y, prev);
+    prev = y;
+  }
+}
+
+TEST(RescaledTest, OutputStaysInTargetInterval) {
+  RescaledFunction f(std::make_unique<SqrtLogShape>(4.0), 10, 20, 500, 600,
+                     false);
+  for (double x = 10; x <= 20; x += 0.25) {
+    const double y = f.Apply(x);
+    EXPECT_GE(y, 500);
+    EXPECT_LE(y, 600);
+  }
+}
+
+TEST(RescaledTest, DescribeMentionsShapeAndDirection) {
+  RescaledFunction f(std::make_unique<LogShape>(3.0), 0, 1, 0, 1, true);
+  const std::string d = f.Describe();
+  EXPECT_NE(d.find("anti"), std::string::npos);
+  EXPECT_NE(d.find("log"), std::string::npos);
+}
+
+TEST(RescaledTest, CloneIsIndependentCopy) {
+  RescaledFunction f(std::make_unique<PowerShape>(2.0), 0, 10, 0, 100,
+                     false);
+  auto clone = f.Clone();
+  EXPECT_DOUBLE_EQ(clone->Apply(5.0), f.Apply(5.0));
+  EXPECT_EQ(clone->kind(), f.kind());
+}
+
+// --------------------------------------------------- PermutationFunction --
+
+TEST(PermutationTest, ExactMappingAndInverse) {
+  PermutationFunction f({1, 2, 15}, {20, 17, 16});  // the paper's Figure 4 r1
+  EXPECT_DOUBLE_EQ(f.Apply(1), 20);
+  EXPECT_DOUBLE_EQ(f.Apply(2), 17);
+  EXPECT_DOUBLE_EQ(f.Apply(15), 16);
+  EXPECT_DOUBLE_EQ(f.Inverse(20), 1);
+  EXPECT_DOUBLE_EQ(f.Inverse(17), 2);
+  EXPECT_DOUBLE_EQ(f.Inverse(16), 15);
+  EXPECT_EQ(f.kind(), FunctionKind::kBijective);
+}
+
+TEST(PermutationTest, NonDomainProbeSnapsToNearest) {
+  PermutationFunction f({10, 20, 30}, {7, 2, 9});
+  EXPECT_DOUBLE_EQ(f.Apply(11), 7);   // nearest domain value 10
+  EXPECT_DOUBLE_EQ(f.Apply(26), 9);   // nearest 30
+  EXPECT_DOUBLE_EQ(f.Apply(-5), 7);   // clamps to 10
+  EXPECT_DOUBLE_EQ(f.Apply(99), 9);   // clamps to 30
+}
+
+TEST(PermutationTest, NonImageInverseSnapsToNearest) {
+  PermutationFunction f({10, 20, 30}, {7, 2, 9});
+  EXPECT_DOUBLE_EQ(f.Inverse(2.4), 20);  // nearest image 2
+  EXPECT_DOUBLE_EQ(f.Inverse(8.5), 30);  // nearest image 9
+  EXPECT_DOUBLE_EQ(f.Inverse(-100), 20); // below all -> smallest image 2
+  EXPECT_DOUBLE_EQ(f.Inverse(100), 30);  // above all -> largest image 9
+}
+
+TEST(PermutationTest, SingleValue) {
+  PermutationFunction f({5}, {42});
+  EXPECT_DOUBLE_EQ(f.Apply(5), 42);
+  EXPECT_DOUBLE_EQ(f.Inverse(42), 5);
+}
+
+TEST(PermutationTest, RejectsDuplicateImages) {
+  EXPECT_DEATH(PermutationFunction({1, 2}, {5, 5}), "distinct");
+}
+
+TEST(PermutationTest, RejectsUnsortedDomain) {
+  EXPECT_DEATH(PermutationFunction({2, 1}, {5, 6}), "increasing");
+}
+
+TEST(PermutationTest, CloneRoundTrips) {
+  PermutationFunction f({1, 3, 9}, {30, 10, 20});
+  auto clone = f.Clone();
+  for (double x : {1.0, 3.0, 9.0}) {
+    EXPECT_DOUBLE_EQ(clone->Apply(x), f.Apply(x));
+    EXPECT_DOUBLE_EQ(clone->Inverse(f.Apply(x)), x);
+  }
+}
+
+// -------------------------------------------------------------- sampling --
+
+TEST(FamilyTest, SampleShapeRespectsForcedChoice) {
+  Rng rng(5);
+  FamilyOptions options;
+  options.forced_shape = FamilyOptions::ShapeChoice::kSqrtLog;
+  auto shape = SampleShape(options, rng);
+  EXPECT_NE(shape->Name().find("sqrt"), std::string::npos);
+}
+
+TEST(FamilyTest, SampleShapeHonorsDisabledFamilies) {
+  Rng rng(7);
+  FamilyOptions options;
+  options.allow_polynomial = false;
+  options.allow_log = false;
+  options.allow_sqrt_log = false;
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(SampleShape(options, rng)->Name(), "linear");
+  }
+}
+
+TEST(FamilyTest, SampleMonotoneDirectionProbability) {
+  Rng rng(9);
+  FamilyOptions options;
+  options.anti_monotone_prob = 0.0;
+  for (int i = 0; i < 20; ++i) {
+    auto f = SampleMonotone(options, 0, 10, 0, 10, rng);
+    EXPECT_EQ(f->kind(), FunctionKind::kMonotone);
+  }
+  options.anti_monotone_prob = 1.0;
+  for (int i = 0; i < 20; ++i) {
+    auto f = SampleMonotone(options, 0, 10, 0, 10, rng);
+    EXPECT_EQ(f->kind(), FunctionKind::kAntiMonotone);
+  }
+}
+
+TEST(FamilyTest, SampledMonotoneRoundTripsOnDomain) {
+  Rng rng(11);
+  FamilyOptions options;
+  for (int i = 0; i < 50; ++i) {
+    auto f = SampleMonotone(options, -100, 100, 37, 412, rng);
+    for (double x : {-100.0, -12.5, 0.0, 63.0, 100.0}) {
+      EXPECT_NEAR(f->Inverse(f->Apply(x)), x, 1e-7);
+    }
+  }
+}
+
+TEST(FamilyTest, SamplePermutationIsBijection) {
+  Rng rng(13);
+  std::vector<AttrValue> domain{3, 7, 8, 12, 40};
+  for (int rep = 0; rep < 30; ++rep) {
+    auto f = SamplePermutation(domain, 100, 200, rng);
+    std::set<double> images;
+    for (double v : domain) {
+      const double y = f->Apply(v);
+      EXPECT_GE(y, 100);
+      EXPECT_LE(y, 200);
+      EXPECT_TRUE(images.insert(y).second) << "duplicate image";
+      EXPECT_DOUBLE_EQ(f->Inverse(y), v);
+    }
+  }
+}
+
+TEST(FamilyTest, SamplePermutationShufflesOrder) {
+  // Over many draws, at least one permutation must not be monotone.
+  Rng rng(17);
+  std::vector<AttrValue> domain{1, 2, 3, 4, 5, 6};
+  bool saw_non_monotone = false;
+  for (int rep = 0; rep < 20 && !saw_non_monotone; ++rep) {
+    auto f = SamplePermutation(domain, 0, 100, rng);
+    for (size_t i = 1; i < domain.size(); ++i) {
+      if (f->Apply(domain[i]) < f->Apply(domain[i - 1])) {
+        saw_non_monotone = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(saw_non_monotone);
+}
+
+TEST(FunctionKindTest, Names) {
+  EXPECT_EQ(ToString(FunctionKind::kMonotone), "monotone");
+  EXPECT_EQ(ToString(FunctionKind::kAntiMonotone), "anti-monotone");
+  EXPECT_EQ(ToString(FunctionKind::kBijective), "bijective");
+}
+
+}  // namespace
+}  // namespace popp

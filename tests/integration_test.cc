@@ -1,0 +1,198 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/custodian.h"
+#include "data/csv.h"
+#include "synth/covtype_like.h"
+#include "synth/presets.h"
+#include "transform/serialize.h"
+#include "transform/tree_decode.h"
+#include "tree/builder.h"
+#include "tree/compare.h"
+#include "tree/prune.h"
+#include "tree/serialize.h"
+
+namespace popp {
+namespace {
+
+// ------------------------------------------------ degenerate-shape data --
+
+TEST(EdgeCaseTest, TwoRowDataset) {
+  Dataset d({"x"}, {"a", "b"});
+  d.AddRow({1}, 0);
+  d.AddRow({5}, 1);
+  CustodianOptions options;
+  options.transform.min_breakpoints = 1;
+  const Custodian custodian(std::move(d), options);
+  EXPECT_TRUE(custodian.VerifyNoOutcomeChange());
+}
+
+TEST(EdgeCaseTest, SingleRowDataset) {
+  Dataset d({"x", "y"}, {"a", "b"});
+  d.AddRow({7, 9}, 1);
+  const Custodian custodian(std::move(d), CustodianOptions{});
+  // Tree is a single leaf; decode trivially equals direct.
+  EXPECT_TRUE(custodian.VerifyNoOutcomeChange());
+  EXPECT_EQ(custodian.MineDirectly().NumNodes(), 1u);
+}
+
+TEST(EdgeCaseTest, ConstantAttribute) {
+  // One attribute carries all information; the other is constant.
+  Dataset d({"useful", "constant"}, {"a", "b"});
+  for (int i = 0; i < 40; ++i) {
+    d.AddRow({static_cast<double>(i), 42.0}, i < 20 ? 0 : 1);
+  }
+  const Custodian custodian(std::move(d), CustodianOptions{});
+  EXPECT_TRUE(custodian.VerifyNoOutcomeChange());
+  const DecisionTree tree = custodian.MineDirectly();
+  EXPECT_EQ(tree.node(tree.root()).attribute, 0u);
+}
+
+TEST(EdgeCaseTest, AllRowsIdentical) {
+  Dataset d({"x"}, {"a", "b"});
+  for (int i = 0; i < 10; ++i) d.AddRow({3}, 0);
+  const Custodian custodian(std::move(d), CustodianOptions{});
+  EXPECT_TRUE(custodian.VerifyNoOutcomeChange());
+}
+
+TEST(EdgeCaseTest, ManyClasses) {
+  Rng rng(3);
+  Dataset d = MakeRandomDataset(600, 3, 20, 300, rng);
+  const Custodian custodian(std::move(d), CustodianOptions{});
+  EXPECT_TRUE(custodian.VerifyNoOutcomeChange());
+}
+
+TEST(EdgeCaseTest, NegativeAndLargeMagnitudes) {
+  Dataset d({"x", "y"}, {"a", "b"});
+  Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    const double x = rng.Uniform(-1e6, 1e6);
+    const double y = rng.Uniform(-500.0, -100.0);
+    d.AddRow({x, y}, x + 1000.0 * y > 0 ? 1 : 0);
+  }
+  const Custodian custodian(std::move(d), CustodianOptions{});
+  EXPECT_TRUE(custodian.VerifyNoOutcomeChange());
+}
+
+TEST(EdgeCaseTest, FractionalValues) {
+  Dataset d({"x"}, {"a", "b"});
+  Rng rng(7);
+  for (int i = 0; i < 150; ++i) {
+    const double x = rng.Uniform(0.0, 1.0);
+    d.AddRow({x}, x > 0.4 ? 1 : 0);
+  }
+  const Custodian custodian(std::move(d), CustodianOptions{});
+  EXPECT_TRUE(custodian.VerifyNoOutcomeChange());
+}
+
+TEST(EdgeCaseTest, DuplicatedAttribute) {
+  // Two identical columns: ties between them must break identically on
+  // D and D' (by attribute index).
+  Dataset d({"x", "x_copy"}, {"a", "b"});
+  Rng rng(9);
+  for (int i = 0; i < 120; ++i) {
+    const double x = static_cast<double>(rng.UniformInt(0, 50));
+    d.AddRow({x, x}, x > 25 ? 1 : 0);
+  }
+  const Custodian custodian(std::move(d), CustodianOptions{});
+  EXPECT_TRUE(custodian.VerifyNoOutcomeChange());
+  // The winner must be attribute 0 in both worlds.
+  const DecisionTree tree = custodian.MineDirectly();
+  EXPECT_EQ(tree.node(tree.root()).attribute, 0u);
+}
+
+// ----------------------------------------------- full-pipeline journeys --
+
+TEST(PipelineTest, CsvToKeyToDecodedTreeOnDisk) {
+  // The whole production flow through files, without the CLI layer.
+  Rng rng(11);
+  const Dataset original = GenerateCovtypeLike(SmallCovtypeSpec(700), rng);
+  const std::string dir = testing::TempDir();
+  ASSERT_TRUE(WriteCsv(original, dir + "/it_data.csv").ok());
+
+  // Custodian: load, plan, release, persist key.
+  auto loaded = ReadCsv(dir + "/it_data.csv");
+  ASSERT_TRUE(loaded.ok());
+  Rng plan_rng(13);
+  const TransformPlan plan =
+      TransformPlan::Create(loaded.value(), PiecewiseOptions{}, plan_rng);
+  ASSERT_TRUE(SavePlan(plan, dir + "/it_plan.key").ok());
+  ASSERT_TRUE(
+      WriteCsv(plan.EncodeDataset(loaded.value()), dir + "/it_released.csv")
+          .ok());
+
+  // Provider: load the release, mine, persist the tree.
+  auto released = ReadCsv(dir + "/it_released.csv");
+  ASSERT_TRUE(released.ok());
+  const DecisionTree mined = DecisionTreeBuilder().Build(released.value());
+  ASSERT_TRUE(SaveTree(mined, dir + "/it_mined.tree").ok());
+
+  // Custodian: reload everything and decode.
+  auto key = LoadPlan(dir + "/it_plan.key");
+  auto wire_tree = LoadTree(dir + "/it_mined.tree");
+  ASSERT_TRUE(key.ok());
+  ASSERT_TRUE(wire_tree.ok());
+  const DecisionTree decoded =
+      DecodeTreeWithData(wire_tree.value(), key.value(), loaded.value());
+  const DecisionTree direct = DecisionTreeBuilder().Build(loaded.value());
+  EXPECT_TRUE(ExactlyEqual(direct, decoded))
+      << DescribeDifference(direct, decoded);
+}
+
+TEST(PipelineTest, CsvRoundTripPreservesDoublesExactly) {
+  // Transformed values are irrational-ish doubles; the CSV layer must not
+  // lose precision or the decode would break.
+  Rng rng(17);
+  const Dataset original = GenerateCovtypeLike(SmallCovtypeSpec(600), rng);
+  Rng plan_rng(19);
+  const TransformPlan plan =
+      TransformPlan::Create(original, PiecewiseOptions{}, plan_rng);
+  const Dataset released = plan.EncodeDataset(original);
+  auto round_tripped = ParseCsv(ToCsvString(released));
+  ASSERT_TRUE(round_tripped.ok());
+  size_t mismatches = 0;
+  for (size_t r = 0; r < released.NumRows(); ++r) {
+    for (size_t a = 0; a < released.NumAttributes(); ++a) {
+      const double v1 = released.Value(r, a);
+      const double v2 = round_tripped.value().Value(r, a);
+      // %g prints 6 significant digits by default — make sure our CSV
+      // writer does better than that.
+      if (std::fabs(v1 - v2) > 1e-9 * std::max(1.0, std::fabs(v1))) {
+        ++mismatches;
+      }
+    }
+  }
+  EXPECT_EQ(mismatches, 0u);
+}
+
+TEST(PipelineTest, PrunedAndUnprunedDecodeConsistently) {
+  Rng rng(23);
+  const Dataset d = GenerateCovtypeLike(SmallCovtypeSpec(900), rng);
+  CustodianOptions options;
+  options.seed = 29;
+  const Custodian custodian(Dataset(d), options);
+  const DecisionTree decoded = custodian.Decode(custodian.MineReleased());
+  // Pruning commutes with decoding.
+  EXPECT_TRUE(ExactlyEqual(PruneTree(decoded),
+                           PruneTree(custodian.MineDirectly())));
+}
+
+TEST(PipelineTest, RepeatedReleasesUseDistinctPlans) {
+  // Two custodians with different seeds produce unlinkable releases of
+  // the same data, both decoding to the same tree.
+  Rng rng(31);
+  const Dataset d = GenerateCovtypeLike(SmallCovtypeSpec(600), rng);
+  CustodianOptions o1;
+  o1.seed = 1;
+  CustodianOptions o2;
+  o2.seed = 2;
+  const Custodian c1(Dataset(d), o1);
+  const Custodian c2(Dataset(d), o2);
+  EXPECT_NE(c1.Release(), c2.Release());
+  EXPECT_TRUE(ExactlyEqual(c1.Decode(c1.MineReleased()),
+                           c2.Decode(c2.MineReleased())));
+}
+
+}  // namespace
+}  // namespace popp

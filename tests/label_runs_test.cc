@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include "data/summary.h"
+#include "synth/presets.h"
+#include "tree/criterion.h"
+#include "tree/label_runs.h"
+
+namespace popp {
+namespace {
+
+// ------------------------------------------------------------- criterion --
+
+TEST(CriterionTest, GiniPureIsZero) {
+  EXPECT_DOUBLE_EQ(GiniImpurity({10, 0}), 0.0);
+  EXPECT_DOUBLE_EQ(GiniImpurity({0, 7, 0}), 0.0);
+}
+
+TEST(CriterionTest, GiniBalancedBinary) {
+  EXPECT_DOUBLE_EQ(GiniImpurity({5, 5}), 0.5);
+}
+
+TEST(CriterionTest, GiniMulticlassUniform) {
+  EXPECT_NEAR(GiniImpurity({3, 3, 3}), 2.0 / 3.0, 1e-12);
+}
+
+TEST(CriterionTest, GiniEmpty) {
+  EXPECT_DOUBLE_EQ(GiniImpurity({}), 0.0);
+  EXPECT_DOUBLE_EQ(GiniImpurity({0, 0}), 0.0);
+}
+
+TEST(CriterionTest, EntropyPureIsZero) {
+  EXPECT_DOUBLE_EQ(EntropyImpurity({4, 0}), 0.0);
+}
+
+TEST(CriterionTest, EntropyBalancedBinaryIsOneBit) {
+  EXPECT_DOUBLE_EQ(EntropyImpurity({8, 8}), 1.0);
+}
+
+TEST(CriterionTest, EntropyUniformFourWayIsTwoBits) {
+  EXPECT_DOUBLE_EQ(EntropyImpurity({2, 2, 2, 2}), 2.0);
+}
+
+TEST(CriterionTest, ImpurityDispatch) {
+  EXPECT_DOUBLE_EQ(Impurity(SplitCriterion::kGini, {5, 5}), 0.5);
+  EXPECT_DOUBLE_EQ(Impurity(SplitCriterion::kEntropy, {5, 5}), 1.0);
+}
+
+TEST(CriterionTest, WeightedSplitIsSymmetric) {
+  const std::vector<uint64_t> l{8, 2};
+  const std::vector<uint64_t> r{1, 9};
+  for (auto criterion : {SplitCriterion::kGini, SplitCriterion::kEntropy}) {
+    EXPECT_DOUBLE_EQ(WeightedSplitImpurity(criterion, l, r),
+                     WeightedSplitImpurity(criterion, r, l));
+  }
+}
+
+TEST(CriterionTest, PerfectSplitScoresZero) {
+  EXPECT_DOUBLE_EQ(
+      WeightedSplitImpurity(SplitCriterion::kGini, {5, 0}, {0, 5}), 0.0);
+}
+
+TEST(CriterionTest, WeightedSplitWeighsBySize) {
+  // 9 pure tuples + 1-tuple impure side barely moves the score.
+  const double score =
+      WeightedSplitImpurity(SplitCriterion::kGini, {9, 0}, {1, 1});
+  EXPECT_NEAR(score, (2.0 / 11.0) * 0.5, 1e-12);
+}
+
+TEST(CriterionTest, ToStringNames) {
+  EXPECT_EQ(ToString(SplitCriterion::kGini), "gini");
+  EXPECT_EQ(ToString(SplitCriterion::kEntropy), "entropy");
+}
+
+// ------------------------------------------------------------ label runs --
+
+TEST(LabelRunsTest, Figure1AgeClassString) {
+  const Dataset d = MakeFigure1Dataset();
+  const auto s = ClassString(d.SortedProjection(0));
+  EXPECT_EQ(ClassStringText(s), "AAABAB");  // HHHLHL with H=A, L=B
+}
+
+TEST(LabelRunsTest, Figure1AgeRuns) {
+  const Dataset d = MakeFigure1Dataset();
+  const auto runs = LabelRunsOf(d, 0);
+  // Four runs: HHH, L, H, L (paper Section 4).
+  ASSERT_EQ(runs.size(), 4u);
+  EXPECT_EQ(runs[0], (LabelRun{0, 0, 3}));
+  EXPECT_EQ(runs[1], (LabelRun{1, 3, 4}));
+  EXPECT_EQ(runs[2], (LabelRun{0, 4, 5}));
+  EXPECT_EQ(runs[3], (LabelRun{1, 5, 6}));
+}
+
+TEST(LabelRunsTest, Figure1SalaryRuns) {
+  const Dataset d = MakeFigure1Dataset();
+  const auto runs = LabelRunsOf(d, 1);  // HHHLLH
+  ASSERT_EQ(runs.size(), 3u);
+  EXPECT_EQ(runs[0].length(), 3u);
+  EXPECT_EQ(runs[1].length(), 2u);
+  EXPECT_EQ(runs[2].length(), 1u);
+}
+
+TEST(LabelRunsTest, EmptyString) {
+  EXPECT_TRUE(ComputeLabelRuns({}).empty());
+}
+
+TEST(LabelRunsTest, SingleRun) {
+  const auto runs = ComputeLabelRuns({2, 2, 2});
+  ASSERT_EQ(runs.size(), 1u);
+  EXPECT_EQ(runs[0], (LabelRun{2, 0, 3}));
+}
+
+TEST(LabelRunsTest, AlternatingRuns) {
+  const auto runs = ComputeLabelRuns({0, 1, 0, 1});
+  ASSERT_EQ(runs.size(), 4u);
+  for (const auto& run : runs) EXPECT_EQ(run.length(), 1u);
+}
+
+TEST(LabelRunsTest, ReversedString) {
+  EXPECT_EQ(Reversed({0, 1, 2}), (std::vector<ClassId>{2, 1, 0}));
+  EXPECT_TRUE(Reversed({}).empty());
+}
+
+TEST(LabelRunsTest, ClassStringTextRejectsLargeIds) {
+  EXPECT_DEATH(ClassStringText({26}), "not renderable");
+}
+
+// --------------------------------------------------- run-boundary lemma --
+
+TEST(RunBoundaryTest, Figure1AgeCandidates) {
+  const Dataset d = MakeFigure1Dataset();
+  const auto s = AttributeSummary::FromDataset(d, 0);
+  // Ages 17,20,23 | 32 | 43 | 50 with labels H H H L H L: boundaries
+  // after 23 (idx 3), after 32 (idx 4), after 43 (idx 5) — exactly the
+  // paper's candidate split locations 23, 32, 43.
+  EXPECT_EQ(RunBoundaryCandidates(s), (std::vector<size_t>{3, 4, 5}));
+}
+
+TEST(RunBoundaryTest, PureAttributeHasNoCandidates) {
+  Dataset d({"x"}, {"a", "b"});
+  d.AddRow({1}, 0);
+  d.AddRow({2}, 0);
+  d.AddRow({3}, 0);
+  const auto s = AttributeSummary::FromDataset(d, 0);
+  EXPECT_TRUE(RunBoundaryCandidates(s).empty());
+}
+
+TEST(RunBoundaryTest, MixedValueCreatesCandidatesOnBothSides) {
+  Dataset d({"x"}, {"a", "b"});
+  d.AddRow({1}, 0);
+  d.AddRow({2}, 0);
+  d.AddRow({2}, 1);  // value 2 is non-monochromatic
+  d.AddRow({3}, 0);
+  const auto s = AttributeSummary::FromDataset(d, 0);
+  EXPECT_EQ(RunBoundaryCandidates(s), (std::vector<size_t>{1, 2}));
+}
+
+TEST(RunBoundaryTest, AllBoundariesWhenAlternating) {
+  Dataset d({"x"}, {"a", "b"});
+  for (int v = 0; v < 6; ++v) d.AddRow({static_cast<double>(v)}, v % 2);
+  const auto s = AttributeSummary::FromDataset(d, 0);
+  EXPECT_EQ(RunBoundaryCandidates(s).size(), 5u);
+}
+
+}  // namespace
+}  // namespace popp

@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include "nb/naive_bayes.h"
+#include "synth/covtype_like.h"
+#include "tree/builder.h"
+#include "synth/presets.h"
+#include "transform/plan.h"
+
+namespace popp {
+namespace {
+
+Dataset NbData(size_t rows = 1200, uint64_t seed = 3) {
+  Rng rng(seed);
+  return GenerateCovtypeLike(SmallCovtypeSpec(rows), rng);
+}
+
+TEST(NaiveBayesTest, LearnsAnObviousSignal) {
+  Dataset d({"x"}, {"a", "b"});
+  for (int i = 0; i < 50; ++i) {
+    d.AddRow({1}, 0);
+    d.AddRow({2}, 1);
+  }
+  const NaiveBayes model = NaiveBayes::Train(d);
+  EXPECT_EQ(model.Predict({1}), 0);
+  EXPECT_EQ(model.Predict({2}), 1);
+  EXPECT_DOUBLE_EQ(model.Accuracy(d), 1.0);
+}
+
+TEST(NaiveBayesTest, UnseenValuesFallBackToThePrior) {
+  Dataset d({"x"}, {"a", "b"});
+  for (int i = 0; i < 30; ++i) d.AddRow({1}, 0);
+  for (int i = 0; i < 10; ++i) d.AddRow({2}, 1);
+  const NaiveBayes model = NaiveBayes::Train(d);
+  // Value 99 never seen: class priors decide, and 'a' dominates.
+  EXPECT_EQ(model.Predict({99}), 0);
+}
+
+TEST(NaiveBayesTest, CombinesIndependentAttributes) {
+  // Each attribute alone is weak; together they decide.
+  Dataset d({"x", "y"}, {"a", "b"});
+  Rng rng(5);
+  for (int i = 0; i < 2000; ++i) {
+    const ClassId label = static_cast<ClassId>(rng.Bernoulli(0.5));
+    const double x = rng.Bernoulli(label == 1 ? 0.7 : 0.3) ? 1.0 : 0.0;
+    const double y = rng.Bernoulli(label == 1 ? 0.7 : 0.3) ? 1.0 : 0.0;
+    d.AddRow({x, y}, label);
+  }
+  const NaiveBayes model = NaiveBayes::Train(d);
+  EXPECT_EQ(model.Predict({1, 1}), 1);
+  EXPECT_EQ(model.Predict({0, 0}), 0);
+  EXPECT_GT(model.Accuracy(d), 0.6);
+}
+
+TEST(NaiveBayesTest, ReasonableOnCovtypeLikeData) {
+  const Dataset d = NbData(2000);
+  const NaiveBayes model = NaiveBayes::Train(d);
+  EXPECT_GT(model.Accuracy(d), 0.6);
+}
+
+TEST(NaiveBayesTest, LogPosteriorRanksLikePredict) {
+  const Dataset d = NbData(500);
+  const NaiveBayes model = NaiveBayes::Train(d);
+  for (size_t r = 0; r < 50; ++r) {
+    const auto row = d.Row(r);
+    const auto log_post = model.LogPosterior(row);
+    const ClassId predicted = model.Predict(row);
+    for (size_t c = 0; c < log_post.size(); ++c) {
+      EXPECT_LE(log_post[c], log_post[static_cast<size_t>(predicted)]);
+    }
+  }
+}
+
+TEST(NaiveBayesTest, RejectsEmptyData) {
+  Dataset d({"x"}, {"a", "b"});
+  EXPECT_DEATH(NaiveBayes::Train(d), "NB needs data");
+}
+
+// -------------------- preservation under arbitrary bijections -----------
+
+TEST(NaiveBayesTest, PreservedUnderPiecewiseTransforms) {
+  // The piecewise transform is a per-attribute bijection on the active
+  // domain, which is all discrete NB sees: the model mined from D'
+  // classifies every transformed tuple exactly as the original model
+  // classifies the original tuple.
+  const Dataset d = NbData(1500, 7);
+  Rng rng(11);
+  PiecewiseOptions options;
+  options.min_breakpoints = 15;
+  const TransformPlan plan = TransformPlan::Create(d, options, rng);
+  const Dataset released = plan.EncodeDataset(d);
+
+  const NaiveBayes original = NaiveBayes::Train(d);
+  const NaiveBayes mined = NaiveBayes::Train(released);
+  for (size_t r = 0; r < d.NumRows(); ++r) {
+    ASSERT_EQ(mined.Predict(released.Row(r)), original.Predict(d.Row(r)))
+        << "row " << r;
+  }
+  EXPECT_DOUBLE_EQ(mined.Accuracy(released), original.Accuracy(d));
+}
+
+TEST(NaiveBayesTest, PreservedEvenUnderOrderDestroyingBijections) {
+  // Stronger than the tree guarantee: a pure random permutation of each
+  // attribute's values — no global invariant, no monotonicity — still
+  // preserves the NB outcome exactly.
+  const Dataset d = NbData(1000, 13);
+  Dataset scrambled = d;
+  Rng rng(17);
+  for (size_t a = 0; a < d.NumAttributes(); ++a) {
+    const auto domain = d.ActiveDomain(a);
+    std::vector<AttrValue> image = domain;
+    rng.Shuffle(image);
+    std::unordered_map<AttrValue, AttrValue> map;
+    for (size_t i = 0; i < domain.size(); ++i) map[domain[i]] = image[i];
+    for (auto& v : scrambled.MutableColumn(a)) v = map.at(v);
+  }
+  const NaiveBayes original = NaiveBayes::Train(d);
+  const NaiveBayes mined = NaiveBayes::Train(scrambled);
+  for (size_t r = 0; r < d.NumRows(); ++r) {
+    ASSERT_EQ(mined.Predict(scrambled.Row(r)), original.Predict(d.Row(r)));
+  }
+}
+
+TEST(NaiveBayesTest, TreesWouldBreakUnderTheSameScrambling) {
+  // Sanity check of the contrast: the scrambling that leaves NB intact
+  // destroys the tree's rank structure (its accuracy on its own scrambled
+  // data drops below the original tree's).
+  const Dataset d = NbData(1000, 19);
+  Dataset scrambled = d;
+  Rng rng(23);
+  for (size_t a = 0; a < d.NumAttributes(); ++a) {
+    const auto domain = d.ActiveDomain(a);
+    std::vector<AttrValue> image = domain;
+    rng.Shuffle(image);
+    std::unordered_map<AttrValue, AttrValue> map;
+    for (size_t i = 0; i < domain.size(); ++i) map[domain[i]] = image[i];
+    for (auto& v : scrambled.MutableColumn(a)) v = map.at(v);
+  }
+  // Depth-limited trees must generalize structure; full-depth trees can
+  // memorize anything, so compare constrained models.
+  BuildOptions options;
+  options.max_depth = 6;
+  const DecisionTreeBuilder builder(options);
+  const double original_acc = builder.Build(d).Accuracy(d);
+  const double scrambled_acc = builder.Build(scrambled).Accuracy(scrambled);
+  EXPECT_LT(scrambled_acc, original_acc);
+}
+
+}  // namespace
+}  // namespace popp

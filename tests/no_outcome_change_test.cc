@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "synth/covtype_like.h"
+#include "synth/presets.h"
+#include "transform/plan.h"
+#include "transform/tree_decode.h"
+#include "tree/builder.h"
+#include "tree/compare.h"
+
+namespace popp {
+namespace {
+
+/// The headline guarantee (Theorems 1 and 2), swept as a parameterized
+/// property: for every split criterion, breakpoint policy, global
+/// direction and random seed, mining the transformed data and decoding
+/// yields exactly the tree mined from the original data.
+struct NoOutcomeChangeCase {
+  SplitCriterion criterion;
+  BreakpointPolicy policy;
+  bool global_anti;
+  uint64_t seed;
+};
+
+std::string CaseName(
+    const testing::TestParamInfo<NoOutcomeChangeCase>& info) {
+  const auto& c = info.param;
+  std::string name = ToString(c.criterion) + "_" + ToString(c.policy) +
+                     (c.global_anti ? "_anti" : "_mono") + "_seed" +
+                     std::to_string(c.seed);
+  for (auto& ch : name) {
+    if (!isalnum(static_cast<unsigned char>(ch))) ch = '_';
+  }
+  return name;
+}
+
+class NoOutcomeChangeTest
+    : public testing::TestWithParam<NoOutcomeChangeCase> {};
+
+TEST_P(NoOutcomeChangeTest, DecodedTreeEqualsDirectTree) {
+  const NoOutcomeChangeCase& c = GetParam();
+  Rng data_rng(c.seed * 7919 + 13);
+  const Dataset d = GenerateCovtypeLike(SmallCovtypeSpec(600), data_rng);
+
+  BuildOptions tree_options;
+  tree_options.criterion = c.criterion;
+  const DecisionTreeBuilder builder(tree_options);
+  const DecisionTree direct = builder.Build(d);
+
+  Rng rng(c.seed);
+  PiecewiseOptions options;
+  options.policy = c.policy;
+  options.global_anti_monotone = c.global_anti;
+  options.min_breakpoints = 7;
+  const TransformPlan plan = TransformPlan::Create(d, options, rng);
+  const Dataset released = plan.EncodeDataset(d);
+
+  const DecisionTree mined = builder.Build(released);
+  const DecisionTree decoded = DecodeTreeWithData(mined, plan, d);
+
+  if (!c.global_anti) {
+    // Order-preserving release: the guarantee is bit-exact, ties included
+    // (the candidate scan on D' sees the identical class-count sequence).
+    EXPECT_TRUE(ExactlyEqual(direct, decoded))
+        << DescribeDifference(direct, decoded);
+    // Theorem 1 corollary: T' itself has the same shape, split attributes
+    // and leaf labels as T (only thresholds differ).
+    EXPECT_TRUE(StructurallyIdentical(direct, mined));
+  }
+  // Order-reversing release: an exactly-tied split at a class-palindromic
+  // node can resolve to its mirror image (no class-structure tie-break can
+  // coordinate the two orientations), yielding a different tree *shape*
+  // with the identical decision function. The outcome — the classifier —
+  // is always preserved.
+  Rng probe_rng(c.seed + 999);
+  EXPECT_TRUE(SameDecisionFunction(direct, decoded, d, 20000, probe_rng));
+  EXPECT_EQ(direct.NumLeaves(), decoded.NumLeaves());
+  EXPECT_DOUBLE_EQ(direct.Accuracy(d), decoded.Accuracy(d));
+}
+
+std::vector<NoOutcomeChangeCase> AllCases() {
+  std::vector<NoOutcomeChangeCase> cases;
+  for (auto criterion : {SplitCriterion::kGini, SplitCriterion::kEntropy,
+                         SplitCriterion::kGainRatio}) {
+    for (auto policy :
+         {BreakpointPolicy::kNone, BreakpointPolicy::kChooseBP,
+          BreakpointPolicy::kChooseMaxMP}) {
+      for (bool anti : {false, true}) {
+        for (uint64_t seed : {1u, 2u, 3u}) {
+          cases.push_back({criterion, policy, anti, seed});
+        }
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, NoOutcomeChangeTest,
+                         testing::ValuesIn(AllCases()), CaseName);
+
+// ------------------------------------------------- additional guarantees --
+
+TEST(NoOutcomeChangeExtra, HoldsOnCensusAndWdbcLikeData) {
+  for (uint64_t seed : {5u, 6u}) {
+    for (const auto& spec : {CensusLikeSpec(2000), WdbcLikeSpec(1500)}) {
+      Rng data_rng(seed);
+      const Dataset d = GenerateCovtypeLike(spec, data_rng);
+      const DecisionTreeBuilder builder;
+      Rng rng(seed + 100);
+      PiecewiseOptions options;
+      options.min_breakpoints = 10;
+      const TransformPlan plan = TransformPlan::Create(d, options, rng);
+      const DecisionTree direct = builder.Build(d);
+      const DecisionTree decoded =
+          DecodeTreeWithData(builder.Build(plan.EncodeDataset(d)), plan, d);
+      EXPECT_TRUE(ExactlyEqual(direct, decoded))
+          << DescribeDifference(direct, decoded);
+    }
+  }
+}
+
+TEST(NoOutcomeChangeExtra, HoldsWithDepthAndLeafLimits) {
+  Rng data_rng(31);
+  const Dataset d = GenerateCovtypeLike(SmallCovtypeSpec(700), data_rng);
+  BuildOptions tree_options;
+  tree_options.max_depth = 4;
+  tree_options.min_leaf_size = 5;
+  tree_options.min_split_size = 12;
+  const DecisionTreeBuilder builder(tree_options);
+  Rng rng(33);
+  const TransformPlan plan =
+      TransformPlan::Create(d, PiecewiseOptions{}, rng);
+  const DecisionTree direct = builder.Build(d);
+  const DecisionTree decoded =
+      DecodeTreeWithData(builder.Build(plan.EncodeDataset(d)), plan, d);
+  EXPECT_TRUE(ExactlyEqual(direct, decoded))
+      << DescribeDifference(direct, decoded);
+}
+
+TEST(NoOutcomeChangeExtra, HoldsWithMinImpurityDecrease) {
+  Rng data_rng(37);
+  const Dataset d = GenerateCovtypeLike(SmallCovtypeSpec(600), data_rng);
+  BuildOptions tree_options;
+  tree_options.min_impurity_decrease = 0.01;
+  const DecisionTreeBuilder builder(tree_options);
+  Rng rng(39);
+  const TransformPlan plan =
+      TransformPlan::Create(d, PiecewiseOptions{}, rng);
+  const DecisionTree direct = builder.Build(d);
+  const DecisionTree decoded =
+      DecodeTreeWithData(builder.Build(plan.EncodeDataset(d)), plan, d);
+  EXPECT_TRUE(ExactlyEqual(direct, decoded));
+}
+
+TEST(NoOutcomeChangeExtra, MinedTreeThresholdsLookRealistic) {
+  // Output privacy: T''s thresholds live in the transformed space, not
+  // the original one — yet T' has the same structure (Theorem 1). Verify
+  // at least one threshold differs from the original tree's.
+  Rng data_rng(41);
+  const Dataset d = GenerateCovtypeLike(SmallCovtypeSpec(600), data_rng);
+  const DecisionTreeBuilder builder;
+  Rng rng(43);
+  const TransformPlan plan =
+      TransformPlan::Create(d, PiecewiseOptions{}, rng);
+  const DecisionTree direct = builder.Build(d);
+  const DecisionTree mined = builder.Build(plan.EncodeDataset(d));
+  EXPECT_TRUE(StructurallyIdentical(direct, mined));
+  EXPECT_FALSE(ExactlyEqual(direct, mined));
+}
+
+}  // namespace
+}  // namespace popp

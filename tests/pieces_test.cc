@@ -1,0 +1,224 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "data/summary.h"
+#include "synth/covtype_like.h"
+#include "transform/choose_bp.h"
+#include "transform/choose_max_mp.h"
+#include "transform/pieces.h"
+
+namespace popp {
+namespace {
+
+/// The running example of the paper's Figures 3/4/7: 13 tuples,
+/// values 1,2,15,15,27,28,29,29,29,29,42,43,44 with labels
+/// H H H H L L L L H H H H H (H=0, L=1).
+AttributeSummary PaperExampleSummary() {
+  std::vector<ValueLabel> tuples = {
+      {1, 0},  {2, 0},  {15, 0}, {15, 0}, {27, 1}, {28, 1}, {29, 1},
+      {29, 1}, {29, 0}, {29, 0}, {42, 0}, {43, 0}, {44, 0},
+  };
+  return AttributeSummary::FromTuples(std::move(tuples), 2);
+}
+
+// ---------------------------------------------------------------- pieces --
+
+TEST(PiecesTest, PaperExampleDistinctValues) {
+  const auto s = PaperExampleSummary();
+  ASSERT_EQ(s.NumDistinct(), 9u);
+  EXPECT_TRUE(s.IsMonochromatic(s.IndexOf(15)));
+  EXPECT_FALSE(s.IsMonochromatic(s.IndexOf(29)));  // both H and L at 29
+  EXPECT_TRUE(s.IsMonochromatic(s.IndexOf(27)));
+}
+
+TEST(PiecesTest, IsMonochromaticRange) {
+  const auto s = PaperExampleSummary();
+  // Values 1,2,15 (indices 0..2): all H.
+  EXPECT_TRUE(IsMonochromaticRange(s, 0, 3));
+  // Values 27,28 (indices 3..4): all L.
+  EXPECT_TRUE(IsMonochromaticRange(s, 3, 5));
+  // Adding 29 (mixed) breaks it.
+  EXPECT_FALSE(IsMonochromaticRange(s, 3, 6));
+  // Crossing a class change (15 is H, 27 is L) breaks it too.
+  EXPECT_FALSE(IsMonochromaticRange(s, 2, 4));
+}
+
+TEST(PiecesTest, MaximalPiecesMatchPaperFigure7) {
+  const auto s = PaperExampleSummary();
+  // ChooseMaxMP's pieces (paper): r1 = {1,2,15} H, r2 = {27,28} L,
+  // r3 = {29} non-mono, r4 = {42,43,44} H. Maximal mono pieces are
+  // r1, r2, r4.
+  const auto pieces = MaximalMonochromaticPieces(s);
+  ASSERT_EQ(pieces.size(), 3u);
+  EXPECT_EQ(pieces[0], (PieceSpec{0, 3, true}));
+  EXPECT_EQ(pieces[1], (PieceSpec{3, 5, true}));
+  EXPECT_EQ(pieces[2], (PieceSpec{6, 9, true}));
+}
+
+TEST(PiecesTest, MinWidthFiltersSlivers) {
+  const auto s = PaperExampleSummary();
+  const auto pieces = MaximalMonochromaticPieces(s, 3);
+  ASSERT_EQ(pieces.size(), 2u);  // the 2-value L piece drops out
+  EXPECT_EQ(pieces[0].length(), 3u);
+  EXPECT_EQ(pieces[1].length(), 3u);
+}
+
+TEST(PiecesTest, ComputePiecesPartitions) {
+  const auto s = PaperExampleSummary();
+  const auto pieces = ComputePieces(s, {0, 3, 5, 6}, 1);
+  ASSERT_EQ(pieces.size(), 4u);
+  EXPECT_EQ(pieces[0].begin, 0u);
+  EXPECT_EQ(pieces[3].end, 9u);
+  EXPECT_TRUE(pieces[0].monochromatic);   // 1,2,15 all H
+  EXPECT_TRUE(pieces[1].monochromatic);   // 27,28 all L
+  EXPECT_FALSE(pieces[2].monochromatic);  // 29 mixed
+  EXPECT_TRUE(pieces[3].monochromatic);   // 42,43,44 all H
+}
+
+TEST(PiecesTest, ComputePiecesRespectsMinMonoWidth) {
+  const auto s = PaperExampleSummary();
+  const auto pieces = ComputePieces(s, {0, 3, 5, 6}, 3);
+  EXPECT_TRUE(pieces[0].monochromatic);
+  EXPECT_FALSE(pieces[1].monochromatic);  // width 2 < 3
+  EXPECT_TRUE(pieces[3].monochromatic);
+}
+
+TEST(PiecesTest, MonoStatsPaperExample) {
+  const auto s = PaperExampleSummary();
+  const MonoStats stats = ComputeMonoStats(s);
+  EXPECT_EQ(stats.num_pieces, 3u);
+  EXPECT_NEAR(stats.avg_length, 8.0 / 3.0, 1e-12);
+  EXPECT_NEAR(stats.value_fraction, 8.0 / 9.0, 1e-12);
+}
+
+TEST(PiecesTest, MonoStatsEmptyWhenNoMono) {
+  // Alternate labels at every value.
+  std::vector<ValueLabel> tuples;
+  for (int v = 0; v < 10; ++v) {
+    tuples.push_back({static_cast<double>(v), 0});
+    tuples.push_back({static_cast<double>(v), 1});
+  }
+  const auto s = AttributeSummary::FromTuples(std::move(tuples), 2);
+  const MonoStats stats = ComputeMonoStats(s);
+  EXPECT_EQ(stats.num_pieces, 0u);
+  EXPECT_EQ(stats.avg_length, 0.0);
+  EXPECT_EQ(stats.value_fraction, 0.0);
+}
+
+// -------------------------------------------------------------- ChooseBP --
+
+TEST(ChooseBPTest, StartsWithZeroAndSorted) {
+  Rng rng(3);
+  const auto s = PaperExampleSummary();
+  for (int rep = 0; rep < 20; ++rep) {
+    const auto starts = ChooseBP(s, 4, rng);
+    ASSERT_FALSE(starts.empty());
+    EXPECT_EQ(starts[0], 0u);
+    EXPECT_TRUE(std::is_sorted(starts.begin(), starts.end()));
+    std::set<size_t> uniq(starts.begin(), starts.end());
+    EXPECT_EQ(uniq.size(), starts.size());
+    EXPECT_EQ(starts.size(), 5u);  // 0 plus 4 breakpoints
+    for (size_t b : starts) EXPECT_LT(b, s.NumDistinct());
+  }
+}
+
+TEST(ChooseBPTest, CapsAtDomainSize) {
+  Rng rng(5);
+  const auto s = PaperExampleSummary();
+  const auto starts = ChooseBP(s, 1000, rng);
+  EXPECT_EQ(starts.size(), s.NumDistinct());  // every value its own piece
+}
+
+TEST(ChooseBPTest, ZeroBreakpointsSinglePiece) {
+  Rng rng(7);
+  const auto s = PaperExampleSummary();
+  EXPECT_EQ(ChooseBP(s, 0, rng), (std::vector<size_t>{0}));
+}
+
+TEST(ChooseBPTest, RandomizedAcrossCalls) {
+  Rng rng(9);
+  const auto s = PaperExampleSummary();
+  std::set<std::vector<size_t>> layouts;
+  for (int rep = 0; rep < 20; ++rep) {
+    layouts.insert(ChooseBP(s, 3, rng));
+  }
+  EXPECT_GT(layouts.size(), 5u);
+}
+
+// ----------------------------------------------------------- ChooseMaxMP --
+
+TEST(ChooseMaxMPTest, PaperExampleScan) {
+  Rng rng(11);
+  const auto s = PaperExampleSummary();
+  // With w=0 extra breakpoints and min width 1, the scan should produce
+  // exactly the paper's four pieces: {1,2,15}, {27,28}, {29}, {42,43,44}.
+  const auto result = ChooseMaxMP(s, 0, 1, rng);
+  EXPECT_EQ(result.piece_starts, (std::vector<size_t>{0, 3, 5, 6}));
+  ASSERT_EQ(result.pieces.size(), 4u);
+  EXPECT_TRUE(result.pieces[0].monochromatic);
+  EXPECT_TRUE(result.pieces[1].monochromatic);
+  EXPECT_FALSE(result.pieces[2].monochromatic);
+  EXPECT_TRUE(result.pieces[3].monochromatic);
+  EXPECT_EQ(result.NumMonochromatic(), 3u);
+}
+
+TEST(ChooseMaxMPTest, TopUpFromNonMonochromaticValues) {
+  // A domain with one big non-mono stretch: extra breakpoints must land
+  // inside it.
+  std::vector<ValueLabel> tuples;
+  for (int v = 0; v < 40; ++v) {
+    tuples.push_back({static_cast<double>(v), 0});
+    tuples.push_back({static_cast<double>(v), 1});
+  }
+  const auto s = AttributeSummary::FromTuples(std::move(tuples), 2);
+  Rng rng(13);
+  const auto result = ChooseMaxMP(s, 10, 2, rng);
+  EXPECT_GE(result.piece_starts.size(), 10u);
+  EXPECT_EQ(result.NumMonochromatic(), 0u);
+}
+
+TEST(ChooseMaxMPTest, MinWidthDemotesAndMerges) {
+  const auto s = PaperExampleSummary();
+  Rng rng(17);
+  // min width 3: the {27,28} piece is demoted; it merges with the
+  // adjacent non-mono piece {29}.
+  const auto result = ChooseMaxMP(s, 0, 3, rng);
+  ASSERT_EQ(result.pieces.size(), 3u);
+  EXPECT_EQ(result.piece_starts, (std::vector<size_t>{0, 3, 6}));
+  EXPECT_TRUE(result.pieces[0].monochromatic);
+  EXPECT_FALSE(result.pieces[1].monochromatic);  // {27,28,29}
+  EXPECT_TRUE(result.pieces[2].monochromatic);
+}
+
+TEST(ChooseMaxMPTest, AllMonoDomain) {
+  // Two mono classes back to back, no mixed values at all.
+  std::vector<ValueLabel> tuples;
+  for (int v = 0; v < 5; ++v) tuples.push_back({static_cast<double>(v), 0});
+  for (int v = 5; v < 10; ++v) tuples.push_back({static_cast<double>(v), 1});
+  const auto s = AttributeSummary::FromTuples(std::move(tuples), 2);
+  Rng rng(19);
+  const auto result = ChooseMaxMP(s, 20, 2, rng);
+  // No non-mono values to top up from: just the two pieces.
+  EXPECT_EQ(result.piece_starts, (std::vector<size_t>{0, 5}));
+  EXPECT_EQ(result.NumMonochromatic(), 2u);
+}
+
+TEST(ChooseMaxMPTest, CovtypeAttributeCoversMonoShare) {
+  Rng rng(23);
+  const Dataset data = GenerateCovtypeLike(SmallCovtypeSpec(2000), rng);
+  const auto s = AttributeSummary::FromDataset(data, 0);
+  const auto result = ChooseMaxMP(s, 20, 2, rng);
+  // All generated mono pieces must be discovered.
+  size_t covered = 0;
+  for (const auto& piece : result.pieces) {
+    if (piece.monochromatic) covered += piece.length();
+  }
+  const MonoStats stats = ComputeMonoStats(s, 2);
+  EXPECT_EQ(covered,
+            static_cast<size_t>(stats.avg_length * stats.num_pieces + 0.5));
+  EXPECT_GE(result.piece_starts.size(), 21u);  // >= w breakpoints + start
+}
+
+}  // namespace
+}  // namespace popp

@@ -1,0 +1,275 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "data/summary.h"
+#include "synth/covtype_like.h"
+#include "transform/piecewise.h"
+
+namespace popp {
+namespace {
+
+AttributeSummary PaperExampleSummary() {
+  std::vector<ValueLabel> tuples = {
+      {1, 0},  {2, 0},  {15, 0}, {15, 0}, {27, 1}, {28, 1}, {29, 1},
+      {29, 1}, {29, 0}, {29, 0}, {42, 0}, {43, 0}, {44, 0},
+  };
+  return AttributeSummary::FromTuples(std::move(tuples), 2);
+}
+
+AttributeSummary MixedSummary(size_t n) {
+  // Every value carries both classes: no monochromatic values at all.
+  std::vector<ValueLabel> tuples;
+  for (size_t v = 0; v < n; ++v) {
+    tuples.push_back({static_cast<double>(v * 3), 0});
+    tuples.push_back({static_cast<double>(v * 3), 1});
+  }
+  return AttributeSummary::FromTuples(std::move(tuples), 2);
+}
+
+PiecewiseOptions BaselineOptions() {
+  PiecewiseOptions options;
+  options.policy = BreakpointPolicy::kNone;
+  return options;
+}
+
+TEST(PiecewiseTest, SinglePieceRoundTrip) {
+  Rng rng(3);
+  const auto s = PaperExampleSummary();
+  const auto f = PiecewiseTransform::Create(s, BaselineOptions(), rng);
+  EXPECT_EQ(f.NumPieces(), 1u);
+  for (AttrValue v : s.values()) {
+    EXPECT_NEAR(f.Inverse(f.Apply(v)), v, 1e-8);
+  }
+}
+
+TEST(PiecewiseTest, GlobalInvariantHoldsAcrossPoliciesAndSeeds) {
+  const auto s = PaperExampleSummary();
+  for (auto policy : {BreakpointPolicy::kNone, BreakpointPolicy::kChooseBP,
+                      BreakpointPolicy::kChooseMaxMP}) {
+    for (uint64_t seed = 1; seed <= 30; ++seed) {
+      Rng rng(seed);
+      PiecewiseOptions options;
+      options.policy = policy;
+      options.min_breakpoints = 3;
+      const auto f = PiecewiseTransform::Create(s, options, rng);
+      EXPECT_TRUE(f.SatisfiesGlobalInvariant(s))
+          << ToString(policy) << " seed " << seed << "\n"
+          << f.Describe();
+    }
+  }
+}
+
+TEST(PiecewiseTest, GlobalAntiMonotoneInvariant) {
+  const auto s = PaperExampleSummary();
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    Rng rng(seed);
+    PiecewiseOptions options;
+    options.policy = BreakpointPolicy::kChooseMaxMP;
+    options.global_anti_monotone = true;
+    options.min_breakpoints = 2;
+    const auto f = PiecewiseTransform::Create(s, options, rng);
+    EXPECT_TRUE(f.global_anti_monotone());
+    EXPECT_TRUE(f.SatisfiesGlobalInvariant(s)) << f.Describe();
+  }
+}
+
+TEST(PiecewiseTest, ImagesDistinctOnActiveDomain) {
+  const auto s = MixedSummary(200);
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    Rng rng(seed);
+    PiecewiseOptions options;
+    options.min_breakpoints = 20;
+    const auto f = PiecewiseTransform::Create(s, options, rng);
+    std::set<double> images;
+    for (AttrValue v : s.values()) {
+      EXPECT_TRUE(images.insert(f.Apply(v)).second)
+          << "collision at " << v;
+    }
+  }
+}
+
+TEST(PiecewiseTest, InverseExactOnAllActiveValues) {
+  const auto s = MixedSummary(150);
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    Rng rng(seed);
+    PiecewiseOptions options;
+    options.min_breakpoints = 15;
+    const auto f = PiecewiseTransform::Create(s, options, rng);
+    for (AttrValue v : s.values()) {
+      EXPECT_NEAR(f.Inverse(f.Apply(v)), v, 1e-7);
+    }
+  }
+}
+
+TEST(PiecewiseTest, EveryValueIsTransformed) {
+  // Section 1: "with the proposed transformations, every data value is
+  // transformed" (vs perturbation leaving values unchanged). With random
+  // offsets a value mapping exactly to itself has measure zero; assert
+  // all values move for a handful of seeds.
+  const auto s = PaperExampleSummary();
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    Rng rng(seed);
+    const auto f =
+        PiecewiseTransform::Create(s, PiecewiseOptions{}, rng);
+    for (AttrValue v : s.values()) {
+      EXPECT_NE(f.Apply(v), v);
+    }
+  }
+}
+
+TEST(PiecewiseTest, MonochromaticPiecesGetBijections) {
+  Rng rng(7);
+  const auto s = PaperExampleSummary();
+  PiecewiseOptions options;
+  options.policy = BreakpointPolicy::kChooseMaxMP;
+  options.min_breakpoints = 0;
+  options.min_mono_width = 1;
+  const auto f = PiecewiseTransform::Create(s, options, rng);
+  ASSERT_EQ(f.NumPieces(), 4u);
+  EXPECT_TRUE(f.piece(0).bijective);
+  EXPECT_TRUE(f.piece(1).bijective);
+  // The mixed piece {29} holds a single value: it is represented as a
+  // (trivially bijective) one-point permutation rather than an F_mono
+  // member, which needs a non-degenerate interval.
+  EXPECT_EQ(f.piece(2).domain_lo, f.piece(2).domain_hi);
+  EXPECT_TRUE(f.piece(3).bijective);
+}
+
+TEST(PiecewiseTest, ChooseBPNeverUsesBijections) {
+  Rng rng(9);
+  const auto s = PaperExampleSummary();
+  PiecewiseOptions options;
+  options.policy = BreakpointPolicy::kChooseBP;
+  options.min_breakpoints = 4;
+  const auto f = PiecewiseTransform::Create(s, options, rng);
+  for (size_t p = 0; p < f.NumPieces(); ++p) {
+    // Single-value pieces are represented as (trivially bijective)
+    // permutations; multi-value pieces must be (anti-)monotone.
+    if (f.piece(p).domain_lo != f.piece(p).domain_hi) {
+      EXPECT_FALSE(f.piece(p).bijective);
+    }
+  }
+}
+
+TEST(PiecewiseTest, ApplyBridgesDomainGapsMonotonically) {
+  const auto s = MixedSummary(50);
+  Rng rng(11);
+  PiecewiseOptions options;
+  options.min_breakpoints = 8;
+  options.family.anti_monotone_prob = 0.0;  // keep pieces monotone
+  const auto f = PiecewiseTransform::Create(s, options, rng);
+  // Sample a fine grid across the full domain: output must be strictly
+  // increasing (global monotone, monotone pieces, monotone bridges).
+  double prev = f.Apply(s.MinValue());
+  for (double x = s.MinValue() + 0.25; x <= s.MaxValue(); x += 0.25) {
+    const double y = f.Apply(x);
+    EXPECT_GE(y, prev) << "x=" << x;
+    prev = y;
+  }
+}
+
+TEST(PiecewiseTest, InverseThresholdInsideMonotonePiece) {
+  Rng rng(13);
+  const auto s = MixedSummary(30);
+  PiecewiseOptions options;
+  options.policy = BreakpointPolicy::kNone;
+  options.family.forced_shape = FamilyOptions::ShapeChoice::kLinear;
+  options.family.anti_monotone_prob = 0.0;
+  const auto f = PiecewiseTransform::Create(s, options, rng);
+  // Midpoint between the images of values 6 and 9 decodes between 6 and 9.
+  const double mid = (f.Apply(6) + f.Apply(9)) / 2;
+  const auto decode = f.InverseThreshold(mid);
+  EXPECT_FALSE(decode.order_reversed);
+  EXPECT_GT(decode.value, 6.0);
+  EXPECT_LT(decode.value, 9.0);
+}
+
+TEST(PiecewiseTest, InverseThresholdInsideAntiMonotonePiece) {
+  Rng rng(17);
+  const auto s = MixedSummary(30);
+  PiecewiseOptions options;
+  options.policy = BreakpointPolicy::kNone;
+  // A mixed-class single piece may only be anti-monotone when the whole
+  // transform is globally anti-monotone.
+  options.global_anti_monotone = true;
+  const auto f = PiecewiseTransform::Create(s, options, rng);
+  const double mid = (f.Apply(6) + f.Apply(9)) / 2;
+  const auto decode = f.InverseThreshold(mid);
+  EXPECT_TRUE(decode.order_reversed);
+  EXPECT_GT(decode.value, 6.0);
+  EXPECT_LT(decode.value, 9.0);
+}
+
+TEST(PiecewiseTest, InverseThresholdInGapSeparatesPieces) {
+  Rng rng(19);
+  const auto s = PaperExampleSummary();
+  PiecewiseOptions options;
+  options.policy = BreakpointPolicy::kChooseMaxMP;
+  options.min_breakpoints = 0;
+  options.min_mono_width = 1;
+  const auto f = PiecewiseTransform::Create(s, options, rng);
+  // Boundary between piece 0 (values 1,2,15) and piece 1 (27,28): the
+  // threshold midway between the largest image of one and the smallest of
+  // the other must decode strictly between 15 and 27 without reversal.
+  const double hi0 = f.piece(0).out_hi;
+  const double lo1 = f.piece(1).out_lo;
+  const double mid = (hi0 + lo1) / 2;
+  const auto decode = f.InverseThreshold(mid);
+  EXPECT_FALSE(decode.order_reversed);
+  EXPECT_GT(decode.value, 15.0);
+  EXPECT_LT(decode.value, 27.0);
+}
+
+TEST(PiecewiseTest, CopyIsDeep) {
+  Rng rng(23);
+  const auto s = PaperExampleSummary();
+  const auto f = PiecewiseTransform::Create(s, PiecewiseOptions{}, rng);
+  const PiecewiseTransform copy = f;  // NOLINT: exercise copy
+  for (AttrValue v : s.values()) {
+    EXPECT_DOUBLE_EQ(copy.Apply(v), f.Apply(v));
+  }
+  EXPECT_EQ(copy.NumPieces(), f.NumPieces());
+}
+
+TEST(PiecewiseTest, DescribeListsPieces) {
+  Rng rng(29);
+  const auto s = PaperExampleSummary();
+  PiecewiseOptions options;
+  options.policy = BreakpointPolicy::kChooseMaxMP;
+  options.min_breakpoints = 0;
+  options.min_mono_width = 1;
+  const auto f = PiecewiseTransform::Create(s, options, rng);
+  const std::string d = f.Describe();
+  EXPECT_NE(d.find("4 pieces"), std::string::npos);
+  EXPECT_NE(d.find("piece 0"), std::string::npos);
+}
+
+TEST(PiecewiseTest, SingleDistinctValueDomain) {
+  std::vector<ValueLabel> tuples = {{7, 0}, {7, 1}};
+  const auto s = AttributeSummary::FromTuples(std::move(tuples), 2);
+  Rng rng(31);
+  const auto f = PiecewiseTransform::Create(s, PiecewiseOptions{}, rng);
+  EXPECT_NEAR(f.Inverse(f.Apply(7)), 7.0, 1e-9);
+}
+
+TEST(PiecewiseTest, ManyPiecesOnLargeAttribute) {
+  Rng rng(37);
+  const Dataset data = GenerateCovtypeLike(SmallCovtypeSpec(3000), rng);
+  const auto s = AttributeSummary::FromDataset(data, 0);
+  PiecewiseOptions options;
+  options.min_breakpoints = 20;
+  const auto f = PiecewiseTransform::Create(s, options, rng);
+  EXPECT_GE(f.NumPieces(), 21u);
+  EXPECT_TRUE(f.SatisfiesGlobalInvariant(s));
+}
+
+TEST(PiecewiseTest, BreakpointPolicyNames) {
+  EXPECT_EQ(ToString(BreakpointPolicy::kNone), "none");
+  EXPECT_EQ(ToString(BreakpointPolicy::kChooseBP), "ChooseBP");
+  EXPECT_EQ(ToString(BreakpointPolicy::kChooseMaxMP), "ChooseMaxMP");
+}
+
+}  // namespace
+}  // namespace popp

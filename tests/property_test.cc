@@ -1,0 +1,321 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "arm/apriori.h"
+#include "arm/mask.h"
+#include "attack/spectral.h"
+#include "data/summary.h"
+#include "synth/covtype_like.h"
+#include "synth/presets.h"
+#include "transform/piecewise.h"
+#include "transform/plan.h"
+#include "tree/builder.h"
+#include "tree/prune.h"
+#include "tree/compare.h"
+#include "tree/label_runs.h"
+
+namespace popp {
+namespace {
+
+/// Seed-parameterized property sweeps: each property is checked against a
+/// freshly generated dataset/transform per seed.
+class SeedSweep : public testing::TestWithParam<uint64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweep,
+                         testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89));
+
+TEST_P(SeedSweep, TransformIsBijectiveOnActiveDomain) {
+  Rng rng(GetParam());
+  const Dataset d = GenerateCovtypeLike(SmallCovtypeSpec(600), rng);
+  PiecewiseOptions options;
+  options.min_breakpoints = 6;
+  const TransformPlan plan = TransformPlan::Create(d, options, rng);
+  for (size_t a = 0; a < d.NumAttributes(); ++a) {
+    const auto s = AttributeSummary::FromDataset(d, a);
+    std::set<AttrValue> images;
+    for (AttrValue v : s.values()) {
+      const AttrValue y = plan.Encode(a, v);
+      EXPECT_TRUE(images.insert(y).second) << "attr " << a << " value " << v;
+      EXPECT_NEAR(plan.Decode(a, y), v, 1e-7);
+    }
+  }
+}
+
+TEST_P(SeedSweep, GlobalInvariantHolds) {
+  Rng rng(GetParam() * 31);
+  const Dataset d = GenerateCovtypeLike(SmallCovtypeSpec(600), rng);
+  for (bool anti : {false, true}) {
+    PiecewiseOptions options;
+    options.min_breakpoints = 9;
+    options.global_anti_monotone = anti;
+    Rng plan_rng(GetParam() * 17 + anti);
+    const TransformPlan plan = TransformPlan::Create(d, options, plan_rng);
+    for (size_t a = 0; a < d.NumAttributes(); ++a) {
+      const auto s = AttributeSummary::FromDataset(d, a);
+      EXPECT_TRUE(plan.transform(a).SatisfiesGlobalInvariant(s))
+          << "attr " << a << " anti=" << anti;
+    }
+  }
+}
+
+TEST_P(SeedSweep, ClassStringPreservedOnDistinctValuedAttribute) {
+  // Lemma 1: construct an attribute with all-distinct values (no ties) so
+  // the class-string comparison is exact; the piecewise transform under
+  // the global-monotone invariant with monotone pieces preserves it.
+  Rng rng(GetParam() * 7 + 1);
+  Dataset d({"x"}, {"a", "b", "c"});
+  for (int i = 0; i < 120; ++i) {
+    d.AddRow({static_cast<double>(i * 5 + (i % 3))},
+             static_cast<ClassId>(rng.UniformInt(0, 2)));
+  }
+  PiecewiseOptions options;
+  options.min_breakpoints = 10;
+  options.family.anti_monotone_prob = 0.0;
+  const TransformPlan plan = TransformPlan::Create(d, options, rng);
+  const Dataset dp = plan.EncodeDataset(d);
+  EXPECT_EQ(ClassString(d.SortedProjection(0)),
+            ClassString(dp.SortedProjection(0)));
+}
+
+TEST_P(SeedSweep, LabelRunsPreservedEvenWithBijectivePieces) {
+  // With permutations on monochromatic pieces the exact class string can
+  // change *within* a run, but the run decomposition cannot.
+  Rng rng(GetParam() * 11 + 3);
+  const Dataset d = GenerateCovtypeLike(SmallCovtypeSpec(600), rng);
+  PiecewiseOptions options;
+  options.policy = BreakpointPolicy::kChooseMaxMP;
+  options.min_breakpoints = 10;
+  const TransformPlan plan = TransformPlan::Create(d, options, rng);
+  const Dataset dp = plan.EncodeDataset(d);
+  for (size_t a = 0; a < d.NumAttributes(); ++a) {
+    const auto runs_d = LabelRunsOf(d, a);
+    const auto runs_dp = LabelRunsOf(dp, a);
+    ASSERT_EQ(runs_d.size(), runs_dp.size()) << "attr " << a;
+    for (size_t i = 0; i < runs_d.size(); ++i) {
+      EXPECT_EQ(runs_d[i].label, runs_dp[i].label);
+      EXPECT_EQ(runs_d[i].length(), runs_dp[i].length());
+    }
+  }
+}
+
+TEST_P(SeedSweep, Lemma2BestSplitLiesOnRunBoundary) {
+  // Lemma 2 as a property: the unrestricted best split coincides with a
+  // label-run boundary candidate.
+  Rng rng(GetParam() * 13 + 5);
+  const Dataset d = GenerateCovtypeLike(SmallCovtypeSpec(600), rng);
+  BuildOptions options;
+  options.candidate_mode = BuildOptions::CandidateMode::kAllBoundaries;
+  const DecisionTreeBuilder builder(options);
+  std::vector<size_t> rows(d.NumRows());
+  for (size_t r = 0; r < rows.size(); ++r) rows[r] = r;
+  const SplitDecision split = builder.FindBestSplit(d, rows);
+  ASSERT_TRUE(split.found);
+  const auto s = AttributeSummary::FromDataset(d, split.attribute);
+  const auto candidates = RunBoundaryCandidates(s);
+  EXPECT_NE(std::find(candidates.begin(), candidates.end(),
+                      split.boundary_index),
+            candidates.end())
+      << "best split at boundary " << split.boundary_index
+      << " is not a run boundary";
+}
+
+TEST_P(SeedSweep, ThresholdDecodeLandsBetweenAdjacentValues) {
+  // For every adjacent pair of distinct values, the midpoint of their
+  // images must decode to a value strictly between them (this is what
+  // makes decoded trees route training data identically).
+  Rng rng(GetParam() * 19 + 7);
+  Dataset d({"x"}, {"a", "b"});
+  for (int i = 0; i < 80; ++i) {
+    d.AddRow({static_cast<double>(i * 3)},
+             static_cast<ClassId>(rng.UniformInt(0, 1)));
+  }
+  PiecewiseOptions options;
+  options.min_breakpoints = 8;
+  // Monotone pieces only: for anti-monotone or bijective pieces the
+  // boundary thresholds of real trees are midpoints of *rank-adjacent
+  // transformed* values, not of the images of domain-adjacent values,
+  // so this particular probe is only meaningful for monotone pieces.
+  options.policy = BreakpointPolicy::kChooseBP;
+  options.family.anti_monotone_prob = 0.0;
+  const TransformPlan plan = TransformPlan::Create(d, options, rng);
+  const auto s = AttributeSummary::FromDataset(d, 0);
+  const PiecewiseTransform& f = plan.transform(0);
+  for (size_t i = 0; i + 1 < s.NumDistinct(); ++i) {
+    const AttrValue lo = s.ValueAt(i);
+    const AttrValue hi = s.ValueAt(i + 1);
+    const AttrValue y_lo = f.Apply(lo);
+    const AttrValue y_hi = f.Apply(hi);
+    const AttrValue mid = (y_lo + y_hi) / 2;
+    const auto decode = f.InverseThreshold(mid);
+    // The decoded threshold must separate lo from hi in original space
+    // (in one orientation or the other).
+    const bool separates_forward =
+        decode.value > lo && decode.value < hi && !decode.order_reversed;
+    const bool separates_reversed =
+        decode.value > lo && decode.value < hi && decode.order_reversed;
+    EXPECT_TRUE(separates_forward || separates_reversed)
+        << "pair (" << lo << ", " << hi << ") decoded to " << decode.value;
+  }
+}
+
+TEST_P(SeedSweep, EncodedDatasetLooksPlausible) {
+  // Section 1: T' (and D') should "look realistic": the transformed range
+  // must stay within a small factor of the original magnitude.
+  Rng rng(GetParam() * 23 + 9);
+  const Dataset d = GenerateCovtypeLike(SmallCovtypeSpec(600), rng);
+  const TransformPlan plan =
+      TransformPlan::Create(d, PiecewiseOptions{}, rng);
+  const Dataset dp = plan.EncodeDataset(d);
+  for (size_t a = 0; a < d.NumAttributes(); ++a) {
+    const auto so = AttributeSummary::FromDataset(d, a);
+    const auto st = AttributeSummary::FromDataset(dp, a);
+    const double original_width = so.MaxValue() - so.MinValue();
+    const double released_width = st.MaxValue() - st.MinValue();
+    EXPECT_LT(released_width, original_width * 2.0);
+    EXPECT_GT(released_width, original_width * 0.5);
+  }
+}
+
+TEST_P(SeedSweep, BuilderInsensitiveToRowOrder) {
+  // Shuffling the rows must not change the induced tree (the builder's
+  // decisions depend only on sorted class-count structure).
+  Rng rng(GetParam() * 29 + 11);
+  const Dataset d = GenerateCovtypeLike(SmallCovtypeSpec(600), rng);
+  std::vector<size_t> perm(d.NumRows());
+  for (size_t i = 0; i < perm.size(); ++i) perm[i] = i;
+  rng.Shuffle(perm);
+  const Dataset shuffled = d.Select(perm);
+  const DecisionTreeBuilder builder;
+  const DecisionTree a = builder.Build(d);
+  const DecisionTree b = builder.Build(shuffled);
+  EXPECT_EQ(a.NumNodes(), b.NumNodes());
+  EXPECT_DOUBLE_EQ(a.Accuracy(d), b.Accuracy(d));
+  EXPECT_TRUE(ExactlyEqual(a, b));
+}
+
+
+TEST_P(SeedSweep, PruneIsIdempotent) {
+  Rng rng(GetParam() * 37 + 13);
+  const Dataset d = GenerateCovtypeLike(SmallCovtypeSpec(600), rng);
+  const DecisionTree full = DecisionTreeBuilder().Build(d);
+  const DecisionTree once = PruneTree(full);
+  const DecisionTree twice = PruneTree(once);
+  EXPECT_TRUE(ExactlyEqual(once, twice));
+}
+
+TEST_P(SeedSweep, AprioriMatchesBruteForce) {
+  // Cross-check the miner against brute-force support counting on a small
+  // random basket database.
+  Rng rng(GetParam() * 41 + 17);
+  BasketSpec spec;
+  spec.num_items = 12;
+  spec.num_transactions = 150;
+  spec.patterns = {{{1, 4}, 0.3}, {{2, 5, 8}, 0.2}};
+  spec.noise_items = 2.0;
+  const TransactionDb db = GenerateBaskets(spec, rng);
+  AprioriOptions options;
+  options.min_support = 0.1;
+  options.max_itemset_size = 3;
+  const auto frequent = MineFrequentItemsets(db, options);
+  const size_t min_count =
+      static_cast<size_t>(std::max(1.0, options.min_support * 150.0));
+  // (a) every reported itemset really is frequent with the right count;
+  std::set<Transaction> reported;
+  for (const auto& f : frequent) {
+    EXPECT_EQ(f.support, db.SupportCount(f.items));
+    EXPECT_GE(f.support, min_count);
+    reported.insert(f.items);
+  }
+  // (b) brute force over all itemsets of size <= 2 finds nothing extra.
+  for (ItemId a = 0; a < spec.num_items; ++a) {
+    if (db.SupportCount({a}) >= min_count) {
+      EXPECT_TRUE(reported.count({a})) << "missing {" << a << "}";
+    }
+    for (ItemId b = a + 1; b < spec.num_items; ++b) {
+      if (db.SupportCount({a, b}) >= min_count) {
+        EXPECT_TRUE(reported.count({a, b}))
+            << "missing {" << a << "," << b << "}";
+      }
+    }
+  }
+}
+
+TEST_P(SeedSweep, EigenDecompositionReconstructsRandomMatrices) {
+  Rng rng(GetParam() * 43 + 19);
+  const size_t n = 5;
+  // Random symmetric matrix.
+  std::vector<std::vector<double>> m(n, std::vector<double>(n));
+  double trace = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i; j < n; ++j) {
+      m[i][j] = m[j][i] = rng.Uniform(-3.0, 3.0);
+    }
+    trace += m[i][i];
+  }
+  const EigenResult e = SymmetricEigen(m);
+  // Eigenvalue sum equals the trace.
+  double sum = 0.0;
+  for (double v : e.values) sum += v;
+  EXPECT_NEAR(sum, trace, 1e-8);
+  // Spectral reconstruction.
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t c = 0; c < n; ++c) {
+      double rebuilt = 0.0;
+      for (size_t i = 0; i < n; ++i) {
+        rebuilt += e.values[i] * e.vectors[i][r] * e.vectors[i][c];
+      }
+      EXPECT_NEAR(rebuilt, m[r][c], 1e-7);
+    }
+  }
+}
+
+TEST_P(SeedSweep, ApplyPreservesGlobalOrderOnArbitraryProbes) {
+  // Apply is defined on the whole continuum (gaps bridged linearly): it
+  // must be globally monotone on any probe set, not just active values.
+  Rng rng(GetParam() * 47 + 23);
+  const Dataset d = GenerateCovtypeLike(SmallCovtypeSpec(500), rng);
+  const auto s = AttributeSummary::FromDataset(d, 0);
+  PiecewiseOptions options;
+  options.policy = BreakpointPolicy::kChooseBP;  // monotone pieces only
+  options.family.anti_monotone_prob = 0.0;
+  options.min_breakpoints = 10;
+  const auto f = PiecewiseTransform::Create(s, options, rng);
+  double prev_x = s.MinValue();
+  double prev_y = f.Apply(prev_x);
+  for (int i = 0; i < 500; ++i) {
+    const double x =
+        prev_x + rng.Uniform(0.01, 1.0) *
+                     (double{s.MaxValue()} - double{s.MinValue()}) / 400.0;
+    if (x > s.MaxValue()) break;
+    const double y = f.Apply(x);
+    EXPECT_GE(y, prev_y) << "x=" << x;
+    prev_x = x;
+    prev_y = y;
+  }
+}
+
+TEST_P(SeedSweep, MaskSingletonEstimatorIsUnbiased) {
+  // Averaged over independent distortions, the MASK estimator converges
+  // on the true support.
+  Rng rng(GetParam() * 53 + 29);
+  BasketSpec spec;
+  spec.num_items = 20;
+  spec.num_transactions = 400;
+  spec.patterns = {{{3}, 0.4}};
+  const TransactionDb db = GenerateBaskets(spec, rng);
+  const double truth = static_cast<double>(db.SupportCount({3})) / 400.0;
+  double mean = 0.0;
+  const int reps = 30;
+  for (int rep = 0; rep < reps; ++rep) {
+    const TransactionDb distorted = MaskDistort(db, MaskOptions{0.8}, rng);
+    mean += MaskEstimateSupport(distorted, {3}, 0.8);
+  }
+  mean /= reps;
+  EXPECT_NEAR(mean, truth, 0.03);
+}
+
+}  // namespace
+}  // namespace popp
+

@@ -1,0 +1,217 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "synth/covtype_like.h"
+#include "synth/presets.h"
+#include "transform/plan.h"
+#include "transform/tree_decode.h"
+#include "tree/builder.h"
+#include "tree/compare.h"
+#include "tree/prune.h"
+
+namespace popp {
+namespace {
+
+// ----------------------------------------------------- error estimation --
+
+TEST(PessimisticErrorsTest, ZeroErrorsStillPenalized) {
+  // With no observed errors the UCB is n*(1 - cf^(1/n)) > 0.
+  const double extra = PessimisticExtraErrors(10, 0, 0.25);
+  EXPECT_GT(extra, 0.0);
+  EXPECT_NEAR(extra, 10.0 * (1.0 - std::pow(0.25, 0.1)), 1e-12);
+}
+
+TEST(PessimisticErrorsTest, MoreDataTightensTheBound) {
+  // Relative penalty shrinks with n.
+  EXPECT_GT(PessimisticExtraErrors(5, 0, 0.25) / 5.0,
+            PessimisticExtraErrors(500, 0, 0.25) / 500.0);
+}
+
+TEST(PessimisticErrorsTest, LowerConfidencePrunesHarder) {
+  // Smaller cf -> larger pessimistic penalty.
+  EXPECT_GT(PessimisticExtraErrors(20, 2, 0.05),
+            PessimisticExtraErrors(20, 2, 0.5));
+}
+
+TEST(PessimisticErrorsTest, FractionalErrorsInterpolate) {
+  const double at0 = PessimisticExtraErrors(30, 0, 0.25);
+  const double at_half = PessimisticExtraErrors(30, 0.5, 0.25);
+  const double at1 = PessimisticExtraErrors(30, 1, 0.25);
+  EXPECT_GT(at_half, std::min(at0, at1) - 1e-9);
+  EXPECT_LT(at_half, std::max(at0, at1) + 1e-9);
+}
+
+TEST(PessimisticErrorsTest, NearSaturationCase) {
+  // errors + 0.5 >= n branch: 0.67 * (n - errors).
+  EXPECT_NEAR(PessimisticExtraErrors(10, 9.8, 0.25), 0.67 * 0.2, 1e-12);
+}
+
+TEST(PessimisticErrorsTest, LeafEstimateUsesMajority) {
+  // 7-vs-3 histogram: 3 observed errors plus the UCB increment.
+  const double est = PessimisticLeafErrors({7, 3}, 0.25);
+  EXPECT_GT(est, 3.0);
+  EXPECT_LT(est, 10.0);
+}
+
+// ---------------------------------------------------------------- prune --
+
+TEST(PruneTest, PureTreeUnchanged) {
+  const Dataset d = MakeFigure1Dataset();
+  const DecisionTree t = DecisionTreeBuilder().Build(d);
+  const DecisionTree pruned = PruneTree(t);
+  // The Figure 1 tree separates perfectly with 3 leaves of sizes 3/1/2;
+  // pessimistic pruning on such small pure leaves may or may not collapse,
+  // but the result must be a valid tree that still classifies D well.
+  EXPECT_GE(pruned.NumLeaves(), 1u);
+  EXPECT_LE(pruned.NumNodes(), t.NumNodes());
+}
+
+TEST(PruneTest, CollapsesNoiseSplits) {
+  // A dataset where class is determined by x <= 50 except for a single
+  // noisy tuple: the full tree carves out the noise; pruning removes it.
+  Dataset d({"x"}, {"a", "b"});
+  for (int v = 0; v < 100; ++v) {
+    d.AddRow({static_cast<double>(v)}, v < 50 ? 0 : 1);
+  }
+  d.AddRow({30.5}, 1);  // noise inside the 'a' region
+  const DecisionTree full = DecisionTreeBuilder().Build(d);
+  EXPECT_GT(full.NumLeaves(), 2u);  // the noise forced extra splits
+  const DecisionTree pruned = PruneTree(full);
+  EXPECT_EQ(pruned.NumLeaves(), 2u);
+  // The pruned tree still splits at the true boundary.
+  const auto& root = pruned.node(pruned.root());
+  ASSERT_FALSE(root.is_leaf);
+  EXPECT_DOUBLE_EQ(root.threshold, 49.5);
+}
+
+TEST(PruneTest, PrunedTreeIsCompact) {
+  Dataset d({"x"}, {"a", "b"});
+  for (int v = 0; v < 100; ++v) {
+    d.AddRow({static_cast<double>(v)}, v < 50 ? 0 : 1);
+  }
+  d.AddRow({30.5}, 1);
+  const DecisionTree pruned = PruneTree(DecisionTreeBuilder().Build(d));
+  // Compact arena: nodes = 2 * leaves - 1 for a binary tree.
+  EXPECT_EQ(pruned.NumNodes(), 2 * pruned.NumLeaves() - 1);
+}
+
+TEST(PruneTest, ConfidenceControlsAggressiveness) {
+  Rng rng(3);
+  const Dataset d = GenerateCovtypeLike(SmallCovtypeSpec(1500), rng);
+  const DecisionTree full = DecisionTreeBuilder().Build(d);
+  PruneOptions gentle;
+  gentle.confidence = 0.75;
+  PruneOptions aggressive;
+  aggressive.confidence = 0.01;
+  const DecisionTree g = PruneTree(full, gentle);
+  const DecisionTree a = PruneTree(full, aggressive);
+  EXPECT_LE(a.NumLeaves(), g.NumLeaves());
+  EXPECT_LE(g.NumLeaves(), full.NumLeaves());
+}
+
+TEST(PruneTest, EmptyTree) {
+  DecisionTree empty;
+  EXPECT_TRUE(PruneTree(empty).empty());
+}
+
+TEST(PruneTest, SingleLeaf) {
+  DecisionTree t;
+  t.SetRoot(t.AddLeaf(1, {2, 5}));
+  const DecisionTree pruned = PruneTree(t);
+  EXPECT_EQ(pruned.NumNodes(), 1u);
+  EXPECT_EQ(pruned.node(pruned.root()).label, 1);
+}
+
+// --------------------------------- no-outcome-change extends to pruning --
+
+TEST(PruneTest, GuaranteeExtendsToPrunedTrees) {
+  // prune(decode(T')) == prune(T): pruning looks only at class counts,
+  // which decode preserves node for node.
+  Rng data_rng(7);
+  const Dataset d = GenerateCovtypeLike(SmallCovtypeSpec(1200), data_rng);
+  const DecisionTreeBuilder builder;
+  Rng rng(11);
+  PiecewiseOptions options;
+  options.min_breakpoints = 12;
+  const TransformPlan plan = TransformPlan::Create(d, options, rng);
+  const DecisionTree direct = PruneTree(builder.Build(d));
+  const DecisionTree decoded = PruneTree(
+      DecodeTreeWithData(builder.Build(plan.EncodeDataset(d)), plan, d));
+  EXPECT_TRUE(ExactlyEqual(direct, decoded))
+      << DescribeDifference(direct, decoded);
+}
+
+// ------------------------------------------------------------ gain ratio --
+
+TEST(GainRatioTest, MatchesHandComputation) {
+  // Split (9,5) | (2,8): textbook gain-ratio arithmetic.
+  const std::vector<uint64_t> left{9, 5};
+  const std::vector<uint64_t> right{2, 8};
+  const double h_parent = EntropyImpurity({11, 13});
+  const double h_children =
+      (14.0 / 24.0) * EntropyImpurity(left) +
+      (10.0 / 24.0) * EntropyImpurity(right);
+  EXPECT_NEAR(InformationGain(left, right), h_parent - h_children, 1e-12);
+  EXPECT_NEAR(SplitInformation(14, 10), EntropyImpurity({14, 10}), 1e-12);
+  EXPECT_NEAR(GainRatio(left, right),
+              (h_parent - h_children) / EntropyImpurity({14, 10}), 1e-12);
+}
+
+TEST(GainRatioTest, ZeroWhenSplitDegenerate) {
+  EXPECT_DOUBLE_EQ(GainRatio({3, 4}, {0, 0}), 0.0);
+}
+
+TEST(GainRatioTest, BadnessIsNegatedRatio) {
+  const std::vector<uint64_t> left{9, 1};
+  const std::vector<uint64_t> right{1, 9};
+  EXPECT_DOUBLE_EQ(SplitBadness(SplitCriterion::kGainRatio, left, right),
+                   -GainRatio(left, right));
+  EXPECT_DOUBLE_EQ(
+      SplitBadness(SplitCriterion::kGini, left, right),
+      WeightedSplitImpurity(SplitCriterion::kGini, left, right));
+}
+
+TEST(GainRatioTest, ImprovementIsInformationGain) {
+  const std::vector<uint64_t> left{9, 1};
+  const std::vector<uint64_t> right{1, 9};
+  const std::vector<uint64_t> parent{10, 10};
+  EXPECT_DOUBLE_EQ(
+      SplitImprovement(SplitCriterion::kGainRatio, parent, left, right),
+      InformationGain(left, right));
+  EXPECT_NEAR(
+      SplitImprovement(SplitCriterion::kEntropy, parent, left, right),
+      InformationGain(left, right), 1e-12);
+}
+
+TEST(GainRatioTest, BuilderSeparatesWithGainRatio) {
+  Rng rng(13);
+  const Dataset d = GenerateCovtypeLike(SmallCovtypeSpec(800), rng);
+  BuildOptions options;
+  options.criterion = SplitCriterion::kGainRatio;
+  const DecisionTree t = DecisionTreeBuilder(options).Build(d);
+  EXPECT_GT(t.Accuracy(d), 0.9);
+}
+
+TEST(GainRatioTest, NoOutcomeChangeUnderGainRatio) {
+  Rng data_rng(17);
+  const Dataset d = GenerateCovtypeLike(SmallCovtypeSpec(900), data_rng);
+  BuildOptions tree_options;
+  tree_options.criterion = SplitCriterion::kGainRatio;
+  const DecisionTreeBuilder builder(tree_options);
+  Rng rng(19);
+  const TransformPlan plan =
+      TransformPlan::Create(d, PiecewiseOptions{}, rng);
+  const DecisionTree direct = builder.Build(d);
+  const DecisionTree decoded =
+      DecodeTreeWithData(builder.Build(plan.EncodeDataset(d)), plan, d);
+  EXPECT_TRUE(ExactlyEqual(direct, decoded))
+      << DescribeDifference(direct, decoded);
+}
+
+TEST(GainRatioTest, CriterionName) {
+  EXPECT_EQ(ToString(SplitCriterion::kGainRatio), "gain-ratio");
+}
+
+}  // namespace
+}  // namespace popp

@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include "core/recipe.h"
+#include "synth/covtype_like.h"
+#include "transform/plan.h"
+#include "transform/tree_decode.h"
+#include "tree/builder.h"
+#include "tree/compare.h"
+
+namespace popp {
+namespace {
+
+Dataset RecipeData(uint64_t seed = 3) {
+  Rng rng(seed);
+  return GenerateCovtypeLike(SmallCovtypeSpec(1200), rng);
+}
+
+TEST(RecipeTest, ProducesOneDecisionPerAttribute) {
+  const Dataset d = RecipeData();
+  HardeningTargets targets;
+  targets.trials = 7;
+  const auto decisions =
+      RecommendPerAttributeOptions(d, PiecewiseOptions{}, targets, 5);
+  ASSERT_EQ(decisions.size(), d.NumAttributes());
+  for (const auto& decision : decisions) {
+    EXPECT_GE(decision.probes, 1u);
+    EXPECT_GE(decision.options.min_breakpoints, 1u);
+    EXPECT_GE(decision.measured_risk, 0.0);
+    EXPECT_LE(decision.measured_risk, 1.0);
+  }
+}
+
+TEST(RecipeTest, AcceptedAttributesMeetTheTarget) {
+  const Dataset d = RecipeData();
+  HardeningTargets targets;
+  targets.max_risk = 0.35;
+  targets.trials = 7;
+  const auto decisions =
+      RecommendPerAttributeOptions(d, PiecewiseOptions{}, targets, 7);
+  for (const auto& decision : decisions) {
+    if (decision.met_target) {
+      EXPECT_LE(decision.measured_risk, targets.max_risk);
+    } else {
+      EXPECT_GT(decision.measured_risk, targets.max_risk);
+    }
+  }
+}
+
+TEST(RecipeTest, LooseTargetAcceptsBaseConfiguration) {
+  const Dataset d = RecipeData();
+  HardeningTargets targets;
+  targets.max_risk = 1.0;  // anything goes
+  targets.trials = 3;
+  PiecewiseOptions base;
+  base.min_breakpoints = 9;
+  const auto decisions =
+      RecommendPerAttributeOptions(d, base, targets, 9);
+  for (const auto& decision : decisions) {
+    EXPECT_TRUE(decision.met_target);
+    EXPECT_EQ(decision.options.min_breakpoints, 9u);
+    EXPECT_EQ(decision.probes, 1u);
+  }
+}
+
+TEST(RecipeTest, ImpossibleTargetStopsAtCap) {
+  const Dataset d = RecipeData();
+  HardeningTargets targets;
+  targets.max_risk = 1e-9;  // unreachable
+  targets.trials = 3;
+  targets.max_breakpoints = 32;
+  const auto decisions =
+      RecommendPerAttributeOptions(d, PiecewiseOptions{}, targets, 11);
+  for (const auto& decision : decisions) {
+    EXPECT_FALSE(decision.met_target);
+    EXPECT_LE(decision.options.min_breakpoints, 32u);
+  }
+}
+
+TEST(RecipeTest, HardenedPlanStillPreservesOutcome) {
+  // The whole point: hardening only changes privacy knobs, never the
+  // guarantee.
+  const Dataset d = RecipeData(13);
+  HardeningTargets targets;
+  targets.trials = 5;
+  const auto decisions =
+      RecommendPerAttributeOptions(d, PiecewiseOptions{}, targets, 13);
+  std::vector<PiecewiseOptions> per_attr;
+  for (const auto& decision : decisions) {
+    per_attr.push_back(decision.options);
+  }
+  Rng rng(17);
+  const TransformPlan plan =
+      TransformPlan::CreatePerAttribute(d, per_attr, rng);
+  const DecisionTreeBuilder builder;
+  const DecisionTree direct = builder.Build(d);
+  const DecisionTree decoded =
+      DecodeTreeWithData(builder.Build(plan.EncodeDataset(d)), plan, d);
+  EXPECT_TRUE(ExactlyEqual(direct, decoded))
+      << DescribeDifference(direct, decoded);
+}
+
+TEST(RecipeTest, RenderedTableListsEveryAttribute) {
+  const Dataset d = RecipeData();
+  HardeningTargets targets;
+  targets.trials = 3;
+  const auto decisions =
+      RecommendPerAttributeOptions(d, PiecewiseOptions{}, targets, 19);
+  const std::string text = RenderHardeningDecisions(d, decisions);
+  for (size_t a = 0; a < d.NumAttributes(); ++a) {
+    EXPECT_NE(text.find(d.schema().AttributeName(a)), std::string::npos);
+  }
+}
+
+TEST(RecipeTest, Deterministic) {
+  const Dataset d = RecipeData();
+  HardeningTargets targets;
+  targets.trials = 5;
+  const auto a =
+      RecommendPerAttributeOptions(d, PiecewiseOptions{}, targets, 23);
+  const auto b =
+      RecommendPerAttributeOptions(d, PiecewiseOptions{}, targets, 23);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].options.min_breakpoints, b[i].options.min_breakpoints);
+    EXPECT_EQ(a[i].measured_risk, b[i].measured_risk);
+  }
+}
+
+}  // namespace
+}  // namespace popp

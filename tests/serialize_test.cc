@@ -1,0 +1,228 @@
+#include <gtest/gtest.h>
+
+#include "synth/covtype_like.h"
+#include "synth/presets.h"
+#include "transform/plan.h"
+#include "transform/serialize.h"
+#include "transform/tree_decode.h"
+#include "tree/builder.h"
+#include "tree/compare.h"
+#include "tree/serialize.h"
+
+namespace popp {
+namespace {
+
+// --------------------------------------------------------------- shapes --
+
+TEST(ShapeSerializeTest, TokensRoundTrip) {
+  const std::vector<std::unique_ptr<ShapeFunction>> shapes = [] {
+    std::vector<std::unique_ptr<ShapeFunction>> v;
+    v.push_back(std::make_unique<IdentityShape>());
+    v.push_back(std::make_unique<PowerShape>(2.718281828));
+    v.push_back(std::make_unique<LogShape>(7.25));
+    v.push_back(std::make_unique<SqrtLogShape>(3.125));
+    return v;
+  }();
+  for (const auto& shape : shapes) {
+    auto parsed = ParseShape(shape->Serialize());
+    ASSERT_TRUE(parsed.ok()) << shape->Serialize();
+    for (double t : {0.0, 0.2, 0.55, 1.0}) {
+      EXPECT_DOUBLE_EQ(parsed.value()->Forward(t), shape->Forward(t));
+    }
+  }
+}
+
+TEST(ShapeSerializeTest, RejectsBadTokens) {
+  EXPECT_FALSE(ParseShape("sigmoid 3").ok());
+  EXPECT_FALSE(ParseShape("power").ok());
+  EXPECT_FALSE(ParseShape("power -1").ok());
+  EXPECT_FALSE(ParseShape("log zero").ok());
+}
+
+// ----------------------------------------------------------------- plan --
+
+TEST(PlanSerializeTest, RoundTripsBitExactly) {
+  Rng data_rng(3);
+  const Dataset d = GenerateCovtypeLike(SmallCovtypeSpec(800), data_rng);
+  Rng rng(5);
+  PiecewiseOptions options;
+  options.min_breakpoints = 10;
+  const TransformPlan plan = TransformPlan::Create(d, options, rng);
+
+  const std::string text = SerializePlan(plan);
+  auto reloaded = ParsePlan(text);
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status().ToString();
+
+  // Bit-exact encode equality on every cell.
+  const Dataset a = plan.EncodeDataset(d);
+  const Dataset b = reloaded.value().EncodeDataset(d);
+  EXPECT_EQ(a, b);
+  // ...and decode equality.
+  for (size_t attr = 0; attr < d.NumAttributes(); ++attr) {
+    for (AttrValue v : d.ActiveDomain(attr)) {
+      EXPECT_EQ(reloaded.value().Decode(attr, plan.Encode(attr, v)),
+                plan.Decode(attr, plan.Encode(attr, v)));
+    }
+  }
+}
+
+TEST(PlanSerializeTest, GlobalAntiMonotoneRoundTrips) {
+  const Dataset d = MakeFigure1Dataset();
+  Rng rng(7);
+  PiecewiseOptions options;
+  options.global_anti_monotone = true;
+  const TransformPlan plan = TransformPlan::Create(d, options, rng);
+  auto reloaded = ParsePlan(SerializePlan(plan));
+  ASSERT_TRUE(reloaded.ok());
+  EXPECT_TRUE(reloaded.value().transform(0).global_anti_monotone());
+  EXPECT_EQ(plan.EncodeDataset(d), reloaded.value().EncodeDataset(d));
+}
+
+TEST(PlanSerializeTest, ReloadedPlanDecodesTrees) {
+  Rng data_rng(11);
+  const Dataset d = GenerateCovtypeLike(SmallCovtypeSpec(600), data_rng);
+  Rng rng(13);
+  const TransformPlan plan =
+      TransformPlan::Create(d, PiecewiseOptions{}, rng);
+  auto reloaded = ParsePlan(SerializePlan(plan));
+  ASSERT_TRUE(reloaded.ok());
+
+  const DecisionTreeBuilder builder;
+  const DecisionTree direct = builder.Build(d);
+  const DecisionTree mined = builder.Build(plan.EncodeDataset(d));
+  const DecisionTree decoded =
+      DecodeTreeWithData(mined, reloaded.value(), d);
+  EXPECT_TRUE(ExactlyEqual(direct, decoded))
+      << DescribeDifference(direct, decoded);
+}
+
+TEST(PlanSerializeTest, FileRoundTrip) {
+  const Dataset d = MakeFigure1Dataset();
+  Rng rng(17);
+  const TransformPlan plan =
+      TransformPlan::Create(d, PiecewiseOptions{}, rng);
+  const std::string path = testing::TempDir() + "/popp_plan_test.key";
+  ASSERT_TRUE(SavePlan(plan, path).ok());
+  auto reloaded = LoadPlan(path);
+  ASSERT_TRUE(reloaded.ok());
+  EXPECT_EQ(plan.EncodeDataset(d), reloaded.value().EncodeDataset(d));
+}
+
+TEST(PlanSerializeTest, RejectsCorruptDocuments) {
+  EXPECT_FALSE(ParsePlan("").ok());
+  EXPECT_FALSE(ParsePlan("not-a-plan v1").ok());
+  EXPECT_FALSE(ParsePlan("popp-plan v2 attributes 0").ok());
+  EXPECT_FALSE(ParsePlan("popp-plan v1 attributes 1 attribute 0 pieces 1 "
+                         "global_anti 0 piece 0 1 0 1 0 rescaled sigmoid 1 "
+                         "0 1 0 1 0")
+                   .ok());
+  // Truncated permutation.
+  EXPECT_FALSE(ParsePlan("popp-plan v1 attributes 1 attribute 0 pieces 1 "
+                         "global_anti 0 piece 0 1 0 1 1 perm 3 0 5 1 6")
+                   .ok());
+  EXPECT_FALSE(LoadPlan("/nonexistent/plan.key").ok());
+}
+
+// ----------------------------------------------------------------- tree --
+
+TEST(TreeSerializeTest, RoundTripsExactly) {
+  Rng data_rng(19);
+  const Dataset d = GenerateCovtypeLike(SmallCovtypeSpec(700), data_rng);
+  const DecisionTree tree = DecisionTreeBuilder().Build(d);
+  auto reloaded = ParseTree(SerializeTree(tree));
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status().ToString();
+  EXPECT_TRUE(ExactlyEqual(tree, reloaded.value()))
+      << DescribeDifference(tree, reloaded.value());
+  // Histograms survive too (the pruner needs them).
+  EXPECT_EQ(reloaded.value().node(reloaded.value().root()).class_hist,
+            tree.node(tree.root()).class_hist);
+}
+
+TEST(TreeSerializeTest, EmptyTree) {
+  DecisionTree empty;
+  auto reloaded = ParseTree(SerializeTree(empty));
+  ASSERT_TRUE(reloaded.ok());
+  EXPECT_TRUE(reloaded.value().empty());
+}
+
+TEST(TreeSerializeTest, SingleLeaf) {
+  DecisionTree t;
+  t.SetRoot(t.AddLeaf(2, {0, 0, 7}));
+  auto reloaded = ParseTree(SerializeTree(t));
+  ASSERT_TRUE(reloaded.ok());
+  EXPECT_TRUE(ExactlyEqual(t, reloaded.value()));
+}
+
+TEST(TreeSerializeTest, FileRoundTrip) {
+  const Dataset d = MakeFigure1Dataset();
+  const DecisionTree tree = DecisionTreeBuilder().Build(d);
+  const std::string path = testing::TempDir() + "/popp_tree_test.tree";
+  ASSERT_TRUE(SaveTree(tree, path).ok());
+  auto reloaded = LoadTree(path);
+  ASSERT_TRUE(reloaded.ok());
+  EXPECT_TRUE(ExactlyEqual(tree, reloaded.value()));
+}
+
+TEST(TreeSerializeTest, RejectsCorruptDocuments) {
+  EXPECT_FALSE(ParseTree("").ok());
+  EXPECT_FALSE(ParseTree("popp-tree v9\nempty\n").ok());
+  EXPECT_FALSE(ParseTree("popp-tree v1\nbranch 0 5\n").ok());
+  // Split missing its children.
+  EXPECT_FALSE(ParseTree("popp-tree v1\nsplit 0 5 hist 2 1 1\n").ok());
+  // Trailing garbage.
+  EXPECT_FALSE(
+      ParseTree("popp-tree v1\nleaf 0 hist 2 1 1\nleaf 1 hist 2 1 1\n").ok());
+  EXPECT_FALSE(LoadTree("/nonexistent/x.tree").ok());
+}
+
+class SerializeSeedSweep : public testing::TestWithParam<uint64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SerializeSeedSweep,
+                         testing::Values(101, 202, 303, 404, 505));
+
+TEST_P(SerializeSeedSweep, PlanSerializationIsIdempotent) {
+  // serialize(parse(serialize(p))) == serialize(p), across random plans.
+  Rng data_rng(GetParam());
+  const Dataset d = GenerateCovtypeLike(SmallCovtypeSpec(600), data_rng);
+  Rng rng(GetParam() * 3 + 1);
+  PiecewiseOptions options;
+  options.min_breakpoints = 7;
+  options.global_anti_monotone = (GetParam() % 2) == 0;
+  const TransformPlan plan = TransformPlan::Create(d, options, rng);
+  const std::string once = SerializePlan(plan);
+  auto reparsed = ParsePlan(once);
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(SerializePlan(reparsed.value()), once);
+}
+
+TEST_P(SerializeSeedSweep, TreeSerializationIsIdempotent) {
+  Rng data_rng(GetParam() * 7 + 5);
+  const Dataset d = GenerateCovtypeLike(SmallCovtypeSpec(600), data_rng);
+  const DecisionTree tree = DecisionTreeBuilder().Build(d);
+  const std::string once = SerializeTree(tree);
+  auto reparsed = ParseTree(once);
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(SerializeTree(reparsed.value()), once);
+}
+
+TEST(TreeSerializeTest, ProviderToCustodianExchange) {
+  // End-to-end over the wire: the provider serializes T', the custodian
+  // parses and decodes it against her plan.
+  Rng data_rng(23);
+  const Dataset d = GenerateCovtypeLike(SmallCovtypeSpec(600), data_rng);
+  Rng rng(29);
+  const TransformPlan plan =
+      TransformPlan::Create(d, PiecewiseOptions{}, rng);
+  const DecisionTreeBuilder builder;
+
+  const std::string wire =
+      SerializeTree(builder.Build(plan.EncodeDataset(d)));
+  auto received = ParseTree(wire);
+  ASSERT_TRUE(received.ok());
+  const DecisionTree decoded =
+      DecodeTreeWithData(received.value(), plan, d);
+  EXPECT_TRUE(ExactlyEqual(builder.Build(d), decoded));
+}
+
+}  // namespace
+}  // namespace popp

@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "attack/spectral.h"
+#include "perturb/perturbation.h"
+#include "synth/presets.h"
+#include "transform/plan.h"
+
+namespace popp {
+namespace {
+
+// ----------------------------------------------------------------- eigen --
+
+TEST(EigenTest, DiagonalMatrix) {
+  const auto result = SymmetricEigen({{3, 0, 0}, {0, 7, 0}, {0, 0, 1}});
+  ASSERT_EQ(result.values.size(), 3u);
+  EXPECT_NEAR(result.values[0], 7, 1e-10);
+  EXPECT_NEAR(result.values[1], 3, 1e-10);
+  EXPECT_NEAR(result.values[2], 1, 1e-10);
+}
+
+TEST(EigenTest, KnownTwoByTwo) {
+  // [[2,1],[1,2]] has eigenvalues 3 and 1 with eigenvectors (1,1), (1,-1).
+  const auto result = SymmetricEigen({{2, 1}, {1, 2}});
+  EXPECT_NEAR(result.values[0], 3, 1e-10);
+  EXPECT_NEAR(result.values[1], 1, 1e-10);
+  EXPECT_NEAR(std::fabs(result.vectors[0][0]), std::sqrt(0.5), 1e-8);
+  EXPECT_NEAR(std::fabs(result.vectors[0][1]), std::sqrt(0.5), 1e-8);
+}
+
+TEST(EigenTest, ReconstructsMatrix) {
+  const std::vector<std::vector<double>> m = {
+      {4, 1, 0.5}, {1, 3, -1}, {0.5, -1, 2}};
+  const auto e = SymmetricEigen(m);
+  // sum_i lambda_i v_i v_i^T == m.
+  for (size_t r = 0; r < 3; ++r) {
+    for (size_t c = 0; c < 3; ++c) {
+      double sum = 0.0;
+      for (size_t i = 0; i < 3; ++i) {
+        sum += e.values[i] * e.vectors[i][r] * e.vectors[i][c];
+      }
+      EXPECT_NEAR(sum, m[r][c], 1e-8);
+    }
+  }
+}
+
+TEST(EigenTest, EigenvectorsOrthonormal) {
+  const auto e = SymmetricEigen({{5, 2, 1}, {2, 4, 0}, {1, 0, 3}});
+  for (size_t i = 0; i < 3; ++i) {
+    for (size_t j = 0; j < 3; ++j) {
+      double dot = 0.0;
+      for (size_t k = 0; k < 3; ++k) {
+        dot += e.vectors[i][k] * e.vectors[j][k];
+      }
+      EXPECT_NEAR(dot, i == j ? 1.0 : 0.0, 1e-8);
+    }
+  }
+}
+
+TEST(EigenTest, RejectsAsymmetric) {
+  EXPECT_DEATH(SymmetricEigen({{1, 2}, {3, 4}}), "symmetric");
+}
+
+// ------------------------------------------------------------ covariance --
+
+TEST(CovarianceTest, IndependentColumns) {
+  Rng rng(3);
+  Dataset d({"x", "y"}, {"a", "b"});
+  for (int i = 0; i < 5000; ++i) {
+    d.AddRow({rng.Gaussian(0, 2), rng.Gaussian(0, 5)}, 0);
+  }
+  d.AddRow({0, 0}, 1);  // schema needs both classes? (not for covariance)
+  const auto cov = CovarianceMatrix(d);
+  EXPECT_NEAR(cov[0][0], 4.0, 0.3);
+  EXPECT_NEAR(cov[1][1], 25.0, 1.5);
+  EXPECT_NEAR(cov[0][1], 0.0, 0.5);
+}
+
+TEST(CovarianceTest, PerfectlyCorrelated) {
+  Dataset d({"x", "y"}, {"a"});
+  for (int i = 0; i < 100; ++i) {
+    d.AddRow({static_cast<double>(i), 2.0 * i}, 0);
+  }
+  const auto cov = CovarianceMatrix(d);
+  EXPECT_NEAR(cov[0][1] / std::sqrt(cov[0][0] * cov[1][1]), 1.0, 1e-9);
+}
+
+// --------------------------------------------------------- the attack --
+
+TEST(SpectralAttackTest, FiltersNoiseFromCorrelatedData) {
+  Rng rng(7);
+  const Dataset original = MakeCorrelatedDataset(4000, 8, 2, 5.0, rng);
+  PerturbOptions perturb;
+  perturb.scale_fraction = 0.25;
+  perturb.round_to_int = false;
+  perturb.clamp_to_range = false;
+  Rng noise_rng(11);
+  const Dataset released = PerturbDataset(original, perturb, noise_rng);
+
+  SpectralFilterOptions options;
+  for (size_t a = 0; a < original.NumAttributes(); ++a) {
+    const auto& col = original.Column(a);
+    const double width = *std::max_element(col.begin(), col.end()) -
+                         *std::min_element(col.begin(), col.end());
+    // Uniform noise on [-s, s] has stddev s/sqrt(3).
+    options.noise_stddev.push_back(perturb.scale_fraction *
+                                   std::max(width, 1.0) / std::sqrt(3.0));
+  }
+  const Dataset filtered = SpectralNoiseFilter(released, options);
+
+  // Filtering must cut the reconstruction error substantially on every
+  // attribute (the signal lives in 2 latent dimensions).
+  for (size_t a = 0; a < original.NumAttributes(); ++a) {
+    const double raw = MeanAbsoluteError(original, released, a);
+    const double recovered = MeanAbsoluteError(original, filtered, a);
+    EXPECT_LT(recovered, raw * 0.55) << "attr " << a << ": raw " << raw
+                                     << " filtered " << recovered;
+  }
+}
+
+TEST(SpectralAttackTest, CrackFractionRises) {
+  Rng rng(13);
+  const Dataset original = MakeCorrelatedDataset(3000, 8, 2, 5.0, rng);
+  PerturbOptions perturb;
+  perturb.scale_fraction = 0.25;
+  perturb.round_to_int = false;
+  perturb.clamp_to_range = false;
+  Rng noise_rng(17);
+  const Dataset released = PerturbDataset(original, perturb, noise_rng);
+  SpectralFilterOptions options;
+  for (size_t a = 0; a < original.NumAttributes(); ++a) {
+    const auto& col = original.Column(a);
+    const double width = *std::max_element(col.begin(), col.end()) -
+                         *std::min_element(col.begin(), col.end());
+    options.noise_stddev.push_back(perturb.scale_fraction *
+                                   std::max(width, 1.0) / std::sqrt(3.0));
+  }
+  const Dataset filtered = SpectralNoiseFilter(released, options);
+  // rho = 2% of the first attribute's range.
+  const auto& col = original.Column(0);
+  const double rho = 0.02 * (*std::max_element(col.begin(), col.end()) -
+                             *std::min_element(col.begin(), col.end()));
+  EXPECT_GT(CrackFraction(original, filtered, 0, rho),
+            2.0 * CrackFraction(original, released, 0, rho));
+}
+
+TEST(SpectralAttackTest, UselessAgainstPiecewiseTransforms) {
+  // The popp release is not signal-plus-noise: treating it as such and
+  // filtering recovers essentially nothing.
+  Rng rng(19);
+  const Dataset original = MakeCorrelatedDataset(2000, 6, 2, 5.0, rng);
+  PiecewiseOptions plan_options;
+  plan_options.min_breakpoints = 15;
+  const TransformPlan plan =
+      TransformPlan::Create(original, plan_options, rng);
+  const Dataset released = plan.EncodeDataset(original);
+
+  SpectralFilterOptions options;
+  options.noise_stddev.assign(original.NumAttributes(), 1.0);
+  const Dataset filtered = SpectralNoiseFilter(released, options);
+  const auto& col = original.Column(0);
+  const double rho = 0.02 * (*std::max_element(col.begin(), col.end()) -
+                             *std::min_element(col.begin(), col.end()));
+  EXPECT_LT(CrackFraction(original, filtered, 0, rho), 0.15);
+}
+
+TEST(SpectralAttackTest, HelperMetrics) {
+  Dataset a({"x"}, {"c"});
+  Dataset b({"x"}, {"c"});
+  a.AddRow({10}, 0);
+  a.AddRow({20}, 0);
+  b.AddRow({11}, 0);
+  b.AddRow({25}, 0);
+  EXPECT_DOUBLE_EQ(MeanAbsoluteError(a, b, 0), 3.0);
+  EXPECT_DOUBLE_EQ(CrackFraction(a, b, 0, 1.0), 0.5);
+  EXPECT_DOUBLE_EQ(CrackFraction(a, b, 0, 5.0), 1.0);
+}
+
+}  // namespace
+}  // namespace popp

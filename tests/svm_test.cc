@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "svm/linear_svm.h"
+#include "synth/presets.h"
+#include "transform/plan.h"
+
+namespace popp {
+namespace {
+
+Dataset LinearlySeparable(size_t n, Rng& rng) {
+  // class = (x + y > 100) with a comfortable margin.
+  Dataset d({"x", "y"}, {"neg", "pos"});
+  d.Reserve(n);
+  size_t made = 0;
+  while (made < n) {
+    const double x = rng.Uniform(0, 100);
+    const double y = rng.Uniform(0, 100);
+    const double s = x + y - 100.0;
+    if (std::fabs(s) < 8.0) continue;  // margin
+    d.AddRow({x, y}, s > 0 ? 1 : 0);
+    ++made;
+  }
+  return d;
+}
+
+TEST(SvmTest, SeparatesLinearData) {
+  Rng rng(3);
+  const Dataset d = LinearlySeparable(800, rng);
+  const LinearSvm model = LinearSvm::Train(d, 1);
+  EXPECT_GT(model.Accuracy(d), 0.98);
+}
+
+TEST(SvmTest, WeightsPointAcrossTheMargin) {
+  Rng rng(5);
+  const Dataset d = LinearlySeparable(800, rng);
+  const LinearSvm model = LinearSvm::Train(d, 1);
+  // The separating direction is (1, 1) in standardized space: both
+  // weights positive and of comparable size.
+  ASSERT_EQ(model.weights().size(), 2u);
+  EXPECT_GT(model.weights()[0], 0.0);
+  EXPECT_GT(model.weights()[1], 0.0);
+  EXPECT_NEAR(model.weights()[0] / model.weights()[1], 1.0, 0.3);
+}
+
+TEST(SvmTest, DeterministicGivenSeed) {
+  Rng rng(7);
+  const Dataset d = LinearlySeparable(400, rng);
+  const LinearSvm a = LinearSvm::Train(d, 1);
+  const LinearSvm b = LinearSvm::Train(d, 1);
+  EXPECT_EQ(a.weights(), b.weights());
+  EXPECT_EQ(a.bias(), b.bias());
+}
+
+TEST(SvmTest, SeparatesCorrelatedData) {
+  Rng rng(9);
+  const Dataset d = MakeCorrelatedDataset(1500, 6, 2, 10.0, rng);
+  const LinearSvm model = LinearSvm::Train(d, 1);
+  EXPECT_GT(model.Accuracy(d), 0.9);
+}
+
+TEST(SvmTest, RejectsSingleClassData) {
+  Dataset d({"x"}, {"a", "b"});
+  d.AddRow({1}, 0);
+  d.AddRow({2}, 0);
+  EXPECT_DEATH(LinearSvm::Train(d, 1), "both polarities");
+}
+
+// --------------------- Section 7: why trees are special -----------------
+
+TEST(SvmSection7Test, AffineTransformsPreserveStandardizedSvm) {
+  // Per-attribute affine rescaling is absorbed by standardization: the
+  // model trained on the rescaled data classifies (rescaled) tuples
+  // exactly like the original model classifies originals.
+  Rng rng(11);
+  const Dataset d = MakeCorrelatedDataset(1200, 5, 2, 10.0, rng);
+  Dataset affine = d;
+  const double scales[5] = {0.3, 2.0, 11.0, 0.05, 7.5};
+  const double shifts[5] = {100, -40, 3, 900, 0};
+  for (size_t a = 0; a < 5; ++a) {
+    for (auto& v : affine.MutableColumn(a)) v = scales[a] * v + shifts[a];
+  }
+  const LinearSvm original = LinearSvm::Train(d, 1);
+  const LinearSvm transformed = LinearSvm::Train(affine, 1);
+  EXPECT_GT(CrossRepresentationAgreement(original, d, transformed, affine),
+            0.995);
+}
+
+TEST(SvmSection7Test, PiecewiseTransformsChangeTheSvmOutcome) {
+  // The paper's future-work caveat in action: the tree-preserving
+  // piecewise transform does NOT preserve the SVM decision function,
+  // because the hyperplane mixes attributes and only per-attribute ranks
+  // survive the transform.
+  Rng rng(13);
+  const Dataset d = MakeCorrelatedDataset(1200, 5, 2, 10.0, rng);
+  PiecewiseOptions options;
+  options.min_breakpoints = 15;
+  const TransformPlan plan = TransformPlan::Create(d, options, rng);
+  const Dataset released = plan.EncodeDataset(d);
+
+  const LinearSvm original = LinearSvm::Train(d, 1);
+  const LinearSvm mined = LinearSvm::Train(released, 1);
+  const double agreement =
+      CrossRepresentationAgreement(original, d, mined, released);
+  // Far from outcome preservation (and nothing decodes the hyperplane).
+  EXPECT_LT(agreement, 0.97);
+  // The mined model also fits its own (transformed) data worse than the
+  // original fits the original.
+  EXPECT_LT(mined.Accuracy(released), original.Accuracy(d));
+}
+
+TEST(SvmSection7Test, TreeOutcomeSurvivesWhereSvmDoesNot) {
+  // Same data, same transform: the tree round-trips exactly while the
+  // SVM's agreement degrades — the crux of Section 7.
+  Rng rng(17);
+  Dataset d = MakeCorrelatedDataset(900, 4, 2, 12.0, rng);
+  // Decision trees on continuous doubles work fine; reuse the plan.
+  PiecewiseOptions options;
+  options.min_breakpoints = 12;
+  const TransformPlan plan = TransformPlan::Create(d, options, rng);
+  const Dataset released = plan.EncodeDataset(d);
+
+  const LinearSvm svm_a = LinearSvm::Train(d, 1);
+  const LinearSvm svm_b = LinearSvm::Train(released, 1);
+  const double svm_agreement =
+      CrossRepresentationAgreement(svm_a, d, svm_b, released);
+  EXPECT_LT(svm_agreement, 1.0);
+}
+
+TEST(SvmSection7Test, WithoutStandardizationEvenScalingBreaksSvm) {
+  Rng rng(19);
+  const Dataset d = MakeCorrelatedDataset(1000, 5, 2, 10.0, rng);
+  Dataset scaled = d;
+  for (auto& v : scaled.MutableColumn(2)) v *= 500.0;  // one huge attribute
+  SvmOptions options;
+  options.standardize = false;
+  const LinearSvm original = LinearSvm::Train(d, 1, options);
+  const LinearSvm rescaled = LinearSvm::Train(scaled, 1, options);
+  // The blown-up attribute dominates the unstandardized model.
+  EXPECT_LT(CrossRepresentationAgreement(original, d, rescaled, scaled),
+            0.995);
+}
+
+}  // namespace
+}  // namespace popp

@@ -1,0 +1,258 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "data/summary.h"
+#include "synth/covtype_like.h"
+#include "synth/distributions.h"
+#include "synth/presets.h"
+#include "transform/pieces.h"
+
+namespace popp {
+namespace {
+
+// --------------------------------------------------------- distributions --
+
+TEST(CategoricalSamplerTest, MatchesWeights) {
+  Rng rng(3);
+  CategoricalSampler sampler({1.0, 3.0, 6.0});
+  std::vector<int> counts(3, 0);
+  const int n = 30000;
+  for (int i = 0; i < n; ++i) counts[sampler.Sample(rng)]++;
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.1, 0.02);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.3, 0.02);
+  EXPECT_NEAR(counts[2] / static_cast<double>(n), 0.6, 0.02);
+}
+
+TEST(CategoricalSamplerTest, ZeroWeightNeverDrawn) {
+  Rng rng(5);
+  CategoricalSampler sampler({0.0, 1.0});
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(sampler.Sample(rng), 1u);
+  }
+}
+
+TEST(CategoricalSamplerTest, SingleCategory) {
+  Rng rng(5);
+  CategoricalSampler sampler({2.5});
+  EXPECT_EQ(sampler.Sample(rng), 0u);
+}
+
+TEST(ZipfSamplerTest, RanksInRangeAndSkewed) {
+  Rng rng(7);
+  ZipfSampler zipf(100, 1.2);
+  std::vector<int> counts(101, 0);
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const size_t r = zipf.Sample(rng);
+    ASSERT_GE(r, 1u);
+    ASSERT_LE(r, 100u);
+    counts[r]++;
+  }
+  // Rank 1 should dominate rank 10 roughly by 10^1.2.
+  EXPECT_GT(counts[1], counts[10] * 5);
+}
+
+TEST(SampleDistinctSupportTest, PinsEndpointsAndCount) {
+  Rng rng(11);
+  for (int rep = 0; rep < 20; ++rep) {
+    const auto support = SampleDistinctSupport(10, 109, 37, rng);
+    ASSERT_EQ(support.size(), 37u);
+    EXPECT_EQ(support.front(), 10);
+    EXPECT_EQ(support.back(), 109);
+    EXPECT_TRUE(std::is_sorted(support.begin(), support.end()));
+    std::set<int64_t> uniq(support.begin(), support.end());
+    EXPECT_EQ(uniq.size(), support.size());
+  }
+}
+
+TEST(SampleDistinctSupportTest, FullDensity) {
+  Rng rng(11);
+  const auto support = SampleDistinctSupport(0, 9, 10, rng);
+  for (int64_t v = 0; v < 10; ++v) EXPECT_EQ(support[v], v);
+}
+
+TEST(SampleClusteredSupportTest, PinsEndpointsCountAndUniqueness) {
+  Rng rng(43);
+  for (int rep = 0; rep < 10; ++rep) {
+    const auto support = SampleClusteredSupport(100, 1099, 250, 8, 2.0, rng);
+    ASSERT_EQ(support.size(), 250u);
+    EXPECT_EQ(support.front(), 100);
+    EXPECT_EQ(support.back(), 1099);
+    EXPECT_TRUE(std::is_sorted(support.begin(), support.end()));
+    std::set<int64_t> uniq(support.begin(), support.end());
+    EXPECT_EQ(uniq.size(), support.size());
+  }
+}
+
+TEST(SampleClusteredSupportTest, FullDensityIsIdentity) {
+  Rng rng(47);
+  const auto support = SampleClusteredSupport(5, 14, 10, 4, 2.0, rng);
+  for (int64_t v = 0; v < 10; ++v) EXPECT_EQ(support[v], 5 + v);
+}
+
+TEST(SampleClusteredSupportTest, DensitiesActuallyVary) {
+  // With a strong log-spread, some stretch of the domain must be much
+  // denser than another (this is what powers the Figure 11 defense).
+  Rng rng(53);
+  const auto support = SampleClusteredSupport(0, 9999, 2000, 10, 2.5, rng);
+  // Count support points per tenth of the range.
+  std::vector<int> per_decile(10, 0);
+  for (int64_t v : support) per_decile[std::min<int64_t>(9, v / 1000)]++;
+  const int min_count =
+      *std::min_element(per_decile.begin(), per_decile.end());
+  const int max_count =
+      *std::max_element(per_decile.begin(), per_decile.end());
+  EXPECT_GT(max_count, 2 * std::max(1, min_count));
+}
+
+TEST(SampleClusteredSupportTest, MinimalCount) {
+  Rng rng(59);
+  const auto support = SampleClusteredSupport(0, 99, 2, 8, 2.0, rng);
+  EXPECT_EQ(support, (std::vector<int64_t>{0, 99}));
+}
+
+TEST(ClampedGaussianIntTest, StaysInBounds) {
+  Rng rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = ClampedGaussianInt(50, 100, 0, 80, rng);
+    EXPECT_GE(v, 0);
+    EXPECT_LE(v, 80);
+  }
+}
+
+// ------------------------------------------------------- covtype factory --
+
+TEST(CovtypeLikeTest, SmallSpecMatchesTargets) {
+  Rng rng(17);
+  const CovtypeLikeSpec spec = SmallCovtypeSpec(3000);
+  const Dataset data = GenerateCovtypeLike(spec, rng);
+  ASSERT_EQ(data.NumRows(), 3000u);
+  ASSERT_EQ(data.NumAttributes(), 3u);
+  for (size_t a = 0; a < spec.attributes.size(); ++a) {
+    const auto& t = spec.attributes[a];
+    const auto s = AttributeSummary::FromDataset(data, a);
+    EXPECT_EQ(s.NumDistinct(), t.num_distinct) << "attr " << a;
+    EXPECT_DOUBLE_EQ(s.DynamicRangeWidth(),
+                     static_cast<double>(t.range_width))
+        << "attr " << a;
+    EXPECT_DOUBLE_EQ(s.MinValue(), static_cast<double>(t.min_value));
+    const MonoStats stats = ComputeMonoStats(s, 2);
+    EXPECT_EQ(stats.num_pieces, t.num_mono_pieces) << "attr " << a;
+    EXPECT_NEAR(stats.value_fraction, t.mono_value_fraction, 0.01)
+        << "attr " << a;
+  }
+}
+
+TEST(CovtypeLikeTest, MixedValuesReallyMix) {
+  Rng rng(19);
+  const Dataset data = GenerateCovtypeLike(SmallCovtypeSpec(3000), rng);
+  // Attribute 1 (a2) is specified with zero mono pieces: every distinct
+  // value must be non-monochromatic.
+  const auto s = AttributeSummary::FromDataset(data, 1);
+  for (size_t i = 0; i < s.NumDistinct(); ++i) {
+    EXPECT_FALSE(s.IsMonochromatic(i)) << "value index " << i;
+  }
+}
+
+TEST(CovtypeLikeTest, DeterministicGivenSeed) {
+  Rng rng1(23), rng2(23);
+  const Dataset a = GenerateCovtypeLike(SmallCovtypeSpec(1000), rng1);
+  const Dataset b = GenerateCovtypeLike(SmallCovtypeSpec(1000), rng2);
+  EXPECT_EQ(a, b);
+}
+
+TEST(CovtypeLikeTest, DefaultSpecHasTenFigure8Attributes) {
+  const CovtypeLikeSpec spec = DefaultCovtypeSpec();
+  ASSERT_EQ(spec.attributes.size(), 10u);
+  EXPECT_EQ(spec.attributes[0].range_width, 2000);
+  EXPECT_EQ(spec.attributes[0].num_distinct, 1978u);
+  EXPECT_EQ(spec.attributes[0].num_mono_pieces, 9u);
+  EXPECT_EQ(spec.attributes[1].num_mono_pieces, 0u);
+  EXPECT_EQ(spec.attributes[9].num_distinct, 5827u);
+  EXPECT_EQ(spec.class_weights.size(), 7u);
+}
+
+TEST(CovtypeLikeTest, DefaultSpecGeneratesAtModerateScale) {
+  Rng rng(29);
+  CovtypeLikeSpec spec = DefaultCovtypeSpec(30000);
+  const Dataset data = GenerateCovtypeLike(spec, rng);
+  ASSERT_EQ(data.NumRows(), 30000u);
+  ASSERT_EQ(data.NumAttributes(), 10u);
+  // Spot-check the two attributes the paper leans on most: #2 (worst case,
+  // no discontinuity, no mono) and #10 (rich structure).
+  const auto s2 = AttributeSummary::FromDataset(data, 1);
+  EXPECT_EQ(s2.NumDiscontinuities(), 0u);
+  EXPECT_EQ(ComputeMonoStats(s2, 2).num_pieces, 0u);
+  const auto s10 = AttributeSummary::FromDataset(data, 9);
+  EXPECT_EQ(s10.NumDistinct(), 5827u);
+  EXPECT_EQ(s10.NumDiscontinuities(), 7174u - 5827u);
+  EXPECT_NEAR(ComputeMonoStats(s10, 2).value_fraction, 0.668, 0.01);
+}
+
+TEST(CovtypeLikeTest, LabelsAreSharedAcrossAttributes) {
+  // The same label column must drive every attribute's structure: check
+  // that mono pieces of different attributes coexist with one labels
+  // vector (i.e. generation does not contradict itself).
+  Rng rng(31);
+  const Dataset data = GenerateCovtypeLike(SmallCovtypeSpec(2000), rng);
+  for (size_t a = 0; a < data.NumAttributes(); ++a) {
+    const auto s = AttributeSummary::FromDataset(data, a);
+    EXPECT_EQ(s.NumTuples(), data.NumRows());
+  }
+}
+
+// --------------------------------------------------------------- presets --
+
+TEST(PresetsTest, Figure1ClassStrings) {
+  const Dataset d = MakeFigure1Dataset();
+  // By construction (see paper Figure 1): sigma_age = HHHLHL,
+  // sigma_salary = HHHHLL with H=class 0, L=class 1.
+  const auto age_proj = d.SortedProjection(0);
+  std::vector<ClassId> age_string;
+  for (const auto& t : age_proj) age_string.push_back(t.label);
+  EXPECT_EQ(age_string, (std::vector<ClassId>{0, 0, 0, 1, 0, 1}));
+  const auto salary_proj = d.SortedProjection(1);
+  std::vector<ClassId> salary_string;
+  for (const auto& t : salary_proj) salary_string.push_back(t.label);
+  EXPECT_EQ(salary_string, (std::vector<ClassId>{0, 0, 0, 1, 1, 0}));
+}
+
+TEST(PresetsTest, Figure1TransformMatchesPaperFunctions) {
+  const Dataset d = MakeFigure1Dataset();
+  const Dataset dp = MakeFigure1Transformed();
+  for (size_t r = 0; r < d.NumRows(); ++r) {
+    EXPECT_DOUBLE_EQ(dp.Value(r, 0), 0.9 * d.Value(r, 0) + 10.0);
+    EXPECT_DOUBLE_EQ(dp.Value(r, 1), 0.5 * d.Value(r, 1));
+    EXPECT_EQ(dp.Label(r), d.Label(r));
+  }
+}
+
+TEST(PresetsTest, CensusAndWdbcSpecsGenerate) {
+  Rng rng(37);
+  const Dataset census = GenerateCovtypeLike(CensusLikeSpec(4000), rng);
+  EXPECT_EQ(census.NumRows(), 4000u);
+  EXPECT_EQ(census.NumAttributes(), 5u);
+  EXPECT_EQ(census.NumClasses(), 2u);
+  const Dataset wdbc = GenerateCovtypeLike(WdbcLikeSpec(2000), rng);
+  EXPECT_EQ(wdbc.NumRows(), 2000u);
+  EXPECT_EQ(wdbc.NumAttributes(), 6u);
+}
+
+TEST(PresetsTest, RandomDatasetShape) {
+  Rng rng(41);
+  const Dataset d = MakeRandomDataset(500, 4, 3, 50, rng);
+  EXPECT_EQ(d.NumRows(), 500u);
+  EXPECT_EQ(d.NumAttributes(), 4u);
+  EXPECT_EQ(d.NumClasses(), 3u);
+  for (size_t a = 0; a < 4; ++a) {
+    const auto dom = d.ActiveDomain(a);
+    EXPECT_GE(dom.front(), 0.0);
+    EXPECT_LE(dom.back(), 50.0);
+  }
+}
+
+}  // namespace
+}  // namespace popp

@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include "synth/covtype_like.h"
+#include "synth/presets.h"
+#include "transform/plan.h"
+#include "transform/tree_decode.h"
+#include "tree/builder.h"
+#include "tree/compare.h"
+
+namespace popp {
+namespace {
+
+TEST(TreeDecodeTest, Figure1PaperTransformDecodesExactly) {
+  // The paper's own example: linear monotone transforms, single piece.
+  const Dataset d = MakeFigure1Dataset();
+  const Dataset dp = MakeFigure1Transformed();
+  const DecisionTreeBuilder builder;
+  const DecisionTree t = builder.Build(d);
+  const DecisionTree tp = builder.Build(dp);
+
+  // T' is structurally identical to T with transformed thresholds
+  // (Theorem 1): same attributes and leaf labels.
+  EXPECT_TRUE(StructurallyIdentical(t, tp));
+  // Root threshold of T': (0.9*23+10 + 0.9*32+10)/2 = 0.9*27.5+10 = 34.75.
+  EXPECT_DOUBLE_EQ(tp.node(tp.root()).threshold, 34.75);
+}
+
+TEST(TreeDecodeTest, PureDecoderExactForLinearSinglePiece) {
+  const Dataset d = MakeFigure1Dataset();
+  Rng rng(3);
+  PiecewiseOptions options;
+  options.policy = BreakpointPolicy::kNone;
+  options.family.forced_shape = FamilyOptions::ShapeChoice::kLinear;
+  options.family.anti_monotone_prob = 0.0;
+  const TransformPlan plan = TransformPlan::Create(d, options, rng);
+  const DecisionTreeBuilder builder;
+  const DecisionTree t = builder.Build(d);
+  const DecisionTree tp = builder.Build(plan.EncodeDataset(d));
+
+  const DecisionTree decoded = DecodeTree(tp, plan);
+  // Linear single-piece: thresholds map midpoint-to-midpoint (up to float
+  // round-off), so the pure decoder reproduces T's partition exactly and
+  // canonicalization restores bit equality.
+  EXPECT_TRUE(PartitionIdenticalOn(t, decoded, d));
+  DecisionTree canonical = decoded;
+  CanonicalizeThresholds(canonical, d);
+  EXPECT_TRUE(ExactlyEqual(t, canonical))
+      << DescribeDifference(t, canonical);
+}
+
+TEST(TreeDecodeTest, PureDecoderPartitionExactForNonlinearSinglePiece) {
+  const Dataset d = MakeFigure1Dataset();
+  Rng rng(5);
+  PiecewiseOptions options;
+  options.policy = BreakpointPolicy::kNone;
+  options.family.forced_shape = FamilyOptions::ShapeChoice::kSqrtLog;
+  options.family.anti_monotone_prob = 0.0;
+  const TransformPlan plan = TransformPlan::Create(d, options, rng);
+  const DecisionTreeBuilder builder;
+  const DecisionTree t = builder.Build(d);
+  const DecisionTree decoded = DecodeTree(builder.Build(plan.EncodeDataset(d)), plan);
+  // Non-linear: thresholds move within their gaps, but the partition of D
+  // is identical (the semantic form of Theorem 2)...
+  EXPECT_TRUE(PartitionIdenticalOn(t, decoded, d));
+  // ...and canonicalization restores exact equality.
+  DecisionTree canonical = decoded;
+  CanonicalizeThresholds(canonical, d);
+  EXPECT_TRUE(ExactlyEqual(t, canonical))
+      << DescribeDifference(t, canonical);
+}
+
+TEST(TreeDecodeTest, PureDecoderHandlesAntiMonotone) {
+  const Dataset d = MakeFigure1Dataset();
+  Rng rng(7);
+  PiecewiseOptions options;
+  options.policy = BreakpointPolicy::kNone;
+  options.global_anti_monotone = true;  // order-reversing transform
+  const TransformPlan plan = TransformPlan::Create(d, options, rng);
+  const DecisionTreeBuilder builder;
+  const DecisionTree t = builder.Build(d);
+  const DecisionTree decoded =
+      DecodeTree(builder.Build(plan.EncodeDataset(d)), plan);
+  EXPECT_TRUE(PartitionIdenticalOn(t, decoded, d));
+}
+
+TEST(TreeDecodeTest, DataDecoderExactAcrossSeedsAndPolicies) {
+  Rng data_rng(11);
+  const Dataset d = GenerateCovtypeLike(SmallCovtypeSpec(600), data_rng);
+  const DecisionTreeBuilder builder;
+  const DecisionTree t = builder.Build(d);
+  for (auto policy : {BreakpointPolicy::kNone, BreakpointPolicy::kChooseBP,
+                      BreakpointPolicy::kChooseMaxMP}) {
+    for (uint64_t seed = 1; seed <= 5; ++seed) {
+      Rng rng(seed);
+      PiecewiseOptions options;
+      options.policy = policy;
+      options.min_breakpoints = 8;
+      const TransformPlan plan = TransformPlan::Create(d, options, rng);
+      const DecisionTree tp = builder.Build(plan.EncodeDataset(d));
+      const DecisionTree decoded = DecodeTreeWithData(tp, plan, d);
+      EXPECT_TRUE(ExactlyEqual(t, decoded))
+          << ToString(policy) << " seed " << seed << ": "
+          << DescribeDifference(t, decoded);
+    }
+  }
+}
+
+TEST(TreeDecodeTest, DataDecoderExactWithGlobalAntiMonotone) {
+  Rng data_rng(13);
+  const Dataset d = GenerateCovtypeLike(SmallCovtypeSpec(600), data_rng);
+  const DecisionTreeBuilder builder;
+  const DecisionTree t = builder.Build(d);
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    Rng rng(seed * 101);
+    PiecewiseOptions options;
+    options.global_anti_monotone = true;
+    options.min_breakpoints = 6;
+    const TransformPlan plan = TransformPlan::Create(d, options, rng);
+    const DecisionTree decoded =
+        DecodeTreeWithData(builder.Build(plan.EncodeDataset(d)), plan, d);
+    // Order-reversing release: exact up to mirror-resolved palindromic
+    // ties; the decision function is always preserved.
+    Rng probe_rng(seed + 4242);
+    EXPECT_TRUE(SameDecisionFunction(t, decoded, d, 20000, probe_rng));
+    EXPECT_DOUBLE_EQ(t.Accuracy(d), decoded.Accuracy(d));
+  }
+}
+
+TEST(TreeDecodeTest, DecodedLeavesKeepHistograms) {
+  const Dataset d = MakeFigure1Dataset();
+  Rng rng(17);
+  const TransformPlan plan = TransformPlan::Create(d, PiecewiseOptions{}, rng);
+  const DecisionTreeBuilder builder;
+  const DecisionTree tp = builder.Build(plan.EncodeDataset(d));
+  const DecisionTree decoded = DecodeTreeWithData(tp, plan, d);
+  EXPECT_EQ(decoded.NumNodes(), tp.NumNodes());
+  EXPECT_EQ(decoded.node(decoded.root()).class_hist,
+            tp.node(tp.root()).class_hist);
+}
+
+TEST(TreeDecodeTest, EmptyTreeDecodesEmpty) {
+  const Dataset d = MakeFigure1Dataset();
+  Rng rng(19);
+  const TransformPlan plan = TransformPlan::Create(d, PiecewiseOptions{}, rng);
+  const DecisionTree empty;
+  EXPECT_TRUE(DecodeTree(empty, plan).empty());
+  EXPECT_TRUE(DecodeTreeWithData(empty, plan, d).empty());
+}
+
+TEST(TreeDecodeTest, DecodedTreePredictsLikeDirectTree) {
+  Rng data_rng(23);
+  const Dataset d = GenerateCovtypeLike(SmallCovtypeSpec(600), data_rng);
+  Rng rng(29);
+  PiecewiseOptions options;
+  options.min_breakpoints = 10;
+  const TransformPlan plan = TransformPlan::Create(d, options, rng);
+  const DecisionTreeBuilder builder;
+  const DecisionTree t = builder.Build(d);
+  const DecisionTree decoded =
+      DecodeTreeWithData(builder.Build(plan.EncodeDataset(d)), plan, d);
+  for (size_t r = 0; r < d.NumRows(); ++r) {
+    EXPECT_EQ(decoded.Predict(d, r), t.Predict(d, r));
+  }
+}
+
+}  // namespace
+}  // namespace popp

@@ -1,0 +1,299 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/status.h"
+#include "util/table.h"
+
+namespace popp {
+namespace {
+
+// ---------------------------------------------------------------- Status --
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad thing");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad thing");
+  EXPECT_EQ(s.ToString(), "INVALID_ARGUMENT: bad thing");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kNotFound), "NOT_FOUND");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kIoError), "IO_ERROR");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kInternal), "INTERNAL");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOutOfRange), "OUT_OF_RANGE");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kFailedPrecondition),
+               "FAILED_PRECONDITION");
+}
+
+TEST(ResultTest, HoldsValueOnSuccess) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+}
+
+TEST(ResultTest, HoldsStatusOnFailure) {
+  Result<int> r = Status::NotFound("nope");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r = std::string("payload");
+  std::string taken = std::move(r).value();
+  EXPECT_EQ(taken, "payload");
+}
+
+// ------------------------------------------------------------------- Rng --
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, UniformIntInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = rng.UniformInt(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(RngTest, UniformIntDegenerateRange) {
+  Rng rng(7);
+  EXPECT_EQ(rng.UniformInt(3, 3), 3);
+}
+
+TEST(RngTest, UniformIntCoversAllValues) {
+  Rng rng(11);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    seen.insert(rng.UniformInt(0, 9));
+  }
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(RngTest, Uniform01InHalfOpenUnit) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.Uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformMeanIsCentered) {
+  Rng rng(13);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.Uniform(10.0, 20.0);
+  EXPECT_NEAR(sum / n, 15.0, 0.1);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(17);
+  const int n = 40000;
+  std::vector<double> xs(n);
+  for (auto& x : xs) x = rng.Gaussian(3.0, 2.0);
+  EXPECT_NEAR(Mean(xs), 3.0, 0.05);
+  EXPECT_NEAR(SampleStdDev(xs), 2.0, 0.05);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(19);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.Bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(19);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, ShufflePreservesMultiset) {
+  Rng rng(23);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> shuffled = v;
+  rng.Shuffle(shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(RngTest, ShuffleEmptyAndSingleton) {
+  Rng rng(23);
+  std::vector<int> empty;
+  rng.Shuffle(empty);
+  EXPECT_TRUE(empty.empty());
+  std::vector<int> one{9};
+  rng.Shuffle(one);
+  EXPECT_EQ(one, std::vector<int>{9});
+}
+
+TEST(RngTest, SampleIndicesDistinctSortedInRange) {
+  Rng rng(29);
+  for (int rep = 0; rep < 50; ++rep) {
+    const auto s = rng.SampleIndices(100, 17);
+    ASSERT_EQ(s.size(), 17u);
+    EXPECT_TRUE(std::is_sorted(s.begin(), s.end()));
+    for (size_t i = 1; i < s.size(); ++i) EXPECT_NE(s[i - 1], s[i]);
+    for (size_t x : s) EXPECT_LT(x, 100u);
+  }
+}
+
+TEST(RngTest, SampleIndicesFullSet) {
+  Rng rng(31);
+  const auto s = rng.SampleIndices(5, 5);
+  EXPECT_EQ(s, (std::vector<size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(RngTest, SampleIndicesZero) {
+  Rng rng(31);
+  EXPECT_TRUE(rng.SampleIndices(5, 0).empty());
+  EXPECT_TRUE(rng.SampleIndices(0, 0).empty());
+}
+
+TEST(RngTest, SampleIndicesIsUniformish) {
+  // Each of C(5,2)=10 pairs should appear with frequency ~1/10.
+  Rng rng(37);
+  std::map<std::pair<size_t, size_t>, int> counts;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const auto s = rng.SampleIndices(5, 2);
+    counts[{s[0], s[1]}]++;
+  }
+  EXPECT_EQ(counts.size(), 10u);
+  for (const auto& [pair, count] : counts) {
+    EXPECT_NEAR(static_cast<double>(count) / n, 0.1, 0.02);
+  }
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(41);
+  Rng child = a.Fork();
+  Rng b(41);
+  b.Fork();
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (child.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+// ----------------------------------------------------------------- stats --
+
+TEST(StatsTest, MeanBasics) {
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(Mean({4.0}), 4.0);
+  EXPECT_DOUBLE_EQ(Mean({1.0, 2.0, 3.0}), 2.0);
+}
+
+TEST(StatsTest, StdDevBasics) {
+  EXPECT_DOUBLE_EQ(SampleStdDev({}), 0.0);
+  EXPECT_DOUBLE_EQ(SampleStdDev({5.0}), 0.0);
+  EXPECT_NEAR(SampleStdDev({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}),
+              2.1380899, 1e-6);
+}
+
+TEST(StatsTest, MedianOddEven) {
+  EXPECT_DOUBLE_EQ(Median({3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(Median({4.0, 1.0, 3.0, 2.0}), 2.5);
+  EXPECT_DOUBLE_EQ(Median({}), 0.0);
+  EXPECT_DOUBLE_EQ(Median({7.0}), 7.0);
+}
+
+TEST(StatsTest, QuantileEndpoints) {
+  std::vector<double> xs{10, 20, 30, 40, 50};
+  EXPECT_DOUBLE_EQ(Quantile(xs, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(Quantile(xs, 1.0), 50.0);
+  EXPECT_DOUBLE_EQ(Quantile(xs, 0.5), 30.0);
+  EXPECT_DOUBLE_EQ(Quantile(xs, 0.25), 20.0);
+}
+
+TEST(StatsTest, QuantileInterpolates) {
+  std::vector<double> xs{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(Quantile(xs, 0.75), 7.5);
+}
+
+TEST(StatsTest, MinMax) {
+  std::vector<double> xs{3.0, -1.0, 9.0};
+  EXPECT_DOUBLE_EQ(Min(xs), -1.0);
+  EXPECT_DOUBLE_EQ(Max(xs), 9.0);
+}
+
+TEST(StatsTest, SummarizeConsistent) {
+  std::vector<double> xs;
+  for (int i = 1; i <= 100; ++i) xs.push_back(i);
+  const Summary s = Summarize(xs);
+  EXPECT_EQ(s.n, 100u);
+  EXPECT_DOUBLE_EQ(s.mean, 50.5);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 100.0);
+  EXPECT_DOUBLE_EQ(s.median, 50.5);
+  EXPECT_LE(s.p25, s.median);
+  EXPECT_LE(s.median, s.p75);
+}
+
+TEST(StatsTest, SummarizeEmpty) {
+  const Summary s = Summarize({});
+  EXPECT_EQ(s.n, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+}
+
+// ----------------------------------------------------------------- table --
+
+TEST(TableTest, AlignsColumns) {
+  TablePrinter t({"a", "long_header"});
+  t.AddRow({"xxxx", "1"});
+  const std::string out = t.ToString();
+  EXPECT_NE(out.find("a    | long_header"), std::string::npos);
+  EXPECT_NE(out.find("xxxx | 1"), std::string::npos);
+  EXPECT_NE(out.find("-----+---"), std::string::npos);
+}
+
+TEST(TableTest, TitleRendered) {
+  TablePrinter t({"h"});
+  const std::string out = t.ToString("My Title");
+  EXPECT_EQ(out.rfind("=== My Title ===\n", 0), 0u);
+}
+
+TEST(TableTest, FormatHelpers) {
+  EXPECT_EQ(TablePrinter::Fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::Fmt(2.0, 0), "2");
+  EXPECT_EQ(TablePrinter::Pct(0.125, 1), "12.5%");
+  EXPECT_EQ(TablePrinter::Pct(1.0, 0), "100%");
+}
+
+}  // namespace
+}  // namespace popp

@@ -1,0 +1,14 @@
+// The `popp` command-line tool: encode data, mine trees, decode results,
+// verify the no-outcome-change guarantee and build risk reports from the
+// shell. See `popp help`.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/cli.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  return popp::RunCli(args, std::cout, std::cerr);
+}
