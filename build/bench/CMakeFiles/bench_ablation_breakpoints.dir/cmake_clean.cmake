@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_breakpoints.dir/bench_ablation_breakpoints.cc.o"
+  "CMakeFiles/bench_ablation_breakpoints.dir/bench_ablation_breakpoints.cc.o.d"
+  "CMakeFiles/bench_ablation_breakpoints.dir/experiment_common.cc.o"
+  "CMakeFiles/bench_ablation_breakpoints.dir/experiment_common.cc.o.d"
+  "bench_ablation_breakpoints"
+  "bench_ablation_breakpoints.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_breakpoints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

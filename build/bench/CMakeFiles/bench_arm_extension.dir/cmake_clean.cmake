@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_arm_extension.dir/bench_arm_extension.cc.o"
+  "CMakeFiles/bench_arm_extension.dir/bench_arm_extension.cc.o.d"
+  "CMakeFiles/bench_arm_extension.dir/experiment_common.cc.o"
+  "CMakeFiles/bench_arm_extension.dir/experiment_common.cc.o.d"
+  "bench_arm_extension"
+  "bench_arm_extension.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_arm_extension.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_combination_venn.dir/bench_fig10_combination_venn.cc.o"
+  "CMakeFiles/bench_fig10_combination_venn.dir/bench_fig10_combination_venn.cc.o.d"
+  "CMakeFiles/bench_fig10_combination_venn.dir/experiment_common.cc.o"
+  "CMakeFiles/bench_fig10_combination_venn.dir/experiment_common.cc.o.d"
+  "bench_fig10_combination_venn"
+  "bench_fig10_combination_venn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_combination_venn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

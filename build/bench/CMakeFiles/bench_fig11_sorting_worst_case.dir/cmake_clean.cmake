@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_sorting_worst_case.dir/bench_fig11_sorting_worst_case.cc.o"
+  "CMakeFiles/bench_fig11_sorting_worst_case.dir/bench_fig11_sorting_worst_case.cc.o.d"
+  "CMakeFiles/bench_fig11_sorting_worst_case.dir/experiment_common.cc.o"
+  "CMakeFiles/bench_fig11_sorting_worst_case.dir/experiment_common.cc.o.d"
+  "bench_fig11_sorting_worst_case"
+  "bench_fig11_sorting_worst_case.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_sorting_worst_case.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

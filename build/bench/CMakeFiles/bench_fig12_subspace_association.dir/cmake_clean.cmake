@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_subspace_association.dir/bench_fig12_subspace_association.cc.o"
+  "CMakeFiles/bench_fig12_subspace_association.dir/bench_fig12_subspace_association.cc.o.d"
+  "CMakeFiles/bench_fig12_subspace_association.dir/experiment_common.cc.o"
+  "CMakeFiles/bench_fig12_subspace_association.dir/experiment_common.cc.o.d"
+  "bench_fig12_subspace_association"
+  "bench_fig12_subspace_association.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_subspace_association.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_attribute_stats.dir/bench_fig8_attribute_stats.cc.o"
+  "CMakeFiles/bench_fig8_attribute_stats.dir/bench_fig8_attribute_stats.cc.o.d"
+  "CMakeFiles/bench_fig8_attribute_stats.dir/experiment_common.cc.o"
+  "CMakeFiles/bench_fig8_attribute_stats.dir/experiment_common.cc.o.d"
+  "bench_fig8_attribute_stats"
+  "bench_fig8_attribute_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_attribute_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

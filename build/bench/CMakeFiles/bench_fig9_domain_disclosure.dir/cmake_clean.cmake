@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_domain_disclosure.dir/bench_fig9_domain_disclosure.cc.o"
+  "CMakeFiles/bench_fig9_domain_disclosure.dir/bench_fig9_domain_disclosure.cc.o.d"
+  "CMakeFiles/bench_fig9_domain_disclosure.dir/experiment_common.cc.o"
+  "CMakeFiles/bench_fig9_domain_disclosure.dir/experiment_common.cc.o.d"
+  "bench_fig9_domain_disclosure"
+  "bench_fig9_domain_disclosure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_domain_disclosure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_no_outcome_change.dir/bench_no_outcome_change.cc.o"
+  "CMakeFiles/bench_no_outcome_change.dir/bench_no_outcome_change.cc.o.d"
+  "CMakeFiles/bench_no_outcome_change.dir/experiment_common.cc.o"
+  "CMakeFiles/bench_no_outcome_change.dir/experiment_common.cc.o.d"
+  "bench_no_outcome_change"
+  "bench_no_outcome_change.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_no_outcome_change.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_perturbation_baseline.dir/bench_perturbation_baseline.cc.o"
+  "CMakeFiles/bench_perturbation_baseline.dir/bench_perturbation_baseline.cc.o.d"
+  "CMakeFiles/bench_perturbation_baseline.dir/experiment_common.cc.o"
+  "CMakeFiles/bench_perturbation_baseline.dir/experiment_common.cc.o.d"
+  "bench_perturbation_baseline"
+  "bench_perturbation_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_perturbation_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_quantile_attack.dir/bench_quantile_attack.cc.o"
+  "CMakeFiles/bench_quantile_attack.dir/bench_quantile_attack.cc.o.d"
+  "CMakeFiles/bench_quantile_attack.dir/experiment_common.cc.o"
+  "CMakeFiles/bench_quantile_attack.dir/experiment_common.cc.o.d"
+  "bench_quantile_attack"
+  "bench_quantile_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_quantile_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

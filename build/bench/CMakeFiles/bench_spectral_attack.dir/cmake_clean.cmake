@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_spectral_attack.dir/bench_spectral_attack.cc.o"
+  "CMakeFiles/bench_spectral_attack.dir/bench_spectral_attack.cc.o.d"
+  "CMakeFiles/bench_spectral_attack.dir/experiment_common.cc.o"
+  "CMakeFiles/bench_spectral_attack.dir/experiment_common.cc.o.d"
+  "bench_spectral_attack"
+  "bench_spectral_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_spectral_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_svm_extension.dir/bench_svm_extension.cc.o"
+  "CMakeFiles/bench_svm_extension.dir/bench_svm_extension.cc.o.d"
+  "CMakeFiles/bench_svm_extension.dir/experiment_common.cc.o"
+  "CMakeFiles/bench_svm_extension.dir/experiment_common.cc.o.d"
+  "bench_svm_extension"
+  "bench_svm_extension.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_svm_extension.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab622_attack_vs_transform.dir/bench_tab622_attack_vs_transform.cc.o"
+  "CMakeFiles/bench_tab622_attack_vs_transform.dir/bench_tab622_attack_vs_transform.cc.o.d"
+  "CMakeFiles/bench_tab622_attack_vs_transform.dir/experiment_common.cc.o"
+  "CMakeFiles/bench_tab622_attack_vs_transform.dir/experiment_common.cc.o.d"
+  "bench_tab622_attack_vs_transform"
+  "bench_tab622_attack_vs_transform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab622_attack_vs_transform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_tab622_attack_vs_transform.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab64_pattern_disclosure.dir/bench_tab64_pattern_disclosure.cc.o"
+  "CMakeFiles/bench_tab64_pattern_disclosure.dir/bench_tab64_pattern_disclosure.cc.o.d"
+  "CMakeFiles/bench_tab64_pattern_disclosure.dir/experiment_common.cc.o"
+  "CMakeFiles/bench_tab64_pattern_disclosure.dir/experiment_common.cc.o.d"
+  "bench_tab64_pattern_disclosure"
+  "bench_tab64_pattern_disclosure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab64_pattern_disclosure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

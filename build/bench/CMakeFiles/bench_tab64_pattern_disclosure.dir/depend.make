@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_tab64_pattern_disclosure.
+# This may be replaced when dependencies are built.

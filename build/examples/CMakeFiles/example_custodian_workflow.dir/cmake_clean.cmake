@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_custodian_workflow.dir/custodian_workflow.cpp.o"
+  "CMakeFiles/example_custodian_workflow.dir/custodian_workflow.cpp.o.d"
+  "example_custodian_workflow"
+  "example_custodian_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_custodian_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

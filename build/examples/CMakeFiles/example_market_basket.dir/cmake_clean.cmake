@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_market_basket.dir/market_basket.cpp.o"
+  "CMakeFiles/example_market_basket.dir/market_basket.cpp.o.d"
+  "example_market_basket"
+  "example_market_basket.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_market_basket.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_perturbation_comparison.dir/perturbation_comparison.cpp.o"
+  "CMakeFiles/example_perturbation_comparison.dir/perturbation_comparison.cpp.o.d"
+  "example_perturbation_comparison"
+  "example_perturbation_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_perturbation_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,72 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/anon/mondrian.cc" "src/CMakeFiles/popp.dir/anon/mondrian.cc.o" "gcc" "src/CMakeFiles/popp.dir/anon/mondrian.cc.o.d"
+  "/root/repo/src/arm/apriori.cc" "src/CMakeFiles/popp.dir/arm/apriori.cc.o" "gcc" "src/CMakeFiles/popp.dir/arm/apriori.cc.o.d"
+  "/root/repo/src/arm/itemset.cc" "src/CMakeFiles/popp.dir/arm/itemset.cc.o" "gcc" "src/CMakeFiles/popp.dir/arm/itemset.cc.o.d"
+  "/root/repo/src/arm/mask.cc" "src/CMakeFiles/popp.dir/arm/mask.cc.o" "gcc" "src/CMakeFiles/popp.dir/arm/mask.cc.o.d"
+  "/root/repo/src/arm/relabel.cc" "src/CMakeFiles/popp.dir/arm/relabel.cc.o" "gcc" "src/CMakeFiles/popp.dir/arm/relabel.cc.o.d"
+  "/root/repo/src/attack/combination.cc" "src/CMakeFiles/popp.dir/attack/combination.cc.o" "gcc" "src/CMakeFiles/popp.dir/attack/combination.cc.o.d"
+  "/root/repo/src/attack/curve_fit.cc" "src/CMakeFiles/popp.dir/attack/curve_fit.cc.o" "gcc" "src/CMakeFiles/popp.dir/attack/curve_fit.cc.o.d"
+  "/root/repo/src/attack/knowledge.cc" "src/CMakeFiles/popp.dir/attack/knowledge.cc.o" "gcc" "src/CMakeFiles/popp.dir/attack/knowledge.cc.o.d"
+  "/root/repo/src/attack/quantile_attack.cc" "src/CMakeFiles/popp.dir/attack/quantile_attack.cc.o" "gcc" "src/CMakeFiles/popp.dir/attack/quantile_attack.cc.o.d"
+  "/root/repo/src/attack/sorting_attack.cc" "src/CMakeFiles/popp.dir/attack/sorting_attack.cc.o" "gcc" "src/CMakeFiles/popp.dir/attack/sorting_attack.cc.o.d"
+  "/root/repo/src/attack/spectral.cc" "src/CMakeFiles/popp.dir/attack/spectral.cc.o" "gcc" "src/CMakeFiles/popp.dir/attack/spectral.cc.o.d"
+  "/root/repo/src/core/cli.cc" "src/CMakeFiles/popp.dir/core/cli.cc.o" "gcc" "src/CMakeFiles/popp.dir/core/cli.cc.o.d"
+  "/root/repo/src/core/custodian.cc" "src/CMakeFiles/popp.dir/core/custodian.cc.o" "gcc" "src/CMakeFiles/popp.dir/core/custodian.cc.o.d"
+  "/root/repo/src/core/recipe.cc" "src/CMakeFiles/popp.dir/core/recipe.cc.o" "gcc" "src/CMakeFiles/popp.dir/core/recipe.cc.o.d"
+  "/root/repo/src/core/report.cc" "src/CMakeFiles/popp.dir/core/report.cc.o" "gcc" "src/CMakeFiles/popp.dir/core/report.cc.o.d"
+  "/root/repo/src/data/csv.cc" "src/CMakeFiles/popp.dir/data/csv.cc.o" "gcc" "src/CMakeFiles/popp.dir/data/csv.cc.o.d"
+  "/root/repo/src/data/dataset.cc" "src/CMakeFiles/popp.dir/data/dataset.cc.o" "gcc" "src/CMakeFiles/popp.dir/data/dataset.cc.o.d"
+  "/root/repo/src/data/schema.cc" "src/CMakeFiles/popp.dir/data/schema.cc.o" "gcc" "src/CMakeFiles/popp.dir/data/schema.cc.o.d"
+  "/root/repo/src/data/summary.cc" "src/CMakeFiles/popp.dir/data/summary.cc.o" "gcc" "src/CMakeFiles/popp.dir/data/summary.cc.o.d"
+  "/root/repo/src/data/value.cc" "src/CMakeFiles/popp.dir/data/value.cc.o" "gcc" "src/CMakeFiles/popp.dir/data/value.cc.o.d"
+  "/root/repo/src/nb/naive_bayes.cc" "src/CMakeFiles/popp.dir/nb/naive_bayes.cc.o" "gcc" "src/CMakeFiles/popp.dir/nb/naive_bayes.cc.o.d"
+  "/root/repo/src/perturb/comparison.cc" "src/CMakeFiles/popp.dir/perturb/comparison.cc.o" "gcc" "src/CMakeFiles/popp.dir/perturb/comparison.cc.o.d"
+  "/root/repo/src/perturb/perturbation.cc" "src/CMakeFiles/popp.dir/perturb/perturbation.cc.o" "gcc" "src/CMakeFiles/popp.dir/perturb/perturbation.cc.o.d"
+  "/root/repo/src/perturb/reconstruction.cc" "src/CMakeFiles/popp.dir/perturb/reconstruction.cc.o" "gcc" "src/CMakeFiles/popp.dir/perturb/reconstruction.cc.o.d"
+  "/root/repo/src/risk/crack.cc" "src/CMakeFiles/popp.dir/risk/crack.cc.o" "gcc" "src/CMakeFiles/popp.dir/risk/crack.cc.o.d"
+  "/root/repo/src/risk/domain_risk.cc" "src/CMakeFiles/popp.dir/risk/domain_risk.cc.o" "gcc" "src/CMakeFiles/popp.dir/risk/domain_risk.cc.o.d"
+  "/root/repo/src/risk/pattern_risk.cc" "src/CMakeFiles/popp.dir/risk/pattern_risk.cc.o" "gcc" "src/CMakeFiles/popp.dir/risk/pattern_risk.cc.o.d"
+  "/root/repo/src/risk/subspace_risk.cc" "src/CMakeFiles/popp.dir/risk/subspace_risk.cc.o" "gcc" "src/CMakeFiles/popp.dir/risk/subspace_risk.cc.o.d"
+  "/root/repo/src/risk/trials.cc" "src/CMakeFiles/popp.dir/risk/trials.cc.o" "gcc" "src/CMakeFiles/popp.dir/risk/trials.cc.o.d"
+  "/root/repo/src/svm/linear_svm.cc" "src/CMakeFiles/popp.dir/svm/linear_svm.cc.o" "gcc" "src/CMakeFiles/popp.dir/svm/linear_svm.cc.o.d"
+  "/root/repo/src/synth/covtype_like.cc" "src/CMakeFiles/popp.dir/synth/covtype_like.cc.o" "gcc" "src/CMakeFiles/popp.dir/synth/covtype_like.cc.o.d"
+  "/root/repo/src/synth/distributions.cc" "src/CMakeFiles/popp.dir/synth/distributions.cc.o" "gcc" "src/CMakeFiles/popp.dir/synth/distributions.cc.o.d"
+  "/root/repo/src/synth/presets.cc" "src/CMakeFiles/popp.dir/synth/presets.cc.o" "gcc" "src/CMakeFiles/popp.dir/synth/presets.cc.o.d"
+  "/root/repo/src/transform/choose_bp.cc" "src/CMakeFiles/popp.dir/transform/choose_bp.cc.o" "gcc" "src/CMakeFiles/popp.dir/transform/choose_bp.cc.o.d"
+  "/root/repo/src/transform/choose_max_mp.cc" "src/CMakeFiles/popp.dir/transform/choose_max_mp.cc.o" "gcc" "src/CMakeFiles/popp.dir/transform/choose_max_mp.cc.o.d"
+  "/root/repo/src/transform/families.cc" "src/CMakeFiles/popp.dir/transform/families.cc.o" "gcc" "src/CMakeFiles/popp.dir/transform/families.cc.o.d"
+  "/root/repo/src/transform/function.cc" "src/CMakeFiles/popp.dir/transform/function.cc.o" "gcc" "src/CMakeFiles/popp.dir/transform/function.cc.o.d"
+  "/root/repo/src/transform/pieces.cc" "src/CMakeFiles/popp.dir/transform/pieces.cc.o" "gcc" "src/CMakeFiles/popp.dir/transform/pieces.cc.o.d"
+  "/root/repo/src/transform/piecewise.cc" "src/CMakeFiles/popp.dir/transform/piecewise.cc.o" "gcc" "src/CMakeFiles/popp.dir/transform/piecewise.cc.o.d"
+  "/root/repo/src/transform/plan.cc" "src/CMakeFiles/popp.dir/transform/plan.cc.o" "gcc" "src/CMakeFiles/popp.dir/transform/plan.cc.o.d"
+  "/root/repo/src/transform/serialize.cc" "src/CMakeFiles/popp.dir/transform/serialize.cc.o" "gcc" "src/CMakeFiles/popp.dir/transform/serialize.cc.o.d"
+  "/root/repo/src/transform/tree_decode.cc" "src/CMakeFiles/popp.dir/transform/tree_decode.cc.o" "gcc" "src/CMakeFiles/popp.dir/transform/tree_decode.cc.o.d"
+  "/root/repo/src/tree/builder.cc" "src/CMakeFiles/popp.dir/tree/builder.cc.o" "gcc" "src/CMakeFiles/popp.dir/tree/builder.cc.o.d"
+  "/root/repo/src/tree/compare.cc" "src/CMakeFiles/popp.dir/tree/compare.cc.o" "gcc" "src/CMakeFiles/popp.dir/tree/compare.cc.o.d"
+  "/root/repo/src/tree/criterion.cc" "src/CMakeFiles/popp.dir/tree/criterion.cc.o" "gcc" "src/CMakeFiles/popp.dir/tree/criterion.cc.o.d"
+  "/root/repo/src/tree/decision_tree.cc" "src/CMakeFiles/popp.dir/tree/decision_tree.cc.o" "gcc" "src/CMakeFiles/popp.dir/tree/decision_tree.cc.o.d"
+  "/root/repo/src/tree/evaluate.cc" "src/CMakeFiles/popp.dir/tree/evaluate.cc.o" "gcc" "src/CMakeFiles/popp.dir/tree/evaluate.cc.o.d"
+  "/root/repo/src/tree/label_runs.cc" "src/CMakeFiles/popp.dir/tree/label_runs.cc.o" "gcc" "src/CMakeFiles/popp.dir/tree/label_runs.cc.o.d"
+  "/root/repo/src/tree/prune.cc" "src/CMakeFiles/popp.dir/tree/prune.cc.o" "gcc" "src/CMakeFiles/popp.dir/tree/prune.cc.o.d"
+  "/root/repo/src/tree/serialize.cc" "src/CMakeFiles/popp.dir/tree/serialize.cc.o" "gcc" "src/CMakeFiles/popp.dir/tree/serialize.cc.o.d"
+  "/root/repo/src/util/rng.cc" "src/CMakeFiles/popp.dir/util/rng.cc.o" "gcc" "src/CMakeFiles/popp.dir/util/rng.cc.o.d"
+  "/root/repo/src/util/stats.cc" "src/CMakeFiles/popp.dir/util/stats.cc.o" "gcc" "src/CMakeFiles/popp.dir/util/stats.cc.o.d"
+  "/root/repo/src/util/status.cc" "src/CMakeFiles/popp.dir/util/status.cc.o" "gcc" "src/CMakeFiles/popp.dir/util/status.cc.o.d"
+  "/root/repo/src/util/table.cc" "src/CMakeFiles/popp.dir/util/table.cc.o" "gcc" "src/CMakeFiles/popp.dir/util/table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,47 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/anon_test.cc" "tests/CMakeFiles/popp_tests.dir/anon_test.cc.o" "gcc" "tests/CMakeFiles/popp_tests.dir/anon_test.cc.o.d"
+  "/root/repo/tests/arm_test.cc" "tests/CMakeFiles/popp_tests.dir/arm_test.cc.o" "gcc" "tests/CMakeFiles/popp_tests.dir/arm_test.cc.o.d"
+  "/root/repo/tests/attack_test.cc" "tests/CMakeFiles/popp_tests.dir/attack_test.cc.o" "gcc" "tests/CMakeFiles/popp_tests.dir/attack_test.cc.o.d"
+  "/root/repo/tests/cli_test.cc" "tests/CMakeFiles/popp_tests.dir/cli_test.cc.o" "gcc" "tests/CMakeFiles/popp_tests.dir/cli_test.cc.o.d"
+  "/root/repo/tests/custodian_test.cc" "tests/CMakeFiles/popp_tests.dir/custodian_test.cc.o" "gcc" "tests/CMakeFiles/popp_tests.dir/custodian_test.cc.o.d"
+  "/root/repo/tests/data_test.cc" "tests/CMakeFiles/popp_tests.dir/data_test.cc.o" "gcc" "tests/CMakeFiles/popp_tests.dir/data_test.cc.o.d"
+  "/root/repo/tests/evaluate_test.cc" "tests/CMakeFiles/popp_tests.dir/evaluate_test.cc.o" "gcc" "tests/CMakeFiles/popp_tests.dir/evaluate_test.cc.o.d"
+  "/root/repo/tests/function_test.cc" "tests/CMakeFiles/popp_tests.dir/function_test.cc.o" "gcc" "tests/CMakeFiles/popp_tests.dir/function_test.cc.o.d"
+  "/root/repo/tests/integration_test.cc" "tests/CMakeFiles/popp_tests.dir/integration_test.cc.o" "gcc" "tests/CMakeFiles/popp_tests.dir/integration_test.cc.o.d"
+  "/root/repo/tests/label_runs_test.cc" "tests/CMakeFiles/popp_tests.dir/label_runs_test.cc.o" "gcc" "tests/CMakeFiles/popp_tests.dir/label_runs_test.cc.o.d"
+  "/root/repo/tests/nb_test.cc" "tests/CMakeFiles/popp_tests.dir/nb_test.cc.o" "gcc" "tests/CMakeFiles/popp_tests.dir/nb_test.cc.o.d"
+  "/root/repo/tests/no_outcome_change_test.cc" "tests/CMakeFiles/popp_tests.dir/no_outcome_change_test.cc.o" "gcc" "tests/CMakeFiles/popp_tests.dir/no_outcome_change_test.cc.o.d"
+  "/root/repo/tests/perturb_test.cc" "tests/CMakeFiles/popp_tests.dir/perturb_test.cc.o" "gcc" "tests/CMakeFiles/popp_tests.dir/perturb_test.cc.o.d"
+  "/root/repo/tests/pieces_test.cc" "tests/CMakeFiles/popp_tests.dir/pieces_test.cc.o" "gcc" "tests/CMakeFiles/popp_tests.dir/pieces_test.cc.o.d"
+  "/root/repo/tests/piecewise_test.cc" "tests/CMakeFiles/popp_tests.dir/piecewise_test.cc.o" "gcc" "tests/CMakeFiles/popp_tests.dir/piecewise_test.cc.o.d"
+  "/root/repo/tests/plan_test.cc" "tests/CMakeFiles/popp_tests.dir/plan_test.cc.o" "gcc" "tests/CMakeFiles/popp_tests.dir/plan_test.cc.o.d"
+  "/root/repo/tests/property_test.cc" "tests/CMakeFiles/popp_tests.dir/property_test.cc.o" "gcc" "tests/CMakeFiles/popp_tests.dir/property_test.cc.o.d"
+  "/root/repo/tests/prune_test.cc" "tests/CMakeFiles/popp_tests.dir/prune_test.cc.o" "gcc" "tests/CMakeFiles/popp_tests.dir/prune_test.cc.o.d"
+  "/root/repo/tests/recipe_test.cc" "tests/CMakeFiles/popp_tests.dir/recipe_test.cc.o" "gcc" "tests/CMakeFiles/popp_tests.dir/recipe_test.cc.o.d"
+  "/root/repo/tests/risk_test.cc" "tests/CMakeFiles/popp_tests.dir/risk_test.cc.o" "gcc" "tests/CMakeFiles/popp_tests.dir/risk_test.cc.o.d"
+  "/root/repo/tests/serialize_test.cc" "tests/CMakeFiles/popp_tests.dir/serialize_test.cc.o" "gcc" "tests/CMakeFiles/popp_tests.dir/serialize_test.cc.o.d"
+  "/root/repo/tests/sorting_attack_test.cc" "tests/CMakeFiles/popp_tests.dir/sorting_attack_test.cc.o" "gcc" "tests/CMakeFiles/popp_tests.dir/sorting_attack_test.cc.o.d"
+  "/root/repo/tests/spectral_test.cc" "tests/CMakeFiles/popp_tests.dir/spectral_test.cc.o" "gcc" "tests/CMakeFiles/popp_tests.dir/spectral_test.cc.o.d"
+  "/root/repo/tests/svm_test.cc" "tests/CMakeFiles/popp_tests.dir/svm_test.cc.o" "gcc" "tests/CMakeFiles/popp_tests.dir/svm_test.cc.o.d"
+  "/root/repo/tests/synth_test.cc" "tests/CMakeFiles/popp_tests.dir/synth_test.cc.o" "gcc" "tests/CMakeFiles/popp_tests.dir/synth_test.cc.o.d"
+  "/root/repo/tests/tree_decode_test.cc" "tests/CMakeFiles/popp_tests.dir/tree_decode_test.cc.o" "gcc" "tests/CMakeFiles/popp_tests.dir/tree_decode_test.cc.o.d"
+  "/root/repo/tests/tree_test.cc" "tests/CMakeFiles/popp_tests.dir/tree_test.cc.o" "gcc" "tests/CMakeFiles/popp_tests.dir/tree_test.cc.o.d"
+  "/root/repo/tests/util_test.cc" "tests/CMakeFiles/popp_tests.dir/util_test.cc.o" "gcc" "tests/CMakeFiles/popp_tests.dir/util_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/popp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/popp_cli.dir/popp_cli.cc.o"
+  "CMakeFiles/popp_cli.dir/popp_cli.cc.o.d"
+  "popp"
+  "popp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/popp_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
