@@ -1,0 +1,109 @@
+#ifndef POPP_CHECK_ORACLES_H_
+#define POPP_CHECK_ORACLES_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "check/generators.h"
+#include "data/dataset.h"
+#include "transform/plan.h"
+#include "tree/builder.h"
+
+/// \file
+/// The oracle suite: the paper's invariants as reusable predicates.
+///
+/// Each oracle takes the original data plus the derived artifacts (plan,
+/// released data) and returns pass/fail with a first-failure diagnostic.
+/// The same predicates back three consumers: the seed-sweep property tests
+/// (`tests/property_test.cc`), the randomized `popp_check` fuzzer, and the
+/// shrinker's failure predicate — so a guarantee is encoded exactly once.
+
+namespace popp::check {
+
+/// Outcome of one oracle evaluation.
+struct OracleResult {
+  bool passed = true;
+  std::string message;  ///< first-failure diagnostic; empty on pass
+
+  static OracleResult Ok() { return {}; }
+  static OracleResult Fail(std::string message) {
+    return {false, std::move(message)};
+  }
+};
+
+/// Encode is injective on every active domain and Decode inverts it
+/// (within 1e-7 relative tolerance; images of distinct values must be
+/// exactly distinct).
+OracleResult CheckEncodeBijective(const Dataset& original,
+                                  const TransformPlan& plan);
+
+/// Definition 8: every attribute's transform satisfies the global
+/// (anti-)monotone invariant against the attribute's actual images.
+OracleResult CheckGlobalInvariant(const Dataset& original,
+                                  const TransformPlan& plan);
+
+/// Lemma 1 / Lemma 2 prerequisite: the label-run decomposition of every
+/// attribute's sorted projection is preserved by the release — identically
+/// for a global-monotone plan, in value-group-reversed order for a
+/// global-anti-monotone plan. (Within-run reshuffling by bijective pieces
+/// is allowed; run labels and lengths are not.)
+OracleResult CheckLabelRunPreservation(const Dataset& original,
+                                       const TransformPlan& plan,
+                                       const Dataset& released);
+
+/// Theorems 1 and 2, the no-outcome-change core: for each requested
+/// criterion, the tree mined from `released` and decoded with the
+/// custodian's data equals the directly mined tree — bit-exactly
+/// (structure, attributes, thresholds, labels) for order-preserving plans.
+/// For order-reversing plans the sharp invariant is that the decode equals
+/// the tree built on the *reflected* original (anti attributes negated)
+/// mapped back: an exactly-tied split at a class-palindromic node legally
+/// resolves to its mirror, and the two resolutions can recurse into
+/// different subtrees — even leaf count and training accuracy may drift —
+/// so no direct-tree comparison is sound there. When `pruned` is set both
+/// trees are pessimistically pruned first, which must preserve the same
+/// equality (pruning sees only class histograms).
+OracleResult CheckTreeEquivalence(const Dataset& original,
+                                  const TransformPlan& plan,
+                                  const Dataset& released,
+                                  const BuildOptions& build_options,
+                                  const std::vector<SplitCriterion>& criteria,
+                                  bool pruned);
+
+/// popp-plan v1 and popp-tree v1 round-trips are byte-stable: serialize →
+/// parse → serialize reproduces the exact bytes, the reloaded plan encodes
+/// every active-domain value bit-identically, and the reloaded tree is
+/// ExactlyEqual to the original.
+OracleResult CheckSerializeRoundTrip(const Dataset& original,
+                                     const TransformPlan& plan,
+                                     const BuildOptions& build_options);
+
+/// A trial case with its derived artifacts, evaluated by every oracle.
+struct TrialContext {
+  TrialCase c;
+  TransformPlan plan;
+  Dataset released;
+};
+
+/// Samples the plan from `c.plan_seed` and encodes the dataset.
+TrialContext MakeTrialContext(TrialCase c);
+
+/// A named oracle over a full trial context.
+struct Oracle {
+  std::string name;
+  std::function<OracleResult(const TrialContext&)> run;
+};
+
+/// The registry the fuzz driver iterates: encode_bijective,
+/// global_invariant, label_runs, tree_equivalence, tree_equivalence_pruned,
+/// serialize_roundtrip.
+const std::vector<Oracle>& AllOracles();
+
+/// Evaluates the named oracle on a bare case (re-deriving plan and release).
+/// Used as the shrinker's failure predicate.
+OracleResult RunOracleOnCase(const Oracle& oracle, const TrialCase& c);
+
+}  // namespace popp::check
+
+#endif  // POPP_CHECK_ORACLES_H_

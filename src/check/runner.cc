@@ -1,0 +1,163 @@
+#include "check/runner.h"
+
+#include <chrono>
+#include <sstream>
+
+#include "check/shrink.h"
+#include "util/table.h"
+
+namespace popp::check {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+uint64_t ElapsedMs(Clock::time_point since) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(Clock::now() -
+                                                            since)
+          .count());
+}
+
+/// Derives the trial seed from the run seed (splitmix64 step, so adjacent
+/// run seeds do not share trial streams).
+uint64_t TrialSeed(uint64_t run_seed, size_t trial) {
+  uint64_t z = run_seed + 0x9e3779b97f4a7c15ull * (trial + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+void ShrinkAndPersist(const Oracle& oracle, const TrialCase& failing,
+                      const std::string& message, const CheckOptions& options,
+                      CheckReport& report, std::ostream& log) {
+  const FailurePredicate still_fails = [&oracle](const TrialCase& candidate) {
+    return !RunOracleOnCase(oracle, candidate).passed;
+  };
+  ShrinkStats stats;
+  const TrialCase minimal = ShrinkCase(failing, still_fails, &stats);
+  log << "popp_check: shrunk from " << failing.data.NumRows() << "x"
+      << failing.data.NumAttributes() << " to " << minimal.data.NumRows()
+      << "x" << minimal.data.NumAttributes() << " ("
+      << stats.candidates_tried << " candidates, "
+      << stats.candidates_accepted << " accepted)\n";
+
+  Reproducer repro;
+  repro.c = minimal;
+  repro.oracle_name = oracle.name;
+  repro.message = RunOracleOnCase(oracle, minimal).message;
+  if (repro.message.empty()) repro.message = message;
+  const std::string csv_path = options.out_dir + "/popp_check_repro.csv";
+  const std::string recipe_path =
+      options.out_dir + "/popp_check_repro.recipe";
+  const Status written = WriteReproducer(repro, csv_path, recipe_path);
+  if (!written.ok()) {
+    log << "popp_check: cannot write reproducer: " << written.ToString()
+        << "\n";
+    return;
+  }
+  report.reproducer_csv = csv_path;
+  report.reproducer_recipe = recipe_path;
+  report.reproducer_rows = minimal.data.NumRows();
+  log << "popp_check: reproducer written to " << csv_path << " + "
+      << recipe_path << "\n";
+}
+
+}  // namespace
+
+bool CheckReport::AllPassed() const {
+  for (const auto& tally : tallies) {
+    if (tally.failures > 0) return false;
+  }
+  return true;
+}
+
+CheckReport RunChecks(const CheckOptions& options, std::ostream& log) {
+  const auto start = Clock::now();
+  std::vector<const Oracle*> active;
+  for (const Oracle& oracle : AllOracles()) {
+    if (options.only_oracle.empty() || oracle.name == options.only_oracle) {
+      active.push_back(&oracle);
+    }
+  }
+  POPP_CHECK_MSG(!active.empty(),
+                 "no oracle named '" << options.only_oracle << "'");
+
+  CheckReport report;
+  report.tallies.resize(active.size());
+  for (size_t i = 0; i < active.size(); ++i) {
+    report.tallies[i].name = active[i]->name;
+  }
+
+  bool shrunk_one = false;
+  for (size_t trial = 0; trial < options.trials; ++trial) {
+    if (options.time_budget_ms > 0 &&
+        ElapsedMs(start) >= options.time_budget_ms) {
+      report.hit_time_budget = true;
+      log << "popp_check: time budget hit after " << trial << " trials\n";
+      break;
+    }
+    const TrialCase c = GenerateTrialCase(options.generator,
+                                          TrialSeed(options.seed, trial));
+    const TrialContext ctx = MakeTrialContext(c);
+    for (size_t i = 0; i < active.size(); ++i) {
+      OracleTally& tally = report.tallies[i];
+      ++tally.runs;
+      const OracleResult result = active[i]->run(ctx);
+      if (result.passed) continue;
+      ++tally.failures;
+      if (tally.first_failure.empty()) {
+        std::ostringstream oss;
+        oss << "trial " << trial << ": " << result.message;
+        tally.first_failure = oss.str();
+        log << "popp_check: FAIL " << tally.name << " at "
+            << tally.first_failure << "\n";
+      }
+      if (options.shrink && !shrunk_one) {
+        shrunk_one = true;
+        ShrinkAndPersist(*active[i], ctx.c, result.message, options, report,
+                         log);
+      }
+    }
+    ++report.trials_run;
+  }
+  return report;
+}
+
+std::string RenderReport(const CheckReport& report) {
+  TablePrinter table({"oracle", "trials", "failures", "status",
+                      "first failure"});
+  for (const auto& tally : report.tallies) {
+    table.AddRow({tally.name, std::to_string(tally.runs),
+                  std::to_string(tally.failures),
+                  tally.failures == 0 ? "PASS" : "FAIL",
+                  tally.first_failure.empty() ? "-" : tally.first_failure});
+  }
+  std::ostringstream title;
+  title << "popp_check: " << report.trials_run << " trials";
+  if (report.hit_time_budget) title << " (time budget hit)";
+  return table.ToString(title.str());
+}
+
+Result<OracleResult> ReplayRecipe(const std::string& recipe_path,
+                                  std::ostream& log) {
+  auto repro = LoadReproducer(recipe_path);
+  if (!repro.ok()) return repro.status();
+  const Oracle* oracle = nullptr;
+  for (const Oracle& candidate : AllOracles()) {
+    if (candidate.name == repro.value().oracle_name) {
+      oracle = &candidate;
+      break;
+    }
+  }
+  if (oracle == nullptr) {
+    return Status::NotFound("recipe names unknown oracle '" +
+                            repro.value().oracle_name + "'");
+  }
+  const TrialCase& c = repro.value().c;
+  log << "popp_check: replaying " << oracle->name << " on "
+      << c.data.NumRows() << "x" << c.data.NumAttributes()
+      << " (recorded: " << repro.value().message << ")\n";
+  return RunOracleOnCase(*oracle, c);
+}
+
+}  // namespace popp::check

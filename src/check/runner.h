@@ -1,0 +1,70 @@
+#ifndef POPP_CHECK_RUNNER_H_
+#define POPP_CHECK_RUNNER_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "check/generators.h"
+#include "check/oracles.h"
+#include "util/status.h"
+
+/// \file
+/// The seeded fuzz driver behind the `popp_check` tool: N random trials,
+/// every oracle per trial, optional wall-clock budget, per-oracle tallies
+/// rendered as a table, and shrink-plus-persist of the first failure.
+
+namespace popp::check {
+
+/// Configuration of one checking run.
+struct CheckOptions {
+  size_t trials = 200;
+  uint64_t seed = 1;
+  /// Stop starting new trials after this many milliseconds (0 = no budget).
+  uint64_t time_budget_ms = 0;
+  /// If non-empty, only the oracle with this exact name runs.
+  std::string only_oracle;
+  /// Shrink the first failure and write reproducer files into `out_dir`.
+  bool shrink = true;
+  std::string out_dir = ".";
+  GeneratorOptions generator;
+};
+
+/// Per-oracle pass/fail tally.
+struct OracleTally {
+  std::string name;
+  size_t runs = 0;
+  size_t failures = 0;
+  std::string first_failure;  ///< diagnostic of the first failing trial
+};
+
+/// Outcome of a checking run.
+struct CheckReport {
+  std::vector<OracleTally> tallies;
+  size_t trials_run = 0;
+  bool hit_time_budget = false;
+  /// Reproducer files for the first failure (empty when all passed or
+  /// shrinking was disabled).
+  std::string reproducer_csv;
+  std::string reproducer_recipe;
+  size_t reproducer_rows = 0;
+
+  bool AllPassed() const;
+};
+
+/// Runs the trials. Progress and shrink diagnostics go to `log`; the
+/// rendered table does not (callers print RenderReport).
+CheckReport RunChecks(const CheckOptions& options, std::ostream& log);
+
+/// Renders the per-oracle pass/fail table (util/table format).
+std::string RenderReport(const CheckReport& report);
+
+/// Re-runs the oracle recorded in a reproducer recipe against its CSV.
+/// Returns the oracle verdict (so a fixed bug flips this to passed).
+Result<OracleResult> ReplayRecipe(const std::string& recipe_path,
+                                  std::ostream& log);
+
+}  // namespace popp::check
+
+#endif  // POPP_CHECK_RUNNER_H_

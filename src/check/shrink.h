@@ -1,0 +1,60 @@
+#ifndef POPP_CHECK_SHRINK_H_
+#define POPP_CHECK_SHRINK_H_
+
+#include <functional>
+#include <string>
+
+#include "check/generators.h"
+#include "util/status.h"
+
+/// \file
+/// Failure minimization and reproducer persistence.
+///
+/// When an oracle fails, the raw trial case is an opaque blob of random
+/// rows and options. The shrinker greedily removes rows (delta-debugging
+/// style, halving chunk sizes down to single rows), drops attributes, and
+/// simplifies the transform configuration (fewer breakpoints, simpler
+/// policy, no anti-monotone members) — keeping each step only if the
+/// failure persists — then writes the minimal case as a CSV plus a recipe
+/// file from which `popp_check --replay` re-derives the identical failure.
+
+namespace popp::check {
+
+/// Returns true iff the candidate case still exhibits the failure under
+/// investigation. Implementations must be deterministic.
+using FailurePredicate = std::function<bool(const TrialCase&)>;
+
+/// Work counters for shrink diagnostics.
+struct ShrinkStats {
+  size_t candidates_tried = 0;
+  size_t candidates_accepted = 0;
+};
+
+/// Greedily minimizes `failing` (which must satisfy `still_fails`) while
+/// preserving the failure. Deterministic; terminates because every
+/// accepted step strictly shrinks rows, attributes, breakpoints, or an
+/// option flag. The result still satisfies `still_fails`.
+TrialCase ShrinkCase(TrialCase failing, const FailurePredicate& still_fails,
+                     ShrinkStats* stats = nullptr);
+
+/// A persisted failing case: everything needed to re-run one oracle.
+struct Reproducer {
+  TrialCase c;
+  std::string oracle_name;
+  std::string message;  ///< diagnostic captured at failure time
+};
+
+/// Writes the dataset to `csv_path` (popp CSV format) and the recipe —
+/// schema, options, plan seed, oracle name and the CSV's base name — to
+/// `recipe_path` ("popp-check-recipe v1", line-oriented, 17-digit doubles).
+Status WriteReproducer(const Reproducer& repro, const std::string& csv_path,
+                       const std::string& recipe_path);
+
+/// Reloads a recipe and its CSV (resolved relative to the recipe's
+/// directory), reconstructing the exact dataset — including the original
+/// class-id assignment, which a bare CSV load would not preserve.
+Result<Reproducer> LoadReproducer(const std::string& recipe_path);
+
+}  // namespace popp::check
+
+#endif  // POPP_CHECK_SHRINK_H_

@@ -131,14 +131,19 @@ RescaledFunction::RescaledFunction(std::unique_ptr<ShapeFunction> shape,
 AttrValue RescaledFunction::Apply(AttrValue x) const {
   const double t = Clamp01((x - dlo_) / (dhi_ - dlo_));
   const double s = shape_->Forward(t);
-  return anti_ ? ohi_ - (ohi_ - olo_) * s : olo_ + (ohi_ - olo_) * s;
+  const double y = anti_ ? ohi_ - (ohi_ - olo_) * s : olo_ + (ohi_ - olo_) * s;
+  // Rounding in `interval_end - width * 1.0` can land an endpoint's image an
+  // ulp outside [olo_, ohi_]; piece routing would then misread it as lying
+  // in the inter-piece gap, so pin the result to the interval.
+  return std::min(ohi_, std::max(olo_, y));
 }
 
 AttrValue RescaledFunction::Inverse(AttrValue y) const {
   const double s =
       Clamp01(anti_ ? (ohi_ - y) / (ohi_ - olo_) : (y - olo_) / (ohi_ - olo_));
   const double t = shape_->Backward(s);
-  return dlo_ + t * (dhi_ - dlo_);
+  const double x = dlo_ + t * (dhi_ - dlo_);
+  return std::min(dhi_, std::max(dlo_, x));
 }
 
 std::string RescaledFunction::Describe() const {

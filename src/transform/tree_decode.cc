@@ -86,8 +86,13 @@ DecisionTree DecodeTreeWithData(const DecisionTree& tprime,
                              n.class_hist);
     }
     POPP_CHECK_MSG(rmax < lmin,
-                   "decode: sides interleave in original space — the plan "
-                   "does not match the data T' was mined from");
+                   "decode: sides interleave in original space — either the "
+                   "plan does not match the data T' was mined from, or the "
+                   "split threshold falls inside a bijective/direction-free "
+                   "piece (possible when the miner's best feasible split is "
+                   "interior to a label run, e.g. kAllBoundaries with "
+                   "min_leaf_size > 1), where no original-space threshold "
+                   "reproduces the routing");
     // Order reversed around this threshold: T''s right side holds the
     // smaller original values, so it becomes the decoded left subtree.
     const AttrValue threshold = rmax + (lmin - rmax) / 2;

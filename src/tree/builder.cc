@@ -27,24 +27,93 @@ bool IsPure(const std::vector<uint64_t>& hist) {
   return true;
 }
 
-/// Decides the canonical scan orientation of an attribute at a node: true
-/// if the per-value class-count sequence read backwards is lexicographically
-/// smaller than read forwards. An order-reversing transformation reverses
-/// the sequence and therefore flips this bit, so tie-breaking by *canonical*
-/// boundary position is invariant under anti-monotone transforms (except
-/// for fully palindromic sequences, where the two orientations are
-/// indistinguishable by class structure alone).
-bool ReversedIsCanonical(const AttributeSummary& summary) {
+/// The tie-break structure of one attribute at a node, at *block*
+/// granularity: a block is a maximal group of consecutive monochromatic
+/// values of one class, and every mixed (non-monochromatic) value is a
+/// block of its own. Run-boundary candidates are exactly the block edges.
+///
+/// Block granularity is what makes exact-tie resolution transform
+/// invariant. The transforms the paper allows reorder values only *within*
+/// a block — an F_bi permutation piece or a direction-free monotone piece
+/// lives inside one monochromatic run — so a block's begin, end and
+/// aggregate class counts survive any legal release, while the per-value
+/// count sequence does not (two equal-badness run boundaries used to
+/// resolve differently when a permutation piece shuffled value
+/// multiplicities inside a run; found by popp_check).
+struct BlockStructure {
+  std::vector<size_t> block_of;   ///< value index -> block id
+  std::vector<size_t> begin_of;   ///< block id -> first value index
+  std::vector<size_t> length_of;  ///< block id -> number of values
+  bool reversed = false;          ///< scanning back-to-front is canonical
+
+  size_t NumBlocks() const { return begin_of.size(); }
+};
+
+/// Decides the canonical scan orientation by lexicographically comparing
+/// the block-aggregate class-count sequence forwards vs backwards. An
+/// order-reversing transformation reverses the block sequence and flips
+/// this bit; monotone and F_bi releases leave it unchanged. Fully
+/// palindromic block sequences keep the forward orientation — the two
+/// directions are indistinguishable by class structure alone.
+BlockStructure ComputeBlocks(const AttributeSummary& summary) {
   const size_t n = summary.NumDistinct();
   const size_t k = summary.NumClasses();
-  for (size_t i = 0, j = n; i < j--; ++i) {
+  BlockStructure blocks;
+  blocks.block_of.resize(n, 0);
+  ClassId prev = summary.MonoClassAt(0);
+  blocks.begin_of.push_back(0);
+  for (size_t i = 1; i < n; ++i) {
+    const ClassId cur = summary.MonoClassAt(i);
+    if (cur == kNoClass || prev == kNoClass || cur != prev) {
+      blocks.length_of.push_back(i - blocks.begin_of.back());
+      blocks.begin_of.push_back(i);
+    }
+    blocks.block_of[i] = blocks.begin_of.size() - 1;
+    prev = cur;
+  }
+  blocks.length_of.push_back(n - blocks.begin_of.back());
+
+  const size_t num_blocks = blocks.NumBlocks();
+  std::vector<std::vector<uint64_t>> agg(num_blocks,
+                                         std::vector<uint64_t>(k, 0));
+  for (size_t i = 0; i < n; ++i) {
     for (size_t c = 0; c < k; ++c) {
-      const uint32_t fwd = summary.ClassCountAt(i, static_cast<ClassId>(c));
-      const uint32_t bwd = summary.ClassCountAt(j, static_cast<ClassId>(c));
-      if (fwd != bwd) return bwd < fwd;
+      agg[blocks.block_of[i]][c] +=
+          summary.ClassCountAt(i, static_cast<ClassId>(c));
     }
   }
-  return false;  // palindrome: keep the forward orientation
+  for (size_t i = 0, j = num_blocks; i < j--; ++i) {
+    for (size_t c = 0; c < k; ++c) {
+      if (agg[i][c] != agg[j][c]) {
+        blocks.reversed = agg[j][c] < agg[i][c];
+        return blocks;
+      }
+    }
+  }
+  return blocks;  // palindrome: keep the forward orientation
+}
+
+/// Canonical position of boundary b: its block ordinal counted from the
+/// canonical end, plus a value-level fraction when the boundary is
+/// interior to a block. Interior boundaries never win an exact tie against
+/// a block edge under a concave criterion, so the fraction's
+/// permutation-sensitivity is harmless; it only orders candidates the
+/// guarantee does not cover.
+double CanonicalPosition(const BlockStructure& blocks, size_t b) {
+  const size_t blk = blocks.block_of[b];
+  const bool edge = blocks.block_of[b - 1] != blk;
+  const size_t num_blocks = blocks.NumBlocks();
+  if (!blocks.reversed) {
+    if (edge) return static_cast<double>(blk);
+    return static_cast<double>(blk) +
+           static_cast<double>(b - blocks.begin_of[blk]) /
+               static_cast<double>(blocks.length_of[blk]);
+  }
+  if (edge) return static_cast<double>(num_blocks - blk);
+  return static_cast<double>(num_blocks - 1 - blk) +
+         static_cast<double>(blocks.begin_of[blk] + blocks.length_of[blk] -
+                             b) /
+             static_cast<double>(blocks.length_of[blk]);
 }
 
 }  // namespace
@@ -65,10 +134,11 @@ ClassId MajorityClass(const std::vector<uint64_t>& hist) {
 ///
 /// Tie-breaking: lower badness wins; among exact ties, lower attribute
 /// index, then lower *canonical* boundary position. The canonical position
-/// counts from whichever end makes the class-count sequence
-/// lexicographically smaller, so the choice is invariant under
-/// order-reversing transformations of the attribute (Theorem 1/2 under
-/// ties; see ReversedIsCanonical).
+/// is block-granular and counts from whichever end makes the
+/// block-aggregate class-count sequence lexicographically smaller, so the
+/// choice is invariant under every release the paper allows — monotone,
+/// anti-monotone, and F_bi within-run permutations (Theorem 1/2 under
+/// ties; see BlockStructure).
 void DecisionTreeBuilder::ScanAttribute(
     size_t attr, const AttributeSummary& summary,
     const std::vector<uint64_t>& parent_hist, SplitDecision& best,
@@ -85,7 +155,7 @@ void DecisionTreeBuilder::ScanAttribute(
     for (size_t b = 1; b < n; ++b) candidates.push_back(b);
   }
 
-  const bool reversed = ReversedIsCanonical(summary);
+  const BlockStructure blocks = ComputeBlocks(summary);
 
   // Left-side class counts, advanced value by value; `next` is the first
   // summary index not yet merged into the left side.
@@ -116,8 +186,7 @@ void DecisionTreeBuilder::ScanAttribute(
       continue;
     }
     const double badness = SplitBadness(options_.criterion, left, right);
-    const double canon_pos =
-        reversed ? static_cast<double>(n - b) : static_cast<double>(b);
+    const double canon_pos = CanonicalPosition(blocks, b);
     const bool better =
         !best.found || badness < best.impurity ||
         (badness == best.impurity && attr == best.attribute &&

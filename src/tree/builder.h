@@ -40,10 +40,22 @@ struct BuildOptions {
   double min_impurity_decrease = 0.0;
 
   /// Which candidate split positions to evaluate.
+  ///
+  /// With min_leaf_size == 1 and a concave criterion the two modes build
+  /// the same tree: the optimal boundary always lies on a label-run
+  /// boundary (Lemma 2), so pruning the candidate set loses nothing. With
+  /// min_leaf_size > 1 they can differ — when the leaf constraint rules
+  /// out every run boundary at a node, kAllBoundaries falls back to the
+  /// best *feasible* boundary, which may be interior to a single-class
+  /// run, while kRunBoundaries makes the node a leaf. Both are legitimate
+  /// induction, but an interior-of-run split is outside Lemma 2, so the
+  /// no-outcome-change guarantee for plans with bijective or
+  /// direction-free pieces only covers miners whose splits stay on run
+  /// boundaries (see DecodeTreeWithData).
   enum class CandidateMode {
-    /// Every boundary between consecutive distinct values. Always correct.
+    /// Every boundary between consecutive distinct values.
     kAllBoundaries,
-    /// Only label-run boundaries (Lemma 2). Same result, fewer candidates.
+    /// Only label-run boundaries (Lemma 2).
     kRunBoundaries,
   };
   CandidateMode candidate_mode = CandidateMode::kRunBoundaries;

@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "data/csv.h"
+#include "util/status.h"
+
+/// \file
+/// Failure-path coverage: the abort diagnostics of the CHECK macros and
+/// Result::value(), and ParseCsv's rejection of malformed input. The abort
+/// paths run as death tests so the diagnostics stay greppable — tools and
+/// the check/ harness match on them.
+
+namespace popp {
+namespace {
+
+TEST(StatusDeath, CheckFailureAbortsWithExpression) {
+  EXPECT_DEATH(POPP_CHECK(1 + 1 == 3), "CHECK failed");
+  EXPECT_DEATH(POPP_CHECK(1 + 1 == 3), "1 \\+ 1 == 3");
+}
+
+TEST(StatusDeath, CheckMsgAppendsTheStreamedMessage) {
+  const int index = 7;
+  EXPECT_DEATH(POPP_CHECK_MSG(index < 3, "index " << index << " out of range"),
+               "index 7 out of range");
+}
+
+TEST(StatusDeath, ResultValueOnErrorAborts) {
+  const Result<int> failed = Status::NotFound("no such thing");
+  EXPECT_DEATH(failed.value(), "Result::value\\(\\) on error");
+  EXPECT_DEATH(failed.value(), "no such thing");
+}
+
+TEST(Status, ToStringNamesTheCode) {
+  EXPECT_EQ(Status::Ok().ToString(), "OK");
+  const Status s = Status::InvalidArgument("bad knob");
+  EXPECT_NE(s.ToString().find("bad knob"), std::string::npos);
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CsvFailure, EmptyInputIsInvalidArgument) {
+  const auto r = ParseCsv("");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CsvFailure, HeaderOnlyInputParsesToZeroRows) {
+  // A header with no data lines is a valid (empty) dataset; consumers like
+  // the tree builder reject the zero-row case themselves.
+  const auto r = ParseCsv("x,y,class\n");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().NumRows(), 0u);
+  EXPECT_EQ(r.value().NumAttributes(), 2u);
+}
+
+TEST(CsvFailure, TruncatedRowIsRejected) {
+  // Second data row lost its class column.
+  const auto r = ParseCsv("x,y,class\n1,2,a\n3,4\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CsvFailure, NonNumericAttributeCellIsRejected) {
+  const auto r = ParseCsv("x,y,class\n1,oops,a\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  // The diagnostic should point at the offending token.
+  EXPECT_NE(r.status().message().find("oops"), std::string::npos)
+      << r.status().ToString();
+}
+
+TEST(CsvFailure, MissingFileIsIoError) {
+  const auto r = ReadCsv("/nonexistent/popp/never.csv");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+}
+
+TEST(CsvFailure, GoodInputStillParses) {
+  // Guard the failure tests against over-rejection.
+  const auto r = ParseCsv("x,y,class\n1,2,a\n3,4,b\n");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().NumRows(), 2u);
+  EXPECT_EQ(r.value().NumAttributes(), 2u);
+}
+
+}  // namespace
+}  // namespace popp

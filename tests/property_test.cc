@@ -6,6 +6,7 @@
 #include "arm/apriori.h"
 #include "arm/mask.h"
 #include "attack/spectral.h"
+#include "check/oracles.h"
 #include "data/summary.h"
 #include "synth/covtype_like.h"
 #include "synth/presets.h"
@@ -27,20 +28,15 @@ INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweep,
                          testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89));
 
 TEST_P(SeedSweep, TransformIsBijectiveOnActiveDomain) {
+  // Assertion logic lives in the check/ oracle; this sweep only supplies
+  // the calibrated covtype-like cases the fuzzer's generator does not.
   Rng rng(GetParam());
   const Dataset d = GenerateCovtypeLike(SmallCovtypeSpec(600), rng);
   PiecewiseOptions options;
   options.min_breakpoints = 6;
   const TransformPlan plan = TransformPlan::Create(d, options, rng);
-  for (size_t a = 0; a < d.NumAttributes(); ++a) {
-    const auto s = AttributeSummary::FromDataset(d, a);
-    std::set<AttrValue> images;
-    for (AttrValue v : s.values()) {
-      const AttrValue y = plan.Encode(a, v);
-      EXPECT_TRUE(images.insert(y).second) << "attr " << a << " value " << v;
-      EXPECT_NEAR(plan.Decode(a, y), v, 1e-7);
-    }
-  }
+  const auto result = check::CheckEncodeBijective(d, plan);
+  EXPECT_TRUE(result.passed) << result.message;
 }
 
 TEST_P(SeedSweep, GlobalInvariantHolds) {
@@ -52,11 +48,8 @@ TEST_P(SeedSweep, GlobalInvariantHolds) {
     options.global_anti_monotone = anti;
     Rng plan_rng(GetParam() * 17 + anti);
     const TransformPlan plan = TransformPlan::Create(d, options, plan_rng);
-    for (size_t a = 0; a < d.NumAttributes(); ++a) {
-      const auto s = AttributeSummary::FromDataset(d, a);
-      EXPECT_TRUE(plan.transform(a).SatisfiesGlobalInvariant(s))
-          << "attr " << a << " anti=" << anti;
-    }
+    const auto result = check::CheckGlobalInvariant(d, plan);
+    EXPECT_TRUE(result.passed) << "anti=" << anti << ": " << result.message;
   }
 }
 
@@ -89,14 +82,29 @@ TEST_P(SeedSweep, LabelRunsPreservedEvenWithBijectivePieces) {
   options.min_breakpoints = 10;
   const TransformPlan plan = TransformPlan::Create(d, options, rng);
   const Dataset dp = plan.EncodeDataset(d);
-  for (size_t a = 0; a < d.NumAttributes(); ++a) {
-    const auto runs_d = LabelRunsOf(d, a);
-    const auto runs_dp = LabelRunsOf(dp, a);
-    ASSERT_EQ(runs_d.size(), runs_dp.size()) << "attr " << a;
-    for (size_t i = 0; i < runs_d.size(); ++i) {
-      EXPECT_EQ(runs_d[i].label, runs_dp[i].label);
-      EXPECT_EQ(runs_d[i].length(), runs_dp[i].length());
-    }
+  const auto result = check::CheckLabelRunPreservation(d, plan, dp);
+  EXPECT_TRUE(result.passed) << result.message;
+}
+
+TEST_P(SeedSweep, NoOutcomeChangeOnCovtypeLikeData) {
+  // Theorems 1–2 via the check/ oracle, unpruned and pruned, on data whose
+  // value distributions differ from the fuzzer generator's.
+  Rng rng(GetParam() * 59 + 31);
+  const Dataset d = GenerateCovtypeLike(SmallCovtypeSpec(400), rng);
+  PiecewiseOptions transform_options;
+  transform_options.min_breakpoints = 8;
+  transform_options.global_anti_monotone = (GetParam() % 2) == 0;
+  const TransformPlan plan = TransformPlan::Create(d, transform_options, rng);
+  const Dataset dp = plan.EncodeDataset(d);
+  BuildOptions build_options;
+  build_options.max_depth = 6;
+  const std::vector<SplitCriterion> criteria = {SplitCriterion::kGini,
+                                                SplitCriterion::kEntropy};
+  for (bool pruned : {false, true}) {
+    const auto result = check::CheckTreeEquivalence(d, plan, dp, build_options,
+                                                    criteria, pruned);
+    EXPECT_TRUE(result.passed) << "pruned=" << pruned << ": "
+                               << result.message;
   }
 }
 

@@ -1,0 +1,76 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "check/shrink.h"
+#include "transform/serialize.h"
+#include "tree/compare.h"
+#include "tree/serialize.h"
+
+/// \file
+/// Golden-file coverage of the persisted formats. The fixtures under
+/// tests/data/ are committed bytes; parse → serialize must reproduce them
+/// exactly. A failure here means the on-disk format changed — which silently
+/// invalidates every custodian key and reproducer recipe in the wild — so a
+/// deliberate format change must regenerate the fixtures *and* bump the
+/// format version line.
+
+namespace popp {
+namespace {
+
+std::string DataDir() { return POPP_TEST_DATA_DIR; }
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "cannot open fixture " << path;
+  std::ostringstream oss;
+  oss << in.rdbuf();
+  return oss.str();
+}
+
+TEST(SerializeGolden, PlanRoundTripIsByteStable) {
+  const std::string bytes = ReadFile(DataDir() + "/golden_plan.key");
+  ASSERT_FALSE(bytes.empty());
+  auto plan = ParsePlan(bytes);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_EQ(SerializePlan(plan.value()), bytes);
+}
+
+TEST(SerializeGolden, TreeRoundTripIsByteStable) {
+  const std::string bytes = ReadFile(DataDir() + "/golden_tree.txt");
+  ASSERT_FALSE(bytes.empty());
+  auto tree = ParseTree(bytes);
+  ASSERT_TRUE(tree.ok()) << tree.status().ToString();
+  EXPECT_EQ(SerializeTree(tree.value()), bytes);
+  // The reparse of the re-serialization is the same tree, not merely the
+  // same bytes.
+  auto again = ParseTree(SerializeTree(tree.value()));
+  ASSERT_TRUE(again.ok());
+  EXPECT_TRUE(ExactlyEqual(tree.value(), again.value()));
+}
+
+TEST(SerializeGolden, ReproducerRecipeRoundTripIsByteStable) {
+  const std::string recipe_path = DataDir() + "/golden_repro.recipe";
+  const std::string recipe_bytes = ReadFile(recipe_path);
+  const std::string csv_bytes = ReadFile(DataDir() + "/golden_repro.csv");
+  auto repro = check::LoadReproducer(recipe_path);
+  ASSERT_TRUE(repro.ok()) << repro.status().ToString();
+
+  // Rewrite under the same base names; the bytes must match the fixtures.
+  const std::string dir = testing::TempDir();
+  const std::string out_csv = dir + "/golden_repro.csv";
+  const std::string out_recipe = dir + "/golden_repro.recipe";
+  const Status written =
+      check::WriteReproducer(repro.value(), out_csv, out_recipe);
+  ASSERT_TRUE(written.ok()) << written.ToString();
+  EXPECT_EQ(ReadFile(out_recipe), recipe_bytes);
+  EXPECT_EQ(ReadFile(out_csv), csv_bytes);
+  std::remove(out_csv.c_str());
+  std::remove(out_recipe.c_str());
+}
+
+}  // namespace
+}  // namespace popp

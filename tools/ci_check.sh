@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# CI gate: sanitized build, full test suite, and a bounded fuzz run.
+#
+# Usage: tools/ci_check.sh [build-dir]
+#
+# Builds with ASan+UBSan (POPP_SANITIZE=address,undefined), runs ctest,
+# then hammers the invariant oracles with a bounded popp_check run. Any
+# failure — test, sanitizer report, or oracle — fails the script.
+
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build-ci}"
+
+echo "== configure (ASan+UBSan) =="
+cmake -B "$build_dir" -S "$repo_root" \
+  -DPOPP_SANITIZE=address,undefined \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo
+
+echo "== build =="
+cmake --build "$build_dir" -j
+
+echo "== ctest =="
+ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)"
+
+echo "== popp_check (bounded) =="
+"$build_dir/tools/popp_check" --trials 200 --seed 7 --out "$build_dir"
+
+echo "ci_check: all gates passed"
