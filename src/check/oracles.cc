@@ -5,6 +5,8 @@
 #include <sstream>
 
 #include "data/summary.h"
+#include "parallel/exec_policy.h"
+#include "risk/trials.h"
 #include "transform/serialize.h"
 #include "transform/tree_decode.h"
 #include "tree/compare.h"
@@ -280,6 +282,69 @@ OracleResult CheckSerializeRoundTrip(const Dataset& original,
   return OracleResult::Ok();
 }
 
+OracleResult CheckParallelDeterminism(
+    const Dataset& original, const TransformPlan& plan,
+    const Dataset& released, const BuildOptions& build_options,
+    uint64_t plan_seed, const PiecewiseOptions& transform_options,
+    size_t num_threads) {
+  const ExecPolicy parallel{num_threads};
+
+  // Plan selection: a parallel re-derivation from the same seed must
+  // serialize to the same bytes as the serial plan in the context.
+  Rng plan_rng(plan_seed);
+  const TransformPlan parallel_plan =
+      TransformPlan::Create(original, transform_options, plan_rng, parallel);
+  if (SerializePlan(parallel_plan) != SerializePlan(plan)) {
+    std::ostringstream oss;
+    oss << "plan serialization differs at " << num_threads << " threads";
+    return OracleResult::Fail(oss.str());
+  }
+
+  // Tree induction, on both sides of the release.
+  const DecisionTreeBuilder serial_builder(build_options);
+  const DecisionTreeBuilder parallel_builder(build_options, parallel);
+  const std::pair<const char*, const Dataset*> sides[] = {
+      {"original", &original}, {"released", &released}};
+  for (const auto& side : sides) {
+    const DecisionTree serial_tree = serial_builder.Build(*side.second);
+    const DecisionTree parallel_tree = parallel_builder.Build(*side.second);
+    if (!ExactlyEqual(serial_tree, parallel_tree)) {
+      std::ostringstream oss;
+      oss << side.first << " tree differs at " << num_threads
+          << " threads — " << DescribeDifference(serial_tree, parallel_tree);
+      return OracleResult::Fail(oss.str());
+    }
+  }
+
+  // Risk-trial harness: a small but RNG-heavy battery whose collected
+  // vector must match the serial one double-for-double.
+  const AttributeSummary summary = AttributeSummary::FromDataset(original, 0);
+  const auto trial = [&](Rng& rng) {
+    const PiecewiseTransform f =
+        PiecewiseTransform::Create(summary, transform_options, rng);
+    double acc = rng.Uniform01();
+    for (AttrValue v : summary.values()) {
+      acc += f.Apply(v);
+    }
+    return acc;
+  };
+  constexpr size_t kTrials = 9;
+  const uint64_t trial_seed = plan_seed ^ 0x5eedull;
+  const std::vector<double> serial_values =
+      CollectTrials(kTrials, trial_seed, trial);
+  const std::vector<double> parallel_values =
+      CollectTrials(kTrials, trial_seed, trial, parallel);
+  for (size_t t = 0; t < kTrials; ++t) {
+    if (serial_values[t] != parallel_values[t]) {
+      std::ostringstream oss;
+      oss << "trial " << t << " differs at " << num_threads << " threads ("
+          << serial_values[t] << " vs " << parallel_values[t] << ")";
+      return OracleResult::Fail(oss.str());
+    }
+  }
+  return OracleResult::Ok();
+}
+
 TrialContext MakeTrialContext(TrialCase c) {
   TrialContext ctx;
   Rng plan_rng(c.plan_seed);
@@ -330,6 +395,15 @@ const std::vector<Oracle>& AllOracles() {
          [](const TrialContext& ctx) {
            return CheckSerializeRoundTrip(ctx.c.data, ctx.plan,
                                           ctx.c.build_options);
+         }},
+        {"parallel_determinism",
+         [](const TrialContext& ctx) {
+           // A case-derived thread count in [2, 7] keeps the sweep cheap
+           // while still varying the worker/task interleavings per case.
+           const size_t threads = 2 + ctx.c.plan_seed % 6;
+           return CheckParallelDeterminism(
+               ctx.c.data, ctx.plan, ctx.released, ctx.c.build_options,
+               ctx.c.plan_seed, ctx.c.transform_options, threads);
          }},
     };
     return v;

@@ -79,6 +79,19 @@ OracleResult CheckSerializeRoundTrip(const Dataset& original,
                                      const TransformPlan& plan,
                                      const BuildOptions& build_options);
 
+/// The deterministic-parallelism contract: re-deriving the plan, mining
+/// both trees, and running a small risk-trial battery under a random
+/// thread count (derived from the case's plan seed) must reproduce the
+/// serial artifacts bit-for-bit — identical plan serialization, exactly
+/// equal trees, exactly equal trial vectors.
+OracleResult CheckParallelDeterminism(const Dataset& original,
+                                      const TransformPlan& plan,
+                                      const Dataset& released,
+                                      const BuildOptions& build_options,
+                                      uint64_t plan_seed,
+                                      const PiecewiseOptions& transform_options,
+                                      size_t num_threads);
+
 /// A trial case with its derived artifacts, evaluated by every oracle.
 struct TrialContext {
   TrialCase c;

@@ -9,6 +9,7 @@
 #include "core/recipe.h"
 #include "core/report.h"
 #include "data/csv.h"
+#include "parallel/exec_policy.h"
 #include "transform/serialize.h"
 #include "transform/tree_decode.h"
 #include "tree/builder.h"
@@ -33,7 +34,10 @@ constexpr char kUsage[] =
     "\n"
     "provider commands:\n"
     "  mine <data.csv> <tree.out> [--criterion gini|entropy|gainratio]\n"
-    "       [--prune] [--max-depth D] [--min-leaf N]\n";
+    "       [--prune] [--max-depth D] [--min-leaf N]\n"
+    "\n"
+    "every command also accepts --threads N (default 1 = serial; 0 = all\n"
+    "hardware threads). Results are bit-identical for every N.\n";
 
 /// Splits `args` into positional arguments and --flag[=value] options
 /// (flags may also take their value as the next token).
@@ -72,6 +76,10 @@ uint64_t FlagInt(const ParsedArgs& args, const std::string& name,
   auto it = args.flags.find(name);
   if (it == args.flags.end() || it->second.empty()) return fallback;
   return std::strtoull(it->second.c_str(), nullptr, 10);
+}
+
+ExecPolicy ExecFlags(const ParsedArgs& args) {
+  return ExecPolicy{static_cast<size_t>(FlagInt(args, "threads", 1))};
 }
 
 std::optional<PiecewiseOptions> TransformFlags(const ParsedArgs& args,
@@ -130,7 +138,7 @@ int CmdEncode(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
   if (!options) return 2;
   Rng rng(FlagInt(args, "seed", 1));
   const TransformPlan plan =
-      TransformPlan::Create(data.value(), *options, rng);
+      TransformPlan::Create(data.value(), *options, rng, ExecFlags(args));
   const Dataset released = plan.EncodeDataset(data.value());
 
   Status status = WriteCsv(released, args.positional[1]);
@@ -162,7 +170,8 @@ int CmdMine(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
     err << data.status().ToString() << "\n";
     return 1;
   }
-  DecisionTree tree = DecisionTreeBuilder(*options).Build(data.value());
+  DecisionTree tree =
+      DecisionTreeBuilder(*options, ExecFlags(args)).Build(data.value());
   if (args.flags.count("prune") > 0) {
     tree = PruneTree(tree);
   }
@@ -229,6 +238,7 @@ int CmdVerify(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
   options.seed = FlagInt(args, "seed", 1);
   options.transform = *transform;
   options.tree = *tree;
+  options.exec = ExecFlags(args);
   const Custodian custodian(std::move(data).value(), options);
   std::string detail;
   const bool ok = custodian.VerifyNoOutcomeChange(&detail);
@@ -251,10 +261,12 @@ int CmdReport(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
   }
   CustodianOptions options;
   options.seed = FlagInt(args, "seed", 1);
+  options.exec = ExecFlags(args);
   const Custodian custodian(std::move(data).value(), options);
   ReportOptions report_options;
   report_options.num_trials = FlagInt(args, "trials", 31);
   report_options.seed = options.seed + 1;
+  report_options.exec = options.exec;
   out << RenderRiskReport(BuildRiskReport(custodian, report_options));
   return 0;
 }
@@ -273,6 +285,7 @@ int CmdHarden(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
   targets.max_risk =
       static_cast<double>(FlagInt(args, "max-risk", 25)) / 100.0;
   targets.trials = FlagInt(args, "trials", 21);
+  targets.exec = ExecFlags(args);
   const auto decisions = RecommendPerAttributeOptions(
       data.value(), PiecewiseOptions{}, targets, FlagInt(args, "seed", 1));
   out << RenderHardeningDecisions(data.value(), decisions);
@@ -290,8 +303,8 @@ int RunCli(const std::vector<std::string>& args, std::ostream& out,
   const std::string& command = args[0];
   const std::vector<std::string> rest(args.begin() + 1, args.end());
   static const std::vector<std::string> kValueFlags = {
-      "seed",     "policy",   "breakpoints", "criterion",
-      "max-depth", "min-leaf", "trials", "max-risk"};
+      "seed",     "policy",   "breakpoints", "criterion", "max-depth",
+      "min-leaf", "trials",   "max-risk",    "threads"};
   const ParsedArgs parsed = Parse(rest, kValueFlags);
   if (command == "encode") return CmdEncode(parsed, out, err);
   if (command == "mine") return CmdMine(parsed, out, err);

@@ -10,13 +10,14 @@ Custodian::Custodian(Dataset data, CustodianOptions options)
     : original_(std::move(data)), options_(options) {
   POPP_CHECK_MSG(original_.NumRows() > 0, "custodian needs data");
   Rng rng(options_.seed);
-  plan_ = TransformPlan::Create(original_, options_.transform, rng);
+  plan_ = TransformPlan::Create(original_, options_.transform, rng,
+                                options_.exec);
 }
 
 Dataset Custodian::Release() const { return plan_.EncodeDataset(original_); }
 
 DecisionTree Custodian::MineReleased() const {
-  const DecisionTreeBuilder builder(options_.tree);
+  const DecisionTreeBuilder builder(options_.tree, options_.exec);
   return builder.Build(Release());
 }
 
@@ -25,7 +26,7 @@ DecisionTree Custodian::Decode(const DecisionTree& tprime) const {
 }
 
 DecisionTree Custodian::MineDirectly() const {
-  const DecisionTreeBuilder builder(options_.tree);
+  const DecisionTreeBuilder builder(options_.tree, options_.exec);
   return builder.Build(original_);
 }
 

@@ -25,6 +25,9 @@ struct CustodianOptions {
   PiecewiseOptions transform;  ///< how D is encoded
   BuildOptions tree;           ///< how trees are mined (both sides)
   uint64_t seed = 1;           ///< randomness of the encoding
+  /// Execution policy for plan selection and mining. Serial by default;
+  /// any thread count produces bit-identical plans and trees.
+  ExecPolicy exec;
 };
 
 /// Owns the original data and the secret transformation plan.

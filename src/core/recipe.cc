@@ -5,6 +5,7 @@
 #include "attack/knowledge.h"
 #include "attack/sorting_attack.h"
 #include "data/summary.h"
+#include "parallel/parallel_for.h"
 #include "risk/domain_risk.h"
 #include "risk/trials.h"
 #include "util/table.h"
@@ -43,10 +44,12 @@ std::vector<HardeningDecision> RecommendPerAttributeOptions(
     const Dataset& data, const PiecewiseOptions& base,
     const HardeningTargets& targets, uint64_t seed) {
   POPP_CHECK(targets.max_risk > 0.0 && targets.max_risk <= 1.0);
-  std::vector<HardeningDecision> decisions;
-  decisions.reserve(data.NumAttributes());
+  std::vector<HardeningDecision> decisions(data.NumAttributes());
 
-  for (size_t attr = 0; attr < data.NumAttributes(); ++attr) {
+  // Every probe seed is pure (seed, attr, probe) arithmetic, so the
+  // per-attribute ladders are independent and safe to run concurrently
+  // without changing any decision.
+  ParallelFor(targets.exec, data.NumAttributes(), [&](size_t attr) {
     const AttributeSummary summary =
         AttributeSummary::FromDataset(data, attr);
     HardeningDecision decision;
@@ -69,8 +72,8 @@ std::vector<HardeningDecision> RecommendPerAttributeOptions(
       }
       w = std::min({w * 2, targets.max_breakpoints, summary.NumDistinct()});
     }
-    decisions.push_back(std::move(decision));
-  }
+    decisions[attr] = std::move(decision);
+  });
   return decisions;
 }
 

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "data/dataset.h"
+#include "parallel/exec_policy.h"
 #include "transform/piecewise.h"
 
 /// \file
@@ -31,6 +32,10 @@ struct HardeningTargets {
   /// Breakpoint budget cap; attributes still unsafe at the cap are
   /// reported as such.
   size_t max_breakpoints = 512;
+  /// Attributes are hardened under this policy (serial by default). Each
+  /// attribute's probe ladder is seeded from (seed, attr, probe) alone,
+  /// so the decisions are bit-identical at every thread count.
+  ExecPolicy exec;
 };
 
 /// Hardening outcome for one attribute.

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/custodian.h"
+#include "parallel/exec_policy.h"
 #include "util/rng.h"
 
 /// \file
@@ -44,6 +45,10 @@ struct ReportOptions {
   /// Recipe threshold: an attribute is flagged unsafe when both its
   /// curve-fit and sorting risks exceed this.
   double safety_threshold = 0.25;
+  /// Attributes are measured under this policy (serial by default). Each
+  /// attribute's battery depends only on (seed, attr), so the report is
+  /// bit-identical at every thread count.
+  ExecPolicy exec;
 };
 
 /// Runs the attack battery against the custodian's released data.

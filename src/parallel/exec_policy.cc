@@ -1,0 +1,13 @@
+#include "parallel/exec_policy.h"
+
+#include <algorithm>
+#include <thread>
+
+namespace popp {
+
+size_t ExecPolicy::ResolvedThreads() const {
+  if (num_threads != 0) return num_threads;
+  return std::max<size_t>(1, std::thread::hardware_concurrency());
+}
+
+}  // namespace popp

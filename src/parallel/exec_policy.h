@@ -1,0 +1,36 @@
+#ifndef POPP_PARALLEL_EXEC_POLICY_H_
+#define POPP_PARALLEL_EXEC_POLICY_H_
+
+#include <cstddef>
+
+/// \file
+/// Execution policy: how many threads a parallelizable popp operation may
+/// use. Every parallel entry point in the library takes an ExecPolicy with
+/// a **serial default**, and every one of them is *deterministic in the
+/// policy*: the bits of the result are identical for any thread count,
+/// because each unit of work derives its own RNG stream from its index
+/// (Rng::Fork(index)) and writes to its own index-addressed slot. The
+/// policy is therefore purely a performance knob — see DESIGN.md,
+/// "Deterministic parallel execution".
+
+namespace popp {
+
+struct ExecPolicy {
+  /// Number of worker threads; 0 means "use the hardware concurrency",
+  /// 1 (the default) runs inline on the calling thread.
+  size_t num_threads = 1;
+
+  static ExecPolicy Serial() { return ExecPolicy{1}; }
+  static ExecPolicy Hardware() { return ExecPolicy{0}; }
+
+  /// The actual thread count: num_threads, or the detected hardware
+  /// concurrency (at least 1) when num_threads is 0.
+  size_t ResolvedThreads() const;
+
+  /// True when work would run inline on the calling thread.
+  bool IsSerial() const { return ResolvedThreads() <= 1; }
+};
+
+}  // namespace popp
+
+#endif  // POPP_PARALLEL_EXEC_POLICY_H_

@@ -1,0 +1,25 @@
+#include "parallel/parallel_for.h"
+
+namespace popp {
+
+void ParallelFor(const ExecPolicy& policy, size_t n,
+                 const std::function<void(size_t)>& body) {
+  const size_t threads = policy.ResolvedThreads();
+  if (threads <= 1 || n <= 1) {
+    for (size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  ThreadPool pool(std::min(threads, n));
+  pool.ForEach(n, body);
+}
+
+void ParallelFor(ThreadPool* pool, size_t n,
+                 const std::function<void(size_t)>& body) {
+  if (pool == nullptr) {
+    for (size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  pool->ForEach(n, body);
+}
+
+}  // namespace popp

@@ -1,0 +1,53 @@
+#ifndef POPP_PARALLEL_PARALLEL_FOR_H_
+#define POPP_PARALLEL_PARALLEL_FOR_H_
+
+#include <cstddef>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "parallel/exec_policy.h"
+#include "parallel/thread_pool.h"
+
+/// \file
+/// Deterministic parallel loops. These are the only constructs popp's
+/// library code uses to go parallel; both guarantee bit-identical results
+/// for every ExecPolicy because
+///   * each index's work must be a pure function of the index (call sites
+///     derive per-index RNG streams with Rng::Fork(index) and never share
+///     a mutable generator), and
+///   * all combining happens serially in index order after the parallel
+///     phase (ParallelMapReduce), or not at all (ParallelFor writes to
+///     index-addressed slots).
+
+namespace popp {
+
+/// Runs body(0..n-1) under `policy` (inline when the policy is serial,
+/// otherwise on a transient ThreadPool). Exceptions: the smallest failing
+/// index's exception is rethrown after all bodies finish.
+void ParallelFor(const ExecPolicy& policy, size_t n,
+                 const std::function<void(size_t)>& body);
+
+/// Pool-reusing variant for hot loops: `pool == nullptr` means serial.
+void ParallelFor(ThreadPool* pool, size_t n,
+                 const std::function<void(size_t)>& body);
+
+/// Maps every index, then folds the mapped values **in index order** —
+/// the fold is serial, so non-associative reductions (floating point
+/// sums, first-wins tie-breaks) give bit-identical results at any thread
+/// count. `T` must be default-constructible.
+template <typename T, typename MapFn, typename ReduceFn>
+T ParallelMapReduce(const ExecPolicy& policy, size_t n, T init, MapFn map,
+                    ReduceFn reduce) {
+  std::vector<T> mapped(n);
+  ParallelFor(policy, n, [&](size_t i) { mapped[i] = map(i); });
+  T acc = std::move(init);
+  for (size_t i = 0; i < n; ++i) {
+    acc = reduce(std::move(acc), std::move(mapped[i]));
+  }
+  return acc;
+}
+
+}  // namespace popp
+
+#endif  // POPP_PARALLEL_PARALLEL_FOR_H_

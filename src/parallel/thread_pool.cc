@@ -1,0 +1,116 @@
+#include "parallel/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <utility>
+
+#include "util/status.h"
+
+namespace popp {
+namespace {
+
+/// The pool (if any) whose WorkerLoop owns the current thread.
+thread_local const ThreadPool* current_pool = nullptr;
+
+}  // namespace
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  POPP_CHECK_MSG(num_threads >= 1, "ThreadPool needs at least one thread");
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  wake_.notify_all();
+  for (auto& worker : workers_) {
+    worker.join();
+  }
+}
+
+bool ThreadPool::OnWorkerThread() const { return current_pool == this; }
+
+void ThreadPool::WorkerLoop() {
+  current_pool = this;
+  while (true) {
+    std::packaged_task<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutdown with a drained queue
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();  // packaged_task captures any exception into its future
+  }
+}
+
+std::future<void> ThreadPool::Submit(std::function<void()> task) {
+  std::packaged_task<void()> packaged(std::move(task));
+  std::future<void> future = packaged.get_future();
+  if (OnWorkerThread()) {
+    // Nested submit: run inline rather than enqueue-and-(maybe-)wait on
+    // our own queue, which deadlocks once every worker blocks that way.
+    packaged();
+    return future;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    POPP_CHECK_MSG(!shutdown_, "Submit on a shut-down ThreadPool");
+    queue_.push_back(std::move(packaged));
+  }
+  wake_.notify_one();
+  return future;
+}
+
+void ThreadPool::ForEach(size_t n, const std::function<void(size_t)>& body) {
+  if (n == 0) return;
+  if (n == 1 || workers_.size() <= 1 || OnWorkerThread()) {
+    for (size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+
+  std::atomic<size_t> next{0};
+  std::mutex failure_mutex;
+  size_t failed_index = n;
+  std::exception_ptr failure;
+
+  const auto drain = [&] {
+    while (true) {
+      const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      try {
+        body(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(failure_mutex);
+        if (i < failed_index) {
+          failed_index = i;
+          failure = std::current_exception();
+        }
+      }
+    }
+  };
+
+  // One drain task per worker (capped by n); the caller drains too, so a
+  // pool busy with unrelated tasks cannot stall this loop.
+  const size_t helpers = std::min(workers_.size(), n);
+  std::vector<std::future<void>> done;
+  done.reserve(helpers);
+  for (size_t w = 0; w < helpers; ++w) {
+    done.push_back(Submit(drain));
+  }
+  drain();
+  for (auto& future : done) {
+    future.get();  // drain() swallows body exceptions; nothing rethrows here
+  }
+  if (failure) {
+    std::rethrow_exception(failure);
+  }
+}
+
+}  // namespace popp

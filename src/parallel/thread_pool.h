@@ -1,0 +1,73 @@
+#ifndef POPP_PARALLEL_THREAD_POOL_H_
+#define POPP_PARALLEL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+/// \file
+/// A small fixed-size thread pool with no work stealing and no scheduling
+/// cleverness — on purpose. popp's parallelism contract is that results
+/// are bit-identical to serial execution for every thread count, which is
+/// achieved at the call sites (index-derived RNG streams, index-addressed
+/// output slots, index-ordered reduction), not in the scheduler; the pool
+/// only has to run every task exactly once and propagate failures
+/// deterministically.
+///
+/// Re-entrancy: a pool thread that submits to (or iterates on) its own
+/// pool runs the work inline on itself instead of enqueueing. Blocking on
+/// a queue from inside a worker is the classic self-deadlock of fixed
+/// pools; inline execution keeps nested ParallelFor calls safe and — by
+/// the determinism contract above — cannot change any result.
+
+namespace popp {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (at least 1).
+  explicit ThreadPool(size_t num_threads);
+
+  /// Drains outstanding tasks and joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Enqueues one task. The returned future rethrows whatever the task
+  /// threw. Called from one of this pool's own workers, the task runs
+  /// inline (see the re-entrancy note above) and the future is ready on
+  /// return.
+  std::future<void> Submit(std::function<void()> task);
+
+  /// Runs body(0), ..., body(n-1) across the workers and blocks until all
+  /// are done. Indices are claimed from a shared counter, so the
+  /// assignment of index to thread is arbitrary — call sites must keep
+  /// outputs index-addressed. If one or more bodies throw, the exception
+  /// of the *smallest* failing index is rethrown (a deterministic choice;
+  /// the others are discarded) after every body has finished. Runs inline
+  /// when n <= 1 or when called from a worker of this pool.
+  void ForEach(size_t n, const std::function<void(size_t)>& body);
+
+  /// True when the calling thread is a worker of this pool.
+  bool OnWorkerThread() const;
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::packaged_task<void()>> queue_;
+  mutable std::mutex mutex_;
+  std::condition_variable wake_;
+  bool shutdown_ = false;
+};
+
+}  // namespace popp
+
+#endif  // POPP_PARALLEL_THREAD_POOL_H_

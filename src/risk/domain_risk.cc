@@ -1,5 +1,6 @@
 #include "risk/domain_risk.h"
 
+#include "parallel/parallel_for.h"
 #include "risk/crack.h"
 #include "util/stats.h"
 #include "util/status.h"
@@ -55,18 +56,16 @@ DomainRiskResult CurveFitDomainRisk(const AttributeSummary& original,
 double MedianDomainRisk(const AttributeSummary& original,
                         const DomainRiskExperiment& experiment) {
   POPP_CHECK(experiment.num_trials > 0);
-  Rng master(experiment.seed);
-  std::vector<double> risks;
-  risks.reserve(experiment.num_trials);
-  for (size_t t = 0; t < experiment.num_trials; ++t) {
-    Rng trial = master.Fork();
+  const Rng master(experiment.seed);
+  std::vector<double> risks(experiment.num_trials);
+  ParallelFor(experiment.exec, experiment.num_trials, [&](size_t t) {
+    Rng trial = master.Fork(static_cast<uint64_t>(t));
     const PiecewiseTransform transform = PiecewiseTransform::Create(
         original, experiment.transform_options, trial);
-    risks.push_back(CurveFitDomainRisk(original, transform,
-                                       experiment.method,
-                                       experiment.knowledge, trial)
-                        .risk);
-  }
+    risks[t] = CurveFitDomainRisk(original, transform, experiment.method,
+                                  experiment.knowledge, trial)
+                   .risk;
+  });
   return Median(std::move(risks));
 }
 

@@ -6,6 +6,7 @@
 #include "attack/curve_fit.h"
 #include "attack/knowledge.h"
 #include "data/summary.h"
+#include "parallel/exec_policy.h"
 #include "transform/piecewise.h"
 #include "util/rng.h"
 
@@ -51,6 +52,10 @@ struct DomainRiskExperiment {
   KnowledgeOptions knowledge;
   size_t num_trials = 101;
   uint64_t seed = 42;
+  /// Trials run under this policy (serial by default); each trial draws
+  /// from its own indexed RNG stream, so the median is bit-identical at
+  /// every thread count.
+  ExecPolicy exec;
 };
 
 /// Runs the experiment and returns the *median* risk over the trials (the

@@ -1,67 +1,41 @@
 #include "risk/trials.h"
 
-#include <atomic>
-#include <thread>
-
+#include "parallel/parallel_for.h"
 #include "util/status.h"
 
 namespace popp {
 
 std::vector<double> CollectTrials(size_t num_trials, uint64_t seed,
-                                  const std::function<double(Rng&)>& trial) {
+                                  const std::function<double(Rng&)>& trial,
+                                  const ExecPolicy& exec) {
   POPP_CHECK(num_trials > 0);
-  Rng master(seed);
-  std::vector<double> values;
-  values.reserve(num_trials);
-  for (size_t t = 0; t < num_trials; ++t) {
-    Rng stream = master.Fork();
-    values.push_back(trial(stream));
-  }
+  // The master is never advanced: trial t derives the t-th indexed child
+  // on demand, wherever (and on whichever thread) it happens to run.
+  const Rng master(seed);
+  std::vector<double> values(num_trials);
+  ParallelFor(exec, num_trials, [&](size_t t) {
+    Rng stream = master.Fork(static_cast<uint64_t>(t));
+    values[t] = trial(stream);
+  });
   return values;
 }
 
 std::vector<double> CollectTrialsParallel(
     size_t num_trials, uint64_t seed,
     const std::function<double(Rng&)>& trial, size_t threads) {
-  POPP_CHECK(num_trials > 0);
-  if (threads == 0) {
-    threads = std::max<size_t>(1, std::thread::hardware_concurrency());
-  }
-  // Fork all per-trial streams up front (the fork sequence is what makes
-  // results identical to the sequential harness).
-  Rng master(seed);
-  std::vector<Rng> streams;
-  streams.reserve(num_trials);
-  for (size_t t = 0; t < num_trials; ++t) {
-    streams.push_back(master.Fork());
-  }
-  std::vector<double> values(num_trials);
-  std::atomic<size_t> next{0};
-  auto worker = [&]() {
-    while (true) {
-      const size_t t = next.fetch_add(1);
-      if (t >= num_trials) return;
-      values[t] = trial(streams[t]);
-    }
-  };
-  std::vector<std::thread> pool;
-  const size_t workers = std::min(threads, num_trials);
-  pool.reserve(workers);
-  for (size_t w = 0; w < workers; ++w) {
-    pool.emplace_back(worker);
-  }
-  for (auto& t : pool) t.join();
-  return values;
+  return CollectTrials(num_trials, seed, trial, ExecPolicy{threads});
 }
 
 double MedianOverTrials(size_t num_trials, uint64_t seed,
-                        const std::function<double(Rng&)>& trial) {
-  return Median(CollectTrials(num_trials, seed, trial));
+                        const std::function<double(Rng&)>& trial,
+                        const ExecPolicy& exec) {
+  return Median(CollectTrials(num_trials, seed, trial, exec));
 }
 
 Summary SummarizeTrials(size_t num_trials, uint64_t seed,
-                        const std::function<double(Rng&)>& trial) {
-  return Summarize(CollectTrials(num_trials, seed, trial));
+                        const std::function<double(Rng&)>& trial,
+                        const ExecPolicy& exec) {
+  return Summarize(CollectTrials(num_trials, seed, trial, exec));
 }
 
 }  // namespace popp

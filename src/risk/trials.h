@@ -4,38 +4,43 @@
 #include <functional>
 #include <vector>
 
+#include "parallel/exec_policy.h"
 #include "util/rng.h"
 #include "util/stats.h"
 
 /// \file
 /// Multi-trial harness: the paper reports each disclosure figure as the
-/// median over 500 random trials (Section 6.1). Every trial gets an
-/// independent forked RNG stream, so trial counts can change without
-/// perturbing individual trials.
+/// median over 500 random trials (Section 6.1). Trial t always draws from
+/// the t-th indexed child stream of the master seed (Rng::Fork(t)), so a
+/// trial's outcome depends on nothing but (seed, t): not on the trial
+/// count, not on the order trials run in, and not on the thread count.
 
 namespace popp {
 
 /// Runs `trial` `num_trials` times with independent RNG streams seeded
-/// from `seed`; returns the collected values.
+/// from `seed`, under `exec` (serial by default); returns the collected
+/// values, bit-identical for every thread count. When run in parallel,
+/// `trial` must be safe to invoke concurrently (the usual pattern —
+/// capturing only const references to shared inputs — is).
 std::vector<double> CollectTrials(size_t num_trials, uint64_t seed,
-                                  const std::function<double(Rng&)>& trial);
+                                  const std::function<double(Rng&)>& trial,
+                                  const ExecPolicy& exec = {});
 
-/// Parallel variant: trial i still gets the i-th forked stream, so the
-/// result vector is bit-identical to CollectTrials regardless of
-/// `threads` (0 = hardware concurrency). `trial` must be safe to invoke
-/// concurrently (the usual pattern — capturing only const references to
-/// shared inputs — is).
+/// Back-compat spelling of CollectTrials(..., ExecPolicy{threads});
+/// `threads` = 0 means hardware concurrency.
 std::vector<double> CollectTrialsParallel(
     size_t num_trials, uint64_t seed,
     const std::function<double(Rng&)>& trial, size_t threads = 0);
 
 /// Median over the trials.
 double MedianOverTrials(size_t num_trials, uint64_t seed,
-                        const std::function<double(Rng&)>& trial);
+                        const std::function<double(Rng&)>& trial,
+                        const ExecPolicy& exec = {});
 
 /// Full distribution summary over the trials.
 Summary SummarizeTrials(size_t num_trials, uint64_t seed,
-                        const std::function<double(Rng&)>& trial);
+                        const std::function<double(Rng&)>& trial,
+                        const ExecPolicy& exec = {});
 
 }  // namespace popp
 

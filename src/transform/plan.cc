@@ -3,31 +3,37 @@
 #include <sstream>
 
 #include "data/summary.h"
+#include "parallel/parallel_for.h"
 #include "util/status.h"
 
 namespace popp {
 
 TransformPlan TransformPlan::Create(const Dataset& data,
                                     const PiecewiseOptions& options,
-                                    Rng& rng) {
+                                    Rng& rng, const ExecPolicy& exec) {
   return CreatePerAttribute(
       data, std::vector<PiecewiseOptions>(data.NumAttributes(), options),
-      rng);
+      rng, exec);
 }
 
 TransformPlan TransformPlan::CreatePerAttribute(
     const Dataset& data, const std::vector<PiecewiseOptions>& options,
-    Rng& rng) {
+    Rng& rng, const ExecPolicy& exec) {
   POPP_CHECK_MSG(options.size() == data.NumAttributes(),
                  "need one PiecewiseOptions per attribute");
   TransformPlan plan;
-  plan.transforms_.reserve(data.NumAttributes());
-  for (size_t attr = 0; attr < data.NumAttributes(); ++attr) {
+  plan.transforms_.resize(data.NumAttributes());
+  // Advance the caller's generator exactly once, then give every attribute
+  // its own stateless child stream. Serial and parallel execution derive
+  // the same streams, so the plan is bit-identical at any thread count.
+  const Rng base = rng.Fork();
+  ParallelFor(exec, data.NumAttributes(), [&](size_t attr) {
+    Rng child = base.Fork(attr);
     const AttributeSummary summary =
         AttributeSummary::FromDataset(data, attr);
-    plan.transforms_.push_back(
-        PiecewiseTransform::Create(summary, options[attr], rng));
-  }
+    plan.transforms_[attr] =
+        PiecewiseTransform::Create(summary, options[attr], child);
+  });
   return plan;
 }
 

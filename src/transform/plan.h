@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "data/dataset.h"
+#include "parallel/exec_policy.h"
 #include "transform/piecewise.h"
 #include "util/rng.h"
 
@@ -23,15 +24,19 @@ class TransformPlan {
   TransformPlan() = default;
 
   /// Samples a fresh plan for `data`, using the same options for every
-  /// attribute. Every attribute must have at least one value.
+  /// attribute. Every attribute must have at least one value. Attributes
+  /// are processed under `exec` (serial by default); the plan is
+  /// bit-identical for every thread count because each attribute draws
+  /// from its own index-derived RNG stream.
   static TransformPlan Create(const Dataset& data,
-                              const PiecewiseOptions& options, Rng& rng);
+                              const PiecewiseOptions& options, Rng& rng,
+                              const ExecPolicy& exec = {});
 
   /// Samples a plan with per-attribute options; `options.size()` must
   /// equal data.NumAttributes().
   static TransformPlan CreatePerAttribute(
       const Dataset& data, const std::vector<PiecewiseOptions>& options,
-      Rng& rng);
+      Rng& rng, const ExecPolicy& exec = {});
 
   /// Reassembles a plan from explicit per-attribute transforms
   /// (deserialization).

@@ -1,13 +1,22 @@
 #include "tree/builder.h"
 
 #include <algorithm>
+#include <memory>
 
 #include "data/summary.h"
+#include "parallel/parallel_for.h"
+#include "parallel/thread_pool.h"
 #include "tree/label_runs.h"
 #include "util/status.h"
 
 namespace popp {
 namespace {
+
+/// Nodes smaller than this search their splits serially even when a pool
+/// is available: the per-task overhead would exceed the scan work, and —
+/// because parallel and serial scans are bit-identical by construction —
+/// the gate cannot change any result.
+constexpr size_t kMinRowsForParallelScan = 2048;
 
 /// Class histogram of a row subset.
 std::vector<uint64_t> HistogramOf(const Dataset& data,
@@ -116,6 +125,21 @@ double CanonicalPosition(const BlockStructure& blocks, size_t b) {
              static_cast<double>(blocks.length_of[blk]);
 }
 
+/// Serial, attribute-ordered merge of per-attribute local bests. A
+/// cross-attribute exact tie keeps the earlier attribute — the same rule
+/// the shared-best serial scan applies (its tie acceptance requires
+/// attr == best.attribute) — so the merged decision is field-for-field
+/// identical to scanning all attributes against one running best.
+SplitDecision MergeAttributeBests(const std::vector<SplitDecision>& locals) {
+  SplitDecision best;
+  for (const SplitDecision& local : locals) {
+    if (local.found && (!best.found || local.impurity < best.impurity)) {
+      best = local;
+    }
+  }
+  return best;
+}
+
 }  // namespace
 
 ClassId MajorityClass(const std::vector<uint64_t>& hist) {
@@ -208,31 +232,41 @@ void DecisionTreeBuilder::ScanAttribute(
 
 SplitDecision DecisionTreeBuilder::FindBestSplit(
     const Dataset& data, const std::vector<size_t>& rows) const {
-  SplitDecision best;
-  double best_canon_pos = 0.0;
+  if (exec_.IsSerial()) {
+    return FindBestSplit(data, rows, nullptr);
+  }
+  ThreadPool pool(exec_.ResolvedThreads());
+  return FindBestSplit(data, rows, &pool);
+}
+
+SplitDecision DecisionTreeBuilder::FindBestSplit(
+    const Dataset& data, const std::vector<size_t>& rows,
+    ThreadPool* pool) const {
   const size_t num_classes = data.NumClasses();
   const std::vector<uint64_t> parent_hist = HistogramOf(data, rows);
+  if (rows.size() < kMinRowsForParallelScan) pool = nullptr;
 
-  std::vector<ValueLabel> tuples;
-  tuples.reserve(rows.size());
-  for (size_t attr = 0; attr < data.NumAttributes(); ++attr) {
-    tuples.clear();
+  std::vector<SplitDecision> locals(data.NumAttributes());
+  std::vector<double> local_pos(data.NumAttributes(), 0.0);
+  ParallelFor(pool, data.NumAttributes(), [&](size_t attr) {
+    std::vector<ValueLabel> tuples;
+    tuples.reserve(rows.size());
     const auto& col = data.Column(attr);
     for (size_t r : rows) {
       tuples.push_back(ValueLabel{col[r], data.Label(r)});
     }
     const AttributeSummary summary =
         AttributeSummary::FromTuples(std::move(tuples), num_classes);
-    tuples = {};  // moved-from; reset for the next iteration
-    tuples.reserve(rows.size());
-    ScanAttribute(attr, summary, parent_hist, best, best_canon_pos);
-  }
-  return best;
+    ScanAttribute(attr, summary, parent_hist, locals[attr],
+                  local_pos[attr]);
+  });
+  return MergeAttributeBests(locals);
 }
 
 NodeId DecisionTreeBuilder::BuildNode(const Dataset& data,
                                       std::vector<size_t>& rows, size_t depth,
-                                      DecisionTree& tree) const {
+                                      DecisionTree& tree,
+                                      ThreadPool* pool) const {
   std::vector<uint64_t> hist = HistogramOf(data, rows);
   const ClassId majority = MajorityClass(hist);
 
@@ -241,7 +275,7 @@ NodeId DecisionTreeBuilder::BuildNode(const Dataset& data,
     return tree.AddLeaf(majority, std::move(hist));
   }
 
-  const SplitDecision split = FindBestSplit(data, rows);
+  const SplitDecision split = FindBestSplit(data, rows, pool);
   if (!split.found ||
       !(split.improvement > options_.min_impurity_decrease)) {
     return tree.AddLeaf(majority, std::move(hist));
@@ -262,15 +296,15 @@ NodeId DecisionTreeBuilder::BuildNode(const Dataset& data,
   rows.clear();
   rows.shrink_to_fit();
 
-  const NodeId left = BuildNode(data, left_rows, depth + 1, tree);
-  const NodeId right = BuildNode(data, right_rows, depth + 1, tree);
+  const NodeId left = BuildNode(data, left_rows, depth + 1, tree, pool);
+  const NodeId right = BuildNode(data, right_rows, depth + 1, tree, pool);
   return tree.AddInternal(split.attribute, split.threshold, left, right,
                           std::move(hist));
 }
 
 NodeId DecisionTreeBuilder::BuildNodePresorted(
     const Dataset& data, std::vector<std::vector<size_t>>& columns,
-    size_t depth, DecisionTree& tree) const {
+    size_t depth, DecisionTree& tree, ThreadPool* pool) const {
   // All columns hold the same row set; use column 0 for node statistics.
   const std::vector<size_t>& rows = columns[0];
   std::vector<uint64_t> hist = HistogramOf(data, rows);
@@ -282,21 +316,25 @@ NodeId DecisionTreeBuilder::BuildNodePresorted(
   }
 
   // Best-split search over the presorted columns: each attribute's
-  // summary is a single linear scan, no sorting.
-  SplitDecision best;
-  double best_canon_pos = 0.0;
-  std::vector<ValueLabel> tuples;
-  tuples.reserve(rows.size());
-  for (size_t attr = 0; attr < data.NumAttributes(); ++attr) {
-    tuples.clear();
+  // summary is a single linear scan, no sorting. Attributes scan into
+  // index-addressed local bests (possibly on the pool) and merge serially
+  // in attribute order — bit-identical to the serial shared-best scan.
+  ThreadPool* scan_pool =
+      rows.size() >= kMinRowsForParallelScan ? pool : nullptr;
+  std::vector<SplitDecision> locals(data.NumAttributes());
+  std::vector<double> local_pos(data.NumAttributes(), 0.0);
+  ParallelFor(scan_pool, data.NumAttributes(), [&](size_t attr) {
+    std::vector<ValueLabel> tuples;
+    tuples.reserve(rows.size());
     const auto& col = data.Column(attr);
     for (size_t r : columns[attr]) {
       tuples.push_back(ValueLabel{col[r], data.Label(r)});
     }
     const AttributeSummary summary =
         AttributeSummary::FromSortedTuples(tuples, data.NumClasses());
-    ScanAttribute(attr, summary, hist, best, best_canon_pos);
-  }
+    ScanAttribute(attr, summary, hist, locals[attr], local_pos[attr]);
+  });
+  const SplitDecision best = MergeAttributeBests(locals);
   if (!best.found || !(best.improvement > options_.min_impurity_decrease)) {
     return tree.AddLeaf(majority, std::move(hist));
   }
@@ -319,9 +357,9 @@ NodeId DecisionTreeBuilder::BuildNodePresorted(
   columns.shrink_to_fit();
 
   const NodeId left =
-      BuildNodePresorted(data, left_columns, depth + 1, tree);
+      BuildNodePresorted(data, left_columns, depth + 1, tree, pool);
   const NodeId right =
-      BuildNodePresorted(data, right_columns, depth + 1, tree);
+      BuildNodePresorted(data, right_columns, depth + 1, tree, pool);
   return tree.AddInternal(best.attribute, best.threshold, left, right,
                           std::move(hist));
 }
@@ -331,10 +369,17 @@ DecisionTree DecisionTreeBuilder::Build(const Dataset& data) const {
   POPP_CHECK_MSG(data.NumClasses() > 0, "dataset has no classes");
   DecisionTree tree;
 
+  // One pool for the whole build; nodes too small to benefit skip it.
+  std::unique_ptr<ThreadPool> pool;
+  if (!exec_.IsSerial() && data.NumAttributes() >= 2) {
+    pool = std::make_unique<ThreadPool>(
+        std::min(exec_.ResolvedThreads(), data.NumAttributes()));
+  }
+
   if (options_.algorithm == BuildOptions::Algorithm::kResort) {
     std::vector<size_t> rows(data.NumRows());
     for (size_t r = 0; r < rows.size(); ++r) rows[r] = r;
-    tree.SetRoot(BuildNode(data, rows, 0, tree));
+    tree.SetRoot(BuildNode(data, rows, 0, tree, pool.get()));
     return tree;
   }
 
@@ -350,7 +395,7 @@ DecisionTree DecisionTreeBuilder::Build(const Dataset& data) const {
     std::stable_sort(order.begin(), order.end(),
                      [&col](size_t a, size_t b) { return col[a] < col[b]; });
   }
-  tree.SetRoot(BuildNodePresorted(data, columns, 0, tree));
+  tree.SetRoot(BuildNodePresorted(data, columns, 0, tree, pool.get()));
   return tree;
 }
 

@@ -6,6 +6,7 @@
 
 #include "data/dataset.h"
 #include "data/summary.h"
+#include "parallel/exec_policy.h"
 #include "tree/criterion.h"
 #include "tree/decision_tree.h"
 
@@ -22,6 +23,8 @@
 /// bit-identical, so the induced tree is identical too (Theorems 1 and 2).
 
 namespace popp {
+
+class ThreadPool;
 
 /// Stopping and search parameters for tree induction.
 struct BuildOptions {
@@ -95,12 +98,20 @@ struct SplitDecision {
 };
 
 /// Builds decision trees from datasets.
+///
+/// With a non-serial ExecPolicy the candidate-split search evaluates
+/// attributes on a thread pool; each attribute produces a local best that
+/// is merged serially in attribute order, which reproduces the serial
+/// scan's tie-breaking exactly, so the induced tree is bit-identical to
+/// serial execution at every thread count.
 class DecisionTreeBuilder {
  public:
-  explicit DecisionTreeBuilder(BuildOptions options = {})
-      : options_(options) {}
+  explicit DecisionTreeBuilder(BuildOptions options = {},
+                               ExecPolicy exec = {})
+      : options_(options), exec_(exec) {}
 
   const BuildOptions& options() const { return options_; }
+  const ExecPolicy& exec() const { return exec_; }
 
   /// Induces a tree from all rows of `data`. Requires NumRows() > 0.
   DecisionTree Build(const Dataset& data) const;
@@ -111,16 +122,22 @@ class DecisionTreeBuilder {
                               const std::vector<size_t>& rows) const;
 
  private:
+  SplitDecision FindBestSplit(const Dataset& data,
+                              const std::vector<size_t>& rows,
+                              ThreadPool* pool) const;
   NodeId BuildNode(const Dataset& data, std::vector<size_t>& rows,
-                   size_t depth, DecisionTree& tree) const;
+                   size_t depth, DecisionTree& tree,
+                   ThreadPool* pool) const;
   NodeId BuildNodePresorted(const Dataset& data,
                             std::vector<std::vector<size_t>>& columns,
-                            size_t depth, DecisionTree& tree) const;
+                            size_t depth, DecisionTree& tree,
+                            ThreadPool* pool) const;
   void ScanAttribute(size_t attr, const AttributeSummary& summary,
                      const std::vector<uint64_t>& parent_hist,
                      SplitDecision& best, double& best_canon_pos) const;
 
   BuildOptions options_;
+  ExecPolicy exec_;
 };
 
 /// Majority class of a histogram; ties go to the smallest class id.

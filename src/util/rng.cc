@@ -103,4 +103,17 @@ std::vector<size_t> Rng::SampleIndices(size_t n, size_t k) {
 
 Rng Rng::Fork() { return Rng(Next()); }
 
+Rng Rng::Fork(uint64_t index) const {
+  // Mix the full 256-bit state with the index through splitmix64 so that
+  // children of distinct indices (and of distinct parents) decorrelate,
+  // without advancing the parent.
+  uint64_t x = index;
+  uint64_t seed = SplitMix64(x);
+  for (uint64_t s : state_) {
+    x ^= s;
+    seed = SplitMix64(x) ^ Rotl(seed, 23);
+  }
+  return Rng(seed);
+}
+
 }  // namespace popp

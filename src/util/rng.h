@@ -60,7 +60,16 @@ class Rng {
   std::vector<size_t> SampleIndices(size_t n, size_t k);
 
   /// Forks an independent child generator (useful for per-trial streams).
+  /// Mutates this generator (advances it by one draw).
   Rng Fork();
+
+  /// Forks the `index`-th child of this generator *without* mutating it.
+  /// Distinct indices give independent-looking streams, and the child
+  /// depends only on (current state, index) — never on how many other
+  /// children were forked or in what order. This is the primitive behind
+  /// popp's deterministic parallelism: task i uses Fork(i), so results are
+  /// bit-identical at any thread count.
+  Rng Fork(uint64_t index) const;
 
  private:
   uint64_t state_[4];

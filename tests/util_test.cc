@@ -211,6 +211,62 @@ TEST(RngTest, ForkProducesIndependentStream) {
   EXPECT_LT(same, 2);
 }
 
+TEST(RngTest, IndexedForkDoesNotAdvanceParent) {
+  Rng a(41);
+  Rng b(41);
+  a.Fork(0);
+  a.Fork(1);
+  a.Fork(12345);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, IndexedForkIsAPureFunctionOfStateAndIndex) {
+  const Rng a(41);
+  Rng first = a.Fork(7);
+  Rng again = a.Fork(7);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(first.Next(), again.Next());
+  }
+}
+
+TEST(RngTest, IndexedForkChildrenAreDistinct) {
+  const Rng a(41);
+  std::set<uint64_t> first_draws;
+  for (uint64_t index = 0; index < 256; ++index) {
+    Rng child = a.Fork(index);
+    EXPECT_TRUE(first_draws.insert(child.Next()).second)
+        << "index " << index << " collides";
+  }
+}
+
+TEST(RngTest, IndexedForkDependsOnParentState) {
+  Rng a(41);
+  const Rng before = a;
+  a.Next();
+  const Rng after = a;
+  Rng x = before.Fork(3);
+  Rng y = after.Fork(3);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (x.Next() == y.Next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, IndexedForkChildLooksUniform) {
+  // Children must be usable as full-quality streams, not just distinct.
+  const Rng a(99);
+  double sum = 0;
+  constexpr int kChildren = 500;
+  for (uint64_t index = 0; index < kChildren; ++index) {
+    Rng child = a.Fork(index);
+    sum += child.Uniform01();
+  }
+  EXPECT_NEAR(sum / kChildren, 0.5, 0.05);
+}
+
 // ----------------------------------------------------------------- stats --
 
 TEST(StatsTest, MeanBasics) {

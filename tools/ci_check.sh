@@ -1,16 +1,20 @@
 #!/usr/bin/env bash
-# CI gate: sanitized build, full test suite, and a bounded fuzz run.
+# CI gate: sanitized builds, full test suite, and bounded fuzz runs.
 #
 # Usage: tools/ci_check.sh [build-dir]
 #
-# Builds with ASan+UBSan (POPP_SANITIZE=address,undefined), runs ctest,
-# then hammers the invariant oracles with a bounded popp_check run. Any
+# Stage 1 builds with ASan+UBSan (POPP_SANITIZE=address,undefined), runs
+# ctest, then hammers the invariant oracles with a bounded popp_check run.
+# Stage 2 rebuilds with TSan (POPP_SANITIZE=thread) and runs the parallel
+# execution layer's tests plus the parallel_determinism oracle, which
+# exercise every ThreadPool/ParallelFor path under real concurrency. Any
 # failure — test, sanitizer report, or oracle — fails the script.
 
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${1:-$repo_root/build-ci}"
+tsan_build_dir="${build_dir}-tsan"
 
 echo "== configure (ASan+UBSan) =="
 cmake -B "$build_dir" -S "$repo_root" \
@@ -25,5 +29,21 @@ ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)"
 
 echo "== popp_check (bounded) =="
 "$build_dir/tools/popp_check" --trials 200 --seed 7 --out "$build_dir"
+
+echo "== configure (TSan) =="
+cmake -B "$tsan_build_dir" -S "$repo_root" \
+  -DPOPP_SANITIZE=thread \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo
+
+echo "== build (TSan) =="
+cmake --build "$tsan_build_dir" -j --target popp_tests popp_check
+
+echo "== parallel tests under TSan =="
+"$tsan_build_dir/tests/popp_tests" \
+  --gtest_filter='ThreadPool*:ParallelFor*:ParallelEquality*:TrialStream*'
+
+echo "== parallel_determinism oracle under TSan (bounded) =="
+"$tsan_build_dir/tools/popp_check" --oracle parallel_determinism \
+  --trials 25 --seed 7 --out "$tsan_build_dir"
 
 echo "ci_check: all gates passed"
