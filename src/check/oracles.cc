@@ -4,9 +4,12 @@
 #include <set>
 #include <sstream>
 
+#include "data/csv.h"
 #include "data/summary.h"
 #include "parallel/exec_policy.h"
 #include "risk/trials.h"
+#include "stream/chunk_io.h"
+#include "stream/streaming_custodian.h"
 #include "transform/serialize.h"
 #include "transform/tree_decode.h"
 #include "tree/compare.h"
@@ -345,6 +348,60 @@ OracleResult CheckParallelDeterminism(
   return OracleResult::Ok();
 }
 
+OracleResult CheckStreamVsBatch(const Dataset& original,
+                                const TransformPlan& plan,
+                                const Dataset& released, uint64_t plan_seed,
+                                const PiecewiseOptions& transform_options,
+                                size_t chunk_rows, size_t num_threads) {
+  stream::StreamOptions options;
+  options.chunk_rows = chunk_rows;
+  options.transform = transform_options;
+  options.seed = plan_seed;
+  options.exec = ExecPolicy{num_threads};
+  stream::DatasetChunkReader reader(&original);
+  stream::DatasetChunkWriter writer;
+  stream::StreamStats stats;
+  auto streamed_plan =
+      stream::StreamingCustodian::Release(reader, writer, options, &stats);
+  std::ostringstream where;
+  where << " (chunk_rows=" << chunk_rows << ", threads=" << num_threads
+        << ")";
+  if (!streamed_plan.ok()) {
+    return OracleResult::Fail("streamed release failed: " +
+                              streamed_plan.status().ToString() + where.str());
+  }
+  if (SerializePlan(streamed_plan.value()) != SerializePlan(plan)) {
+    return OracleResult::Fail(
+        "streamed plan serialization differs from the batch plan" +
+        where.str());
+  }
+  if (ToCsvString(writer.collected()) != ToCsvString(released)) {
+    return OracleResult::Fail(
+        "streamed release is not byte-identical to the batch release" +
+        where.str());
+  }
+  if (stats.rows != original.NumRows()) {
+    std::ostringstream oss;
+    oss << "streamed " << stats.rows << " rows, expected "
+        << original.NumRows() << where.str();
+    return OracleResult::Fail(oss.str());
+  }
+  if (stats.peak_resident_rows > chunk_rows) {
+    std::ostringstream oss;
+    oss << "peak resident rows " << stats.peak_resident_rows
+        << " exceeds the chunk_rows bound" << where.str();
+    return OracleResult::Fail(oss.str());
+  }
+  if (stats.ood_total != 0) {
+    std::ostringstream oss;
+    oss << "two-pass fit reported " << stats.ood_total
+        << " out-of-domain values; it must see every value during the fit"
+        << where.str();
+    return OracleResult::Fail(oss.str());
+  }
+  return OracleResult::Ok();
+}
+
 TrialContext MakeTrialContext(TrialCase c) {
   TrialContext ctx;
   Rng plan_rng(c.plan_seed);
@@ -395,6 +452,19 @@ const std::vector<Oracle>& AllOracles() {
          [](const TrialContext& ctx) {
            return CheckSerializeRoundTrip(ctx.c.data, ctx.plan,
                                           ctx.c.build_options);
+         }},
+        {"stream_vs_batch",
+         [](const TrialContext& ctx) {
+           // Case-derived chunk size in [1, rows] and thread count in
+           // [1, 4]: small seeds exercise row-at-a-time streaming, large
+           // ones the whole-dataset degenerate chunking.
+           const size_t rows = std::max<size_t>(ctx.c.data.NumRows(), 1);
+           const size_t chunk = 1 + ctx.c.plan_seed % rows;
+           const size_t threads = 1 + (ctx.c.plan_seed / 5) % 4;
+           return CheckStreamVsBatch(ctx.c.data, ctx.plan, ctx.released,
+                                     ctx.c.plan_seed,
+                                     ctx.c.transform_options, chunk,
+                                     threads);
          }},
         {"parallel_determinism",
          [](const TrialContext& ctx) {

@@ -92,6 +92,17 @@ OracleResult CheckParallelDeterminism(const Dataset& original,
                                       const PiecewiseOptions& transform_options,
                                       size_t num_threads);
 
+/// The streaming contract (src/stream): a two-pass streamed release over
+/// the same data with the same seed must reproduce the batch artifacts
+/// bit-for-bit at *any* chunk size and thread count — identical plan
+/// serialization and byte-identical released CSV — while holding at most
+/// `chunk_rows` rows resident and reporting zero out-of-domain values.
+OracleResult CheckStreamVsBatch(const Dataset& original,
+                                const TransformPlan& plan,
+                                const Dataset& released, uint64_t plan_seed,
+                                const PiecewiseOptions& transform_options,
+                                size_t chunk_rows, size_t num_threads);
+
 /// A trial case with its derived artifacts, evaluated by every oracle.
 struct TrialContext {
   TrialCase c;

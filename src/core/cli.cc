@@ -10,6 +10,8 @@
 #include "core/report.h"
 #include "data/csv.h"
 #include "parallel/exec_policy.h"
+#include "stream/chunk_io.h"
+#include "stream/streaming_custodian.h"
 #include "transform/serialize.h"
 #include "transform/tree_decode.h"
 #include "tree/builder.h"
@@ -26,6 +28,10 @@ constexpr char kUsage[] =
     "custodian commands:\n"
     "  encode <in.csv> <out.csv> <key.out> [--seed N] [--policy "
     "none|bp|maxmp]\n"
+    "         [--breakpoints W] [--anti]\n"
+    "  stream-release <in.csv> <out.csv> <key.out> [--chunk-rows N]\n"
+    "         [--ood-policy reject|clamp|extend-piece|refit] [--fit-rows N]\n"
+    "         [--key-in key] [--seed N] [--policy none|bp|maxmp]\n"
     "         [--breakpoints W] [--anti]\n"
     "  decode <tree.in> <key> <original.csv> <tree.out>\n"
     "  verify <original.csv> [--seed N]\n"
@@ -153,6 +159,65 @@ int CmdEncode(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
   }
   out << "encoded " << released.NumRows() << " rows x "
       << released.NumAttributes() << " attributes -> " << args.positional[1]
+      << "\nkey written to " << args.positional[2]
+      << " (keep it secret; it decodes the mining outcome)\n";
+  return 0;
+}
+
+int CmdStreamRelease(const ParsedArgs& args, std::ostream& out,
+                     std::ostream& err) {
+  if (args.positional.size() != 3) {
+    err << "stream-release needs <in.csv> <out.csv> <key.out>\n";
+    return 2;
+  }
+  auto transform = TransformFlags(args, err);
+  if (!transform) return 2;
+  stream::StreamOptions options;
+  options.transform = *transform;
+  options.seed = FlagInt(args, "seed", 1);
+  options.exec = ExecFlags(args);
+  options.chunk_rows = FlagInt(args, "chunk-rows", 4096);
+  if (options.chunk_rows == 0) {
+    err << "--chunk-rows must be >= 1\n";
+    return 2;
+  }
+  options.fit_rows = FlagInt(args, "fit-rows", 0);
+  auto policy_it = args.flags.find("ood-policy");
+  if (policy_it != args.flags.end()) {
+    auto policy = stream::ParseOodPolicy(policy_it->second);
+    if (!policy.ok()) {
+      err << policy.status().ToString() << "\n";
+      return 2;
+    }
+    options.ood_policy = policy.value();
+  }
+  stream::CsvChunkReader reader(args.positional[0]);
+  stream::CsvChunkWriter writer(args.positional[1]);
+  stream::StreamStats stats;
+  Result<TransformPlan> plan = TransformPlan();
+  auto key_it = args.flags.find("key-in");
+  if (key_it != args.flags.end()) {
+    auto loaded = LoadPlan(key_it->second);
+    if (!loaded.ok()) {
+      err << loaded.status().ToString() << "\n";
+      return 1;
+    }
+    plan = stream::StreamingCustodian::ReleaseWithPlan(
+        reader, writer, std::move(loaded).value(), options, &stats);
+  } else {
+    plan = stream::StreamingCustodian::Release(reader, writer, options,
+                                               &stats);
+  }
+  if (!plan.ok()) {
+    err << plan.status().ToString() << "\n";
+    return 1;
+  }
+  const Status status = SavePlan(plan.value(), args.positional[2]);
+  if (!status.ok()) {
+    err << status.ToString() << "\n";
+    return 1;
+  }
+  out << stats.Render() << "released -> " << args.positional[1]
       << "\nkey written to " << args.positional[2]
       << " (keep it secret; it decodes the mining outcome)\n";
   return 0;
@@ -303,10 +368,12 @@ int RunCli(const std::vector<std::string>& args, std::ostream& out,
   const std::string& command = args[0];
   const std::vector<std::string> rest(args.begin() + 1, args.end());
   static const std::vector<std::string> kValueFlags = {
-      "seed",     "policy",   "breakpoints", "criterion", "max-depth",
-      "min-leaf", "trials",   "max-risk",    "threads"};
+      "seed",     "policy", "breakpoints", "criterion",  "max-depth",
+      "min-leaf", "trials", "max-risk",    "threads",    "chunk-rows",
+      "ood-policy", "fit-rows", "key-in"};
   const ParsedArgs parsed = Parse(rest, kValueFlags);
   if (command == "encode") return CmdEncode(parsed, out, err);
+  if (command == "stream-release") return CmdStreamRelease(parsed, out, err);
   if (command == "mine") return CmdMine(parsed, out, err);
   if (command == "decode") return CmdDecode(parsed, out, err);
   if (command == "verify") return CmdVerify(parsed, out, err);

@@ -11,21 +11,6 @@
 namespace popp {
 namespace {
 
-std::vector<std::string> SplitLine(const std::string& line, char delim) {
-  std::vector<std::string> fields;
-  std::string cur;
-  for (char ch : line) {
-    if (ch == delim) {
-      fields.push_back(cur);
-      cur.clear();
-    } else if (ch != '\r') {
-      cur += ch;
-    }
-  }
-  fields.push_back(cur);
-  return fields;
-}
-
 Result<double> ParseNumber(const std::string& text, size_t line_no) {
   errno = 0;
   char* end = nullptr;
@@ -38,11 +23,28 @@ Result<double> ParseNumber(const std::string& text, size_t line_no) {
   return v;
 }
 
-/// Exact serialization for data cells: integral values print compactly,
-/// everything else with 17 significant digits so IEEE-754 doubles
-/// round-trip bit-exactly (released transformed values must not collapse
-/// onto each other, or the provider would mine from different data).
-std::string FormatCell(AttrValue v) {
+/// Quotes a name field when it contains bytes the tokenizer treats
+/// specially; plain names are written verbatim (keeps existing files and
+/// golden fixtures byte-stable).
+std::string QuoteIfNeeded(const std::string& field, char delim) {
+  const bool needs =
+      field.find(delim) != std::string::npos ||
+      field.find('"') != std::string::npos ||
+      field.find('\n') != std::string::npos ||
+      field.find('\r') != std::string::npos;
+  if (!needs) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+std::string FormatCsvCell(AttrValue v) {
   if (std::isfinite(v) && v == std::floor(v) && std::fabs(v) < 1e15) {
     char buf[32];
     std::snprintf(buf, sizeof(buf), "%.0f", v);
@@ -53,77 +55,221 @@ std::string FormatCell(AttrValue v) {
   return buf;
 }
 
-}  // namespace
+// ------------------------------------------------------------------------
+// CsvRecordParser
 
-Result<Dataset> ParseCsv(const std::string& text, const CsvOptions& options) {
-  std::istringstream in(text);
-  std::string line;
-  size_t line_no = 0;
+CsvRecordParser::CsvRecordParser(char delimiter) : delim_(delimiter) {}
 
-  std::vector<std::string> attr_names;
-  bool have_schema = false;
-  Dataset data;
+void CsvRecordParser::EndField() {
+  fields_.push_back(std::move(field_));
+  field_.clear();
+}
 
-  if (options.has_header) {
-    if (!std::getline(in, line)) {
-      return Status::InvalidArgument("empty CSV input");
+void CsvRecordParser::EndOfLine(std::vector<CsvRecord>* records) {
+  ++line_;
+  if (state_ == State::kRecordStart) {
+    // Blank line (or bare CRLF): skip, keep scanning.
+    record_line_ = line_;
+    return;
+  }
+  EndField();
+  records->push_back(CsvRecord{std::move(fields_), record_line_});
+  fields_.clear();
+  state_ = State::kRecordStart;
+  record_line_ = line_;
+}
+
+void CsvRecordParser::Feed(const char* bytes, size_t size,
+                           std::vector<CsvRecord>* records) {
+  for (size_t i = 0; i < size; ++i) {
+    const char c = bytes[i];
+    if (cr_pending_) {
+      cr_pending_ = false;
+      if (c == '\n') {
+        EndOfLine(records);
+        continue;
+      }
+      // Lone '\r' not ending a line: literal field data.
+      field_ += '\r';
+      if (state_ == State::kRecordStart || state_ == State::kFieldStart ||
+          state_ == State::kQuoteQuote) {
+        state_ = State::kUnquoted;
+      }
     }
-    ++line_no;
-    auto fields = SplitLine(line, options.delimiter);
-    if (fields.size() < 2) {
+    switch (state_) {
+      case State::kRecordStart:
+      case State::kFieldStart:
+        if (c == '"') {
+          state_ = State::kQuoted;
+        } else if (c == delim_) {
+          EndField();
+          state_ = State::kFieldStart;
+        } else if (c == '\n') {
+          EndOfLine(records);
+        } else if (c == '\r') {
+          cr_pending_ = true;
+        } else {
+          field_ += c;
+          state_ = State::kUnquoted;
+        }
+        break;
+      case State::kUnquoted:
+        if (c == delim_) {
+          EndField();
+          state_ = State::kFieldStart;
+        } else if (c == '\n') {
+          EndOfLine(records);
+        } else if (c == '\r') {
+          cr_pending_ = true;
+        } else {
+          field_ += c;  // a '"' mid-field is literal
+        }
+        break;
+      case State::kQuoted:
+        if (c == '"') {
+          state_ = State::kQuoteQuote;
+        } else {
+          if (c == '\n') ++line_;
+          field_ += c;  // delimiter, CR and LF are all data here
+        }
+        break;
+      case State::kQuoteQuote:
+        if (c == '"') {
+          field_ += '"';  // "" escape
+          state_ = State::kQuoted;
+        } else if (c == delim_) {
+          EndField();
+          state_ = State::kFieldStart;
+        } else if (c == '\n') {
+          EndOfLine(records);
+        } else if (c == '\r') {
+          cr_pending_ = true;
+        } else {
+          // Lenient: bytes after a closing quote join the field unquoted.
+          field_ += c;
+          state_ = State::kUnquoted;
+        }
+        break;
+    }
+  }
+}
+
+Status CsvRecordParser::Finish(std::vector<CsvRecord>* records) {
+  if (state_ == State::kQuoted) {
+    std::ostringstream oss;
+    oss << "line " << record_line_
+        << ": unterminated quoted field at end of input";
+    return Status::InvalidArgument(oss.str());
+  }
+  // A trailing '\r' or a missing final newline both terminate the last
+  // record.
+  cr_pending_ = false;
+  if (state_ != State::kRecordStart) {
+    EndOfLine(records);
+  }
+  return Status::Ok();
+}
+
+// ------------------------------------------------------------------------
+// CsvDatasetBuilder
+
+CsvDatasetBuilder::CsvDatasetBuilder(const CsvOptions& options)
+    : options_(options) {}
+
+Status CsvDatasetBuilder::Consume(const CsvRecord& record) {
+  if (!saw_first_record_ && options_.has_header) {
+    saw_first_record_ = true;
+    if (record.fields.size() < 2) {
       return Status::InvalidArgument(
           "header must have at least one attribute and the class column");
     }
-    attr_names.assign(fields.begin(), fields.end() - 1);
-    data = Dataset(Schema(attr_names, {}));
-    have_schema = true;
+    attr_names_.assign(record.fields.begin(), record.fields.end() - 1);
+    data_ = Dataset(Schema(attr_names_, {}));
+    have_schema_ = true;
+    return Status::Ok();
   }
+  saw_first_record_ = true;
+  if (!have_schema_) {
+    if (record.fields.size() < 2) {
+      return Status::InvalidArgument("rows need >= 2 columns");
+    }
+    attr_names_.resize(record.fields.size() - 1);
+    for (size_t i = 0; i + 1 < record.fields.size(); ++i) {
+      attr_names_[i] = "attr" + std::to_string(i + 1);
+    }
+    data_ = Dataset(Schema(attr_names_, {}));
+    have_schema_ = true;
+  }
+  if (record.fields.size() != attr_names_.size() + 1) {
+    std::ostringstream oss;
+    oss << "line " << record.line << ": expected " << attr_names_.size() + 1
+        << " fields, got " << record.fields.size();
+    return Status::InvalidArgument(oss.str());
+  }
+  row_.resize(attr_names_.size());
+  for (size_t i = 0; i < attr_names_.size(); ++i) {
+    auto parsed = ParseNumber(record.fields[i], record.line);
+    if (!parsed.ok()) return parsed.status();
+    row_[i] = parsed.value();
+  }
+  const ClassId label =
+      data_.mutable_schema().GetOrAddClass(record.fields.back());
+  data_.AddRow(row_, label);
+  return Status::Ok();
+}
 
-  std::vector<AttrValue> values;
-  while (std::getline(in, line)) {
-    ++line_no;
-    if (line.empty()) continue;
-    auto fields = SplitLine(line, options.delimiter);
-    if (!have_schema) {
-      if (fields.size() < 2) {
-        return Status::InvalidArgument("rows need >= 2 columns");
-      }
-      attr_names.resize(fields.size() - 1);
-      for (size_t i = 0; i + 1 < fields.size(); ++i) {
-        attr_names[i] = "attr" + std::to_string(i + 1);
-      }
-      data = Dataset(Schema(attr_names, {}));
-      have_schema = true;
-    }
-    if (fields.size() != attr_names.size() + 1) {
-      std::ostringstream oss;
-      oss << "line " << line_no << ": expected " << attr_names.size() + 1
-          << " fields, got " << fields.size();
-      return Status::InvalidArgument(oss.str());
-    }
-    values.resize(attr_names.size());
-    for (size_t i = 0; i < attr_names.size(); ++i) {
-      auto parsed = ParseNumber(fields[i], line_no);
-      if (!parsed.ok()) return parsed.status();
-      values[i] = parsed.value();
-    }
-    const ClassId label = data.mutable_schema().GetOrAddClass(fields.back());
-    data.AddRow(values, label);
-  }
-  if (!have_schema) {
+Status CsvDatasetBuilder::Finish() const {
+  if (!have_schema_) {
     return Status::InvalidArgument("empty CSV input");
   }
-  return data;
+  return Status::Ok();
+}
+
+Dataset CsvDatasetBuilder::TakeChunk() {
+  Dataset chunk = std::move(data_);
+  data_ = Dataset(chunk.schema());
+  return chunk;
+}
+
+// ------------------------------------------------------------------------
+// One-shot entry points
+
+Result<Dataset> ParseCsv(const std::string& text, const CsvOptions& options) {
+  CsvRecordParser parser(options.delimiter);
+  CsvDatasetBuilder builder(options);
+  std::vector<CsvRecord> records;
+  parser.Feed(text.data(), text.size(), &records);
+  POPP_RETURN_IF_ERROR(parser.Finish(&records));
+  for (const CsvRecord& record : records) {
+    POPP_RETURN_IF_ERROR(builder.Consume(record));
+  }
+  POPP_RETURN_IF_ERROR(builder.Finish());
+  return builder.TakeChunk();
 }
 
 Result<Dataset> ReadCsv(const std::string& path, const CsvOptions& options) {
-  std::ifstream in(path);
+  std::ifstream in(path, std::ios::binary);
   if (!in) {
     return Status::IoError("cannot open '" + path + "' for reading");
   }
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  return ParseCsv(buffer.str(), options);
+  CsvRecordParser parser(options.delimiter);
+  CsvDatasetBuilder builder(options);
+  std::vector<CsvRecord> records;
+  char buffer[1 << 16];
+  while (in) {
+    in.read(buffer, sizeof(buffer));
+    parser.Feed(buffer, static_cast<size_t>(in.gcount()), &records);
+    for (const CsvRecord& record : records) {
+      POPP_RETURN_IF_ERROR(builder.Consume(record));
+    }
+    records.clear();
+  }
+  POPP_RETURN_IF_ERROR(parser.Finish(&records));
+  for (const CsvRecord& record : records) {
+    POPP_RETURN_IF_ERROR(builder.Consume(record));
+  }
+  POPP_RETURN_IF_ERROR(builder.Finish());
+  return builder.TakeChunk();
 }
 
 std::string ToCsvString(const Dataset& data, const CsvOptions& options) {
@@ -131,22 +277,22 @@ std::string ToCsvString(const Dataset& data, const CsvOptions& options) {
   const char d = options.delimiter;
   if (options.has_header) {
     for (size_t a = 0; a < data.NumAttributes(); ++a) {
-      out << data.schema().AttributeName(a) << d;
+      out << QuoteIfNeeded(data.schema().AttributeName(a), d) << d;
     }
     out << "class\n";
   }
   for (size_t r = 0; r < data.NumRows(); ++r) {
     for (size_t a = 0; a < data.NumAttributes(); ++a) {
-      out << FormatCell(data.Value(r, a)) << d;
+      out << FormatCsvCell(data.Value(r, a)) << d;
     }
-    out << data.schema().ClassName(data.Label(r)) << "\n";
+    out << QuoteIfNeeded(data.schema().ClassName(data.Label(r)), d) << "\n";
   }
   return out.str();
 }
 
 Status WriteCsv(const Dataset& data, const std::string& path,
                 const CsvOptions& options) {
-  std::ofstream out(path);
+  std::ofstream out(path, std::ios::binary);
   if (!out) {
     return Status::IoError("cannot open '" + path + "' for writing");
   }

@@ -51,6 +51,32 @@ AttributeSummary AttributeSummary::FromSortedTuples(
   return s;
 }
 
+AttributeSummary AttributeSummary::FromDistinctCounts(
+    std::vector<AttrValue> values, std::vector<uint32_t> class_counts,
+    size_t num_classes) {
+  POPP_CHECK(num_classes > 0);
+  POPP_CHECK_MSG(class_counts.size() == values.size() * num_classes,
+                 "FromDistinctCounts: count matrix shape mismatch");
+  AttributeSummary s;
+  s.num_classes_ = num_classes;
+  s.values_ = std::move(values);
+  s.class_counts_ = std::move(class_counts);
+  s.totals_.resize(s.values_.size(), 0);
+  for (size_t i = 0; i < s.values_.size(); ++i) {
+    POPP_CHECK_MSG(i == 0 || s.values_[i - 1] < s.values_[i],
+                   "FromDistinctCounts: values must strictly increase");
+    uint32_t total = 0;
+    for (size_t c = 0; c < num_classes; ++c) {
+      total += s.class_counts_[i * num_classes + c];
+    }
+    POPP_CHECK_MSG(total > 0, "FromDistinctCounts: value " << s.values_[i]
+                                                           << " has no tuples");
+    s.totals_[i] = total;
+    s.num_tuples_ += total;
+  }
+  return s;
+}
+
 AttrValue AttributeSummary::MinValue() const {
   POPP_CHECK(!values_.empty());
   return values_.front();

@@ -35,6 +35,15 @@ class AttributeSummary {
   static AttributeSummary FromSortedTuples(const std::vector<ValueLabel>& tuples,
                                            size_t num_classes);
 
+  /// Builds a summary directly from domain-level state: strictly increasing
+  /// distinct values and a row-major [value x class] count matrix
+  /// (`class_counts.size() == values.size() * num_classes`). This is the
+  /// streaming path — an IncrementalSummary merged over chunks reassembles
+  /// the exact batch summary without ever materializing the tuples.
+  static AttributeSummary FromDistinctCounts(std::vector<AttrValue> values,
+                                             std::vector<uint32_t> class_counts,
+                                             size_t num_classes);
+
   size_t NumDistinct() const { return values_.size(); }
   size_t NumClasses() const { return num_classes_; }
   size_t NumTuples() const { return num_tuples_; }

@@ -1,0 +1,158 @@
+#include "stream/chunk_io.h"
+
+#include <utility>
+
+namespace popp::stream {
+
+// ------------------------------------------------------------------------
+// CsvChunkReader
+
+CsvChunkReader::CsvChunkReader(std::string path, CsvOptions options,
+                               size_t buffer_bytes)
+    : path_(std::move(path)),
+      options_(options),
+      buffer_bytes_(buffer_bytes > 0 ? buffer_bytes : 1) {}
+
+Status CsvChunkReader::EnsureOpen() {
+  if (open_) return Status::Ok();
+  in_.open(path_, std::ios::binary);
+  if (!in_) {
+    return Status::IoError("cannot open '" + path_ + "' for reading");
+  }
+  open_ = true;
+  eof_ = false;
+  parser_ = std::make_unique<CsvRecordParser>(options_.delimiter);
+  builder_ = std::make_unique<CsvDatasetBuilder>(options_);
+  pending_.clear();
+  buffer_.resize(buffer_bytes_);
+  return Status::Ok();
+}
+
+Result<Dataset> CsvChunkReader::NextChunk(size_t max_rows) {
+  POPP_CHECK_MSG(max_rows > 0, "NextChunk needs max_rows >= 1");
+  POPP_RETURN_IF_ERROR(EnsureOpen());
+  std::vector<CsvRecord> records;
+  while (builder_->PendingRows() < max_rows) {
+    if (!pending_.empty()) {
+      POPP_RETURN_IF_ERROR(builder_->Consume(pending_.front()));
+      pending_.pop_front();
+      continue;
+    }
+    if (eof_) break;
+    in_.read(buffer_.data(), static_cast<std::streamsize>(buffer_.size()));
+    const size_t got = static_cast<size_t>(in_.gcount());
+    if (got > 0) {
+      parser_->Feed(buffer_.data(), got, &records);
+    }
+    if (!in_) {
+      eof_ = true;
+      POPP_RETURN_IF_ERROR(parser_->Finish(&records));
+    }
+    for (auto& record : records) {
+      pending_.push_back(std::move(record));
+    }
+    records.clear();
+  }
+  if (eof_ && pending_.empty() && builder_->PendingRows() == 0) {
+    // End of stream; surfaces "empty CSV input" on a schema-less file.
+    POPP_RETURN_IF_ERROR(builder_->Finish());
+  }
+  return builder_->TakeChunk();
+}
+
+Status CsvChunkReader::Rewind() {
+  if (open_) {
+    in_.close();
+    in_.clear();
+  }
+  open_ = false;
+  eof_ = false;
+  parser_.reset();
+  builder_.reset();
+  pending_.clear();
+  return Status::Ok();
+}
+
+// ------------------------------------------------------------------------
+// DatasetChunkReader
+
+DatasetChunkReader::DatasetChunkReader(const Dataset* data) : data_(data) {
+  POPP_CHECK_MSG(data_ != nullptr, "DatasetChunkReader needs a dataset");
+}
+
+Result<Dataset> DatasetChunkReader::NextChunk(size_t max_rows) {
+  POPP_CHECK_MSG(max_rows > 0, "NextChunk needs max_rows >= 1");
+  const size_t end = std::min(data_->NumRows(), next_row_ + max_rows);
+  std::vector<size_t> rows;
+  rows.reserve(end - next_row_);
+  for (size_t r = next_row_; r < end; ++r) {
+    rows.push_back(r);
+  }
+  next_row_ = end;
+  return data_->Select(rows);
+}
+
+Status DatasetChunkReader::Rewind() {
+  next_row_ = 0;
+  return Status::Ok();
+}
+
+// ------------------------------------------------------------------------
+// CsvChunkWriter
+
+CsvChunkWriter::CsvChunkWriter(std::string path, CsvOptions options)
+    : path_(std::move(path)), options_(options) {}
+
+Status CsvChunkWriter::Append(const Dataset& chunk) {
+  if (!open_) {
+    out_.open(path_, std::ios::binary);
+    if (!out_) {
+      return Status::IoError("cannot open '" + path_ + "' for writing");
+    }
+    open_ = true;
+  }
+  CsvOptions chunk_options = options_;
+  chunk_options.has_header = options_.has_header && !wrote_header_;
+  out_ << ToCsvString(chunk, chunk_options);
+  wrote_header_ = true;
+  if (!out_) {
+    return Status::IoError("error while writing '" + path_ + "'");
+  }
+  return Status::Ok();
+}
+
+Status CsvChunkWriter::Close() {
+  if (!open_) return Status::Ok();
+  out_.flush();
+  if (!out_) {
+    return Status::IoError("error while writing '" + path_ + "'");
+  }
+  out_.close();
+  open_ = false;
+  return Status::Ok();
+}
+
+// ------------------------------------------------------------------------
+// DatasetChunkWriter
+
+Status DatasetChunkWriter::Append(const Dataset& chunk) {
+  if (!have_any_) {
+    collected_ = chunk;
+    have_any_ = true;
+    return Status::Ok();
+  }
+  if (chunk.NumAttributes() != collected_.NumAttributes()) {
+    return Status::InvalidArgument("chunk attribute count mismatch");
+  }
+  // The class dictionary grows append-only across chunks, so ids agree
+  // once the collected schema has caught up with this chunk's names.
+  for (const std::string& name : chunk.schema().class_names()) {
+    collected_.mutable_schema().GetOrAddClass(name);
+  }
+  for (size_t r = 0; r < chunk.NumRows(); ++r) {
+    collected_.AddRow(chunk.Row(r), chunk.Label(r));
+  }
+  return Status::Ok();
+}
+
+}  // namespace popp::stream

@@ -1,0 +1,130 @@
+#ifndef POPP_STREAM_CHUNK_IO_H_
+#define POPP_STREAM_CHUNK_IO_H_
+
+#include <deque>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/csv.h"
+#include "data/dataset.h"
+#include "util/status.h"
+
+/// \file
+/// Chunked dataset I/O: iterate a relation in bounded row batches without
+/// materializing it, and append released batches to a sink. Chunks of one
+/// source share a consistent schema — attribute names are fixed by the
+/// first chunk and the class-label dictionary grows append-only, so a
+/// ClassId seen in chunk i means the same label in every chunk j >= i.
+/// The CSV reader/writer pair is byte-compatible with ReadCsv/WriteCsv: a
+/// stream of chunks written with a header on the first chunk concatenates
+/// to exactly the bytes a one-shot WriteCsv would produce.
+
+namespace popp::stream {
+
+/// Pull-based source of row chunks.
+class ChunkReader {
+ public:
+  virtual ~ChunkReader() = default;
+
+  /// Reads up to `max_rows` rows (>= 1) into a fresh dataset chunk. An
+  /// empty chunk signals end of stream. The chunk's schema includes every
+  /// class label seen so far.
+  virtual Result<Dataset> NextChunk(size_t max_rows) = 0;
+
+  /// Rewinds to the first row (the two-pass fit re-reads its input).
+  virtual Status Rewind() = 0;
+};
+
+/// Push-based sink for released chunks.
+class ChunkWriter {
+ public:
+  virtual ~ChunkWriter() = default;
+
+  /// Appends one chunk. Chunks must share attribute count; later chunks
+  /// may carry a larger class dictionary.
+  virtual Status Append(const Dataset& chunk) = 0;
+
+  /// Flushes and finalizes the sink.
+  virtual Status Close() = 0;
+};
+
+/// Streams a CSV file in bounded memory: at most one chunk plus one 64 KiB
+/// read buffer is resident. Shares the incremental tokenizer with ReadCsv,
+/// so quoting, CRLF and missing-trailing-newline semantics are identical —
+/// including quoted fields that span read-buffer boundaries.
+class CsvChunkReader : public ChunkReader {
+ public:
+  /// `buffer_bytes` is the file read granularity (tests shrink it to force
+  /// records across buffer seams).
+  explicit CsvChunkReader(std::string path, CsvOptions options = {},
+                          size_t buffer_bytes = 1 << 16);
+
+  Result<Dataset> NextChunk(size_t max_rows) override;
+  Status Rewind() override;
+
+ private:
+  Status EnsureOpen();
+
+  std::string path_;
+  CsvOptions options_;
+  size_t buffer_bytes_;
+  std::ifstream in_;
+  bool open_ = false;
+  bool eof_ = false;
+  std::unique_ptr<CsvRecordParser> parser_;
+  std::unique_ptr<CsvDatasetBuilder> builder_;
+  std::deque<CsvRecord> pending_;
+  std::vector<char> buffer_;
+};
+
+/// Adapts an in-memory dataset to the chunk interface (zero-copy views are
+/// not possible with column-major storage, so chunks are row-range copies).
+class DatasetChunkReader : public ChunkReader {
+ public:
+  explicit DatasetChunkReader(const Dataset* data);
+
+  Result<Dataset> NextChunk(size_t max_rows) override;
+  Status Rewind() override;
+
+ private:
+  const Dataset* data_;
+  size_t next_row_ = 0;
+};
+
+/// Appends chunks to a CSV file; the header is written once, before the
+/// first chunk, so the finished file equals a one-shot WriteCsv of the
+/// concatenated chunks byte-for-byte.
+class CsvChunkWriter : public ChunkWriter {
+ public:
+  explicit CsvChunkWriter(std::string path, CsvOptions options = {});
+
+  Status Append(const Dataset& chunk) override;
+  Status Close() override;
+
+ private:
+  std::string path_;
+  CsvOptions options_;
+  std::ofstream out_;
+  bool open_ = false;
+  bool wrote_header_ = false;
+};
+
+/// Collects chunks into one in-memory dataset (tests and the oracle use
+/// this to compare a streamed release against the batch release).
+class DatasetChunkWriter : public ChunkWriter {
+ public:
+  Status Append(const Dataset& chunk) override;
+  Status Close() override { return Status::Ok(); }
+
+  const Dataset& collected() const { return collected_; }
+
+ private:
+  Dataset collected_;
+  bool have_any_ = false;
+};
+
+}  // namespace popp::stream
+
+#endif  // POPP_STREAM_CHUNK_IO_H_

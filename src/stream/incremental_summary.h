@@ -1,0 +1,73 @@
+#ifndef POPP_STREAM_INCREMENTAL_SUMMARY_H_
+#define POPP_STREAM_INCREMENTAL_SUMMARY_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "data/dataset.h"
+#include "data/summary.h"
+
+/// \file
+/// Incrementally maintained per-attribute active domains and distinct-value
+/// class histograms — the domain-level state the plan fit needs, absorbed
+/// chunk by chunk. State is O(sum over attributes of #distinct values),
+/// independent of the number of rows, which is what keeps the two-pass
+/// streamed fit inside the bounded-memory contract.
+///
+/// The merge-equality claim (proved by `stream_test` and the
+/// `stream_vs_batch` oracle): for any chunking of a dataset D,
+/// absorbing the chunks in order — or absorbing disjoint sub-streams and
+/// Merge()-ing them in any grouping — then calling Summarize(a) yields a
+/// summary field-identical to `AttributeSummary::FromDataset(D, a)`.
+/// It holds because both sides compute the same pure aggregate: the
+/// per-(value, class) tuple count, which is associative and commutative
+/// under addition, rendered in sorted value order.
+
+namespace popp::stream {
+
+class IncrementalSummary {
+ public:
+  /// The attribute count is fixed up front; the class dictionary may keep
+  /// growing across chunks (append-only ids, as produced by ChunkReader).
+  explicit IncrementalSummary(size_t num_attributes);
+
+  /// Folds one chunk into the running state. The chunk's labels must use
+  /// the shared append-only ClassId space.
+  void Absorb(const Dataset& chunk);
+
+  /// Folds another incremental summary (same attribute count) into this
+  /// one — the parallel-absorb combiner.
+  void Merge(const IncrementalSummary& other);
+
+  size_t NumAttributes() const { return attrs_.size(); }
+  size_t NumClasses() const { return num_classes_; }
+  size_t NumRows() const { return num_rows_; }
+
+  /// Distinct values currently tracked for `attr`.
+  size_t NumDistinct(size_t attr) const;
+
+  bool empty() const { return num_rows_ == 0; }
+
+  /// Active-domain hull of `attr`; requires at least one absorbed row.
+  AttrValue MinValue(size_t attr) const;
+  AttrValue MaxValue(size_t attr) const;
+
+  /// Materializes the batch-equal summary of one attribute.
+  AttributeSummary Summarize(size_t attr) const;
+
+  /// Materializes every attribute (the plan-fit input).
+  std::vector<AttributeSummary> SummarizeAll() const;
+
+ private:
+  /// Per distinct value: tuple count per class (resized as classes appear).
+  using ValueCounts = std::map<AttrValue, std::vector<uint32_t>>;
+
+  std::vector<ValueCounts> attrs_;
+  size_t num_classes_ = 0;
+  size_t num_rows_ = 0;
+};
+
+}  // namespace popp::stream
+
+#endif  // POPP_STREAM_INCREMENTAL_SUMMARY_H_

@@ -1,0 +1,65 @@
+#include "stream/ood_policy.h"
+
+#include <algorithm>
+
+namespace popp::stream {
+
+std::string ToString(OodPolicy policy) {
+  switch (policy) {
+    case OodPolicy::kReject:
+      return "reject";
+    case OodPolicy::kClamp:
+      return "clamp";
+    case OodPolicy::kExtendPiece:
+      return "extend-piece";
+    case OodPolicy::kRefit:
+      return "refit";
+  }
+  return "unknown";
+}
+
+Result<OodPolicy> ParseOodPolicy(const std::string& text) {
+  if (text == "reject") return OodPolicy::kReject;
+  if (text == "clamp") return OodPolicy::kClamp;
+  if (text == "extend-piece") return OodPolicy::kExtendPiece;
+  if (text == "refit") return OodPolicy::kRefit;
+  return Status::InvalidArgument(
+      "unknown --ood-policy '" + text +
+      "' (expected reject, clamp, extend-piece or refit)");
+}
+
+DomainHull FittedHull(const PiecewiseTransform& t) {
+  POPP_CHECK_MSG(t.NumPieces() > 0, "FittedHull on empty transform");
+  return DomainHull{t.piece(0).domain_lo,
+                    t.piece(t.NumPieces() - 1).domain_hi};
+}
+
+AttrValue EncodeClamped(const PiecewiseTransform& t, AttrValue x) {
+  const DomainHull hull = FittedHull(t);
+  return t.Apply(std::clamp(x, hull.lo, hull.hi));
+}
+
+AttrValue EncodeExtended(const PiecewiseTransform& t, AttrValue x) {
+  const DomainHull hull = FittedHull(t);
+  AttrValue out_min = t.piece(0).out_lo;
+  AttrValue out_max = t.piece(0).out_hi;
+  for (size_t i = 1; i < t.NumPieces(); ++i) {
+    out_min = std::min(out_min, t.piece(i).out_lo);
+    out_max = std::max(out_max, t.piece(i).out_hi);
+  }
+  const AttrValue domain_width = hull.hi - hull.lo;
+  const AttrValue slope =
+      domain_width > 0 ? (out_max - out_min) / domain_width : 1.0;
+  const bool anti = t.global_anti_monotone();
+  if (x < hull.lo) {
+    const AttrValue excess = hull.lo - x;
+    return anti ? out_max + slope * excess : out_min - slope * excess;
+  }
+  if (x > hull.hi) {
+    const AttrValue excess = x - hull.hi;
+    return anti ? out_min - slope * excess : out_max + slope * excess;
+  }
+  return t.Apply(x);
+}
+
+}  // namespace popp::stream

@@ -37,6 +37,24 @@ TransformPlan TransformPlan::CreatePerAttribute(
   return plan;
 }
 
+TransformPlan TransformPlan::CreateFromSummaries(
+    const std::vector<AttributeSummary>& summaries,
+    const PiecewiseOptions& options, Rng& rng, const ExecPolicy& exec) {
+  POPP_CHECK_MSG(!summaries.empty(), "CreateFromSummaries: no summaries");
+  TransformPlan plan;
+  plan.transforms_.resize(summaries.size());
+  // Identical RNG discipline to CreatePerAttribute: one fork of the
+  // caller's stream, then index-derived children — so the plan matches the
+  // batch fit bit-for-bit given equal summaries and seed.
+  const Rng base = rng.Fork();
+  ParallelFor(exec, summaries.size(), [&](size_t attr) {
+    Rng child = base.Fork(attr);
+    plan.transforms_[attr] =
+        PiecewiseTransform::Create(summaries[attr], options, child);
+  });
+  return plan;
+}
+
 TransformPlan TransformPlan::FromTransforms(
     std::vector<PiecewiseTransform> transforms) {
   POPP_CHECK_MSG(!transforms.empty(), "FromTransforms: no transforms");

@@ -38,6 +38,15 @@ class TransformPlan {
       const Dataset& data, const std::vector<PiecewiseOptions>& options,
       Rng& rng, const ExecPolicy& exec = {});
 
+  /// Samples a plan from precomputed per-attribute summaries (one per
+  /// attribute, each non-empty). Consumes `rng` exactly like Create on a
+  /// dataset with these summaries, so a fit from incrementally merged
+  /// chunk summaries (src/stream) is byte-identical to the batch fit for
+  /// the same seed.
+  static TransformPlan CreateFromSummaries(
+      const std::vector<AttributeSummary>& summaries,
+      const PiecewiseOptions& options, Rng& rng, const ExecPolicy& exec = {});
+
   /// Reassembles a plan from explicit per-attribute transforms
   /// (deserialization).
   static TransformPlan FromTransforms(

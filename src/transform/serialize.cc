@@ -9,6 +9,12 @@
 namespace popp {
 namespace {
 
+/// Renders a binary64 exactly: 17 significant decimal digits uniquely
+/// identify every double, and strtod's correctly-rounded parse maps the
+/// text back to the identical bits — including denormals, ±huge values and
+/// signed zero. Piece domain/output endpoints therefore round-trip
+/// bit-for-bit through popp-plan v1 (proved by the adversarial-endpoint
+/// golden tests).
 std::string Num(double v) {
   char buf[48];
   std::snprintf(buf, sizeof(buf), "%.17g", v);
@@ -39,6 +45,9 @@ class Reader {
     return Status::Ok();
   }
 
+  /// Accepts anything strtod does — the %.17g decimals Num emits and also
+  /// C99 hex-floats ("0x1.91eb851eb851fp+1"), so externally produced keys
+  /// may spell endpoints in either exact form.
   Result<double> Number(const char* what) {
     auto word = Word(what);
     if (!word.ok()) return word.status();

@@ -165,5 +165,74 @@ TEST_F(CliTest, VerifyWithAntiMonotoneAndEntropy) {
   EXPECT_EQ(r.code, 0) << r.err;
 }
 
+TEST_F(CliTest, StreamReleaseMatchesEncodeBytes) {
+  const std::string batch_csv = TempPath("batch.csv");
+  const std::string batch_key = TempPath("batch.key");
+  const std::string stream_csv = TempPath("stream.csv");
+  const std::string stream_key = TempPath("stream.key");
+  ASSERT_EQ(RunPopp({"encode", csv_path_, batch_csv, batch_key, "--seed",
+                     "9"})
+                .code,
+            0);
+  const CliResult r =
+      RunPopp({"stream-release", csv_path_, stream_csv, stream_key, "--seed",
+               "9", "--chunk-rows", "41", "--threads", "3"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("streamed 600 rows"), std::string::npos) << r.out;
+  std::ifstream a(batch_csv, std::ios::binary), b(stream_csv,
+                                                  std::ios::binary);
+  const std::string batch_bytes((std::istreambuf_iterator<char>(a)),
+                                std::istreambuf_iterator<char>());
+  const std::string stream_bytes((std::istreambuf_iterator<char>(b)),
+                                 std::istreambuf_iterator<char>());
+  EXPECT_EQ(batch_bytes, stream_bytes);
+  std::ifstream ka(batch_key, std::ios::binary), kb(stream_key,
+                                                    std::ios::binary);
+  const std::string key_a((std::istreambuf_iterator<char>(ka)),
+                          std::istreambuf_iterator<char>());
+  const std::string key_b((std::istreambuf_iterator<char>(kb)),
+                          std::istreambuf_iterator<char>());
+  EXPECT_EQ(key_a, key_b);
+}
+
+TEST_F(CliTest, StreamReleaseRejectErrorIsActionable) {
+  // A prefix fit on the first 100 rows leaves the tail's unseen values
+  // out-of-domain; the default reject policy must name the attribute, the
+  // offending value, the fitted domain, and the active policy.
+  const CliResult r =
+      RunPopp({"stream-release", csv_path_, TempPath("rej.csv"),
+               TempPath("rej.key"), "--seed", "9", "--chunk-rows", "50",
+               "--fit-rows", "100"});
+  ASSERT_EQ(r.code, 1) << r.out;
+  EXPECT_NE(r.err.find("out-of-domain value"), std::string::npos) << r.err;
+  EXPECT_NE(r.err.find("attribute '"), std::string::npos) << r.err;
+  EXPECT_NE(r.err.find("fitted domain ["), std::string::npos) << r.err;
+  EXPECT_NE(r.err.find("ood-policy: reject"), std::string::npos) << r.err;
+  EXPECT_NE(r.err.find("--ood-policy clamp"), std::string::npos) << r.err;
+}
+
+TEST_F(CliTest, StreamReleaseClampToleratesUnseenTail) {
+  const CliResult r =
+      RunPopp({"stream-release", csv_path_, TempPath("clamp.csv"),
+               TempPath("clamp.key"), "--seed", "9", "--chunk-rows", "50",
+               "--fit-rows", "100", "--ood-policy", "clamp"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("out-of-domain values:"), std::string::npos);
+}
+
+TEST(CliBasicsTest, StreamReleaseBadOodPolicyReported) {
+  const CliResult r = RunPopp({"stream-release", "in.csv", "out.csv",
+                               "key.out", "--ood-policy", "ignore"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("unknown --ood-policy"), std::string::npos);
+}
+
+TEST(CliBasicsTest, StreamReleaseZeroChunkRowsReported) {
+  const CliResult r = RunPopp({"stream-release", "in.csv", "out.csv",
+                               "key.out", "--chunk-rows", "0"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("--chunk-rows"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace popp

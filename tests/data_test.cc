@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <fstream>
 
 #include "data/csv.h"
 #include "data/dataset.h"
@@ -280,6 +281,111 @@ TEST(CsvTest, ReadMissingFileFails) {
   auto result = ReadCsv("/nonexistent/definitely/missing.csv");
   ASSERT_FALSE(result.ok());
   EXPECT_EQ(result.status().code(), StatusCode::kIoError);
+}
+
+TEST(CsvTest, CrlfLineEndings) {
+  auto parsed = ParseCsv("a,b,class\r\n1,2,x\r\n3,4,y\r\n");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const Dataset& d = parsed.value();
+  EXPECT_EQ(d.NumRows(), 2u);
+  EXPECT_EQ(d.schema().AttributeName(1), "b");
+  EXPECT_EQ(d.schema().ClassName(d.Label(1)), "y");
+  EXPECT_DOUBLE_EQ(d.Column(1)[1], 4.0);
+}
+
+TEST(CsvTest, MissingTrailingNewline) {
+  auto parsed = ParseCsv("a,class\n1,x\n2,y");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed.value().NumRows(), 2u);
+  EXPECT_EQ(parsed.value().schema().ClassName(parsed.value().Label(1)), "y");
+}
+
+TEST(CsvTest, CrlfWithMissingTrailingNewline) {
+  auto parsed = ParseCsv("a,class\r\n1,x\r\n2,y");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed.value().NumRows(), 2u);
+}
+
+TEST(CsvTest, QuotedFieldsWithDelimitersAndQuotes) {
+  auto parsed =
+      ParseCsv("a,\"name, with comma\",class\n1,2,\"say \"\"hi\"\"\"\n");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const Dataset& d = parsed.value();
+  EXPECT_EQ(d.schema().AttributeName(1), "name, with comma");
+  EXPECT_EQ(d.schema().ClassName(d.Label(0)), "say \"hi\"");
+}
+
+TEST(CsvTest, QuotedFieldSpansLines) {
+  // An embedded newline inside a quoted class label must not end the
+  // record, and the error line counter must keep tracking physical lines.
+  auto parsed = ParseCsv("a,class\n1,\"two\nlines\"\n2,plain\n");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed.value().NumRows(), 2u);
+  EXPECT_EQ(parsed.value().schema().ClassName(parsed.value().Label(0)),
+            "two\nlines");
+}
+
+TEST(CsvTest, LoneCarriageReturnIsData) {
+  // Only CRLF is an end-of-line; a CR not followed by LF stays in the
+  // field (the old parser stripped every '\r').
+  auto parsed = ParseCsv("a,class\n1,x\rv\n");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed.value().schema().ClassName(parsed.value().Label(0)),
+            "x\rv");
+}
+
+TEST(CsvTest, UnterminatedQuoteFails) {
+  auto parsed = ParseCsv("a,class\n1,\"unclosed\n");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.status().ToString().find("unterminated"),
+            std::string::npos);
+}
+
+TEST(CsvTest, ErrorLineNumbersSurviveCrlfAndQuotes) {
+  auto parsed = ParseCsv("a,class\r\n1,x\r\nbad_number,y\r\n");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.status().ToString().find("line 3"), std::string::npos)
+      << parsed.status().ToString();
+}
+
+TEST(CsvTest, WriterQuotesNamesThatNeedIt) {
+  Dataset d({"plain", "with, comma"}, {"a\"b", "c"});
+  d.AddRow({1, 2}, 0);
+  d.AddRow({3, 4}, 1);
+  const std::string text = ToCsvString(d);
+  auto parsed = ParseCsv(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed.value(), d);
+  EXPECT_EQ(parsed.value().schema().AttributeName(1), "with, comma");
+  EXPECT_EQ(parsed.value().schema().ClassName(0), "a\"b");
+}
+
+TEST(CsvTest, QuotedFieldSpansReadBufferBoundary) {
+  // Force a quoted, comma-carrying class label across many tiny read
+  // buffers: ReadCsv streams the file in blocks, and the record parser
+  // must carry quote state across Feed() calls. A label longer than the
+  // 64 KiB block size proves the tokenizer never needs the whole field in
+  // one block.
+  const std::string big_label =
+      "\"" + std::string(70000, 'z') + ",\"\"tail\"\"\"";
+  const std::string csv = "a,class\n1," + big_label + "\n2," + big_label +
+                          "\n";
+  const std::string path = testing::TempDir() + "/popp_csv_span.csv";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << csv;
+  }
+  auto read = ReadCsv(path);
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  EXPECT_EQ(read.value().NumRows(), 2u);
+  const std::string label =
+      read.value().schema().ClassName(read.value().Label(0));
+  EXPECT_EQ(label.size(), 70007u);
+  EXPECT_EQ(label.substr(69999), "z,\"tail\"");
+  // And the in-memory parse agrees byte-for-byte.
+  auto parsed = ParseCsv(csv);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value(), read.value());
 }
 
 }  // namespace

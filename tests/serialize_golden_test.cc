@@ -1,14 +1,20 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "check/shrink.h"
+#include "data/dataset.h"
+#include "transform/plan.h"
 #include "transform/serialize.h"
 #include "tree/compare.h"
 #include "tree/serialize.h"
+#include "util/rng.h"
 
 /// \file
 /// Golden-file coverage of the persisted formats. The fixtures under
@@ -70,6 +76,131 @@ TEST(SerializeGolden, ReproducerRecipeRoundTripIsByteStable) {
   EXPECT_EQ(ReadFile(out_csv), csv_bytes);
   std::remove(out_csv.c_str());
   std::remove(out_recipe.c_str());
+}
+
+// ------------------------------------------- endpoint exactness --------
+
+uint64_t Bits(double v) {
+  uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+/// Adversarial attribute values: the smallest denormal, a value needing
+/// all 17 digits, a nextafter pair (adjacent doubles), and huge-magnitude
+/// endpoints. Every one must survive serialize → parse bit-for-bit.
+std::vector<double> AdversarialValues() {
+  return {-1e150,
+          -5e-324,
+          0.0,
+          5e-324,
+          1e-300,
+          1.0,
+          std::nextafter(1.0, 2.0),
+          3.141592653589793,
+          0.1,
+          1e150};
+}
+
+Dataset AdversarialDataset() {
+  Dataset d({"x"}, {"a", "b"});
+  const auto values = AdversarialValues();
+  for (size_t i = 0; i < values.size(); ++i) {
+    d.AddRow({values[i]}, static_cast<ClassId>(i % 2));
+  }
+  return d;
+}
+
+TEST(SerializeGolden, AdversarialEndpointsRoundTripBitExact) {
+  const Dataset d = AdversarialDataset();
+  for (const bool anti : {false, true}) {
+    PiecewiseOptions options;
+    options.policy = BreakpointPolicy::kNone;
+    options.global_anti_monotone = anti;
+    Rng rng(7);
+    const TransformPlan plan = TransformPlan::Create(d, options, rng);
+    const std::string text = SerializePlan(plan);
+    auto reparsed = ParsePlan(text);
+    ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+    EXPECT_EQ(SerializePlan(reparsed.value()), text);
+    const PiecewiseTransform& before = plan.transform(0);
+    const PiecewiseTransform& after = reparsed.value().transform(0);
+    ASSERT_EQ(after.NumPieces(), before.NumPieces());
+    for (size_t i = 0; i < before.NumPieces(); ++i) {
+      EXPECT_EQ(Bits(after.piece(i).domain_lo), Bits(before.piece(i).domain_lo));
+      EXPECT_EQ(Bits(after.piece(i).domain_hi), Bits(before.piece(i).domain_hi));
+      EXPECT_EQ(Bits(after.piece(i).out_lo), Bits(before.piece(i).out_lo));
+      EXPECT_EQ(Bits(after.piece(i).out_hi), Bits(before.piece(i).out_hi));
+    }
+    // And the reloaded key encodes every active-domain value bit-identically
+    // — the property a custodian actually depends on.
+    for (const double v : AdversarialValues()) {
+      EXPECT_EQ(Bits(after.Apply(v)), Bits(before.Apply(v))) << "value " << v;
+    }
+  }
+}
+
+TEST(SerializeGolden, ManyPieceEndpointsRoundTripBitExact) {
+  // ChooseBP breakpoints land on arbitrary midpoints between adversarial
+  // values, so the serialized endpoints get irrational-looking decimals.
+  Dataset d({"x", "y"}, {"a", "b"});
+  Rng data_rng(3);
+  for (int i = 0; i < 120; ++i) {
+    d.AddRow({data_rng.Uniform(-1e3, 1e3), data_rng.Uniform(0.0, 1e-5)},
+             static_cast<ClassId>(data_rng.Bernoulli(0.5) ? 1 : 0));
+  }
+  PiecewiseOptions options;
+  options.policy = BreakpointPolicy::kChooseBP;
+  options.min_breakpoints = 10;
+  Rng rng(11);
+  const TransformPlan plan = TransformPlan::Create(d, options, rng);
+  const std::string text = SerializePlan(plan);
+  auto reparsed = ParsePlan(text);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+  EXPECT_EQ(SerializePlan(reparsed.value()), text);
+  for (size_t attr = 0; attr < plan.NumAttributes(); ++attr) {
+    const PiecewiseTransform& before = plan.transform(attr);
+    const PiecewiseTransform& after = reparsed.value().transform(attr);
+    ASSERT_EQ(after.NumPieces(), before.NumPieces());
+    for (size_t i = 0; i < before.NumPieces(); ++i) {
+      EXPECT_EQ(Bits(after.piece(i).domain_lo),
+                Bits(before.piece(i).domain_lo));
+      EXPECT_EQ(Bits(after.piece(i).domain_hi),
+                Bits(before.piece(i).domain_hi));
+      EXPECT_EQ(Bits(after.piece(i).out_lo), Bits(before.piece(i).out_lo));
+      EXPECT_EQ(Bits(after.piece(i).out_hi), Bits(before.piece(i).out_hi));
+    }
+  }
+}
+
+TEST(SerializeGolden, ParserAcceptsHexFloatEndpoints) {
+  const Dataset d = AdversarialDataset();
+  PiecewiseOptions options;
+  options.policy = BreakpointPolicy::kNone;
+  Rng rng(13);
+  const TransformPlan plan = TransformPlan::Create(d, options, rng);
+  std::string text = SerializePlan(plan);
+  // Respell the first piece's domain_lo in C99 hex-float form everywhere it
+  // occurs; the parse must land on the identical bits.
+  const double dlo = plan.transform(0).piece(0).domain_lo;
+  char dec[48];
+  std::snprintf(dec, sizeof(dec), "%.17g", dlo);
+  char hex[48];
+  std::snprintf(hex, sizeof(hex), "%a", dlo);
+  size_t pos = 0;
+  size_t replaced = 0;
+  while ((pos = text.find(dec, pos)) != std::string::npos) {
+    text.replace(pos, std::strlen(dec), hex);
+    pos += std::strlen(hex);
+    replaced++;
+  }
+  ASSERT_GE(replaced, 1u);
+  auto reparsed = ParsePlan(text);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+  EXPECT_EQ(Bits(reparsed.value().transform(0).piece(0).domain_lo),
+            Bits(dlo));
+  // Re-serialization normalizes back to the canonical decimal bytes.
+  EXPECT_EQ(SerializePlan(reparsed.value()), SerializePlan(plan));
 }
 
 }  // namespace

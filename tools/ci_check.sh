@@ -4,11 +4,13 @@
 # Usage: tools/ci_check.sh [build-dir]
 #
 # Stage 1 builds with ASan+UBSan (POPP_SANITIZE=address,undefined), runs
-# ctest, then hammers the invariant oracles with a bounded popp_check run.
-# Stage 2 rebuilds with TSan (POPP_SANITIZE=thread) and runs the parallel
-# execution layer's tests plus the parallel_determinism oracle, which
-# exercise every ThreadPool/ParallelFor path under real concurrency. Any
-# failure — test, sanitizer report, or oracle — fails the script.
+# ctest, then hammers the invariant oracles — including stream_vs_batch,
+# the streamed-release == batch-release contract — with a bounded
+# popp_check run. Stage 2 rebuilds with TSan (POPP_SANITIZE=thread) and
+# runs the parallel execution layer's tests, the streaming release tests,
+# and the parallel_determinism + stream_vs_batch oracles, which exercise
+# every ThreadPool/ParallelFor path under real concurrency. Any failure —
+# test, sanitizer report, or oracle — fails the script.
 
 set -euo pipefail
 
@@ -38,12 +40,16 @@ cmake -B "$tsan_build_dir" -S "$repo_root" \
 echo "== build (TSan) =="
 cmake --build "$tsan_build_dir" -j --target popp_tests popp_check
 
-echo "== parallel tests under TSan =="
+echo "== parallel + streaming tests under TSan =="
 "$tsan_build_dir/tests/popp_tests" \
-  --gtest_filter='ThreadPool*:ParallelFor*:ParallelEquality*:TrialStream*'
+  --gtest_filter='ThreadPool*:ParallelFor*:ParallelEquality*:TrialStream*:StreamRelease*:OodPolicy*:IncrementalSummary*:ChunkIo*'
 
 echo "== parallel_determinism oracle under TSan (bounded) =="
 "$tsan_build_dir/tools/popp_check" --oracle parallel_determinism \
+  --trials 25 --seed 7 --out "$tsan_build_dir"
+
+echo "== stream_vs_batch oracle under TSan (bounded) =="
+"$tsan_build_dir/tools/popp_check" --oracle stream_vs_batch \
   --trials 25 --seed 7 --out "$tsan_build_dir"
 
 echo "ci_check: all gates passed"
