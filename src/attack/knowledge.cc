@@ -29,8 +29,14 @@ double CrackRadius(const AttributeSummary& original, double radius_fraction) {
   return radius_fraction * width;
 }
 
-std::vector<KnowledgePoint> SampleKnowledgePoints(
-    const AttributeSummary& original, const PiecewiseTransform& transform,
+namespace {
+
+/// Shared sampler: any transform type with Apply works; the interpreted and
+/// compiled entry points produce identical points because the RNG draw
+/// sequence is the same and the compiled Apply is bit-identical.
+template <typename TransformT>
+std::vector<KnowledgePoint> SampleKnowledgePointsImpl(
+    const AttributeSummary& original, const TransformT& transform,
     const KnowledgeOptions& options, Rng& rng) {
   POPP_CHECK(!original.empty());
   const double rho = CrackRadius(original, options.radius_fraction);
@@ -63,6 +69,20 @@ std::vector<KnowledgePoint> SampleKnowledgePoints(
     points.push_back(kp);
   }
   return points;
+}
+
+}  // namespace
+
+std::vector<KnowledgePoint> SampleKnowledgePoints(
+    const AttributeSummary& original, const PiecewiseTransform& transform,
+    const KnowledgeOptions& options, Rng& rng) {
+  return SampleKnowledgePointsImpl(original, transform, options, rng);
+}
+
+std::vector<KnowledgePoint> SampleKnowledgePoints(
+    const AttributeSummary& original, const CompiledTransform& transform,
+    const KnowledgeOptions& options, Rng& rng) {
+  return SampleKnowledgePointsImpl(original, transform, options, rng);
 }
 
 }  // namespace popp

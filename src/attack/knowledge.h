@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "data/summary.h"
+#include "transform/compiled.h"
 #include "transform/piecewise.h"
 #include "util/rng.h"
 
@@ -61,6 +62,13 @@ double CrackRadius(const AttributeSummary& original, double radius_fraction);
 /// offset in (5 rho, 15 rho] on a random side.
 std::vector<KnowledgePoint> SampleKnowledgePoints(
     const AttributeSummary& original, const PiecewiseTransform& transform,
+    const KnowledgeOptions& options, Rng& rng);
+
+/// Compiled-kernel overload: identical sampling (bit-identical transform
+/// images and the same RNG draws), avoiding virtual dispatch in Monte Carlo
+/// inner loops.
+std::vector<KnowledgePoint> SampleKnowledgePoints(
+    const AttributeSummary& original, const CompiledTransform& transform,
     const KnowledgeOptions& options, Rng& rng);
 
 }  // namespace popp

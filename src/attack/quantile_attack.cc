@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "risk/domain_risk.h"
+#include "transform/compiled.h"
 #include "util/status.h"
 
 namespace popp {
@@ -55,14 +56,16 @@ double QuantileAttackRisk(const AttributeSummary& original,
             : base;
   }
 
-  std::vector<AttrValue> released;
-  released.reserve(original.NumDistinct());
-  for (AttrValue v : original.values()) {
-    released.push_back(transform.Apply(v));
-  }
+  // Compiled release construction + risk evaluation (no LUT: the attack
+  // touches each distinct value a constant number of times).
+  const CompiledTransform compiled = CompiledTransform::Compile(
+      transform, CompiledTransform::CompileOptions{.enable_lut = false});
+  std::vector<AttrValue> released(original.NumDistinct());
+  compiled.ApplyColumn(original.values().data(), released.data(),
+                       released.size());
   const QuantileMatchingCrack crack(std::move(released),
                                     std::move(reference));
-  return DomainDisclosureRisk(original, transform, crack, rho).risk;
+  return DomainDisclosureRisk(original, compiled, crack, rho).risk;
 }
 
 }  // namespace popp

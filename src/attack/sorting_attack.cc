@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "transform/compiled.h"
 #include "util/status.h"
 
 namespace popp {
@@ -50,11 +51,14 @@ SortingRiskResult SortingAttackRisk(const AttributeSummary& original,
   const AttrValue dmax = original.MaxValue();
 
   // Released distinct values with their true originals, sorted by the
-  // released (transformed) value — the hacker's view.
+  // released (transformed) value — the hacker's view. Compiled (no LUT:
+  // only NumDistinct applies) and bit-identical to the interpreted path.
+  const CompiledTransform compiled = CompiledTransform::Compile(
+      transform, CompiledTransform::CompileOptions{.enable_lut = false});
   std::vector<std::pair<AttrValue, AttrValue>> released;  // (image, truth)
   released.reserve(n);
   for (AttrValue v : original.values()) {
-    released.emplace_back(transform.Apply(v), v);
+    released.emplace_back(compiled.Apply(v), v);
   }
   std::sort(released.begin(), released.end());
 

@@ -1,10 +1,12 @@
 #include "check/oracles.h"
 
 #include <cmath>
+#include <cstring>
 #include <set>
 #include <sstream>
 
 #include "data/csv.h"
+#include "transform/compiled.h"
 #include "data/summary.h"
 #include "parallel/exec_policy.h"
 #include "risk/trials.h"
@@ -98,7 +100,142 @@ void UnreflectThresholds(DecisionTree& tree, const std::vector<bool>& anti) {
   }
 }
 
+/// Bit-level double equality: stricter than ==, distinguishes -0.0 from
+/// 0.0 and treats equal NaN payloads as equal — exactly the "same bytes"
+/// contract the compiled kernels promise.
+bool BitEqual(double a, double b) {
+  uint64_t ua, ub;
+  std::memcpy(&ua, &a, sizeof(ua));
+  std::memcpy(&ub, &b, sizeof(ub));
+  return ua == ub;
+}
+
+/// The compiled-vs-interpreted probe set of one attribute: active-domain
+/// values, midpoints between neighbors (non-integral, so they bypass the
+/// LUT), piece-gap interiors (the bridge branch), and out-of-hull offsets
+/// on both sides (integral and fractional).
+std::vector<AttrValue> CompiledProbes(const AttributeSummary& summary,
+                                      const PiecewiseTransform& t) {
+  std::vector<AttrValue> probes;
+  const auto& vals = summary.values();
+  probes.reserve(2 * vals.size() + 2 * t.NumPieces() + 8);
+  for (size_t i = 0; i < vals.size(); ++i) {
+    probes.push_back(vals[i]);
+    if (i + 1 < vals.size()) {
+      probes.push_back(0.5 * (vals[i] + vals[i + 1]));
+    }
+  }
+  const AttrValue lo = t.piece(0).domain_lo;
+  const AttrValue hi = t.piece(t.NumPieces() - 1).domain_hi;
+  for (AttrValue x : {lo - 2.0, lo - 0.75, lo, hi, hi + 0.75, hi + 2.0}) {
+    probes.push_back(x);
+  }
+  for (size_t d = 0; d + 1 < t.NumPieces(); ++d) {
+    const AttrValue gl = t.piece(d).domain_hi;
+    const AttrValue gr = t.piece(d + 1).domain_lo;
+    if (gr > gl) {
+      probes.push_back(gl + 0.25 * (gr - gl));
+      probes.push_back(gl + 0.75 * (gr - gl));
+    }
+  }
+  return probes;
+}
+
 }  // namespace
+
+OracleResult CheckCompiledVsInterpreted(const Dataset& original,
+                                        const TransformPlan& plan,
+                                        const Dataset& released,
+                                        size_t num_threads) {
+  for (size_t a = 0; a < original.NumAttributes(); ++a) {
+    const AttributeSummary summary = AttributeSummary::FromDataset(original, a);
+    const PiecewiseTransform& t = plan.transform(a);
+    const CompiledTransform with_lut = CompiledTransform::Compile(t);
+    const CompiledTransform no_lut = CompiledTransform::Compile(
+        t, CompiledTransform::CompileOptions{.enable_lut = false});
+    const std::pair<const char*, const CompiledTransform*> variants[] = {
+        {"lut", &with_lut}, {"search", &no_lut}};
+    const std::vector<AttrValue> probes = CompiledProbes(summary, t);
+    for (const auto& [vname, ct] : variants) {
+      for (AttrValue x : probes) {
+        const AttrValue want = t.Apply(x);
+        const AttrValue got = ct->Apply(x);
+        if (!BitEqual(want, got)) {
+          std::ostringstream oss;
+          oss << "attr " << a << " [" << vname << "]: Apply(" << FormatCsvCell(x)
+              << ") = " << FormatCsvCell(got) << ", interpreted "
+              << FormatCsvCell(want);
+          return OracleResult::Fail(oss.str());
+        }
+        const AttrValue iwant = t.Inverse(want);
+        const AttrValue igot = ct->Inverse(want);
+        if (!BitEqual(iwant, igot)) {
+          std::ostringstream oss;
+          oss << "attr " << a << " [" << vname << "]: Inverse("
+              << FormatCsvCell(want) << ") = " << FormatCsvCell(igot)
+              << ", interpreted " << FormatCsvCell(iwant);
+          return OracleResult::Fail(oss.str());
+        }
+        // Shared OOD semantics: compiled bounds vs the stream helpers.
+        if (!BitEqual(stream::EncodeClamped(t, x), ct->EncodeClamped(x)) ||
+            !BitEqual(stream::EncodeExtended(t, x), ct->EncodeExtended(x))) {
+          std::ostringstream oss;
+          oss << "attr " << a << " [" << vname
+              << "]: OOD encode differs from the stream helpers at "
+              << FormatCsvCell(x);
+          return OracleResult::Fail(oss.str());
+        }
+      }
+      // Inverse probes beyond the output hull (below-first and gap routing).
+      const DomainBounds& b = ct->bounds();
+      for (AttrValue y : {b.out_min - 1.5, b.out_min, b.out_max,
+                          b.out_max + 1.5,
+                          0.5 * (b.out_min + b.out_max)}) {
+        if (!BitEqual(t.Inverse(y), ct->Inverse(y))) {
+          std::ostringstream oss;
+          oss << "attr " << a << " [" << vname << "]: Inverse("
+              << FormatCsvCell(y) << ") differs from the interpreted inverse";
+          return OracleResult::Fail(oss.str());
+        }
+      }
+    }
+  }
+
+  // Plan level: the batched parallel encode must reproduce the interpreted
+  // release byte-for-byte at every thread count.
+  const CompiledPlan compiled = CompiledPlan::Compile(plan);
+  const std::string released_csv = ToCsvString(released);
+  for (size_t threads : {size_t{1}, num_threads}) {
+    const Dataset encoded =
+        compiled.EncodeDataset(original, ExecPolicy{threads});
+    if (ToCsvString(encoded) != released_csv) {
+      std::ostringstream oss;
+      oss << "CompiledPlan::EncodeDataset at " << threads
+          << " threads is not byte-identical to the interpreted release";
+      return OracleResult::Fail(oss.str());
+    }
+  }
+
+  // Serialize → parse → compile round trip: the reloaded compiled plan
+  // must encode the active domains bit-identically.
+  auto reloaded = ParsePlan(SerializePlan(plan));
+  if (!reloaded.ok()) {
+    return OracleResult::Fail("plan does not re-parse: " +
+                              reloaded.status().ToString());
+  }
+  const CompiledPlan recompiled = CompiledPlan::Compile(reloaded.value());
+  for (size_t a = 0; a < original.NumAttributes(); ++a) {
+    for (AttrValue v : original.ActiveDomain(a)) {
+      if (!BitEqual(plan.Encode(a, v), recompiled.transform(a).Apply(v))) {
+        std::ostringstream oss;
+        oss << "reloaded compiled plan encodes attr " << a << " value "
+            << FormatCsvCell(v) << " differently";
+        return OracleResult::Fail(oss.str());
+      }
+    }
+  }
+  return OracleResult::Ok();
+}
 
 OracleResult CheckEncodeBijective(const Dataset& original,
                                   const TransformPlan& plan) {
@@ -465,6 +602,14 @@ const std::vector<Oracle>& AllOracles() {
                                      ctx.c.plan_seed,
                                      ctx.c.transform_options, chunk,
                                      threads);
+         }},
+        {"compiled_vs_interpreted",
+         [](const TrialContext& ctx) {
+           // Case-derived thread count in [2, 7], like parallel_determinism
+           // but offset so the two oracles stress different counts per case.
+           const size_t threads = 2 + (ctx.c.plan_seed / 3) % 6;
+           return CheckCompiledVsInterpreted(ctx.c.data, ctx.plan,
+                                             ctx.released, threads);
          }},
         {"parallel_determinism",
          [](const TrialContext& ctx) {

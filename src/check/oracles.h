@@ -103,6 +103,19 @@ OracleResult CheckStreamVsBatch(const Dataset& original,
                                 const PiecewiseOptions& transform_options,
                                 size_t chunk_rows, size_t num_threads);
 
+/// The compiled-kernel contract (transform/compiled.h): for every probe —
+/// active-domain values, inter-value midpoints, piece-gap interiors and
+/// out-of-hull offsets — the compiled Apply/Inverse (with and without the
+/// LUT fast path) must be *bit-identical* to the interpreted transform, the
+/// compiled OOD encoders must match the stream helpers bit-for-bit, a
+/// compiled serialize→parse→compile round trip must encode identically, and
+/// CompiledPlan::EncodeDataset must reproduce the interpreted release
+/// byte-for-byte at 1 and `num_threads` threads.
+OracleResult CheckCompiledVsInterpreted(const Dataset& original,
+                                        const TransformPlan& plan,
+                                        const Dataset& released,
+                                        size_t num_threads);
+
 /// A trial case with its derived artifacts, evaluated by every oracle.
 struct TrialContext {
   TrialCase c;
@@ -121,7 +134,8 @@ struct Oracle {
 
 /// The registry the fuzz driver iterates: encode_bijective,
 /// global_invariant, label_runs, tree_equivalence, tree_equivalence_pruned,
-/// serialize_roundtrip.
+/// serialize_roundtrip, stream_vs_batch, compiled_vs_interpreted,
+/// parallel_determinism.
 const std::vector<Oracle>& AllOracles();
 
 /// Evaluates the named oracle on a bare case (re-deriving plan and release).

@@ -12,6 +12,7 @@
 #include "parallel/exec_policy.h"
 #include "stream/chunk_io.h"
 #include "stream/streaming_custodian.h"
+#include "transform/compiled.h"
 #include "transform/serialize.h"
 #include "transform/tree_decode.h"
 #include "tree/builder.h"
@@ -43,7 +44,10 @@ constexpr char kUsage[] =
     "       [--prune] [--max-depth D] [--min-leaf N]\n"
     "\n"
     "every command also accepts --threads N (default 1 = serial; 0 = all\n"
-    "hardware threads). Results are bit-identical for every N.\n";
+    "hardware threads). Results are bit-identical for every N.\n"
+    "encode, stream-release, verify and report accept --no-compiled to\n"
+    "force the interpreted encode path (A/B debugging; the compiled\n"
+    "kernels are bit-identical, just faster).\n";
 
 /// Splits `args` into positional arguments and --flag[=value] options
 /// (flags may also take their value as the next token).
@@ -145,7 +149,11 @@ int CmdEncode(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
   Rng rng(FlagInt(args, "seed", 1));
   const TransformPlan plan =
       TransformPlan::Create(data.value(), *options, rng, ExecFlags(args));
-  const Dataset released = plan.EncodeDataset(data.value());
+  const Dataset released =
+      args.flags.count("no-compiled") > 0
+          ? plan.EncodeDataset(data.value(), ExecFlags(args))
+          : CompiledPlan::Compile(plan).EncodeDataset(data.value(),
+                                                      ExecFlags(args));
 
   Status status = WriteCsv(released, args.positional[1]);
   if (!status.ok()) {
@@ -182,6 +190,7 @@ int CmdStreamRelease(const ParsedArgs& args, std::ostream& out,
     return 2;
   }
   options.fit_rows = FlagInt(args, "fit-rows", 0);
+  options.use_compiled = args.flags.count("no-compiled") == 0;
   auto policy_it = args.flags.find("ood-policy");
   if (policy_it != args.flags.end()) {
     auto policy = stream::ParseOodPolicy(policy_it->second);
@@ -304,6 +313,7 @@ int CmdVerify(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
   options.transform = *transform;
   options.tree = *tree;
   options.exec = ExecFlags(args);
+  options.use_compiled = args.flags.count("no-compiled") == 0;
   const Custodian custodian(std::move(data).value(), options);
   std::string detail;
   const bool ok = custodian.VerifyNoOutcomeChange(&detail);
@@ -327,6 +337,7 @@ int CmdReport(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
   CustodianOptions options;
   options.seed = FlagInt(args, "seed", 1);
   options.exec = ExecFlags(args);
+  options.use_compiled = args.flags.count("no-compiled") == 0;
   const Custodian custodian(std::move(data).value(), options);
   ReportOptions report_options;
   report_options.num_trials = FlagInt(args, "trials", 31);

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "data/dataset.h"
+#include "transform/compiled.h"
 #include "transform/plan.h"
 #include "transform/tree_decode.h"
 #include "tree/builder.h"
@@ -28,6 +29,9 @@ struct CustodianOptions {
   /// Execution policy for plan selection and mining. Serial by default;
   /// any thread count produces bit-identical plans and trees.
   ExecPolicy exec;
+  /// Encode D' through the compiled kernels (bit-identical to the
+  /// interpreted path; `--no-compiled` flips this off for A/B debugging).
+  bool use_compiled = true;
 };
 
 /// Owns the original data and the secret transformation plan.
@@ -40,6 +44,7 @@ class Custodian {
   const Dataset& original() const { return original_; }
   const CustodianOptions& options() const { return options_; }
   const TransformPlan& plan() const { return plan_; }
+  const CompiledPlan& compiled_plan() const { return compiled_; }
 
   /// The released dataset D' the service provider receives.
   Dataset Release() const;
@@ -65,6 +70,7 @@ class Custodian {
   Dataset original_;
   CustodianOptions options_;
   TransformPlan plan_;
+  CompiledPlan compiled_;  // empty unless options_.use_compiled
 };
 
 }  // namespace popp

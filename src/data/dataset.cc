@@ -12,6 +12,26 @@ Dataset::Dataset(std::vector<std::string> attribute_names,
                  std::vector<std::string> class_names)
     : Dataset(Schema(std::move(attribute_names), std::move(class_names))) {}
 
+Dataset::Dataset(Schema schema, std::vector<std::vector<AttrValue>> columns,
+                 std::vector<ClassId> labels)
+    : schema_(std::move(schema)),
+      columns_(std::move(columns)),
+      labels_(std::move(labels)) {
+  POPP_CHECK_MSG(columns_.size() == schema_.NumAttributes(),
+                 "Dataset: got " << columns_.size() << " columns, expected "
+                                 << schema_.NumAttributes());
+  for (size_t a = 0; a < columns_.size(); ++a) {
+    POPP_CHECK_MSG(columns_[a].size() == labels_.size(),
+                   "Dataset: column " << a << " has " << columns_[a].size()
+                                      << " rows, expected " << labels_.size());
+  }
+  for (ClassId label : labels_) {
+    POPP_CHECK_MSG(
+        label >= 0 && static_cast<size_t>(label) < schema_.NumClasses(),
+        "Dataset: bad class id " << label);
+  }
+}
+
 void Dataset::Reserve(size_t rows) {
   for (auto& col : columns_) col.reserve(rows);
   labels_.reserve(rows);

@@ -30,6 +30,13 @@ class Dataset {
   Dataset(std::vector<std::string> attribute_names,
           std::vector<std::string> class_names);
 
+  /// Adopts fully built columns (write-once construction: encoders fill
+  /// fresh columns and hand them over without a copy-then-overwrite pass).
+  /// `columns.size()` must equal the schema's attribute count, every column
+  /// must have labels.size() rows, and every label must be valid.
+  Dataset(Schema schema, std::vector<std::vector<AttrValue>> columns,
+          std::vector<ClassId> labels);
+
   const Schema& schema() const { return schema_; }
   Schema& mutable_schema() { return schema_; }
 

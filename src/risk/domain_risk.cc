@@ -7,9 +7,13 @@
 
 namespace popp {
 
-std::vector<bool> DomainCrackVector(const AttributeSummary& original,
-                                    const PiecewiseTransform& transform,
-                                    const CrackFunction& crack, double rho) {
+namespace {
+
+template <typename TransformT>
+std::vector<bool> DomainCrackVectorImpl(const AttributeSummary& original,
+                                        const TransformT& transform,
+                                        const CrackFunction& crack,
+                                        double rho) {
   std::vector<bool> cracked;
   cracked.reserve(original.NumDistinct());
   for (AttrValue truth : original.values()) {
@@ -19,13 +23,8 @@ std::vector<bool> DomainCrackVector(const AttributeSummary& original,
   return cracked;
 }
 
-DomainRiskResult DomainDisclosureRisk(const AttributeSummary& original,
-                                      const PiecewiseTransform& transform,
-                                      const CrackFunction& crack,
-                                      double rho) {
+DomainRiskResult RiskFromCrackVector(std::vector<bool> cracked) {
   DomainRiskResult result;
-  const std::vector<bool> cracked =
-      DomainCrackVector(original, transform, crack, rho);
   result.total = cracked.size();
   for (bool c : cracked) {
     if (c) result.cracks++;
@@ -37,20 +36,52 @@ DomainRiskResult DomainDisclosureRisk(const AttributeSummary& original,
   return result;
 }
 
+}  // namespace
+
+std::vector<bool> DomainCrackVector(const AttributeSummary& original,
+                                    const PiecewiseTransform& transform,
+                                    const CrackFunction& crack, double rho) {
+  return DomainCrackVectorImpl(original, transform, crack, rho);
+}
+
+std::vector<bool> DomainCrackVector(const AttributeSummary& original,
+                                    const CompiledTransform& transform,
+                                    const CrackFunction& crack, double rho) {
+  return DomainCrackVectorImpl(original, transform, crack, rho);
+}
+
+DomainRiskResult DomainDisclosureRisk(const AttributeSummary& original,
+                                      const PiecewiseTransform& transform,
+                                      const CrackFunction& crack,
+                                      double rho) {
+  return RiskFromCrackVector(DomainCrackVector(original, transform, crack, rho));
+}
+
+DomainRiskResult DomainDisclosureRisk(const AttributeSummary& original,
+                                      const CompiledTransform& transform,
+                                      const CrackFunction& crack,
+                                      double rho) {
+  return RiskFromCrackVector(DomainCrackVector(original, transform, crack, rho));
+}
+
 DomainRiskResult CurveFitDomainRisk(const AttributeSummary& original,
                                     const PiecewiseTransform& transform,
                                     FitMethod method,
                                     const KnowledgeOptions& knowledge,
                                     Rng& rng) {
+  // One transform, NumDistinct + O(KP) applies: compile without the LUT
+  // (its build cost would exceed the work it amortizes here).
+  const CompiledTransform compiled = CompiledTransform::Compile(
+      transform, CompiledTransform::CompileOptions{.enable_lut = false});
   const double rho = CrackRadius(original, knowledge.radius_fraction);
   std::unique_ptr<CrackFunction> crack;
   if (knowledge.num_good + knowledge.num_bad == 0) {
     crack = MakeIdentityCrack();
   } else {
     crack = FitCurve(
-        method, SampleKnowledgePoints(original, transform, knowledge, rng));
+        method, SampleKnowledgePoints(original, compiled, knowledge, rng));
   }
-  return DomainDisclosureRisk(original, transform, *crack, rho);
+  return DomainDisclosureRisk(original, compiled, *crack, rho);
 }
 
 double MedianDomainRisk(const AttributeSummary& original,

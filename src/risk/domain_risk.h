@@ -29,10 +29,19 @@ struct DomainRiskResult {
 std::vector<bool> DomainCrackVector(const AttributeSummary& original,
                                     const PiecewiseTransform& transform,
                                     const CrackFunction& crack, double rho);
+/// Compiled-kernel overload; identical result (compiled Apply is
+/// bit-identical), no per-value virtual dispatch.
+std::vector<bool> DomainCrackVector(const AttributeSummary& original,
+                                    const CompiledTransform& transform,
+                                    const CrackFunction& crack, double rho);
 
 /// Definition 1's risk: cracked distinct values / distinct values.
 DomainRiskResult DomainDisclosureRisk(const AttributeSummary& original,
                                       const PiecewiseTransform& transform,
+                                      const CrackFunction& crack, double rho);
+/// Compiled-kernel overload; identical result.
+DomainRiskResult DomainDisclosureRisk(const AttributeSummary& original,
+                                      const CompiledTransform& transform,
                                       const CrackFunction& crack, double rho);
 
 /// Full single-trial pipeline for a curve-fitting attack: sample knowledge

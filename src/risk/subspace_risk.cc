@@ -4,6 +4,7 @@
 
 #include "data/summary.h"
 #include "risk/crack.h"
+#include "transform/compiled.h"
 #include "util/status.h"
 
 namespace popp {
@@ -17,13 +18,17 @@ SubspaceRiskResult SubspaceAssociationRisk(
   POPP_CHECK(cracks.size() == subspace.size());
   POPP_CHECK(rhos.size() == subspace.size());
 
-  // Per attribute: crack verdict per distinct value, computed once.
+  // Per attribute: crack verdict per distinct value, computed once. The
+  // transform runs compiled (bit-identical) without the LUT — only
+  // NumDistinct applies per attribute, too few to amortize a LUT build.
   std::vector<std::unordered_map<AttrValue, bool>> verdicts(subspace.size());
   for (size_t s = 0; s < subspace.size(); ++s) {
     const size_t attr = subspace[s];
     const AttributeSummary summary =
         AttributeSummary::FromDataset(original, attr);
-    const PiecewiseTransform& f = plan.transform(attr);
+    const CompiledTransform f = CompiledTransform::Compile(
+        plan.transform(attr),
+        CompiledTransform::CompileOptions{.enable_lut = false});
     auto& verdict = verdicts[s];
     verdict.reserve(summary.NumDistinct());
     for (AttrValue truth : summary.values()) {
@@ -64,9 +69,11 @@ SubspaceRiskResult CurveFitSubspaceRisk(const Dataset& original,
     if (knowledge.num_good + knowledge.num_bad == 0) {
       owned.push_back(MakeIdentityCrack());
     } else {
+      const CompiledTransform compiled = CompiledTransform::Compile(
+          plan.transform(attr),
+          CompiledTransform::CompileOptions{.enable_lut = false});
       owned.push_back(FitCurve(
-          method, SampleKnowledgePoints(summary, plan.transform(attr),
-                                        knowledge, rng)));
+          method, SampleKnowledgePoints(summary, compiled, knowledge, rng)));
     }
     cracks.push_back(owned.back().get());
   }

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "transform/compiled.h"
+
 namespace popp::stream {
 
 std::string ToString(OodPolicy policy) {
@@ -35,31 +37,13 @@ DomainHull FittedHull(const PiecewiseTransform& t) {
 }
 
 AttrValue EncodeClamped(const PiecewiseTransform& t, AttrValue x) {
-  const DomainHull hull = FittedHull(t);
-  return t.Apply(std::clamp(x, hull.lo, hull.hi));
+  return OodEncodeClamped(DomainBounds::Of(t), x,
+                          [&t](AttrValue v) { return t.Apply(v); });
 }
 
 AttrValue EncodeExtended(const PiecewiseTransform& t, AttrValue x) {
-  const DomainHull hull = FittedHull(t);
-  AttrValue out_min = t.piece(0).out_lo;
-  AttrValue out_max = t.piece(0).out_hi;
-  for (size_t i = 1; i < t.NumPieces(); ++i) {
-    out_min = std::min(out_min, t.piece(i).out_lo);
-    out_max = std::max(out_max, t.piece(i).out_hi);
-  }
-  const AttrValue domain_width = hull.hi - hull.lo;
-  const AttrValue slope =
-      domain_width > 0 ? (out_max - out_min) / domain_width : 1.0;
-  const bool anti = t.global_anti_monotone();
-  if (x < hull.lo) {
-    const AttrValue excess = hull.lo - x;
-    return anti ? out_max + slope * excess : out_min - slope * excess;
-  }
-  if (x > hull.hi) {
-    const AttrValue excess = x - hull.hi;
-    return anti ? out_min - slope * excess : out_max + slope * excess;
-  }
-  return t.Apply(x);
+  return OodEncodeExtended(DomainBounds::Of(t), x,
+                           [&t](AttrValue v) { return t.Apply(v); });
 }
 
 }  // namespace popp::stream

@@ -53,13 +53,16 @@ struct DomainHull {
 DomainHull FittedHull(const PiecewiseTransform& t);
 
 /// Encodes an out-of-hull value under kClamp: the image of the nearest
-/// hull endpoint.
+/// hull endpoint. Thin wrapper over the single OOD semantics implementation
+/// (OodEncodeClamped in transform/compiled.h), shared with the compiled
+/// kernels.
 AttrValue EncodeClamped(const PiecewiseTransform& t, AttrValue x);
 
 /// Encodes an out-of-hull value under kExtendPiece: linear extrapolation
 /// beyond the output hull, sloped like the aggregate transform and aimed in
 /// the global direction, so order against every in-domain image is exactly
-/// what the global invariant promises.
+/// what the global invariant promises. Thin wrapper over OodEncodeExtended
+/// (transform/compiled.h), shared with the compiled kernels.
 AttrValue EncodeExtended(const PiecewiseTransform& t, AttrValue x);
 
 }  // namespace popp::stream

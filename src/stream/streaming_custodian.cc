@@ -9,6 +9,7 @@
 #include "data/csv.h"
 #include "parallel/parallel_for.h"
 #include "stream/incremental_summary.h"
+#include "transform/compiled.h"
 #include "util/rng.h"
 
 namespace popp::stream {
@@ -42,18 +43,24 @@ std::string RejectMessage(const Schema& schema, size_t attr, AttrValue x,
   return oss.str();
 }
 
-/// Encodes one chunk in place. Returns the lexicographically first
-/// (row, attribute) rejection if the policy is kReject and the chunk holds
-/// out-of-domain values.
+/// Encodes one chunk in place, through the compiled kernels when
+/// `compiled` is non-null (bit-identical either way). Returns the
+/// lexicographically first (row, attribute) rejection if the policy is
+/// kReject and the chunk holds out-of-domain values.
 Status EncodeChunk(Dataset* chunk, const TransformPlan& plan,
-                   OodPolicy policy, const ExecPolicy& exec,
-                   size_t rows_before, StreamStats* stats) {
+                   const CompiledPlan* compiled, OodPolicy policy,
+                   const ExecPolicy& exec, size_t rows_before,
+                   StreamStats* stats) {
   const size_t num_attrs = plan.NumAttributes();
   std::vector<AttrScan> scans(num_attrs);
   ParallelFor(exec, num_attrs, [&](size_t attr) {
     AttrScan& scan = scans[attr];
     const PiecewiseTransform& t = plan.transform(attr);
-    const DomainHull hull = FittedHull(t);
+    const CompiledTransform* ct =
+        compiled != nullptr ? &compiled->transform(attr) : nullptr;
+    const DomainHull hull = ct != nullptr
+                                ? DomainHull{ct->bounds().lo, ct->bounds().hi}
+                                : FittedHull(t);
     auto& col = chunk->MutableColumn(attr);
     for (size_t r = 0; r < col.size(); ++r) {
       const AttrValue x = col[r];
@@ -68,10 +75,11 @@ Status EncodeChunk(Dataset* chunk, const TransformPlan& plan,
             }
             continue;
           case OodPolicy::kClamp:
-            col[r] = EncodeClamped(t, x);
+            col[r] = ct != nullptr ? ct->EncodeClamped(x) : EncodeClamped(t, x);
             continue;
           case OodPolicy::kExtendPiece:
-            col[r] = EncodeExtended(t, x);
+            col[r] =
+                ct != nullptr ? ct->EncodeExtended(x) : EncodeExtended(t, x);
             continue;
           case OodPolicy::kRefit:
             // Unreachable: the refit path re-fits the plan on a summary
@@ -80,7 +88,7 @@ Status EncodeChunk(Dataset* chunk, const TransformPlan& plan,
             break;
         }
       }
-      col[r] = t.Apply(x);
+      col[r] = ct != nullptr ? ct->Apply(x) : t.Apply(x);
     }
   });
   // Serial merge in fixed order; under kReject report the first offending
@@ -126,6 +134,11 @@ Status EncodeStream(ChunkReader& reader, ChunkWriter& writer,
                     StreamStats* stats) {
   std::unique_ptr<IncrementalSummary> running;  // kRefit only
   size_t rows_before = 0;
+  CompiledPlan compiled;
+  if (options.use_compiled) {
+    compiled = CompiledPlan::Compile(plan);
+  }
+  const CompiledPlan* cp = options.use_compiled ? &compiled : nullptr;
   for (;;) {
     const auto encode_start = Clock::now();
     Result<Dataset> next = reader.NextChunk(options.chunk_rows);
@@ -176,13 +189,16 @@ Status EncodeStream(ChunkReader& reader, ChunkWriter& writer,
         Rng rng(options.seed);
         plan = TransformPlan::CreateFromSummaries(
             running->SummarizeAll(), options.transform, rng, options.exec);
+        if (options.use_compiled) {
+          compiled = CompiledPlan::Compile(plan);
+        }
         if (stats != nullptr) {
           stats->refits++;
           stats->fit_seconds += SecondsSince(fit_start);
         }
       }
     }
-    POPP_RETURN_IF_ERROR(EncodeChunk(&chunk, plan, options.ood_policy,
+    POPP_RETURN_IF_ERROR(EncodeChunk(&chunk, plan, cp, options.ood_policy,
                                      options.exec, rows_before, stats));
     rows_before += chunk.NumRows();
     if (stats != nullptr) {

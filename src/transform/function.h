@@ -91,6 +91,7 @@ class PowerShape : public ShapeFunction {
   std::unique_ptr<ShapeFunction> Clone() const override {
     return std::make_unique<PowerShape>(exponent_);
   }
+  double exponent() const { return exponent_; }
 
  private:
   double exponent_;
@@ -107,6 +108,7 @@ class LogShape : public ShapeFunction {
   std::unique_ptr<ShapeFunction> Clone() const override {
     return std::make_unique<LogShape>(alpha_);
   }
+  double alpha() const { return alpha_; }
 
  private:
   double alpha_;
@@ -123,6 +125,7 @@ class SqrtLogShape : public ShapeFunction {
   std::unique_ptr<ShapeFunction> Clone() const override {
     return std::make_unique<SqrtLogShape>(alpha_);
   }
+  double alpha() const { return alpha_; }
 
  private:
   double alpha_;

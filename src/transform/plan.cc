@@ -76,18 +76,22 @@ AttrValue TransformPlan::Decode(size_t attr, AttrValue v) const {
   return transform(attr).Inverse(v);
 }
 
-Dataset TransformPlan::EncodeDataset(const Dataset& data) const {
+Dataset TransformPlan::EncodeDataset(const Dataset& data,
+                                     const ExecPolicy& exec) const {
   POPP_CHECK_MSG(data.NumAttributes() == transforms_.size(),
                  "plan/dataset attribute count mismatch");
-  Dataset out = data;  // copies schema + labels + values
-  for (size_t attr = 0; attr < transforms_.size(); ++attr) {
-    auto& col = out.MutableColumn(attr);
+  const size_t rows = data.NumRows();
+  std::vector<std::vector<AttrValue>> columns(transforms_.size());
+  ParallelFor(exec, transforms_.size(), [&](size_t attr) {
+    const std::vector<AttrValue>& in = data.Column(attr);
     const PiecewiseTransform& f = transforms_[attr];
-    for (auto& v : col) {
-      v = f.Apply(v);
+    std::vector<AttrValue> out(rows);
+    for (size_t r = 0; r < rows; ++r) {
+      out[r] = f.Apply(in[r]);
     }
-  }
-  return out;
+    columns[attr] = std::move(out);
+  });
+  return Dataset(data.schema(), std::move(columns), data.labels());
 }
 
 std::string TransformPlan::Describe(const Schema& schema) const {

@@ -64,7 +64,10 @@ class TransformPlan {
 
   /// Produces D': every attribute column transformed, labels unchanged.
   /// `data` must have the same number of attributes as the plan.
-  Dataset EncodeDataset(const Dataset& data) const;
+  /// Attributes are encoded under `exec` (serial by default) into freshly
+  /// allocated columns (no copy-then-overwrite); the output is
+  /// bit-identical at every thread count.
+  Dataset EncodeDataset(const Dataset& data, const ExecPolicy& exec = {}) const;
 
   /// Renders the decoding key the custodian stores: per attribute, the
   /// breakpoints and the function used in each piece (Section 5.4 notes

@@ -112,6 +112,35 @@ TEST_F(CliTest, FullEncodeMineDecodePipeline) {
       << DescribeDifference(direct_tree.value(), decoded_tree.value());
 }
 
+TEST_F(CliTest, NoCompiledFlagProducesIdenticalRelease) {
+  // --no-compiled switches encode to the interpreted path; the compiled
+  // kernels are bit-identical, so both releases must match byte for byte.
+  const std::string compiled_csv = TempPath("rel_compiled.csv");
+  const std::string compiled_key = TempPath("rel_compiled.key");
+  const std::string interp_csv = TempPath("rel_interp.csv");
+  const std::string interp_key = TempPath("rel_interp.key");
+  ASSERT_EQ(RunPopp({"encode", csv_path_, compiled_csv, compiled_key,
+                     "--seed", "11"})
+                .code,
+            0);
+  const CliResult r = RunPopp({"encode", csv_path_, interp_csv, interp_key,
+                               "--seed", "11", "--no-compiled"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  const auto slurp = [](const std::string& path) {
+    std::ifstream in(path);
+    std::ostringstream s;
+    s << in.rdbuf();
+    return s.str();
+  };
+  EXPECT_EQ(slurp(compiled_csv), slurp(interp_csv));
+  EXPECT_EQ(slurp(compiled_key), slurp(interp_key));
+
+  // The flag is also accepted by verify.
+  const CliResult v =
+      RunPopp({"verify", csv_path_, "--seed", "9", "--no-compiled"});
+  EXPECT_EQ(v.code, 0) << v.err;
+}
+
 TEST_F(CliTest, EncodedCsvDiffersEverywhere) {
   const std::string released = TempPath("released2.csv");
   const std::string key = TempPath("plan2.key");

@@ -8,9 +8,10 @@
 # the streamed-release == batch-release contract — with a bounded
 # popp_check run. Stage 2 rebuilds with TSan (POPP_SANITIZE=thread) and
 # runs the parallel execution layer's tests, the streaming release tests,
-# and the parallel_determinism + stream_vs_batch oracles, which exercise
-# every ThreadPool/ParallelFor path under real concurrency. Any failure —
-# test, sanitizer report, or oracle — fails the script.
+# the compiled-kernel tests, and the parallel_determinism +
+# stream_vs_batch + compiled_vs_interpreted oracles, which exercise every
+# ThreadPool/ParallelFor path under real concurrency. Any failure — test,
+# sanitizer report, or oracle — fails the script.
 
 set -euo pipefail
 
@@ -42,7 +43,7 @@ cmake --build "$tsan_build_dir" -j --target popp_tests popp_check
 
 echo "== parallel + streaming tests under TSan =="
 "$tsan_build_dir/tests/popp_tests" \
-  --gtest_filter='ThreadPool*:ParallelFor*:ParallelEquality*:TrialStream*:StreamRelease*:OodPolicy*:IncrementalSummary*:ChunkIo*'
+  --gtest_filter='ThreadPool*:ParallelFor*:ParallelEquality*:TrialStream*:StreamRelease*:OodPolicy*:IncrementalSummary*:ChunkIo*:Compiled*'
 
 echo "== parallel_determinism oracle under TSan (bounded) =="
 "$tsan_build_dir/tools/popp_check" --oracle parallel_determinism \
@@ -50,6 +51,10 @@ echo "== parallel_determinism oracle under TSan (bounded) =="
 
 echo "== stream_vs_batch oracle under TSan (bounded) =="
 "$tsan_build_dir/tools/popp_check" --oracle stream_vs_batch \
+  --trials 25 --seed 7 --out "$tsan_build_dir"
+
+echo "== compiled_vs_interpreted oracle under TSan (bounded) =="
+"$tsan_build_dir/tools/popp_check" --oracle compiled_vs_interpreted \
   --trials 25 --seed 7 --out "$tsan_build_dir"
 
 echo "ci_check: all gates passed"
