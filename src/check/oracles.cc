@@ -1,11 +1,19 @@
 #include "check/oracles.h"
 
+#include <unistd.h>
+
+#include <atomic>
 #include <cmath>
 #include <cstring>
+#include <filesystem>
 #include <set>
 #include <sstream>
 
 #include "data/csv.h"
+#include "fault/failpoint.h"
+#include "fault/file.h"
+#include "stream/manifest.h"
+#include "util/crc64.h"
 #include "transform/compiled.h"
 #include "data/summary.h"
 #include "parallel/exec_policy.h"
@@ -539,6 +547,172 @@ OracleResult CheckStreamVsBatch(const Dataset& original,
   return OracleResult::Ok();
 }
 
+namespace {
+
+/// One streamed release into the journaled on-disk sink. Release() closes
+/// the writer itself on success, publishing the final artifact.
+Status ReleaseToFile(const Dataset& data, const stream::StreamOptions& options,
+                     const std::string& path, bool resume,
+                     stream::StreamStats* stats) {
+  stream::DatasetChunkReader reader(&data);
+  stream::ResumableCsvChunkWriter writer(path, {}, resume);
+  auto plan =
+      stream::StreamingCustodian::Release(reader, writer, options, stats);
+  return plan.ok() ? Status::Ok() : plan.status();
+}
+
+/// A scratch directory nothing else writes to: the pid separates parallel
+/// test processes, the counter separates calls within one process.
+std::filesystem::path FaultScratchDir() {
+  static std::atomic<uint64_t> counter{0};
+  std::ostringstream name;
+  name << "popp_fault_oracle_" << ::getpid() << "_" << counter.fetch_add(1);
+  return std::filesystem::temp_directory_path() / name.str();
+}
+
+}  // namespace
+
+OracleResult CheckFaultCrashSafety(const Dataset& original, uint64_t plan_seed,
+                                   const PiecewiseOptions& transform_options,
+                                   size_t chunk_rows, size_t num_schedules) {
+  namespace fs = std::filesystem;
+  const fs::path dir = FaultScratchDir();
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    return OracleResult::Fail("cannot create scratch directory '" +
+                              dir.string() + "': " + ec.message());
+  }
+  struct Cleanup {
+    const fs::path& dir;
+    ~Cleanup() {
+      std::error_code ignored;
+      fs::remove_all(dir, ignored);
+    }
+  } cleanup{dir};
+
+  stream::StreamOptions options;
+  options.chunk_rows = chunk_rows;
+  options.transform = transform_options;
+  options.seed = plan_seed;
+
+  const std::string final_path = (dir / "release.csv").string();
+  const std::string partial_path = final_path + ".partial";
+  const std::string manifest_path = final_path + ".manifest";
+
+  // The uninterrupted release: the byte-exact target every fault trial's
+  // recovery must reproduce.
+  const Status baseline =
+      ReleaseToFile(original, options, final_path, /*resume=*/false, nullptr);
+  if (!baseline.ok()) {
+    return OracleResult::Fail("uninterrupted release failed: " +
+                              baseline.ToString());
+  }
+  auto golden = fault::ReadFileToString(final_path);
+  if (!golden.ok()) {
+    return OracleResult::Fail("cannot read the uninterrupted release: " +
+                              golden.status().ToString());
+  }
+  const uint64_t golden_crc = Crc64(golden.value());
+
+  // How many fault-layer operations a full run performs — the schedule
+  // space. The count does not depend on the output path or on which stale
+  // files exist (RemoveFile gates before checking existence), so it
+  // transfers to the trial runs exactly.
+  size_t total_ops = 0;
+  {
+    fault::ScopedFaultInjection probe(fault::FaultSchedule::CountOnly());
+    const Status counted =
+        ReleaseToFile(original, options, (dir / "count.csv").string(),
+                      /*resume=*/false, nullptr);
+    if (!counted.ok()) {
+      return OracleResult::Fail("op-count probe failed: " +
+                                counted.ToString());
+    }
+    total_ops = probe.ops_seen();
+  }
+  if (total_ops == 0) {
+    return OracleResult::Fail(
+        "the release performed no fault-layer I/O operations — artifact "
+        "writes are not routed through the hardened I/O layer");
+  }
+
+  Rng rng(plan_seed ^ 0xfa17c4a5af37ull);
+  for (size_t k = 0; k < num_schedules; ++k) {
+    const size_t fire_at = static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(total_ops - 1)));
+    const bool crash = rng.Bernoulli(0.5);
+    const double fraction = rng.Uniform01();
+    std::ostringstream where;
+    where << " (schedule " << k << ": " << (crash ? "crash" : "error")
+          << " at op " << fire_at << "/" << total_ops << ", torn fraction "
+          << fraction << ")";
+
+    // Each trial starts with no final artifact, so the invariant check
+    // below cannot be satisfied by a previous trial's output.
+    fs::remove(final_path, ec);
+
+    Status faulted;
+    bool fired = false;
+    {
+      fault::ScopedFaultInjection inject(
+          crash ? fault::FaultSchedule::CrashAt(fire_at, fraction)
+                : fault::FaultSchedule::ErrorAt(fire_at, fraction));
+      faulted = ReleaseToFile(original, options, final_path,
+                              /*resume=*/false, nullptr);
+      fired = inject.fired();
+    }
+    if (fired && faulted.ok()) {
+      return OracleResult::Fail(
+          "the injected fault was swallowed: the release reported success" +
+          where.str());
+    }
+    if (!fired && !faulted.ok()) {
+      return OracleResult::Fail("no fault fired yet the release failed: " +
+                                faulted.ToString() + where.str());
+    }
+
+    // Invariant: whatever the fault did, the final name holds either
+    // nothing or the complete, checksum-valid artifact.
+    if (fault::FileExists(final_path)) {
+      auto bytes = fault::ReadFileToString(final_path);
+      if (!bytes.ok() || Crc64(bytes.value()) != golden_crc) {
+        return OracleResult::Fail(
+            "a fault left a partial or corrupt artifact under the final "
+            "name" +
+            where.str());
+      }
+    }
+
+    // Invariant: a --resume continuation finishes and reproduces the
+    // uninterrupted bytes exactly, leaving no journal debris.
+    stream::StreamStats stats;
+    const Status resumed =
+        ReleaseToFile(original, options, final_path, /*resume=*/true, &stats);
+    if (!resumed.ok()) {
+      return OracleResult::Fail("resume after the fault failed: " +
+                                resumed.ToString() + where.str());
+    }
+    auto recovered = fault::ReadFileToString(final_path);
+    if (!recovered.ok()) {
+      return OracleResult::Fail("cannot read the resumed release: " +
+                                recovered.status().ToString() + where.str());
+    }
+    if (Crc64(recovered.value()) != golden_crc) {
+      return OracleResult::Fail(
+          "the resumed release is not byte-identical to the uninterrupted "
+          "release" +
+          where.str());
+    }
+    if (fault::FileExists(partial_path) || fault::FileExists(manifest_path)) {
+      return OracleResult::Fail(
+          "the resumed release left its journal or partial file behind" +
+          where.str());
+    }
+  }
+  return OracleResult::Ok();
+}
+
 TrialContext MakeTrialContext(TrialCase c) {
   TrialContext ctx;
   Rng plan_rng(c.plan_seed);
@@ -610,6 +784,18 @@ const std::vector<Oracle>& AllOracles() {
            const size_t threads = 2 + (ctx.c.plan_seed / 3) % 6;
            return CheckCompiledVsInterpreted(ctx.c.data, ctx.plan,
                                              ctx.released, threads);
+         }},
+        {"fault_crash_safety",
+         [](const TrialContext& ctx) {
+           // Case-derived chunk size (a different stepping than
+           // stream_vs_batch, so the two oracles cut the stream
+           // differently) and a small schedule batch per case; the
+           // dedicated fault test sweeps hundreds more schedules.
+           const size_t rows = std::max<size_t>(ctx.c.data.NumRows(), 1);
+           const size_t chunk = 1 + (ctx.c.plan_seed / 7) % rows;
+           return CheckFaultCrashSafety(ctx.c.data, ctx.c.plan_seed,
+                                        ctx.c.transform_options, chunk,
+                                        /*num_schedules=*/3);
          }},
         {"parallel_determinism",
          [](const TrialContext& ctx) {

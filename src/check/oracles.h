@@ -116,6 +116,20 @@ OracleResult CheckCompiledVsInterpreted(const Dataset& original,
                                         const Dataset& released,
                                         size_t num_threads);
 
+/// The crash-safety contract of the hardened I/O layer (src/fault,
+/// stream/manifest.h): under `num_schedules` deterministic fault schedules
+/// — clean I/O errors, torn writes and simulated kills, each injected at a
+/// seed-derived operation index — a streamed release into the journaled
+/// on-disk sink must (a) surface the fault as a Status instead of crashing
+/// or aborting, (b) never leave a partial or checksum-invalid artifact
+/// under the final name, and (c) complete under `--resume` with output
+/// byte-identical (by CRC64) to an uninterrupted release, leaving no
+/// journal or partial file behind. Runs in a private scratch directory
+/// under the system temp dir.
+OracleResult CheckFaultCrashSafety(const Dataset& original, uint64_t plan_seed,
+                                   const PiecewiseOptions& transform_options,
+                                   size_t chunk_rows, size_t num_schedules);
+
 /// A trial case with its derived artifacts, evaluated by every oracle.
 struct TrialContext {
   TrialCase c;
@@ -135,7 +149,7 @@ struct Oracle {
 /// The registry the fuzz driver iterates: encode_bijective,
 /// global_invariant, label_runs, tree_equivalence, tree_equivalence_pruned,
 /// serialize_roundtrip, stream_vs_batch, compiled_vs_interpreted,
-/// parallel_determinism.
+/// parallel_determinism, fault_crash_safety.
 const std::vector<Oracle>& AllOracles();
 
 /// Evaluates the named oracle on a bare case (re-deriving plan and release).

@@ -3,10 +3,10 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
-#include <fstream>
 #include <sstream>
 
 #include "data/csv.h"
+#include "fault/file.h"
 
 namespace popp::check {
 namespace {
@@ -448,25 +448,13 @@ Status WriteReproducer(const Reproducer& repro, const std::string& csv_path,
   SerializeBuildOptions(repro.c.build_options, out);
   out << "message " << OneLine(repro.message) << "\n";
 
-  std::ofstream file(recipe_path);
-  if (!file) {
-    return Status::IoError("cannot open '" + recipe_path + "' for writing");
-  }
-  file << out.str();
-  if (!file) {
-    return Status::IoError("error writing '" + recipe_path + "'");
-  }
-  return Status::Ok();
+  return fault::WriteFileAtomic(recipe_path, out.str());
 }
 
 Result<Reproducer> LoadReproducer(const std::string& recipe_path) {
-  std::ifstream in(recipe_path);
-  if (!in) {
-    return Status::IoError("cannot open '" + recipe_path + "' for reading");
-  }
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  Reader reader(buffer.str());
+  auto text = fault::ReadFileToString(recipe_path);
+  if (!text.ok()) return text.status();
+  Reader reader(text.value());
   POPP_RETURN_IF_ERROR(reader.Expect("popp-check-recipe"));
   POPP_RETURN_IF_ERROR(reader.Expect("v1"));
 

@@ -11,6 +11,7 @@
 #include "data/csv.h"
 #include "parallel/exec_policy.h"
 #include "stream/chunk_io.h"
+#include "stream/manifest.h"
 #include "stream/streaming_custodian.h"
 #include "transform/compiled.h"
 #include "transform/serialize.h"
@@ -33,7 +34,7 @@ constexpr char kUsage[] =
     "  stream-release <in.csv> <out.csv> <key.out> [--chunk-rows N]\n"
     "         [--ood-policy reject|clamp|extend-piece|refit] [--fit-rows N]\n"
     "         [--key-in key] [--seed N] [--policy none|bp|maxmp]\n"
-    "         [--breakpoints W] [--anti]\n"
+    "         [--breakpoints W] [--anti] [--resume]\n"
     "  decode <tree.in> <key> <original.csv> <tree.out>\n"
     "  verify <original.csv> [--seed N]\n"
     "  report <data.csv> [--trials N] [--seed N]\n"
@@ -47,7 +48,30 @@ constexpr char kUsage[] =
     "hardware threads). Results are bit-identical for every N.\n"
     "encode, stream-release, verify and report accept --no-compiled to\n"
     "force the interpreted encode path (A/B debugging; the compiled\n"
-    "kernels are bit-identical, just faster).\n";
+    "kernels are bit-identical, just faster).\n"
+    "\n"
+    "stream-release journals progress in <out.csv>.manifest and stages\n"
+    "bytes in <out.csv>.partial; --resume continues an interrupted run\n"
+    "(byte-identical to an uninterrupted one) instead of starting over.\n"
+    "\n"
+    "exit codes: 0 success, 1 runtime failure, 2 usage error,\n"
+    "3 file/I-O error, 4 corrupt or integrity-failed artifact,\n"
+    "5 internal error.\n";
+
+/// Maps a failed Status onto the CLI exit-code taxonomy above.
+int ExitFor(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kNotFound:
+    case StatusCode::kIoError:
+      return 3;
+    case StatusCode::kDataLoss:
+      return 4;
+    case StatusCode::kInternal:
+      return 5;
+    default:
+      return 1;
+  }
+}
 
 /// Splits `args` into positional arguments and --flag[=value] options
 /// (flags may also take their value as the next token).
@@ -142,7 +166,7 @@ int CmdEncode(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
   auto data = ReadCsv(args.positional[0]);
   if (!data.ok()) {
     err << data.status().ToString() << "\n";
-    return 1;
+    return ExitFor(data.status());
   }
   auto options = TransformFlags(args, err);
   if (!options) return 2;
@@ -158,12 +182,12 @@ int CmdEncode(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
   Status status = WriteCsv(released, args.positional[1]);
   if (!status.ok()) {
     err << status.ToString() << "\n";
-    return 1;
+    return ExitFor(status);
   }
   status = SavePlan(plan, args.positional[2]);
   if (!status.ok()) {
     err << status.ToString() << "\n";
-    return 1;
+    return ExitFor(status);
   }
   out << "encoded " << released.NumRows() << " rows x "
       << released.NumAttributes() << " attributes -> " << args.positional[1]
@@ -201,7 +225,8 @@ int CmdStreamRelease(const ParsedArgs& args, std::ostream& out,
     options.ood_policy = policy.value();
   }
   stream::CsvChunkReader reader(args.positional[0]);
-  stream::CsvChunkWriter writer(args.positional[1]);
+  stream::ResumableCsvChunkWriter writer(args.positional[1], {},
+                                         args.flags.count("resume") > 0);
   stream::StreamStats stats;
   Result<TransformPlan> plan = TransformPlan();
   auto key_it = args.flags.find("key-in");
@@ -209,7 +234,7 @@ int CmdStreamRelease(const ParsedArgs& args, std::ostream& out,
     auto loaded = LoadPlan(key_it->second);
     if (!loaded.ok()) {
       err << loaded.status().ToString() << "\n";
-      return 1;
+      return ExitFor(loaded.status());
     }
     plan = stream::StreamingCustodian::ReleaseWithPlan(
         reader, writer, std::move(loaded).value(), options, &stats);
@@ -219,12 +244,12 @@ int CmdStreamRelease(const ParsedArgs& args, std::ostream& out,
   }
   if (!plan.ok()) {
     err << plan.status().ToString() << "\n";
-    return 1;
+    return ExitFor(plan.status());
   }
   const Status status = SavePlan(plan.value(), args.positional[2]);
   if (!status.ok()) {
     err << status.ToString() << "\n";
-    return 1;
+    return ExitFor(status);
   }
   out << stats.Render() << "released -> " << args.positional[1]
       << "\nkey written to " << args.positional[2]
@@ -242,7 +267,7 @@ int CmdMine(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
   auto data = ReadCsv(args.positional[0]);
   if (!data.ok()) {
     err << data.status().ToString() << "\n";
-    return 1;
+    return ExitFor(data.status());
   }
   DecisionTree tree =
       DecisionTreeBuilder(*options, ExecFlags(args)).Build(data.value());
@@ -252,7 +277,7 @@ int CmdMine(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
   const Status status = SaveTree(tree, args.positional[1]);
   if (!status.ok()) {
     err << status.ToString() << "\n";
-    return 1;
+    return ExitFor(status);
   }
   out << "mined tree: " << tree.NumLeaves() << " leaves, depth "
       << tree.Depth() << ", training accuracy "
@@ -269,24 +294,24 @@ int CmdDecode(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
   auto tree = LoadTree(args.positional[0]);
   if (!tree.ok()) {
     err << tree.status().ToString() << "\n";
-    return 1;
+    return ExitFor(tree.status());
   }
   auto plan = LoadPlan(args.positional[1]);
   if (!plan.ok()) {
     err << plan.status().ToString() << "\n";
-    return 1;
+    return ExitFor(plan.status());
   }
   auto original = ReadCsv(args.positional[2]);
   if (!original.ok()) {
     err << original.status().ToString() << "\n";
-    return 1;
+    return ExitFor(original.status());
   }
   const DecisionTree decoded =
       DecodeTreeWithData(tree.value(), plan.value(), original.value());
   const Status status = SaveTree(decoded, args.positional[3]);
   if (!status.ok()) {
     err << status.ToString() << "\n";
-    return 1;
+    return ExitFor(status);
   }
   out << "decoded tree (" << decoded.NumLeaves() << " leaves) -> "
       << args.positional[3] << "\n"
@@ -302,7 +327,7 @@ int CmdVerify(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
   auto data = ReadCsv(args.positional[0]);
   if (!data.ok()) {
     err << data.status().ToString() << "\n";
-    return 1;
+    return ExitFor(data.status());
   }
   auto transform = TransformFlags(args, err);
   if (!transform) return 2;
@@ -332,7 +357,7 @@ int CmdReport(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
   auto data = ReadCsv(args.positional[0]);
   if (!data.ok()) {
     err << data.status().ToString() << "\n";
-    return 1;
+    return ExitFor(data.status());
   }
   CustodianOptions options;
   options.seed = FlagInt(args, "seed", 1);
@@ -355,7 +380,7 @@ int CmdHarden(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
   auto data = ReadCsv(args.positional[0]);
   if (!data.ok()) {
     err << data.status().ToString() << "\n";
-    return 1;
+    return ExitFor(data.status());
   }
   HardeningTargets targets;
   targets.max_risk =

@@ -3,10 +3,10 @@
 #include <cerrno>
 #include <cmath>
 #include <cstdlib>
-#include <fstream>
 #include <sstream>
 
 #include "data/value.h"
+#include "fault/file.h"
 
 namespace popp {
 namespace {
@@ -248,17 +248,17 @@ Result<Dataset> ParseCsv(const std::string& text, const CsvOptions& options) {
 }
 
 Result<Dataset> ReadCsv(const std::string& path, const CsvOptions& options) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) {
-    return Status::IoError("cannot open '" + path + "' for reading");
-  }
+  fault::InputFile in;
+  POPP_RETURN_IF_ERROR(in.Open(path));
   CsvRecordParser parser(options.delimiter);
   CsvDatasetBuilder builder(options);
   std::vector<CsvRecord> records;
   char buffer[1 << 16];
-  while (in) {
-    in.read(buffer, sizeof(buffer));
-    parser.Feed(buffer, static_cast<size_t>(in.gcount()), &records);
+  for (;;) {
+    auto got = in.Read(buffer, sizeof(buffer));
+    if (!got.ok()) return got.status();
+    if (got.value() == 0) break;
+    parser.Feed(buffer, got.value(), &records);
     for (const CsvRecord& record : records) {
       POPP_RETURN_IF_ERROR(builder.Consume(record));
     }
@@ -292,15 +292,7 @@ std::string ToCsvString(const Dataset& data, const CsvOptions& options) {
 
 Status WriteCsv(const Dataset& data, const std::string& path,
                 const CsvOptions& options) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) {
-    return Status::IoError("cannot open '" + path + "' for writing");
-  }
-  out << ToCsvString(data, options);
-  if (!out) {
-    return Status::IoError("error while writing '" + path + "'");
-  }
-  return Status::Ok();
+  return fault::WriteFileAtomic(path, ToCsvString(data, options));
 }
 
 }  // namespace popp

@@ -1,0 +1,110 @@
+#include "fault/failpoint.h"
+
+#include <cmath>
+#include <mutex>
+#include <sstream>
+
+namespace popp::fault {
+namespace {
+
+/// Process-global injection state. The enabled flag is the lock-free fast
+/// path; everything else is touched only while a schedule is installed and
+/// is guarded by the mutex (the stream encode loop does I/O from the
+/// driving thread, but the guard keeps the framework safe under TSan even
+/// if a future caller reads files from workers).
+std::atomic<bool> g_enabled{false};
+std::atomic<bool> g_crashed{false};
+std::mutex g_mutex;
+FaultSchedule g_schedule;
+size_t g_op_index = 0;
+bool g_fired = false;
+
+}  // namespace
+
+const char* OpName(Op op) {
+  switch (op) {
+    case Op::kOpen:
+      return "open";
+    case Op::kRead:
+      return "read";
+    case Op::kWrite:
+      return "write";
+    case Op::kFlush:
+      return "flush";
+    case Op::kClose:
+      return "close";
+    case Op::kRename:
+      return "rename";
+    case Op::kRemove:
+      return "remove";
+  }
+  return "io";
+}
+
+bool Enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+bool CrashActive() {
+  return Enabled() && g_crashed.load(std::memory_order_relaxed);
+}
+
+Status CrashedStatus(Op op, const std::string& path) {
+  std::ostringstream oss;
+  oss << "injected crash: process killed before " << OpName(op) << " of '"
+      << path << "'";
+  return Status::IoError(oss.str());
+}
+
+Injection Hit(Op op, const std::string& path) {
+  (void)op;
+  (void)path;
+  if (!Enabled()) return Injection{};
+  std::lock_guard<std::mutex> lock(g_mutex);
+  const size_t index = g_op_index++;
+  if (g_crashed.load(std::memory_order_relaxed)) {
+    return Injection{Injection::Kind::kCrash, 0};
+  }
+  if (index != g_schedule.fire_at) return Injection{};
+  g_fired = true;
+  Injection injected;
+  injected.kind = g_schedule.kind;
+  injected.write_fraction =
+      std::min(std::max(g_schedule.write_fraction, 0.0), 1.0);
+  if (injected.kind == Injection::Kind::kCrash) {
+    g_crashed.store(true, std::memory_order_relaxed);
+  }
+  return injected;
+}
+
+ScopedFaultInjection::ScopedFaultInjection(FaultSchedule schedule) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  POPP_CHECK_MSG(!g_enabled.load(std::memory_order_relaxed),
+                 "ScopedFaultInjection does not nest");
+  g_schedule = schedule;
+  g_op_index = 0;
+  g_fired = false;
+  g_crashed.store(false, std::memory_order_relaxed);
+  g_enabled.store(true, std::memory_order_relaxed);
+}
+
+ScopedFaultInjection::~ScopedFaultInjection() {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  g_enabled.store(false, std::memory_order_relaxed);
+  g_crashed.store(false, std::memory_order_relaxed);
+}
+
+size_t ScopedFaultInjection::ops_seen() const {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  return g_op_index;
+}
+
+bool ScopedFaultInjection::fired() const {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  return g_fired;
+}
+
+bool ScopedFaultInjection::crash_triggered() const {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  return g_fired && g_schedule.kind == Injection::Kind::kCrash;
+}
+
+}  // namespace popp::fault

@@ -1,0 +1,126 @@
+#ifndef POPP_FAULT_FAILPOINT_H_
+#define POPP_FAULT_FAILPOINT_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+/// \file
+/// Deterministic fault injection for the hardened I/O layer.
+///
+/// Every I/O primitive in src/fault/file.h consults a process-global fail
+/// point before touching the OS. With no schedule installed the check is a
+/// single relaxed atomic load (zero-cost in production). Tests and the
+/// `fault_crash_safety` oracle install a `FaultSchedule` via
+/// `ScopedFaultInjection` to inject:
+///
+///  * clean I/O errors (ENOSPC-style write failures, flush failures, open
+///    and rename errors) — the operation reports a Status and the process
+///    keeps running, so error-propagation paths are exercised end to end;
+///  * short writes — only a prefix of the buffer reaches the file before
+///    the failure, modeling a torn write on a full disk;
+///  * simulated crashes — from the injection point on, *every* fault-layer
+///    operation fails (a dead process runs no more code), and cleanup such
+///    as `AtomicFileWriter::Abandon` is suppressed, so the on-disk state
+///    after the run is exactly what a kill -9 at that instant would leave.
+///
+/// Schedules are deterministic: the decision for the N-th I/O operation is
+/// a pure function of (schedule, N), so a failing fault trial replays
+/// exactly from its seed.
+
+namespace popp::fault {
+
+/// The I/O operations that can fail.
+enum class Op : uint8_t {
+  kOpen = 0,
+  kRead,
+  kWrite,
+  kFlush,
+  kClose,
+  kRename,
+  kRemove,
+};
+
+/// Stable lower-case name ("open", "write", ...) used in diagnostics.
+const char* OpName(Op op);
+
+/// What an injected fault does to the operation it hits.
+struct Injection {
+  enum class Kind : uint8_t {
+    kNone = 0,  ///< operation proceeds normally
+    kError,     ///< operation fails with a clean Status (process continues)
+    kCrash,     ///< simulated kill: this and every later operation fails
+  };
+  Kind kind = Kind::kNone;
+  /// For faulted writes: fraction of the buffer that still reaches the
+  /// file before the failure (a torn write). The file layer scales this
+  /// against its buffer size; 1.0 persists the whole buffer and fails
+  /// afterwards.
+  double write_fraction = 0.0;
+
+  bool failed() const { return kind != Kind::kNone; }
+};
+
+/// A deterministic injection schedule over the global I/O-operation index.
+struct FaultSchedule {
+  /// Operation index (0-based) at which the fault fires; SIZE_MAX never
+  /// fires (useful for counting ops).
+  size_t fire_at = SIZE_MAX;
+  Injection::Kind kind = Injection::Kind::kError;
+  /// Short-write fraction in [0, 1]: how much of the buffer the faulted
+  /// write persists. 1.0 persists everything (failure after the data).
+  double write_fraction = 0.0;
+
+  /// Schedule that never fires; installing it just counts operations.
+  static FaultSchedule CountOnly() { return FaultSchedule{}; }
+  /// Clean error at the `nth` fault-layer operation.
+  static FaultSchedule ErrorAt(size_t nth, double write_fraction = 0.0) {
+    return FaultSchedule{nth, Injection::Kind::kError, write_fraction};
+  }
+  /// Simulated kill at the `nth` fault-layer operation.
+  static FaultSchedule CrashAt(size_t nth, double write_fraction = 0.0) {
+    return FaultSchedule{nth, Injection::Kind::kCrash, write_fraction};
+  }
+};
+
+/// True while a schedule is installed. Inline fast path: one relaxed load.
+bool Enabled();
+
+/// Consults the active schedule for one operation on `path`, advancing the
+/// global operation counter. Returns kNone when injection is disabled.
+Injection Hit(Op op, const std::string& path);
+
+/// True once a kCrash injection has fired (until the scope is torn down).
+/// The fault-layer file primitives refuse all work while this holds, and
+/// cleanup paths (Abandon, destructors) become no-ops — a dead process
+/// cannot tidy up after itself.
+bool CrashActive();
+
+/// The Status every fault-layer operation returns while CrashActive().
+/// The message carries the "injected crash" marker tests grep for.
+Status CrashedStatus(Op op, const std::string& path);
+
+/// RAII installer for a schedule. Not reentrant (nesting is a programmer
+/// error) and process-global: install from the driving thread only.
+class ScopedFaultInjection {
+ public:
+  explicit ScopedFaultInjection(FaultSchedule schedule);
+  ~ScopedFaultInjection();
+
+  ScopedFaultInjection(const ScopedFaultInjection&) = delete;
+  ScopedFaultInjection& operator=(const ScopedFaultInjection&) = delete;
+
+  /// Fault-layer operations seen since installation.
+  size_t ops_seen() const;
+  /// Whether the schedule's fault actually fired during the scope.
+  bool fired() const;
+  /// Whether the fired fault was a simulated crash.
+  bool crash_triggered() const;
+};
+
+}  // namespace popp::fault
+
+#endif  // POPP_FAULT_FAILPOINT_H_

@@ -1,0 +1,308 @@
+#include "fault/file.h"
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <sstream>
+#include <utility>
+
+#include "fault/failpoint.h"
+
+namespace popp::fault {
+namespace {
+
+/// Renders "<verb> '<path>': <OS message>" with the errno captured at the
+/// failing call — the actionable half of every I/O Status in popp.
+std::string OsError(const char* verb, const std::string& path, int err) {
+  std::ostringstream oss;
+  oss << "cannot " << verb << " '" << path << "': "
+      << (err != 0 ? std::strerror(err) : "unknown error");
+  return oss.str();
+}
+
+Status InjectedError(Op op, const std::string& path) {
+  std::ostringstream oss;
+  oss << "injected " << OpName(op) << " failure on '" << path << "'";
+  return Status::IoError(oss.str());
+}
+
+/// Shared fault gate for all-or-nothing operations (open, flush, close,
+/// rename, remove). Read and Write inline their own gates because a fault
+/// there can partially succeed (short read, torn write).
+Status Gate(Op op, const std::string& path) {
+  if (!Enabled()) return Status::Ok();
+  if (CrashActive()) return CrashedStatus(op, path);
+  const Injection injection = Hit(op, path);
+  if (!injection.failed()) return Status::Ok();
+  return injection.kind == Injection::Kind::kCrash
+             ? CrashedStatus(op, path)
+             : InjectedError(op, path);
+}
+
+}  // namespace
+
+bool FileExists(const std::string& path) {
+  std::error_code ec;
+  return std::filesystem::exists(path, ec);
+}
+
+Status RemoveFile(const std::string& path) {
+  POPP_RETURN_IF_ERROR(Gate(Op::kRemove, path));
+  errno = 0;
+  if (std::remove(path.c_str()) != 0 && errno != ENOENT) {
+    return Status::IoError(OsError("remove", path, errno));
+  }
+  return Status::Ok();
+}
+
+Status RenameFile(const std::string& from, const std::string& to) {
+  POPP_RETURN_IF_ERROR(Gate(Op::kRename, from));
+  errno = 0;
+  if (std::rename(from.c_str(), to.c_str()) != 0) {
+    return Status::IoError(OsError("rename", from + "' -> '" + to, errno));
+  }
+  return Status::Ok();
+}
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  InputFile in;
+  POPP_RETURN_IF_ERROR(in.Open(path));
+  std::string out;
+  char buffer[1 << 16];
+  for (;;) {
+    Result<size_t> got = in.Read(buffer, sizeof(buffer));
+    if (!got.ok()) return got.status();
+    if (got.value() == 0) break;
+    out.append(buffer, got.value());
+  }
+  in.Close();
+  return out;
+}
+
+Status WriteFileAtomic(const std::string& path, std::string_view contents) {
+  AtomicFileWriter writer(path);
+  POPP_RETURN_IF_ERROR(writer.Open());
+  POPP_RETURN_IF_ERROR(writer.Append(contents));
+  return writer.Commit();
+}
+
+// ---------------------------------------------------------------------------
+// InputFile
+
+InputFile::~InputFile() { Close(); }
+
+InputFile::InputFile(InputFile&& other) noexcept
+    : file_(other.file_), path_(std::move(other.path_)) {
+  other.file_ = nullptr;
+}
+
+InputFile& InputFile::operator=(InputFile&& other) noexcept {
+  if (this != &other) {
+    Close();
+    file_ = other.file_;
+    path_ = std::move(other.path_);
+    other.file_ = nullptr;
+  }
+  return *this;
+}
+
+Status InputFile::Open(const std::string& path) {
+  POPP_CHECK_MSG(file_ == nullptr, "InputFile::Open on an open file");
+  POPP_RETURN_IF_ERROR(Gate(Op::kOpen, path));
+  errno = 0;
+  file_ = std::fopen(path.c_str(), "rb");
+  if (file_ == nullptr) {
+    const int err = errno;
+    if (err == ENOENT) {
+      return Status::NotFound(OsError("open", path, err));
+    }
+    return Status::IoError(OsError("open", path, err));
+  }
+  path_ = path;
+  return Status::Ok();
+}
+
+Result<size_t> InputFile::Read(char* buffer, size_t capacity) {
+  POPP_CHECK_MSG(file_ != nullptr, "InputFile::Read on a closed file");
+  Injection injection;
+  if (!Enabled()) {
+    // Fast path, no injection bookkeeping.
+  } else {
+    if (CrashActive()) return CrashedStatus(Op::kRead, path_);
+    injection = Hit(Op::kRead, path_);
+    if (injection.kind == Injection::Kind::kCrash) {
+      return CrashedStatus(Op::kRead, path_);
+    }
+    if (injection.kind == Injection::Kind::kError) {
+      // A short read is legal (callers loop); model it by shrinking the
+      // request. A zero-capacity verdict degrades to a clean read error so
+      // EOF is never forged.
+      const size_t short_cap =
+          static_cast<size_t>(injection.write_fraction *
+                              static_cast<double>(capacity));
+      if (short_cap == 0) {
+        return Status(StatusCode::kIoError,
+                      InjectedError(Op::kRead, path_).message());
+      }
+      capacity = short_cap;
+    }
+  }
+  errno = 0;
+  const size_t got = std::fread(buffer, 1, capacity, file_);
+  if (got < capacity && std::ferror(file_) != 0) {
+    return Status(StatusCode::kIoError, OsError("read", path_, errno));
+  }
+  return got;
+}
+
+void InputFile::Close() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// OutputFile
+
+OutputFile::~OutputFile() { CloseQuietly(); }
+
+OutputFile::OutputFile(OutputFile&& other) noexcept
+    : file_(other.file_), path_(std::move(other.path_)) {
+  other.file_ = nullptr;
+}
+
+OutputFile& OutputFile::operator=(OutputFile&& other) noexcept {
+  if (this != &other) {
+    CloseQuietly();
+    file_ = other.file_;
+    path_ = std::move(other.path_);
+    other.file_ = nullptr;
+  }
+  return *this;
+}
+
+Status OutputFile::Open(const std::string& path, bool append) {
+  POPP_CHECK_MSG(file_ == nullptr, "OutputFile::Open on an open file");
+  POPP_RETURN_IF_ERROR(Gate(Op::kOpen, path));
+  errno = 0;
+  file_ = std::fopen(path.c_str(), append ? "ab" : "wb");
+  if (file_ == nullptr) {
+    return Status::IoError(OsError("open for writing", path, errno));
+  }
+  path_ = path;
+  return Status::Ok();
+}
+
+Status OutputFile::Write(std::string_view bytes) {
+  POPP_CHECK_MSG(file_ != nullptr, "OutputFile::Write on a closed file");
+  if (Enabled()) {
+    if (CrashActive()) return CrashedStatus(Op::kWrite, path_);
+    const Injection injection = Hit(Op::kWrite, path_);
+    if (injection.failed()) {
+      // Torn write: persist the injected prefix, then report the failure
+      // (or the crash). The prefix really reaches the stream so the
+      // on-disk state matches what ENOSPC / a kill mid-write leaves.
+      const size_t prefix =
+          static_cast<size_t>(injection.write_fraction *
+                              static_cast<double>(bytes.size()));
+      if (prefix > 0) {
+        std::fwrite(bytes.data(), 1, prefix, file_);
+        std::fflush(file_);
+      }
+      return injection.kind == Injection::Kind::kCrash
+                 ? CrashedStatus(Op::kWrite, path_)
+                 : InjectedError(Op::kWrite, path_);
+    }
+  }
+  if (bytes.empty()) return Status::Ok();
+  errno = 0;
+  const size_t wrote = std::fwrite(bytes.data(), 1, bytes.size(), file_);
+  if (wrote != bytes.size()) {
+    return Status::IoError(OsError("write", path_, errno));
+  }
+  return Status::Ok();
+}
+
+Status OutputFile::Flush() {
+  POPP_CHECK_MSG(file_ != nullptr, "OutputFile::Flush on a closed file");
+  POPP_RETURN_IF_ERROR(Gate(Op::kFlush, path_));
+  errno = 0;
+  if (std::fflush(file_) != 0) {
+    return Status::IoError(OsError("flush", path_, errno));
+  }
+  return Status::Ok();
+}
+
+Status OutputFile::Close() {
+  if (file_ == nullptr) return Status::Ok();
+  Status gate = Gate(Op::kClose, path_);
+  if (!gate.ok()) {
+    // The handle still has to go away — the injected failure models a
+    // close that lost buffered data, not a leaked descriptor.
+    std::fclose(file_);
+    file_ = nullptr;
+    return gate;
+  }
+  errno = 0;
+  const int rc = std::fclose(file_);
+  file_ = nullptr;
+  if (rc != 0) {
+    return Status::IoError(OsError("close", path_, errno));
+  }
+  return Status::Ok();
+}
+
+void OutputFile::CloseQuietly() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// AtomicFileWriter
+
+AtomicFileWriter::AtomicFileWriter(std::string final_path)
+    : final_path_(std::move(final_path)), temp_path_(final_path_ + ".tmp") {}
+
+AtomicFileWriter::~AtomicFileWriter() { Abandon(); }
+
+Status AtomicFileWriter::Open() {
+  POPP_CHECK_MSG(!opened_, "AtomicFileWriter::Open called twice");
+  POPP_RETURN_IF_ERROR(out_.Open(temp_path_, /*append=*/false));
+  opened_ = true;
+  return Status::Ok();
+}
+
+Status AtomicFileWriter::Append(std::string_view bytes) {
+  POPP_CHECK_MSG(opened_ && !committed_,
+                 "AtomicFileWriter::Append outside Open..Commit");
+  return out_.Write(bytes);
+}
+
+Status AtomicFileWriter::Commit() {
+  POPP_CHECK_MSG(opened_ && !committed_,
+                 "AtomicFileWriter::Commit outside Open..Commit");
+  POPP_RETURN_IF_ERROR(out_.Flush());
+  POPP_RETURN_IF_ERROR(out_.Close());
+  POPP_RETURN_IF_ERROR(RenameFile(temp_path_, final_path_));
+  committed_ = true;
+  return Status::Ok();
+}
+
+void AtomicFileWriter::Abandon() {
+  if (committed_ || !opened_) return;
+  opened_ = false;
+  if (CrashActive()) {
+    // A dead process cannot tidy up: leave the temp file as crash debris
+    // (the final path was never touched, which is the guarantee).
+    out_.CloseQuietly();
+    return;
+  }
+  out_.CloseQuietly();
+  errno = 0;
+  std::remove(temp_path_.c_str());  // best-effort cleanup
+}
+
+}  // namespace popp::fault

@@ -1,0 +1,161 @@
+#ifndef POPP_FAULT_FILE_H_
+#define POPP_FAULT_FILE_H_
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+/// \file
+/// The hardened file layer every artifact read/write in popp goes through.
+///
+/// Three guarantees the bare std::fstream call sites never gave:
+///
+///  1. **Checked operations.** Every write, flush, close and rename is
+///     verified and failures propagate as `Status::IoError` carrying the
+///     path and the OS error message (errno), so a full disk surfaces as
+///     an actionable error instead of a silently truncated artifact.
+///  2. **Atomic publication.** `AtomicFileWriter` stages bytes in
+///     `<path>.tmp` and renames into place only after a successful flush
+///     and close — rename(2) is atomic on POSIX, so a reader (or a crash)
+///     never observes a partial artifact under the final name.
+///  3. **Fault injection.** Every operation consults the failpoint
+///     registry (src/fault/failpoint.h), so the `fault_crash_safety`
+///     oracle can prove the two points above under randomized injected
+///     errors, torn writes, and simulated kills.
+///
+/// The layer is plain C stdio underneath: errno fidelity (ENOENT maps to
+/// `kNotFound`, everything else to `kIoError` with strerror text) and no
+/// exceptions.
+
+namespace popp::fault {
+
+/// True if `path` exists (any file type). Never injected — existence
+/// probes are control flow, not durability-relevant I/O.
+bool FileExists(const std::string& path);
+
+/// Deletes `path`. Missing files are OK (idempotent). Injected.
+Status RemoveFile(const std::string& path);
+
+/// Renames `from` onto `to` (atomic replace on POSIX). Injected.
+Status RenameFile(const std::string& from, const std::string& to);
+
+/// Reads a whole file. ENOENT -> kNotFound, other open/read failures ->
+/// kIoError; both carry the OS message. Injected (open, reads).
+Result<std::string> ReadFileToString(const std::string& path);
+
+/// Writes `contents` to `path` atomically: stage in `path + ".tmp"`,
+/// flush, close, rename. On any failure the temp file is removed
+/// (best-effort) and `path` is untouched — a previous artifact under
+/// `path` survives a failed rewrite intact.
+Status WriteFileAtomic(const std::string& path, std::string_view contents);
+
+/// Buffered, fault-injected reader (fopen/fread). Move-only.
+class InputFile {
+ public:
+  InputFile() = default;
+  ~InputFile();
+  InputFile(InputFile&& other) noexcept;
+  InputFile& operator=(InputFile&& other) noexcept;
+  InputFile(const InputFile&) = delete;
+  InputFile& operator=(const InputFile&) = delete;
+
+  /// Opens for binary reading. ENOENT -> kNotFound.
+  Status Open(const std::string& path);
+  bool is_open() const { return file_ != nullptr; }
+
+  /// Reads up to `capacity` bytes into `buffer`. Returns the byte count; 0
+  /// means end of file. Short reads (fewer bytes than capacity with more
+  /// file remaining) are legal and injected deliberately — callers must
+  /// loop, exactly as with read(2).
+  Result<size_t> Read(char* buffer, size_t capacity);
+
+  /// Closes the handle (idempotent; read-side close failures are ignored,
+  /// nothing was dirty).
+  void Close();
+
+ private:
+  std::FILE* file_ = nullptr;
+  std::string path_;
+};
+
+/// Unchecked-append writer with per-operation verification; the building
+/// block for the streaming layer's partial files and manifests. Writes go
+/// to the path given — callers that need atomic publication use
+/// AtomicFileWriter instead. Move-only.
+class OutputFile {
+ public:
+  OutputFile() = default;
+  ~OutputFile();
+  OutputFile(OutputFile&& other) noexcept;
+  OutputFile& operator=(OutputFile&& other) noexcept;
+  OutputFile(const OutputFile&) = delete;
+  OutputFile& operator=(const OutputFile&) = delete;
+
+  /// Opens for binary writing. `append` keeps existing bytes and writes at
+  /// the end (resume); otherwise the file is truncated.
+  Status Open(const std::string& path, bool append);
+  bool is_open() const { return file_ != nullptr; }
+  const std::string& path() const { return path_; }
+
+  /// Appends `bytes`, verifying the write. An injected torn write may
+  /// persist only a prefix before failing — exactly what a full disk does.
+  Status Write(std::string_view bytes);
+
+  /// Flushes userspace buffers to the OS and verifies.
+  Status Flush();
+
+  /// Flushes and closes, verifying both. Idempotent once closed.
+  Status Close();
+
+  /// Closes without error checking (abandonment path). Suppressed while a
+  /// simulated crash is active.
+  void CloseQuietly();
+
+ private:
+  std::FILE* file_ = nullptr;
+  std::string path_;
+};
+
+/// Write-temp -> flush -> rename writer: the only way popp publishes an
+/// artifact under its final name.
+///
+///   AtomicFileWriter w(path);
+///   POPP_RETURN_IF_ERROR(w.Open());
+///   POPP_RETURN_IF_ERROR(w.Append(bytes));   // any number of times
+///   POPP_RETURN_IF_ERROR(w.Commit());        // flush + close + rename
+///
+/// Destruction before Commit abandons: the temp file is removed
+/// (best-effort, suppressed under a simulated crash so killed runs leave
+/// realistic debris) and the final path is never touched.
+class AtomicFileWriter {
+ public:
+  explicit AtomicFileWriter(std::string final_path);
+  ~AtomicFileWriter();
+  AtomicFileWriter(const AtomicFileWriter&) = delete;
+  AtomicFileWriter& operator=(const AtomicFileWriter&) = delete;
+
+  Status Open();
+  Status Append(std::string_view bytes);
+  /// Flush, close, rename into place. After an OK Commit the final path
+  /// holds exactly the appended bytes.
+  Status Commit();
+  /// Removes the staged temp file (no-op if already committed/abandoned or
+  /// a simulated crash is active).
+  void Abandon();
+
+  const std::string& final_path() const { return final_path_; }
+  const std::string& temp_path() const { return temp_path_; }
+
+ private:
+  std::string final_path_;
+  std::string temp_path_;
+  OutputFile out_;
+  bool committed_ = false;
+  bool opened_ = false;
+};
+
+}  // namespace popp::fault
+
+#endif  // POPP_FAULT_FILE_H_

@@ -15,10 +15,7 @@ CsvChunkReader::CsvChunkReader(std::string path, CsvOptions options,
 
 Status CsvChunkReader::EnsureOpen() {
   if (open_) return Status::Ok();
-  in_.open(path_, std::ios::binary);
-  if (!in_) {
-    return Status::IoError("cannot open '" + path_ + "' for reading");
-  }
+  POPP_RETURN_IF_ERROR(in_.Open(path_));
   open_ = true;
   eof_ = false;
   parser_ = std::make_unique<CsvRecordParser>(options_.delimiter);
@@ -39,12 +36,12 @@ Result<Dataset> CsvChunkReader::NextChunk(size_t max_rows) {
       continue;
     }
     if (eof_) break;
-    in_.read(buffer_.data(), static_cast<std::streamsize>(buffer_.size()));
-    const size_t got = static_cast<size_t>(in_.gcount());
+    auto read = in_.Read(buffer_.data(), buffer_.size());
+    if (!read.ok()) return read.status();
+    const size_t got = read.value();
     if (got > 0) {
       parser_->Feed(buffer_.data(), got, &records);
-    }
-    if (!in_) {
+    } else {
       eof_ = true;
       POPP_RETURN_IF_ERROR(parser_->Finish(&records));
     }
@@ -61,10 +58,7 @@ Result<Dataset> CsvChunkReader::NextChunk(size_t max_rows) {
 }
 
 Status CsvChunkReader::Rewind() {
-  if (open_) {
-    in_.close();
-    in_.clear();
-  }
+  in_.Close();
   open_ = false;
   eof_ = false;
   parser_.reset();
@@ -104,32 +98,21 @@ CsvChunkWriter::CsvChunkWriter(std::string path, CsvOptions options)
     : path_(std::move(path)), options_(options) {}
 
 Status CsvChunkWriter::Append(const Dataset& chunk) {
-  if (!open_) {
-    out_.open(path_, std::ios::binary);
-    if (!out_) {
-      return Status::IoError("cannot open '" + path_ + "' for writing");
-    }
-    open_ = true;
+  if (out_ == nullptr) {
+    out_ = std::make_unique<fault::AtomicFileWriter>(path_);
+    POPP_RETURN_IF_ERROR(out_->Open());
   }
   CsvOptions chunk_options = options_;
   chunk_options.has_header = options_.has_header && !wrote_header_;
-  out_ << ToCsvString(chunk, chunk_options);
   wrote_header_ = true;
-  if (!out_) {
-    return Status::IoError("error while writing '" + path_ + "'");
-  }
-  return Status::Ok();
+  return out_->Append(ToCsvString(chunk, chunk_options));
 }
 
 Status CsvChunkWriter::Close() {
-  if (!open_) return Status::Ok();
-  out_.flush();
-  if (!out_) {
-    return Status::IoError("error while writing '" + path_ + "'");
-  }
-  out_.close();
-  open_ = false;
-  return Status::Ok();
+  if (out_ == nullptr) return Status::Ok();
+  const Status committed = out_->Commit();
+  out_.reset();
+  return committed;
 }
 
 // ------------------------------------------------------------------------

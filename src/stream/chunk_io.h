@@ -2,13 +2,13 @@
 #define POPP_STREAM_CHUNK_IO_H_
 
 #include <deque>
-#include <fstream>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "data/csv.h"
 #include "data/dataset.h"
+#include "fault/file.h"
 #include "util/status.h"
 
 /// \file
@@ -42,6 +42,29 @@ class ChunkWriter {
  public:
   virtual ~ChunkWriter() = default;
 
+  /// Optional handshake, called once before the encode pass begins.
+  /// `fingerprint` identifies the release configuration (chunking, OOD
+  /// policy, seed, fitted plan); resumable sinks compare it against their
+  /// journal to decide whether an interrupted run may be continued.
+  virtual Status BeginStream(const std::string& fingerprint) {
+    (void)fingerprint;
+    return Status::Ok();
+  }
+
+  /// Number of leading chunks already durably written by an interrupted
+  /// run. The driver re-reads (and, under kRefit, re-absorbs) those chunks
+  /// for determinism but neither re-encodes nor re-appends them.
+  virtual size_t CompletedChunks() const { return 0; }
+
+  /// Driver notification for each skipped chunk, carrying the row count
+  /// the stream actually produced — resumable sinks cross-check it
+  /// against their journal and fail the resume if the input changed.
+  virtual Status NoteSkipped(size_t chunk_index, size_t rows) {
+    (void)chunk_index;
+    (void)rows;
+    return Status::Ok();
+  }
+
   /// Appends one chunk. Chunks must share attribute count; later chunks
   /// may carry a larger class dictionary.
   virtual Status Append(const Dataset& chunk) = 0;
@@ -70,7 +93,7 @@ class CsvChunkReader : public ChunkReader {
   std::string path_;
   CsvOptions options_;
   size_t buffer_bytes_;
-  std::ifstream in_;
+  fault::InputFile in_;
   bool open_ = false;
   bool eof_ = false;
   std::unique_ptr<CsvRecordParser> parser_;
@@ -95,7 +118,10 @@ class DatasetChunkReader : public ChunkReader {
 
 /// Appends chunks to a CSV file; the header is written once, before the
 /// first chunk, so the finished file equals a one-shot WriteCsv of the
-/// concatenated chunks byte-for-byte.
+/// concatenated chunks byte-for-byte. Publication is atomic: bytes are
+/// staged in `<path>.tmp` and renamed into place by Close, so no partial
+/// artifact ever appears under the final name. (For a journaled,
+/// resumable sink see stream/manifest.h.)
 class CsvChunkWriter : public ChunkWriter {
  public:
   explicit CsvChunkWriter(std::string path, CsvOptions options = {});
@@ -106,8 +132,7 @@ class CsvChunkWriter : public ChunkWriter {
  private:
   std::string path_;
   CsvOptions options_;
-  std::ofstream out_;
-  bool open_ = false;
+  std::unique_ptr<fault::AtomicFileWriter> out_;
   bool wrote_header_ = false;
 };
 

@@ -10,6 +10,8 @@
 #include "parallel/parallel_for.h"
 #include "stream/incremental_summary.h"
 #include "transform/compiled.h"
+#include "transform/serialize.h"
+#include "util/crc64.h"
 #include "util/rng.h"
 
 namespace popp::stream {
@@ -128,10 +130,29 @@ bool ChunkHasOod(const Dataset& chunk, const TransformPlan& plan,
   return std::any_of(ood.begin(), ood.end(), [](uint8_t b) { return b != 0; });
 }
 
+/// Identifies one release configuration for the resumable sink's journal:
+/// two runs with equal fingerprints encode identical chunk sequences, so
+/// chunks one run persisted are valid for the other. The plan CRC folds in
+/// the input data (the fitted summaries determine the plan) as well as the
+/// transform options and seed.
+std::string StreamFingerprint(const TransformPlan& plan,
+                              const StreamOptions& options) {
+  std::ostringstream oss;
+  oss << "chunk_rows=" << options.chunk_rows << " ood="
+      << ToString(options.ood_policy) << " fit_rows=" << options.fit_rows
+      << " seed=" << options.seed << " plan_crc="
+      << Crc64Hex(Crc64(SerializePlan(plan)));
+  return oss.str();
+}
+
 /// The encode pass: read, (refit), encode, append — chunk by chunk.
 Status EncodeStream(ChunkReader& reader, ChunkWriter& writer,
                     TransformPlan& plan, const StreamOptions& options,
                     StreamStats* stats) {
+  POPP_RETURN_IF_ERROR(
+      writer.BeginStream(StreamFingerprint(plan, options)));
+  const size_t completed = writer.CompletedChunks();
+  size_t chunk_index = 0;
   std::unique_ptr<IncrementalSummary> running;  // kRefit only
   size_t rows_before = 0;
   CompiledPlan compiled;
@@ -198,8 +219,22 @@ Status EncodeStream(ChunkReader& reader, ChunkWriter& writer,
         }
       }
     }
+    if (chunk_index < completed) {
+      // An interrupted run already persisted (and checksummed) this chunk.
+      // It was still read — and, under kRefit, absorbed — above, so the
+      // plan evolves exactly as in the uninterrupted run; only the encode
+      // and the append are skipped.
+      POPP_RETURN_IF_ERROR(writer.NoteSkipped(chunk_index, chunk.NumRows()));
+      if (stats != nullptr) {
+        stats->resumed_chunks++;
+      }
+      ++chunk_index;
+      rows_before += chunk.NumRows();
+      continue;
+    }
     POPP_RETURN_IF_ERROR(EncodeChunk(&chunk, plan, cp, options.ood_policy,
                                      options.exec, rows_before, stats));
+    ++chunk_index;
     rows_before += chunk.NumRows();
     if (stats != nullptr) {
       stats->encode_seconds += SecondsSince(encode_start);
@@ -219,6 +254,10 @@ std::string StreamStats::Render() const {
   std::ostringstream oss;
   oss << "streamed " << rows << " rows in " << chunks
       << " chunks (peak resident rows: " << peak_resident_rows << ")\n";
+  if (resumed_chunks > 0) {
+    oss << "resumed: " << resumed_chunks
+        << " chunks reused from the interrupted run\n";
+  }
   oss << "out-of-domain values: " << ood_total << ", plan refits: " << refits
       << "\n";
   for (size_t attr = 0; attr < ood_by_attribute.size(); ++attr) {

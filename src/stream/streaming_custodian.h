@@ -58,6 +58,7 @@ struct StreamOptions {
 struct StreamStats {
   size_t rows = 0;            ///< data rows released
   size_t chunks = 0;          ///< chunks processed in the encode pass
+  size_t resumed_chunks = 0;  ///< chunks reused from an interrupted run
   size_t peak_resident_rows = 0;  ///< largest chunk held in memory
   size_t refits = 0;          ///< plan refits under OodPolicy::kRefit
   size_t ood_total = 0;       ///< out-of-domain values across attributes

@@ -1,10 +1,13 @@
 #include "transform/serialize.h"
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
-#include <fstream>
 #include <sstream>
 
+#include "fault/file.h"
 #include "transform/piecewise.h"
+#include "util/integrity.h"
 
 namespace popp {
 namespace {
@@ -13,7 +16,7 @@ namespace {
 /// identify every double, and strtod's correctly-rounded parse maps the
 /// text back to the identical bits — including denormals, ±huge values and
 /// signed zero. Piece domain/output endpoints therefore round-trip
-/// bit-for-bit through popp-plan v1 (proved by the adversarial-endpoint
+/// bit-for-bit through popp-plan v2 (proved by the adversarial-endpoint
 /// golden tests).
 std::string Num(double v) {
   char buf[48];
@@ -22,9 +25,15 @@ std::string Num(double v) {
 }
 
 /// Minimal whitespace tokenizer with typed reads and error context.
+///
+/// Parsing is adversarial: the document may be corrupt or hostile, so
+/// every count is sanity-capped by the document size (a well-formed
+/// document spends at least two bytes per counted item) before any
+/// allocation happens.
 class Reader {
  public:
-  explicit Reader(const std::string& text) : in_(text) {}
+  explicit Reader(const std::string& text)
+      : in_(text), count_limit_(text.size()) {}
 
   Result<std::string> Word(const char* what) {
     std::string token;
@@ -66,11 +75,19 @@ class Reader {
     if (v.value() < 0 || v.value() != static_cast<size_t>(v.value())) {
       return Status::InvalidArgument(std::string("bad count for ") + what);
     }
-    return static_cast<size_t>(v.value());
+    const size_t count = static_cast<size_t>(v.value());
+    if (count > count_limit_) {
+      std::ostringstream oss;
+      oss << "implausible count for " << what << " (" << count
+          << " exceeds document size " << count_limit_ << ")";
+      return Status::InvalidArgument(oss.str());
+    }
+    return count;
   }
 
  private:
   std::istringstream in_;
+  size_t count_limit_;
 };
 
 void SerializeFunction(const Transformation& fn, std::ostringstream& out) {
@@ -89,20 +106,44 @@ void SerializeFunction(const Transformation& fn, std::ostringstream& out) {
       << (rescaled.anti_monotone() ? 1 : 0) << "\n";
 }
 
+/// Parses and fully validates one transformation. The constructors treat
+/// invariant violations as programmer errors (they abort), so a document
+/// that came off a disk must prove every invariant here first.
 Result<std::unique_ptr<Transformation>> ParseFunction(Reader& reader) {
   auto kind = reader.Word("function kind");
   if (!kind.ok()) return kind.status();
   if (kind.value() == "perm") {
     auto count = reader.Count("perm size");
     if (!count.ok()) return count.status();
+    if (count.value() == 0) {
+      return Status::InvalidArgument("empty permutation");
+    }
     std::vector<AttrValue> domain(count.value()), image(count.value());
     for (size_t i = 0; i < count.value(); ++i) {
       auto d = reader.Number("perm domain value");
       if (!d.ok()) return d.status();
       auto m = reader.Number("perm image value");
       if (!m.ok()) return m.status();
+      if (!std::isfinite(d.value()) || !std::isfinite(m.value())) {
+        return Status::InvalidArgument(
+            "non-finite value in permutation entry");
+      }
       domain[i] = d.value();
       image[i] = m.value();
+    }
+    for (size_t i = 1; i < domain.size(); ++i) {
+      if (!(domain[i - 1] < domain[i])) {
+        return Status::InvalidArgument(
+            "permutation domain not strictly increasing");
+      }
+    }
+    std::vector<AttrValue> sorted_image = image;
+    std::sort(sorted_image.begin(), sorted_image.end());
+    for (size_t i = 1; i < sorted_image.size(); ++i) {
+      if (!(sorted_image[i - 1] < sorted_image[i])) {
+        return Status::InvalidArgument(
+            "permutation image values not distinct");
+      }
     }
     return {std::make_unique<PermutationFunction>(std::move(domain),
                                                   std::move(image))};
@@ -128,6 +169,14 @@ Result<std::unique_ptr<Transformation>> ParseFunction(Reader& reader) {
     if (!ohi.ok()) return ohi.status();
     auto anti = reader.Number("anti flag");
     if (!anti.ok()) return anti.status();
+    if (!(dlo.value() < dhi.value())) {
+      return Status::InvalidArgument(
+          "rescaled function has an empty domain interval");
+    }
+    if (!(olo.value() < ohi.value())) {
+      return Status::InvalidArgument(
+          "rescaled function has an empty output interval");
+    }
     return {std::make_unique<RescaledFunction>(
         std::move(shape).value(), dlo.value(), dhi.value(), olo.value(),
         ohi.value(), anti.value() != 0.0)};
@@ -136,51 +185,32 @@ Result<std::unique_ptr<Transformation>> ParseFunction(Reader& reader) {
                                  "'");
 }
 
-}  // namespace
-
-Result<std::unique_ptr<ShapeFunction>> ParseShape(const std::string& token) {
-  std::istringstream in(token);
-  std::string name;
-  in >> name;
-  if (name == "linear") {
-    return {std::make_unique<IdentityShape>()};
-  }
-  double param = 0;
-  if (!(in >> param) || param <= 0.0) {
-    return Status::InvalidArgument("bad shape parameter in '" + token + "'");
-  }
-  if (name == "power") return {std::make_unique<PowerShape>(param)};
-  if (name == "log") return {std::make_unique<LogShape>(param)};
-  if (name == "sqrtlog") return {std::make_unique<SqrtLogShape>(param)};
-  return Status::InvalidArgument("unknown shape '" + name + "'");
-}
-
-std::string SerializePlan(const TransformPlan& plan) {
-  std::ostringstream out;
-  out << "popp-plan v1\n";
-  out << "attributes " << plan.NumAttributes() << "\n";
-  for (size_t attr = 0; attr < plan.NumAttributes(); ++attr) {
-    const PiecewiseTransform& f = plan.transform(attr);
-    out << "attribute " << attr << " pieces " << f.NumPieces()
-        << " global_anti " << (f.global_anti_monotone() ? 1 : 0) << "\n";
-    for (size_t p = 0; p < f.NumPieces(); ++p) {
-      const auto& piece = f.piece(p);
-      out << "piece " << Num(piece.domain_lo) << " " << Num(piece.domain_hi)
-          << " " << Num(piece.out_lo) << " " << Num(piece.out_hi) << " "
-          << (piece.bijective ? 1 : 0) << "\n";
-      SerializeFunction(*piece.fn, out);
-    }
-  }
-  return out.str();
-}
-
-Result<TransformPlan> ParsePlan(const std::string& text) {
-  Reader reader(text);
+/// Body parser over a footer-stripped payload. Reports failures as
+/// kInvalidArgument; the public entry point rebrands them kDataLoss (a
+/// document that fails to parse is untrustworthy bytes, whatever the
+/// detail).
+Result<TransformPlan> ParsePlanPayload(const std::string& payload,
+                                       bool had_footer) {
+  Reader reader(payload);
   POPP_RETURN_IF_ERROR(reader.Expect("popp-plan"));
-  POPP_RETURN_IF_ERROR(reader.Expect("v1"));
+  auto version = reader.Word("format version");
+  if (!version.ok()) return version.status();
+  if (version.value() == "v2") {
+    if (!had_footer) {
+      return Status::InvalidArgument(
+          "popp-plan v2 requires an integrity footer and none was found — "
+          "file truncated?");
+    }
+  } else if (version.value() != "v1") {
+    return Status::InvalidArgument("unsupported popp-plan version '" +
+                                   version.value() + "'");
+  }
   POPP_RETURN_IF_ERROR(reader.Expect("attributes"));
   auto num_attrs = reader.Count("attribute count");
   if (!num_attrs.ok()) return num_attrs.status();
+  if (num_attrs.value() == 0) {
+    return Status::InvalidArgument("plan has no attributes");
+  }
 
   std::vector<PiecewiseTransform> transforms;
   transforms.reserve(num_attrs.value());
@@ -194,12 +224,19 @@ Result<TransformPlan> ParsePlan(const std::string& text) {
     POPP_RETURN_IF_ERROR(reader.Expect("pieces"));
     auto num_pieces = reader.Count("piece count");
     if (!num_pieces.ok()) return num_pieces.status();
+    if (num_pieces.value() == 0) {
+      std::ostringstream oss;
+      oss << "attribute " << attr << " has no pieces";
+      return Status::InvalidArgument(oss.str());
+    }
     POPP_RETURN_IF_ERROR(reader.Expect("global_anti"));
     auto anti = reader.Count("global_anti flag");
     if (!anti.ok()) return anti.status();
+    const bool global_anti = anti.value() != 0;
 
     std::vector<PiecewiseTransform::Piece> pieces(num_pieces.value());
-    for (auto& piece : pieces) {
+    for (size_t p = 0; p < pieces.size(); ++p) {
+      auto& piece = pieces[p];
       POPP_RETURN_IF_ERROR(reader.Expect("piece"));
       auto dlo = reader.Number("piece domain_lo");
       if (!dlo.ok()) return dlo.status();
@@ -216,36 +253,102 @@ Result<TransformPlan> ParsePlan(const std::string& text) {
       piece.out_lo = olo.value();
       piece.out_hi = ohi.value();
       piece.bijective = bijective.value() != 0;
+      // Mirror the FromPieces invariants (which abort on violation): piece
+      // intervals must be well-formed, domains disjoint and increasing,
+      // outputs ordered according to the global monotonicity direction.
+      // The negated comparisons also reject NaN endpoints.
+      if (!(piece.domain_lo <= piece.domain_hi)) {
+        return Status::InvalidArgument("piece has an empty domain interval");
+      }
+      if (p > 0) {
+        const auto& prev = pieces[p - 1];
+        if (!(prev.domain_hi < piece.domain_lo)) {
+          return Status::InvalidArgument(
+              "piece domains overlap or are out of order");
+        }
+        if (!global_anti && !(prev.out_hi < piece.out_lo)) {
+          return Status::InvalidArgument(
+              "piece outputs out of order for a monotone transform");
+        }
+        if (global_anti && !(prev.out_lo > piece.out_hi)) {
+          return Status::InvalidArgument(
+              "piece outputs out of order for an anti-monotone transform");
+        }
+      }
       auto fn = ParseFunction(reader);
       if (!fn.ok()) return fn.status();
       piece.fn = std::move(fn).value();
     }
     transforms.push_back(
-        PiecewiseTransform::FromPieces(std::move(pieces), anti.value() != 0));
+        PiecewiseTransform::FromPieces(std::move(pieces), global_anti));
   }
   return TransformPlan::FromTransforms(std::move(transforms));
 }
 
+}  // namespace
+
+Result<std::unique_ptr<ShapeFunction>> ParseShape(const std::string& token) {
+  std::istringstream in(token);
+  std::string name;
+  in >> name;
+  if (name == "linear") {
+    return {std::make_unique<IdentityShape>()};
+  }
+  double param = 0;
+  if (!(in >> param) || !(param > 0.0)) {
+    return Status::InvalidArgument("bad shape parameter in '" + token + "'");
+  }
+  if (name == "power") return {std::make_unique<PowerShape>(param)};
+  if (name == "log") return {std::make_unique<LogShape>(param)};
+  if (name == "sqrtlog") return {std::make_unique<SqrtLogShape>(param)};
+  return Status::InvalidArgument("unknown shape '" + name + "'");
+}
+
+std::string SerializePlan(const TransformPlan& plan) {
+  std::ostringstream out;
+  out << "popp-plan v2\n";
+  out << "attributes " << plan.NumAttributes() << "\n";
+  for (size_t attr = 0; attr < plan.NumAttributes(); ++attr) {
+    const PiecewiseTransform& f = plan.transform(attr);
+    out << "attribute " << attr << " pieces " << f.NumPieces()
+        << " global_anti " << (f.global_anti_monotone() ? 1 : 0) << "\n";
+    for (size_t p = 0; p < f.NumPieces(); ++p) {
+      const auto& piece = f.piece(p);
+      out << "piece " << Num(piece.domain_lo) << " " << Num(piece.domain_hi)
+          << " " << Num(piece.out_lo) << " " << Num(piece.out_hi) << " "
+          << (piece.bijective ? 1 : 0) << "\n";
+      SerializeFunction(*piece.fn, out);
+    }
+  }
+  return WithIntegrityFooter(out.str());
+}
+
+Result<TransformPlan> ParsePlan(const std::string& text) {
+  bool had_footer = false;
+  auto payload = VerifyIntegrityFooter(text, &had_footer);
+  if (!payload.ok()) return payload.status();
+  auto plan = ParsePlanPayload(std::string(payload.value()), had_footer);
+  if (!plan.ok()) {
+    // Whatever the parse-level detail, the document as a whole is
+    // untrustworthy: report it under the integrity taxonomy.
+    return Status::DataLoss(plan.status().message());
+  }
+  return plan;
+}
+
 Status SavePlan(const TransformPlan& plan, const std::string& path) {
-  std::ofstream out(path);
-  if (!out) {
-    return Status::IoError("cannot open '" + path + "' for writing");
-  }
-  out << SerializePlan(plan);
-  if (!out) {
-    return Status::IoError("error writing '" + path + "'");
-  }
-  return Status::Ok();
+  return fault::WriteFileAtomic(path, SerializePlan(plan));
 }
 
 Result<TransformPlan> LoadPlan(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) {
-    return Status::IoError("cannot open '" + path + "' for reading");
+  auto text = fault::ReadFileToString(path);
+  if (!text.ok()) return text.status();
+  auto plan = ParsePlan(text.value());
+  if (!plan.ok()) {
+    return Status(plan.status().code(),
+                  "key file '" + path + "': " + plan.status().message());
   }
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  return ParsePlan(buffer.str());
+  return plan;
 }
 
 }  // namespace popp

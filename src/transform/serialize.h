@@ -13,20 +13,28 @@
 /// information required is rather minimal — the locations of breakpoints
 /// and the transformations used").
 ///
-/// The format is a line-oriented text format ("popp-plan v1"). All doubles
+/// The format is a line-oriented text format ("popp-plan v2"). All doubles
 /// are written with 17 significant digits, which round-trips IEEE-754
 /// binary64 exactly, so a reloaded plan encodes and decodes bit-identically
-/// to the original.
+/// to the original. v2 documents end in an integrity footer (payload length
+/// + CRC-64, see util/integrity.h); the parser verifies it and rejects
+/// truncated or corrupted keys with `kDataLoss`. Legacy v1 documents (no
+/// footer) still load.
 
 namespace popp {
 
-/// Serializes a plan to the popp-plan v1 text format.
+/// Serializes a plan to the popp-plan v2 text format (integrity footer
+/// included).
 std::string SerializePlan(const TransformPlan& plan);
 
-/// Parses a popp-plan v1 document.
+/// Parses a popp-plan document (v2, or legacy v1 without a footer). Any
+/// failure — bad syntax, a violated invariant, a footer mismatch — is
+/// `kDataLoss`: the bytes cannot be trusted.
 Result<TransformPlan> ParsePlan(const std::string& text);
 
-/// File convenience wrappers.
+/// File convenience wrappers. SavePlan publishes atomically (write-temp,
+/// flush, rename); LoadPlan reports a missing file as `kNotFound` and a
+/// corrupt one as `kDataLoss`, with the path in the message.
 Status SavePlan(const TransformPlan& plan, const std::string& path);
 Result<TransformPlan> LoadPlan(const std::string& path);
 

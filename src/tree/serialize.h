@@ -9,19 +9,24 @@
 /// \file
 /// Text persistence for decision trees — the exchange format between the
 /// mining service (which produces T') and the custodian (who decodes it).
-/// Pre-order, line-oriented ("popp-tree v1"), thresholds with 17
+/// Pre-order, line-oriented ("popp-tree v2"), thresholds with 17
 /// significant digits for exact double round-trips, per-node class
-/// histograms included (the decoders and the pruner rely on them).
+/// histograms included (the decoders and the pruner rely on them). v2
+/// documents end in an integrity footer (util/integrity.h) and the parser
+/// rejects truncation or corruption with `kDataLoss`; legacy v1 documents
+/// (no footer) still load.
 
 namespace popp {
 
-/// Serializes a tree to the popp-tree v1 text format.
+/// Serializes a tree to the popp-tree v2 text format (footer included).
 std::string SerializeTree(const DecisionTree& tree);
 
-/// Parses a popp-tree v1 document.
+/// Parses a popp-tree document (v2, or legacy v1 without a footer). Any
+/// failure is `kDataLoss`.
 Result<DecisionTree> ParseTree(const std::string& text);
 
-/// File convenience wrappers.
+/// File convenience wrappers. SaveTree publishes atomically; LoadTree
+/// reports a missing file as `kNotFound`, a corrupt one as `kDataLoss`.
 Status SaveTree(const DecisionTree& tree, const std::string& path);
 Result<DecisionTree> LoadTree(const std::string& path);
 

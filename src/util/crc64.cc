@@ -1,0 +1,76 @@
+#include "util/crc64.h"
+
+#include <array>
+
+namespace popp {
+namespace {
+
+/// Reflected ECMA-182 polynomial (0x42F0E1EBA9EA3693 bit-reversed).
+constexpr uint64_t kPoly = 0xC96C5795D7870F42ull;
+
+std::array<uint64_t, 256> MakeTable() {
+  std::array<uint64_t, 256> table{};
+  for (uint64_t i = 0; i < 256; ++i) {
+    uint64_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ ((crc & 1) ? kPoly : 0);
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+const std::array<uint64_t, 256>& Table() {
+  static const std::array<uint64_t, 256> table = MakeTable();
+  return table;
+}
+
+uint64_t Advance(uint64_t state, std::string_view bytes) {
+  const auto& table = Table();
+  for (const char c : bytes) {
+    state = table[(state ^ static_cast<uint8_t>(c)) & 0xFF] ^ (state >> 8);
+  }
+  return state;
+}
+
+}  // namespace
+
+uint64_t Crc64(std::string_view bytes) {
+  return Advance(0xFFFFFFFFFFFFFFFFull, bytes) ^ 0xFFFFFFFFFFFFFFFFull;
+}
+
+void Crc64Stream::Update(std::string_view bytes) {
+  state_ = Advance(state_, bytes);
+  bytes_fed_ += bytes.size();
+}
+
+std::string Crc64Hex(uint64_t crc) {
+  static const char* kDigits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[i] = kDigits[crc & 0xF];
+    crc >>= 4;
+  }
+  return out;
+}
+
+bool ParseCrc64Hex(std::string_view text, uint64_t* crc) {
+  if (text.size() != 16) return false;
+  uint64_t value = 0;
+  for (const char c : text) {
+    value <<= 4;
+    if (c >= '0' && c <= '9') {
+      value |= static_cast<uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      value |= static_cast<uint64_t>(c - 'a' + 10);
+    } else if (c >= 'A' && c <= 'F') {
+      value |= static_cast<uint64_t>(c - 'A' + 10);
+    } else {
+      return false;
+    }
+  }
+  *crc = value;
+  return true;
+}
+
+}  // namespace popp

@@ -1,0 +1,42 @@
+#ifndef POPP_UTIL_INTEGRITY_H_
+#define POPP_UTIL_INTEGRITY_H_
+
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+/// \file
+/// The integrity footer shared by every popp artifact format (popp-plan v2,
+/// popp-tree v2, stream manifests).
+///
+/// A footered document is:
+///
+///     <payload bytes, ending in '\n'>
+///     footer <decimal payload length> <16-hex-digit CRC-64/XZ>\n
+///
+/// The footer is the last line; the payload is every byte before it. Length
+/// catches truncation (the cheap, common corruption), the CRC catches bit
+/// rot and partial overwrites. Verification failures are `kDataLoss` — the
+/// bytes arrived but cannot be trusted — distinct from `kIoError`.
+
+namespace popp {
+
+/// Appends the integrity footer line to `payload` (which must end in '\n')
+/// and returns the footered document.
+std::string WithIntegrityFooter(std::string payload);
+
+/// Splits a document into payload + footer and verifies both length and
+/// CRC. On success returns a view of the payload inside `text`.
+///
+/// If no footer line is present, sets `*had_footer = false` and returns the
+/// whole text unverified — the caller decides whether a footer was required
+/// (v2 formats) or optional (legacy v1). A present-but-malformed or
+/// mismatching footer is always `kDataLoss` with an actionable message
+/// naming what disagreed.
+Result<std::string_view> VerifyIntegrityFooter(std::string_view text,
+                                               bool* had_footer);
+
+}  // namespace popp
+
+#endif  // POPP_UTIL_INTEGRITY_H_

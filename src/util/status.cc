@@ -16,6 +16,8 @@ const char* StatusCodeName(StatusCode code) {
       return "FAILED_PRECONDITION";
     case StatusCode::kIoError:
       return "IO_ERROR";
+    case StatusCode::kDataLoss:
+      return "DATA_LOSS";
     case StatusCode::kInternal:
       return "INTERNAL";
   }

@@ -27,6 +27,12 @@ enum class StatusCode {
   kOutOfRange,
   kFailedPrecondition,
   kIoError,
+  /// An artifact failed an integrity check (truncation, bit corruption, a
+  /// failed CRC, a malformed on-disk document): the bytes exist but cannot
+  /// be trusted. Distinct from kIoError (the OS failed to move bytes) so
+  /// callers — and the CLI exit-code taxonomy — can tell "disk problem"
+  /// from "corrupt/hostile artifact".
+  kDataLoss,
   kInternal,
 };
 
@@ -61,6 +67,9 @@ class Status {
   }
   static Status IoError(std::string msg) {
     return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));

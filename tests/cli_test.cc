@@ -64,8 +64,9 @@ TEST(CliBasicsTest, UnknownCommandFails) {
 
 TEST(CliBasicsTest, MissingFileReported) {
   const CliResult r = RunPopp({"verify", "/nonexistent/data.csv"});
-  EXPECT_EQ(r.code, 1);
-  EXPECT_NE(r.err.find("IO_ERROR"), std::string::npos);
+  EXPECT_EQ(r.code, 3);  // exit taxonomy: 3 = file/I-O error
+  EXPECT_NE(r.err.find("NOT_FOUND"), std::string::npos);
+  EXPECT_NE(r.err.find("/nonexistent/data.csv"), std::string::npos);
 }
 
 TEST(CliBasicsTest, BadFlagValueReported) {
@@ -261,6 +262,91 @@ TEST(CliBasicsTest, StreamReleaseZeroChunkRowsReported) {
                                "key.out", "--chunk-rows", "0"});
   EXPECT_EQ(r.code, 2);
   EXPECT_NE(r.err.find("--chunk-rows"), std::string::npos);
+}
+
+// ------------------------------------------------------- exit taxonomy --
+
+TEST_F(CliTest, CorruptKeyExitsWithIntegrityCode) {
+  // Produce a valid key, then flip one payload byte: the CRC64 footer
+  // catches it and the CLI reports the corrupt-artifact exit code.
+  const std::string released = TempPath("tax_released.csv");
+  const std::string key = TempPath("tax_plan.key");
+  ASSERT_EQ(RunPopp({"encode", csv_path_, released, key}).code, 0);
+  std::string bytes;
+  {
+    std::ifstream in(key, std::ios::binary);
+    std::ostringstream oss;
+    oss << in.rdbuf();
+    bytes = oss.str();
+  }
+  const size_t digit = bytes.find('.');
+  ASSERT_NE(digit, std::string::npos);
+  bytes[digit + 1] = bytes[digit + 1] == '9' ? '3' : '9';
+  {
+    std::ofstream out(key, std::ios::binary);
+    out << bytes;
+  }
+  const std::string mined = TempPath("tax_mined.tree");
+  ASSERT_EQ(RunPopp({"mine", released, mined}).code, 0);
+  const CliResult r =
+      RunPopp({"decode", mined, key, csv_path_, TempPath("tax_out.tree")});
+  EXPECT_EQ(r.code, 4) << r.err;  // 4 = corrupt or integrity-failed artifact
+  EXPECT_NE(r.err.find("DATA_LOSS"), std::string::npos) << r.err;
+  EXPECT_NE(r.err.find("integrity checksum mismatch"), std::string::npos)
+      << r.err;
+}
+
+TEST(CliBasicsTest, TruncatedKeyExitsWithIntegrityCode) {
+  // A v2 key with its footer torn off is reported as truncation, not as a
+  // vague parse error. (decode loads the tree first, so give it one.)
+  const std::string tree_path = testing::TempDir() + "/popp_cli_trunc.tree";
+  {
+    std::ofstream out(tree_path, std::ios::binary);
+    out << SerializeTree(DecisionTree{});
+  }
+  const std::string key = testing::TempDir() + "/popp_cli_trunc.key";
+  {
+    std::ofstream out(key, std::ios::binary);
+    out << "popp-plan v2\nattributes 1\n";
+  }
+  const CliResult r = RunPopp({"decode", tree_path, key,
+                               "whatever.csv", "out.tree"});
+  EXPECT_EQ(r.code, 4) << r.err;
+  EXPECT_NE(r.err.find("integrity footer"), std::string::npos) << r.err;
+}
+
+TEST(CliBasicsTest, UsageAdvertisesExitTaxonomy) {
+  const CliResult r = RunPopp({"help"});
+  ASSERT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("exit codes:"), std::string::npos);
+  EXPECT_NE(r.out.find("--resume"), std::string::npos);
+}
+
+// ------------------------------------------------------- resumable CLI --
+
+TEST_F(CliTest, StreamReleaseResumeFlagCompletesAndMatches) {
+  // A plain run and a --resume run from scratch must produce identical
+  // bytes (with no journal to resume, --resume degrades to a fresh run).
+  const std::string plain_csv = TempPath("res_plain.csv");
+  const std::string plain_key = TempPath("res_plain.key");
+  const std::string res_csv = TempPath("res_resumed.csv");
+  const std::string res_key = TempPath("res_resumed.key");
+  ASSERT_EQ(RunPopp({"stream-release", csv_path_, plain_csv, plain_key,
+                     "--seed", "9", "--chunk-rows", "73"})
+                .code,
+            0);
+  const CliResult r =
+      RunPopp({"stream-release", csv_path_, res_csv, res_key, "--seed", "9",
+               "--chunk-rows", "73", "--resume"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  const auto slurp = [](const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream s;
+    s << in.rdbuf();
+    return s.str();
+  };
+  EXPECT_EQ(slurp(plain_csv), slurp(res_csv));
+  EXPECT_EQ(slurp(plain_key), slurp(res_key));
 }
 
 }  // namespace

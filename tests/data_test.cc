@@ -280,7 +280,7 @@ TEST(CsvTest, ReadWriteFile) {
 TEST(CsvTest, ReadMissingFileFails) {
   auto result = ReadCsv("/nonexistent/definitely/missing.csv");
   ASSERT_FALSE(result.ok());
-  EXPECT_EQ(result.status().code(), StatusCode::kIoError);
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
 }
 
 TEST(CsvTest, CrlfLineEndings) {

@@ -70,10 +70,15 @@ TEST(CsvFailure, NonNumericAttributeCellIsRejected) {
       << r.status().ToString();
 }
 
-TEST(CsvFailure, MissingFileIsIoError) {
+TEST(CsvFailure, MissingFileIsNotFound) {
+  // kNotFound (ENOENT), distinct from kIoError (disk trouble), so callers
+  // can tell "wrong path" from "failing hardware".
   const auto r = ReadCsv("/nonexistent/popp/never.csv");
   ASSERT_FALSE(r.ok());
-  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_NE(r.status().message().find("/nonexistent/popp/never.csv"),
+            std::string::npos)
+      << r.status().ToString();
 }
 
 TEST(CsvFailure, GoodInputStillParses) {

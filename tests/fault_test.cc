@@ -1,0 +1,324 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "check/oracles.h"
+#include "data/dataset.h"
+#include "fault/failpoint.h"
+#include "fault/file.h"
+#include "stream/chunk_io.h"
+#include "stream/manifest.h"
+#include "util/crc64.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+/// \file
+/// The fault-injection framework and the hardened I/O layer it exercises:
+/// failpoint determinism, atomic publication, torn writes, simulated-kill
+/// debris, journal recovery — and the `fault_crash_safety` oracle swept
+/// over hundreds of randomized schedules (the PR's acceptance bar).
+
+namespace popp {
+namespace {
+
+using fault::AtomicFileWriter;
+using fault::FaultSchedule;
+using fault::InputFile;
+using fault::Op;
+using fault::OutputFile;
+using fault::ScopedFaultInjection;
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+std::string Slurp(const std::string& path) {
+  auto bytes = fault::ReadFileToString(path);
+  EXPECT_TRUE(bytes.ok()) << bytes.status().ToString();
+  return bytes.ok() ? bytes.value() : std::string();
+}
+
+// ----------------------------------------------------------- failpoint --
+
+TEST(FailPointTest, DisabledInjectionIsInvisible) {
+  EXPECT_FALSE(fault::Enabled());
+  EXPECT_FALSE(fault::CrashActive());
+  const std::string path = TempPath("fp_plain.txt");
+  ASSERT_TRUE(fault::WriteFileAtomic(path, "hello\n").ok());
+  EXPECT_EQ(Slurp(path), "hello\n");
+}
+
+TEST(FailPointTest, CountOnlyCountsWithoutFiring) {
+  const std::string path = TempPath("fp_count.txt");
+  size_t first = 0;
+  {
+    ScopedFaultInjection probe(FaultSchedule::CountOnly());
+    ASSERT_TRUE(fault::WriteFileAtomic(path, "abc\n").ok());
+    first = probe.ops_seen();
+    EXPECT_FALSE(probe.fired());
+  }
+  ASSERT_GT(first, 0u);
+  // Determinism: the identical operation sequence counts identically.
+  {
+    ScopedFaultInjection probe(FaultSchedule::CountOnly());
+    ASSERT_TRUE(fault::WriteFileAtomic(path, "abc\n").ok());
+    EXPECT_EQ(probe.ops_seen(), first);
+  }
+}
+
+TEST(FailPointTest, ErrorAtFiresAtExactlyThatOperation) {
+  const std::string path = TempPath("fp_error.txt");
+  size_t total = 0;
+  {
+    ScopedFaultInjection probe(FaultSchedule::CountOnly());
+    ASSERT_TRUE(fault::WriteFileAtomic(path, "abc\n").ok());
+    total = probe.ops_seen();
+  }
+  for (size_t k = 0; k < total; ++k) {
+    ScopedFaultInjection inject(FaultSchedule::ErrorAt(k));
+    const Status s = fault::WriteFileAtomic(path, "abc\n");
+    EXPECT_FALSE(s.ok()) << "op " << k << " did not propagate";
+    EXPECT_TRUE(inject.fired()) << "op " << k;
+    EXPECT_FALSE(inject.crash_triggered());
+    EXPECT_NE(s.message().find("injected"), std::string::npos)
+        << s.ToString();
+  }
+  // The schedule beyond the last op never fires; the write succeeds.
+  {
+    ScopedFaultInjection inject(FaultSchedule::ErrorAt(total));
+    EXPECT_TRUE(fault::WriteFileAtomic(path, "abc\n").ok());
+    EXPECT_FALSE(inject.fired());
+  }
+}
+
+TEST(FailPointTest, CrashMakesEveryLaterOperationFail) {
+  const std::string a = TempPath("fp_crash_a.txt");
+  const std::string b = TempPath("fp_crash_b.txt");
+  ScopedFaultInjection inject(FaultSchedule::CrashAt(0));
+  EXPECT_FALSE(fault::WriteFileAtomic(a, "x\n").ok());
+  EXPECT_TRUE(inject.crash_triggered());
+  EXPECT_TRUE(fault::CrashActive());
+  // A "dead process" cannot do unrelated I/O either.
+  const Status later = fault::WriteFileAtomic(b, "y\n");
+  EXPECT_FALSE(later.ok());
+  EXPECT_NE(later.message().find("crash"), std::string::npos)
+      << later.ToString();
+}
+
+// ----------------------------------------------------------- file layer --
+
+TEST(FaultFileTest, MissingFileIsNotFoundWithPath) {
+  const std::string path = TempPath("does_not_exist_anywhere.bin");
+  auto bytes = fault::ReadFileToString(path);
+  ASSERT_FALSE(bytes.ok());
+  EXPECT_EQ(bytes.status().code(), StatusCode::kNotFound);
+  EXPECT_NE(bytes.status().message().find(path), std::string::npos)
+      << bytes.status().ToString();
+}
+
+TEST(FaultFileTest, WriteReadRoundTripIncludingBinaryBytes) {
+  const std::string path = TempPath("fault_roundtrip.bin");
+  std::string payload = "line\n";
+  payload.push_back('\0');
+  payload += "\xff\x7f tail";
+  ASSERT_TRUE(fault::WriteFileAtomic(path, payload).ok());
+  EXPECT_EQ(Slurp(path), payload);
+  EXPECT_FALSE(fault::FileExists(path + ".tmp"));
+}
+
+TEST(FaultFileTest, FailedRewriteLeavesPreviousArtifactIntact) {
+  const std::string path = TempPath("fault_keep_old.txt");
+  ASSERT_TRUE(fault::WriteFileAtomic(path, "old bytes\n").ok());
+  size_t total = 0;
+  {
+    ScopedFaultInjection probe(FaultSchedule::CountOnly());
+    ASSERT_TRUE(fault::WriteFileAtomic(path + ".probe", "new bytes\n").ok());
+    total = probe.ops_seen();
+  }
+  for (size_t k = 0; k < total; ++k) {
+    ScopedFaultInjection inject(FaultSchedule::ErrorAt(k));
+    ASSERT_FALSE(fault::WriteFileAtomic(path, "new bytes\n").ok());
+  }
+  // Every failure point left the old artifact untouched and no temp file.
+  EXPECT_EQ(Slurp(path), "old bytes\n");
+  EXPECT_FALSE(fault::FileExists(path + ".tmp"));
+}
+
+TEST(FaultFileTest, TornWritePersistsExactlyThePrefix) {
+  const std::string path = TempPath("fault_torn.txt");
+  std::remove(path.c_str());
+  OutputFile out;
+  ASSERT_TRUE(out.Open(path, /*append=*/false).ok());
+  const std::string payload = "0123456789";
+  {
+    // Ops count from scope installation, so the write below is op 0.
+    ScopedFaultInjection inject(FaultSchedule::ErrorAt(0, /*fraction=*/0.5));
+    const Status s = out.Write(payload);
+    ASSERT_FALSE(s.ok());
+    ASSERT_TRUE(inject.fired());
+  }
+  out.CloseQuietly();
+  EXPECT_EQ(Slurp(path), "01234");
+}
+
+TEST(FaultFileTest, AbandonedAtomicWriterNeverTouchesFinalPath) {
+  const std::string path = TempPath("fault_abandon.txt");
+  std::remove(path.c_str());
+  {
+    AtomicFileWriter writer(path);
+    ASSERT_TRUE(writer.Open().ok());
+    ASSERT_TRUE(writer.Append("half-finished").ok());
+    EXPECT_TRUE(fault::FileExists(writer.temp_path()));
+    // No Commit: destruction abandons.
+  }
+  EXPECT_FALSE(fault::FileExists(path));
+  EXPECT_FALSE(fault::FileExists(path + ".tmp"));
+}
+
+TEST(FaultFileTest, CrashLeavesTempDebrisButNoFinalFile) {
+  const std::string path = TempPath("fault_crash_debris.txt");
+  std::remove(path.c_str());
+  std::remove((path + ".tmp").c_str());
+  {
+    // The injection scope outlives the writer (as it does around a whole
+    // faulted release), so the writer destructs while the crash is active
+    // and its cleanup is suppressed, exactly like a kill -9.
+    ScopedFaultInjection inject(FaultSchedule::CrashAt(2));
+    AtomicFileWriter writer(path);
+    ASSERT_TRUE(writer.Open().ok());                  // op 0
+    ASSERT_TRUE(writer.Append("doomed bytes").ok());  // op 1
+    ASSERT_FALSE(writer.Commit().ok());               // op 2: crash
+    EXPECT_TRUE(inject.crash_triggered());
+  }
+  EXPECT_FALSE(fault::FileExists(path));
+  EXPECT_TRUE(fault::FileExists(path + ".tmp"));
+  std::remove((path + ".tmp").c_str());
+}
+
+TEST(FaultFileTest, InputFileShortReadsNeverForgeEof) {
+  const std::string path = TempPath("fault_short_read.txt");
+  ASSERT_TRUE(fault::WriteFileAtomic(path, "abcdefgh").ok());
+  InputFile in;
+  ASSERT_TRUE(in.Open(path).ok());
+  std::string got;
+  char buffer[3];
+  for (;;) {
+    auto n = in.Read(buffer, sizeof(buffer));
+    ASSERT_TRUE(n.ok()) << n.status().ToString();
+    if (n.value() == 0) break;
+    got.append(buffer, n.value());
+  }
+  EXPECT_EQ(got, "abcdefgh");
+}
+
+// ------------------------------------------------------------- manifest --
+
+TEST(ManifestTest, LoadParsesChunksAndCompleteMarker) {
+  const std::string path = TempPath("manifest_ok.manifest");
+  const std::string text =
+      "popp-manifest v1\n"
+      "fingerprint chunk_rows=10 seed=1\n"
+      "chunk 0 10 120 " + Crc64Hex(Crc64("a")) + "\n" +
+      "chunk 1 7 90 " + Crc64Hex(Crc64("b")) + "\n" +
+      "complete 2 17 210\n";
+  ASSERT_TRUE(fault::WriteFileAtomic(path, text).ok());
+  auto manifest = stream::LoadManifest(path);
+  ASSERT_TRUE(manifest.ok()) << manifest.status().ToString();
+  EXPECT_EQ(manifest.value().fingerprint, "chunk_rows=10 seed=1");
+  ASSERT_EQ(manifest.value().chunks.size(), 2u);
+  EXPECT_EQ(manifest.value().chunks[1].rows, 7u);
+  EXPECT_EQ(manifest.value().chunks[1].bytes, 90u);
+  EXPECT_TRUE(manifest.value().complete);
+}
+
+TEST(ManifestTest, TornTailLineIsDroppedLeniently) {
+  const std::string path = TempPath("manifest_torn.manifest");
+  const std::string text =
+      "popp-manifest v1\n"
+      "fingerprint fp\n"
+      "chunk 0 10 120 " + Crc64Hex(Crc64("a")) + "\n" +
+      "chunk 1 7 90 00ab";  // the crash tore this journal append
+  ASSERT_TRUE(fault::WriteFileAtomic(path, text).ok());
+  auto manifest = stream::LoadManifest(path);
+  ASSERT_TRUE(manifest.ok()) << manifest.status().ToString();
+  ASSERT_EQ(manifest.value().chunks.size(), 1u);
+  EXPECT_FALSE(manifest.value().complete);
+}
+
+TEST(ManifestTest, TruncatedHeaderIsDataLoss) {
+  const std::string path = TempPath("manifest_bad.manifest");
+  ASSERT_TRUE(fault::WriteFileAtomic(path, "popp-manifest v1\nfinge").ok());
+  auto manifest = stream::LoadManifest(path);
+  ASSERT_FALSE(manifest.ok());
+  EXPECT_EQ(manifest.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(ManifestTest, ResumeMismatchIsActionableDataLoss) {
+  const std::string path = TempPath("resume_mismatch_unit.csv");
+  Dataset chunk({"x"}, {"a"});
+  chunk.AddRow({1.0}, 0);
+  // An interrupted run: one journaled chunk, no Close.
+  std::remove(path.c_str());
+  {
+    stream::ResumableCsvChunkWriter writer(path, {}, /*resume=*/false);
+    ASSERT_TRUE(writer.BeginStream("fp").ok());
+    ASSERT_TRUE(writer.Append(chunk).ok());
+  }
+  // Resume claims the stream now produces a different row count for the
+  // journaled chunk: the input changed, and the writer must say so.
+  stream::ResumableCsvChunkWriter writer(path, {}, /*resume=*/true);
+  ASSERT_TRUE(writer.BeginStream("fp").ok());
+  ASSERT_EQ(writer.CompletedChunks(), 1u);
+  const Status s = writer.NoteSkipped(0, /*rows=*/2);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kDataLoss);
+  EXPECT_NE(s.message().find("re-run without --resume"), std::string::npos)
+      << s.ToString();
+}
+
+// ------------------------------------------------- the oracle, at scale --
+
+Dataset SmallMixedData(uint64_t seed, size_t rows) {
+  Rng rng(seed);
+  Dataset d({"x", "y"}, {"a", "b", "c"});
+  for (size_t i = 0; i < rows; ++i) {
+    d.AddRow({static_cast<AttrValue>(rng.UniformInt(-40, 40)),
+              rng.Uniform(0.0, 9.0)},
+             static_cast<ClassId>(rng.UniformInt(0, 2)));
+  }
+  return d;
+}
+
+/// The acceptance bar: >= 200 randomized fault schedules, spread over
+/// several datasets and chunk sizes, with zero tolerated failures. Each
+/// schedule is one injected error/torn-write/kill plus one resumed run
+/// compared by hash against the uninterrupted release.
+TEST(FaultCrashSafetyTest, OracleGreenOverTwoHundredRandomSchedules) {
+  struct Sweep {
+    uint64_t seed;
+    size_t rows;
+    size_t chunk_rows;
+    size_t schedules;
+  };
+  const Sweep sweeps[] = {
+      {101, 90, 13, 70},
+      {202, 60, 60, 70},
+      {303, 120, 1, 35},
+      {404, 75, 200, 35},  // one chunk holds the whole stream
+  };
+  size_t total = 0;
+  for (const Sweep& sweep : sweeps) {
+    const Dataset data = SmallMixedData(sweep.seed, sweep.rows);
+    const check::OracleResult result = check::CheckFaultCrashSafety(
+        data, sweep.seed, PiecewiseOptions{}, sweep.chunk_rows,
+        sweep.schedules);
+    EXPECT_TRUE(result.passed)
+        << "seed " << sweep.seed << ": " << result.message;
+    total += sweep.schedules;
+  }
+  EXPECT_GE(total, 200u);
+}
+
+}  // namespace
+}  // namespace popp

@@ -78,6 +78,66 @@ TEST(SerializeGolden, ReproducerRecipeRoundTripIsByteStable) {
   std::remove(out_recipe.c_str());
 }
 
+// ------------------------------------------- corrupt-key corpus --------
+
+/// The committed corruption corpus: each file is the v2 golden plan with
+/// one specific kind of damage, and the loader must refuse it with
+/// kDataLoss and the exact diagnostic family a custodian would need to
+/// understand what happened to their key.
+TEST(SerializeGolden, CorruptPlanCorpusIsRejectedWithDataLoss) {
+  struct CorruptCase {
+    const char* file;
+    const char* expect;  ///< required diagnostic substring
+  };
+  const CorruptCase cases[] = {
+      // Cut mid-payload: the footer line is gone entirely.
+      {"plan_truncated.key", "requires an integrity footer"},
+      // One digit of a piece endpoint changed: the payload hashes wrong.
+      {"plan_bitflip.key", "integrity checksum mismatch"},
+      // Footer checksum altered, payload intact: the footer lies.
+      {"plan_bad_crc.key", "integrity checksum mismatch"},
+      // Not a popp document at all (binary magic of another format).
+      {"plan_garbage.key", "expected 'popp-plan'"},
+  };
+  for (const auto& c : cases) {
+    const std::string bytes =
+        ReadFile(DataDir() + "/corrupt/" + std::string(c.file));
+    ASSERT_FALSE(bytes.empty()) << c.file;
+    auto plan = ParsePlan(bytes);
+    ASSERT_FALSE(plan.ok()) << c.file << " parsed despite the corruption";
+    EXPECT_EQ(plan.status().code(), StatusCode::kDataLoss) << c.file;
+    EXPECT_NE(plan.status().message().find(c.expect), std::string::npos)
+        << c.file << " diagnostic: " << plan.status().message();
+  }
+}
+
+TEST(SerializeGolden, LegacyV1PlanWithoutFooterStillLoads) {
+  auto plan = LoadPlan(DataDir() + "/corrupt/plan_v1_legacy.key");
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  // Re-saving upgrades the key to the checksummed v2 format.
+  const std::string upgraded = SerializePlan(plan.value());
+  EXPECT_EQ(upgraded.rfind("popp-plan v2\n", 0), 0u);
+  EXPECT_NE(upgraded.find("\nfooter "), std::string::npos);
+}
+
+TEST(SerializeGolden, CorruptTreeCorpusIsRejectedWithDataLoss) {
+  const std::string bytes =
+      ReadFile(DataDir() + "/corrupt/tree_truncated.txt");
+  ASSERT_FALSE(bytes.empty());
+  auto tree = ParseTree(bytes);
+  ASSERT_FALSE(tree.ok());
+  EXPECT_EQ(tree.status().code(), StatusCode::kDataLoss);
+  EXPECT_NE(tree.status().message().find("integrity footer"),
+            std::string::npos)
+      << tree.status().message();
+}
+
+TEST(SerializeGolden, LegacyV1TreeWithoutFooterStillLoads) {
+  auto tree = LoadTree(DataDir() + "/corrupt/tree_v1_legacy.txt");
+  ASSERT_TRUE(tree.ok()) << tree.status().ToString();
+  EXPECT_EQ(SerializeTree(tree.value()).rfind("popp-tree v2\n", 0), 0u);
+}
+
 // ------------------------------------------- endpoint exactness --------
 
 uint64_t Bits(double v) {
@@ -180,6 +240,14 @@ TEST(SerializeGolden, ParserAcceptsHexFloatEndpoints) {
   Rng rng(13);
   const TransformPlan plan = TransformPlan::Create(d, options, rng);
   std::string text = SerializePlan(plan);
+  // This test rewrites payload bytes, which the checksummed v2 format
+  // rightly rejects — so hand-edit a v1 document (no integrity footer).
+  const size_t footer = text.rfind("\nfooter ");
+  ASSERT_NE(footer, std::string::npos);
+  text = text.substr(0, footer + 1);
+  const std::string v2_header = "popp-plan v2";
+  ASSERT_EQ(text.rfind(v2_header, 0), 0u);
+  text.replace(0, v2_header.size(), "popp-plan v1");
   // Respell the first piece's domain_lo in C99 hex-float form everywhere it
   // occurs; the parse must land on the identical bits.
   const double dlo = plan.transform(0).piece(0).domain_lo;

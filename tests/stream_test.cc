@@ -6,7 +6,10 @@
 
 #include "data/csv.h"
 #include "data/summary.h"
+#include "fault/failpoint.h"
+#include "fault/file.h"
 #include "stream/chunk_io.h"
+#include "stream/manifest.h"
 #include "stream/incremental_summary.h"
 #include "stream/ood_policy.h"
 #include "stream/streaming_custodian.h"
@@ -387,6 +390,140 @@ TEST(StreamReleaseTest, ReleaseWithLoadedPlanMatchesBatchEncode) {
       reader, writer, std::move(reloaded).value(), options);
   ASSERT_TRUE(plan.ok()) << plan.status().ToString();
   EXPECT_EQ(ToCsvString(writer.collected()), ToCsvString(batch.released));
+}
+
+// ------------------------------------------------------ crash + resume --
+
+using stream::ResumableCsvChunkWriter;
+
+/// One streamed release into the journaled sink at `path`.
+Status ResumableRelease(const Dataset& data, const StreamOptions& options,
+                        const std::string& path, bool resume,
+                        StreamStats* stats = nullptr) {
+  DatasetChunkReader reader(&data);
+  ResumableCsvChunkWriter writer(path, {}, resume);
+  auto plan = StreamingCustodian::Release(reader, writer, options, stats);
+  return plan.ok() ? Status::Ok() : plan.status();
+}
+
+std::string SlurpFile(const std::string& path) {
+  auto bytes = fault::ReadFileToString(path);
+  EXPECT_TRUE(bytes.ok()) << bytes.status().ToString();
+  return bytes.ok() ? bytes.value() : std::string();
+}
+
+/// The resume bit-identity sweep: kill the release at evenly spaced I/O
+/// operations (with a torn half-written buffer at the kill point), across
+/// several chunk sizes, and require every `--resume` continuation to
+/// finish with bytes identical to the uninterrupted run.
+TEST(StreamResumeTest, ResumeIsByteIdenticalAcrossChunkSizesAndKillPoints) {
+  const Dataset data = CovtypeLikeData(300, /*seed=*/13);
+  for (const size_t chunk_rows : {17u, 97u, 300u}) {
+    StreamOptions options;
+    options.chunk_rows = chunk_rows;
+    options.seed = 41;
+    options.exec = ExecPolicy{3};
+    const std::string path = testing::TempDir() + "/resume_" +
+                             std::to_string(chunk_rows) + ".csv";
+    ASSERT_TRUE(ResumableRelease(data, options, path, false).ok());
+    const std::string golden = SlurpFile(path);
+    ASSERT_FALSE(golden.empty());
+
+    // Size the schedule space from an op-count probe of a full run.
+    size_t total_ops = 0;
+    {
+      fault::ScopedFaultInjection probe(fault::FaultSchedule::CountOnly());
+      ASSERT_TRUE(ResumableRelease(data, options,
+                                   path + ".count", false)
+                      .ok());
+      total_ops = probe.ops_seen();
+    }
+    ASSERT_GT(total_ops, 0u);
+
+    const size_t kill_points[] = {0, total_ops / 4, total_ops / 2,
+                                  (3 * total_ops) / 4, total_ops - 1};
+    for (const size_t kill : kill_points) {
+      SCOPED_TRACE("chunk_rows=" + std::to_string(chunk_rows) +
+                   " kill_op=" + std::to_string(kill));
+      std::remove(path.c_str());
+      {
+        fault::ScopedFaultInjection inject(
+            fault::FaultSchedule::CrashAt(kill, /*write_fraction=*/0.5));
+        const Status died = ResumableRelease(data, options, path, false);
+        ASSERT_TRUE(inject.fired());
+        ASSERT_FALSE(died.ok());
+      }
+      // The final name never holds a partial artifact.
+      if (fault::FileExists(path)) {
+        EXPECT_EQ(SlurpFile(path), golden);
+      }
+      StreamStats stats;
+      ASSERT_TRUE(ResumableRelease(data, options, path, true, &stats).ok());
+      EXPECT_EQ(SlurpFile(path), golden);
+      EXPECT_FALSE(fault::FileExists(path + ".partial"));
+      EXPECT_FALSE(fault::FileExists(path + ".manifest"));
+    }
+  }
+}
+
+/// A kill late in the encode pass leaves durable chunks behind, and the
+/// resumed run must actually reuse them rather than silently re-encode.
+TEST(StreamResumeTest, LateKillReusesCompletedChunks) {
+  const Dataset data = CovtypeLikeData(300, /*seed=*/13);
+  StreamOptions options;
+  options.chunk_rows = 50;
+  options.seed = 41;
+  const std::string path = testing::TempDir() + "/resume_late.csv";
+  std::remove(path.c_str());
+  size_t total_ops = 0;
+  {
+    fault::ScopedFaultInjection probe(fault::FaultSchedule::CountOnly());
+    ASSERT_TRUE(ResumableRelease(data, options, path, false).ok());
+    total_ops = probe.ops_seen();
+  }
+  const std::string golden = SlurpFile(path);
+  std::remove(path.c_str());
+  {
+    // Kill right before the close/rename tail: every chunk except the
+    // in-flight one is already journaled.
+    fault::ScopedFaultInjection inject(
+        fault::FaultSchedule::CrashAt(total_ops - 4));
+    ASSERT_FALSE(ResumableRelease(data, options, path, false).ok());
+  }
+  StreamStats stats;
+  ASSERT_TRUE(ResumableRelease(data, options, path, true, &stats).ok());
+  EXPECT_EQ(SlurpFile(path), golden);
+  EXPECT_GT(stats.resumed_chunks, 0u);
+  EXPECT_NE(stats.Render().find("resumed"), std::string::npos);
+}
+
+/// `--resume` against a journal from a different configuration (different
+/// seed → different plan fingerprint) must fall back to a fresh run and
+/// still produce the right bytes for the *new* configuration.
+TEST(StreamResumeTest, FingerprintMismatchFallsBackToFreshRun) {
+  const Dataset data = CovtypeLikeData(200, /*seed=*/9);
+  StreamOptions options;
+  options.chunk_rows = 37;
+  options.seed = 7;
+  const std::string path = testing::TempDir() + "/resume_mismatch.csv";
+  std::remove(path.c_str());
+  ASSERT_TRUE(ResumableRelease(data, options, path, false).ok());
+  const std::string golden_seed7 = SlurpFile(path);
+  // Interrupt a run with seed 7, then resume with seed 8.
+  {
+    fault::ScopedFaultInjection inject(fault::FaultSchedule::CrashAt(12));
+    ASSERT_FALSE(ResumableRelease(data, options, path, false).ok());
+  }
+  StreamOptions other = options;
+  other.seed = 8;
+  StreamStats stats;
+  ASSERT_TRUE(ResumableRelease(data, other, path, true, &stats).ok());
+  EXPECT_EQ(stats.resumed_chunks, 0u);
+  EXPECT_NE(SlurpFile(path), golden_seed7);
+  // And resuming the seed-7 journal-less state with seed 7 reproduces the
+  // seed-7 bytes.
+  ASSERT_TRUE(ResumableRelease(data, options, path, true).ok());
+  EXPECT_EQ(SlurpFile(path), golden_seed7);
 }
 
 TEST(StreamReleaseTest, EmptyStreamFailsCleanly) {

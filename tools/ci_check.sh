@@ -33,6 +33,17 @@ ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)"
 echo "== popp_check (bounded) =="
 "$build_dir/tools/popp_check" --trials 200 --seed 7 --out "$build_dir"
 
+echo "== fault injection: crash-safety oracle + corrupt corpus under ASan =="
+# The fault_crash_safety oracle proves the atomic-rename + journal
+# contract under randomized injected errors, torn writes and simulated
+# kills; the corrupt-corpus and fault-layer tests pin the integrity
+# diagnostics. Both run under ASan so leaked handles or buffer slips in
+# the error paths fail the gate too.
+"$build_dir/tools/popp_check" --oracle fault_crash_safety \
+  --trials 25 --seed 11 --out "$build_dir"
+"$build_dir/tests/popp_tests" \
+  --gtest_filter='FailPoint*:FaultFile*:Manifest*:FaultCrashSafety*:SerializeGolden.Corrupt*:SerializeGolden.Legacy*'
+
 echo "== configure (TSan) =="
 cmake -B "$tsan_build_dir" -S "$repo_root" \
   -DPOPP_SANITIZE=thread \
@@ -44,6 +55,29 @@ cmake --build "$tsan_build_dir" -j --target popp_tests popp_check
 echo "== parallel + streaming tests under TSan =="
 "$tsan_build_dir/tests/popp_tests" \
   --gtest_filter='ThreadPool*:ParallelFor*:ParallelEquality*:TrialStream*:StreamRelease*:OodPolicy*:IncrementalSummary*:ChunkIo*:Compiled*'
+
+echo "== stream resume under TSan (kill-point sweep + --resume at 7 threads) =="
+# The resume sweep re-runs the multi-threaded encode on top of the
+# journal recovery path; the CLI pass drives the same machinery end to
+# end with --threads 7 and verifies the resumed artifact byte-for-byte.
+"$tsan_build_dir/tests/popp_tests" --gtest_filter='StreamResume*'
+cmake --build "$tsan_build_dir" -j --target popp_cli
+resume_dir="$tsan_build_dir/resume-e2e"
+mkdir -p "$resume_dir"
+awk 'BEGIN {
+  srand(5); print "x,y,z,class";
+  for (i = 0; i < 2000; i++)
+    printf "%d,%d,%.3f,%s\n", int(rand()*100), int(rand()*50), rand()*10,
+           (rand() < 0.5 ? "a" : "b");
+}' > "$resume_dir/data.csv"
+"$tsan_build_dir/tools/popp" stream-release "$resume_dir/data.csv" \
+  "$resume_dir/plain.csv" "$resume_dir/plain.key" \
+  --seed 9 --chunk-rows 101 --threads 7
+"$tsan_build_dir/tools/popp" stream-release "$resume_dir/data.csv" \
+  "$resume_dir/resumed.csv" "$resume_dir/resumed.key" \
+  --seed 9 --chunk-rows 101 --threads 7 --resume
+cmp "$resume_dir/plain.csv" "$resume_dir/resumed.csv"
+cmp "$resume_dir/plain.key" "$resume_dir/resumed.key"
 
 echo "== parallel_determinism oracle under TSan (bounded) =="
 "$tsan_build_dir/tools/popp_check" --oracle parallel_determinism \
