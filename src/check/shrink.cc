@@ -211,8 +211,9 @@ void SerializeBuildOptions(const BuildOptions& o, std::ostringstream& out) {
               ? "all"
               : "runs")
       << " algorithm "
-      << (o.algorithm == BuildOptions::Algorithm::kResort ? "resort"
-                                                          : "presorted")
+      << (o.algorithm == BuildOptions::Algorithm::kResort      ? "resort"
+          : o.algorithm == BuildOptions::Algorithm::kPresorted ? "presorted"
+                                                               : "frontier")
       << "\n";
 }
 
@@ -265,6 +266,8 @@ Status ParseBuildOptions(Reader& reader, BuildOptions& o) {
     o.algorithm = BuildOptions::Algorithm::kResort;
   } else if (algorithm.value() == "presorted") {
     o.algorithm = BuildOptions::Algorithm::kPresorted;
+  } else if (algorithm.value() == "frontier") {
+    o.algorithm = BuildOptions::Algorithm::kFrontier;
   } else {
     return Status::InvalidArgument("recipe: unknown algorithm '" +
                                    algorithm.value() + "'");

@@ -1,0 +1,51 @@
+#ifndef POPP_DATA_BINNED_ELEM_H_
+#define POPP_DATA_BINNED_ELEM_H_
+
+#include <cstdint>
+
+#include "data/value.h"
+
+/// \file
+/// The packed element of a columnar index view: one uint64 carrying
+/// (bin << 40) | (row << 8) | label.
+///
+/// Keeping all three fields in one word makes every frontier partition
+/// pass a single read-once/write-once stream (one scatter instead of
+/// three), and — because the bin occupies the top bits and the row id the
+/// middle — the packed integers' natural order IS the (value, row-id)
+/// stable sort order, so split-boundary lookups binary-search the packed
+/// array directly with no field extraction.
+///
+/// Capacity: 2^24 distinct values per attribute, 2^32 rows, 256 classes
+/// (all checked at ColumnarPartitions::Init; the row bound alone caps the
+/// other two for every dataset the builder accepts today).
+
+namespace popp {
+
+inline constexpr int kElemLabelBits = 8;
+inline constexpr int kElemRowBits = 32;
+inline constexpr int kElemBinBits = 64 - kElemRowBits - kElemLabelBits;
+inline constexpr int kElemRowShift = kElemLabelBits;
+inline constexpr int kElemBinShift = kElemLabelBits + kElemRowBits;
+
+inline uint64_t PackElem(uint64_t bin, uint32_t row, ClassId label) {
+  return (bin << kElemBinShift) |
+         (static_cast<uint64_t>(row) << kElemRowShift) |
+         static_cast<uint64_t>(label);
+}
+
+inline uint32_t ElemBin(uint64_t elem) {
+  return static_cast<uint32_t>(elem >> kElemBinShift);
+}
+
+inline uint32_t ElemRow(uint64_t elem) {
+  return static_cast<uint32_t>((elem >> kElemRowShift) & 0xFFFFFFFFull);
+}
+
+inline ClassId ElemLabel(uint64_t elem) {
+  return static_cast<ClassId>(elem & 0xFFu);
+}
+
+}  // namespace popp
+
+#endif  // POPP_DATA_BINNED_ELEM_H_

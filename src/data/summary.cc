@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "data/binned_elem.h"
 #include "util/status.h"
 
 namespace popp {
@@ -49,6 +50,88 @@ AttributeSummary AttributeSummary::FromSortedTuples(
     }
   }
   return s;
+}
+
+void AttributeSummary::AssignFromBinnedSlice(const uint64_t* elems, size_t n,
+                                             const AttrValue* bin_values,
+                                             size_t num_classes) {
+  POPP_CHECK(num_classes > 0);
+  num_classes_ = num_classes;
+  num_tuples_ = n;
+  // Pre-count the distinct bins so the class-count table is sized and
+  // zeroed in one step — a per-value resize() is a function call per
+  // distinct value, which dominates on the millions of small slices a
+  // deep tree produces. The count is a branchless neighbor-compare
+  // reduction, which the compiler turns into SIMD compares.
+  size_t distinct = n > 0 ? 1 : 0;
+  for (size_t i = 1; i < n; ++i) {
+    distinct += static_cast<size_t>(ElemBin(elems[i]) != ElemBin(elems[i - 1]));
+  }
+  values_.clear();
+  values_.reserve(distinct);
+  totals_.clear();
+  totals_.reserve(distinct);
+  class_counts_.assign(distinct * num_classes, 0);
+  for (size_t i = 0; i < n;) {
+    const uint32_t bin = ElemBin(elems[i]);
+    POPP_DCHECK(i == 0 || ElemBin(elems[i - 1]) < bin);
+    values_.push_back(bin_values[bin]);
+    uint32_t* counts = &class_counts_[(values_.size() - 1) * num_classes];
+    uint32_t total = 0;
+    while (i < n && ElemBin(elems[i]) == bin) {
+      const ClassId c = ElemLabel(elems[i]);
+      POPP_DCHECK(c >= 0 && static_cast<size_t>(c) < num_classes);
+      counts[c]++;
+      ++total;
+      ++i;
+    }
+    totals_.push_back(total);
+  }
+}
+
+void AttributeSummary::AssignDifference(const AttributeSummary& full,
+                                        const AttributeSummary& part) {
+  POPP_DCHECK(full.num_classes_ == part.num_classes_);
+  const size_t k = full.num_classes_;
+  values_.clear();
+  totals_.clear();
+  class_counts_.clear();
+  num_classes_ = k;
+  num_tuples_ = full.num_tuples_ - part.num_tuples_;
+  size_t j = 0;  // merge cursor into part (its values are a subsequence)
+  for (size_t i = 0; i < full.values_.size(); ++i) {
+    const AttrValue v = full.values_[i];
+    const uint32_t* fc = &full.class_counts_[i * k];
+    if (j < part.values_.size() && part.values_[j] == v) {
+      const uint32_t total = full.totals_[i] - part.totals_[j];
+      const uint32_t* pc = &part.class_counts_[j * k];
+      ++j;
+      if (total == 0) continue;  // value fully consumed by `part`
+      values_.push_back(v);
+      totals_.push_back(total);
+      const size_t base = class_counts_.size();
+      class_counts_.resize(base + k);
+      for (size_t c = 0; c < k; ++c) class_counts_[base + c] = fc[c] - pc[c];
+    } else {
+      values_.push_back(v);
+      totals_.push_back(full.totals_[i]);
+      class_counts_.insert(class_counts_.end(), fc, fc + k);
+    }
+  }
+  POPP_DCHECK(j == part.values_.size());
+}
+
+void AttributeSummary::AssignRange(const AttributeSummary& full, size_t begin,
+                                   size_t end) {
+  POPP_DCHECK(begin < end && end <= full.values_.size());
+  const size_t k = full.num_classes_;
+  num_classes_ = k;
+  values_.assign(full.values_.begin() + begin, full.values_.begin() + end);
+  totals_.assign(full.totals_.begin() + begin, full.totals_.begin() + end);
+  class_counts_.assign(full.class_counts_.begin() + begin * k,
+                       full.class_counts_.begin() + end * k);
+  num_tuples_ = 0;
+  for (const uint32_t t : totals_) num_tuples_ += t;
 }
 
 AttributeSummary AttributeSummary::FromDistinctCounts(

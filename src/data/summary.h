@@ -35,6 +35,42 @@ class AttributeSummary {
   static AttributeSummary FromSortedTuples(const std::vector<ValueLabel>& tuples,
                                            size_t num_classes);
 
+  /// Rebuilds this summary in place from a value-sorted, bin-coded element
+  /// slice: elems[i] is a packed (bin, row, label) word (data/binned_elem.h)
+  /// whose bin is the dense rank of the i-th tuple's value (ascending,
+  /// equal values share a code), and bin_values maps codes back to exact
+  /// values. Produces exactly what FromTuples would on the raw pairs, but
+  /// in one branch-light linear scan with all vector capacity reused — the
+  /// frontier builder calls this once per (node, attribute) with a
+  /// per-worker scratch summary.
+  void AssignFromBinnedSlice(const uint64_t* elems, size_t n,
+                             const AttrValue* bin_values, size_t num_classes);
+
+  /// Rebuilds this summary in place as the exact difference `full - part`:
+  /// the summary of the tuple multiset left when `part`'s tuples are
+  /// removed from `full`'s. `part` must be a sub-multiset of `full` whose
+  /// values are (bit-for-bit) drawn from `full`'s value table — the
+  /// frontier builder guarantees this, since both children of a split
+  /// share the parent's bin table. All arithmetic is integer subtraction
+  /// on stored counts; values whose count reaches zero are dropped, so the
+  /// result is field-for-field identical to summarizing the remaining
+  /// tuples directly. This is what lets the builder scan only the smaller
+  /// child of each split and derive the larger sibling's summary in
+  /// O(parent distinct * classes) instead of O(sibling rows).
+  void AssignDifference(const AttributeSummary& full,
+                        const AttributeSummary& part);
+
+  /// Rebuilds this summary in place as the value-index range [begin, end)
+  /// of `full` — pure copies of the stored values, totals and class
+  /// counts, no arithmetic. A binary split is a boundary over the parent's
+  /// distinct values, so on the SPLIT attribute each child's summary is
+  /// exactly such a range of the parent's ([0, boundary) left,
+  /// [boundary, n) right — a split never divides a value), and the
+  /// builder uses this instead of a rescan or subtraction there. The
+  /// result is field-for-field identical to summarizing the child's
+  /// tuples directly. Requires begin < end <= NumDistinct().
+  void AssignRange(const AttributeSummary& full, size_t begin, size_t end);
+
   /// Builds a summary directly from domain-level state: strictly increasing
   /// distinct values and a row-major [value x class] count matrix
   /// (`class_counts.size() == values.size() * num_classes`). This is the
@@ -61,6 +97,13 @@ class AttributeSummary {
 
   /// Number of tuples with the i-th distinct value and class `c`.
   uint32_t ClassCountAt(size_t i, ClassId c) const;
+
+  /// The i-th value's class-count row, NumClasses() entries (the flat
+  /// storage behind ClassCountAt — lets the split scan's inner loops read
+  /// one value's counts without re-deriving the row offset per class).
+  const uint32_t* ClassCountsRow(size_t i) const {
+    return &class_counts_[i * num_classes_];
+  }
 
   /// True iff all tuples carrying the i-th value share one class label
   /// (Definition 9: a *monochromatic* value).

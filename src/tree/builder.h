@@ -63,17 +63,42 @@ struct BuildOptions {
   };
   CandidateMode candidate_mode = CandidateMode::kRunBoundaries;
 
-  /// Internal search strategy; both produce bit-identical trees.
+  /// Internal search strategy; all three produce bit-identical trees.
   enum class Algorithm {
     /// Sort the node's tuples per attribute at every node. Simple; the
     /// reference implementation.
     kResort,
-    /// Sort each attribute once at the root and partition the sorted
-    /// lists at each split (classic C4.5 engineering). O(m n) per level
-    /// instead of O(m n log n) — the choice for covertype-scale data.
+    /// Depth-first recursion over per-node sorted row lists (one stable
+    /// sort per attribute at the root, lists partitioned at each split).
+    /// O(m n) per level but allocates fresh row vectors per node; kept as
+    /// the pre-frontier engine for equivalence tests and as the baseline
+    /// the scaling benchmark measures against.
     kPresorted,
+    /// Breadth-first frontier over SoA columnar node partitions: one
+    /// stable sort + bin coding per attribute up front, then per level a
+    /// parallel (node × attribute) split scan and a ping-pong stable
+    /// repartition of the index views (SLIQ/LightGBM-style); child class
+    /// histograms fall out of the mark pass, never from a rescan.
+    /// Allocation-free per node, parallelizes across the whole frontier,
+    /// and emits the finished tree in the recursive builders' exact
+    /// post-order — the default.
+    kFrontier,
   };
-  Algorithm algorithm = Algorithm::kPresorted;
+  Algorithm algorithm = Algorithm::kFrontier;
+};
+
+/// Wall-clock breakdown of one frontier build (seconds per stage), filled
+/// by Build(data, &stats) when the algorithm is kFrontier (the recursive
+/// engines leave it zeroed). The scan stage is the histogram/split search;
+/// partition covers row marking plus the columnar repartition.
+struct BuildStats {
+  double sort_s = 0;       ///< root presort + bin coding
+  double scan_s = 0;       ///< leaf gate + per-attribute split scans
+  double partition_s = 0;  ///< side marking + ping-pong view repartition
+  double subtree_s = 0;    ///< depth-first solving of sub-cutover subtrees
+  double emit_s = 0;       ///< post-order arena emission
+  size_t levels = 0;       ///< frontier iterations of the upper tree
+  size_t nodes = 0;        ///< nodes emitted (leaves + internal)
 };
 
 /// The outcome of searching one node for its best binary split.
@@ -99,11 +124,15 @@ struct SplitDecision {
 
 /// Builds decision trees from datasets.
 ///
-/// With a non-serial ExecPolicy the candidate-split search evaluates
-/// attributes on a thread pool; each attribute produces a local best that
-/// is merged serially in attribute order, which reproduces the serial
-/// scan's tie-breaking exactly, so the induced tree is bit-identical to
-/// serial execution at every thread count.
+/// With a non-serial ExecPolicy the work units run on a thread pool: the
+/// frontier engine parallelizes over every (open node × attribute) pair of
+/// a level, the recursive engines over the attributes of one node. In all
+/// cases each work unit writes an index-addressed local result and all
+/// combining — the cross-attribute best-split merge, the level's child
+/// scheduling, the final post-order emission — happens serially in index
+/// order, which reproduces the serial scan's tie-breaking exactly, so the
+/// induced tree is bit-identical to serial execution at every thread
+/// count (see DESIGN.md, "Parallel tree-build contract").
 class DecisionTreeBuilder {
  public:
   explicit DecisionTreeBuilder(BuildOptions options = {},
@@ -115,6 +144,10 @@ class DecisionTreeBuilder {
 
   /// Induces a tree from all rows of `data`. Requires NumRows() > 0.
   DecisionTree Build(const Dataset& data) const;
+
+  /// As Build(data), additionally reporting the per-stage wall-clock
+  /// breakdown (kFrontier only; see BuildStats). `stats` may be null.
+  DecisionTree Build(const Dataset& data, BuildStats* stats) const;
 
   /// Searches the best split of the subset `rows` of `data`.
   /// Exposed for tests of Lemma 2 / Theorem 1.
@@ -132,9 +165,14 @@ class DecisionTreeBuilder {
                             std::vector<std::vector<size_t>>& columns,
                             size_t depth, DecisionTree& tree,
                             ThreadPool* pool) const;
+  void BuildFrontier(const Dataset& data, ThreadPool* pool,
+                     DecisionTree& tree, BuildStats* stats) const;
   void ScanAttribute(size_t attr, const AttributeSummary& summary,
                      const std::vector<uint64_t>& parent_hist,
-                     SplitDecision& best, double& best_canon_pos) const;
+                     SplitDecision& best) const;
+  void ScanAttributeReference(size_t attr, const AttributeSummary& summary,
+                              const std::vector<uint64_t>& parent_hist,
+                              SplitDecision& best) const;
 
   BuildOptions options_;
   ExecPolicy exec_;

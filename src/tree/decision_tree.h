@@ -65,6 +65,11 @@ class DecisionTree {
 
   DecisionTree() = default;
 
+  /// Pre-sizes the node arena for `n` nodes (capacity only; ids and
+  /// contents are unaffected). Builders that know the final node count
+  /// call this before emitting.
+  void Reserve(size_t n) { nodes_.reserve(n); }
+
   /// Creates a leaf node; returns its id.
   NodeId AddLeaf(ClassId label, std::vector<uint64_t> class_hist = {});
 

@@ -1,0 +1,269 @@
+#include "tree/frontier.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <limits>
+#include <utility>
+
+#include "parallel/parallel_for.h"
+#include "util/status.h"
+
+namespace popp {
+namespace {
+
+/// One entry of the presort: the order-preserving bit image of the value
+/// plus the row id and class label that ride along. The label occupies
+/// what would otherwise be alignment padding — the struct is 16 bytes
+/// either way — and carrying it through the sort makes the bin-coding
+/// pass fully sequential (the row-indexed label gather it replaces was
+/// the pass's only random access).
+struct KeyRow {
+  uint64_t key;
+  uint32_t row;
+  uint32_t label;
+};
+
+/// Maps a double to a uint64 whose unsigned order equals the double's
+/// total order (negatives bit-flipped, positives sign-flipped). Equal
+/// doubles map to equal keys except -0.0 / +0.0, which compare equal as
+/// doubles but get distinct adjacent keys — harmless, because bin coding
+/// groups by double equality afterwards and both zeros land in one bin.
+uint64_t OrderedBits(AttrValue v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  const uint64_t sign = 1ull << 63;
+  return (bits & sign) ? ~bits : (bits | sign);
+}
+
+/// Exact inverse of OrderedBits (it is a bijection on bit patterns), so
+/// the bin-coding pass can recover each value from the sort key it
+/// already holds instead of gathering col[row] — the recovered double is
+/// the original, bit for bit.
+AttrValue InverseOrderedBits(uint64_t key) {
+  const uint64_t sign = 1ull << 63;
+  const uint64_t bits = (key & sign) ? (key ^ sign) : ~key;
+  AttrValue v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+/// LSD radix sort of (key, row) entries by key, 16 bits per digit. Stable,
+/// so with the input in ascending row order equal keys keep ascending
+/// rows — exactly the stable value sort the views require. All four digit
+/// histograms are taken in one read pass, and a pass whose digit is
+/// constant across the input is skipped outright: integer-valued
+/// attributes zero out the mantissa's low bits, making two passes the
+/// common case. `tmp` is resized to match and used as the ping-pong
+/// buffer.
+void RadixSortByKey(std::vector<KeyRow>& entries, std::vector<KeyRow>& tmp) {
+  const size_t n = entries.size();
+  if (n < 2) return;
+  tmp.resize(n);
+  std::vector<uint32_t> hist(4 * 65536, 0);
+  for (const KeyRow& e : entries) {
+    ++hist[e.key & 0xFFFF];
+    ++hist[65536 + ((e.key >> 16) & 0xFFFF)];
+    ++hist[2 * 65536 + ((e.key >> 32) & 0xFFFF)];
+    ++hist[3 * 65536 + (e.key >> 48)];
+  }
+  KeyRow* src = entries.data();
+  KeyRow* dst = tmp.data();
+  for (int pass = 0; pass < 4; ++pass) {
+    uint32_t* h = &hist[static_cast<size_t>(pass) * 65536];
+    // The histogram is an order-free property of the input, so any
+    // element's digit tells whether this digit is constant.
+    const uint32_t probe =
+        static_cast<uint32_t>((src[0].key >> (16 * pass)) & 0xFFFF);
+    if (h[probe] == n) continue;
+    uint32_t sum = 0;
+    for (size_t d = 0; d < 65536; ++d) {
+      const uint32_t count = h[d];
+      h[d] = sum;
+      sum += count;
+    }
+    for (size_t i = 0; i < n; ++i) {
+      const uint32_t d =
+          static_cast<uint32_t>((src[i].key >> (16 * pass)) & 0xFFFF);
+      dst[h[d]++] = src[i];
+    }
+    std::swap(src, dst);
+  }
+  if (src != entries.data()) {
+    std::memcpy(entries.data(), src, n * sizeof(KeyRow));
+  }
+}
+
+/// Per-thread scratch of Init's per-attribute tasks. The two KeyRow
+/// buffers are 16 bytes per row each; reusing them across attributes
+/// (and across builds on the same pool threads) keeps the hot path free
+/// of large fresh allocations and their first-touch page faults.
+struct InitScratch {
+  std::vector<KeyRow> order;
+  std::vector<KeyRow> tmp;
+};
+
+InitScratch& LocalInitScratch() {
+  thread_local InitScratch scratch;
+  return scratch;
+}
+
+}  // namespace
+
+void ColumnarPartitions::Init(const Dataset& data, ThreadPool* pool) {
+  const size_t n = data.NumRows();
+  POPP_CHECK_MSG(n < std::numeric_limits<uint32_t>::max(),
+                 "ColumnarPartitions: row count " << n
+                                                  << " exceeds 32-bit ids");
+  POPP_CHECK_MSG(data.NumClasses() <= (1u << kElemLabelBits),
+                 "ColumnarPartitions: " << data.NumClasses()
+                                        << " classes exceed the packed "
+                                           "element's 8-bit label");
+  num_rows_ = n;
+  num_classes_ = data.NumClasses();
+  attrs_.assign(data.NumAttributes(), {});
+  side_.assign((n + 63) / 64, 0);
+
+  // Each attribute's view is a pure function of its column (plus the
+  // labels), so the per-attribute tasks are index-addressed.
+  ParallelFor(pool, attrs_.size(), [&](size_t attr) {
+    AttributeView& view = attrs_[attr];
+    const auto& col = data.Column(attr);
+    InitScratch& sc = LocalInitScratch();
+    std::vector<KeyRow>& order = sc.order;
+    order.resize(n);  // every entry is overwritten below
+    for (size_t r = 0; r < n; ++r) {
+      order[r] = KeyRow{OrderedBits(col[r]), static_cast<uint32_t>(r),
+                        static_cast<uint32_t>(data.Label(r))};
+    }
+    RadixSortByKey(order, sc.tmp);
+
+    view.elems.resize(n);
+    view.next_elems.resize(n);
+    // Bin coding off the sorted entries alone — value decoded from the
+    // key, label carried through the sort — so the pass streams one
+    // array. Grouping compares decoded doubles, not keys: -0.0 and +0.0
+    // have distinct adjacent keys but are equal doubles, and must share
+    // a bin.
+    uint64_t bin = 0;
+    for (size_t i = 0; i < n; ++i) {
+      const AttrValue v = InverseOrderedBits(order[i].key);
+      if (i == 0) {
+        view.bin_values.push_back(v);
+      } else if (v != view.bin_values.back()) {
+        view.bin_values.push_back(v);
+        ++bin;
+      }
+      view.elems[i] = PackElem(bin, order[i].row,
+                               static_cast<ClassId>(order[i].label));
+    }
+    POPP_CHECK_MSG(view.bin_values.size() <= (1ull << kElemBinBits),
+                   "ColumnarPartitions: attribute "
+                       << attr << " has " << view.bin_values.size()
+                       << " distinct values, exceeding the packed "
+                          "element's 24-bit bin");
+  });
+}
+
+void ColumnarPartitions::NodeHistogram(const NodeSlice& slice,
+                                       std::vector<uint64_t>& hist) const {
+  POPP_DCHECK(!attrs_.empty());
+  POPP_DCHECK(slice.end <= num_rows_ && slice.begin <= slice.end);
+  hist.assign(num_classes_, 0);
+  const uint64_t* elems = attrs_[0].elems.data();
+  for (size_t i = slice.begin; i < slice.end; ++i) {
+    hist[static_cast<size_t>(ElemLabel(elems[i]))]++;
+  }
+}
+
+void ColumnarPartitions::NodeSummary(size_t attr, const NodeSlice& slice,
+                                     AttributeSummary& out) const {
+  POPP_DCHECK(attr < attrs_.size());
+  POPP_DCHECK(slice.end <= num_rows_ && slice.begin <= slice.end);
+  const AttributeView& view = attrs_[attr];
+  out.AssignFromBinnedSlice(view.elems.data() + slice.begin, slice.size(),
+                            view.bin_values.data(), num_classes_);
+}
+
+ColumnarPartitions::MarkResult ColumnarPartitions::MarkSideRows(
+    size_t attr, const NodeSlice& slice, AttrValue left_max,
+    std::vector<uint64_t>& hist) {
+  POPP_DCHECK(attr < attrs_.size());
+  AttributeView& view = attrs_[attr];
+  // First bin whose value exceeds left_max; rows of this node with a
+  // smaller bin go left — the same `value <= left_max` routing the
+  // depth-first builder applied per row, decided on exact doubles. The
+  // packed layout puts the bin in the top bits, so the boundary position
+  // is one binary search over the packed integers themselves.
+  const uint64_t boundary_bin = static_cast<uint64_t>(
+      std::upper_bound(view.bin_values.begin(), view.bin_values.end(),
+                       left_max) -
+      view.bin_values.begin());
+  const uint64_t* elems = view.elems.data();
+  const size_t split = static_cast<size_t>(
+      std::lower_bound(elems + slice.begin, elems + slice.end,
+                       boundary_bin << kElemBinShift) -
+      elems);
+  MarkResult result;
+  result.left_n = split - slice.begin;
+  result.marked_left = result.left_n <= slice.end - split;
+  const size_t mark_begin = result.marked_left ? slice.begin : split;
+  const size_t mark_end = result.marked_left ? split : slice.end;
+  hist.assign(num_classes_, 0);
+  for (size_t i = mark_begin; i < mark_end; ++i) {
+    const uint64_t e = elems[i];
+    const uint32_t r = ElemRow(e);
+    // Nodes marked in parallel own disjoint rows but can share a mask
+    // word; a relaxed atomic OR keeps the bit-sets race-free (the level's
+    // mark/repartition barrier provides the ordering).
+    std::atomic_ref<uint64_t>(side_[r >> 6])
+        .fetch_or(1ull << (r & 63), std::memory_order_relaxed);
+    hist[static_cast<size_t>(ElemLabel(e))]++;
+  }
+  return result;
+}
+
+void ColumnarPartitions::ResetSideMask() {
+  std::fill(side_.begin(), side_.end(), 0ull);
+}
+
+size_t ColumnarPartitions::Repartition(size_t attr, const NodeSlice& slice,
+                                       size_t left_n, bool marked_left) {
+  POPP_DCHECK(attr < attrs_.size());
+  AttributeView& view = attrs_[attr];
+  const uint64_t* elems = view.elems.data();
+  uint64_t* out = view.next_elems.data();
+  // Two write cursors into the back buffer: the left stream starts at the
+  // slice head, the right stream at the left count MarkSideRows returned.
+  // A marked row goes left iff the marked side was the left one — mask
+  // byte XOR the flip selects the cursor with no data-dependent branch.
+  const uint64_t* side = side_.data();
+  size_t cursor[2] = {slice.begin, slice.begin + left_n};
+  const size_t flip = marked_left ? 1 : 0;
+  for (size_t i = slice.begin; i < slice.end; ++i) {
+    const uint64_t e = elems[i];
+    const uint32_t r = ElemRow(e);
+    const size_t marked = (side[r >> 6] >> (r & 63)) & 1;
+    out[cursor[marked ^ flip]++] = e;
+  }
+  POPP_CHECK_MSG(cursor[0] == slice.begin + left_n && cursor[1] == slice.end,
+                 "Repartition: side mask disagrees with the left count");
+  return left_n;
+}
+
+void ColumnarPartitions::CopySlice(size_t attr, const NodeSlice& slice) {
+  POPP_DCHECK(attr < attrs_.size());
+  AttributeView& view = attrs_[attr];
+  if (slice.empty()) return;
+  std::memcpy(view.next_elems.data() + slice.begin,
+              view.elems.data() + slice.begin,
+              slice.size() * sizeof(uint64_t));
+}
+
+void ColumnarPartitions::FinishLevel() {
+  for (AttributeView& view : attrs_) {
+    view.elems.swap(view.next_elems);
+  }
+}
+
+}  // namespace popp

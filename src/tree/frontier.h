@@ -1,0 +1,202 @@
+#ifndef POPP_TREE_FRONTIER_H_
+#define POPP_TREE_FRONTIER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "data/binned_elem.h"
+#include "data/dataset.h"
+#include "data/summary.h"
+#include "data/value.h"
+
+/// \file
+/// Columnar node partitions for the breadth-first tree builder.
+///
+/// The builder's unit of state is one *index view* per attribute: the row
+/// ids of the dataset, sorted by that attribute's value exactly once, up
+/// front. Every open node of the frontier owns the same half-open slice
+/// [begin, end) of all views; a split stably repartitions each view's
+/// slice (left child first), so children are again contiguous slices and
+/// no per-node row vectors are ever allocated. This is the SLIQ/LightGBM
+/// -style layout: O(m·n) per level, allocation-free after Init, and every
+/// per-node scan reads sequential memory.
+///
+/// Each view entry is one packed uint64 (see data/binned_elem.h) carrying
+/// the row's *bin code* — the dense rank of its value in the attribute's
+/// global active domain — plus the row id and class label, so per-node
+/// scans compare/index small integers through a single stream instead of
+/// gathering doubles through two indirections. Binning is
+/// order-isomorphic and exact (`BinValue(attr, bin)` is the original
+/// double, bit for bit), so every quantity the split search looks at —
+/// distinct values, per-value class counts, boundary values — is
+/// identical to what a per-node sort of the raw tuples would produce.
+///
+/// Repartitioning ping-pongs between two equally sized buffers per
+/// attribute: each level's splitting slices are partitioned (or, for the
+/// split attribute itself, copied — it is already partitioned by
+/// sortedness) from the front buffer into the back buffer, and
+/// FinishLevel() swaps the two. This keeps every pass a straight
+/// read-once/write-once stream — no in-place compaction, no copy-back.
+/// Slices of nodes that became leaves are simply never copied; their
+/// region of the back buffer is dead and no later slice reads it.
+
+namespace popp {
+
+class ThreadPool;
+
+/// Half-open row range [begin, end) into every attribute's index view; the
+/// work unit of the breadth-first frontier (all views of one node cover
+/// the same row *set*, each in its own value order).
+struct NodeSlice {
+  size_t begin = 0;
+  size_t end = 0;
+
+  size_t size() const { return end - begin; }
+  bool empty() const { return begin == end; }
+};
+
+/// Columnar node partitions: per-attribute packed (bin, row, label)
+/// elements sorted by value once at Init and repartitioned level by level.
+/// Concurrency contract: after Init, distinct (node, attribute) pairs may
+/// be processed in parallel — MarkSideRows touches only its node's rows'
+/// mask bits (relaxed atomic OR, since concurrent nodes may share a mask
+/// word), Repartition/CopySlice write only their own slice of one
+/// attribute's back buffer — as long as ResetSideMask() ran before the
+/// level's marks, the marking and repartitioning phases are separated by a
+/// barrier, and FinishLevel() is called from one thread after the level's
+/// last repartition (the builder's level loop provides all three).
+class ColumnarPartitions {
+ public:
+  /// Builds the per-attribute index views: one (value, row) pair sort per
+  /// attribute (parallel across attributes when `pool` is non-null), then
+  /// a linear walk assigning bin codes and packing the elements. The sort
+  /// is an LSD radix sort over the order-preserving bit image of the
+  /// value, row id as tie-break — it reproduces the stable value sort
+  /// exactly, skips every 16-bit digit that is constant across the column
+  /// (integer-valued attributes zero out the mantissa's low bits, so the
+  /// common case runs two passes, not four), and never touches a
+  /// comparator. Requires NumRows() < 2^32 and NumClasses() <= 256.
+  void Init(const Dataset& data, ThreadPool* pool = nullptr);
+
+  bool empty() const { return attrs_.empty(); }
+  size_t NumRows() const { return num_rows_; }
+  size_t NumAttributes() const { return attrs_.size(); }
+  size_t NumClasses() const { return num_classes_; }
+
+  /// Number of distinct values (bins) of `attr` over the whole dataset.
+  size_t NumBins(size_t attr) const { return attrs_[attr].bin_values.size(); }
+
+  /// The exact attribute value a bin code stands for.
+  AttrValue BinValue(size_t attr, uint32_t bin) const {
+    return attrs_[attr].bin_values[bin];
+  }
+
+  /// Front-buffer element fields, value-sorted (exposed for the unit tests
+  /// of the partition invariants; the builder itself goes through the
+  /// Node* methods).
+  uint32_t RowAt(size_t attr, size_t i) const {
+    return ElemRow(attrs_[attr].elems[i]);
+  }
+  uint32_t BinAt(size_t attr, size_t i) const {
+    return ElemBin(attrs_[attr].elems[i]);
+  }
+  ClassId LabelAt(size_t attr, size_t i) const {
+    return ElemLabel(attrs_[attr].elems[i]);
+  }
+
+  /// Raw front-buffer elements of one attribute (the builder's subtree
+  /// solver copies node slices out of it into thread scratch; all other
+  /// access goes through the Node* methods).
+  const uint64_t* FrontData(size_t attr) const {
+    return attrs_[attr].elems.data();
+  }
+  /// The attribute's bin table: bin code -> exact value, ascending.
+  const AttrValue* BinValues(size_t attr) const {
+    return attrs_[attr].bin_values.data();
+  }
+
+  /// Class histogram of the node (reads attribute 0's label run — every
+  /// view holds the same row multiset). `hist` is assigned, not appended.
+  /// The builder only needs this for the root: child histograms fall out
+  /// of MarkSideRows and parent subtraction.
+  void NodeHistogram(const NodeSlice& slice,
+                     std::vector<uint64_t>& hist) const;
+
+  /// Rebuilds `out` (capacity reused) as the node-local summary of `attr`:
+  /// equal, field for field, to AttributeSummary::FromTuples over the
+  /// node's raw (value, label) pairs.
+  void NodeSummary(size_t attr, const NodeSlice& slice,
+                   AttributeSummary& out) const;
+
+  /// Result of MarkSideRows: the left child's row count, and which side
+  /// the shared row mask was written for (always the smaller one).
+  struct MarkResult {
+    size_t left_n = 0;
+    bool marked_left = false;
+  };
+
+  /// Phase 1 of a split on `attr`: finds the partition point of the
+  /// (already value-sorted) slice routing values <= left_max left, marks
+  /// only the *smaller* side's rows in the shared row mask, and fills
+  /// `hist` with the marked side's class histogram (assigned, not
+  /// appended — the caller derives the other child's histogram by exact
+  /// integer subtraction from the parent's). Marking the minority side
+  /// makes the mask traffic proportional to min(left, right), nearly free
+  /// on the lopsided splits deep trees are made of. Requires
+  /// ResetSideMask() once per level before the level's first mark (marked
+  /// rows are set; everything else must still be clear). Safe to call
+  /// concurrently for nodes with disjoint rows.
+  MarkResult MarkSideRows(size_t attr, const NodeSlice& slice,
+                          AttrValue left_max, std::vector<uint64_t>& hist);
+
+  /// Clears the shared row mask — one linear byte-per-row pass, trivial
+  /// next to the element streams. Call once per level before marking.
+  void ResetSideMask();
+
+  /// Phase 2: stable partition of `attr`'s slice by the mask written by
+  /// MarkSideRows, streamed from the front buffer into the back buffer —
+  /// left rows first, relative order preserved on both sides. `left_n` and
+  /// `marked_left` must come from this node's MarkResult (checked). The
+  /// routing is branch-free: each element's mask byte XOR `marked_left`
+  /// indexes a two-cursor array, so the essentially random side pattern of
+  /// a non-split attribute costs no mispredicted branches. Safe to call
+  /// concurrently for distinct (node, attribute) pairs.
+  size_t Repartition(size_t attr, const NodeSlice& slice, size_t left_n,
+                     bool marked_left);
+
+  /// Phase 2 for the split attribute itself: its slice is already
+  /// partitioned by sortedness, so it is copied to the back buffer
+  /// verbatim (memcpy, no mask reads).
+  void CopySlice(size_t attr, const NodeSlice& slice);
+
+  /// Swaps every attribute's front and back buffers. Call once per level,
+  /// after all Repartition/CopySlice calls have completed and before any
+  /// next-level read.
+  void FinishLevel();
+
+ private:
+  struct AttributeView {
+    /// Packed (bin << 40 | row << 8 | label) entries, value-sorted
+    /// (stable), plus the back buffer the current level's repartition
+    /// streams into.
+    std::vector<uint64_t> elems;
+    std::vector<uint64_t> next_elems;
+    std::vector<AttrValue> bin_values;  ///< bin code -> exact value
+  };
+
+  size_t num_rows_ = 0;
+  size_t num_classes_ = 0;
+  std::vector<AttributeView> attrs_;
+  /// Packed row bitmask: bit r set iff row r is on this level's marked
+  /// side. One bit per row keeps the whole mask L2-resident at a million
+  /// rows (128 KB where a byte mask is 1 MB), which matters because
+  /// Repartition probes it once per element in row order — effectively at
+  /// random. Distinct nodes own distinct rows but share mask words, so
+  /// MarkSideRows sets bits with relaxed atomic OR.
+  std::vector<uint64_t> side_;
+};
+
+}  // namespace popp
+
+#endif  // POPP_TREE_FRONTIER_H_

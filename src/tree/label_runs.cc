@@ -50,18 +50,35 @@ std::vector<ClassId> Reversed(std::vector<ClassId> s) {
 
 std::vector<size_t> RunBoundaryCandidates(const AttributeSummary& summary) {
   std::vector<size_t> candidates;
+  AppendRunBoundaryCandidates(summary, candidates);
+  return candidates;
+}
+
+void AppendRunBoundaryCandidates(const AttributeSummary& summary,
+                                 std::vector<size_t>& out) {
+  out.clear();
   const size_t n = summary.NumDistinct();
+  ClassId before = n > 0 ? summary.MonoClassAt(0) : kNoClass;
   for (size_t b = 1; b < n; ++b) {
-    const ClassId before = summary.MonoClassAt(b - 1);
     const ClassId after = summary.MonoClassAt(b);
     // If either neighboring value mixes classes, the boundary coincides
     // with a run boundary under some canonical tie order; if both are
     // pure, it is a run boundary iff their classes differ.
     if (before == kNoClass || after == kNoClass || before != after) {
-      candidates.push_back(b);
+      out.push_back(b);
     }
+    before = after;
   }
-  return candidates;
+}
+
+void AppendMonoClasses(const AttributeSummary& summary,
+                       std::vector<ClassId>& out) {
+  const size_t n = summary.NumDistinct();
+  out.clear();
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(summary.MonoClassAt(i));
+  }
 }
 
 }  // namespace popp

@@ -57,6 +57,21 @@ std::vector<ClassId> Reversed(std::vector<ClassId> s);
 /// the two values' (single) classes differ.
 std::vector<size_t> RunBoundaryCandidates(const AttributeSummary& summary);
 
+/// Allocation-free variant: clears `out` and fills it with the same
+/// candidates RunBoundaryCandidates returns, reusing `out`'s capacity. The
+/// frontier builder's split scan calls this once per (node, attribute)
+/// with a per-worker buffer.
+void AppendRunBoundaryCandidates(const AttributeSummary& summary,
+                                 std::vector<size_t>& out);
+
+/// Per-value monochromatic classes of `summary` in one pass: out[i] is
+/// MonoClassAt(i) (kNoClass for mixed values). Clears and reuses `out`.
+/// Precomputing this turns the builder's block/candidate scans — which
+/// consult the mono class of both neighbors of every boundary — from
+/// O(distinct · classes) histogram walks into flat array reads.
+void AppendMonoClasses(const AttributeSummary& summary,
+                       std::vector<ClassId>& out);
+
 }  // namespace popp
 
 #endif  // POPP_TREE_LABEL_RUNS_H_

@@ -1,9 +1,15 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
+#include "data/binned_elem.h"
 #include "data/summary.h"
+#include "synth/covtype_like.h"
 #include "synth/presets.h"
 #include "tree/criterion.h"
 #include "tree/label_runs.h"
+#include "util/rng.h"
 
 namespace popp {
 namespace {
@@ -159,6 +165,131 @@ TEST(RunBoundaryTest, AllBoundariesWhenAlternating) {
   for (int v = 0; v < 6; ++v) d.AddRow({static_cast<double>(v)}, v % 2);
   const auto s = AttributeSummary::FromDataset(d, 0);
   EXPECT_EQ(RunBoundaryCandidates(s).size(), 5u);
+}
+
+TEST(RunBoundaryTest, AppendVariantMatchesAndReusesTheBuffer) {
+  // The allocation-free variant must clear its buffer and reproduce
+  // RunBoundaryCandidates exactly, across summaries of different shapes.
+  Rng rng(17);
+  const Dataset d = GenerateCovtypeLike(SmallCovtypeSpec(250), rng);
+  std::vector<size_t> out{99, 98, 97};  // stale content must vanish
+  for (size_t attr = 0; attr < d.NumAttributes(); ++attr) {
+    const auto s = AttributeSummary::FromDataset(d, attr);
+    AppendRunBoundaryCandidates(s, out);
+    EXPECT_EQ(out, RunBoundaryCandidates(s)) << "attribute " << attr;
+  }
+}
+
+TEST(RunBoundaryTest, AppendMonoClassesMatchesMonoClassAt) {
+  Dataset d({"x"}, {"a", "b"});
+  d.AddRow({1}, 0);
+  d.AddRow({2}, 0);
+  d.AddRow({2}, 1);  // mixed value
+  d.AddRow({3}, 1);
+  const auto s = AttributeSummary::FromDataset(d, 0);
+  std::vector<ClassId> mono{7};  // stale content must vanish
+  AppendMonoClasses(s, mono);
+  ASSERT_EQ(mono.size(), s.NumDistinct());
+  EXPECT_EQ(mono, (std::vector<ClassId>{0, kNoClass, 1}));
+  for (size_t i = 0; i < mono.size(); ++i) {
+    EXPECT_EQ(mono[i], s.MonoClassAt(i)) << "value " << i;
+  }
+}
+
+// ------------------------------------------- binned-slice summary path --
+
+TEST(BinnedSliceTest, AssignFromBinnedSliceMatchesFromTuples) {
+  // Property: bin-coding a sorted tuple sequence and rebuilding through
+  // AssignFromBinnedSlice reproduces FromTuples field for field. This is
+  // the equivalence the frontier builder's bit-identity rests on.
+  Rng rng(23);
+  const Dataset d = GenerateCovtypeLike(SmallCovtypeSpec(200), rng);
+  for (size_t attr = 0; attr < d.NumAttributes(); ++attr) {
+    std::vector<ValueLabel> tuples;
+    const auto& col = d.Column(attr);
+    for (size_t r = 0; r < d.NumRows(); ++r) {
+      tuples.push_back(ValueLabel{col[r], d.Label(r)});
+    }
+    std::sort(tuples.begin(), tuples.end(), ValueLabelLess());
+    // Bin-code: dense rank per distinct value, exact value table, packed
+    // into the frontier's (bin, row, label) element words.
+    std::vector<uint64_t> elems;
+    std::vector<AttrValue> bin_values;
+    for (const ValueLabel& t : tuples) {
+      if (bin_values.empty() || bin_values.back() != t.value) {
+        bin_values.push_back(t.value);
+      }
+      elems.push_back(PackElem(bin_values.size() - 1,
+                               static_cast<uint32_t>(elems.size()), t.label));
+    }
+    const auto expected =
+        AttributeSummary::FromSortedTuples(tuples, d.NumClasses());
+    AttributeSummary got;
+    got.AssignFromBinnedSlice(elems.data(), elems.size(), bin_values.data(),
+                              d.NumClasses());
+    ASSERT_EQ(got.NumDistinct(), expected.NumDistinct()) << "attr " << attr;
+    EXPECT_EQ(got.NumTuples(), expected.NumTuples());
+    for (size_t i = 0; i < expected.NumDistinct(); ++i) {
+      EXPECT_EQ(got.ValueAt(i), expected.ValueAt(i));
+      EXPECT_EQ(got.CountAt(i), expected.CountAt(i));
+      for (size_t c = 0; c < expected.NumClasses(); ++c) {
+        EXPECT_EQ(got.ClassCountAt(i, static_cast<ClassId>(c)),
+                  expected.ClassCountAt(i, static_cast<ClassId>(c)));
+      }
+    }
+    // Rebuilding into the same object must fully overwrite, not append.
+    got.AssignFromBinnedSlice(elems.data(), elems.size(), bin_values.data(),
+                              d.NumClasses());
+    EXPECT_EQ(got.NumDistinct(), expected.NumDistinct());
+    EXPECT_EQ(got.NumTuples(), expected.NumTuples());
+  }
+}
+
+TEST(BinnedSliceTest, AssignDifferenceMatchesDirectSummaryOfRemainder) {
+  // Property: (full - part) computed by integer subtraction is, field for
+  // field, the summary FromTuples would build over the remaining tuples —
+  // the equivalence that lets the frontier builder scan only the smaller
+  // child of a split and derive the sibling.
+  Rng rng(31);
+  const Dataset d = GenerateCovtypeLike(SmallCovtypeSpec(200), rng);
+  for (size_t attr = 0; attr < d.NumAttributes(); ++attr) {
+    std::vector<ValueLabel> all;
+    const auto& col = d.Column(attr);
+    for (size_t r = 0; r < d.NumRows(); ++r) {
+      all.push_back(ValueLabel{col[r], d.Label(r)});
+    }
+    // Deterministic pseudo-random subset as the removed side.
+    std::vector<ValueLabel> removed;
+    std::vector<ValueLabel> rest;
+    for (size_t r = 0; r < all.size(); ++r) {
+      ((r * 2654435761u) % 3 == 0 ? removed : rest).push_back(all[r]);
+    }
+    const auto full = AttributeSummary::FromTuples(all, d.NumClasses());
+    const auto part = AttributeSummary::FromTuples(removed, d.NumClasses());
+    const auto expected = AttributeSummary::FromTuples(rest, d.NumClasses());
+    AttributeSummary got;
+    got.AssignDifference(full, part);
+    ASSERT_EQ(got.NumDistinct(), expected.NumDistinct()) << "attr " << attr;
+    EXPECT_EQ(got.NumTuples(), expected.NumTuples());
+    for (size_t i = 0; i < expected.NumDistinct(); ++i) {
+      EXPECT_EQ(got.ValueAt(i), expected.ValueAt(i));
+      EXPECT_EQ(got.CountAt(i), expected.CountAt(i));
+      for (size_t c = 0; c < expected.NumClasses(); ++c) {
+        EXPECT_EQ(got.ClassCountAt(i, static_cast<ClassId>(c)),
+                  expected.ClassCountAt(i, static_cast<ClassId>(c)));
+      }
+    }
+    // Edges: subtracting nothing reproduces `full`; subtracting
+    // everything leaves the empty summary. Reuses `got` in place.
+    const AttributeSummary none =
+        AttributeSummary::FromTuples({}, d.NumClasses());
+    got.AssignDifference(full, none);
+    EXPECT_EQ(got.NumDistinct(), full.NumDistinct());
+    EXPECT_EQ(got.NumTuples(), full.NumTuples());
+    got.AssignDifference(full, full);
+    EXPECT_EQ(got.NumDistinct(), 0u);
+    EXPECT_EQ(got.NumTuples(), 0u);
+  }
 }
 
 }  // namespace

@@ -216,10 +216,11 @@ TEST(ParallelEqualityTest, CustodianPipelineIsBitIdentical) {
   }
 }
 
-TEST(ParallelEqualityTest, TreeBuildIsBitIdenticalForBothAlgorithms) {
+TEST(ParallelEqualityTest, TreeBuildIsBitIdenticalForAllAlgorithms) {
   const Dataset data = TestData(3000, 3);
   for (auto algorithm : {BuildOptions::Algorithm::kPresorted,
-                         BuildOptions::Algorithm::kResort}) {
+                         BuildOptions::Algorithm::kResort,
+                         BuildOptions::Algorithm::kFrontier}) {
     BuildOptions options;
     options.algorithm = algorithm;
     const DecisionTree serial = DecisionTreeBuilder(options).Build(data);

@@ -226,7 +226,7 @@ TEST(BuilderTest, FindBestSplitNoneOnConstantAttribute) {
   EXPECT_FALSE(split.found);
 }
 
-TEST(BuilderTest, PresortedAndResortAlgorithmsAgreeBitForBit) {
+TEST(BuilderTest, AllAlgorithmsAgreeBitForBit) {
   for (uint64_t seed : {1u, 5u, 9u}) {
     Rng rng(seed);
     const Dataset d = GenerateCovtypeLike(SmallCovtypeSpec(1200), rng);
@@ -235,19 +235,21 @@ TEST(BuilderTest, PresortedAndResortAlgorithmsAgreeBitForBit) {
       BuildOptions resort;
       resort.algorithm = BuildOptions::Algorithm::kResort;
       resort.criterion = criterion;
-      BuildOptions presorted;
-      presorted.algorithm = BuildOptions::Algorithm::kPresorted;
-      presorted.criterion = criterion;
       const DecisionTree a = DecisionTreeBuilder(resort).Build(d);
-      const DecisionTree b = DecisionTreeBuilder(presorted).Build(d);
-      EXPECT_TRUE(ExactlyEqual(a, b))
-          << ToString(criterion) << " seed " << seed << ": "
-          << DescribeDifference(a, b);
+      for (auto algorithm : {BuildOptions::Algorithm::kPresorted,
+                             BuildOptions::Algorithm::kFrontier}) {
+        BuildOptions other = resort;
+        other.algorithm = algorithm;
+        const DecisionTree b = DecisionTreeBuilder(other).Build(d);
+        EXPECT_TRUE(ExactlyEqual(a, b))
+            << ToString(criterion) << " seed " << seed << ": "
+            << DescribeDifference(a, b);
+      }
     }
   }
 }
 
-TEST(BuilderTest, PresortedAgreesUnderDepthAndLeafLimits) {
+TEST(BuilderTest, AlgorithmsAgreeUnderDepthAndLeafLimits) {
   Rng rng(13);
   const Dataset d = GenerateCovtypeLike(SmallCovtypeSpec(1000), rng);
   BuildOptions resort;
@@ -255,10 +257,14 @@ TEST(BuilderTest, PresortedAgreesUnderDepthAndLeafLimits) {
   resort.max_depth = 5;
   resort.min_leaf_size = 4;
   resort.min_split_size = 10;
-  BuildOptions presorted = resort;
-  presorted.algorithm = BuildOptions::Algorithm::kPresorted;
-  EXPECT_TRUE(ExactlyEqual(DecisionTreeBuilder(resort).Build(d),
-                           DecisionTreeBuilder(presorted).Build(d)));
+  const DecisionTree reference = DecisionTreeBuilder(resort).Build(d);
+  for (auto algorithm : {BuildOptions::Algorithm::kPresorted,
+                         BuildOptions::Algorithm::kFrontier}) {
+    BuildOptions other = resort;
+    other.algorithm = algorithm;
+    EXPECT_TRUE(
+        ExactlyEqual(reference, DecisionTreeBuilder(other).Build(d)));
+  }
 }
 
 TEST(BuilderTest, DeterministicAcrossCalls) {

@@ -8,10 +8,12 @@
 # the streamed-release == batch-release contract — with a bounded
 # popp_check run. Stage 2 rebuilds with TSan (POPP_SANITIZE=thread) and
 # runs the parallel execution layer's tests, the streaming release tests,
-# the compiled-kernel tests, and the parallel_determinism +
-# stream_vs_batch + compiled_vs_interpreted oracles, which exercise every
-# ThreadPool/ParallelFor path under real concurrency. Any failure — test,
-# sanitizer report, or oracle — fails the script.
+# the compiled-kernel tests, the frontier tree builder's stress battery
+# (which sweeps 1/2/3/7/8-thread builds against the serial bytes), and
+# the parallel_determinism + stream_vs_batch + compiled_vs_interpreted
+# oracles, which exercise every ThreadPool/ParallelFor path under real
+# concurrency. Any failure — test, sanitizer report, or oracle — fails
+# the script.
 
 set -euo pipefail
 
@@ -55,6 +57,16 @@ cmake --build "$tsan_build_dir" -j --target popp_tests popp_check
 echo "== parallel + streaming tests under TSan =="
 "$tsan_build_dir/tests/popp_tests" \
   --gtest_filter='ThreadPool*:ParallelFor*:ParallelEquality*:TrialStream*:StreamRelease*:OodPolicy*:IncrementalSummary*:ChunkIo*:Compiled*'
+
+echo "== frontier builder stress battery under TSan (1/2/3/7/8 threads) =="
+# The builder tests byte-compare every parallel build — including the
+# tie-saturated adversarial inputs and the columnar-partition internals —
+# against the serial tree, so a TSan-visible race OR a scheduling-order
+# dependence in the frontier engine (frontier scans, subtree solver,
+# side-mask marking) fails here. Each stress case sweeps 1/2/3/7/8
+# worker threads.
+"$tsan_build_dir/tests/popp_tests" \
+  --gtest_filter='BuilderParallel*:BuilderEdge*:ColumnarPartitions*'
 
 echo "== stream resume under TSan (kill-point sweep + --resume at 7 threads) =="
 # The resume sweep re-runs the multi-threaded encode on top of the
