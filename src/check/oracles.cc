@@ -9,6 +9,7 @@
 #include <set>
 #include <sstream>
 
+#include "data/cols.h"
 #include "data/csv.h"
 #include "fault/failpoint.h"
 #include "fault/file.h"
@@ -19,6 +20,7 @@
 #include "parallel/exec_policy.h"
 #include "risk/trials.h"
 #include "stream/chunk_io.h"
+#include "stream/cols_io.h"
 #include "stream/streaming_custodian.h"
 #include "transform/serialize.h"
 #include "transform/tree_decode.h"
@@ -547,6 +549,93 @@ OracleResult CheckStreamVsBatch(const Dataset& original,
   return OracleResult::Ok();
 }
 
+OracleResult CheckColsVsCsv(const Dataset& original,
+                            const TransformPlan& plan,
+                            const Dataset& released, uint64_t plan_seed,
+                            const PiecewiseOptions& transform_options,
+                            size_t chunk_rows, size_t num_threads) {
+  std::ostringstream where;
+  where << " (chunk_rows=" << chunk_rows << ", threads=" << num_threads
+        << ")";
+
+  // CSV -> popp-cols -> CSV must be the identity on the canonical CSV
+  // bytes (CSV's %.17g cells round-trip doubles exactly, so the canonical
+  // dataset is bit-identical to the original).
+  const std::string csv_text = ToCsvString(original);
+  auto canonical = ParseCsv(csv_text);
+  if (!canonical.ok()) {
+    return OracleResult::Fail("canonical CSV failed to re-parse: " +
+                              canonical.status().ToString());
+  }
+  ColsStats stats;
+  const std::string cols_bytes = SerializeCols(canonical.value(), &stats);
+  auto reparsed = ParseCols(cols_bytes);
+  if (!reparsed.ok()) {
+    return OracleResult::Fail("serialized container failed to parse: " +
+                              reparsed.status().ToString());
+  }
+  if (!(reparsed.value() == canonical.value())) {
+    return OracleResult::Fail(
+        "popp-cols round trip is not bit-identical to the CSV dataset");
+  }
+  if (SerializeCols(reparsed.value()) != cols_bytes) {
+    return OracleResult::Fail(
+        "popp-cols serialization is not byte-stable across a round trip");
+  }
+  if (ToCsvString(reparsed.value()) != csv_text) {
+    return OracleResult::Fail(
+        "CSV -> popp-cols -> CSV round trip changed the CSV bytes");
+  }
+
+  // Release from both formats: a cols-fed stream and a CSV-dataset-fed
+  // stream must produce the same plan and the same released bytes — and
+  // both must equal the batch release of the original.
+  stream::StreamOptions options;
+  options.chunk_rows = chunk_rows;
+  options.transform = transform_options;
+  options.seed = plan_seed;
+  options.exec = ExecPolicy{num_threads};
+
+  auto cols_reader = stream::ColsChunkReader::FromBytes(cols_bytes);
+  stream::DatasetChunkWriter cols_writer;
+  auto cols_plan = stream::StreamingCustodian::Release(*cols_reader,
+                                                       cols_writer, options);
+  if (!cols_plan.ok()) {
+    return OracleResult::Fail("cols-fed release failed: " +
+                              cols_plan.status().ToString() + where.str());
+  }
+  stream::DatasetChunkReader csv_reader(&canonical.value());
+  stream::DatasetChunkWriter csv_writer;
+  auto csv_plan = stream::StreamingCustodian::Release(csv_reader, csv_writer,
+                                                      options);
+  if (!csv_plan.ok()) {
+    return OracleResult::Fail("csv-fed release failed: " +
+                              csv_plan.status().ToString() + where.str());
+  }
+  if (SerializePlan(cols_plan.value()) != SerializePlan(csv_plan.value())) {
+    return OracleResult::Fail(
+        "cols-fed plan serialization differs from the csv-fed plan" +
+        where.str());
+  }
+  if (SerializePlan(cols_plan.value()) != SerializePlan(plan)) {
+    return OracleResult::Fail(
+        "cols-fed plan serialization differs from the batch plan" +
+        where.str());
+  }
+  const std::string cols_release = ToCsvString(cols_writer.collected());
+  if (cols_release != ToCsvString(csv_writer.collected())) {
+    return OracleResult::Fail(
+        "cols-fed release is not byte-identical to the csv-fed release" +
+        where.str());
+  }
+  if (cols_release != ToCsvString(released)) {
+    return OracleResult::Fail(
+        "cols-fed release is not byte-identical to the batch release" +
+        where.str());
+  }
+  return OracleResult::Ok();
+}
+
 namespace {
 
 /// One streamed release into the journaled on-disk sink. Release() closes
@@ -776,6 +865,19 @@ const std::vector<Oracle>& AllOracles() {
                                      ctx.c.plan_seed,
                                      ctx.c.transform_options, chunk,
                                      threads);
+         }},
+        {"cols_vs_csv",
+         [](const TrialContext& ctx) {
+           // A different chunk stepping than stream_vs_batch, and a thread
+           // count drawn from {1, 2, 7, 8} — the odd prime hits uneven
+           // row/worker splits, 8 a power-of-two split.
+           static constexpr size_t kThreadSteps[] = {1, 2, 7, 8};
+           const size_t rows = std::max<size_t>(ctx.c.data.NumRows(), 1);
+           const size_t chunk = 1 + (ctx.c.plan_seed / 11) % rows;
+           const size_t threads = kThreadSteps[ctx.c.plan_seed % 4];
+           return CheckColsVsCsv(ctx.c.data, ctx.plan, ctx.released,
+                                 ctx.c.plan_seed, ctx.c.transform_options,
+                                 chunk, threads);
          }},
         {"compiled_vs_interpreted",
          [](const TrialContext& ctx) {

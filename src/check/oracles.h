@@ -103,6 +103,20 @@ OracleResult CheckStreamVsBatch(const Dataset& original,
                                 const PiecewiseOptions& transform_options,
                                 size_t chunk_rows, size_t num_threads);
 
+/// The interchange-format contract (data/cols.h, stream/cols_io.h): the
+/// fuzz case round-tripped CSV -> popp-cols -> CSV must reproduce the
+/// canonical CSV bytes exactly (values travel as bit patterns, including
+/// -0.0 and denormals), the container serialization must be byte-stable,
+/// and a streamed release fed from the popp-cols container must be
+/// byte-identical — same plan serialization, same released CSV — to the
+/// release fed from the CSV-parsed dataset and to the batch release, at
+/// the given chunk size and thread count.
+OracleResult CheckColsVsCsv(const Dataset& original,
+                            const TransformPlan& plan,
+                            const Dataset& released, uint64_t plan_seed,
+                            const PiecewiseOptions& transform_options,
+                            size_t chunk_rows, size_t num_threads);
+
 /// The compiled-kernel contract (transform/compiled.h): for every probe —
 /// active-domain values, inter-value midpoints, piece-gap interiors and
 /// out-of-hull offsets — the compiled Apply/Inverse (with and without the
@@ -148,8 +162,8 @@ struct Oracle {
 
 /// The registry the fuzz driver iterates: encode_bijective,
 /// global_invariant, label_runs, tree_equivalence, tree_equivalence_pruned,
-/// serialize_roundtrip, stream_vs_batch, compiled_vs_interpreted,
-/// parallel_determinism, fault_crash_safety.
+/// serialize_roundtrip, stream_vs_batch, cols_vs_csv,
+/// compiled_vs_interpreted, parallel_determinism, fault_crash_safety.
 const std::vector<Oracle>& AllOracles();
 
 /// Evaluates the named oracle on a bare case (re-deriving plan and release).

@@ -8,9 +8,11 @@
 #include "core/custodian.h"
 #include "core/recipe.h"
 #include "core/report.h"
+#include "data/cols.h"
 #include "data/csv.h"
 #include "parallel/exec_policy.h"
 #include "stream/chunk_io.h"
+#include "stream/cols_io.h"
 #include "stream/manifest.h"
 #include "stream/streaming_custodian.h"
 #include "transform/compiled.h"
@@ -39,6 +41,7 @@ constexpr char kUsage[] =
     "  verify <original.csv> [--seed N]\n"
     "  report <data.csv> [--trials N] [--seed N]\n"
     "  harden <data.csv> [--max-risk PCT] [--trials N] [--seed N]\n"
+    "  convert <in> <out> [--to csv|cols]\n"
     "\n"
     "provider commands:\n"
     "  mine <data.csv> <tree.out> [--criterion gini|entropy|gainratio]\n"
@@ -46,6 +49,11 @@ constexpr char kUsage[] =
     "\n"
     "every command also accepts --threads N (default 1 = serial; 0 = all\n"
     "hardware threads). Results are bit-identical for every N.\n"
+    "every dataset input accepts --format csv|cols|auto (default auto:\n"
+    "sniff the 'poppcols' magic). popp-cols is the binary columnar\n"
+    "container; convert translates between the two, defaulting --to to\n"
+    "the opposite of the input's format. Release output is byte-identical\n"
+    "whichever format the input arrives in.\n"
     "encode, stream-release, verify and report accept --no-compiled to\n"
     "force the interpreted encode path (A/B debugging; the compiled\n"
     "kernels are bit-identical, just faster).\n"
@@ -137,6 +145,27 @@ std::optional<PiecewiseOptions> TransformFlags(const ParsedArgs& args,
   return options;
 }
 
+/// Resolves a --format / --to style flag; absent means kAuto.
+Result<stream::DatasetFormat> FormatFlag(const ParsedArgs& args,
+                                         const std::string& name) {
+  auto it = args.flags.find(name);
+  if (it == args.flags.end() || it->second.empty()) {
+    return stream::DatasetFormat::kAuto;
+  }
+  return stream::ParseDatasetFormat(it->second);
+}
+
+/// Loads a whole dataset honoring the command's --format flag (auto-sniffs
+/// by default, so existing CSV invocations keep working unchanged).
+Result<Dataset> ReadDataset(const ParsedArgs& args, const std::string& path) {
+  auto requested = FormatFlag(args, "format");
+  if (!requested.ok()) return requested.status();
+  auto format = stream::SniffDatasetFormat(path, requested.value());
+  if (!format.ok()) return format.status();
+  if (format.value() == stream::DatasetFormat::kCols) return ReadCols(path);
+  return ReadCsv(path);
+}
+
 std::optional<BuildOptions> TreeFlags(const ParsedArgs& args,
                                       std::ostream& err) {
   BuildOptions options;
@@ -163,7 +192,7 @@ int CmdEncode(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
     err << "encode needs <in.csv> <out.csv> <key.out>\n";
     return 2;
   }
-  auto data = ReadCsv(args.positional[0]);
+  auto data = ReadDataset(args, args.positional[0]);
   if (!data.ok()) {
     err << data.status().ToString() << "\n";
     return ExitFor(data.status());
@@ -224,7 +253,18 @@ int CmdStreamRelease(const ParsedArgs& args, std::ostream& out,
     }
     options.ood_policy = policy.value();
   }
-  stream::CsvChunkReader reader(args.positional[0]);
+  auto format = FormatFlag(args, "format");
+  if (!format.ok()) {
+    err << format.status().ToString() << "\n";
+    return 2;
+  }
+  auto reader_or =
+      stream::MakeChunkReader(args.positional[0], format.value());
+  if (!reader_or.ok()) {
+    err << reader_or.status().ToString() << "\n";
+    return ExitFor(reader_or.status());
+  }
+  stream::ChunkReader& reader = *reader_or.value();
   stream::ResumableCsvChunkWriter writer(args.positional[1], {},
                                          args.flags.count("resume") > 0);
   stream::StreamStats stats;
@@ -264,7 +304,7 @@ int CmdMine(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
   }
   auto options = TreeFlags(args, err);
   if (!options) return 2;
-  auto data = ReadCsv(args.positional[0]);
+  auto data = ReadDataset(args, args.positional[0]);
   if (!data.ok()) {
     err << data.status().ToString() << "\n";
     return ExitFor(data.status());
@@ -301,7 +341,7 @@ int CmdDecode(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
     err << plan.status().ToString() << "\n";
     return ExitFor(plan.status());
   }
-  auto original = ReadCsv(args.positional[2]);
+  auto original = ReadDataset(args, args.positional[2]);
   if (!original.ok()) {
     err << original.status().ToString() << "\n";
     return ExitFor(original.status());
@@ -324,7 +364,7 @@ int CmdVerify(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
     err << "verify needs <original.csv>\n";
     return 2;
   }
-  auto data = ReadCsv(args.positional[0]);
+  auto data = ReadDataset(args, args.positional[0]);
   if (!data.ok()) {
     err << data.status().ToString() << "\n";
     return ExitFor(data.status());
@@ -354,7 +394,7 @@ int CmdReport(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
     err << "report needs <data.csv>\n";
     return 2;
   }
-  auto data = ReadCsv(args.positional[0]);
+  auto data = ReadDataset(args, args.positional[0]);
   if (!data.ok()) {
     err << data.status().ToString() << "\n";
     return ExitFor(data.status());
@@ -377,7 +417,7 @@ int CmdHarden(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
     err << "harden needs <data.csv>\n";
     return 2;
   }
-  auto data = ReadCsv(args.positional[0]);
+  auto data = ReadDataset(args, args.positional[0]);
   if (!data.ok()) {
     err << data.status().ToString() << "\n";
     return ExitFor(data.status());
@@ -390,6 +430,66 @@ int CmdHarden(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
   const auto decisions = RecommendPerAttributeOptions(
       data.value(), PiecewiseOptions{}, targets, FlagInt(args, "seed", 1));
   out << RenderHardeningDecisions(data.value(), decisions);
+  return 0;
+}
+
+int CmdConvert(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
+  if (args.positional.size() != 2) {
+    err << "convert needs <in> <out>\n";
+    return 2;
+  }
+  auto requested = FormatFlag(args, "format");
+  if (!requested.ok()) {
+    err << requested.status().ToString() << "\n";
+    return 2;
+  }
+  auto source = stream::SniffDatasetFormat(args.positional[0],
+                                           requested.value());
+  if (!source.ok()) {
+    err << source.status().ToString() << "\n";
+    return ExitFor(source.status());
+  }
+  auto target = FormatFlag(args, "to");
+  if (!target.ok()) {
+    err << target.status().ToString() << "\n";
+    return 2;
+  }
+  // Absent --to flips the format: CSV in -> cols out and vice versa.
+  stream::DatasetFormat to = target.value();
+  if (to == stream::DatasetFormat::kAuto) {
+    to = source.value() == stream::DatasetFormat::kCols
+             ? stream::DatasetFormat::kCsv
+             : stream::DatasetFormat::kCols;
+  }
+  auto data = source.value() == stream::DatasetFormat::kCols
+                  ? ReadCols(args.positional[0])
+                  : ReadCsv(args.positional[0]);
+  if (!data.ok()) {
+    err << data.status().ToString() << "\n";
+    return ExitFor(data.status());
+  }
+  if (to == stream::DatasetFormat::kCols) {
+    ColsStats stats;
+    const Status status = WriteCols(data.value(), args.positional[1], &stats);
+    if (!status.ok()) {
+      err << status.ToString() << "\n";
+      return ExitFor(status);
+    }
+    out << "converted " << stats.num_rows << " rows x "
+        << stats.num_attributes << " attributes -> " << args.positional[1]
+        << " (popp-cols v1: " << stats.dict_columns << " dict + "
+        << stats.raw_columns << " raw columns, " << stats.bytes
+        << " bytes)\n";
+  } else {
+    const Status status = WriteCsv(data.value(), args.positional[1]);
+    if (!status.ok()) {
+      err << status.ToString() << "\n";
+      return ExitFor(status);
+    }
+    out << "converted " << data.value().NumRows() << " rows x "
+        << data.value().NumAttributes() << " attributes -> "
+        << args.positional[1] << " (csv)\n";
+  }
   return 0;
 }
 
@@ -406,7 +506,7 @@ int RunCli(const std::vector<std::string>& args, std::ostream& out,
   static const std::vector<std::string> kValueFlags = {
       "seed",     "policy", "breakpoints", "criterion",  "max-depth",
       "min-leaf", "trials", "max-risk",    "threads",    "chunk-rows",
-      "ood-policy", "fit-rows", "key-in"};
+      "ood-policy", "fit-rows", "key-in", "format", "to"};
   const ParsedArgs parsed = Parse(rest, kValueFlags);
   if (command == "encode") return CmdEncode(parsed, out, err);
   if (command == "stream-release") return CmdStreamRelease(parsed, out, err);
@@ -415,6 +515,7 @@ int RunCli(const std::vector<std::string>& args, std::ostream& out,
   if (command == "verify") return CmdVerify(parsed, out, err);
   if (command == "report") return CmdReport(parsed, out, err);
   if (command == "harden") return CmdHarden(parsed, out, err);
+  if (command == "convert") return CmdConvert(parsed, out, err);
   err << "unknown command '" << command << "'\n" << kUsage;
   return 2;
 }

@@ -1,0 +1,149 @@
+#include "fault/mmap.h"
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#ifdef __unix__
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#define POPP_HAVE_MMAP 1
+#endif
+
+#include "fault/failpoint.h"
+#include "fault/file.h"
+
+namespace popp::fault {
+namespace {
+
+Status OsError(const char* verb, const std::string& path, int err) {
+  std::string message = std::string("cannot ") + verb + " '" + path +
+                        "': " + std::strerror(err);
+  if (err == ENOENT) return Status::NotFound(std::move(message));
+  return Status::IoError(std::move(message));
+}
+
+/// Reads the whole file into a fresh heap buffer, `buffer_bytes` at a
+/// time through the fault-injected InputFile, so short reads and injected
+/// errors behave exactly like the streaming CSV reader's.
+Result<std::string> ReadBuffered(const std::string& path,
+                                 size_t buffer_bytes) {
+  InputFile in;
+  POPP_RETURN_IF_ERROR(in.Open(path));
+  std::string bytes;
+  std::string window(buffer_bytes > 0 ? buffer_bytes : 1, '\0');
+  for (;;) {
+    auto got = in.Read(window.data(), window.size());
+    if (!got.ok()) return got.status();
+    if (got.value() == 0) break;
+    bytes.append(window.data(), got.value());
+  }
+  return bytes;
+}
+
+}  // namespace
+
+MappedFile::~MappedFile() { Close(); }
+
+MappedFile::MappedFile(MappedFile&& other) noexcept
+    : data_(std::exchange(other.data_, nullptr)),
+      size_(std::exchange(other.size_, 0)),
+      mapped_(std::exchange(other.mapped_, false)),
+      open_(std::exchange(other.open_, false)),
+      path_(std::move(other.path_)) {}
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+  if (this != &other) {
+    Close();
+    data_ = std::exchange(other.data_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+    mapped_ = std::exchange(other.mapped_, false);
+    open_ = std::exchange(other.open_, false);
+    path_ = std::move(other.path_);
+  }
+  return *this;
+}
+
+Status MappedFile::Open(const std::string& path, bool prefer_mmap,
+                        size_t buffer_bytes) {
+  Close();
+#ifdef POPP_HAVE_MMAP
+  if (prefer_mmap) {
+    if (CrashActive()) return CrashedStatus(Op::kOpen, path);
+    const Injection hit = Hit(Op::kOpen, path);
+    if (hit.failed()) {
+      if (hit.kind == Injection::Kind::kCrash) {
+        return CrashedStatus(Op::kOpen, path);
+      }
+      return Status::IoError("injected open error on '" + path + "'");
+    }
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) return OsError("open", path, errno);
+    struct stat st;
+    if (::fstat(fd, &st) != 0) {
+      const int err = errno;
+      ::close(fd);
+      return OsError("stat", path, err);
+    }
+    const size_t bytes = static_cast<size_t>(st.st_size);
+    if (bytes == 0) {
+      // mmap rejects zero-length mappings; an empty file is a valid
+      // (empty) span.
+      ::close(fd);
+      path_ = path;
+      open_ = true;
+      return Status::Ok();
+    }
+    void* map = ::mmap(nullptr, bytes, PROT_READ, MAP_PRIVATE, fd, 0);
+    ::close(fd);
+    if (map != MAP_FAILED) {
+      data_ = static_cast<const char*>(map);
+      size_ = bytes;
+      mapped_ = true;
+      open_ = true;
+      path_ = path;
+      return Status::Ok();
+    }
+    // Fall through to the buffered path on any mapping failure.
+  }
+#else
+  (void)prefer_mmap;
+#endif
+  auto bytes = ReadBuffered(path, buffer_bytes);
+  if (!bytes.ok()) return bytes.status();
+  const size_t size = bytes.value().size();
+  char* heap = nullptr;
+  if (size > 0) {
+    heap = new char[size];
+    std::memcpy(heap, bytes.value().data(), size);
+  }
+  data_ = heap;
+  size_ = size;
+  mapped_ = false;
+  open_ = true;
+  path_ = path;
+  return Status::Ok();
+}
+
+void MappedFile::Close() {
+  if (data_ != nullptr) {
+#ifdef POPP_HAVE_MMAP
+    if (mapped_) {
+      ::munmap(const_cast<char*>(data_), size_);
+    } else {
+      delete[] data_;
+    }
+#else
+    delete[] data_;
+#endif
+  }
+  data_ = nullptr;
+  size_ = 0;
+  mapped_ = false;
+  open_ = false;
+  path_.clear();
+}
+
+}  // namespace popp::fault

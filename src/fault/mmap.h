@@ -1,0 +1,63 @@
+#ifndef POPP_FAULT_MMAP_H_
+#define POPP_FAULT_MMAP_H_
+
+#include <cstddef>
+#include <string>
+
+#include "util/status.h"
+
+/// \file
+/// Read-only memory mapping for the hardened I/O layer.
+///
+/// `MappedFile` presents a whole file as one contiguous byte span. The
+/// fast path is mmap(2) — the binary columnar reader walks extents
+/// directly in the page cache, no user-space copy — with a transparent
+/// fallback that reads the file into a heap buffer when mapping is
+/// unavailable (no mmap support, zero-length files, or the caller forced
+/// buffered mode to exercise read-boundary seams). Both paths go through
+/// the failpoint registry, so the fault oracle and the corruption tests
+/// can hit the open and the reads exactly like every other popp I/O.
+
+namespace popp::fault {
+
+/// A read-only byte view of one file, mmap-backed when possible.
+/// Move-only; unmaps/frees on destruction.
+class MappedFile {
+ public:
+  MappedFile() = default;
+  ~MappedFile();
+  MappedFile(MappedFile&& other) noexcept;
+  MappedFile& operator=(MappedFile&& other) noexcept;
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  /// Maps `path` read-only. ENOENT -> kNotFound, other failures ->
+  /// kIoError; both carry the path and OS message. When `prefer_mmap` is
+  /// false (or mapping fails) the file is read into a buffer instead,
+  /// `buffer_bytes` at a time — tests shrink the granularity to 1/2/7
+  /// bytes to force extents across read seams.
+  Status Open(const std::string& path, bool prefer_mmap = true,
+              size_t buffer_bytes = 1 << 16);
+
+  bool is_open() const { return open_; }
+  /// True when the bytes come from an actual mmap (not the heap fallback).
+  bool is_mapped() const { return mapped_; }
+
+  const char* data() const { return data_; }
+  size_t size() const { return size_; }
+  const std::string& path() const { return path_; }
+
+  /// Unmaps / frees; idempotent.
+  void Close();
+
+ private:
+  const char* data_ = nullptr;
+  size_t size_ = 0;
+  bool mapped_ = false;
+  bool open_ = false;
+  std::string path_;
+};
+
+}  // namespace popp::fault
+
+#endif  // POPP_FAULT_MMAP_H_

@@ -349,5 +349,82 @@ TEST_F(CliTest, StreamReleaseResumeFlagCompletesAndMatches) {
   EXPECT_EQ(slurp(plain_key), slurp(res_key));
 }
 
+// --------------------------------------------------- popp-cols format --
+
+TEST_F(CliTest, ColsConvertRoundTripReproducesTheCanonicalCsv) {
+  const std::string cols_path = TempPath("conv.cols");
+  const std::string back_path = TempPath("conv_back.csv");
+  // --to defaults to the opposite format, so neither call needs a flag.
+  const CliResult to_cols = RunPopp({"convert", csv_path_, cols_path});
+  ASSERT_EQ(to_cols.code, 0) << to_cols.err;
+  EXPECT_NE(to_cols.out.find("popp-cols v1"), std::string::npos);
+  const CliResult to_csv = RunPopp({"convert", cols_path, back_path});
+  ASSERT_EQ(to_csv.code, 0) << to_csv.err;
+  auto original = ReadCsv(csv_path_);
+  auto back = ReadCsv(back_path);
+  ASSERT_TRUE(original.ok());
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back.value() == original.value());
+  EXPECT_EQ(ToCsvString(back.value()), ToCsvString(original.value()));
+}
+
+TEST_F(CliTest, ColsStreamReleaseIsByteIdenticalToCsvInput) {
+  const std::string cols_path = TempPath("fmt.cols");
+  ASSERT_EQ(RunPopp({"convert", csv_path_, cols_path, "--to", "cols"}).code,
+            0);
+  const std::string csv_out = TempPath("fmt_csv_out.csv");
+  const std::string csv_key = TempPath("fmt_csv.key");
+  const std::string cols_out = TempPath("fmt_cols_out.csv");
+  const std::string cols_key = TempPath("fmt_cols.key");
+  ASSERT_EQ(RunPopp({"stream-release", csv_path_, csv_out, csv_key, "--seed",
+                     "3", "--chunk-rows", "57"})
+                .code,
+            0);
+  // Once auto-sniffed, once forced with --format.
+  const CliResult r =
+      RunPopp({"stream-release", cols_path, cols_out, cols_key, "--seed", "3",
+               "--chunk-rows", "57", "--format", "cols"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  const auto slurp = [](const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream s;
+    s << in.rdbuf();
+    return s.str();
+  };
+  EXPECT_EQ(slurp(csv_out), slurp(cols_out));
+  EXPECT_EQ(slurp(csv_key), slurp(cols_key));
+}
+
+TEST_F(CliTest, ColsMineAcceptsTheBinaryFormatTransparently) {
+  const std::string cols_path = TempPath("mine.cols");
+  ASSERT_EQ(RunPopp({"convert", csv_path_, cols_path}).code, 0);
+  const std::string tree_csv = TempPath("mine_csv.tree");
+  const std::string tree_cols = TempPath("mine_cols.tree");
+  ASSERT_EQ(RunPopp({"mine", csv_path_, tree_csv}).code, 0);
+  const CliResult r = RunPopp({"mine", cols_path, tree_cols});
+  ASSERT_EQ(r.code, 0) << r.err;
+  auto a = LoadTree(tree_csv);
+  auto b = LoadTree(tree_cols);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_TRUE(ExactlyEqual(a.value(), b.value()));
+}
+
+TEST(CliColsFailure, CorruptContainerExitsWithDataLossCode) {
+  const CliResult r = RunPopp(
+      {"mine",
+       std::string(POPP_TEST_DATA_DIR) + "/corrupt/cols_bitflip_footer.cols",
+       TempPath("never.tree")});
+  EXPECT_EQ(r.code, 4);
+  EXPECT_NE(r.err.find("footer disagrees"), std::string::npos) << r.err;
+}
+
+TEST(CliColsFailure, UnknownFormatFlagIsAUsageError) {
+  const CliResult r = RunPopp({"convert", "/dev/null", "/dev/null", "--to",
+                               "parquet"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("parquet"), std::string::npos) << r.err;
+}
+
 }  // namespace
 }  // namespace popp

@@ -2,6 +2,7 @@
 
 #include <string>
 
+#include "data/cols.h"
 #include "data/csv.h"
 #include "util/status.h"
 
@@ -87,6 +88,55 @@ TEST(CsvFailure, GoodInputStillParses) {
   ASSERT_TRUE(r.ok()) << r.status().ToString();
   EXPECT_EQ(r.value().NumRows(), 2u);
   EXPECT_EQ(r.value().NumAttributes(), 2u);
+}
+
+TEST(ColsFailure, MissingFileIsNotFound) {
+  const auto r = ReadCols("/nonexistent/popp/never.cols");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_NE(r.status().message().find("/nonexistent/popp/never.cols"),
+            std::string::npos)
+      << r.status().ToString();
+}
+
+TEST(ColsFailure, NonColsBytesAreDataLossWithTheMagicNamed) {
+  // A CSV handed to the cols parser is kDataLoss (corrupt-or-wrong-format),
+  // distinct from kInvalidArgument (well-formed but meaningless input).
+  const auto r = ParseCols("x,y,class\n1,2,a\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kDataLoss);
+  EXPECT_NE(r.status().message().find("expected 'poppcols' magic"),
+            std::string::npos)
+      << r.status().ToString();
+}
+
+TEST(ColsFailure, EmptyBytesAreDataLoss) {
+  const auto r = ParseCols("");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(ColsFailure, TrailingBytesAfterTheContainerAreDataLoss) {
+  Dataset d({"x"}, {"a"});
+  d.AddRow({1.0}, 0);
+  const auto r = ParseCols(SerializeCols(d) + "zzz");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kDataLoss);
+  EXPECT_NE(r.status().message().find("trailing bytes"), std::string::npos)
+      << r.status().ToString();
+}
+
+TEST(ColsFailure, FutureVersionIsRefusedWithBothVersions) {
+  Dataset d({"x"}, {"a"});
+  d.AddRow({1.0}, 0);
+  std::string bytes = SerializeCols(d);
+  bytes[8] = 2;  // u32 version little-endian low byte
+  const auto r = ParseCols(bytes);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kDataLoss);
+  EXPECT_NE(r.status().message().find("unsupported version 2"),
+            std::string::npos)
+      << r.status().ToString();
 }
 
 }  // namespace

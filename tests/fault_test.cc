@@ -4,6 +4,7 @@
 #include <string>
 
 #include "check/oracles.h"
+#include "data/cols.h"
 #include "data/dataset.h"
 #include "fault/failpoint.h"
 #include "fault/file.h"
@@ -318,6 +319,100 @@ TEST(FaultCrashSafetyTest, OracleGreenOverTwoHundredRandomSchedules) {
     total += sweep.schedules;
   }
   EXPECT_GE(total, 200u);
+}
+
+// ------------------------------------------------- popp-cols integrity --
+
+Dataset SmallColsData() {
+  Dataset d({"x", "y"}, {"a", "b"});
+  for (int i = 0; i < 12; ++i) {
+    d.AddRow({static_cast<double>(i % 4), i * 0.5},
+             static_cast<ClassId>(i % 2));
+  }
+  return d;
+}
+
+/// The committed popp-cols corruption corpus: each file is the golden
+/// container with one specific kind of damage, and the loader must refuse
+/// it with kDataLoss and a diagnostic naming the damage.
+TEST(ColsFaultTest, CorruptCorpusIsRejectedWithDataLoss) {
+  struct CorruptCase {
+    const char* file;
+    const char* expect;  ///< required diagnostic substring
+  };
+  const CorruptCase cases[] = {
+      // Cut mid-extent: the header's file_bytes can no longer be honest.
+      {"cols_truncated.cols", "truncated container"},
+      // Not a popp-cols container at all.
+      {"cols_garbage_magic.cols", "expected 'poppcols' magic"},
+      // One flipped bit in an extent footer: footer and directory disagree.
+      {"cols_bitflip_footer.cols", "footer disagrees with the directory"},
+      // Directory entry claims a payload overrunning the directory.
+      {"cols_truncated_extent.cols", "payload extends past the directory"},
+      // dict_size inflated with every checksum re-fixed: only the
+      // structural dictionary bound can catch it.
+      {"cols_torn_dict.cols", "dictionary extends past its extent"},
+  };
+  for (const auto& c : cases) {
+    auto bytes = fault::ReadFileToString(std::string(POPP_TEST_DATA_DIR) +
+                                         "/corrupt/" + c.file);
+    ASSERT_TRUE(bytes.ok()) << c.file << ": " << bytes.status().ToString();
+    auto parsed = ParseCols(bytes.value());
+    ASSERT_FALSE(parsed.ok()) << c.file << " parsed despite the corruption";
+    EXPECT_EQ(parsed.status().code(), StatusCode::kDataLoss) << c.file;
+    EXPECT_NE(parsed.status().message().find(c.expect), std::string::npos)
+        << c.file << " diagnostic: " << parsed.status().message();
+  }
+}
+
+TEST(ColsFaultTest, WriteColsIsAtomicUnderEveryInjectedError) {
+  const std::string path = TempPath("cols_fault_atomic.cols");
+  const Dataset d = SmallColsData();
+  ASSERT_TRUE(WriteCols(d, path).ok());
+  const std::string good = Slurp(path);
+  size_t total = 0;
+  {
+    ScopedFaultInjection probe(FaultSchedule::CountOnly());
+    ASSERT_TRUE(WriteCols(d, path + ".probe").ok());
+    total = probe.ops_seen();
+  }
+  ASSERT_GT(total, 0u);
+  for (size_t k = 0; k < total; ++k) {
+    ScopedFaultInjection inject(FaultSchedule::ErrorAt(k));
+    ASSERT_FALSE(WriteCols(d, path).ok()) << "op " << k;
+    EXPECT_TRUE(inject.fired());
+  }
+  // Every failure point left the previous container intact (and loadable)
+  // and no temp debris.
+  EXPECT_EQ(Slurp(path), good);
+  EXPECT_FALSE(fault::FileExists(path + ".tmp"));
+  auto reloaded = ReadCols(path);
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status().ToString();
+  EXPECT_TRUE(reloaded.value() == d);
+  std::remove(path.c_str());
+  std::remove((path + ".probe").c_str());
+}
+
+TEST(ColsFaultTest, ReadColsSurfacesInjectedOpenErrors) {
+  const std::string path = TempPath("cols_fault_read.cols");
+  ASSERT_TRUE(WriteCols(SmallColsData(), path).ok());
+  {
+    ScopedFaultInjection inject(FaultSchedule::ErrorAt(0));
+    auto loaded = ReadCols(path);
+    ASSERT_FALSE(loaded.ok());
+    EXPECT_TRUE(inject.fired());
+    EXPECT_NE(loaded.status().message().find("injected"), std::string::npos)
+        << loaded.status().ToString();
+  }
+  {
+    ScopedFaultInjection inject(FaultSchedule::CrashAt(0));
+    auto loaded = ReadCols(path);
+    ASSERT_FALSE(loaded.ok());
+    EXPECT_TRUE(inject.crash_triggered());
+  }
+  auto loaded = ReadCols(path);
+  EXPECT_TRUE(loaded.ok()) << loaded.status().ToString();
+  std::remove(path.c_str());
 }
 
 }  // namespace

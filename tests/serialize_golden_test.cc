@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "check/shrink.h"
+#include "data/cols.h"
 #include "data/dataset.h"
 #include "transform/plan.h"
 #include "transform/serialize.h"
@@ -136,6 +137,47 @@ TEST(SerializeGolden, LegacyV1TreeWithoutFooterStillLoads) {
   auto tree = LoadTree(DataDir() + "/corrupt/tree_v1_legacy.txt");
   ASSERT_TRUE(tree.ok()) << tree.status().ToString();
   EXPECT_EQ(SerializeTree(tree.value()).rfind("popp-tree v2\n", 0), 0u);
+}
+
+// ------------------------------------------- popp-cols golden ----------
+
+/// The dataset golden_small.cols was generated from. Any layout change —
+/// header field order, extent framing, dictionary ordering, CRC discipline
+/// — turns this byte comparison into a visible diff instead of a silent
+/// format break, and must bump the container version.
+Dataset GoldenColsDataset() {
+  Dataset d({"elev", "slope"}, {"a", "b"});
+  for (int i = 0; i < 8; ++i) {
+    d.AddRow({static_cast<double>(i % 3), i * 1.5},
+             static_cast<ClassId>(i % 2));
+  }
+  return d;
+}
+
+TEST(SerializeGolden, ColsGoldenContainerIsBytePinned) {
+  const std::string bytes = ReadFile(DataDir() + "/golden_small.cols");
+  ASSERT_FALSE(bytes.empty());
+  // Serializing the reference dataset reproduces the committed bytes.
+  const Dataset d = GoldenColsDataset();
+  EXPECT_EQ(SerializeCols(d), bytes);
+  // Parse -> serialize is the identity on the fixture too.
+  auto parsed = ParseCols(bytes);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_TRUE(parsed.value() == d);
+  EXPECT_EQ(SerializeCols(parsed.value()), bytes);
+}
+
+TEST(SerializeGolden, ColsGoldenLayoutFactsHold) {
+  const std::string bytes = ReadFile(DataDir() + "/golden_small.cols");
+  ASSERT_GE(bytes.size(), 64u);
+  EXPECT_EQ(bytes.substr(0, 8), "poppcols");
+  auto view = ColsView::Open(bytes);
+  ASSERT_TRUE(view.ok()) << view.status().ToString();
+  EXPECT_EQ(view.value().num_rows(), 8u);
+  EXPECT_EQ(view.value().num_attributes(), 2u);
+  // elev has 3 distinct values (dict); slope is all-distinct (raw).
+  EXPECT_TRUE(view.value().is_dict(0));
+  EXPECT_FALSE(view.value().is_dict(1));
 }
 
 // ------------------------------------------- endpoint exactness --------

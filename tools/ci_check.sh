@@ -44,7 +44,13 @@ echo "== fault injection: crash-safety oracle + corrupt corpus under ASan =="
 "$build_dir/tools/popp_check" --oracle fault_crash_safety \
   --trials 25 --seed 11 --out "$build_dir"
 "$build_dir/tests/popp_tests" \
-  --gtest_filter='FailPoint*:FaultFile*:Manifest*:FaultCrashSafety*:SerializeGolden.Corrupt*:SerializeGolden.Legacy*'
+  --gtest_filter='FailPoint*:FaultFile*:Manifest*:FaultCrashSafety*:SerializeGolden.Corrupt*:SerializeGolden.Legacy*:SerializeGolden.Cols*:Cols*'
+
+echo "== cols_vs_csv oracle under ASan (bounded) =="
+# The interchange-format contract: CSV -> popp-cols -> CSV is the
+# identity, and a release fed from either format is byte-identical.
+"$build_dir/tools/popp_check" --oracle cols_vs_csv \
+  --trials 50 --seed 13 --out "$build_dir"
 
 echo "== configure (TSan) =="
 cmake -B "$tsan_build_dir" -S "$repo_root" \
@@ -56,7 +62,7 @@ cmake --build "$tsan_build_dir" -j --target popp_tests popp_check
 
 echo "== parallel + streaming tests under TSan =="
 "$tsan_build_dir/tests/popp_tests" \
-  --gtest_filter='ThreadPool*:ParallelFor*:ParallelEquality*:TrialStream*:StreamRelease*:OodPolicy*:IncrementalSummary*:ChunkIo*:Compiled*'
+  --gtest_filter='ThreadPool*:ParallelFor*:ParallelEquality*:TrialStream*:StreamRelease*:OodPolicy*:IncrementalSummary*:ChunkIo*:Cols*:Compiled*'
 
 echo "== frontier builder stress battery under TSan (1/2/3/7/8 threads) =="
 # The builder tests byte-compare every parallel build — including the
@@ -101,6 +107,10 @@ echo "== stream_vs_batch oracle under TSan (bounded) =="
 
 echo "== compiled_vs_interpreted oracle under TSan (bounded) =="
 "$tsan_build_dir/tools/popp_check" --oracle compiled_vs_interpreted \
+  --trials 25 --seed 7 --out "$tsan_build_dir"
+
+echo "== cols_vs_csv oracle under TSan (bounded) =="
+"$tsan_build_dir/tools/popp_check" --oracle cols_vs_csv \
   --trials 25 --seed 7 --out "$tsan_build_dir"
 
 echo "ci_check: all gates passed"
