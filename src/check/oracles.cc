@@ -8,11 +8,14 @@
 #include <filesystem>
 #include <set>
 #include <sstream>
+#include <thread>
 
 #include "data/cols.h"
 #include "data/csv.h"
 #include "fault/failpoint.h"
 #include "fault/file.h"
+#include "serve/client.h"
+#include "serve/server.h"
 #include "stream/manifest.h"
 #include "util/crc64.h"
 #include "transform/compiled.h"
@@ -802,6 +805,294 @@ OracleResult CheckFaultCrashSafety(const Dataset& original, uint64_t plan_seed,
   return OracleResult::Ok();
 }
 
+namespace {
+
+/// A scratch directory for one serve oracle run; same discipline as
+/// FaultScratchDir but kept short, since the socket path inside it must
+/// fit sockaddr_un's ~108-byte sun_path.
+std::filesystem::path ServeScratchDir() {
+  static std::atomic<uint64_t> counter{0};
+  std::ostringstream name;
+  name << "popp_serve_" << ::getpid() << "_" << counter.fetch_add(1);
+  return std::filesystem::temp_directory_path() / name.str();
+}
+
+const char* PolicyWord(BreakpointPolicy policy) {
+  switch (policy) {
+    case BreakpointPolicy::kNone:
+      return "none";
+    case BreakpointPolicy::kChooseBP:
+      return "bp";
+    default:
+      return "maxmp";
+  }
+}
+
+}  // namespace
+
+OracleResult CheckServeVsCli(const Dataset& original, uint64_t plan_seed,
+                             const PiecewiseOptions& transform_options,
+                             size_t num_fault_schedules) {
+  namespace fs = std::filesystem;
+  const fs::path dir = ServeScratchDir();
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    return OracleResult::Fail("cannot create scratch directory '" +
+                              dir.string() + "': " + ec.message());
+  }
+  struct Cleanup {
+    const fs::path& dir;
+    ~Cleanup() {
+      std::error_code ignored;
+      fs::remove_all(dir, ignored);
+    }
+  } cleanup{dir};
+
+  // Only the wire vocabulary: the daemon's request options speak the CLI
+  // flag set (seed, policy, breakpoints, anti, threads), so the contract
+  // under test is against `popp encode` with those flags — not against
+  // the trial case's full PiecewiseOptions surface.
+  PiecewiseOptions options;
+  options.policy = transform_options.policy;
+  options.min_breakpoints = transform_options.min_breakpoints;
+  options.global_anti_monotone = transform_options.global_anti_monotone;
+
+  // The canonical dataset is what `popp encode <in.csv>` actually fits:
+  // CSV parsing assigns class ids by order of first appearance, which may
+  // permute the generated dataset's class table. Both request framings
+  // must be derived from it, or the two would carry different schema
+  // fingerprints and legitimately miss each other's cache entries.
+  auto canonical_or = ParseCsv(ToCsvString(original));
+  if (!canonical_or.ok()) {
+    return OracleResult::Fail("canonical CSV failed to re-parse: " +
+                              canonical_or.status().ToString());
+  }
+  const Dataset& canonical = canonical_or.value();
+
+  // The exact one-shot CLI sequence: fresh Rng from the seed, serial fit,
+  // compiled encode, CSV rendering. These bytes are what `popp encode
+  // --seed N ...` writes to its output file.
+  Rng rng(plan_seed);
+  const TransformPlan cli_plan =
+      TransformPlan::Create(canonical, options, rng, ExecPolicy{1});
+  const Dataset cli_release =
+      CompiledPlan::Compile(cli_plan).EncodeDataset(canonical, ExecPolicy{1});
+  const std::string expected_csv = ToCsvString(cli_release);
+  // A popp-cols request gets a popp-cols reply: the same release in the
+  // framing `popp convert` produces from the CLI's CSV output.
+  const std::string expected_cols = SerializeCols(cli_release);
+  const std::string expected_plan_doc = SerializePlan(cli_plan);
+
+  serve::ServeOptions serve_options;
+  serve_options.socket_path = (dir / "sock").string();
+  serve_options.num_threads = 2;
+  serve_options.cache_capacity = 4;
+  serve::Server server(serve_options);
+  const Status started = server.Start();
+  if (!started.ok()) {
+    return OracleResult::Fail("daemon failed to start: " +
+                              started.ToString());
+  }
+  std::ostringstream server_log;
+  int serve_exit = -1;
+  std::thread server_thread(
+      [&server, &server_log, &serve_exit] {
+        serve_exit = server.Serve(server_log);
+      });
+  struct JoinGuard {
+    serve::Server& server;
+    std::thread& thread;
+    ~JoinGuard() {
+      server.RequestShutdown();
+      if (thread.joinable()) thread.join();
+    }
+  } join_guard{server, server_thread};
+
+  serve::ServeClient client;
+  const Status connected = client.Connect(serve_options.socket_path);
+  if (!connected.ok()) {
+    return OracleResult::Fail("cannot connect to the daemon: " +
+                              connected.ToString());
+  }
+
+  const auto options_text = [&](size_t threads) {
+    std::ostringstream text;
+    text << "seed " << plan_seed << "\npolicy " << PolicyWord(options.policy)
+         << "\nbreakpoints " << options.min_breakpoints << "\n";
+    if (options.global_anti_monotone) text << "anti\n";
+    text << "threads " << threads << "\n";
+    return text.str();
+  };
+
+  // Byte identity at 1/2/7 request threads, CSV and popp-cols framing.
+  // Only the very first request may fit; every later one must hit the
+  // cache (same schema fingerprint, seed and policy).
+  const std::string csv_bytes = ToCsvString(canonical);
+  const std::string cols_bytes = SerializeCols(canonical);
+  const std::pair<const char*, const std::string*> framings[] = {
+      {"csv", &csv_bytes}, {"cols", &cols_bytes}};
+  bool first_request = true;
+  for (size_t threads : {size_t{1}, size_t{2}, size_t{7}}) {
+    for (const auto& [framing, bytes] : framings) {
+      serve::RequestBody request;
+      request.options = options_text(threads);
+      request.dataset = *bytes;
+      auto reply = client.Call(serve::Tag::kEncode, "oracle", request);
+      std::ostringstream where;
+      where << " (" << framing << " framing, " << threads << " threads)";
+      if (!reply.ok()) {
+        return OracleResult::Fail("encode round trip failed: " +
+                                  reply.status().ToString() + where.str());
+      }
+      if (!reply.value().ok()) {
+        return OracleResult::Fail("daemon rejected the encode: " +
+                                  reply.value().text + where.str());
+      }
+      const std::string& expected =
+          bytes == &cols_bytes ? expected_cols : expected_csv;
+      if (reply.value().body != expected) {
+        return OracleResult::Fail(
+            "daemon-served encode is not byte-identical to the CLI encode" +
+            where.str());
+      }
+      const bool hot =
+          reply.value().text.find("hot plan") != std::string::npos;
+      if (first_request && hot) {
+        return OracleResult::Fail(
+            "the first encode reported a hot plan on an empty cache");
+      }
+      if (!first_request && !hot) {
+        return OracleResult::Fail(
+            "a repeat encode refit instead of hitting the plan cache" +
+            where.str());
+      }
+      first_request = false;
+    }
+  }
+
+  // A second tenant's cache is isolated: its first request must refit (a
+  // cold plan) yet produce the same bytes.
+  {
+    serve::RequestBody request;
+    request.options = options_text(1);
+    request.dataset = csv_bytes;
+    auto reply = client.Call(serve::Tag::kEncode, "oracle-b", request);
+    if (!reply.ok() || !reply.value().ok()) {
+      return OracleResult::Fail("second-tenant encode failed");
+    }
+    if (reply.value().text.find("cold plan") == std::string::npos) {
+      return OracleResult::Fail(
+          "a fresh tenant was served another tenant's cached plan");
+    }
+    if (reply.value().body != expected_csv) {
+      return OracleResult::Fail(
+          "second-tenant encode is not byte-identical to the CLI encode");
+    }
+  }
+
+  // Kill-the-daemon-mid-request crash safety: inject faults into the
+  // server-side SavePlan of a fit request. The request's fault-layer ops
+  // form a deterministic tail of the op sequence (the reply is sent only
+  // after the save), so a schedule counted once replays exactly.
+  const std::string save_path = (dir / "plan.key").string();
+  serve::RequestBody fit_request;
+  fit_request.options = options_text(1) + "save " + save_path + "\n";
+  fit_request.dataset = csv_bytes;
+  size_t total_ops = 0;
+  {
+    fault::ScopedFaultInjection probe(fault::FaultSchedule::CountOnly());
+    auto reply = client.Call(serve::Tag::kFit, "oracle", fit_request);
+    if (!reply.ok() || !reply.value().ok()) {
+      return OracleResult::Fail("fit with a server-side save failed");
+    }
+    if (reply.value().body != expected_plan_doc) {
+      return OracleResult::Fail(
+          "the daemon's fitted plan document differs from the CLI plan");
+    }
+    total_ops = probe.ops_seen();
+  }
+  if (total_ops == 0) {
+    return OracleResult::Fail(
+        "fit with save performed no fault-layer I/O — the daemon's "
+        "artifact writes bypass the hardened I/O layer");
+  }
+
+  Rng fault_rng(plan_seed ^ 0x5e12f3c4ull);
+  for (size_t k = 0; k < num_fault_schedules; ++k) {
+    const size_t fire_at = static_cast<size_t>(fault_rng.UniformInt(
+        0, static_cast<int64_t>(total_ops - 1)));
+    const bool crash = fault_rng.Bernoulli(0.5);
+    const double fraction = fault_rng.Uniform01();
+    std::ostringstream where;
+    where << " (schedule " << k << ": " << (crash ? "crash" : "error")
+          << " at op " << fire_at << "/" << total_ops << ", torn fraction "
+          << fraction << ")";
+    fs::remove(save_path, ec);
+    bool fired = false;
+    {
+      fault::ScopedFaultInjection inject(
+          crash ? fault::FaultSchedule::CrashAt(fire_at, fraction)
+                : fault::FaultSchedule::ErrorAt(fire_at, fraction));
+      auto reply = client.Call(serve::Tag::kFit, "oracle", fit_request);
+      fired = inject.fired();
+      if (!reply.ok()) {
+        return OracleResult::Fail(
+            "the daemon did not survive an injected fault: " +
+            reply.status().ToString() + where.str());
+      }
+      if (fired && reply.value().ok()) {
+        return OracleResult::Fail(
+            "the injected fault was swallowed: the fit reported success" +
+            where.str());
+      }
+      if (!fired && !reply.value().ok()) {
+        return OracleResult::Fail("no fault fired yet the fit failed: " +
+                                  reply.value().text + where.str());
+      }
+    }
+    // Invariant: the save path holds either nothing or the complete
+    // canonical plan document — never a torn prefix.
+    if (fault::FileExists(save_path)) {
+      auto bytes = fault::ReadFileToString(save_path);
+      if (!bytes.ok() || bytes.value() != expected_plan_doc) {
+        return OracleResult::Fail(
+            "a fault left a partial plan artifact under the final name" +
+            where.str());
+      }
+    }
+    // Recovery: a fault-free retry publishes the exact CLI plan bytes.
+    auto retry = client.Call(serve::Tag::kFit, "oracle", fit_request);
+    if (!retry.ok() || !retry.value().ok()) {
+      return OracleResult::Fail("the fault-free retry failed" + where.str());
+    }
+    auto saved = fault::ReadFileToString(save_path);
+    if (!saved.ok() || saved.value() != expected_plan_doc) {
+      return OracleResult::Fail(
+          "the retried save is not the canonical plan document" +
+          where.str());
+    }
+  }
+
+  // Protocol shutdown: drain, remove the socket file, exit 0.
+  auto bye = client.Call(serve::Tag::kShutdown, "", serve::RequestBody{});
+  if (!bye.ok() || !bye.value().ok()) {
+    return OracleResult::Fail("the shutdown request failed");
+  }
+  server_thread.join();
+  if (serve_exit != 0) {
+    std::ostringstream oss;
+    oss << "a drained daemon exited " << serve_exit << " instead of 0 (log: "
+        << server_log.str() << ")";
+    return OracleResult::Fail(oss.str());
+  }
+  if (fault::FileExists(serve_options.socket_path)) {
+    return OracleResult::Fail(
+        "the daemon exited without removing its socket file");
+  }
+  return OracleResult::Ok();
+}
+
 TrialContext MakeTrialContext(TrialCase c) {
   TrialContext ctx;
   Rng plan_rng(c.plan_seed);
@@ -898,6 +1189,15 @@ const std::vector<Oracle>& AllOracles() {
            return CheckFaultCrashSafety(ctx.c.data, ctx.c.plan_seed,
                                         ctx.c.transform_options, chunk,
                                         /*num_schedules=*/3);
+         }},
+        {"serve_vs_cli",
+         [](const TrialContext& ctx) {
+           // A real daemon round trip per case is the costliest oracle, so
+           // the per-case fault batch stays small; tests/serve_test.cc and
+           // the ci_check serve stage cover the lifecycle edges.
+           return CheckServeVsCli(ctx.c.data, ctx.c.plan_seed,
+                                  ctx.c.transform_options,
+                                  /*num_fault_schedules=*/2);
          }},
         {"parallel_determinism",
          [](const TrialContext& ctx) {

@@ -144,6 +144,24 @@ OracleResult CheckFaultCrashSafety(const Dataset& original, uint64_t plan_seed,
                                    const PiecewiseOptions& transform_options,
                                    size_t chunk_rows, size_t num_schedules);
 
+/// The serving contract (src/serve): a popp-serve daemon started on a
+/// scratch Unix socket must produce encode replies *byte-identical* to the
+/// one-shot CLI encode with the same seed/policy flags — at 1, 2 and 7
+/// request threads, in both CSV and popp-cols request framing (replies
+/// mirror the request framing: CSV requests get the CLI's CSV bytes,
+/// cols requests get the same release as popp-cols), cold and
+/// hot (the repeat requests must actually hit the plan cache), and from a
+/// second tenant whose cache is isolated. A fit with a server-side save
+/// path is then driven through seed-derived fault schedules (clean errors
+/// and simulated kills mid-save, reusing the src/fault fail points): the
+/// daemon must survive and report the fault in the reply, the save path
+/// must never hold a partial or non-canonical plan document, and a
+/// fault-free retry must publish the exact CLI plan bytes. Finally a
+/// protocol shutdown must drain, remove the socket file and exit 0.
+OracleResult CheckServeVsCli(const Dataset& original, uint64_t plan_seed,
+                             const PiecewiseOptions& transform_options,
+                             size_t num_fault_schedules);
+
 /// A trial case with its derived artifacts, evaluated by every oracle.
 struct TrialContext {
   TrialCase c;
@@ -163,7 +181,8 @@ struct Oracle {
 /// The registry the fuzz driver iterates: encode_bijective,
 /// global_invariant, label_runs, tree_equivalence, tree_equivalence_pruned,
 /// serialize_roundtrip, stream_vs_batch, cols_vs_csv,
-/// compiled_vs_interpreted, parallel_determinism, fault_crash_safety.
+/// compiled_vs_interpreted, parallel_determinism, fault_crash_safety,
+/// serve_vs_cli.
 const std::vector<Oracle>& AllOracles();
 
 /// Evaluates the named oracle on a bare case (re-deriving plan and release).

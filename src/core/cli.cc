@@ -10,7 +10,10 @@
 #include "core/report.h"
 #include "data/cols.h"
 #include "data/csv.h"
+#include "fault/file.h"
 #include "parallel/exec_policy.h"
+#include "serve/client.h"
+#include "serve/protocol.h"
 #include "stream/chunk_io.h"
 #include "stream/cols_io.h"
 #include "stream/manifest.h"
@@ -46,6 +49,24 @@ constexpr char kUsage[] =
     "provider commands:\n"
     "  mine <data.csv> <tree.out> [--criterion gini|entropy|gainratio]\n"
     "       [--prune] [--max-depth D] [--min-leaf N]\n"
+    "\n"
+    "daemon commands (against a running popp-serve):\n"
+    "  serve-client <socket> fit <in.csv> <key.out> [--save SERVER_PATH]\n"
+    "  serve-client <socket> encode <in.csv> <out.csv>\n"
+    "  serve-client <socket> decode <tree.in> <original.csv> <tree.out>\n"
+    "  serve-client <socket> verify <in.csv>\n"
+    "  serve-client <socket> risk <in.csv> [--trials N]\n"
+    "  serve-client <socket> stats\n"
+    "  serve-client <socket> shutdown\n"
+    "  all take --tenant NAME (default 'default') plus the usual --seed,\n"
+    "  --policy, --breakpoints, --anti, --threads, --no-compiled flags;\n"
+    "  dataset files are sent to the daemon verbatim, so a popp-cols input\n"
+    "  rides the zero-copy path. Outputs are written atomically\n"
+    "  client-side; daemon-served encode output is byte-identical to\n"
+    "  `popp encode` with the same flags. Encode replies mirror the\n"
+    "  request framing: a CSV input yields the CLI's CSV, a popp-cols\n"
+    "  input yields the release as popp-cols (~50x cheaper to\n"
+    "  serialize).\n"
     "\n"
     "every command also accepts --threads N (default 1 = serial; 0 = all\n"
     "hardware threads). Results are bit-identical for every N.\n"
@@ -493,6 +514,147 @@ int CmdConvert(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
   return 0;
 }
 
+/// Renders the request options line protocol (serve/ops.h vocabulary)
+/// from the familiar CLI flags, so a serve-client invocation and the
+/// matching one-shot command describe the same fit.
+std::string ServeOptionsText(const ParsedArgs& args) {
+  std::string text;
+  const auto copy = [&](const std::string& flag) {
+    auto it = args.flags.find(flag);
+    if (it != args.flags.end()) text += flag + " " + it->second + "\n";
+  };
+  copy("seed");
+  copy("policy");
+  copy("breakpoints");
+  copy("threads");
+  copy("trials");
+  copy("save");
+  if (args.flags.count("anti") > 0) text += "anti\n";
+  if (args.flags.count("no-compiled") > 0) text += "no-compiled\n";
+  return text;
+}
+
+int CmdServeClient(const ParsedArgs& args, std::ostream& out,
+                   std::ostream& err) {
+  if (args.positional.size() < 2) {
+    err << "serve-client needs <socket> <op> [args] (ops: fit encode "
+           "decode verify risk stats shutdown)\n";
+    return 2;
+  }
+  const std::string& socket_path = args.positional[0];
+  auto tag = serve::ParseTag(args.positional[1]);
+  if (!tag.ok() || tag.value() == serve::Tag::kReply) {
+    err << "serve-client: unknown op '" << args.positional[1]
+        << "' (ops: fit encode decode verify risk stats shutdown)\n";
+    return 2;
+  }
+  // Positional shape per op: op args after <socket> <op>.
+  const std::vector<std::string> rest(args.positional.begin() + 2,
+                                      args.positional.end());
+  size_t want_inputs = 0;   // dataset (+ tree for decode)
+  size_t want_outputs = 0;  // client-side artifact paths
+  switch (tag.value()) {
+    case serve::Tag::kFit:
+      want_inputs = 1;
+      want_outputs = 1;  // <key.out>
+      break;
+    case serve::Tag::kEncode:
+      want_inputs = 1;
+      want_outputs = 1;  // <out.csv>
+      break;
+    case serve::Tag::kDecode:
+      want_inputs = 2;  // <tree.in> <original.csv>
+      want_outputs = 1;  // <tree.out>
+      break;
+    case serve::Tag::kVerify:
+    case serve::Tag::kRisk:
+      want_inputs = 1;
+      break;
+    default:
+      break;  // stats / shutdown take no op args
+  }
+  if (rest.size() != want_inputs + want_outputs) {
+    err << "serve-client " << serve::TagName(tag.value()) << " needs "
+        << want_inputs + want_outputs << " argument(s), got " << rest.size()
+        << " (see popp help)\n";
+    return 2;
+  }
+
+  serve::RequestBody request;
+  request.options = ServeOptionsText(args);
+  std::string output_path;
+  if (tag.value() == serve::Tag::kDecode) {
+    auto tree_bytes = fault::ReadFileToString(rest[0]);
+    if (!tree_bytes.ok()) {
+      err << tree_bytes.status().ToString() << "\n";
+      return ExitFor(tree_bytes.status());
+    }
+    request.extra = std::move(tree_bytes).value();
+  }
+  if (want_inputs > 0) {
+    // The dataset file rides the wire verbatim: the daemon sniffs the
+    // popp-cols magic, so a binary container keeps its zero-copy path and
+    // a CSV parses exactly as the one-shot CLI would have parsed it.
+    const std::string& data_path = rest[want_inputs - 1];
+    auto data_bytes = fault::ReadFileToString(data_path);
+    if (!data_bytes.ok()) {
+      err << data_bytes.status().ToString() << "\n";
+      return ExitFor(data_bytes.status());
+    }
+    request.dataset = std::move(data_bytes).value();
+  }
+  if (want_outputs > 0) output_path = rest.back();
+
+  serve::ServeClient client;
+  Status status = client.Connect(socket_path);
+  if (!status.ok()) {
+    err << status.ToString() << "\n";
+    return status.code() == StatusCode::kFailedPrecondition
+               ? 2
+               : ExitFor(status);
+  }
+  auto tenant_it = args.flags.find("tenant");
+  const std::string tenant =
+      tenant_it != args.flags.end() ? tenant_it->second : "default";
+  auto reply = client.Call(tag.value(), tenant, request);
+  if (!reply.ok()) {
+    err << reply.status().ToString() << "\n";
+    return ExitFor(reply.status());
+  }
+  if (!reply.value().ok()) {
+    err << reply.value().text << "\n";
+    return ExitFor(Status(reply.value().code, reply.value().text));
+  }
+
+  out << reply.value().text << "\n";
+  switch (tag.value()) {
+    case serve::Tag::kVerify:
+      // The reply text is the verdict; the body carries failure detail.
+      if (reply.value().text.find("FAILED") != std::string::npos) {
+        err << reply.value().body << "\n";
+        return 1;
+      }
+      return 0;
+    case serve::Tag::kRisk:
+    case serve::Tag::kStats:
+      out << reply.value().body;
+      return 0;
+    default:
+      break;
+  }
+  if (!output_path.empty()) {
+    // Client-side artifacts get the same atomic publication discipline as
+    // the daemon's --save path: no partial file under the final name.
+    status = fault::WriteFileAtomic(output_path, reply.value().body);
+    if (!status.ok()) {
+      err << status.ToString() << "\n";
+      return ExitFor(status);
+    }
+    out << "written to " << output_path << "\n";
+  }
+  return 0;
+}
+
 }  // namespace
 
 int RunCli(const std::vector<std::string>& args, std::ostream& out,
@@ -506,7 +668,8 @@ int RunCli(const std::vector<std::string>& args, std::ostream& out,
   static const std::vector<std::string> kValueFlags = {
       "seed",     "policy", "breakpoints", "criterion",  "max-depth",
       "min-leaf", "trials", "max-risk",    "threads",    "chunk-rows",
-      "ood-policy", "fit-rows", "key-in", "format", "to"};
+      "ood-policy", "fit-rows", "key-in", "format", "to", "tenant",
+      "save"};
   const ParsedArgs parsed = Parse(rest, kValueFlags);
   if (command == "encode") return CmdEncode(parsed, out, err);
   if (command == "stream-release") return CmdStreamRelease(parsed, out, err);
@@ -516,6 +679,7 @@ int RunCli(const std::vector<std::string>& args, std::ostream& out,
   if (command == "report") return CmdReport(parsed, out, err);
   if (command == "harden") return CmdHarden(parsed, out, err);
   if (command == "convert") return CmdConvert(parsed, out, err);
+  if (command == "serve-client") return CmdServeClient(parsed, out, err);
   err << "unknown command '" << command << "'\n" << kUsage;
   return 2;
 }

@@ -4,6 +4,7 @@
 #include <bit>
 #include <cstring>
 #include <sstream>
+#include <unordered_set>
 #include <utility>
 
 #include "fault/file.h"
@@ -196,14 +197,30 @@ std::string ColumnPayload(const std::vector<AttrValue>& values,
 
   // The column's distinct bit patterns in IEEE total order — the
   // dictionary candidate (for an F_bi-heavy attribute this is its active
-  // domain).
-  std::vector<uint64_t> keys;
-  keys.reserve(rows);
+  // domain). Dictionary framing costs 8 + 8*D + rows*width bytes against
+  // rows*8 raw, and width is at least one byte, so once the distinct
+  // count D reaches ceil((7*rows - 8) / 8) the dictionary cannot win for
+  // any width; collecting distincts with that exact cut-off lets a
+  // mostly-distinct column (every released attribute after the piecewise
+  // transform) skip the full-row sort entirely, while keeping the
+  // dict-vs-raw decision — and therefore the output bytes — identical.
+  const size_t no_win_distincts =
+      rows >= 2 ? (7 * rows - 8 + 7) / 8 : rows + 1;
+  std::unordered_set<uint64_t> distinct;
+  distinct.reserve(std::min(no_win_distincts, rows));
+  bool dict_possible = true;
   for (AttrValue v : values) {
-    keys.push_back(TotalOrderKey(std::bit_cast<uint64_t>(v)));
+    distinct.insert(TotalOrderKey(std::bit_cast<uint64_t>(v)));
+    if (distinct.size() >= no_win_distincts) {
+      dict_possible = false;
+      break;
+    }
   }
-  std::sort(keys.begin(), keys.end());
-  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+  std::vector<uint64_t> keys;
+  if (dict_possible) {
+    keys.assign(distinct.begin(), distinct.end());
+    std::sort(keys.begin(), keys.end());
+  }
 
   const size_t dict_size = keys.size();
   const uint8_t width = WidthFor(std::max<size_t>(dict_size, 1));
@@ -211,7 +228,7 @@ std::string ColumnPayload(const std::vector<AttrValue>& values,
   const size_t raw_bytes = rows * 8;
 
   std::string payload;
-  if (dict_size <= (1ull << 32) && dict_bytes < raw_bytes) {
+  if (dict_possible && dict_size <= (1ull << 32) && dict_bytes < raw_bytes) {
     *kind = kKindColumnDict;
     payload.reserve(dict_bytes);
     PutU32(payload, static_cast<uint32_t>(dict_size));

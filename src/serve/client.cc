@@ -1,0 +1,69 @@
+#include "serve/client.h"
+
+#include <errno.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "fault/file.h"
+
+namespace popp::serve {
+
+ServeClient::~ServeClient() { Close(); }
+
+Status ServeClient::Connect(const std::string& socket_path) {
+  Close();
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.empty() || socket_path.size() >= sizeof(addr.sun_path)) {
+    return Status::InvalidArgument("socket path must be 1.." +
+                                   std::to_string(sizeof(addr.sun_path) - 1) +
+                                   " bytes: '" + socket_path + "'");
+  }
+  if (!fault::FileExists(socket_path)) {
+    return Status::NotFound("no popp-serve socket at '" + socket_path +
+                            "' (is the daemon running?)");
+  }
+  ::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    return Status::IoError(std::string("socket() failed: ") +
+                           ::strerror(errno));
+  }
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    const std::string detail = ::strerror(errno);
+    Close();
+    return Status::FailedPrecondition(
+        "cannot connect to '" + socket_path + "': " + detail +
+        " (the daemon may have exited; a stale socket file is reclaimed "
+        "by the next popp-serve start)");
+  }
+  return Status::Ok();
+}
+
+Result<ReplyBody> ServeClient::Call(Tag tag, const std::string& tenant,
+                                    const RequestBody& request) {
+  if (fd_ < 0) {
+    return Status::FailedPrecondition("Call() before a successful Connect()");
+  }
+  POPP_RETURN_IF_ERROR(SendFrame(fd_, tag, tenant, request.Encode()));
+  auto frame = RecvFrame(fd_);
+  if (!frame.ok()) return frame.status();
+  if (frame.value().tag != Tag::kReply) {
+    return Status::DataLoss("peer answered with tag " +
+                            std::string(TagName(frame.value().tag)) +
+                            " instead of a reply frame");
+  }
+  return ReplyBody::Decode(frame.value().payload);
+}
+
+void ServeClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace popp::serve

@@ -1,0 +1,47 @@
+#ifndef POPP_SERVE_CLIENT_H_
+#define POPP_SERVE_CLIENT_H_
+
+#include <string>
+
+#include "serve/protocol.h"
+#include "util/status.h"
+
+/// \file
+/// Client side of the popp-serve protocol: connect to a daemon's Unix
+/// socket, issue requests, read replies. One Call is one round trip; the
+/// connection stays open across calls (the daemon serves one in-flight
+/// request per connection, so sequential calls reuse the hot path without
+/// re-connecting). Used by the `popp serve-client` CLI subcommand, the
+/// serve tests, the serve_vs_cli oracle and bench_serve.
+
+namespace popp::serve {
+
+class ServeClient {
+ public:
+  ServeClient() = default;
+  ~ServeClient();
+
+  ServeClient(const ServeClient&) = delete;
+  ServeClient& operator=(const ServeClient&) = delete;
+
+  /// Connects to a daemon. A missing socket file is `kNotFound`; a
+  /// refused connection (stale socket, daemon gone) is
+  /// `kFailedPrecondition` — both name the path.
+  Status Connect(const std::string& socket_path);
+  bool connected() const { return fd_ >= 0; }
+
+  /// One request/reply round trip. Transport or framing failures are the
+  /// Status; an operation-level failure arrives as an OK Result whose
+  /// ReplyBody carries the server's StatusCode and diagnostic.
+  Result<ReplyBody> Call(Tag tag, const std::string& tenant,
+                         const RequestBody& request);
+
+  void Close();
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace popp::serve
+
+#endif  // POPP_SERVE_CLIENT_H_

@@ -1,0 +1,279 @@
+#include "serve/ops.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <mutex>
+#include <sstream>
+#include <utility>
+
+#include "core/custodian.h"
+#include "core/report.h"
+#include "data/cols.h"
+#include "data/csv.h"
+#include "parallel/exec_policy.h"
+#include "transform/serialize.h"
+#include "transform/tree_decode.h"
+#include "tree/serialize.h"
+#include "util/rng.h"
+
+namespace popp::serve {
+namespace {
+
+/// The parsed option surface shared by every op (see ops.h).
+struct OpOptions {
+  PiecewiseOptions transform;
+  uint64_t seed = 1;
+  ExecPolicy exec;
+  bool use_compiled = true;
+  size_t trials = 31;
+  std::string save_path;
+};
+
+Result<OpOptions> ParseOptions(const std::string& text,
+                               const OpConfig& config) {
+  OpOptions options;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const size_t space = line.find(' ');
+    const std::string key = line.substr(0, space);
+    const std::string value =
+        space == std::string::npos ? "" : line.substr(space + 1);
+    if (key == "seed") {
+      options.seed = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (key == "policy") {
+      if (value == "none") {
+        options.transform.policy = BreakpointPolicy::kNone;
+      } else if (value == "bp") {
+        options.transform.policy = BreakpointPolicy::kChooseBP;
+      } else if (value == "maxmp") {
+        options.transform.policy = BreakpointPolicy::kChooseMaxMP;
+      } else {
+        return Status::InvalidArgument("unknown policy '" + value + "'");
+      }
+    } else if (key == "breakpoints") {
+      options.transform.min_breakpoints =
+          std::strtoull(value.c_str(), nullptr, 10);
+    } else if (key == "anti") {
+      options.transform.global_anti_monotone = true;
+    } else if (key == "threads") {
+      const size_t requested = std::strtoull(value.c_str(), nullptr, 10);
+      options.exec.num_threads = std::min(
+          std::max<size_t>(requested, 1), config.max_request_threads);
+    } else if (key == "no-compiled") {
+      options.use_compiled = false;
+    } else if (key == "trials") {
+      options.trials = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (key == "save") {
+      options.save_path = value;
+    } else {
+      return Status::InvalidArgument("unknown request option '" + key + "'");
+    }
+  }
+  return options;
+}
+
+/// Parses the request's dataset bytes, sniffing the popp-cols magic so the
+/// binary container takes the PR 7 zero-copy validation path and anything
+/// else goes through the incremental CSV tokenizer.
+Result<Dataset> ParseRequestDataset(const std::string& bytes) {
+  if (bytes.empty()) {
+    return Status::InvalidArgument("request carries no dataset bytes");
+  }
+  if (LooksLikeCols(bytes)) return ParseCols(bytes);
+  return ParseCsv(bytes);
+}
+
+/// Fetches the tenant's plan for (data's schema, seed, policy), fitting
+/// and caching on a miss. Must be called under the workspace lock. The
+/// bool reports whether the plan was served hot.
+std::pair<const CachedPlan*, bool> GetOrFitPlan(Workspace& workspace,
+                                                const Dataset& data,
+                                                const OpOptions& options) {
+  const PlanKey key =
+      PlanKey::Make(data.schema(), options.seed, options.transform);
+  if (const CachedPlan* hit = workspace.cache().Lookup(key)) {
+    return {hit, true};
+  }
+  // The exact CLI fitting sequence: a fresh Rng seeded with the request
+  // seed, consumed only by plan creation — byte-identical to `popp
+  // encode --seed N` at every thread count.
+  Rng rng(options.seed);
+  CachedPlan cached;
+  cached.plan =
+      TransformPlan::Create(data, options.transform, rng, options.exec);
+  cached.compiled = CompiledPlan::Compile(cached.plan);
+  return {workspace.cache().Insert(key, std::move(cached)), false};
+}
+
+ReplyBody OpFit(Workspace& workspace, const RequestBody& request,
+                const OpConfig& config) {
+  auto options = ParseOptions(request.options, config);
+  if (!options.ok()) return ReplyBody::Error(options.status());
+  auto data = ParseRequestDataset(request.dataset);
+  if (!data.ok()) return ReplyBody::Error(data.status());
+
+  std::lock_guard<std::mutex> lock(workspace.mutex());
+  ++workspace.requests_served;
+  const auto [cached, hot] = GetOrFitPlan(workspace, data.value(),
+                                          options.value());
+  const std::string document = SerializePlan(cached->plan);
+  if (!options.value().save_path.empty()) {
+    // Artifact persistence goes through the hardened atomic writer
+    // (SavePlan stages in <path>.tmp and renames), so a daemon killed
+    // mid-save never leaves a partial key under the final name.
+    const Status saved = SavePlan(cached->plan, options.value().save_path);
+    if (!saved.ok()) return ReplyBody::Error(saved);
+  }
+  const PlanKey key = PlanKey::Make(data.value().schema(),
+                                    options.value().seed,
+                                    options.value().transform);
+  return ReplyBody::Ok(
+      std::string(hot ? "cached" : "fitted") + " plan " + key.Render() +
+          " (" + std::to_string(data.value().NumAttributes()) +
+          " attributes)",
+      document);
+}
+
+ReplyBody OpEncode(Workspace& workspace, const RequestBody& request,
+                   const OpConfig& config) {
+  auto options = ParseOptions(request.options, config);
+  if (!options.ok()) return ReplyBody::Error(options.status());
+  auto data = ParseRequestDataset(request.dataset);
+  if (!data.ok()) return ReplyBody::Error(data.status());
+
+  std::lock_guard<std::mutex> lock(workspace.mutex());
+  ++workspace.requests_served;
+  const auto [cached, hot] = GetOrFitPlan(workspace, data.value(),
+                                          options.value());
+  const Dataset released =
+      options.value().use_compiled
+          ? cached->compiled.EncodeDataset(data.value(), options.value().exec)
+          : cached->plan.EncodeDataset(data.value(), options.value().exec);
+  // The reply mirrors the request framing: a popp-cols request gets a
+  // popp-cols release (the binary container is ~50x cheaper to serialize
+  // than CSV, which is where warm-request latency goes otherwise); a CSV
+  // request gets the byte-identical CSV that `popp encode` would write.
+  const bool cols_framed = LooksLikeCols(request.dataset);
+  return ReplyBody::Ok("encoded " + std::to_string(released.NumRows()) +
+                           " rows x " +
+                           std::to_string(released.NumAttributes()) +
+                           " attributes (" + (hot ? "hot" : "cold") +
+                           " plan, " + (cols_framed ? "cols" : "csv") +
+                           " reply)",
+                       cols_framed ? SerializeCols(released)
+                                   : ToCsvString(released));
+}
+
+ReplyBody OpDecode(Workspace& workspace, const RequestBody& request,
+                   const OpConfig& config) {
+  auto options = ParseOptions(request.options, config);
+  if (!options.ok()) return ReplyBody::Error(options.status());
+  if (request.extra.empty()) {
+    return ReplyBody::Error(Status::InvalidArgument(
+        "decode needs the mined tree document in the request's extra "
+        "section"));
+  }
+  auto tree = ParseTree(request.extra);
+  if (!tree.ok()) return ReplyBody::Error(tree.status());
+  auto data = ParseRequestDataset(request.dataset);
+  if (!data.ok()) return ReplyBody::Error(data.status());
+
+  std::lock_guard<std::mutex> lock(workspace.mutex());
+  ++workspace.requests_served;
+  const auto [cached, hot] = GetOrFitPlan(workspace, data.value(),
+                                          options.value());
+  const DecisionTree decoded =
+      DecodeTreeWithData(tree.value(), cached->plan, data.value());
+  return ReplyBody::Ok("decoded tree (" +
+                           std::to_string(decoded.NumLeaves()) +
+                           " leaves, " + (hot ? "hot" : "cold") + " plan)",
+                       SerializeTree(decoded));
+}
+
+ReplyBody OpVerify(Workspace& workspace, const RequestBody& request,
+                   const OpConfig& config) {
+  auto options = ParseOptions(request.options, config);
+  if (!options.ok()) return ReplyBody::Error(options.status());
+  auto data = ParseRequestDataset(request.dataset);
+  if (!data.ok()) return ReplyBody::Error(data.status());
+
+  std::lock_guard<std::mutex> lock(workspace.mutex());
+  ++workspace.requests_served;
+  CustodianOptions custodian_options;
+  custodian_options.seed = options.value().seed;
+  custodian_options.transform = options.value().transform;
+  custodian_options.exec = options.value().exec;
+  custodian_options.use_compiled = options.value().use_compiled;
+  const Custodian custodian(std::move(data).value(), custodian_options);
+  std::string detail;
+  const bool ok = custodian.VerifyNoOutcomeChange(&detail);
+  return ReplyBody::Ok(ok ? "no-outcome-change: VERIFIED"
+                          : "no-outcome-change: FAILED",
+                       detail);
+}
+
+ReplyBody OpRisk(Workspace& workspace, const RequestBody& request,
+                 const OpConfig& config) {
+  auto options = ParseOptions(request.options, config);
+  if (!options.ok()) return ReplyBody::Error(options.status());
+  auto data = ParseRequestDataset(request.dataset);
+  if (!data.ok()) return ReplyBody::Error(data.status());
+
+  std::lock_guard<std::mutex> lock(workspace.mutex());
+  ++workspace.requests_served;
+  CustodianOptions custodian_options;
+  custodian_options.seed = options.value().seed;
+  custodian_options.transform = options.value().transform;
+  custodian_options.exec = options.value().exec;
+  custodian_options.use_compiled = options.value().use_compiled;
+  const Custodian custodian(std::move(data).value(), custodian_options);
+  ReportOptions report_options;
+  report_options.num_trials = options.value().trials;
+  report_options.seed = custodian_options.seed + 1;  // the CLI's discipline
+  report_options.exec = custodian_options.exec;
+  return ReplyBody::Ok(
+      "risk report (" + std::to_string(report_options.num_trials) +
+          " trials)",
+      RenderRiskReport(BuildRiskReport(custodian, report_options)));
+}
+
+ReplyBody OpStats(Workspace& workspace, const RequestBody& request,
+                  const OpConfig& config) {
+  (void)request;
+  (void)config;
+  std::lock_guard<std::mutex> lock(workspace.mutex());
+  ++workspace.requests_served;
+  return ReplyBody::Ok("stats for tenant '" + workspace.name() + "'",
+                       workspace.RenderStats());
+}
+
+}  // namespace
+
+const std::map<Tag, OpHandler>& OpRegistry() {
+  static const std::map<Tag, OpHandler>* registry = [] {
+    auto* m = new std::map<Tag, OpHandler>;
+    (*m)[Tag::kFit] = {TagName(Tag::kFit), OpFit};
+    (*m)[Tag::kEncode] = {TagName(Tag::kEncode), OpEncode};
+    (*m)[Tag::kDecode] = {TagName(Tag::kDecode), OpDecode};
+    (*m)[Tag::kVerify] = {TagName(Tag::kVerify), OpVerify};
+    (*m)[Tag::kRisk] = {TagName(Tag::kRisk), OpRisk};
+    (*m)[Tag::kStats] = {TagName(Tag::kStats), OpStats};
+    return m;
+  }();
+  return *registry;
+}
+
+ReplyBody DispatchOp(Tag tag, Workspace& workspace, const RequestBody& request,
+                     const OpConfig& config) {
+  const auto it = OpRegistry().find(tag);
+  if (it == OpRegistry().end()) {
+    return ReplyBody::Error(Status::InvalidArgument(
+        "request tag " + std::to_string(static_cast<int>(tag)) +
+        " is not a registered operation"));
+  }
+  return it->second.run(workspace, request, config);
+}
+
+}  // namespace popp::serve

@@ -1,0 +1,68 @@
+#ifndef POPP_SERVE_OPS_H_
+#define POPP_SERVE_OPS_H_
+
+#include <functional>
+#include <map>
+#include <string>
+
+#include "serve/protocol.h"
+#include "serve/workspace.h"
+
+/// \file
+/// The daemon's request operations, dispatched through a tag-keyed
+/// registry (the caffe2 registry.h idiom: a static map from key to
+/// factory/handler, so adding an op is one registration and the server's
+/// connection loop never grows a switch).
+///
+/// Every dataset-carrying op shares the same request shape
+/// (protocol.h `RequestBody`) and the same option vocabulary:
+///
+///   seed N          encoding seed                      (default 1)
+///   policy P        none | bp | maxmp                  (default maxmp)
+///   breakpoints W   minimum breakpoint count           (default 20)
+///   anti            global-anti-monotone direction
+///   threads N       ExecPolicy for this request        (default 1,
+///                   capped by the server's max_request_threads)
+///   no-compiled     force the interpreted encode path
+///   trials N        risk-report trials                 (risk; default 31)
+///   save PATH       also persist the op's artifact server-side (fit:
+///                   the plan key document), atomically via
+///                   fault::AtomicFileWriter
+///
+/// Determinism contract: a served encode is byte-identical to `popp
+/// encode` on the same input at every thread count and in either dataset
+/// framing (CSV or popp-cols) — the serve_vs_cli oracle gates it.
+
+namespace popp::serve {
+
+/// Server-side knobs an op consults.
+struct OpConfig {
+  /// Ceiling on the per-request `threads` option (a tenant cannot demand
+  /// unbounded pools; the bytes do not depend on the cap).
+  size_t max_request_threads = 16;
+};
+
+/// One registered operation.
+struct OpHandler {
+  /// Human name, for diagnostics (= TagName of the registered tag).
+  std::string name;
+  /// Runs the op against the tenant's workspace. Implementations lock
+  /// `workspace.mutex()` themselves around cache access; the registry
+  /// wrapper does not serialize, so independent tenants run concurrently.
+  std::function<ReplyBody(Workspace& workspace, const RequestBody& request,
+                          const OpConfig& config)>
+      run;
+};
+
+/// The tag -> handler registry (fit, encode, decode, verify, risk, stats).
+/// kShutdown is intentionally absent: lifecycle belongs to the server.
+const std::map<Tag, OpHandler>& OpRegistry();
+
+/// Dispatches one request frame body. Unknown tags produce an
+/// InvalidArgument reply; a handler's reply is returned as-is.
+ReplyBody DispatchOp(Tag tag, Workspace& workspace, const RequestBody& request,
+                     const OpConfig& config);
+
+}  // namespace popp::serve
+
+#endif  // POPP_SERVE_OPS_H_

@@ -1,0 +1,111 @@
+#ifndef POPP_SERVE_PLAN_CACHE_H_
+#define POPP_SERVE_PLAN_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "data/schema.h"
+#include "transform/compiled.h"
+#include "transform/piecewise.h"
+#include "transform/plan.h"
+
+/// \file
+/// The daemon's hot compiled-plan cache.
+///
+/// Refitting a plan is the dominant per-request cost of the CLI; the
+/// serving shape fits once and answers every later request with one
+/// compiled-kernel pass. Plans are keyed by (schema fingerprint, seed,
+/// policy):
+///
+///  * schema fingerprint — CRC-64 over a canonical rendering of the
+///    relation's attribute names and class dictionary, so two relations
+///    only share a plan when they agree on shape and vocabulary;
+///  * seed — the encoding seed (a different seed is a different key by
+///    definition of the release);
+///  * policy — a canonical rendering of every PiecewiseOptions knob, so
+///    any change to the transform configuration misses the cache instead
+///    of silently reusing a plan fitted under different rules.
+///
+/// Eviction is strict LRU over a fixed capacity. Each cache belongs to
+/// exactly one tenant workspace (serve/workspace.h) and is guarded by the
+/// workspace lock, so tenants can neither observe each other's plans nor
+/// each other's eviction timing — capacity pressure from tenant A never
+/// evicts (or reorders) tenant B's entries.
+
+namespace popp::serve {
+
+/// CRC-64 fingerprint of a schema's canonical rendering (attribute names
+/// and class names, length-delimited, in schema order).
+uint64_t SchemaFingerprint(const Schema& schema);
+
+/// Canonical single-line rendering of every PiecewiseOptions knob. Equal
+/// renderings guarantee equal fitting behavior for equal (data, seed).
+std::string PolicyFingerprint(const PiecewiseOptions& options);
+
+/// The cache key (see the file comment).
+struct PlanKey {
+  uint64_t schema_fp = 0;
+  uint64_t seed = 0;
+  std::string policy;
+
+  /// The flat map/diagnostic form ("<schema_fp hex>/<seed>/<policy>").
+  std::string Render() const;
+
+  static PlanKey Make(const Schema& schema, uint64_t seed,
+                      const PiecewiseOptions& options);
+};
+
+/// A fitted plan held hot: the exact TransformPlan plus its compiled form
+/// (the one-pass encode kernels of PR 4).
+struct CachedPlan {
+  TransformPlan plan;
+  CompiledPlan compiled;
+};
+
+/// Counters the stats op reports (per tenant).
+struct PlanCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  size_t resident = 0;
+  size_t capacity = 0;
+};
+
+/// A strict-LRU map from PlanKey to CachedPlan. Not internally locked:
+/// the owning workspace serializes access (one lock per tenant keeps
+/// tenants' timing observably independent).
+class PlanCache {
+ public:
+  /// `capacity` >= 1 entries are kept resident.
+  explicit PlanCache(size_t capacity);
+
+  /// Returns the cached plan for `key` and marks it most-recently-used,
+  /// or nullptr on a miss. Counts a hit or a miss.
+  const CachedPlan* Lookup(const PlanKey& key);
+
+  /// Inserts (or replaces) the plan for `key` as most-recently-used,
+  /// evicting the least-recently-used entry when over capacity. Returns
+  /// the resident entry.
+  const CachedPlan* Insert(const PlanKey& key, CachedPlan plan);
+
+  size_t size() const { return entries_.size(); }
+  const PlanCacheStats& stats() const { return stats_; }
+
+ private:
+  struct Entry {
+    std::string rendered_key;
+    CachedPlan plan;
+  };
+
+  size_t capacity_;
+  std::list<Entry> lru_;  // front = most recently used
+  std::unordered_map<std::string, std::list<Entry>::iterator> entries_;
+  PlanCacheStats stats_;
+};
+
+}  // namespace popp::serve
+
+#endif  // POPP_SERVE_PLAN_CACHE_H_

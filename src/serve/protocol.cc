@@ -1,0 +1,288 @@
+#include "serve/protocol.h"
+
+#include <errno.h>
+#include <poll.h>
+#include <string.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "util/crc64.h"
+
+namespace popp::serve {
+namespace {
+
+void PutU16(std::string* out, uint16_t v) {
+  out->push_back(static_cast<char>(v & 0xff));
+  out->push_back(static_cast<char>((v >> 8) & 0xff));
+}
+
+void PutU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+uint16_t GetU16(const char* p) {
+  const auto* u = reinterpret_cast<const unsigned char*>(p);
+  return static_cast<uint16_t>(u[0] | (u[1] << 8));
+}
+
+uint32_t GetU32(const char* p) {
+  const auto* u = reinterpret_cast<const unsigned char*>(p);
+  return static_cast<uint32_t>(u[0]) | (static_cast<uint32_t>(u[1]) << 8) |
+         (static_cast<uint32_t>(u[2]) << 16) |
+         (static_cast<uint32_t>(u[3]) << 24);
+}
+
+uint64_t GetU64(const char* p) {
+  uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) {
+    v = (v << 8) | static_cast<unsigned char>(p[i]);
+  }
+  return v;
+}
+
+/// Appends a u32-length-prefixed section.
+void PutSection(std::string* out, std::string_view bytes) {
+  PutU32(out, static_cast<uint32_t>(bytes.size()));
+  out->append(bytes);
+}
+
+/// Splits a u32-length-prefixed section off the front of `rest`.
+Status TakeSection(std::string_view* rest, std::string* out,
+                   const char* what) {
+  if (rest->size() < 4) {
+    return Status::DataLoss(std::string("request body truncated before ") +
+                            what + " length");
+  }
+  const uint32_t len = GetU32(rest->data());
+  rest->remove_prefix(4);
+  if (rest->size() < len) {
+    return Status::DataLoss(std::string("request body truncated inside ") +
+                            what);
+  }
+  out->assign(rest->substr(0, len));
+  rest->remove_prefix(len);
+  return Status::Ok();
+}
+
+}  // namespace
+
+const char* TagName(Tag tag) {
+  switch (tag) {
+    case Tag::kFit:
+      return "fit";
+    case Tag::kEncode:
+      return "encode";
+    case Tag::kDecode:
+      return "decode";
+    case Tag::kVerify:
+      return "verify";
+    case Tag::kRisk:
+      return "risk";
+    case Tag::kStats:
+      return "stats";
+    case Tag::kShutdown:
+      return "shutdown";
+    case Tag::kReply:
+      return "reply";
+  }
+  return "unknown";
+}
+
+Result<Tag> ParseTag(std::string_view name) {
+  for (const Tag tag :
+       {Tag::kFit, Tag::kEncode, Tag::kDecode, Tag::kVerify, Tag::kRisk,
+        Tag::kStats, Tag::kShutdown}) {
+    if (name == TagName(tag)) return tag;
+  }
+  return Status::InvalidArgument("unknown serve op '" + std::string(name) +
+                                 "' (have: fit encode decode verify risk "
+                                 "stats shutdown)");
+}
+
+std::string EncodeFrame(Tag tag, std::string_view tenant,
+                        std::string_view payload) {
+  POPP_CHECK_MSG(tenant.size() <= UINT16_MAX,
+                 "tenant name too long: " << tenant.size());
+  std::string body;
+  body.reserve(4 + tenant.size() + payload.size());
+  body.push_back(static_cast<char>(kProtocolVersion));
+  body.push_back(static_cast<char>(tag));
+  PutU16(&body, static_cast<uint16_t>(tenant.size()));
+  body.append(tenant);
+  body.append(payload);
+
+  std::string frame;
+  frame.reserve(4 + body.size() + 8);
+  PutU32(&frame, static_cast<uint32_t>(body.size() + 8));
+  frame.append(body);
+  PutU64(&frame, Crc64(body));
+  return frame;
+}
+
+Result<Frame> DecodeFrame(std::string_view bytes, uint32_t max_frame_bytes) {
+  if (bytes.size() < 4) {
+    return Status::DataLoss("frame truncated: no length prefix");
+  }
+  const uint32_t frame_len = GetU32(bytes.data());
+  if (frame_len > max_frame_bytes) {
+    return Status::InvalidArgument(
+        "frame length " + std::to_string(frame_len) + " exceeds the " +
+        std::to_string(max_frame_bytes) + "-byte limit");
+  }
+  if (bytes.size() - 4 < frame_len) {
+    return Status::DataLoss("frame truncated: length prefix promises " +
+                            std::to_string(frame_len) + " bytes, got " +
+                            std::to_string(bytes.size() - 4));
+  }
+  // 12 = version(1) + tag(1) + tenant_len(2) + crc(8).
+  if (frame_len < 12) {
+    return Status::DataLoss("frame too short for a body and CRC trailer");
+  }
+  const std::string_view body = bytes.substr(4, frame_len - 8);
+  const uint64_t want_crc = GetU64(bytes.data() + 4 + body.size());
+  if (Crc64(body) != want_crc) {
+    return Status::DataLoss("frame CRC mismatch: computed " +
+                            Crc64Hex(Crc64(body)) + ", frame carries " +
+                            Crc64Hex(want_crc));
+  }
+  Frame frame;
+  frame.version = static_cast<uint8_t>(body[0]);
+  if (frame.version != kProtocolVersion) {
+    return Status::InvalidArgument(
+        "protocol version mismatch: peer speaks v" +
+        std::to_string(frame.version) + ", this build speaks v" +
+        std::to_string(kProtocolVersion));
+  }
+  frame.tag = static_cast<Tag>(body[1]);
+  const uint16_t tenant_len = GetU16(body.data() + 2);
+  if (body.size() - 4 < tenant_len) {
+    return Status::DataLoss("frame tenant field overruns the body");
+  }
+  frame.tenant.assign(body.substr(4, tenant_len));
+  frame.payload.assign(body.substr(4 + tenant_len));
+  return frame;
+}
+
+std::string RequestBody::Encode() const {
+  std::string out;
+  out.reserve(8 + options.size() + extra.size() + dataset.size());
+  PutSection(&out, options);
+  PutSection(&out, extra);
+  out.append(dataset);
+  return out;
+}
+
+Result<RequestBody> RequestBody::Decode(std::string_view payload) {
+  RequestBody body;
+  POPP_RETURN_IF_ERROR(TakeSection(&payload, &body.options, "options"));
+  POPP_RETURN_IF_ERROR(TakeSection(&payload, &body.extra, "extra"));
+  body.dataset.assign(payload);
+  return body;
+}
+
+std::string ReplyBody::Encode() const {
+  std::string out;
+  out.reserve(5 + text.size() + body.size());
+  out.push_back(static_cast<char>(code));
+  PutSection(&out, text);
+  out.append(body);
+  return out;
+}
+
+Result<ReplyBody> ReplyBody::Decode(std::string_view payload) {
+  if (payload.empty()) {
+    return Status::DataLoss("reply payload is empty");
+  }
+  ReplyBody reply;
+  reply.code = static_cast<StatusCode>(payload[0]);
+  payload.remove_prefix(1);
+  POPP_RETURN_IF_ERROR(TakeSection(&payload, &reply.text, "reply text"));
+  reply.body.assign(payload);
+  return reply;
+}
+
+Status SendFrame(int fd, Tag tag, std::string_view tenant,
+                 std::string_view payload) {
+  const std::string frame = EncodeFrame(tag, tenant, payload);
+  size_t sent = 0;
+  while (sent < frame.size()) {
+    const ssize_t n = ::write(fd, frame.data() + sent, frame.size() - sent);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(std::string("socket write failed: ") +
+                             ::strerror(errno));
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+namespace {
+
+/// Reads exactly `want` bytes, polling in 100 ms slices so a drain request
+/// can interrupt a blocked connection. `any_read` reports whether at least
+/// one byte had arrived before an EOF.
+Status ReadExact(int fd, char* buf, size_t want, const std::atomic<bool>* stop,
+                 bool* any_read) {
+  size_t got = 0;
+  while (got < want) {
+    if (stop != nullptr && stop->load(std::memory_order_relaxed)) {
+      return Status::FailedPrecondition("read aborted: server is draining");
+    }
+    struct pollfd pfd = {fd, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, 100);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(std::string("socket poll failed: ") +
+                             ::strerror(errno));
+    }
+    if (ready == 0) continue;  // timeout slice; re-check stop
+    const ssize_t n = ::read(fd, buf + got, want - got);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(std::string("socket read failed: ") +
+                             ::strerror(errno));
+    }
+    if (n == 0) {
+      if (got == 0 && !*any_read) {
+        return Status::NotFound("peer closed the connection");
+      }
+      return Status::DataLoss("peer closed the connection mid-frame");
+    }
+    got += static_cast<size_t>(n);
+    *any_read = true;
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<Frame> RecvFrame(int fd, const std::atomic<bool>* stop,
+                        uint32_t max_frame_bytes) {
+  char len_buf[4];
+  bool any_read = false;
+  POPP_RETURN_IF_ERROR(ReadExact(fd, len_buf, 4, stop, &any_read));
+  const uint32_t frame_len = GetU32(len_buf);
+  if (frame_len > max_frame_bytes) {
+    return Status::InvalidArgument(
+        "frame length " + std::to_string(frame_len) + " exceeds the " +
+        std::to_string(max_frame_bytes) + "-byte limit");
+  }
+  std::string bytes;
+  bytes.resize(4 + frame_len);
+  std::memcpy(bytes.data(), len_buf, 4);
+  POPP_RETURN_IF_ERROR(
+      ReadExact(fd, bytes.data() + 4, frame_len, stop, &any_read));
+  return DecodeFrame(bytes, max_frame_bytes);
+}
+
+}  // namespace popp::serve

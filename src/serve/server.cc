@@ -1,0 +1,239 @@
+#include "serve/server.h"
+
+#include <errno.h>
+#include <poll.h>
+#include <signal.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "fault/file.h"
+
+namespace popp::serve {
+namespace {
+
+/// Builds the sockaddr for `path`, rejecting paths that do not fit the
+/// platform's sun_path (a real limit, ~108 bytes — long temp dirs hit it).
+Result<sockaddr_un> SocketAddress(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.empty() || path.size() >= sizeof(addr.sun_path)) {
+    return Status::InvalidArgument(
+        "socket path must be 1.." +
+        std::to_string(sizeof(addr.sun_path) - 1) + " bytes, got " +
+        std::to_string(path.size()) + " ('" + path + "')");
+  }
+  ::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+/// True when a daemon currently accepts connections on `path`.
+bool SocketIsLive(const std::string& path) {
+  auto addr = SocketAddress(path);
+  if (!addr.ok()) return false;
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return false;
+  const bool live =
+      ::connect(fd, reinterpret_cast<const sockaddr*>(&addr.value()),
+                sizeof(addr.value())) == 0;
+  ::close(fd);
+  return live;
+}
+
+std::atomic<Server*> g_signal_server{nullptr};
+
+void HandleShutdownSignal(int /*signo*/) {
+  // One relaxed load + one relaxed store: async-signal-safe by
+  // construction. The accept loop polls the flag every 100 ms.
+  Server* server = g_signal_server.load(std::memory_order_relaxed);
+  if (server != nullptr) server->RequestShutdown();
+}
+
+}  // namespace
+
+Server::Server(ServeOptions options)
+    : options_(std::move(options)),
+      op_config_{options_.max_request_threads},
+      registry_(options_.cache_capacity),
+      pool_(options_.num_threads < 1 ? 1 : options_.num_threads) {}
+
+Server::~Server() {
+  RequestShutdown();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+Status Server::Start() {
+  auto addr = SocketAddress(options_.socket_path);
+  if (!addr.ok()) return addr.status();
+
+  if (fault::FileExists(options_.socket_path)) {
+    if (SocketIsLive(options_.socket_path)) {
+      return Status::FailedPrecondition(
+          "another popp-serve daemon is already listening on '" +
+          options_.socket_path +
+          "'; stop it first (popp serve-client <socket> shutdown) or pick "
+          "a different socket path");
+    }
+    // The daemon that bound this socket is gone (connect refused): the
+    // file is stale debris from a crash or kill — reclaim it.
+    POPP_RETURN_IF_ERROR(fault::RemoveFile(options_.socket_path));
+  }
+
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::IoError(std::string("socket() failed: ") +
+                           ::strerror(errno));
+  }
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr.value()),
+             sizeof(addr.value())) != 0) {
+    const Status status = Status::IoError(
+        "cannot bind '" + options_.socket_path + "': " + ::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  if (::listen(listen_fd_, 64) != 0) {
+    const Status status = Status::IoError(
+        "cannot listen on '" + options_.socket_path +
+        "': " + ::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    ::unlink(options_.socket_path.c_str());
+    return status;
+  }
+  return Status::Ok();
+}
+
+int Server::Serve(std::ostream& log) {
+  POPP_CHECK_MSG(listen_fd_ >= 0, "Serve() before a successful Start()");
+  while (!ShutdownRequested()) {
+    struct pollfd pfd = {listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, 100);
+    if (ready < 0) {
+      if (errno == EINTR) continue;  // a signal; the flag decides
+      log << "popp-serve: poll failed: " << ::strerror(errno) << "\n";
+      RequestShutdown();
+      break;
+    }
+    if (ready == 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      log << "popp-serve: accept failed: " << ::strerror(errno) << "\n";
+      RequestShutdown();
+      break;
+    }
+    connections_.fetch_add(1, std::memory_order_relaxed);
+    pool_.Submit([this, fd] { HandleConnection(fd); });
+  }
+
+  // Drain: stop accepting, let in-flight requests finish. Blocked reads
+  // abort on the shutdown flag within one 100 ms poll slice, so every
+  // worker returns promptly even if its client went quiet.
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  while (connections_.load(std::memory_order_acquire) > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  const Status removed = fault::RemoveFile(options_.socket_path);
+  if (!removed.ok()) {
+    log << "popp-serve: cannot remove socket file: " << removed.ToString()
+        << "\n";
+  }
+  log << "popp-serve: drained (" << rejected_frames_.load()
+      << " rejected frames), socket removed, exiting\n";
+  return 0;
+}
+
+void Server::HandleConnection(int fd) {
+  for (;;) {
+    auto frame = RecvFrame(fd, &shutdown_, options_.max_frame_bytes);
+    if (!frame.ok()) {
+      const StatusCode code = frame.status().code();
+      // kNotFound: the peer closed cleanly between requests. The drain
+      // abort (kFailedPrecondition) closes quietly too. Everything else
+      // is a protocol violation — answer with the diagnostic when the
+      // peer still listens, then reject the connection. The daemon
+      // itself survives every such frame.
+      if (code != StatusCode::kNotFound &&
+          code != StatusCode::kFailedPrecondition) {
+        rejected_frames_.fetch_add(1, std::memory_order_relaxed);
+        (void)SendFrame(fd, Tag::kReply, "",
+                        ReplyBody::Error(frame.status()).Encode());
+      }
+      break;
+    }
+
+    if (frame.value().tag == Tag::kShutdown) {
+      (void)SendFrame(
+          fd, Tag::kReply, "",
+          ReplyBody::Ok("draining in-flight requests, then exiting")
+              .Encode());
+      RequestShutdown();
+      break;
+    }
+
+    ReplyBody reply;
+    auto body = RequestBody::Decode(frame.value().payload);
+    if (!body.ok()) {
+      reply = ReplyBody::Error(body.status());
+    } else {
+      Workspace* workspace = registry_.GetOrCreate(frame.value().tenant);
+      reply = DispatchOp(frame.value().tag, *workspace, body.value(),
+                         op_config_);
+    }
+    if (!SendFrame(fd, Tag::kReply, "", reply.Encode()).ok()) break;
+  }
+  ::close(fd);
+  connections_.fetch_sub(1, std::memory_order_release);
+}
+
+void Server::InstallSignalHandlers(Server* server) {
+  g_signal_server.store(server, std::memory_order_relaxed);
+  struct sigaction action {};
+  if (server != nullptr) {
+    action.sa_handler = HandleShutdownSignal;
+    ::sigemptyset(&action.sa_mask);
+  } else {
+    action.sa_handler = SIG_DFL;
+  }
+  ::sigaction(SIGTERM, &action, nullptr);
+  ::sigaction(SIGINT, &action, nullptr);
+}
+
+int RunServer(const ServeOptions& options, std::ostream& out,
+              std::ostream& err) {
+  Server server(options);
+  const Status started = server.Start();
+  if (!started.ok()) {
+    err << started.ToString() << "\n";
+    switch (started.code()) {
+      case StatusCode::kFailedPrecondition:
+      case StatusCode::kInvalidArgument:
+        return 2;  // usage: live socket or unusable path
+      case StatusCode::kIoError:
+      case StatusCode::kNotFound:
+        return 3;
+      default:
+        return 1;
+    }
+  }
+  out << "popp-serve: listening on " << options.socket_path << " ("
+      << (options.num_threads < 1 ? 1 : options.num_threads)
+      << " connection threads, per-tenant cache capacity "
+      << options.cache_capacity << ")\n";
+  Server::InstallSignalHandlers(&server);
+  const int code = server.Serve(out);
+  Server::InstallSignalHandlers(nullptr);
+  return code;
+}
+
+}  // namespace popp::serve

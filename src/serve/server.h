@@ -1,0 +1,113 @@
+#ifndef POPP_SERVE_SERVER_H_
+#define POPP_SERVE_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+#include "parallel/thread_pool.h"
+#include "serve/ops.h"
+#include "serve/workspace.h"
+#include "util/status.h"
+
+/// \file
+/// The popp-serve daemon: a persistent multi-tenant custodian service on a
+/// Unix domain socket.
+///
+/// Architecture: the calling thread runs the accept loop; every accepted
+/// connection is handed to the existing `ThreadPool`, whose worker runs
+/// that connection's request loop — one in-flight request per connection,
+/// with parallelism *inside* a request supplied by the request's own
+/// ExecPolicy (parallel column encode). The pool size therefore bounds
+/// concurrent connections, not throughput per request.
+///
+/// Lifecycle contract (the graceful parts the CLI's one-shot model never
+/// needed):
+///  * SIGTERM/SIGINT (via `InstallSignalHandlers` + `RequestShutdown`) or
+///    a kShutdown request drains: the accept loop stops, in-flight
+///    requests finish, blocked connection reads abort on the drain flag,
+///    the socket file is unlinked, and Serve() returns exit code 0.
+///  * Startup refuses a socket path another live daemon is bound to with
+///    an actionable `kFailedPrecondition` (CLI exit 2, kUsage) naming the
+///    path; a stale socket file whose daemon is gone (connect refused) is
+///    reclaimed silently.
+///  * A malformed, truncated or CRC-damaged frame poisons only its own
+///    connection (error reply when possible, then close); the daemon
+///    survives and keeps serving every other connection.
+
+namespace popp::serve {
+
+/// Daemon configuration.
+struct ServeOptions {
+  std::string socket_path;
+  /// Worker threads for the connection pool (>= 1).
+  size_t num_threads = 4;
+  /// Per-tenant LRU capacity of the hot plan cache.
+  size_t cache_capacity = 64;
+  /// Per-request `threads` option ceiling.
+  size_t max_request_threads = 16;
+  /// Largest frame a peer may send.
+  uint32_t max_frame_bytes = kDefaultMaxFrameBytes;
+};
+
+class Server {
+ public:
+  explicit Server(ServeOptions options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds and listens on the socket path (reclaiming a dead socket file,
+  /// refusing a live one). After an OK Start the socket exists and
+  /// clients may connect.
+  Status Start();
+
+  /// Runs the accept loop until shutdown is requested, then drains and
+  /// removes the socket. Returns the process exit code (0 on a graceful
+  /// shutdown). `log` receives one-line lifecycle messages.
+  int Serve(std::ostream& log);
+
+  /// Triggers a graceful drain from any thread (signal handlers and the
+  /// kShutdown op call this). Async-signal-safe: one atomic store.
+  void RequestShutdown() {
+    shutdown_.store(true, std::memory_order_relaxed);
+  }
+
+  bool ShutdownRequested() const {
+    return shutdown_.load(std::memory_order_relaxed);
+  }
+
+  const ServeOptions& options() const { return options_; }
+
+  /// Routes SIGTERM and SIGINT to `server`->RequestShutdown() (pass
+  /// nullptr to detach before destroying the server). The handler is a
+  /// single relaxed store into the drained-by-poll flag, so it is
+  /// async-signal-safe.
+  static void InstallSignalHandlers(Server* server);
+
+ private:
+  /// One connection's request loop (runs on a pool worker).
+  void HandleConnection(int fd);
+
+  ServeOptions options_;
+  OpConfig op_config_;
+  WorkspaceRegistry registry_;
+  ThreadPool pool_;
+  std::atomic<bool> shutdown_{false};
+  std::atomic<uint64_t> connections_{0};
+  std::atomic<uint64_t> rejected_frames_{0};
+  int listen_fd_ = -1;
+};
+
+/// Convenience driver for the popp-serve binary and tests: Start (mapping
+/// a refused socket onto the CLI usage exit code 2), install signal
+/// handlers, Serve, detach handlers. Lifecycle lines go to `out`, errors
+/// to `err`.
+int RunServer(const ServeOptions& options, std::ostream& out,
+              std::ostream& err);
+
+}  // namespace popp::serve
+
+#endif  // POPP_SERVE_SERVER_H_

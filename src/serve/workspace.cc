@@ -1,0 +1,34 @@
+#include "serve/workspace.h"
+
+namespace popp::serve {
+
+std::string Workspace::RenderStats() const {
+  const PlanCacheStats& s = cache_.stats();
+  std::string out = "tenant: " + (name_.empty() ? "(default)" : name_) + "\n";
+  out += "requests_served: " + std::to_string(requests_served) + "\n";
+  out += "plans_resident: " + std::to_string(s.resident) + "\n";
+  out += "cache_capacity: " + std::to_string(s.capacity) + "\n";
+  out += "cache_hits: " + std::to_string(s.hits) + "\n";
+  out += "cache_misses: " + std::to_string(s.misses) + "\n";
+  out += "cache_evictions: " + std::to_string(s.evictions) + "\n";
+  return out;
+}
+
+Workspace* WorkspaceRegistry::GetOrCreate(const std::string& tenant) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = workspaces_.find(tenant);
+  if (it == workspaces_.end()) {
+    it = workspaces_
+             .emplace(tenant,
+                      std::make_unique<Workspace>(tenant, cache_capacity_))
+             .first;
+  }
+  return it->second.get();
+}
+
+size_t WorkspaceRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return workspaces_.size();
+}
+
+}  // namespace popp::serve

@@ -1,0 +1,79 @@
+#ifndef POPP_SERVE_WORKSPACE_H_
+#define POPP_SERVE_WORKSPACE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "serve/plan_cache.h"
+
+/// \file
+/// Per-tenant workspaces and the named-workspace registry.
+///
+/// A Workspace is everything the daemon holds for one tenant: the tenant's
+/// plan cache and its request counters. The registry maps tenant names to
+/// workspaces, creating them on first use — the named-workspace pattern of
+/// caffe2's core/workspace (a process-global map of isolated state bags
+/// addressed by string), reduced to what a custodian service needs.
+///
+/// Isolation contract: every request addresses exactly one workspace (the
+/// tenant named in its frame), each workspace has its own lock and its own
+/// LRU, and the stats op reports only the addressed workspace's counters.
+/// A tenant therefore cannot read another tenant's plans, hit its cache,
+/// evict its entries, or observe its eviction timing — the side channels a
+/// shared cache would open between mutually distrustful custodians.
+
+namespace popp::serve {
+
+/// One tenant's isolated state bag. Thread-compatible; the owning
+/// registry hands out stable pointers and callers serialize through
+/// `mutex()` (one lock per tenant: concurrent tenants never contend).
+class Workspace {
+ public:
+  explicit Workspace(std::string name, size_t cache_capacity)
+      : name_(std::move(name)), cache_(cache_capacity) {}
+
+  const std::string& name() const { return name_; }
+  PlanCache& cache() { return cache_; }
+  std::mutex& mutex() { return mutex_; }
+
+  /// Request counter (guarded by mutex()).
+  uint64_t requests_served = 0;
+
+  /// Renders the stats reply body for this tenant (call under mutex()).
+  std::string RenderStats() const;
+
+ private:
+  std::string name_;
+  std::mutex mutex_;
+  PlanCache cache_;
+};
+
+/// The process-wide tenant-name -> Workspace map. Thread-safe; pointers
+/// returned by GetOrCreate stay valid for the registry's lifetime
+/// (workspaces are never dropped while the daemon runs).
+class WorkspaceRegistry {
+ public:
+  /// `cache_capacity` is the per-tenant LRU capacity for workspaces this
+  /// registry creates.
+  explicit WorkspaceRegistry(size_t cache_capacity)
+      : cache_capacity_(cache_capacity) {}
+
+  /// Returns the tenant's workspace, creating it on first use. The empty
+  /// tenant name is legal and names the default workspace.
+  Workspace* GetOrCreate(const std::string& tenant);
+
+  /// Number of workspaces created so far.
+  size_t size() const;
+
+ private:
+  size_t cache_capacity_;
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Workspace>> workspaces_;
+};
+
+}  // namespace popp::serve
+
+#endif  // POPP_SERVE_WORKSPACE_H_

@@ -1,6 +1,7 @@
 #include "util/crc64.h"
 
 #include <array>
+#include <cstring>
 
 namespace popp {
 namespace {
@@ -8,27 +9,59 @@ namespace {
 /// Reflected ECMA-182 polynomial (0x42F0E1EBA9EA3693 bit-reversed).
 constexpr uint64_t kPoly = 0xC96C5795D7870F42ull;
 
-std::array<uint64_t, 256> MakeTable() {
-  std::array<uint64_t, 256> table{};
+/// Slice-by-8 tables: table[0] is the classic byte-at-a-time table;
+/// table[k][b] advances the contribution of a byte that sits k positions
+/// deeper in the stream, so eight input bytes fold in a single step.
+/// Produces bit-identical CRCs to the one-table loop (same polynomial,
+/// same reflection) at roughly 6x the throughput — which matters now
+/// that every serve frame and popp-cols container is CRC-guarded
+/// end-to-end.
+using SliceTables = std::array<std::array<uint64_t, 256>, 8>;
+
+SliceTables MakeTables() {
+  SliceTables tables{};
   for (uint64_t i = 0; i < 256; ++i) {
     uint64_t crc = i;
     for (int bit = 0; bit < 8; ++bit) {
       crc = (crc >> 1) ^ ((crc & 1) ? kPoly : 0);
     }
-    table[i] = crc;
+    tables[0][i] = crc;
   }
-  return table;
+  for (size_t k = 1; k < 8; ++k) {
+    for (size_t i = 0; i < 256; ++i) {
+      const uint64_t prev = tables[k - 1][i];
+      tables[k][i] = tables[0][prev & 0xFF] ^ (prev >> 8);
+    }
+  }
+  return tables;
 }
 
-const std::array<uint64_t, 256>& Table() {
-  static const std::array<uint64_t, 256> table = MakeTable();
-  return table;
+const SliceTables& Tables() {
+  static const SliceTables tables = MakeTables();
+  return tables;
 }
 
 uint64_t Advance(uint64_t state, std::string_view bytes) {
-  const auto& table = Table();
-  for (const char c : bytes) {
-    state = table[(state ^ static_cast<uint8_t>(c)) & 0xFF] ^ (state >> 8);
+  const auto& t = Tables();
+  const char* p = bytes.data();
+  size_t len = bytes.size();
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_LITTLE_ENDIAN__
+  // The folded load maps stream byte 0 onto the low state byte, which
+  // only lines up on little-endian hosts; others take the byte loop.
+  while (len >= 8) {
+    uint64_t chunk;
+    std::memcpy(&chunk, p, 8);  // bytes in stream order (little-endian)
+    state ^= chunk;
+    state = t[7][state & 0xFF] ^ t[6][(state >> 8) & 0xFF] ^
+            t[5][(state >> 16) & 0xFF] ^ t[4][(state >> 24) & 0xFF] ^
+            t[3][(state >> 32) & 0xFF] ^ t[2][(state >> 40) & 0xFF] ^
+            t[1][(state >> 48) & 0xFF] ^ t[0][(state >> 56) & 0xFF];
+    p += 8;
+    len -= 8;
+  }
+#endif
+  for (; len > 0; ++p, --len) {
+    state = t[0][(state ^ static_cast<uint8_t>(*p)) & 0xFF] ^ (state >> 8);
   }
   return state;
 }

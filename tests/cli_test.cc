@@ -1,10 +1,15 @@
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <fstream>
+#include <memory>
 #include <sstream>
+#include <thread>
 
 #include "core/cli.h"
 #include "data/csv.h"
+#include "serve/server.h"
 #include "synth/covtype_like.h"
 #include "synth/presets.h"
 #include "tree/compare.h"
@@ -424,6 +429,107 @@ TEST(CliColsFailure, UnknownFormatFlagIsAUsageError) {
                                "parquet"});
   EXPECT_EQ(r.code, 2);
   EXPECT_NE(r.err.find("parquet"), std::string::npos) << r.err;
+}
+
+/// An in-process popp-serve daemon backing the serve-client tests.
+class CliServeTest : public CliTest {
+ protected:
+  void SetUp() override {
+    CliTest::SetUp();
+    socket_path_ = testing::TempDir() + "popp_cli_srv_" +
+                   std::to_string(::getpid());
+    serve::ServeOptions options;
+    options.socket_path = socket_path_;
+    options.num_threads = 2;
+    server_ = std::make_unique<serve::Server>(options);
+    ASSERT_TRUE(server_->Start().ok());
+    thread_ = std::thread([this] { exit_code_ = server_->Serve(log_); });
+  }
+
+  void TearDown() override {
+    server_->RequestShutdown();
+    if (thread_.joinable()) thread_.join();
+    EXPECT_EQ(exit_code_, 0) << log_.str();
+  }
+
+  std::string socket_path_;
+  std::unique_ptr<serve::Server> server_;
+  std::thread thread_;
+  std::ostringstream log_;
+  int exit_code_ = -1;
+};
+
+TEST_F(CliServeTest, ServedEncodeIsByteIdenticalToOneShotEncode) {
+  const std::string cli_out = TempPath("srv_cli.csv");
+  const std::string cli_key = TempPath("srv_cli.key");
+  const std::string served_out = TempPath("srv_daemon.csv");
+  ASSERT_EQ(RunPopp({"encode", csv_path_, cli_out, cli_key, "--seed", "9",
+                     "--policy", "bp"})
+                .code,
+            0);
+  const CliResult r =
+      RunPopp({"serve-client", socket_path_, "encode", csv_path_, served_out,
+               "--seed", "9", "--policy", "bp"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("written to " + served_out), std::string::npos);
+  auto slurp = [](const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream s;
+    s << in.rdbuf();
+    return s.str();
+  };
+  EXPECT_EQ(slurp(served_out), slurp(cli_out));
+  EXPECT_FALSE(slurp(served_out).empty());
+}
+
+TEST_F(CliServeTest, ServedFitWritesTheOneShotKeyBytes) {
+  const std::string cli_out = TempPath("srv_fit_cli.csv");
+  const std::string cli_key = TempPath("srv_fit_cli.key");
+  const std::string served_key = TempPath("srv_fit_daemon.key");
+  ASSERT_EQ(RunPopp({"encode", csv_path_, cli_out, cli_key, "--seed", "3"})
+                .code,
+            0);
+  const CliResult r = RunPopp(
+      {"serve-client", socket_path_, "fit", csv_path_, served_key, "--seed",
+       "3"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  std::ifstream a(cli_key, std::ios::binary), b(served_key,
+                                                std::ios::binary);
+  std::ostringstream sa, sb;
+  sa << a.rdbuf();
+  sb << b.rdbuf();
+  EXPECT_EQ(sa.str(), sb.str());
+  EXPECT_FALSE(sa.str().empty());
+}
+
+TEST_F(CliServeTest, StatsAndShutdownRoundTrip) {
+  const CliResult stats =
+      RunPopp({"serve-client", socket_path_, "stats", "--tenant", "me"});
+  EXPECT_EQ(stats.code, 0) << stats.err;
+  EXPECT_NE(stats.out.find("tenant: me"), std::string::npos) << stats.out;
+  const CliResult bye = RunPopp({"serve-client", socket_path_, "shutdown"});
+  EXPECT_EQ(bye.code, 0) << bye.err;
+  // TearDown joins the drained daemon and asserts exit 0.
+}
+
+TEST(CliServeFailure, MissingSocketIsAnIoExit) {
+  const CliResult r = RunPopp({"serve-client",
+                               testing::TempDir() + "no_such_popp_socket",
+                               "stats"});
+  EXPECT_EQ(r.code, 3);
+  EXPECT_NE(r.err.find("is the daemon running"), std::string::npos) << r.err;
+}
+
+TEST(CliServeFailure, UnknownOpIsAUsageError) {
+  const CliResult r = RunPopp({"serve-client", "/tmp/sock", "frobnicate"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("frobnicate"), std::string::npos) << r.err;
+}
+
+TEST(CliServeFailure, MissingArgumentsIsAUsageError) {
+  EXPECT_EQ(RunPopp({"serve-client"}).code, 2);
+  EXPECT_EQ(RunPopp({"serve-client", "/tmp/sock", "encode", "only-in"}).code,
+            2);
 }
 
 }  // namespace

@@ -1,0 +1,679 @@
+#include <gtest/gtest.h>
+
+#include <string.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "data/cols.h"
+#include "data/csv.h"
+#include "fault/file.h"
+#include "parallel/exec_policy.h"
+#include "serve/client.h"
+#include "serve/ops.h"
+#include "serve/plan_cache.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+#include "serve/workspace.h"
+#include "synth/covtype_like.h"
+#include "synth/presets.h"
+#include "transform/compiled.h"
+#include "transform/plan.h"
+#include "transform/serialize.h"
+#include "util/crc64.h"
+#include "util/rng.h"
+
+namespace popp::serve {
+namespace {
+
+std::string TempSocketPath(const std::string& name) {
+  return testing::TempDir() + "popp_srv_" + std::to_string(::getpid()) +
+         "_" + name;
+}
+
+// ---------------------------------------------------------------------------
+// Protocol framing (pure byte-string codec, no socket).
+
+TEST(ServeProtocolTest, FrameRoundTrip) {
+  const std::string payload("payload \x01\x02\x00 bytes", 17);
+  const std::string bytes = EncodeFrame(Tag::kEncode, "tenant-a", payload);
+  auto frame = DecodeFrame(bytes);
+  ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+  EXPECT_EQ(frame.value().version, kProtocolVersion);
+  EXPECT_EQ(frame.value().tag, Tag::kEncode);
+  EXPECT_EQ(frame.value().tenant, "tenant-a");
+  EXPECT_EQ(frame.value().payload, payload);
+}
+
+TEST(ServeProtocolTest, EmptyTenantAndPayloadRoundTrip) {
+  auto frame = DecodeFrame(EncodeFrame(Tag::kShutdown, "", ""));
+  ASSERT_TRUE(frame.ok());
+  EXPECT_EQ(frame.value().tag, Tag::kShutdown);
+  EXPECT_TRUE(frame.value().tenant.empty());
+  EXPECT_TRUE(frame.value().payload.empty());
+}
+
+TEST(ServeProtocolTest, TruncatedFrameIsDataLoss) {
+  const std::string bytes = EncodeFrame(Tag::kStats, "t", "payload");
+  for (size_t cut : {size_t{0}, size_t{3}, bytes.size() - 1}) {
+    auto frame = DecodeFrame(bytes.substr(0, cut));
+    ASSERT_FALSE(frame.ok()) << "cut at " << cut;
+    EXPECT_EQ(frame.status().code(), StatusCode::kDataLoss) << "cut at "
+                                                            << cut;
+  }
+}
+
+TEST(ServeProtocolTest, DamagedByteIsCrcDataLoss) {
+  std::string bytes = EncodeFrame(Tag::kFit, "tenant", "payload");
+  bytes[bytes.size() / 2] ^= 0x40;  // damage inside the body
+  auto frame = DecodeFrame(bytes);
+  ASSERT_FALSE(frame.ok());
+  EXPECT_EQ(frame.status().code(), StatusCode::kDataLoss);
+  EXPECT_NE(frame.status().message().find("CRC"), std::string::npos);
+}
+
+/// Builds a frame by hand so the version byte can disagree while the CRC
+/// stays valid (EncodeFrame always stamps the supported version).
+std::string HandcraftedFrame(uint8_t version, Tag tag,
+                             const std::string& tenant,
+                             const std::string& payload) {
+  std::string body;
+  body.push_back(static_cast<char>(version));
+  body.push_back(static_cast<char>(tag));
+  const uint16_t tenant_len = static_cast<uint16_t>(tenant.size());
+  body.push_back(static_cast<char>(tenant_len & 0xff));
+  body.push_back(static_cast<char>(tenant_len >> 8));
+  body += tenant;
+  body += payload;
+  const uint64_t crc = Crc64(body);
+  const uint32_t frame_len = static_cast<uint32_t>(body.size() + 8);
+  std::string bytes;
+  for (int i = 0; i < 4; ++i) {
+    bytes.push_back(static_cast<char>((frame_len >> (8 * i)) & 0xff));
+  }
+  bytes += body;
+  for (int i = 0; i < 8; ++i) {
+    bytes.push_back(static_cast<char>((crc >> (8 * i)) & 0xff));
+  }
+  return bytes;
+}
+
+TEST(ServeProtocolTest, VersionMismatchIsInvalidArgumentNamingBoth) {
+  auto frame = DecodeFrame(HandcraftedFrame(9, Tag::kStats, "t", "p"));
+  ASSERT_FALSE(frame.ok());
+  EXPECT_EQ(frame.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(frame.status().message().find("9"), std::string::npos);
+  EXPECT_NE(frame.status().message().find(
+                std::to_string(int{kProtocolVersion})),
+            std::string::npos);
+}
+
+TEST(ServeProtocolTest, HandcraftedCurrentVersionDecodes) {
+  auto frame = DecodeFrame(
+      HandcraftedFrame(kProtocolVersion, Tag::kRisk, "ten", "pay"));
+  ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+  EXPECT_EQ(frame.value().tag, Tag::kRisk);
+  EXPECT_EQ(frame.value().tenant, "ten");
+  EXPECT_EQ(frame.value().payload, "pay");
+}
+
+TEST(ServeProtocolTest, OversizeFrameIsRejectedBeforeAllocation) {
+  const std::string bytes = EncodeFrame(Tag::kEncode, "t",
+                                        std::string(256, 'x'));
+  auto frame = DecodeFrame(bytes, /*max_frame_bytes=*/64);
+  ASSERT_FALSE(frame.ok());
+  EXPECT_EQ(frame.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ServeProtocolTest, RequestBodyRoundTrip) {
+  RequestBody request;
+  request.options = "seed 7\npolicy bp\n";
+  request.extra = std::string("tree\x00kov", 8);
+  request.dataset = "a,b,class\n1,2,x\n";
+  auto decoded = RequestBody::Decode(request.Encode());
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded.value().options, request.options);
+  EXPECT_EQ(decoded.value().extra, request.extra);
+  EXPECT_EQ(decoded.value().dataset, request.dataset);
+}
+
+TEST(ServeProtocolTest, ReplyBodyRoundTripCarriesCode) {
+  const ReplyBody reply =
+      ReplyBody::Error(Status::DataLoss("checksum mismatch"));
+  auto decoded = ReplyBody::Decode(reply.Encode());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().code, StatusCode::kDataLoss);
+  EXPECT_FALSE(decoded.value().ok());
+  EXPECT_NE(decoded.value().text.find("checksum"), std::string::npos);
+}
+
+TEST(ServeProtocolTest, ParseTagNames) {
+  for (Tag tag : {Tag::kFit, Tag::kEncode, Tag::kDecode, Tag::kVerify,
+                  Tag::kRisk, Tag::kStats, Tag::kShutdown}) {
+    auto parsed = ParseTag(TagName(tag));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed.value(), tag);
+  }
+  EXPECT_FALSE(ParseTag("frobnicate").ok());
+}
+
+// ---------------------------------------------------------------------------
+// Plan cache: key canonicalization and strict LRU.
+
+TEST(PlanCacheKeyTest, PolicyFingerprintSeparatesEveryKnob) {
+  const PiecewiseOptions base;
+  PiecewiseOptions changed = base;
+  changed.min_breakpoints = base.min_breakpoints + 1;
+  EXPECT_NE(PolicyFingerprint(base), PolicyFingerprint(changed));
+  changed = base;
+  changed.global_anti_monotone = !base.global_anti_monotone;
+  EXPECT_NE(PolicyFingerprint(base), PolicyFingerprint(changed));
+  changed = base;
+  changed.gap_fraction += 0.125;
+  EXPECT_NE(PolicyFingerprint(base), PolicyFingerprint(changed));
+  EXPECT_EQ(PolicyFingerprint(base), PolicyFingerprint(PiecewiseOptions{}));
+}
+
+TEST(PlanCacheKeyTest, SchemaFingerprintSeparatesVocabulary) {
+  const Schema a({"x", "y"}, {"yes", "no"});
+  const Schema same({"x", "y"}, {"yes", "no"});
+  const Schema renamed({"x", "z"}, {"yes", "no"});
+  const Schema relabeled({"x", "y"}, {"no", "yes"});
+  EXPECT_EQ(SchemaFingerprint(a), SchemaFingerprint(same));
+  EXPECT_NE(SchemaFingerprint(a), SchemaFingerprint(renamed));
+  EXPECT_NE(SchemaFingerprint(a), SchemaFingerprint(relabeled));
+}
+
+PlanKey KeyNumbered(uint64_t n) {
+  PlanKey key;
+  key.schema_fp = 0xfeedu;
+  key.seed = n;
+  key.policy = "p";
+  return key;
+}
+
+TEST(PlanCacheTest, EvictsLeastRecentlyUsedAtTinyCapacity) {
+  PlanCache cache(2);
+  cache.Insert(KeyNumbered(1), CachedPlan{});
+  cache.Insert(KeyNumbered(2), CachedPlan{});
+  EXPECT_NE(cache.Lookup(KeyNumbered(1)), nullptr);  // promotes 1 over 2
+  cache.Insert(KeyNumbered(3), CachedPlan{});        // evicts 2
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_NE(cache.Lookup(KeyNumbered(1)), nullptr);
+  EXPECT_EQ(cache.Lookup(KeyNumbered(2)), nullptr);
+  EXPECT_NE(cache.Lookup(KeyNumbered(3)), nullptr);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.stats().hits, 3u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().resident, 2u);
+  EXPECT_EQ(cache.stats().capacity, 2u);
+}
+
+TEST(PlanCacheTest, CapacityOneThrashes) {
+  PlanCache cache(1);
+  for (uint64_t n = 0; n < 5; ++n) {
+    EXPECT_EQ(cache.Lookup(KeyNumbered(n)), nullptr);
+    cache.Insert(KeyNumbered(n), CachedPlan{});
+    EXPECT_NE(cache.Lookup(KeyNumbered(n)), nullptr);
+  }
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.stats().evictions, 4u);
+}
+
+// ---------------------------------------------------------------------------
+// Workspace registry: stable pointers, tenant isolation.
+
+TEST(WorkspaceRegistryTest, StablePerTenantWorkspaces) {
+  WorkspaceRegistry registry(4);
+  Workspace* a = registry.GetOrCreate("alice");
+  Workspace* b = registry.GetOrCreate("bob");
+  Workspace* base = registry.GetOrCreate("");
+  EXPECT_NE(a, b);
+  EXPECT_NE(a, base);
+  EXPECT_EQ(registry.GetOrCreate("alice"), a);
+  EXPECT_EQ(registry.size(), 3u);
+  EXPECT_EQ(a->name(), "alice");
+
+  // Filling alice's cache never touches bob's.
+  a->cache().Insert(KeyNumbered(1), CachedPlan{});
+  a->cache().Insert(KeyNumbered(2), CachedPlan{});
+  EXPECT_EQ(b->cache().size(), 0u);
+  EXPECT_EQ(b->cache().stats().evictions, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end daemon tests over a real Unix socket.
+
+/// A daemon running on a background thread for one test.
+struct TestServer {
+  ServeOptions options;
+  std::unique_ptr<Server> server;
+  std::thread thread;
+  std::ostringstream log;
+  int exit_code = -1;
+
+  Status Start(ServeOptions opts) {
+    options = std::move(opts);
+    server = std::make_unique<Server>(options);
+    const Status started = server->Start();
+    if (!started.ok()) return started;
+    thread = std::thread([this] { exit_code = server->Serve(log); });
+    return Status::Ok();
+  }
+
+  /// Requests a drain and joins; returns the daemon's exit code.
+  int Shutdown() {
+    if (server != nullptr) server->RequestShutdown();
+    if (thread.joinable()) thread.join();
+    return exit_code;
+  }
+
+  ~TestServer() { Shutdown(); }
+};
+
+class ServeEndToEndTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    Rng rng(11);
+    const Dataset generated = GenerateCovtypeLike(SmallCovtypeSpec(600), rng);
+    // The canonical dataset is what the CSV request framing parses to
+    // (class ids in order of first appearance).
+    auto canonical = ParseCsv(ToCsvString(generated));
+    ASSERT_TRUE(canonical.ok());
+    data_ = std::move(canonical).value();
+    csv_bytes_ = ToCsvString(data_);
+    cols_bytes_ = SerializeCols(data_);
+  }
+
+  /// The release `popp encode --seed N` computes for these bytes.
+  Dataset ExpectedRelease(uint64_t seed,
+                          const PiecewiseOptions& options) const {
+    Rng rng(seed);
+    const TransformPlan plan =
+        TransformPlan::Create(data_, options, rng, ExecPolicy{1});
+    return CompiledPlan::Compile(plan).EncodeDataset(data_, ExecPolicy{1});
+  }
+
+  /// What `popp encode --seed N` writes (a CSV-framed reply body).
+  std::string ExpectedEncode(uint64_t seed,
+                             const PiecewiseOptions& options) const {
+    return ToCsvString(ExpectedRelease(seed, options));
+  }
+
+  static std::string OptionsText(uint64_t seed, size_t threads) {
+    return "seed " + std::to_string(seed) + "\npolicy bp\nthreads " +
+           std::to_string(threads) + "\n";
+  }
+
+  Dataset data_;
+  std::string csv_bytes_;
+  std::string cols_bytes_;
+};
+
+TEST_F(ServeEndToEndTest, EncodeMatchesLibraryAcrossFramingsAndThreads) {
+  ServeOptions options;
+  options.socket_path = TempSocketPath("enc");
+  options.num_threads = 2;
+  TestServer daemon;
+  ASSERT_TRUE(daemon.Start(options).ok());
+
+  PiecewiseOptions transform;
+  transform.policy = BreakpointPolicy::kChooseBP;
+  const Dataset release = ExpectedRelease(9, transform);
+  // The reply mirrors the request framing.
+  const std::string expected_csv = ToCsvString(release);
+  const std::string expected_cols = SerializeCols(release);
+
+  ServeClient client;
+  ASSERT_TRUE(client.Connect(options.socket_path).ok());
+  bool first = true;
+  for (size_t threads : {size_t{1}, size_t{2}, size_t{7}}) {
+    for (const std::string* bytes : {&csv_bytes_, &cols_bytes_}) {
+      RequestBody request;
+      request.options = OptionsText(9, threads);
+      request.dataset = *bytes;
+      auto reply = client.Call(Tag::kEncode, "t", request);
+      ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+      ASSERT_TRUE(reply.value().ok()) << reply.value().text;
+      EXPECT_EQ(reply.value().body,
+                bytes == &cols_bytes_ ? expected_cols : expected_csv);
+      EXPECT_NE(reply.value().text.find(first ? "cold plan" : "hot plan"),
+                std::string::npos)
+          << reply.value().text;
+      first = false;
+    }
+  }
+  EXPECT_EQ(daemon.Shutdown(), 0);
+}
+
+TEST_F(ServeEndToEndTest, LruEvictionUnderTinyCapacity) {
+  ServeOptions options;
+  options.socket_path = TempSocketPath("lru");
+  options.cache_capacity = 1;
+  TestServer daemon;
+  ASSERT_TRUE(daemon.Start(options).ok());
+
+  ServeClient client;
+  ASSERT_TRUE(client.Connect(options.socket_path).ok());
+  // Alternating seeds with capacity 1: every request misses and evicts.
+  for (uint64_t round = 0; round < 3; ++round) {
+    for (uint64_t seed : {uint64_t{1}, uint64_t{2}}) {
+      RequestBody request;
+      request.options = OptionsText(seed, 1);
+      request.dataset = csv_bytes_;
+      auto reply = client.Call(Tag::kEncode, "t", request);
+      ASSERT_TRUE(reply.ok() && reply.value().ok());
+      EXPECT_NE(reply.value().text.find("cold plan"), std::string::npos);
+    }
+  }
+  auto stats = client.Call(Tag::kStats, "t", RequestBody{});
+  ASSERT_TRUE(stats.ok() && stats.value().ok());
+  EXPECT_NE(stats.value().body.find("cache_misses: 6"), std::string::npos)
+      << stats.value().body;
+  EXPECT_NE(stats.value().body.find("cache_evictions: 5"),
+            std::string::npos)
+      << stats.value().body;
+  EXPECT_NE(stats.value().body.find("plans_resident: 1"), std::string::npos)
+      << stats.value().body;
+  EXPECT_EQ(daemon.Shutdown(), 0);
+}
+
+TEST_F(ServeEndToEndTest, ConcurrentTenantsStayIsolatedAndDeterministic) {
+  ServeOptions options;
+  options.socket_path = TempSocketPath("conc");
+  options.num_threads = 4;
+  TestServer daemon;
+  ASSERT_TRUE(daemon.Start(options).ok());
+
+  PiecewiseOptions transform;
+  transform.policy = BreakpointPolicy::kChooseBP;
+  const Dataset release = ExpectedRelease(9, transform);
+  const std::string expected_csv = ToCsvString(release);
+  const std::string expected_cols = SerializeCols(release);
+
+  constexpr size_t kTenants = 4;
+  constexpr size_t kRequests = 5;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> tenants;
+  tenants.reserve(kTenants);
+  for (size_t t = 0; t < kTenants; ++t) {
+    tenants.emplace_back([&, t] {
+      ServeClient client;
+      if (!client.Connect(options.socket_path).ok()) {
+        mismatches.fetch_add(100);
+        return;
+      }
+      const std::string tenant = "tenant-" + std::to_string(t);
+      for (size_t r = 0; r < kRequests; ++r) {
+        RequestBody request;
+        request.options = OptionsText(9, 1 + t % 3);
+        request.dataset = t % 2 == 0 ? csv_bytes_ : cols_bytes_;
+        const std::string& expected =
+            t % 2 == 0 ? expected_csv : expected_cols;
+        auto reply = client.Call(Tag::kEncode, tenant, request);
+        if (!reply.ok() || !reply.value().ok() ||
+            reply.value().body != expected) {
+          mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& thread : tenants) thread.join();
+  EXPECT_EQ(mismatches.load(), 0);
+
+  // Each tenant saw exactly its own requests; one fit per tenant.
+  ServeClient client;
+  ASSERT_TRUE(client.Connect(options.socket_path).ok());
+  for (size_t t = 0; t < kTenants; ++t) {
+    auto stats = client.Call(Tag::kStats, "tenant-" + std::to_string(t),
+                             RequestBody{});
+    ASSERT_TRUE(stats.ok() && stats.value().ok());
+    EXPECT_NE(stats.value().body.find(
+                  "requests_served: " + std::to_string(kRequests + 1)),
+              std::string::npos)
+        << stats.value().body;
+    EXPECT_NE(stats.value().body.find("cache_misses: 1"), std::string::npos)
+        << stats.value().body;
+  }
+  EXPECT_EQ(daemon.Shutdown(), 0);
+}
+
+/// Connects a raw socket for malformed-frame tests.
+int RawConnect(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  ::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+void SendAll(int fd, const std::string& bytes) {
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::write(fd, bytes.data() + sent, bytes.size() - sent);
+    if (n <= 0) return;
+    sent += static_cast<size_t>(n);
+  }
+}
+
+TEST_F(ServeEndToEndTest, MalformedFramesPoisonOnlyTheirConnection) {
+  ServeOptions options;
+  options.socket_path = TempSocketPath("bad");
+  options.max_frame_bytes = 1u << 20;
+  TestServer daemon;
+  ASSERT_TRUE(daemon.Start(options).ok());
+
+  // (a) CRC damage: flip a body byte, keep the length honest.
+  {
+    const int fd = RawConnect(options.socket_path);
+    ASSERT_GE(fd, 0);
+    std::string bytes = EncodeFrame(Tag::kStats, "t", "x");
+    bytes[6] ^= 0x10;
+    SendAll(fd, bytes);
+    auto reply = RecvFrame(fd);
+    ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+    auto body = ReplyBody::Decode(reply.value().payload);
+    ASSERT_TRUE(body.ok());
+    EXPECT_EQ(body.value().code, StatusCode::kDataLoss);
+    ::close(fd);
+  }
+  // (b) Truncation: promise more bytes than ever arrive, then close.
+  {
+    const int fd = RawConnect(options.socket_path);
+    ASSERT_GE(fd, 0);
+    const std::string full = EncodeFrame(Tag::kStats, "t", "payload");
+    SendAll(fd, full.substr(0, full.size() - 3));
+    ::shutdown(fd, SHUT_WR);
+    auto reply = RecvFrame(fd);
+    ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+    auto body = ReplyBody::Decode(reply.value().payload);
+    ASSERT_TRUE(body.ok());
+    EXPECT_EQ(body.value().code, StatusCode::kDataLoss);
+    ::close(fd);
+  }
+  // (c) Version from the future with a valid CRC.
+  {
+    const int fd = RawConnect(options.socket_path);
+    ASSERT_GE(fd, 0);
+    SendAll(fd, HandcraftedFrame(9, Tag::kStats, "t", ""));
+    auto reply = RecvFrame(fd);
+    ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+    auto body = ReplyBody::Decode(reply.value().payload);
+    ASSERT_TRUE(body.ok());
+    EXPECT_EQ(body.value().code, StatusCode::kInvalidArgument);
+    ::close(fd);
+  }
+  // (d) Oversize length prefix is refused without allocation.
+  {
+    const int fd = RawConnect(options.socket_path);
+    ASSERT_GE(fd, 0);
+    SendAll(fd, std::string("\xff\xff\xff\x7f", 4));
+    auto reply = RecvFrame(fd);
+    ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+    auto body = ReplyBody::Decode(reply.value().payload);
+    ASSERT_TRUE(body.ok());
+    EXPECT_EQ(body.value().code, StatusCode::kInvalidArgument);
+    ::close(fd);
+  }
+
+  // The daemon survived all four: a well-formed request still works.
+  ServeClient client;
+  ASSERT_TRUE(client.Connect(options.socket_path).ok());
+  auto stats = client.Call(Tag::kStats, "t", RequestBody{});
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_TRUE(stats.value().ok());
+  EXPECT_EQ(daemon.Shutdown(), 0);
+}
+
+TEST_F(ServeEndToEndTest, ProtocolShutdownDrainsAndRemovesSocket) {
+  ServeOptions options;
+  options.socket_path = TempSocketPath("down");
+  TestServer daemon;
+  ASSERT_TRUE(daemon.Start(options).ok());
+  ASSERT_TRUE(fault::FileExists(options.socket_path));
+
+  ServeClient client;
+  ASSERT_TRUE(client.Connect(options.socket_path).ok());
+  auto reply = client.Call(Tag::kShutdown, "", RequestBody{});
+  ASSERT_TRUE(reply.ok());
+  EXPECT_TRUE(reply.value().ok());
+  EXPECT_EQ(daemon.Shutdown(), 0);
+  EXPECT_FALSE(fault::FileExists(options.socket_path));
+}
+
+TEST(ServeLifecycleTest, RefusesSocketAnotherDaemonListensOn) {
+  ServeOptions options;
+  options.socket_path = TempSocketPath("live");
+  TestServer daemon;
+  ASSERT_TRUE(daemon.Start(options).ok());
+
+  Server second(options);
+  const Status refused = second.Start();
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(refused.ToString().find(options.socket_path),
+            std::string::npos);
+  // The refusal maps onto the usage exit code, with the diagnostic on err.
+  std::ostringstream out, err;
+  EXPECT_EQ(RunServer(options, out, err), 2);
+  EXPECT_NE(err.str().find("already listening"), std::string::npos);
+  EXPECT_EQ(daemon.Shutdown(), 0);
+}
+
+TEST(ServeLifecycleTest, ReclaimsStaleDeadSocket) {
+  const std::string path = TempSocketPath("stale");
+  // Fake a crashed daemon: bind a socket, close the fd, leave the file.
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  ASSERT_LT(path.size(), sizeof(addr.sun_path));
+  ::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  ASSERT_EQ(::bind(fd, reinterpret_cast<const sockaddr*>(&addr),
+                   sizeof(addr)),
+            0);
+  ::close(fd);
+  ASSERT_TRUE(fault::FileExists(path));
+
+  ServeOptions options;
+  options.socket_path = path;
+  TestServer daemon;
+  EXPECT_TRUE(daemon.Start(options).ok());
+  ServeClient client;
+  EXPECT_TRUE(client.Connect(path).ok());
+  EXPECT_EQ(daemon.Shutdown(), 0);
+}
+
+TEST(ServeLifecycleTest, RejectsOverlongSocketPath) {
+  ServeOptions options;
+  options.socket_path = testing::TempDir() + std::string(200, 'x');
+  Server server(options);
+  const Status status = server.Start();
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ServeLifecycleTest, IdleShutdownSoak) {
+  // Start/drain cycles with zero or one connection: the pool must come up
+  // and wind down cleanly every time, and the socket file must never
+  // survive a drain.
+  for (int round = 0; round < 12; ++round) {
+    ServeOptions options;
+    options.socket_path = TempSocketPath("soak");
+    options.num_threads = 1 + round % 4;
+    TestServer daemon;
+    ASSERT_TRUE(daemon.Start(options).ok()) << "round " << round;
+    if (round % 3 == 0) {
+      ServeClient client;
+      ASSERT_TRUE(client.Connect(options.socket_path).ok());
+      auto reply = client.Call(Tag::kStats, "soak", RequestBody{});
+      ASSERT_TRUE(reply.ok() && reply.value().ok());
+    }
+    EXPECT_EQ(daemon.Shutdown(), 0) << "round " << round;
+    EXPECT_FALSE(fault::FileExists(options.socket_path))
+        << "round " << round;
+  }
+}
+
+TEST_F(ServeEndToEndTest, FitDecodeVerifyRiskRoundTrips) {
+  ServeOptions options;
+  options.socket_path = TempSocketPath("ops");
+  TestServer daemon;
+  ASSERT_TRUE(daemon.Start(options).ok());
+  ServeClient client;
+  ASSERT_TRUE(client.Connect(options.socket_path).ok());
+
+  // fit: the reply body is the canonical plan document.
+  Rng rng(4);
+  const TransformPlan plan =
+      TransformPlan::Create(data_, PiecewiseOptions{}, rng, ExecPolicy{1});
+  RequestBody fit;
+  fit.options = "seed 4\n";
+  fit.dataset = csv_bytes_;
+  auto fitted = client.Call(Tag::kFit, "ops", fit);
+  ASSERT_TRUE(fitted.ok() && fitted.value().ok());
+  EXPECT_EQ(fitted.value().body, SerializePlan(plan));
+
+  // verify: the daemon runs the full no-outcome-change check.
+  RequestBody verify;
+  verify.options = "seed 4\n";
+  verify.dataset = csv_bytes_;
+  auto verified = client.Call(Tag::kVerify, "ops", verify);
+  ASSERT_TRUE(verified.ok() && verified.value().ok());
+  EXPECT_NE(verified.value().text.find("VERIFIED"), std::string::npos)
+      << verified.value().text;
+
+  // risk: a tiny report renders.
+  RequestBody risk;
+  risk.options = "seed 4\ntrials 3\n";
+  risk.dataset = csv_bytes_;
+  auto report = client.Call(Tag::kRisk, "ops", risk);
+  ASSERT_TRUE(report.ok() && report.value().ok());
+  EXPECT_FALSE(report.value().body.empty());
+
+  // Unknown request option → clean kInvalidArgument reply, daemon alive.
+  RequestBody bad;
+  bad.options = "frobnicate 1\n";
+  bad.dataset = csv_bytes_;
+  auto rejected = client.Call(Tag::kEncode, "ops", bad);
+  ASSERT_TRUE(rejected.ok());
+  EXPECT_EQ(rejected.value().code, StatusCode::kInvalidArgument);
+
+  EXPECT_EQ(daemon.Shutdown(), 0);
+}
+
+}  // namespace
+}  // namespace popp::serve

@@ -12,8 +12,11 @@
 # (which sweeps 1/2/3/7/8-thread builds against the serial bytes), and
 # the parallel_determinism + stream_vs_batch + compiled_vs_interpreted
 # oracles, which exercise every ThreadPool/ParallelFor path under real
-# concurrency. Any failure — test, sanitizer report, or oracle — fails
-# the script.
+# concurrency. Both stages also run the serve_vs_cli oracle and the
+# popp-serve test battery (byte-identity, tenant isolation, malformed
+# frames, kill-mid-request crash schedules), and a final smoke stage
+# round-trips a real popp-serve process against `popp encode`. Any
+# failure — test, sanitizer report, or oracle — fails the script.
 
 set -euo pipefail
 
@@ -51,6 +54,18 @@ echo "== cols_vs_csv oracle under ASan (bounded) =="
 # identity, and a release fed from either format is byte-identical.
 "$build_dir/tools/popp_check" --oracle cols_vs_csv \
   --trials 50 --seed 13 --out "$build_dir"
+
+echo "== serve_vs_cli oracle + serving tests under ASan =="
+# The serving contract: daemon-served encodes must be byte-identical to
+# the one-shot CLI at 1/2/7 request threads in both framings, repeat
+# requests must hit the plan cache, tenants stay isolated, and the
+# kill-daemon-mid-request schedules (faults injected into the server-side
+# SavePlan) must never leave a partial key. The test battery adds the
+# malformed-frame, lifecycle and LRU-eviction cases.
+"$build_dir/tools/popp_check" --oracle serve_vs_cli \
+  --trials 10 --seed 17 --out "$build_dir"
+"$build_dir/tests/popp_tests" \
+  --gtest_filter='ServeProtocol*:PlanCache*:WorkspaceRegistry*:ServeEndToEnd*:ServeLifecycle*:CliServe*'
 
 echo "== configure (TSan) =="
 cmake -B "$tsan_build_dir" -S "$repo_root" \
@@ -112,5 +127,48 @@ echo "== compiled_vs_interpreted oracle under TSan (bounded) =="
 echo "== cols_vs_csv oracle under TSan (bounded) =="
 "$tsan_build_dir/tools/popp_check" --oracle cols_vs_csv \
   --trials 25 --seed 7 --out "$tsan_build_dir"
+
+echo "== serve_vs_cli oracle + concurrent serving tests under TSan =="
+# The daemon's accept loop, per-tenant locking and drain path under real
+# concurrency: four tenants hammer one daemon from four client threads
+# while TSan watches the ThreadPool handoffs, then the oracle replays the
+# byte-identity + crash-schedule sweep.
+"$tsan_build_dir/tools/popp_check" --oracle serve_vs_cli \
+  --trials 8 --seed 7 --out "$tsan_build_dir"
+"$tsan_build_dir/tests/popp_tests" \
+  --gtest_filter='ServeEndToEnd*:ServeLifecycle*:ServeProtocol*'
+
+echo "== serve smoke: daemon round trip vs one-shot CLI =="
+# Start a real popp-serve process, push one cols-framed encode through
+# `popp serve-client`, byte-compare against `popp encode`, then shut the
+# daemon down and verify it drained (exit 0) and removed its socket.
+cmake --build "$build_dir" -j --target popp_serve popp_cli
+serve_dir="$build_dir/serve-e2e"
+rm -rf "$serve_dir" && mkdir -p "$serve_dir"
+awk 'BEGIN {
+  srand(3); print "u,v,w,class";
+  for (i = 0; i < 1500; i++)
+    printf "%d,%.3f,%.3f,%s\n", int(rand()*80), rand()*20, rand()*5,
+           (rand() < 0.5 ? "p" : "q");
+}' > "$serve_dir/data.csv"
+"$build_dir/tools/popp" convert "$serve_dir/data.csv" \
+  "$serve_dir/data.cols"
+"$build_dir/tools/popp" encode "$serve_dir/data.csv" \
+  "$serve_dir/oneshot.csv" "$serve_dir/oneshot.key" --seed 21 --policy bp
+sock="$serve_dir/popp.sock"
+"$build_dir/tools/popp-serve" "$sock" --threads 2 &
+serve_pid=$!
+for _ in $(seq 50); do [ -S "$sock" ] && break; sleep 0.1; done
+"$build_dir/tools/popp" serve-client "$sock" encode \
+  "$serve_dir/data.csv" "$serve_dir/served.csv" --seed 21 --policy bp
+cmp "$serve_dir/oneshot.csv" "$serve_dir/served.csv"
+"$build_dir/tools/popp" serve-client "$sock" encode \
+  "$serve_dir/data.cols" "$serve_dir/served.cols" --seed 21 --policy bp
+"$build_dir/tools/popp" convert "$serve_dir/served.cols" \
+  "$serve_dir/served_from_cols.csv"
+cmp "$serve_dir/oneshot.csv" "$serve_dir/served_from_cols.csv"
+"$build_dir/tools/popp" serve-client "$sock" shutdown
+wait "$serve_pid"
+[ ! -e "$sock" ] || { echo "daemon left its socket behind"; exit 1; }
 
 echo "ci_check: all gates passed"
