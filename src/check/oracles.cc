@@ -888,6 +888,9 @@ OracleResult CheckServeVsCli(const Dataset& original, uint64_t plan_seed,
   serve_options.socket_path = (dir / "sock").string();
   serve_options.num_threads = 2;
   serve_options.cache_capacity = 4;
+  // Server-side saves are confined to <save_dir>/<tenant>/, so the fit
+  // request below names a relative target and the artifact lands here.
+  serve_options.save_dir = (dir / "saves").string();
   serve::Server server(serve_options);
   const Status started = server.Start();
   if (!started.ok()) {
@@ -995,9 +998,10 @@ OracleResult CheckServeVsCli(const Dataset& original, uint64_t plan_seed,
   // server-side SavePlan of a fit request. The request's fault-layer ops
   // form a deterministic tail of the op sequence (the reply is sent only
   // after the save), so a schedule counted once replays exactly.
-  const std::string save_path = (dir / "plan.key").string();
+  const std::string save_path =
+      (dir / "saves" / "oracle" / "plan.key").string();
   serve::RequestBody fit_request;
-  fit_request.options = options_text(1) + "save " + save_path + "\n";
+  fit_request.options = options_text(1) + "save plan.key\n";
   fit_request.dataset = csv_bytes;
   size_t total_ops = 0;
   {

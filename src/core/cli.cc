@@ -51,7 +51,9 @@ constexpr char kUsage[] =
     "       [--prune] [--max-depth D] [--min-leaf N]\n"
     "\n"
     "daemon commands (against a running popp-serve):\n"
-    "  serve-client <socket> fit <in.csv> <key.out> [--save SERVER_PATH]\n"
+    "  serve-client <socket> fit <in.csv> <key.out> [--save RELPATH]\n"
+    "      (--save is server-side, confined to the daemon's\n"
+    "       --save-dir/<tenant>/; absolute paths and '..' are refused)\n"
     "  serve-client <socket> encode <in.csv> <out.csv>\n"
     "  serve-client <socket> decode <tree.in> <original.csv> <tree.out>\n"
     "  serve-client <socket> verify <in.csv>\n"

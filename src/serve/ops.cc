@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <filesystem>
 #include <mutex>
 #include <sstream>
 #include <utility>
@@ -58,9 +59,15 @@ Result<OpOptions> ParseOptions(const std::string& text,
     } else if (key == "anti") {
       options.transform.global_anti_monotone = true;
     } else if (key == "threads") {
+      // 0 keeps the CLI's documented meaning — all hardware threads —
+      // and then the serve-side ceiling applies exactly as it does to an
+      // explicit count. The released bytes do not depend on the choice.
       const size_t requested = std::strtoull(value.c_str(), nullptr, 10);
+      const size_t resolved = requested == 0
+                                  ? ExecPolicy::Hardware().ResolvedThreads()
+                                  : requested;
       options.exec.num_threads = std::min(
-          std::max<size_t>(requested, 1), config.max_request_threads);
+          std::max<size_t>(resolved, 1), config.max_request_threads);
     } else if (key == "no-compiled") {
       options.use_compiled = false;
     } else if (key == "trials") {
@@ -72,6 +79,58 @@ Result<OpOptions> ParseOptions(const std::string& text,
     }
   }
   return options;
+}
+
+/// Resolves a client-supplied `save` target inside the daemon's save
+/// root. The client may only name a relative path, which is confined to
+/// <save_dir>/<tenant>/ — the tenants are mutually distrustful, so a
+/// socket peer must be able to clobber neither another tenant's saved
+/// artifacts nor anything else the daemon's user can write.
+Result<std::string> ResolveSavePath(const OpConfig& config,
+                                    const std::string& tenant,
+                                    const std::string& requested) {
+  if (config.save_dir.empty()) {
+    return Status::InvalidArgument(
+        "server-side save is disabled: this daemon was started without "
+        "--save-dir, so requests may not name filesystem paths");
+  }
+  const auto component_ok = [](std::string_view c) {
+    return !c.empty() && c != "." && c != ".." &&
+           c.find('\0') == std::string_view::npos;
+  };
+  if (!component_ok(tenant) || tenant.find('/') != std::string::npos) {
+    return Status::InvalidArgument(
+        "tenant '" + tenant +
+        "' cannot own a save directory (a saving tenant needs a non-empty "
+        "name that is not '.', '..' or slash-separated)");
+  }
+  if (requested.empty() || requested.front() == '/') {
+    return Status::InvalidArgument(
+        "save target '" + requested +
+        "' must be relative: server-side saves are confined to the "
+        "daemon's --save-dir, per tenant");
+  }
+  for (size_t begin = 0; begin <= requested.size();) {
+    size_t end = requested.find('/', begin);
+    if (end == std::string::npos) end = requested.size();
+    if (!component_ok(std::string_view(requested).substr(begin,
+                                                         end - begin))) {
+      return Status::InvalidArgument(
+          "save target '" + requested +
+          "' may not contain empty, '.' or '..' components");
+    }
+    begin = end + 1;
+  }
+  const std::filesystem::path full =
+      std::filesystem::path(config.save_dir) / tenant / requested;
+  std::error_code ec;
+  std::filesystem::create_directories(full.parent_path(), ec);
+  if (ec) {
+    return Status::IoError("cannot create save directory '" +
+                           full.parent_path().string() +
+                           "': " + ec.message());
+  }
+  return full.string();
 }
 
 /// Parses the request's dataset bytes, sniffing the popp-cols magic so the
@@ -120,10 +179,13 @@ ReplyBody OpFit(Workspace& workspace, const RequestBody& request,
                                           options.value());
   const std::string document = SerializePlan(cached->plan);
   if (!options.value().save_path.empty()) {
+    auto target = ResolveSavePath(config, workspace.name(),
+                                  options.value().save_path);
+    if (!target.ok()) return ReplyBody::Error(target.status());
     // Artifact persistence goes through the hardened atomic writer
     // (SavePlan stages in <path>.tmp and renames), so a daemon killed
     // mid-save never leaves a partial key under the final name.
-    const Status saved = SavePlan(cached->plan, options.value().save_path);
+    const Status saved = SavePlan(cached->plan, target.value());
     if (!saved.ok()) return ReplyBody::Error(saved);
   }
   const PlanKey key = PlanKey::Make(data.value().schema(),

@@ -21,13 +21,18 @@
 ///   policy P        none | bp | maxmp                  (default maxmp)
 ///   breakpoints W   minimum breakpoint count           (default 20)
 ///   anti            global-anti-monotone direction
-///   threads N       ExecPolicy for this request        (default 1,
+///   threads N       ExecPolicy for this request        (default 1; 0 =
+///                   all hardware threads, as in the CLI; either way
 ///                   capped by the server's max_request_threads)
 ///   no-compiled     force the interpreted encode path
 ///   trials N        risk-report trials                 (risk; default 31)
 ///   save PATH       also persist the op's artifact server-side (fit:
 ///                   the plan key document), atomically via
-///                   fault::AtomicFileWriter
+///                   fault::AtomicFileWriter. PATH must be relative and
+///                   is confined to <save_dir>/<tenant>/ ('..' and
+///                   absolute paths are refused; without a configured
+///                   save_dir the option is refused outright), so a
+///                   socket peer never writes outside its own corner
 ///
 /// Determinism contract: a served encode is byte-identical to `popp
 /// encode` on the same input at every thread count and in either dataset
@@ -40,6 +45,9 @@ struct OpConfig {
   /// Ceiling on the per-request `threads` option (a tenant cannot demand
   /// unbounded pools; the bytes do not depend on the cap).
   size_t max_request_threads = 16;
+  /// Root for request `save` targets; empty disables server-side saves
+  /// (see ServeOptions::save_dir).
+  std::string save_dir;
 };
 
 /// One registered operation.

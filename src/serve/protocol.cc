@@ -3,6 +3,7 @@
 #include <errno.h>
 #include <poll.h>
 #include <string.h>
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include <cstring>
@@ -112,6 +113,9 @@ std::string EncodeFrame(Tag tag, std::string_view tenant,
                         std::string_view payload) {
   POPP_CHECK_MSG(tenant.size() <= UINT16_MAX,
                  "tenant name too long: " << tenant.size());
+  POPP_CHECK_MSG(payload.size() <= UINT32_MAX - 12 - tenant.size(),
+                 "frame payload too large for the u32 length prefix: "
+                     << payload.size() << " bytes");
   std::string body;
   body.reserve(4 + tenant.size() + payload.size());
   body.push_back(static_cast<char>(kProtocolVersion));
@@ -210,22 +214,6 @@ Result<ReplyBody> ReplyBody::Decode(std::string_view payload) {
   return reply;
 }
 
-Status SendFrame(int fd, Tag tag, std::string_view tenant,
-                 std::string_view payload) {
-  const std::string frame = EncodeFrame(tag, tenant, payload);
-  size_t sent = 0;
-  while (sent < frame.size()) {
-    const ssize_t n = ::write(fd, frame.data() + sent, frame.size() - sent);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return Status::IoError(std::string("socket write failed: ") +
-                             ::strerror(errno));
-    }
-    sent += static_cast<size_t>(n);
-  }
-  return Status::Ok();
-}
-
 namespace {
 
 /// Reads exactly `want` bytes, polling in 100 ms slices so a drain request
@@ -264,7 +252,66 @@ Status ReadExact(int fd, char* buf, size_t want, const std::atomic<bool>* stop,
   return Status::Ok();
 }
 
+/// Writes exactly `want` bytes, mirroring ReadExact's 100 ms poll slices.
+/// While `stop` is unset a full socket buffer just waits for the peer;
+/// once `stop` is set a peer that is not consuming (POLLOUT never ready
+/// within a slice) aborts, so a stalled reader cannot block a drain.
+/// MSG_NOSIGNAL keeps a vanished peer an EPIPE on this connection instead
+/// of a process-killing SIGPIPE — nothing in the daemon installs a
+/// SIGPIPE handler, and the serve-client CLI must not need one either.
+Status WriteExact(int fd, const char* buf, size_t want,
+                  const std::atomic<bool>* stop) {
+  size_t sent = 0;
+  while (sent < want) {
+    struct pollfd pfd = {fd, POLLOUT, 0};
+    const int ready = ::poll(&pfd, 1, 100);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(std::string("socket poll failed: ") +
+                             ::strerror(errno));
+    }
+    if (ready == 0) {
+      if (stop != nullptr && stop->load(std::memory_order_relaxed)) {
+        return Status::FailedPrecondition(
+            "write aborted: server is draining and the peer stopped "
+            "consuming");
+      }
+      continue;  // timeout slice; re-check stop
+    }
+    // MSG_DONTWAIT: a blocking send() on a stream socket queues the
+    // whole remainder before returning, which would sleep past every
+    // stop check on a stalled reader. Partial sends loop back through
+    // the poll slice instead.
+    const ssize_t n = ::send(fd, buf + sent, want - sent,
+                             MSG_NOSIGNAL | MSG_DONTWAIT);
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) {
+        continue;
+      }
+      return Status::IoError(std::string("socket write failed: ") +
+                             ::strerror(errno));
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
 }  // namespace
+
+Status SendFrame(int fd, Tag tag, std::string_view tenant,
+                 std::string_view payload, const std::atomic<bool>* stop) {
+  // Refuse gracefully before EncodeFrame's CHECK would abort: a reply
+  // this large is a caller bug, but it must cost one connection, not the
+  // daemon.
+  if (tenant.size() > UINT16_MAX ||
+      payload.size() > UINT32_MAX - 12 - tenant.size()) {
+    return Status::InvalidArgument(
+        "frame of " + std::to_string(payload.size()) +
+        " payload bytes overflows the u32 frame length prefix");
+  }
+  const std::string frame = EncodeFrame(tag, tenant, payload);
+  return WriteExact(fd, frame.data(), frame.size(), stop);
+}
 
 Result<Frame> RecvFrame(int fd, const std::atomic<bool>* stop,
                         uint32_t max_frame_bytes) {

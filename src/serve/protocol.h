@@ -123,9 +123,17 @@ struct ReplyBody {
   }
 };
 
-/// Writes one frame to a connected socket fd, looping over partial writes.
+/// Writes one frame to a connected socket fd, looping over partial writes
+/// in 100 ms poll slices. Writes use MSG_NOSIGNAL, so a peer that closed
+/// mid-reply is an `kIoError` (EPIPE) on this connection — never a
+/// process-wide SIGPIPE. When `stop` is non-null and becomes true while
+/// the peer is not consuming (the socket stays unwritable for a slice),
+/// the write aborts with `kFailedPrecondition` so a stalled reader cannot
+/// block the server's drain. An oversize tenant/payload (frame length
+/// would overflow the u32 prefix) is `kInvalidArgument` without writing.
 Status SendFrame(int fd, Tag tag, std::string_view tenant,
-                 std::string_view payload);
+                 std::string_view payload,
+                 const std::atomic<bool>* stop = nullptr);
 
 /// Reads one frame from a connected socket fd. Blocks in 100 ms poll
 /// slices; when `stop` is non-null and becomes true the read aborts with

@@ -58,7 +58,7 @@ void HandleShutdownSignal(int /*signo*/) {
 
 Server::Server(ServeOptions options)
     : options_(std::move(options)),
-      op_config_{options_.max_request_threads},
+      op_config_{options_.max_request_threads, options_.save_dir},
       registry_(options_.cache_capacity),
       pool_(options_.num_threads < 1 ? 1 : options_.num_threads) {}
 
@@ -136,8 +136,9 @@ int Server::Serve(std::ostream& log) {
   }
 
   // Drain: stop accepting, let in-flight requests finish. Blocked reads
-  // abort on the shutdown flag within one 100 ms poll slice, so every
-  // worker returns promptly even if its client went quiet.
+  // — and replies whose peer stopped consuming — abort on the shutdown
+  // flag within one 100 ms poll slice, so every worker returns promptly
+  // even if its client went quiet or never reads.
   ::close(listen_fd_);
   listen_fd_ = -1;
   while (connections_.load(std::memory_order_acquire) > 0) {
@@ -167,17 +168,23 @@ void Server::HandleConnection(int fd) {
           code != StatusCode::kFailedPrecondition) {
         rejected_frames_.fetch_add(1, std::memory_order_relaxed);
         (void)SendFrame(fd, Tag::kReply, "",
-                        ReplyBody::Error(frame.status()).Encode());
+                        ReplyBody::Error(frame.status()).Encode(),
+                        &shutdown_);
       }
       break;
     }
 
     if (frame.value().tag == Tag::kShutdown) {
+      // Flag first, then acknowledge: a reading client gets the ack (its
+      // socket is writable, so the send completes), while a peer that
+      // stopped consuming aborts within one poll slice instead of
+      // holding the drain open.
+      RequestShutdown();
       (void)SendFrame(
           fd, Tag::kReply, "",
           ReplyBody::Ok("draining in-flight requests, then exiting")
-              .Encode());
-      RequestShutdown();
+              .Encode(),
+          &shutdown_);
       break;
     }
 
@@ -190,7 +197,9 @@ void Server::HandleConnection(int fd) {
       reply = DispatchOp(frame.value().tag, *workspace, body.value(),
                          op_config_);
     }
-    if (!SendFrame(fd, Tag::kReply, "", reply.Encode()).ok()) break;
+    if (!SendFrame(fd, Tag::kReply, "", reply.Encode(), &shutdown_).ok()) {
+      break;
+    }
   }
   ::close(fd);
   connections_.fetch_sub(1, std::memory_order_release);

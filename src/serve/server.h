@@ -34,7 +34,11 @@
 ///    reclaimed silently.
 ///  * A malformed, truncated or CRC-damaged frame poisons only its own
 ///    connection (error reply when possible, then close); the daemon
-///    survives and keeps serving every other connection.
+///    survives and keeps serving every other connection. Replies are
+///    written with MSG_NOSIGNAL, so a peer that disappears mid-reply is
+///    an EPIPE on that connection, never a process-killing SIGPIPE; a
+///    peer that stops consuming its reply during a drain is aborted
+///    within one poll slice, so it cannot block shutdown either.
 
 namespace popp::serve {
 
@@ -49,6 +53,11 @@ struct ServeOptions {
   size_t max_request_threads = 16;
   /// Largest frame a peer may send.
   uint32_t max_frame_bytes = kDefaultMaxFrameBytes;
+  /// Root directory for request `save` targets (confined per tenant:
+  /// <save_dir>/<tenant>/<relative path>). Empty (the default) disables
+  /// server-side saves entirely — a socket peer must not get arbitrary
+  /// writes with the daemon's filesystem privileges.
+  std::string save_dir;
 };
 
 class Server {

@@ -1,11 +1,13 @@
 #include <gtest/gtest.h>
 
+#include <poll.h>
 #include <string.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
 
 #include <atomic>
+#include <filesystem>
 #include <memory>
 #include <sstream>
 #include <string>
@@ -535,6 +537,161 @@ TEST_F(ServeEndToEndTest, MalformedFramesPoisonOnlyTheirConnection) {
   auto stats = client.Call(Tag::kStats, "t", RequestBody{});
   ASSERT_TRUE(stats.ok()) << stats.status().ToString();
   EXPECT_TRUE(stats.value().ok());
+  EXPECT_EQ(daemon.Shutdown(), 0);
+}
+
+TEST_F(ServeEndToEndTest, PeerVanishingMidReplyCostsOnlyItsConnection) {
+  ServeOptions options;
+  options.socket_path = TempSocketPath("gone");
+  TestServer daemon;
+  ASSERT_TRUE(daemon.Start(options).ok());
+
+  // Clients that request an encode and disappear before reading the
+  // reply: the daemon's send must surface as EPIPE on that connection
+  // (MSG_NOSIGNAL), never raise a process-killing SIGPIPE.
+  for (int round = 0; round < 3; ++round) {
+    const int fd = RawConnect(options.socket_path);
+    ASSERT_GE(fd, 0);
+    RequestBody request;
+    request.options = OptionsText(9, 1);
+    request.dataset = csv_bytes_;
+    SendAll(fd, EncodeFrame(Tag::kEncode, "t", request.Encode()));
+    ::close(fd);  // gone before the reply
+  }
+
+  // The daemon survived every abandoned reply: a well-formed request
+  // still round-trips.
+  ServeClient client;
+  ASSERT_TRUE(client.Connect(options.socket_path).ok());
+  auto stats = client.Call(Tag::kStats, "t", RequestBody{});
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_TRUE(stats.value().ok());
+  EXPECT_EQ(daemon.Shutdown(), 0);
+}
+
+TEST(ServeDrainTest, DrainAbortsAPeerThatStopsConsumingItsReply) {
+  // A reply larger than the socket buffer blocks the worker's send; a
+  // drain must abort that write instead of spinning on the connection
+  // count forever (the pre-fix hang: RecvFrame honored the shutdown
+  // flag but the reply write did not).
+  Rng rng(13);
+  const Dataset big = GenerateCovtypeLike(SmallCovtypeSpec(40000), rng);
+  const std::string big_csv = ToCsvString(big);
+
+  ServeOptions options;
+  options.socket_path = TempSocketPath("stall");
+  TestServer daemon;
+  ASSERT_TRUE(daemon.Start(options).ok());
+
+  const int fd = RawConnect(options.socket_path);
+  ASSERT_GE(fd, 0);
+  RequestBody request;
+  request.options = "seed 9\npolicy bp\nthreads 1\n";
+  request.dataset = big_csv;
+  SendAll(fd, EncodeFrame(Tag::kEncode, "stall", request.Encode()));
+
+  // Wait until the daemon has started writing the reply (bytes become
+  // readable on our side), then never read a single one: its send
+  // buffer fills and the worker blocks mid-reply.
+  struct pollfd pfd = {fd, POLLIN, 0};
+  ASSERT_GT(::poll(&pfd, 1, 30000), 0);
+
+  // The drain aborts the stalled write; Shutdown() joins promptly
+  // instead of hanging (a regression here times the test out).
+  EXPECT_EQ(daemon.Shutdown(), 0);
+  ::close(fd);
+  EXPECT_FALSE(fault::FileExists(options.socket_path));
+}
+
+TEST_F(ServeEndToEndTest, SaveIsRefusedWithoutAConfiguredSaveDir) {
+  ServeOptions options;
+  options.socket_path = TempSocketPath("nosave");
+  TestServer daemon;
+  ASSERT_TRUE(daemon.Start(options).ok());
+  ServeClient client;
+  ASSERT_TRUE(client.Connect(options.socket_path).ok());
+
+  RequestBody fit;
+  fit.options = "seed 4\nsave plan.key\n";
+  fit.dataset = csv_bytes_;
+  auto reply = client.Call(Tag::kFit, "t", fit);
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply.value().code, StatusCode::kInvalidArgument);
+  EXPECT_NE(reply.value().text.find("--save-dir"), std::string::npos)
+      << reply.value().text;
+  EXPECT_EQ(daemon.Shutdown(), 0);
+}
+
+TEST_F(ServeEndToEndTest, SaveIsConfinedToThePerTenantDirectory) {
+  const std::string save_dir = testing::TempDir() + "popp_srv_saves_" +
+                               std::to_string(::getpid());
+  ServeOptions options;
+  options.socket_path = TempSocketPath("save");
+  options.save_dir = save_dir;
+  TestServer daemon;
+  ASSERT_TRUE(daemon.Start(options).ok());
+  ServeClient client;
+  ASSERT_TRUE(client.Connect(options.socket_path).ok());
+
+  // Escape attempts are refused before any filesystem work.
+  for (const char* target :
+       {"/tmp/evil.key", "../escape.key", "a/../../b", "a//b", "."}) {
+    RequestBody fit;
+    fit.options = std::string("seed 4\nsave ") + target + "\n";
+    fit.dataset = csv_bytes_;
+    auto reply = client.Call(Tag::kFit, "alice", fit);
+    ASSERT_TRUE(reply.ok());
+    EXPECT_EQ(reply.value().code, StatusCode::kInvalidArgument) << target;
+  }
+  // A tenant whose name cannot be a directory component may not save.
+  {
+    RequestBody fit;
+    fit.options = "seed 4\nsave plan.key\n";
+    fit.dataset = csv_bytes_;
+    auto reply = client.Call(Tag::kFit, "../bob", fit);
+    ASSERT_TRUE(reply.ok());
+    EXPECT_EQ(reply.value().code, StatusCode::kInvalidArgument);
+  }
+  // A relative target lands under <save_dir>/<tenant>/ holding the
+  // exact canonical plan bytes.
+  Rng rng(4);
+  const TransformPlan plan =
+      TransformPlan::Create(data_, PiecewiseOptions{}, rng, ExecPolicy{1});
+  RequestBody fit;
+  fit.options = "seed 4\nsave plans/run1.key\n";
+  fit.dataset = csv_bytes_;
+  auto reply = client.Call(Tag::kFit, "alice", fit);
+  ASSERT_TRUE(reply.ok());
+  ASSERT_TRUE(reply.value().ok()) << reply.value().text;
+  auto saved = fault::ReadFileToString(save_dir + "/alice/plans/run1.key");
+  ASSERT_TRUE(saved.ok()) << saved.status().ToString();
+  EXPECT_EQ(saved.value(), SerializePlan(plan));
+  EXPECT_EQ(daemon.Shutdown(), 0);
+  std::error_code ec;
+  std::filesystem::remove_all(save_dir, ec);
+}
+
+TEST_F(ServeEndToEndTest, ThreadsZeroMeansAllHardwareThreadsCapped) {
+  ServeOptions options;
+  options.socket_path = TempSocketPath("hw");
+  options.max_request_threads = 2;
+  TestServer daemon;
+  ASSERT_TRUE(daemon.Start(options).ok());
+  ServeClient client;
+  ASSERT_TRUE(client.Connect(options.socket_path).ok());
+
+  // `threads 0` keeps the CLI meaning (all hardware threads, here capped
+  // at the serve ceiling of 2) rather than silently clamping to 1; the
+  // released bytes are identical either way by the §12 determinism.
+  PiecewiseOptions transform;
+  transform.policy = BreakpointPolicy::kChooseBP;
+  RequestBody request;
+  request.options = OptionsText(9, 0);
+  request.dataset = csv_bytes_;
+  auto reply = client.Call(Tag::kEncode, "t", request);
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  ASSERT_TRUE(reply.value().ok()) << reply.value().text;
+  EXPECT_EQ(reply.value().body, ExpectedEncode(9, transform));
   EXPECT_EQ(daemon.Shutdown(), 0);
 }
 

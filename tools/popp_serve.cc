@@ -26,6 +26,10 @@ options:
   --cache-capacity N    per-tenant hot-plan LRU size   (default 64)
   --max-request-threads N
                         ceiling on a request's ExecPolicy (default 16)
+  --save-dir DIR        root for request `save` targets; clients name a
+                        relative path, confined to DIR/<tenant>/.
+                        Without this flag server-side saves are refused
+                        (a socket peer gets no filesystem writes).
   --help                this text
 
 lifecycle: SIGTERM/SIGINT drain in-flight requests, remove the socket
@@ -81,6 +85,13 @@ int main(int argc, char** argv) {
                      "integer\n";
         return 2;
       }
+    } else if (arg == "--save-dir") {
+      const std::string* v = value();
+      if (!v || v->empty()) {
+        std::cerr << "popp-serve: --save-dir needs a directory path\n";
+        return 2;
+      }
+      options.save_dir = *v;
     } else if (!arg.empty() && arg[0] == '-') {
       std::cerr << "popp-serve: unknown option '" << arg << "'\n" << kUsage;
       return 2;
