@@ -16,6 +16,8 @@
 #include "fault/file.h"
 #include "serve/client.h"
 #include "serve/server.h"
+#include "shard/meta_manifest.h"
+#include "shard/pipeline.h"
 #include "stream/manifest.h"
 #include "util/crc64.h"
 #include "transform/compiled.h"
@@ -807,6 +809,328 @@ OracleResult CheckFaultCrashSafety(const Dataset& original, uint64_t plan_seed,
 
 namespace {
 
+/// Reads and concatenates the shard files of a sharded release in shard
+/// order — the bytes the contract pins against the single-process release.
+Result<std::string> ConcatenatedShards(const std::string& out_path,
+                                       size_t num_shards) {
+  std::string all;
+  for (size_t k = 0; k < num_shards; ++k) {
+    auto bytes = fault::ReadFileToString(shard::ShardFilePath(out_path, k));
+    if (!bytes.ok()) return bytes.status();
+    all += bytes.value();
+  }
+  return all;
+}
+
+/// First leftover working file of a sharded release (journal, partial or
+/// summary artifact), or "" when the release retired them all.
+std::string ShardDebris(const std::string& out_path, size_t num_shards) {
+  for (size_t k = 0; k < num_shards; ++k) {
+    const std::string base = shard::ShardFilePath(out_path, k);
+    for (const char* suffix : {".manifest", ".partial"}) {
+      if (fault::FileExists(base + suffix)) return base + suffix;
+    }
+    if (fault::FileExists(shard::ShardSummaryPath(out_path, k))) {
+      return shard::ShardSummaryPath(out_path, k);
+    }
+  }
+  return "";
+}
+
+/// Checks one *successful* sharded release against the golden stream
+/// bytes: plan serialization, concatenated shard bytes, a shard-by-shard
+/// manifest verification, and the absence of working-file debris.
+OracleResult CheckShardedArtifacts(const std::string& out_path,
+                                   size_t num_shards,
+                                   const Result<TransformPlan>& shard_plan,
+                                   const std::string& golden_plan_bytes,
+                                   const std::string& golden_bytes,
+                                   const std::string& what,
+                                   const std::string& where) {
+  if (!shard_plan.ok()) {
+    return OracleResult::Fail(what + " failed: " +
+                              shard_plan.status().ToString() + where);
+  }
+  if (SerializePlan(shard_plan.value()) != golden_plan_bytes) {
+    return OracleResult::Fail(
+        what + ": plan serialization differs from the batch plan" + where);
+  }
+  auto concat = ConcatenatedShards(out_path, num_shards);
+  if (!concat.ok()) {
+    return OracleResult::Fail(what + ": cannot read the shard files: " +
+                              concat.status().ToString() + where);
+  }
+  if (concat.value() != golden_bytes) {
+    return OracleResult::Fail(
+        what + ": concatenated shard files are not byte-identical to the "
+        "single-process streamed release" + where);
+  }
+  const uint64_t plan_crc = Crc64(golden_plan_bytes);
+  shard::VerifyTotals totals;
+  Status verified = shard::VerifyShardedRelease(out_path, &plan_crc, &totals);
+  if (!verified.ok()) {
+    return OracleResult::Fail(what + ": meta-manifest verification failed: " +
+                              verified.ToString() + where);
+  }
+  if (totals.shards != num_shards || totals.bytes != concat.value().size()) {
+    return OracleResult::Fail(
+        what + ": meta-manifest totals disagree with the shard files" +
+        where);
+  }
+  const std::string debris = ShardDebris(out_path, num_shards);
+  if (!debris.empty()) {
+    return OracleResult::Fail(what + ": left working file '" + debris +
+                              "' behind" + where);
+  }
+  return OracleResult::Ok();
+}
+
+}  // namespace
+
+OracleResult CheckShardVsStream(const Dataset& original,
+                                const TransformPlan& plan,
+                                const Dataset& released, uint64_t plan_seed,
+                                const PiecewiseOptions& transform_options,
+                                size_t num_shards, size_t num_threads,
+                                size_t chunk_rows, bool use_cols,
+                                size_t num_fault_schedules) {
+  namespace fs = std::filesystem;
+  std::ostringstream where_oss;
+  where_oss << " (shards=" << num_shards << ", threads=" << num_threads
+            << ", chunk_rows=" << chunk_rows << ", format="
+            << (use_cols ? "cols" : "csv") << ")";
+  const std::string where = where_oss.str();
+
+  const fs::path dir = FaultScratchDir();
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    return OracleResult::Fail("cannot create scratch directory '" +
+                              dir.string() + "': " + ec.message());
+  }
+  struct Cleanup {
+    const fs::path& dir;
+    ~Cleanup() {
+      std::error_code ignored;
+      fs::remove_all(dir, ignored);
+    }
+  } cleanup{dir};
+
+  // Materialize the fuzz case as an on-disk input in the requested format.
+  const std::string input_path =
+      (dir / (use_cols ? "input.cols" : "input.csv")).string();
+  const std::string input_bytes =
+      use_cols ? SerializeCols(original) : ToCsvString(original);
+  if (Status written = fault::WriteFileAtomic(input_path, input_bytes);
+      !written.ok()) {
+    return OracleResult::Fail("cannot write the scratch input: " +
+                              written.ToString());
+  }
+
+  // The golden: a single-process streamed release of the same input file.
+  const std::string golden_plan_bytes = SerializePlan(plan);
+  const std::string stream_path = (dir / "stream.csv").string();
+  {
+    stream::StreamOptions so;
+    so.chunk_rows = chunk_rows;
+    so.transform = transform_options;
+    so.seed = plan_seed;
+    auto reader = stream::MakeChunkReader(input_path,
+                                          stream::DatasetFormat::kAuto, {});
+    if (!reader.ok()) {
+      return OracleResult::Fail("cannot open the scratch input: " +
+                                reader.status().ToString() + where);
+    }
+    stream::ResumableCsvChunkWriter writer(stream_path, {},
+                                           /*resume=*/false);
+    auto stream_plan =
+        stream::StreamingCustodian::Release(*reader.value(), writer, so);
+    if (!stream_plan.ok()) {
+      return OracleResult::Fail("single-process streamed release failed: " +
+                                stream_plan.status().ToString() + where);
+    }
+    if (SerializePlan(stream_plan.value()) != golden_plan_bytes) {
+      return OracleResult::Fail(
+          "streamed plan serialization differs from the batch plan" + where);
+    }
+  }
+  auto golden = fault::ReadFileToString(stream_path);
+  if (!golden.ok()) {
+    return OracleResult::Fail("cannot read the streamed release: " +
+                              golden.status().ToString() + where);
+  }
+  if (golden.value() != ToCsvString(released)) {
+    return OracleResult::Fail(
+        "the streamed release file differs from the batch release bytes" +
+        where);
+  }
+
+  shard::ShardOptions options;
+  options.num_shards = num_shards;
+  options.workers_mode = shard::WorkersMode::kThread;
+  options.chunk_rows = chunk_rows;
+  options.transform = transform_options;
+  options.seed = plan_seed;
+  options.exec = ExecPolicy{num_threads};
+  const std::string out_path = (dir / "release").string();
+
+  // Fault-free baseline: the sharded release must reproduce the golden.
+  shard::ShardStats stats;
+  auto baseline =
+      shard::ShardedCustodian::Release(input_path, out_path, options, &stats);
+  OracleResult checked = CheckShardedArtifacts(
+      out_path, num_shards, baseline, golden_plan_bytes, golden.value(),
+      "sharded release", where);
+  if (!checked.passed) return checked;
+  if (stats.rows != original.NumRows()) {
+    std::ostringstream oss;
+    oss << "sharded release counted " << stats.rows << " rows, expected "
+        << original.NumRows() << where;
+    return OracleResult::Fail(oss.str());
+  }
+
+  // Tamper probe: verification must actually read the shard bytes. Flip
+  // one byte of the largest shard file and expect DataLoss.
+  {
+    size_t victim = 0;
+    std::string victim_bytes;
+    for (size_t k = 0; k < num_shards; ++k) {
+      auto bytes = fault::ReadFileToString(shard::ShardFilePath(out_path, k));
+      if (!bytes.ok()) {
+        return OracleResult::Fail("cannot reread a shard file: " +
+                                  bytes.status().ToString() + where);
+      }
+      if (bytes.value().size() > victim_bytes.size()) {
+        victim = k;
+        victim_bytes = std::move(bytes).value();
+      }
+    }
+    if (!victim_bytes.empty()) {
+      std::string tampered = victim_bytes;
+      tampered[tampered.size() / 2] ^= 0x20;
+      const std::string victim_path = shard::ShardFilePath(out_path, victim);
+      if (Status s = fault::WriteFileAtomic(victim_path, tampered); !s.ok()) {
+        return OracleResult::Fail("cannot tamper with a shard file: " +
+                                  s.ToString() + where);
+      }
+      const Status caught = shard::VerifyShardedRelease(out_path);
+      if (caught.ok() || caught.code() != StatusCode::kDataLoss) {
+        return OracleResult::Fail(
+            "verification missed a flipped byte in shard " +
+            std::to_string(victim) + ": " + caught.ToString() + where);
+      }
+      if (Status s = fault::WriteFileAtomic(victim_path, victim_bytes);
+          !s.ok()) {
+        return OracleResult::Fail("cannot restore the tampered shard: " +
+                                  s.ToString() + where);
+      }
+    }
+  }
+
+  // The schedule space: fault-layer operations in one full sharded
+  // release. Gated removes count whether or not the file exists, so the
+  // count transfers from the probe run to the trial runs exactly.
+  size_t total_ops = 0;
+  {
+    fault::ScopedFaultInjection probe(fault::FaultSchedule::CountOnly());
+    auto counted = shard::ShardedCustodian::Release(
+        input_path, (dir / "probe").string(), options, nullptr);
+    if (!counted.ok()) {
+      return OracleResult::Fail("op-count probe failed: " +
+                                counted.status().ToString() + where);
+    }
+    total_ops = probe.ops_seen();
+  }
+  if (total_ops == 0) {
+    return OracleResult::Fail(
+        "the sharded release performed no fault-layer I/O operations — "
+        "artifact writes are not routed through the hardened I/O layer");
+  }
+
+  Rng rng(plan_seed ^ 0x5a4ded5eed5ull);
+  for (size_t k = 0; k < num_fault_schedules; ++k) {
+    const size_t fire_at = static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(total_ops - 1)));
+    const bool crash = rng.Bernoulli(0.5);
+    const double fraction = rng.Uniform01();
+    std::ostringstream trial_oss;
+    trial_oss << " (schedule " << k << ": " << (crash ? "crash" : "error")
+              << " at op " << fire_at << "/" << total_ops
+              << ", torn fraction " << fraction << ")" << where;
+    const std::string trial = trial_oss.str();
+
+    // Each trial starts without a published meta-manifest, so the
+    // published-implies-verifiable check below cannot be satisfied by a
+    // previous trial's release.
+    fs::remove(out_path, ec);
+
+    Status faulted;
+    bool fired = false;
+    {
+      fault::ScopedFaultInjection inject(
+          crash ? fault::FaultSchedule::CrashAt(fire_at, fraction)
+                : fault::FaultSchedule::ErrorAt(fire_at, fraction));
+      auto run = shard::ShardedCustodian::Release(input_path, out_path,
+                                                  options, nullptr);
+      faulted = run.ok() ? Status::Ok() : run.status();
+      fired = inject.fired();
+    }
+    if (!fired && !faulted.ok()) {
+      return OracleResult::Fail("no fault fired yet the release failed: " +
+                                faulted.ToString() + trial);
+    }
+    if (fired && faulted.ok()) {
+      // A benign fault (a short read on the hash pass — legal, callers
+      // loop) may leave the release successful; then it must be *fully*
+      // successful. Crashes and write-path errors must surface as a
+      // Status, which the published-implies-verifiable check plus the
+      // golden comparison below enforce.
+      if (crash) {
+        return OracleResult::Fail(
+            "an injected crash was swallowed: the sharded release reported "
+            "success" + trial);
+      }
+      if (!fault::FileExists(out_path)) {
+        return OracleResult::Fail(
+            "a swallowed fault left a successful release without a "
+            "meta-manifest" + trial);
+      }
+    }
+
+    // Invariant: a *published* meta-manifest always names a complete,
+    // verifiable release — the commit is the atomicity point.
+    if (fault::FileExists(out_path)) {
+      const uint64_t plan_crc = Crc64(golden_plan_bytes);
+      Status v = shard::VerifyShardedRelease(out_path, &plan_crc, nullptr);
+      if (!v.ok()) {
+        return OracleResult::Fail(
+            "a fault left an unverifiable release behind a published "
+            "meta-manifest: " + v.ToString() + trial);
+      }
+      auto concat = ConcatenatedShards(out_path, num_shards);
+      if (!concat.ok() || concat.value() != golden.value()) {
+        return OracleResult::Fail(
+            "a fault left wrong shard bytes behind a published "
+            "meta-manifest" + trial);
+      }
+    }
+
+    // Invariant: a --resume rerun converges to the exact golden bytes and
+    // retires every journal.
+    shard::ShardOptions resume_options = options;
+    resume_options.resume = true;
+    auto resumed = shard::ShardedCustodian::Release(input_path, out_path,
+                                                    resume_options, nullptr);
+    checked = CheckShardedArtifacts(out_path, num_shards, resumed,
+                                    golden_plan_bytes, golden.value(),
+                                    "resume after the fault", trial);
+    if (!checked.passed) return checked;
+  }
+  return OracleResult::Ok();
+}
+
+namespace {
+
 /// A scratch directory for one serve oracle run; same discipline as
 /// FaultScratchDir but kept short, since the socket path inside it must
 /// fit sockaddr_un's ~108-byte sun_path.
@@ -1193,6 +1517,27 @@ const std::vector<Oracle>& AllOracles() {
            return CheckFaultCrashSafety(ctx.c.data, ctx.c.plan_seed,
                                         ctx.c.transform_options, chunk,
                                         /*num_schedules=*/3);
+         }},
+        {"shard_vs_stream",
+         [](const TrialContext& ctx) {
+           // Shard counts {1, 2, 3, 8} cross the degenerate single-shard
+           // path, an odd split and a power-of-two split; thread counts
+           // {1, 2, 7} cross serial, paired and oversubscribed workers;
+           // the format bit alternates CSV and popp-cols inputs. Two fault
+           // schedules per case keep the fuzz loop affordable — the
+           // dedicated tests and the ci_check shard stage sweep more.
+           static constexpr size_t kShardSteps[] = {1, 2, 3, 8};
+           static constexpr size_t kThreadSteps[] = {1, 2, 7};
+           const size_t rows = std::max<size_t>(ctx.c.data.NumRows(), 1);
+           const size_t shards = kShardSteps[ctx.c.plan_seed % 4];
+           const size_t threads = kThreadSteps[(ctx.c.plan_seed / 4) % 3];
+           const size_t chunk = 1 + (ctx.c.plan_seed / 13) % rows;
+           const bool cols = (ctx.c.plan_seed / 2) % 2 == 1;
+           return CheckShardVsStream(ctx.c.data, ctx.plan, ctx.released,
+                                     ctx.c.plan_seed,
+                                     ctx.c.transform_options, shards,
+                                     threads, chunk, cols,
+                                     /*num_fault_schedules=*/2);
          }},
         {"serve_vs_cli",
          [](const TrialContext& ctx) {

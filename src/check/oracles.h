@@ -144,6 +144,29 @@ OracleResult CheckFaultCrashSafety(const Dataset& original, uint64_t plan_seed,
                                    const PiecewiseOptions& transform_options,
                                    size_t chunk_rows, size_t num_schedules);
 
+/// The sharded-release contract (src/shard): a two-phase sharded release
+/// over the fuzz case — written to a scratch input file in CSV or
+/// popp-cols framing — must produce shard files whose *concatenation* is
+/// byte-identical to the single-process streamed release of the same
+/// input (and therefore to the batch release), an identical plan
+/// serialization, and a meta-manifest that verifies shard by shard
+/// (including a tamper probe: flipping one shard byte must surface as
+/// DataLoss). Then `num_fault_schedules` seed-derived fault schedules —
+/// clean errors, torn writes and simulated kills at a random fault-layer
+/// operation — are injected into the whole pipeline (worker summarize and
+/// encode I/O, coordinator hash and meta-manifest commit): a fired fault
+/// must surface as a Status, a *published* meta-manifest must always name
+/// a complete verifiable release, and a `--resume` rerun must converge to
+/// the exact golden bytes leaving no journal, partial or summary debris.
+/// Thread-mode workers only (fork does not mix with test harnesses).
+OracleResult CheckShardVsStream(const Dataset& original,
+                                const TransformPlan& plan,
+                                const Dataset& released, uint64_t plan_seed,
+                                const PiecewiseOptions& transform_options,
+                                size_t num_shards, size_t num_threads,
+                                size_t chunk_rows, bool use_cols,
+                                size_t num_fault_schedules);
+
 /// The serving contract (src/serve): a popp-serve daemon started on a
 /// scratch Unix socket must produce encode replies *byte-identical* to the
 /// one-shot CLI encode with the same seed/policy flags — at 1, 2 and 7
@@ -182,7 +205,7 @@ struct Oracle {
 /// global_invariant, label_runs, tree_equivalence, tree_equivalence_pruned,
 /// serialize_roundtrip, stream_vs_batch, cols_vs_csv,
 /// compiled_vs_interpreted, parallel_determinism, fault_crash_safety,
-/// serve_vs_cli.
+/// shard_vs_stream, serve_vs_cli.
 const std::vector<Oracle>& AllOracles();
 
 /// Evaluates the named oracle on a bare case (re-deriving plan and release).

@@ -14,6 +14,8 @@
 #include "parallel/exec_policy.h"
 #include "serve/client.h"
 #include "serve/protocol.h"
+#include "shard/meta_manifest.h"
+#include "shard/pipeline.h"
 #include "stream/chunk_io.h"
 #include "stream/cols_io.h"
 #include "stream/manifest.h"
@@ -25,6 +27,7 @@
 #include "tree/compare.h"
 #include "tree/prune.h"
 #include "tree/serialize.h"
+#include "util/crc64.h"
 
 namespace popp {
 namespace {
@@ -40,8 +43,12 @@ constexpr char kUsage[] =
     "         [--ood-policy reject|clamp|extend-piece|refit] [--fit-rows N]\n"
     "         [--key-in key] [--seed N] [--policy none|bp|maxmp]\n"
     "         [--breakpoints W] [--anti] [--resume]\n"
+    "  shard-release <in> <out> <key.out> [--shards N] [--workers-mode\n"
+    "         thread|process] [--chunk-rows N] [--seed N]\n"
+    "         [--policy none|bp|maxmp] [--breakpoints W] [--anti] [--resume]\n"
     "  decode <tree.in> <key> <original.csv> <tree.out>\n"
     "  verify <original.csv> [--seed N]\n"
+    "  verify <release> --manifest [--key key]\n"
     "  report <data.csv> [--trials N] [--seed N]\n"
     "  harden <data.csv> [--max-risk PCT] [--trials N] [--seed N]\n"
     "  convert <in> <out> [--to csv|cols]\n"
@@ -84,6 +91,17 @@ constexpr char kUsage[] =
     "stream-release journals progress in <out.csv>.manifest and stages\n"
     "bytes in <out.csv>.partial; --resume continues an interrupted run\n"
     "(byte-identical to an uninterrupted one) instead of starting over.\n"
+    "\n"
+    "shard-release splits the input into --shards disjoint row ranges,\n"
+    "summarizes them in parallel (thread workers, or forked processes\n"
+    "with --workers-mode process), fits one global plan from the merged\n"
+    "summaries, then encodes each shard into <out>.shard<k> behind its\n"
+    "own journal (--resume continues crashed shards independently).\n"
+    "<out> itself is the atomic manifest-of-manifests; the concatenated\n"
+    "shard files are byte-identical to stream-release with the same\n"
+    "flags. `verify <out> --manifest` re-checks every shard's length and\n"
+    "CRC-64 shard by shard, without materializing the dataset; --key\n"
+    "also binds the key file to the release's plan CRC.\n"
     "\n"
     "exit codes: 0 success, 1 runtime failure, 2 usage error,\n"
     "3 file/I-O error, 4 corrupt or integrity-failed artifact,\n"
@@ -320,6 +338,65 @@ int CmdStreamRelease(const ParsedArgs& args, std::ostream& out,
   return 0;
 }
 
+int CmdShardRelease(const ParsedArgs& args, std::ostream& out,
+                    std::ostream& err) {
+  if (args.positional.size() != 3) {
+    err << "shard-release needs <in> <out> <key.out>\n";
+    return 2;
+  }
+  auto transform = TransformFlags(args, err);
+  if (!transform) return 2;
+  shard::ShardOptions options;
+  options.transform = *transform;
+  options.seed = FlagInt(args, "seed", 1);
+  options.exec = ExecFlags(args);
+  options.num_shards = FlagInt(args, "shards", 2);
+  if (options.num_shards == 0) {
+    err << "--shards must be >= 1\n";
+    return 2;
+  }
+  options.chunk_rows = FlagInt(args, "chunk-rows", 4096);
+  if (options.chunk_rows == 0) {
+    err << "--chunk-rows must be >= 1\n";
+    return 2;
+  }
+  options.use_compiled = args.flags.count("no-compiled") == 0;
+  options.resume = args.flags.count("resume") > 0;
+  auto mode_it = args.flags.find("workers-mode");
+  if (mode_it != args.flags.end()) {
+    auto mode = shard::ParseWorkersMode(mode_it->second);
+    if (!mode.ok()) {
+      err << mode.status().ToString() << "\n";
+      return 2;
+    }
+    options.workers_mode = mode.value();
+  }
+  auto format = FormatFlag(args, "format");
+  if (!format.ok()) {
+    err << format.status().ToString() << "\n";
+    return 2;
+  }
+  options.format = format.value();
+  shard::ShardStats stats;
+  auto plan = shard::ShardedCustodian::Release(
+      args.positional[0], args.positional[1], options, &stats);
+  if (!plan.ok()) {
+    err << plan.status().ToString() << "\n";
+    return ExitFor(plan.status());
+  }
+  const Status status = SavePlan(plan.value(), args.positional[2]);
+  if (!status.ok()) {
+    err << status.ToString() << "\n";
+    return ExitFor(status);
+  }
+  out << stats.Render() << "released -> " << args.positional[1]
+      << " (+ " << options.num_shards << " shard file"
+      << (options.num_shards == 1 ? "" : "s")
+      << ")\nkey written to " << args.positional[2]
+      << " (keep it secret; it decodes the mining outcome)\n";
+  return 0;
+}
+
 int CmdMine(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
   if (args.positional.size() != 2) {
     err << "mine needs <data.csv> <tree.out>\n";
@@ -382,10 +459,43 @@ int CmdDecode(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
   return 0;
 }
 
+/// `verify <release> --manifest`: integrity-check a sharded release
+/// shard by shard against its manifest-of-manifests, in bounded memory.
+int CmdVerifyManifest(const ParsedArgs& args, std::ostream& out,
+                      std::ostream& err) {
+  uint64_t plan_crc = 0;
+  const uint64_t* expect_crc = nullptr;
+  auto key_it = args.flags.find("key");
+  if (key_it != args.flags.end()) {
+    auto plan = LoadPlan(key_it->second);
+    if (!plan.ok()) {
+      err << plan.status().ToString() << "\n";
+      return ExitFor(plan.status());
+    }
+    plan_crc = Crc64(SerializePlan(plan.value()));
+    expect_crc = &plan_crc;
+  }
+  shard::VerifyTotals totals;
+  const Status status =
+      shard::VerifyShardedRelease(args.positional[0], expect_crc, &totals);
+  if (!status.ok()) {
+    err << status.ToString() << "\n";
+    out << "sharded release: FAILED\n";
+    return ExitFor(status);
+  }
+  out << "sharded release: VERIFIED (" << totals.shards << " shards, "
+      << totals.rows << " rows, " << totals.bytes << " bytes"
+      << (expect_crc != nullptr ? ", key matches" : "") << ")\n";
+  return 0;
+}
+
 int CmdVerify(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
   if (args.positional.size() != 1) {
     err << "verify needs <original.csv>\n";
     return 2;
+  }
+  if (args.flags.count("manifest") > 0) {
+    return CmdVerifyManifest(args, out, err);
   }
   auto data = ReadDataset(args, args.positional[0]);
   if (!data.ok()) {
@@ -671,10 +781,11 @@ int RunCli(const std::vector<std::string>& args, std::ostream& out,
       "seed",     "policy", "breakpoints", "criterion",  "max-depth",
       "min-leaf", "trials", "max-risk",    "threads",    "chunk-rows",
       "ood-policy", "fit-rows", "key-in", "format", "to", "tenant",
-      "save"};
+      "save", "shards", "workers-mode", "key"};
   const ParsedArgs parsed = Parse(rest, kValueFlags);
   if (command == "encode") return CmdEncode(parsed, out, err);
   if (command == "stream-release") return CmdStreamRelease(parsed, out, err);
+  if (command == "shard-release") return CmdShardRelease(parsed, out, err);
   if (command == "mine") return CmdMine(parsed, out, err);
   if (command == "decode") return CmdDecode(parsed, out, err);
   if (command == "verify") return CmdVerify(parsed, out, err);

@@ -1,0 +1,83 @@
+#ifndef POPP_SHARD_META_MANIFEST_H_
+#define POPP_SHARD_META_MANIFEST_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+/// \file
+/// The manifest-of-manifests: the single atomic artifact that makes a
+/// sharded release *one* release. Every per-shard output file is listed
+/// with its exact byte length and CRC-64, the fitted plan's CRC binds the
+/// shards to one key, and the whole document carries the standard
+/// integrity footer. It is published last, via the atomic temp + rename
+/// writer, so the release either exists in full (meta-manifest + every
+/// shard it names verifies) or not at all under the final name.
+///
+///     popp-shards v1
+///     fingerprint <release configuration fingerprint>
+///     plan <crc64 of the serialized key>
+///     shards <count>
+///     shard <index> <rows> <bytes> <crc64> <file>
+///     ...
+///     footer <payload-bytes> <crc64>
+///
+/// `file` is the shard's file name relative to the manifest's own
+/// directory (shards travel with their manifest).
+
+namespace popp::shard {
+
+struct ShardEntry {
+  size_t index = 0;
+  size_t rows = 0;
+  size_t bytes = 0;
+  uint64_t crc = 0;
+  std::string file;
+};
+
+struct MetaManifest {
+  std::string fingerprint;
+  uint64_t plan_crc = 0;
+  std::vector<ShardEntry> shards;
+};
+
+/// Canonical path of shard `index`'s output file for release `out_path`.
+std::string ShardFilePath(const std::string& out_path, size_t index);
+
+/// Scratch path of shard `index`'s serialized summary artifact
+/// (process-mode workers only; deleted once the coordinator has merged).
+std::string ShardSummaryPath(const std::string& out_path, size_t index);
+
+std::string SerializeMetaManifest(const MetaManifest& manifest);
+
+/// Strict inverse; kDataLoss on any corruption (footer, header, counts,
+/// or a malformed shard line).
+Result<MetaManifest> ParseMetaManifest(std::string_view text);
+
+/// Atomic save / integrity-checked load.
+Status SaveMetaManifest(const MetaManifest& manifest,
+                        const std::string& path);
+Result<MetaManifest> LoadMetaManifest(const std::string& path);
+
+/// Verification totals for reporting.
+struct VerifyTotals {
+  size_t shards = 0;
+  size_t rows = 0;
+  size_t bytes = 0;
+};
+
+/// Verifies a sharded release shard by shard, streaming each shard file in
+/// bounded memory (64 KiB at a time) — the full dataset is never resident.
+/// `plan_crc` of a loaded key may be cross-checked by passing it via
+/// `expect_plan_crc` (pass nullptr to skip). Returns kDataLoss naming the
+/// first failing shard; fills `totals` on success.
+Status VerifyShardedRelease(const std::string& manifest_path,
+                            const uint64_t* expect_plan_crc = nullptr,
+                            VerifyTotals* totals = nullptr);
+
+}  // namespace popp::shard
+
+#endif  // POPP_SHARD_META_MANIFEST_H_

@@ -1,8 +1,24 @@
 #include "stream/chunk_io.h"
 
+#include <algorithm>
 #include <utility>
 
 namespace popp::stream {
+
+// ------------------------------------------------------------------------
+// ChunkReader
+
+Result<size_t> ChunkReader::SkipRows(size_t rows) {
+  size_t skipped = 0;
+  while (skipped < rows) {
+    const size_t want = std::min<size_t>(rows - skipped, size_t{4096});
+    auto chunk = NextChunk(want);
+    if (!chunk.ok()) return chunk.status();
+    if (chunk.value().NumRows() == 0) break;
+    skipped += chunk.value().NumRows();
+  }
+  return skipped;
+}
 
 // ------------------------------------------------------------------------
 // CsvChunkReader

@@ -35,6 +35,15 @@ class ChunkReader {
 
   /// Rewinds to the first row (the two-pass fit re-reads its input).
   virtual Status Rewind() = 0;
+
+  /// Advances past the next `rows` rows (or to end of stream if fewer
+  /// remain) and returns the count actually skipped. The default drains
+  /// chunks, so for the CSV backend skipped rows still feed the
+  /// append-only class dictionary exactly as if they had been consumed —
+  /// which is what keeps a shard worker's ClassIds aligned with the
+  /// single-process stream. Random-access sources (popp-cols carries its
+  /// full dictionary up front) override this with a cursor move.
+  virtual Result<size_t> SkipRows(size_t rows);
 };
 
 /// Push-based sink for released chunks.

@@ -113,6 +113,13 @@ Result<Dataset> ColsChunkReader::NextChunk(size_t max_rows) {
   return view_.MaterializeRows(begin, end);
 }
 
+Result<size_t> ColsChunkReader::SkipRows(size_t rows) {
+  POPP_RETURN_IF_ERROR(EnsureOpen());
+  const size_t skipped = std::min(rows, view_.num_rows() - next_row_);
+  next_row_ += skipped;
+  return skipped;
+}
+
 Status ColsChunkReader::Rewind() {
   // Drop the mapping so pass 2 re-opens the file — one open per pass,
   // mirroring CsvChunkReader and keeping failpoint op counts honest.

@@ -66,6 +66,10 @@ class ColsChunkReader : public ChunkReader {
 
   Result<Dataset> NextChunk(size_t max_rows) override;
   Status Rewind() override;
+  /// O(1): validates once, then moves the row cursor — no rows are
+  /// materialized (the container's dictionary is complete up front, so
+  /// skipping cannot starve the class dictionary).
+  Result<size_t> SkipRows(size_t rows) override;
 
  private:
   ColsChunkReader() = default;

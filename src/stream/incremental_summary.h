@@ -24,6 +24,10 @@
 /// per-(value, class) tuple count, which is associative and commutative
 /// under addition, rendered in sorted value order.
 
+namespace popp::shard {
+class SummaryCodec;
+}  // namespace popp::shard
+
 namespace popp::stream {
 
 class IncrementalSummary {
@@ -62,6 +66,11 @@ class IncrementalSummary {
  private:
   /// Per distinct value: tuple count per class (resized as classes appear).
   using ValueCounts = std::map<AttrValue, std::vector<uint32_t>>;
+
+  /// The shard codec serializes/rebuilds this state verbatim (value bit
+  /// patterns and per-class counts) so a forked worker's summary survives
+  /// the trip through a CRC-footered artifact unchanged.
+  friend class popp::shard::SummaryCodec;
 
   std::vector<ValueCounts> attrs_;
   size_t num_classes_ = 0;

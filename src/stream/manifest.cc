@@ -127,21 +127,28 @@ Result<Manifest> LoadManifest(const std::string& path) {
 ResumableCsvChunkWriter::ResumableCsvChunkWriter(std::string path,
                                                  CsvOptions options,
                                                  bool resume)
+    : ResumableCsvChunkWriter(std::move(path), options,
+                              ResumeSinkOptions{resume, false, {}}) {}
+
+ResumableCsvChunkWriter::ResumableCsvChunkWriter(std::string path,
+                                                 CsvOptions options,
+                                                 ResumeSinkOptions sink)
     : final_path_(std::move(path)),
       partial_path_(final_path_ + ".partial"),
       manifest_path_(final_path_ + ".manifest"),
       options_(options),
-      resume_(resume) {}
+      sink_(std::move(sink)) {}
 
 Status ResumableCsvChunkWriter::BeginStream(const std::string& fingerprint) {
   POPP_CHECK_MSG(!began_, "BeginStream called twice");
   began_ = true;
-  if (resume_) {
+  const std::string salted = sink_.fingerprint_salt + fingerprint;
+  if (sink_.resume) {
     bool resumed = false;
-    POPP_RETURN_IF_ERROR(TryResume(fingerprint, &resumed));
+    POPP_RETURN_IF_ERROR(TryResume(salted, &resumed));
     if (resumed) return Status::Ok();
   }
-  return StartFresh(fingerprint);
+  return StartFresh(salted);
 }
 
 Status ResumableCsvChunkWriter::StartFresh(const std::string& fingerprint) {
@@ -304,7 +311,8 @@ Status ResumableCsvChunkWriter::Close() {
   if (closed_) return Status::Ok();
   closed_ = true;
   if (already_complete_) {
-    return fault::RemoveFile(manifest_path_);
+    return sink_.keep_manifest_on_close ? Status::Ok()
+                                        : fault::RemoveFile(manifest_path_);
   }
   if (!began_) return Status::Ok();  // nothing was ever written
   POPP_RETURN_IF_ERROR(partial_.Close());
@@ -314,6 +322,7 @@ Status ResumableCsvChunkWriter::Close() {
   POPP_RETURN_IF_ERROR(journal_.Write(complete.str()));
   POPP_RETURN_IF_ERROR(journal_.Close());
   POPP_RETURN_IF_ERROR(fault::RenameFile(partial_path_, final_path_));
+  if (sink_.keep_manifest_on_close) return Status::Ok();
   return fault::RemoveFile(manifest_path_);
 }
 

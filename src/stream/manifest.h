@@ -61,6 +61,26 @@ struct Manifest {
 /// merely ends the entry list (torn tail).
 Result<Manifest> LoadManifest(const std::string& path);
 
+/// Sink behavior knobs beyond the plain `--resume` switch; the sharded
+/// release drives the non-defaults.
+struct ResumeSinkOptions {
+  /// Pick up a matching interrupted run instead of starting over.
+  bool resume = false;
+
+  /// Keep the journal (now holding its `complete` record) after Close
+  /// instead of removing it. A multi-artifact release finalizes shards
+  /// independently and deletes the journals only once the release-level
+  /// manifest-of-manifests is committed, so a crash after one shard's
+  /// rename still resumes that shard by verification, not re-encoding.
+  bool keep_manifest_on_close = false;
+
+  /// Prepended to the driver's fingerprint before it is journaled or
+  /// matched. Shard writers salt in their shard identity (index, range,
+  /// shard count) so a journal written under a different shard layout can
+  /// never be mistaken for resumable state.
+  std::string fingerprint_salt;
+};
+
 /// ChunkWriter that implements the journal + partial-file discipline above
 /// and, when constructed with `resume = true`, picks up a matching
 /// interrupted run instead of starting over.
@@ -68,6 +88,8 @@ class ResumableCsvChunkWriter : public ChunkWriter {
  public:
   explicit ResumableCsvChunkWriter(std::string path, CsvOptions options = {},
                                    bool resume = false);
+  ResumableCsvChunkWriter(std::string path, CsvOptions options,
+                          ResumeSinkOptions sink);
 
   Status BeginStream(const std::string& fingerprint) override;
   size_t CompletedChunks() const override { return verified_.size(); }
@@ -90,7 +112,7 @@ class ResumableCsvChunkWriter : public ChunkWriter {
   std::string partial_path_;
   std::string manifest_path_;
   CsvOptions options_;
-  bool resume_ = false;
+  ResumeSinkOptions sink_;
 
   bool began_ = false;
   bool closed_ = false;

@@ -130,21 +130,6 @@ bool ChunkHasOod(const Dataset& chunk, const TransformPlan& plan,
   return std::any_of(ood.begin(), ood.end(), [](uint8_t b) { return b != 0; });
 }
 
-/// Identifies one release configuration for the resumable sink's journal:
-/// two runs with equal fingerprints encode identical chunk sequences, so
-/// chunks one run persisted are valid for the other. The plan CRC folds in
-/// the input data (the fitted summaries determine the plan) as well as the
-/// transform options and seed.
-std::string StreamFingerprint(const TransformPlan& plan,
-                              const StreamOptions& options) {
-  std::ostringstream oss;
-  oss << "chunk_rows=" << options.chunk_rows << " ood="
-      << ToString(options.ood_policy) << " fit_rows=" << options.fit_rows
-      << " seed=" << options.seed << " plan_crc="
-      << Crc64Hex(Crc64(SerializePlan(plan)));
-  return oss.str();
-}
-
 /// The encode pass: read, (refit), encode, append — chunk by chunk.
 Status EncodeStream(ChunkReader& reader, ChunkWriter& writer,
                     TransformPlan& plan, const StreamOptions& options,
@@ -249,6 +234,16 @@ Status EncodeStream(ChunkReader& reader, ChunkWriter& writer,
 }
 
 }  // namespace
+
+std::string StreamFingerprint(const TransformPlan& plan,
+                              const StreamOptions& options) {
+  std::ostringstream oss;
+  oss << "chunk_rows=" << options.chunk_rows << " ood="
+      << ToString(options.ood_policy) << " fit_rows=" << options.fit_rows
+      << " seed=" << options.seed << " plan_crc="
+      << Crc64Hex(Crc64(SerializePlan(plan)));
+  return oss.str();
+}
 
 std::string StreamStats::Render() const {
   std::ostringstream oss;

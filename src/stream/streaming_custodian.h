@@ -75,6 +75,15 @@ struct StreamStats {
   std::string Render() const;
 };
 
+/// Identifies one release configuration for the resumable sink's journal:
+/// two runs with equal fingerprints encode identical chunk sequences, so
+/// chunks one run persisted are valid for the other. The plan CRC folds in
+/// the input data (the fitted summaries determine the plan) as well as the
+/// transform options and seed. The sharded pipeline reuses it as the
+/// manifest-of-manifests' release identity.
+std::string StreamFingerprint(const TransformPlan& plan,
+                              const StreamOptions& options);
+
 /// Stateless driver of the streamed workflow.
 class StreamingCustodian {
  public:

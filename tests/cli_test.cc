@@ -9,11 +9,15 @@
 
 #include "core/cli.h"
 #include "data/csv.h"
+#include "fault/failpoint.h"
+#include "fault/file.h"
 #include "serve/server.h"
+#include "shard/meta_manifest.h"
 #include "synth/covtype_like.h"
 #include "synth/presets.h"
 #include "tree/compare.h"
 #include "tree/serialize.h"
+#include "util/integrity.h"
 #include "util/rng.h"
 
 namespace popp {
@@ -267,6 +271,180 @@ TEST(CliBasicsTest, StreamReleaseZeroChunkRowsReported) {
                                "key.out", "--chunk-rows", "0"});
   EXPECT_EQ(r.code, 2);
   EXPECT_NE(r.err.find("--chunk-rows"), std::string::npos);
+}
+
+// ------------------------------------------------------- shard-release --
+
+std::string ReadAll(const std::string& path) {
+  auto bytes = fault::ReadFileToString(path);
+  EXPECT_TRUE(bytes.ok()) << bytes.status().ToString();
+  return bytes.ok() ? bytes.value() : std::string();
+}
+
+TEST_F(CliTest, ShardReleaseConcatenationMatchesStreamRelease) {
+  const std::string stream_csv = TempPath("sr_stream.csv");
+  const std::string stream_key = TempPath("sr_stream.key");
+  ASSERT_EQ(RunPopp({"stream-release", csv_path_, stream_csv, stream_key,
+                     "--seed", "9", "--chunk-rows", "64"})
+                .code,
+            0);
+  const std::string out = TempPath("sr_release");
+  const std::string key = TempPath("sr_release.key");
+  const CliResult r =
+      RunPopp({"shard-release", csv_path_, out, key, "--shards", "3",
+               "--seed", "9", "--chunk-rows", "64", "--threads", "2"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("600 rows across 3 shards"), std::string::npos)
+      << r.out;
+  std::string concatenated;
+  for (size_t k = 0; k < 3; ++k) {
+    concatenated += ReadAll(shard::ShardFilePath(out, k));
+  }
+  EXPECT_EQ(concatenated, ReadAll(stream_csv));
+  EXPECT_EQ(ReadAll(key), ReadAll(stream_key));
+}
+
+TEST_F(CliTest, VerifyManifestCatchesCorruptionNamingTheShard) {
+  const std::string out = TempPath("vm_release");
+  const std::string key = TempPath("vm_release.key");
+  ASSERT_EQ(RunPopp({"shard-release", csv_path_, out, key, "--shards", "3",
+                     "--seed", "4"})
+                .code,
+            0);
+
+  // Clean verification, with and without the key cross-check.
+  CliResult r = RunPopp({"verify", out, "--manifest"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("VERIFIED (3 shards, 600 rows"), std::string::npos)
+      << r.out;
+  r = RunPopp({"verify", out, "--manifest", "--key", key});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("key matches"), std::string::npos) << r.out;
+
+  // Corrupt one shard's bytes: exit 4, diagnostic names the shard.
+  const std::string victim = shard::ShardFilePath(out, 1);
+  const std::string original = ReadAll(victim);
+  std::string tampered = original;
+  ASSERT_FALSE(tampered.empty());
+  tampered[tampered.size() / 2] ^= 0x08;
+  ASSERT_TRUE(fault::WriteFileAtomic(victim, tampered).ok());
+  r = RunPopp({"verify", out, "--manifest"});
+  EXPECT_EQ(r.code, 4) << r.err;
+  EXPECT_NE(r.err.find("shard 1"), std::string::npos) << r.err;
+  EXPECT_NE(r.out.find("FAILED"), std::string::npos) << r.out;
+  ASSERT_TRUE(fault::WriteFileAtomic(victim, original).ok());
+
+  // Corrupt shard 1's CRC line *inside* the meta-manifest, recomputing the
+  // document footer so only the recorded CRC lies: still exit 4, still
+  // naming the shard.
+  const std::string manifest_text = ReadAll(out);
+  bool had_footer = false;
+  auto payload = VerifyIntegrityFooter(manifest_text, &had_footer);
+  ASSERT_TRUE(payload.ok() && had_footer);
+  auto parsed = shard::ParseMetaManifest(manifest_text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  shard::MetaManifest lying = parsed.value();
+  lying.shards[1].crc ^= 0x1;
+  ASSERT_TRUE(shard::SaveMetaManifest(lying, out).ok());
+  r = RunPopp({"verify", out, "--manifest"});
+  EXPECT_EQ(r.code, 4) << r.err;
+  EXPECT_NE(r.err.find("shard 1"), std::string::npos) << r.err;
+  ASSERT_TRUE(fault::WriteFileAtomic(out, manifest_text).ok());
+
+  // A torn meta-manifest itself: the footer catches it, exit 4.
+  ASSERT_TRUE(
+      fault::WriteFileAtomic(out,
+                             manifest_text.substr(0, manifest_text.size() / 2))
+          .ok());
+  r = RunPopp({"verify", out, "--manifest"});
+  EXPECT_EQ(r.code, 4) << r.err;
+  ASSERT_TRUE(fault::WriteFileAtomic(out, manifest_text).ok());
+
+  // The wrong key: exit 4 with the wrong-key diagnostic.
+  const std::string other_key = TempPath("vm_other.key");
+  ASSERT_EQ(RunPopp({"shard-release", csv_path_, TempPath("vm_other"),
+                     other_key, "--shards", "2", "--seed", "5"})
+                .code,
+            0);
+  r = RunPopp({"verify", out, "--manifest", "--key", other_key});
+  EXPECT_EQ(r.code, 4) << r.err;
+  EXPECT_NE(r.err.find("wrong key"), std::string::npos) << r.err;
+}
+
+TEST_F(CliTest, ShardReleaseResumeFlagCompletesInterruptedRun) {
+  // Interrupt a release with an injected kill mid-encode, then finish it
+  // with --resume: the CLI round trip of the journal contract.
+  const std::string out = TempPath("resume_release");
+  const std::string key = TempPath("resume_release.key");
+  const std::vector<std::string> args = {"shard-release", csv_path_,  out,
+                                         key,             "--shards", "2",
+                                         "--seed",        "6"};
+  size_t total_ops = 0;
+  {
+    fault::ScopedFaultInjection probe(fault::FaultSchedule::CountOnly());
+    ASSERT_EQ(RunPopp({"shard-release", csv_path_, TempPath("probe_rel"),
+                       TempPath("probe_rel.key"), "--shards", "2", "--seed",
+                       "6"})
+                  .code,
+              0);
+    total_ops = probe.ops_seen();
+  }
+  {
+    fault::ScopedFaultInjection inject(
+        fault::FaultSchedule::CrashAt(total_ops / 2));
+    const CliResult r = RunPopp(args);
+    ASSERT_TRUE(inject.fired());
+    ASSERT_NE(r.code, 0);
+  }
+  std::vector<std::string> resume_args = args;
+  resume_args.push_back("--resume");
+  const CliResult r = RunPopp(resume_args);
+  ASSERT_EQ(r.code, 0) << r.err;
+  ASSERT_EQ(RunPopp({"verify", out, "--manifest", "--key", key}).code, 0);
+}
+
+TEST(CliBasicsTest, ShardReleaseZeroShardsReported) {
+  const CliResult r = RunPopp({"shard-release", "in.csv", "out", "key.out",
+                               "--shards", "0"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("--shards"), std::string::npos);
+}
+
+TEST(CliBasicsTest, ShardReleaseBadWorkersModeReported) {
+  const CliResult r = RunPopp({"shard-release", "in.csv", "out", "key.out",
+                               "--workers-mode", "goroutine"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("workers mode"), std::string::npos);
+}
+
+TEST(CliBasicsTest, ShardReleaseMissingInputReported) {
+  const CliResult r = RunPopp({"shard-release", "/nonexistent/in.csv", "out",
+                               "key.out"});
+  EXPECT_EQ(r.code, 3);
+}
+
+// Forked workers through the CLI surface; the suite name keeps it out of
+// sanitizer stages that cannot host fork().
+class CliShardProcessTest : public CliTest {};
+
+TEST_F(CliShardProcessTest, ProcessModeMatchesThreadMode) {
+  const std::string thread_out = TempPath("wm_thread");
+  const std::string process_out = TempPath("wm_process");
+  ASSERT_EQ(RunPopp({"shard-release", csv_path_, thread_out,
+                     TempPath("wm_thread.key"), "--shards", "3", "--seed",
+                     "8"})
+                .code,
+            0);
+  const CliResult r =
+      RunPopp({"shard-release", csv_path_, process_out,
+               TempPath("wm_process.key"), "--shards", "3", "--seed", "8",
+               "--workers-mode", "process"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  for (size_t k = 0; k < 3; ++k) {
+    EXPECT_EQ(ReadAll(shard::ShardFilePath(process_out, k)),
+              ReadAll(shard::ShardFilePath(thread_out, k)))
+        << "shard " << k;
+  }
 }
 
 // ------------------------------------------------------- exit taxonomy --

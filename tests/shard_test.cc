@@ -1,0 +1,904 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "check/oracles.h"
+#include "data/cols.h"
+#include "data/csv.h"
+#include "fault/failpoint.h"
+#include "fault/file.h"
+#include "shard/meta_manifest.h"
+#include "shard/pipeline.h"
+#include "shard/planner.h"
+#include "shard/summary_io.h"
+#include "stream/chunk_io.h"
+#include "stream/cols_io.h"
+#include "stream/incremental_summary.h"
+#include "stream/manifest.h"
+#include "stream/streaming_custodian.h"
+#include "synth/covtype_like.h"
+#include "synth/presets.h"
+#include "transform/plan.h"
+#include "transform/serialize.h"
+#include "util/crc64.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+/// \file
+/// The sharded two-phase release (src/shard): shard planning and range
+/// readers, the summary codec, merge-tree algebra, the byte-identity
+/// contract against the single-process streamed release across shard
+/// counts x thread counts x formats, crash/resume behavior under injected
+/// faults, and the manifest-of-manifests verification. Process-mode (fork)
+/// tests live in the ShardProcess* suites so sanitizer stages that cannot
+/// host fork() can filter them out.
+
+namespace popp {
+namespace {
+
+using shard::kOpenEnd;
+using shard::MetaManifest;
+using shard::RangeChunkReader;
+using shard::ShardedCustodian;
+using shard::ShardEntry;
+using shard::ShardOptions;
+using shard::ShardRange;
+using shard::ShardStats;
+using shard::ShardSummary;
+using shard::SummaryCodec;
+using stream::IncrementalSummary;
+
+/// Small unstructured datasets (the covtype-like generator needs hundreds
+/// of rows to satisfy its mixed-value constraints; shard layouts care
+/// about row counts, not class structure).
+Dataset CovtypeLikeData(size_t rows = 240, uint64_t seed = 31) {
+  Rng rng(seed);
+  return MakeRandomDataset(rows, 4, 3, 50, rng);
+}
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/popp_shard_" + name;
+}
+
+std::string Slurp(const std::string& path) {
+  auto bytes = fault::ReadFileToString(path);
+  EXPECT_TRUE(bytes.ok()) << bytes.status().ToString();
+  return bytes.ok() ? bytes.value() : std::string();
+}
+
+/// Writes the dataset to disk in the requested interchange format.
+std::string WriteInput(const Dataset& data, const std::string& name,
+                       bool cols) {
+  const std::string path = TempPath(name);
+  const std::string bytes = cols ? SerializeCols(data) : ToCsvString(data);
+  EXPECT_TRUE(fault::WriteFileAtomic(path, bytes).ok());
+  return path;
+}
+
+/// The golden: a single-process streamed release of `input_path` into a
+/// file, returning its bytes (and the plan bytes through `plan_out`).
+std::string StreamReleaseBytes(const std::string& input_path,
+                               size_t chunk_rows, uint64_t seed,
+                               std::string* plan_out = nullptr) {
+  stream::StreamOptions options;
+  options.chunk_rows = chunk_rows;
+  options.seed = seed;
+  auto reader = stream::MakeChunkReader(input_path,
+                                        stream::DatasetFormat::kAuto, {});
+  EXPECT_TRUE(reader.ok()) << reader.status().ToString();
+  const std::string out = TempPath("stream_golden.csv");
+  stream::ResumableCsvChunkWriter writer(out, {}, /*resume=*/false);
+  auto plan = stream::StreamingCustodian::Release(*reader.value(), writer,
+                                                  options);
+  EXPECT_TRUE(plan.ok()) << plan.status().ToString();
+  if (plan.ok() && plan_out != nullptr) {
+    *plan_out = SerializePlan(plan.value());
+  }
+  return Slurp(out);
+}
+
+std::string ConcatShards(const std::string& out_path, size_t num_shards) {
+  std::string all;
+  for (size_t k = 0; k < num_shards; ++k) {
+    all += Slurp(shard::ShardFilePath(out_path, k));
+  }
+  return all;
+}
+
+ShardOptions BaseOptions(size_t shards, size_t threads, size_t chunk_rows,
+                         uint64_t seed) {
+  ShardOptions options;
+  options.num_shards = shards;
+  options.chunk_rows = chunk_rows;
+  options.seed = seed;
+  options.exec = ExecPolicy{threads};
+  return options;
+}
+
+/// Fits a plan from an incremental summary with the batch RNG discipline
+/// and returns its serialization — the merge property tests' invariant.
+std::string FitBytes(const IncrementalSummary& summary, uint64_t seed) {
+  Rng rng(seed);
+  const TransformPlan plan = TransformPlan::CreateFromSummaries(
+      summary.SummarizeAll(), PiecewiseOptions{}, rng, ExecPolicy::Serial());
+  return SerializePlan(plan);
+}
+
+// ------------------------------------------------------------ planning --
+
+TEST(SplitRowsTest, EvenSplitIsContiguous) {
+  const auto ranges = shard::SplitRows(12, 4);
+  ASSERT_EQ(ranges.size(), 4u);
+  size_t cursor = 0;
+  for (const ShardRange& r : ranges) {
+    EXPECT_EQ(r.begin, cursor);
+    EXPECT_EQ(r.rows(), 3u);
+    cursor = r.end;
+  }
+  EXPECT_EQ(cursor, 12u);
+}
+
+TEST(SplitRowsTest, RemainderGoesToEarliestShards) {
+  const auto ranges = shard::SplitRows(10, 4);
+  ASSERT_EQ(ranges.size(), 4u);
+  EXPECT_EQ(ranges[0].rows(), 3u);
+  EXPECT_EQ(ranges[1].rows(), 3u);
+  EXPECT_EQ(ranges[2].rows(), 2u);
+  EXPECT_EQ(ranges[3].rows(), 2u);
+  EXPECT_EQ(ranges[3].end, 10u);
+}
+
+TEST(SplitRowsTest, FewerRowsThanShardsLeavesTrailingShardsEmpty) {
+  const auto ranges = shard::SplitRows(2, 5);
+  ASSERT_EQ(ranges.size(), 5u);
+  EXPECT_EQ(ranges[0].rows(), 1u);
+  EXPECT_EQ(ranges[1].rows(), 1u);
+  for (size_t k = 2; k < 5; ++k) {
+    EXPECT_TRUE(ranges[k].empty()) << "shard " << k;
+  }
+}
+
+TEST(SplitRowsTest, ZeroRowsAllEmpty) {
+  for (const ShardRange& r : shard::SplitRows(0, 3)) {
+    EXPECT_TRUE(r.empty());
+    EXPECT_EQ(r.rows(), 0u);
+  }
+}
+
+TEST(CountRowsTest, CsvAndColsAgree) {
+  const Dataset data = CovtypeLikeData(57);
+  const std::string csv = WriteInput(data, "count.csv", /*cols=*/false);
+  const std::string cols = WriteInput(data, "count.cols", /*cols=*/true);
+  auto csv_rows = shard::CountRows(csv);
+  auto cols_rows = shard::CountRows(cols);
+  ASSERT_TRUE(csv_rows.ok()) << csv_rows.status().ToString();
+  ASSERT_TRUE(cols_rows.ok()) << cols_rows.status().ToString();
+  EXPECT_EQ(csv_rows.value(), 57u);
+  EXPECT_EQ(cols_rows.value(), 57u);
+}
+
+TEST(RangeChunkReaderTest, BoundedRangeYieldsExactlyItsRows) {
+  const Dataset data = CovtypeLikeData(40);
+  const std::string path = WriteInput(data, "range.csv", /*cols=*/false);
+  auto inner = stream::MakeChunkReader(path, stream::DatasetFormat::kAuto, {});
+  ASSERT_TRUE(inner.ok());
+  RangeChunkReader reader(std::move(inner).value(), ShardRange{13, 29});
+  size_t rows = 0;
+  for (;;) {
+    auto chunk = reader.NextChunk(7);
+    ASSERT_TRUE(chunk.ok()) << chunk.status().ToString();
+    if (chunk.value().NumRows() == 0) break;
+    // Spot-check alignment: first attribute values match the source rows.
+    for (size_t i = 0; i < chunk.value().NumRows(); ++i) {
+      EXPECT_EQ(chunk.value().Value(i, 0), data.Value(13 + rows + i, 0));
+    }
+    rows += chunk.value().NumRows();
+  }
+  EXPECT_EQ(rows, 16u);
+}
+
+TEST(RangeChunkReaderTest, EmptyRangeYieldsNothing) {
+  const Dataset data = CovtypeLikeData(10);
+  const std::string path = WriteInput(data, "range_empty.csv", false);
+  auto inner = stream::MakeChunkReader(path, stream::DatasetFormat::kAuto, {});
+  ASSERT_TRUE(inner.ok());
+  RangeChunkReader reader(std::move(inner).value(), ShardRange{10, 10});
+  auto chunk = reader.NextChunk(4);
+  ASSERT_TRUE(chunk.ok());
+  EXPECT_EQ(chunk.value().NumRows(), 0u);
+}
+
+TEST(RangeChunkReaderTest, RangeBeyondEofIsInvalidArgument) {
+  const Dataset data = CovtypeLikeData(5);
+  const std::string path = WriteInput(data, "range_eof.csv", false);
+  auto inner = stream::MakeChunkReader(path, stream::DatasetFormat::kAuto, {});
+  ASSERT_TRUE(inner.ok());
+  RangeChunkReader reader(std::move(inner).value(), ShardRange{10, 15});
+  auto chunk = reader.NextChunk(4);
+  ASSERT_FALSE(chunk.ok());
+  EXPECT_EQ(chunk.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(RangeChunkReaderTest, RewindReproducesTheRange) {
+  const Dataset data = CovtypeLikeData(30);
+  const std::string path = WriteInput(data, "range_rewind.cols", true);
+  auto inner = stream::MakeChunkReader(path, stream::DatasetFormat::kAuto, {});
+  ASSERT_TRUE(inner.ok());
+  RangeChunkReader reader(std::move(inner).value(), ShardRange{7, 19});
+  auto pass = [&reader]() {
+    std::string csv;
+    for (;;) {
+      auto chunk = reader.NextChunk(5);
+      EXPECT_TRUE(chunk.ok());
+      if (chunk.value().NumRows() == 0) break;
+      csv += ToCsvString(chunk.value());
+    }
+    return csv;
+  };
+  const std::string first = pass();
+  ASSERT_TRUE(reader.Rewind().ok());
+  EXPECT_EQ(pass(), first);
+  EXPECT_FALSE(first.empty());
+}
+
+TEST(SkipRowsTest, ColsSkipsInConstantTimeToTheRightRow) {
+  const Dataset data = CovtypeLikeData(25);
+  const std::string bytes = SerializeCols(data);
+  auto reader = stream::ColsChunkReader::FromBytes(bytes);
+  auto skipped = reader->SkipRows(11);
+  ASSERT_TRUE(skipped.ok());
+  EXPECT_EQ(skipped.value(), 11u);
+  auto chunk = reader->NextChunk(3);
+  ASSERT_TRUE(chunk.ok());
+  ASSERT_EQ(chunk.value().NumRows(), 3u);
+  EXPECT_EQ(chunk.value().Value(0, 0), data.Value(11, 0));
+}
+
+TEST(SkipRowsTest, SkippingPastEofReportsTheShortCount) {
+  const Dataset data = CovtypeLikeData(8);
+  const std::string path = WriteInput(data, "skip_eof.csv", false);
+  auto reader = stream::MakeChunkReader(path, stream::DatasetFormat::kAuto,
+                                        {});
+  ASSERT_TRUE(reader.ok());
+  auto skipped = reader.value()->SkipRows(100);
+  ASSERT_TRUE(skipped.ok());
+  EXPECT_EQ(skipped.value(), 8u);
+}
+
+TEST(SkipRowsTest, CsvSkipKeepsClassDictionaryAligned) {
+  // The drain-skip must leave the reader's append-only class dictionary
+  // exactly as if the skipped rows had been absorbed — the property the
+  // shard workers' prefix-chain remap rests on.
+  const Dataset data = CovtypeLikeData(60);
+  const std::string path = WriteInput(data, "skip_dict.csv", false);
+  auto skipping = stream::MakeChunkReader(path, stream::DatasetFormat::kAuto,
+                                          {});
+  auto reading = stream::MakeChunkReader(path, stream::DatasetFormat::kAuto,
+                                         {});
+  ASSERT_TRUE(skipping.ok());
+  ASSERT_TRUE(reading.ok());
+  ASSERT_TRUE(skipping.value()->SkipRows(37).ok());
+  ASSERT_TRUE(reading.value()->SkipRows(0).ok());
+  auto drained = reading.value()->NextChunk(37);
+  ASSERT_TRUE(drained.ok());
+  auto a = skipping.value()->NextChunk(10);
+  auto b = reading.value()->NextChunk(10);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a.value().schema().class_names(), b.value().schema().class_names());
+  EXPECT_EQ(ToCsvString(a.value()), ToCsvString(b.value()));
+}
+
+// ------------------------------------------------------- summary codec --
+
+ShardSummary SummaryOf(const Dataset& data, size_t begin, size_t end,
+                       size_t index = 0, size_t shards = 1) {
+  ShardSummary s;
+  s.shard_index = index;
+  s.num_shards = shards;
+  s.range = ShardRange{begin, end};
+  if (begin < end) {
+    IncrementalSummary inc(data.NumAttributes());
+    stream::DatasetChunkReader reader(&data);
+    EXPECT_TRUE(reader.SkipRows(begin).ok());
+    auto chunk = reader.NextChunk(end - begin);
+    EXPECT_TRUE(chunk.ok());
+    inc.Absorb(chunk.value());
+    s.class_names = chunk.value().schema().class_names();
+    s.summary = std::move(inc);
+  }
+  return s;
+}
+
+TEST(SummaryCodecTest, RoundTripIsByteStable) {
+  const Dataset data = CovtypeLikeData(80);
+  const ShardSummary shard = SummaryOf(data, 5, 60, 1, 3);
+  const std::string text = SummaryCodec::Serialize(shard);
+  auto parsed = SummaryCodec::Parse(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(SummaryCodec::Serialize(parsed.value()), text);
+  EXPECT_EQ(parsed.value().shard_index, 1u);
+  EXPECT_EQ(parsed.value().num_shards, 3u);
+  EXPECT_EQ(parsed.value().class_names, shard.class_names);
+  ASSERT_TRUE(parsed.value().summary.has_value());
+  EXPECT_EQ(parsed.value().summary->NumRows(), 55u);
+  EXPECT_EQ(FitBytes(*parsed.value().summary, 3),
+            FitBytes(*shard.summary, 3));
+}
+
+TEST(SummaryCodecTest, ValuesTravelAsBitPatterns) {
+  // -0.0 vs 0.0 and a denormal must survive: decimal rendering would
+  // collapse or perturb them and break the byte-identity contract.
+  Schema schema({"a"}, {"x"});
+  Dataset data(schema);
+  data.AddRow({0.0}, 0);
+  data.AddRow({-0.0}, 0);
+  data.AddRow({5e-324}, 0);
+  data.AddRow({1.0}, 0);
+  ShardSummary shard = SummaryOf(data, 0, 4);
+  const std::string text = SummaryCodec::Serialize(shard);
+  auto parsed = SummaryCodec::Parse(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const AttributeSummary original = shard.summary->Summarize(0);
+  const AttributeSummary reloaded = parsed.value().summary->Summarize(0);
+  ASSERT_EQ(reloaded.NumDistinct(), original.NumDistinct());
+  for (size_t i = 0; i < original.NumDistinct(); ++i) {
+    EXPECT_EQ(std::signbit(reloaded.ValueAt(i)),
+              std::signbit(original.ValueAt(i)));
+    EXPECT_EQ(reloaded.ValueAt(i), original.ValueAt(i));
+  }
+}
+
+TEST(SummaryCodecTest, EmptyShardRoundTrips) {
+  ShardSummary shard;
+  shard.shard_index = 4;
+  shard.num_shards = 5;
+  shard.range = ShardRange{9, 9};
+  const std::string text = SummaryCodec::Serialize(shard);
+  auto parsed = SummaryCodec::Parse(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_FALSE(parsed.value().summary.has_value());
+  EXPECT_TRUE(parsed.value().class_names.empty());
+  EXPECT_EQ(SummaryCodec::Serialize(parsed.value()), text);
+}
+
+TEST(SummaryCodecTest, OpenRangeRoundTrips) {
+  const Dataset data = CovtypeLikeData(12);
+  ShardSummary shard = SummaryOf(data, 0, 12);
+  shard.range = ShardRange{0, kOpenEnd};
+  auto parsed = SummaryCodec::Parse(SummaryCodec::Serialize(shard));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_TRUE(parsed.value().range.open());
+}
+
+TEST(SummaryCodecTest, CorruptionIsDataLoss) {
+  const Dataset data = CovtypeLikeData(30);
+  const std::string text = SummaryCodec::Serialize(SummaryOf(data, 0, 30));
+  // Flip a byte anywhere in the payload: the footer CRC must catch it.
+  for (size_t at : {size_t{0}, text.size() / 2, text.size() - 2}) {
+    std::string bad = text;
+    bad[at] ^= 0x01;
+    auto parsed = SummaryCodec::Parse(bad);
+    ASSERT_FALSE(parsed.ok()) << "flip at " << at;
+    EXPECT_EQ(parsed.status().code(), StatusCode::kDataLoss) << "flip at "
+                                                             << at;
+  }
+  // Truncation too.
+  auto truncated = SummaryCodec::Parse(text.substr(0, text.size() / 2));
+  ASSERT_FALSE(truncated.ok());
+  EXPECT_EQ(truncated.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(SummaryCodecTest, SaveLoadRoundTripsAndMissingFileIsNotFound) {
+  const Dataset data = CovtypeLikeData(20);
+  const ShardSummary shard = SummaryOf(data, 0, 20);
+  const std::string path = TempPath("codec.sum");
+  ASSERT_TRUE(SummaryCodec::Save(shard, path).ok());
+  auto loaded = SummaryCodec::Load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(SummaryCodec::Serialize(loaded.value()),
+            SummaryCodec::Serialize(shard));
+  ASSERT_TRUE(fault::RemoveFile(path).ok());
+  auto missing = SummaryCodec::Load(path);
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+}
+
+// ------------------------------------------------- merge-tree algebra --
+
+/// Absorbs rows [begin, end) of `data` into a fresh summary.
+IncrementalSummary PartOf(const Dataset& data, size_t begin, size_t end) {
+  IncrementalSummary inc(data.NumAttributes());
+  stream::DatasetChunkReader reader(&data);
+  EXPECT_TRUE(reader.SkipRows(begin).ok());
+  if (begin < end) {
+    auto chunk = reader.NextChunk(end - begin);
+    EXPECT_TRUE(chunk.ok());
+    inc.Absorb(chunk.value());
+  }
+  return inc;
+}
+
+TEST(MergePropertyTest, MergeIsCommutative) {
+  const Dataset data = CovtypeLikeData(100);
+  IncrementalSummary ab = PartOf(data, 0, 40);
+  ab.Merge(PartOf(data, 40, 100));
+  IncrementalSummary ba = PartOf(data, 40, 100);
+  ba.Merge(PartOf(data, 0, 40));
+  EXPECT_EQ(FitBytes(ab, 7), FitBytes(ba, 7));
+  EXPECT_EQ(ab.NumRows(), ba.NumRows());
+}
+
+TEST(MergePropertyTest, MergeIsAssociative) {
+  const Dataset data = CovtypeLikeData(90);
+  // ((a + b) + c)
+  IncrementalSummary left = PartOf(data, 0, 30);
+  left.Merge(PartOf(data, 30, 55));
+  left.Merge(PartOf(data, 55, 90));
+  // (a + (b + c))
+  IncrementalSummary bc = PartOf(data, 30, 55);
+  bc.Merge(PartOf(data, 55, 90));
+  IncrementalSummary right = PartOf(data, 0, 30);
+  right.Merge(bc);
+  EXPECT_EQ(FitBytes(left, 11), FitBytes(right, 11));
+}
+
+TEST(MergePropertyTest, RandomGroupingsAndOrdersFitTheSamePlan) {
+  // The satellite property test: any contiguous grouping of the stream —
+  // including empty and single-row groups — merged in any order yields
+  // the same fitted plan bytes as the whole-stream absorb.
+  const Dataset data = CovtypeLikeData(120, 17);
+  const std::string golden = FitBytes(PartOf(data, 0, 120), 5);
+  Rng rng(99);
+  for (size_t trial = 0; trial < 12; ++trial) {
+    // Random cut points, allowing empty groups (repeated cuts) and
+    // single-row groups.
+    std::vector<size_t> cuts = {0, 120};
+    const size_t extra = 1 + static_cast<size_t>(rng.UniformInt(0, 6));
+    for (size_t i = 0; i < extra; ++i) {
+      cuts.push_back(static_cast<size_t>(rng.UniformInt(0, 120)));
+    }
+    std::sort(cuts.begin(), cuts.end());
+    std::vector<IncrementalSummary> groups;
+    for (size_t i = 0; i + 1 < cuts.size(); ++i) {
+      groups.push_back(PartOf(data, cuts[i], cuts[i + 1]));
+    }
+    // Merge in a random order: repeatedly fold a random group into a
+    // random survivor.
+    while (groups.size() > 1) {
+      const size_t a = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(groups.size() - 1)));
+      size_t b = a;
+      while (b == a) {
+        b = static_cast<size_t>(
+            rng.UniformInt(0, static_cast<int64_t>(groups.size() - 1)));
+      }
+      groups[std::min(a, b)].Merge(groups[std::max(a, b)]);
+      groups.erase(groups.begin() +
+                   static_cast<ptrdiff_t>(std::max(a, b)));
+    }
+    ASSERT_EQ(groups[0].NumRows(), 120u) << "trial " << trial;
+    EXPECT_EQ(FitBytes(groups[0], 5), golden) << "trial " << trial;
+  }
+}
+
+TEST(MergePropertyTest, RemapClassesPreservesCountsExactly) {
+  const Dataset data = CovtypeLikeData(60);
+  const IncrementalSummary base = PartOf(data, 0, 60);
+  // Remap through a permutation and back: counts must be preserved.
+  const size_t c = base.NumClasses();
+  ASSERT_GE(c, 2u);
+  std::vector<size_t> perm(c), inverse(c);
+  for (size_t i = 0; i < c; ++i) perm[i] = (i + 1) % c;
+  for (size_t i = 0; i < c; ++i) inverse[perm[i]] = i;
+  const IncrementalSummary there = SummaryCodec::RemapClasses(base, perm, c);
+  const IncrementalSummary back =
+      SummaryCodec::RemapClasses(there, inverse, c);
+  EXPECT_EQ(FitBytes(back, 13), FitBytes(base, 13));
+  EXPECT_EQ(back.NumRows(), base.NumRows());
+}
+
+// ------------------------------------------------ byte-identity sweep --
+
+class ShardReleaseTest : public testing::Test {
+ protected:
+  void SetUp() override { data_ = CovtypeLikeData(220, 41); }
+  Dataset data_;
+};
+
+TEST_F(ShardReleaseTest, ConcatenationMatchesStreamReleaseEverywhere) {
+  // The tentpole gate: shards {1, 2, 3, 8} x threads {1, 2, 7} x formats
+  // {csv, cols}, all byte-identical to the single-process release.
+  for (const bool cols : {false, true}) {
+    const std::string input =
+        WriteInput(data_, cols ? "sweep.cols" : "sweep.csv", cols);
+    std::string golden_plan;
+    const std::string golden =
+        StreamReleaseBytes(input, 64, /*seed=*/9, &golden_plan);
+    ASSERT_FALSE(golden.empty());
+    for (const size_t shards : {1, 2, 3, 8}) {
+      for (const size_t threads : {1, 2, 7}) {
+        const std::string out = TempPath("sweep_out");
+        ShardStats stats;
+        auto plan = ShardedCustodian::Release(
+            input, out, BaseOptions(shards, threads, 64, 9), &stats);
+        ASSERT_TRUE(plan.ok())
+            << plan.status().ToString() << " shards=" << shards
+            << " threads=" << threads << " cols=" << cols;
+        const std::string where = " shards=" + std::to_string(shards) +
+                                  " threads=" + std::to_string(threads) +
+                                  " cols=" + std::to_string(cols);
+        EXPECT_EQ(SerializePlan(plan.value()), golden_plan) << where;
+        EXPECT_EQ(ConcatShards(out, shards), golden) << where;
+        EXPECT_EQ(stats.rows, data_.NumRows()) << where;
+        const uint64_t crc = Crc64(golden_plan);
+        EXPECT_TRUE(shard::VerifyShardedRelease(out, &crc, nullptr).ok())
+            << where;
+      }
+    }
+  }
+}
+
+TEST_F(ShardReleaseTest, SingleShardTakesTheSingleProcessPath) {
+  // The 1-shard degenerate layout: open range, no counting pass, full
+  // thread budget inside the one worker — and exact byte identity.
+  const std::string input = WriteInput(data_, "single.csv", false);
+  std::string golden_plan;
+  const std::string golden = StreamReleaseBytes(input, 32, 3, &golden_plan);
+  const std::string out = TempPath("single_out");
+  ShardStats stats;
+  auto plan =
+      ShardedCustodian::Release(input, out, BaseOptions(1, 7, 32, 3), &stats);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_EQ(SerializePlan(plan.value()), golden_plan);
+  EXPECT_EQ(Slurp(shard::ShardFilePath(out, 0)), golden);
+  EXPECT_EQ(stats.shards, 1u);
+  EXPECT_EQ(stats.empty_shards, 0u);
+}
+
+TEST_F(ShardReleaseTest, MoreShardsThanRowsYieldsEmptyShards) {
+  const Dataset tiny = CovtypeLikeData(3, 77);
+  const std::string input = WriteInput(tiny, "tiny.csv", false);
+  std::string golden_plan;
+  const std::string golden = StreamReleaseBytes(input, 16, 5, &golden_plan);
+  const std::string out = TempPath("tiny_out");
+  ShardStats stats;
+  auto plan =
+      ShardedCustodian::Release(input, out, BaseOptions(8, 2, 16, 5), &stats);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_EQ(SerializePlan(plan.value()), golden_plan);
+  EXPECT_EQ(ConcatShards(out, 8), golden);
+  EXPECT_EQ(stats.empty_shards, 5u);
+  // The empty shards publish zero-byte files the manifest still covers.
+  for (size_t k = 3; k < 8; ++k) {
+    EXPECT_EQ(Slurp(shard::ShardFilePath(out, k)), "");
+  }
+  shard::VerifyTotals totals;
+  ASSERT_TRUE(shard::VerifyShardedRelease(out, nullptr, &totals).ok());
+  EXPECT_EQ(totals.shards, 8u);
+  EXPECT_EQ(totals.rows, 3u);
+}
+
+TEST_F(ShardReleaseTest, IndivisibleRowCountStaysByteIdentical) {
+  const Dataset odd = CovtypeLikeData(101, 13);
+  const std::string input = WriteInput(odd, "odd.csv", false);
+  std::string golden_plan;
+  const std::string golden = StreamReleaseBytes(input, 21, 7, &golden_plan);
+  const std::string out = TempPath("odd_out");
+  auto plan =
+      ShardedCustodian::Release(input, out, BaseOptions(4, 2, 21, 7), nullptr);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_EQ(SerializePlan(plan.value()), golden_plan);
+  EXPECT_EQ(ConcatShards(out, 4), golden);
+}
+
+TEST_F(ShardReleaseTest, EmptyInputIsInvalidArgument) {
+  Schema schema({"a"}, {"x"});
+  Dataset empty(schema);
+  const std::string input = WriteInput(empty, "empty.csv", false);
+  const std::string out = TempPath("empty_out");
+  auto plan =
+      ShardedCustodian::Release(input, out, BaseOptions(3, 2, 16, 1), nullptr);
+  ASSERT_FALSE(plan.ok());
+  EXPECT_EQ(plan.status().code(), StatusCode::kInvalidArgument);
+}
+
+// --------------------------------------------------- crash and resume --
+
+TEST(ShardResumeTest, FaultsAnywhereResumeToIdenticalBytes) {
+  // Cols input so phase-1 reads are injected too; thread mode so the
+  // failpoint stays in-process. Schedules sample the op range edge to
+  // edge, alternating clean errors and simulated kills.
+  const Dataset data = CovtypeLikeData(150, 23);
+  const std::string input = WriteInput(data, "resume.cols", true);
+  std::string golden_plan;
+  const std::string golden = StreamReleaseBytes(input, 40, 21, &golden_plan);
+  const ShardOptions options = BaseOptions(3, 2, 40, 21);
+  const std::string out = TempPath("resume_out");
+
+  size_t total_ops = 0;
+  {
+    fault::ScopedFaultInjection probe(fault::FaultSchedule::CountOnly());
+    auto counted = ShardedCustodian::Release(input, TempPath("resume_probe"),
+                                             options, nullptr);
+    ASSERT_TRUE(counted.ok()) << counted.status().ToString();
+    total_ops = probe.ops_seen();
+  }
+  ASSERT_GT(total_ops, 0u);
+
+  const size_t kSchedules = 8;
+  for (size_t k = 0; k < kSchedules; ++k) {
+    const size_t fire_at = k * (total_ops - 1) / (kSchedules - 1);
+    const bool crash = k % 2 == 0;
+    SCOPED_TRACE("schedule " + std::to_string(k) + ": " +
+                 (crash ? "crash" : "error") + " at op " +
+                 std::to_string(fire_at) + "/" + std::to_string(total_ops));
+    {
+      fault::ScopedFaultInjection inject(
+          crash ? fault::FaultSchedule::CrashAt(fire_at, 0.4)
+                : fault::FaultSchedule::ErrorAt(fire_at, 0.4));
+      auto faulted = ShardedCustodian::Release(input, out, options, nullptr);
+      ASSERT_TRUE(inject.fired());
+      if (crash) {
+        ASSERT_FALSE(faulted.ok());
+      }
+    }
+    ShardOptions resume = options;
+    resume.resume = true;
+    auto recovered = ShardedCustodian::Release(input, out, resume, nullptr);
+    ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+    EXPECT_EQ(SerializePlan(recovered.value()), golden_plan);
+    EXPECT_EQ(ConcatShards(out, 3), golden);
+    const uint64_t crc = Crc64(golden_plan);
+    EXPECT_TRUE(shard::VerifyShardedRelease(out, &crc, nullptr).ok());
+    // Journals retired, no summary debris.
+    for (size_t s = 0; s < 3; ++s) {
+      EXPECT_FALSE(
+          fault::FileExists(shard::ShardFilePath(out, s) + ".manifest"));
+      EXPECT_FALSE(
+          fault::FileExists(shard::ShardFilePath(out, s) + ".partial"));
+      EXPECT_FALSE(fault::FileExists(shard::ShardSummaryPath(out, s)));
+    }
+  }
+}
+
+TEST(ShardResumeTest, ResumeReusesCompletedShardWork) {
+  // Kill late in the run (inside finalize), then resume: the journals
+  // must mark every chunk done, so the resumed release redoes no encode.
+  const Dataset data = CovtypeLikeData(120, 29);
+  const std::string input = WriteInput(data, "reuse.csv", false);
+  const ShardOptions options = BaseOptions(2, 2, 30, 2);
+  const std::string out = TempPath("reuse_out");
+
+  size_t total_ops = 0;
+  {
+    fault::ScopedFaultInjection probe(fault::FaultSchedule::CountOnly());
+    auto counted = ShardedCustodian::Release(input, TempPath("reuse_probe"),
+                                             options, nullptr);
+    ASSERT_TRUE(counted.ok()) << counted.status().ToString();
+    total_ops = probe.ops_seen();
+  }
+  {
+    // The very last op is a journal retirement after the meta commit.
+    fault::ScopedFaultInjection inject(
+        fault::FaultSchedule::CrashAt(total_ops - 1));
+    auto faulted = ShardedCustodian::Release(input, out, options, nullptr);
+    ASSERT_TRUE(inject.fired());
+    ASSERT_FALSE(faulted.ok());
+  }
+  ShardOptions resume = options;
+  resume.resume = true;
+  ShardStats stats;
+  auto recovered = ShardedCustodian::Release(input, out, resume, &stats);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  // Every chunk of both shards came back from the journals.
+  EXPECT_GT(stats.resumed_chunks, 0u);
+  std::string golden_plan;
+  EXPECT_EQ(ConcatShards(out, 2),
+            StreamReleaseBytes(input, 30, 2, &golden_plan));
+  EXPECT_EQ(SerializePlan(recovered.value()), golden_plan);
+}
+
+TEST(ShardResumeTest, StaleJournalFromOtherLayoutIsNotResumed) {
+  // A journal written under a 2-shard layout must not poison a 3-shard
+  // resume of the same output path: the salt makes the fingerprints
+  // disagree and the shard starts fresh — output still byte-identical.
+  const Dataset data = CovtypeLikeData(90, 37);
+  const std::string input = WriteInput(data, "salt.csv", false);
+  const std::string out = TempPath("salt_out");
+  ASSERT_TRUE(ShardedCustodian::Release(input, out,
+                                        BaseOptions(2, 1, 25, 5), nullptr)
+                  .ok());
+  // Rerun under a different shard count with --resume: shard 0's final
+  // file from the 2-shard run survives on disk but covers different rows.
+  ShardOptions relayout = BaseOptions(3, 1, 25, 5);
+  relayout.resume = true;
+  auto plan = ShardedCustodian::Release(input, out, relayout, nullptr);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  std::string golden_plan;
+  EXPECT_EQ(ConcatShards(out, 3),
+            StreamReleaseBytes(input, 25, 5, &golden_plan));
+  EXPECT_EQ(SerializePlan(plan.value()), golden_plan);
+}
+
+// ------------------------------------------------------ meta-manifest --
+
+TEST(MetaManifestTest, SerializeParseRoundTrips) {
+  MetaManifest m;
+  m.fingerprint = "chunk_rows=64 ood=reject fit_rows=0 seed=9 plan_crc=abc";
+  m.plan_crc = 0x0123456789abcdefull;
+  m.shards.push_back(ShardEntry{0, 100, 2048, 0xdeadbeefull, "r.shard0"});
+  m.shards.push_back(ShardEntry{1, 0, 0, 0, "r.shard1"});
+  const std::string text = shard::SerializeMetaManifest(m);
+  auto parsed = shard::ParseMetaManifest(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(shard::SerializeMetaManifest(parsed.value()), text);
+  EXPECT_EQ(parsed.value().fingerprint, m.fingerprint);
+  EXPECT_EQ(parsed.value().plan_crc, m.plan_crc);
+  ASSERT_EQ(parsed.value().shards.size(), 2u);
+  EXPECT_EQ(parsed.value().shards[1].file, "r.shard1");
+}
+
+TEST(MetaManifestTest, ParseRejectsTampering) {
+  MetaManifest m;
+  m.fingerprint = "f";
+  m.plan_crc = 7;
+  m.shards.push_back(ShardEntry{0, 1, 2, 3, "x.shard0"});
+  const std::string text = shard::SerializeMetaManifest(m);
+  for (size_t at = 0; at < text.size(); at += 7) {
+    std::string bad = text;
+    bad[at] ^= 0x04;
+    auto parsed = shard::ParseMetaManifest(bad);
+    if (parsed.ok()) {
+      // A flip may cancel out only if serialization is not canonical —
+      // never acceptable.
+      ADD_FAILURE() << "tampered byte " << at << " went undetected";
+    } else {
+      EXPECT_EQ(parsed.status().code(), StatusCode::kDataLoss) << at;
+    }
+  }
+}
+
+TEST(MetaManifestTest, VerifyNamesTheCorruptShard) {
+  const Dataset data = CovtypeLikeData(80, 53);
+  const std::string input = WriteInput(data, "vm.csv", false);
+  const std::string out = TempPath("vm_out");
+  auto plan = ShardedCustodian::Release(input, out,
+                                        BaseOptions(3, 1, 32, 4), nullptr);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  ASSERT_TRUE(shard::VerifyShardedRelease(out).ok());
+
+  // Corrupt shard 1's bytes: DataLoss naming shard 1.
+  const std::string victim = shard::ShardFilePath(out, 1);
+  const std::string original = Slurp(victim);
+  std::string tampered = original;
+  ASSERT_FALSE(tampered.empty());
+  tampered[tampered.size() / 2] ^= 0x10;
+  ASSERT_TRUE(fault::WriteFileAtomic(victim, tampered).ok());
+  Status caught = shard::VerifyShardedRelease(out);
+  ASSERT_FALSE(caught.ok());
+  EXPECT_EQ(caught.code(), StatusCode::kDataLoss);
+  EXPECT_NE(caught.message().find("shard 1"), std::string::npos)
+      << caught.ToString();
+
+  // Truncation: length mismatch, still naming the shard.
+  ASSERT_TRUE(
+      fault::WriteFileAtomic(victim, original.substr(0, original.size() / 2))
+          .ok());
+  caught = shard::VerifyShardedRelease(out);
+  ASSERT_FALSE(caught.ok());
+  EXPECT_EQ(caught.code(), StatusCode::kDataLoss);
+  EXPECT_NE(caught.message().find("shard 1"), std::string::npos);
+
+  // A missing shard keeps the NotFound taxonomy (exit 3, not 4).
+  ASSERT_TRUE(fault::RemoveFile(victim).ok());
+  caught = shard::VerifyShardedRelease(out);
+  ASSERT_FALSE(caught.ok());
+  EXPECT_EQ(caught.code(), StatusCode::kNotFound);
+
+  // Restored bytes verify again.
+  ASSERT_TRUE(fault::WriteFileAtomic(victim, original).ok());
+  EXPECT_TRUE(shard::VerifyShardedRelease(out).ok());
+}
+
+TEST(MetaManifestTest, WrongKeyIsRejected) {
+  const Dataset data = CovtypeLikeData(60, 3);
+  const std::string input = WriteInput(data, "key.csv", false);
+  const std::string out = TempPath("key_out");
+  auto plan = ShardedCustodian::Release(input, out,
+                                        BaseOptions(2, 1, 32, 4), nullptr);
+  ASSERT_TRUE(plan.ok());
+  const uint64_t right = Crc64(SerializePlan(plan.value()));
+  ASSERT_TRUE(shard::VerifyShardedRelease(out, &right, nullptr).ok());
+  const uint64_t wrong = right ^ 1;
+  Status caught = shard::VerifyShardedRelease(out, &wrong, nullptr);
+  ASSERT_FALSE(caught.ok());
+  EXPECT_EQ(caught.code(), StatusCode::kDataLoss);
+  EXPECT_NE(caught.message().find("wrong key"), std::string::npos)
+      << caught.ToString();
+}
+
+// ------------------------------------------------ forked worker mode --
+// (ShardProcess* suites fork(); sanitizer stages that cannot host fork
+// filter them with --gtest_filter=-*ShardProcess*.)
+
+TEST(ShardProcessTest, ByteIdentityAcrossForkedWorkers) {
+  const Dataset data = CovtypeLikeData(130, 61);
+  for (const bool cols : {false, true}) {
+    const std::string input =
+        WriteInput(data, cols ? "proc.cols" : "proc.csv", cols);
+    std::string golden_plan;
+    const std::string golden = StreamReleaseBytes(input, 48, 6, &golden_plan);
+    const std::string out = TempPath("proc_out");
+    ShardOptions options = BaseOptions(3, 2, 48, 6);
+    options.workers_mode = shard::WorkersMode::kProcess;
+    ShardStats stats;
+    auto plan = ShardedCustodian::Release(input, out, options, &stats);
+    ASSERT_TRUE(plan.ok()) << plan.status().ToString() << " cols=" << cols;
+    EXPECT_EQ(SerializePlan(plan.value()), golden_plan) << "cols=" << cols;
+    EXPECT_EQ(ConcatShards(out, 3), golden) << "cols=" << cols;
+    EXPECT_EQ(stats.rows, data.NumRows());
+    // The summary hand-off artifacts are consumed and removed.
+    for (size_t k = 0; k < 3; ++k) {
+      EXPECT_FALSE(fault::FileExists(shard::ShardSummaryPath(out, k)));
+    }
+    const uint64_t crc = Crc64(golden_plan);
+    EXPECT_TRUE(shard::VerifyShardedRelease(out, &crc, nullptr).ok());
+  }
+}
+
+TEST(ShardProcessTest, SingleShardDegenerateAlsoForks) {
+  const Dataset data = CovtypeLikeData(70, 67);
+  const std::string input = WriteInput(data, "proc1.csv", false);
+  std::string golden_plan;
+  const std::string golden = StreamReleaseBytes(input, 24, 8, &golden_plan);
+  const std::string out = TempPath("proc1_out");
+  ShardOptions options = BaseOptions(1, 2, 24, 8);
+  options.workers_mode = shard::WorkersMode::kProcess;
+  auto plan = ShardedCustodian::Release(input, out, options, nullptr);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_EQ(SerializePlan(plan.value()), golden_plan);
+  EXPECT_EQ(Slurp(shard::ShardFilePath(out, 0)), golden);
+}
+
+TEST(ShardProcessTest, WorkerFailureSurfacesThroughExitCodes) {
+  // An unwritable output location fails inside the forked workers; the
+  // coordinator must map the exit code back onto the I/O Status taxonomy.
+  const Dataset data = CovtypeLikeData(40, 71);
+  const std::string input = WriteInput(data, "procfail.csv", false);
+  const std::string out =
+      testing::TempDir() + "/popp_no_such_dir/sub/release";
+  ShardOptions options = BaseOptions(2, 1, 16, 1);
+  options.workers_mode = shard::WorkersMode::kProcess;
+  auto plan = ShardedCustodian::Release(input, out, options, nullptr);
+  ASSERT_FALSE(plan.ok());
+  EXPECT_EQ(plan.status().code(), StatusCode::kIoError);
+  EXPECT_NE(plan.status().message().find("worker"), std::string::npos)
+      << plan.status().ToString();
+}
+
+// ---------------------------------------------------------- the oracle --
+
+TEST(ShardOracleTest, ShardVsStreamHoldsOnRandomCases) {
+  // A bounded in-test sweep of the oracle; ci_check and popp_check run
+  // the large randomized batches.
+  const Dataset data = CovtypeLikeData(90, 83);
+  Rng plan_rng(19);
+  const TransformPlan plan =
+      TransformPlan::Create(data, PiecewiseOptions{}, plan_rng);
+  const Dataset released = plan.EncodeDataset(data);
+  for (const size_t shards : {1, 3}) {
+    const auto result = check::CheckShardVsStream(
+        data, plan, released, /*plan_seed=*/19, PiecewiseOptions{}, shards,
+        /*num_threads=*/2, /*chunk_rows=*/33, /*use_cols=*/shards == 3,
+        /*num_fault_schedules=*/3);
+    EXPECT_TRUE(result.passed) << result.message;
+  }
+}
+
+}  // namespace
+}  // namespace popp

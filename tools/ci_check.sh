@@ -12,7 +12,9 @@
 # (which sweeps 1/2/3/7/8-thread builds against the serial bytes), and
 # the parallel_determinism + stream_vs_batch + compiled_vs_interpreted
 # oracles, which exercise every ThreadPool/ParallelFor path under real
-# concurrency. Both stages also run the serve_vs_cli oracle and the
+# concurrency. Both stages also run the shard_vs_stream oracle plus the
+# sharded-release test battery (fork-based worker suites only under ASan
+# — TSan cannot host fork()), the serve_vs_cli oracle and the
 # popp-serve test battery (byte-identity, tenant isolation, malformed
 # frames, kill-mid-request crash schedules), and a final smoke stage
 # round-trips a real popp-serve process against `popp encode`. Any
@@ -66,6 +68,19 @@ echo "== serve_vs_cli oracle + serving tests under ASan =="
   --trials 10 --seed 17 --out "$build_dir"
 "$build_dir/tests/popp_tests" \
   --gtest_filter='ServeProtocol*:PlanCache*:WorkspaceRegistry*:ServeEndToEnd*:ServeLifecycle*:CliServe*'
+
+echo "== shard_vs_stream oracle + sharded-release tests under ASan =="
+# The sharded-release contract: concatenated shard files are byte-identical
+# to the single-process stream-release at every shard count, thread count
+# and input format; the merge tree is order-robust; a published
+# meta-manifest always verifies; randomized kill schedules either surface
+# an error or leave a fully correct release, and --resume converges to the
+# same bytes. ShardProcess*/CliShardProcess* fork real worker processes —
+# fine under ASan, excluded from the TSan stage below.
+"$build_dir/tools/popp_check" --oracle shard_vs_stream \
+  --trials 10 --seed 19 --out "$build_dir"
+"$build_dir/tests/popp_tests" \
+  --gtest_filter='SplitRows*:CountRows*:RangeChunkReader*:SkipRows*:SummaryCodec*:MergeProperty*:ShardRelease*:ShardResume*:ShardProcess*:ShardOracle*:MetaManifest*:CliTest.Shard*:CliTest.VerifyManifest*:CliShardProcess*:CliBasicsTest.Shard*'
 
 echo "== configure (TSan) =="
 cmake -B "$tsan_build_dir" -S "$repo_root" \
@@ -127,6 +142,16 @@ echo "== compiled_vs_interpreted oracle under TSan (bounded) =="
 echo "== cols_vs_csv oracle under TSan (bounded) =="
 "$tsan_build_dir/tools/popp_check" --oracle cols_vs_csv \
   --trials 25 --seed 7 --out "$tsan_build_dir"
+
+echo "== shard_vs_stream oracle + sharded-release tests under TSan =="
+# Thread-mode shard workers under real concurrency: the summarize/encode
+# ThreadPool fan-out, the failpoint layer's shared counters, and the
+# resume path all run with TSan watching. The fork-based ShardProcess*
+# suites are excluded — TSan cannot host fork()ed children.
+"$tsan_build_dir/tools/popp_check" --oracle shard_vs_stream \
+  --trials 8 --seed 19 --out "$tsan_build_dir"
+"$tsan_build_dir/tests/popp_tests" \
+  --gtest_filter='SplitRows*:CountRows*:RangeChunkReader*:SkipRows*:SummaryCodec*:MergeProperty*:ShardRelease*:ShardResume*:ShardOracle*:MetaManifest*:CliTest.Shard*:CliTest.VerifyManifest*:-*ShardProcess*'
 
 echo "== serve_vs_cli oracle + concurrent serving tests under TSan =="
 # The daemon's accept loop, per-tenant locking and drain path under real

@@ -19,7 +19,7 @@ Runs seeded randomized trials of the popp invariant oracles
 (encode_bijective, global_invariant, label_runs, tree_equivalence,
 tree_equivalence_pruned, serialize_roundtrip, stream_vs_batch,
 cols_vs_csv, compiled_vs_interpreted, fault_crash_safety,
-serve_vs_cli, parallel_determinism) and prints a pass/fail
+shard_vs_stream, serve_vs_cli, parallel_determinism) and prints a pass/fail
 table. On the first failure the case is shrunk to a minimal reproducer
 and written as <out>/popp_check_repro.{csv,recipe}.
 
