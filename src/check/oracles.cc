@@ -3,6 +3,7 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <cstring>
 #include <filesystem>
@@ -1421,6 +1422,425 @@ OracleResult CheckServeVsCli(const Dataset& original, uint64_t plan_seed,
   return OracleResult::Ok();
 }
 
+OracleResult CheckSupervisedConvergence(
+    const Dataset& original, const TransformPlan& plan,
+    const Dataset& released, uint64_t plan_seed,
+    const PiecewiseOptions& transform_options, size_t num_shards,
+    size_t num_threads, size_t chunk_rows, size_t num_schedules) {
+  namespace fs = std::filesystem;
+  using Clock = std::chrono::steady_clock;
+  // The loud-failure wall bound: a supervised run that needs longer than
+  // this on a trivial fuzz case is a hang, which is exactly the defect
+  // class this oracle exists to catch.
+  constexpr uint64_t kTrialWallMs = 60000;
+  std::ostringstream where_oss;
+  where_oss << " (shards=" << num_shards << ", threads=" << num_threads
+            << ", chunk_rows=" << chunk_rows << ")";
+  const std::string where = where_oss.str();
+
+  const fs::path dir = FaultScratchDir();
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    return OracleResult::Fail("cannot create scratch directory '" +
+                              dir.string() + "': " + ec.message());
+  }
+  struct Cleanup {
+    const fs::path& dir;
+    ~Cleanup() {
+      std::error_code ignored;
+      fs::remove_all(dir, ignored);
+    }
+  } cleanup{dir};
+
+  // ---- Shard half: delay/error/crash schedules over a thread-mode
+  // sharded release (process-mode supervision is exercised by the
+  // fork-based tests; fork does not mix with test harnesses).
+  const std::string input_path = (dir / "input.csv").string();
+  if (Status written =
+          fault::WriteFileAtomic(input_path, ToCsvString(original));
+      !written.ok()) {
+    return OracleResult::Fail("cannot write the scratch input: " +
+                              written.ToString());
+  }
+  const std::string golden_plan_bytes = SerializePlan(plan);
+  const std::string golden_bytes = ToCsvString(released);
+
+  shard::ShardOptions options;
+  options.num_shards = num_shards;
+  options.workers_mode = shard::WorkersMode::kThread;
+  options.chunk_rows = chunk_rows;
+  options.transform = transform_options;
+  options.seed = plan_seed;
+  options.exec = ExecPolicy{num_threads};
+  const std::string out_path = (dir / "release").string();
+
+  auto baseline =
+      shard::ShardedCustodian::Release(input_path, out_path, options, nullptr);
+  OracleResult checked = CheckShardedArtifacts(
+      out_path, num_shards, baseline, golden_plan_bytes, golden_bytes,
+      "supervised baseline release", where);
+  if (!checked.passed) return checked;
+
+  size_t total_ops = 0;
+  {
+    fault::ScopedFaultInjection probe(fault::FaultSchedule::CountOnly());
+    auto counted = shard::ShardedCustodian::Release(
+        input_path, (dir / "probe").string(), options, nullptr);
+    if (!counted.ok()) {
+      return OracleResult::Fail("op-count probe failed: " +
+                                counted.status().ToString() + where);
+    }
+    total_ops = probe.ops_seen();
+  }
+  if (total_ops == 0) {
+    return OracleResult::Fail(
+        "the sharded release performed no fault-layer I/O operations" +
+        where);
+  }
+
+  Rng rng(plan_seed ^ 0x50bead5c0de5ull);
+  for (size_t k = 0; k < num_schedules; ++k) {
+    const int kind = static_cast<int>(rng.UniformInt(0, 2));  // delay/err/crash
+    const size_t fire_at = static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(total_ops - 1)));
+    const uint32_t delay_ms =
+        static_cast<uint32_t>(5 + rng.UniformInt(0, 35));
+    const double fraction = rng.Uniform01();
+    std::ostringstream trial_oss;
+    trial_oss << " (schedule " << k << ": "
+              << (kind == 0 ? "delay" : kind == 1 ? "error" : "crash")
+              << " at op " << fire_at << "/" << total_ops << ")" << where;
+    const std::string trial = trial_oss.str();
+
+    fs::remove(out_path, ec);
+    const auto start = Clock::now();
+    Status faulted;
+    bool fired = false;
+    {
+      fault::ScopedFaultInjection inject(
+          kind == 0   ? fault::FaultSchedule::DelayAt(fire_at, delay_ms)
+          : kind == 1 ? fault::FaultSchedule::ErrorAt(fire_at, fraction)
+                      : fault::FaultSchedule::CrashAt(fire_at, fraction));
+      auto run = shard::ShardedCustodian::Release(input_path, out_path,
+                                                  options, nullptr);
+      faulted = run.ok() ? Status::Ok() : run.status();
+      fired = inject.fired();
+      if (kind == 0) {
+        // A slow operation is not an error: the delayed release must
+        // succeed and reproduce the fault-free artifacts byte for byte.
+        checked = CheckShardedArtifacts(out_path, num_shards, run,
+                                        golden_plan_bytes, golden_bytes,
+                                        "delayed release", trial);
+        if (!checked.passed) return checked;
+      }
+    }
+    const uint64_t elapsed_ms =
+        static_cast<uint64_t>(std::chrono::duration_cast<
+                                  std::chrono::milliseconds>(Clock::now() -
+                                                             start)
+                                  .count());
+    if (elapsed_ms > kTrialWallMs) {
+      return OracleResult::Fail(
+          "the supervised release exceeded the wall-clock bound (" +
+          std::to_string(elapsed_ms) + " ms)" + trial);
+    }
+    if (kind == 0) continue;
+
+    if (!fired && !faulted.ok()) {
+      return OracleResult::Fail("no fault fired yet the release failed: " +
+                                faulted.ToString() + trial);
+    }
+    if (fired && faulted.ok()) {
+      if (kind == 2) {
+        return OracleResult::Fail(
+            "an injected crash was swallowed: the sharded release "
+            "reported success" + trial);
+      }
+      if (!fault::FileExists(out_path)) {
+        return OracleResult::Fail(
+            "a swallowed fault left a successful release without a "
+            "meta-manifest" + trial);
+      }
+    }
+    // A *published* meta-manifest always names a complete verifiable
+    // release, whatever the schedule did.
+    if (fault::FileExists(out_path)) {
+      const uint64_t plan_crc = Crc64(golden_plan_bytes);
+      Status v = shard::VerifyShardedRelease(out_path, &plan_crc, nullptr);
+      if (!v.ok()) {
+        return OracleResult::Fail(
+            "a fault left an unverifiable release behind a published "
+            "meta-manifest: " + v.ToString() + trial);
+      }
+      auto concat = ConcatenatedShards(out_path, num_shards);
+      if (!concat.ok() || concat.value() != golden_bytes) {
+        return OracleResult::Fail(
+            "a fault left wrong shard bytes behind a published "
+            "meta-manifest" + trial);
+      }
+    }
+    // Convergence: the --resume rerun reaches the exact golden bytes and
+    // retires every journal.
+    shard::ShardOptions resume_options = options;
+    resume_options.resume = true;
+    const auto resume_start = Clock::now();
+    auto resumed = shard::ShardedCustodian::Release(input_path, out_path,
+                                                    resume_options, nullptr);
+    if (std::chrono::duration_cast<std::chrono::milliseconds>(
+            Clock::now() - resume_start)
+            .count() > static_cast<int64_t>(kTrialWallMs)) {
+      return OracleResult::Fail(
+          "the resume rerun exceeded the wall-clock bound" + trial);
+    }
+    checked = CheckShardedArtifacts(out_path, num_shards, resumed,
+                                    golden_plan_bytes, golden_bytes,
+                                    "resume after the fault", trial);
+    if (!checked.passed) return checked;
+  }
+
+  // ---- Serve half: delay/error/crash schedules against an in-process
+  // daemon with a deliberately tight admission bound, driven through the
+  // client's deadline-aware retry loop.
+  const fs::path serve_dir = ServeScratchDir();
+  fs::create_directories(serve_dir, ec);
+  if (ec) {
+    return OracleResult::Fail("cannot create the serve scratch dir: " +
+                              ec.message());
+  }
+  Cleanup serve_cleanup{serve_dir};
+
+  auto canonical_or = ParseCsv(ToCsvString(original));
+  if (!canonical_or.ok()) {
+    return OracleResult::Fail("canonical CSV failed to re-parse: " +
+                              canonical_or.status().ToString());
+  }
+  const Dataset& canonical = canonical_or.value();
+  PiecewiseOptions wire_options;
+  wire_options.policy = transform_options.policy;
+  wire_options.min_breakpoints = transform_options.min_breakpoints;
+  wire_options.global_anti_monotone = transform_options.global_anti_monotone;
+  Rng plan_rng(plan_seed);
+  const std::string expected_plan_doc = SerializePlan(
+      TransformPlan::Create(canonical, wire_options, plan_rng, ExecPolicy{1}));
+
+  serve::ServeOptions serve_options;
+  serve_options.socket_path = (serve_dir / "sock").string();
+  serve_options.num_threads = 2;
+  serve_options.cache_capacity = 4;
+  serve_options.save_dir = (serve_dir / "saves").string();
+  serve_options.max_inflight = 1;
+  serve_options.max_queue = 1;
+  serve::Server server(serve_options);
+  if (Status started = server.Start(); !started.ok()) {
+    return OracleResult::Fail("daemon failed to start: " +
+                              started.ToString());
+  }
+  std::ostringstream server_log;
+  int serve_exit = -1;
+  std::thread server_thread([&server, &server_log, &serve_exit] {
+    serve_exit = server.Serve(server_log);
+  });
+  struct JoinGuard {
+    serve::Server& server;
+    std::thread& thread;
+    ~JoinGuard() {
+      server.RequestShutdown();
+      if (thread.joinable()) thread.join();
+    }
+  } join_guard{server, server_thread};
+
+  serve::ServeClient client;
+  if (Status connected = client.Connect(serve_options.socket_path);
+      !connected.ok()) {
+    return OracleResult::Fail("cannot connect to the daemon: " +
+                              connected.ToString());
+  }
+
+  // Liveness is unconditional: health answers with the admission counters.
+  {
+    auto health =
+        client.Call(serve::Tag::kHealth, "", serve::RequestBody{});
+    if (!health.ok() || !health.value().ok() ||
+        health.value().body.find("inflight") == std::string::npos) {
+      return OracleResult::Fail(
+          "the health op did not answer with admission stats" + where);
+    }
+  }
+
+  const auto fit_options = [&](uint64_t deadline_ms) {
+    std::ostringstream text;
+    text << "seed " << plan_seed << "\npolicy "
+         << PolicyWord(wire_options.policy) << "\nbreakpoints "
+         << wire_options.min_breakpoints << "\n";
+    if (wire_options.global_anti_monotone) text << "anti\n";
+    if (deadline_ms != UINT64_MAX) text << "deadline-ms " << deadline_ms
+                                        << "\n";
+    text << "save plan.key\n";
+    return text.str();
+  };
+  const std::string csv_bytes = ToCsvString(canonical);
+  const std::string save_path =
+      (serve_dir / "saves" / "oracle" / "plan.key").string();
+
+  // "deadline-ms 0" is the canonical shed probe: already expired at frame
+  // receipt, it must come back as an explicit kUnavailable — never hang,
+  // never run.
+  {
+    serve::RequestBody probe;
+    probe.options = fit_options(0);
+    probe.dataset = csv_bytes;
+    auto reply = client.Call(serve::Tag::kFit, "oracle", probe);
+    if (!reply.ok()) {
+      return OracleResult::Fail("the deadline-0 probe broke the connection: " +
+                                reply.status().ToString() + where);
+    }
+    if (reply.value().code != StatusCode::kUnavailable ||
+        reply.value().text.find("deadline") == std::string::npos) {
+      return OracleResult::Fail(
+          "an already-expired request was not shed with an explicit "
+          "deadline diagnostic (code " +
+          std::string(StatusCodeName(reply.value().code)) + ": " +
+          reply.value().text + ")" + where);
+    }
+    if (fault::FileExists(save_path)) {
+      return OracleResult::Fail(
+          "a shed request still published a save artifact" + where);
+    }
+  }
+
+  serve::RequestBody fit_request;
+  fit_request.options = fit_options(UINT64_MAX);
+  fit_request.dataset = csv_bytes;
+  size_t serve_ops = 0;
+  {
+    fault::ScopedFaultInjection probe(fault::FaultSchedule::CountOnly());
+    auto reply = client.Call(serve::Tag::kFit, "oracle", fit_request);
+    if (!reply.ok() || !reply.value().ok() ||
+        reply.value().body != expected_plan_doc) {
+      return OracleResult::Fail(
+          "the fault-free fit-with-save did not produce the CLI plan" +
+          where);
+    }
+    serve_ops = probe.ops_seen();
+  }
+  if (serve_ops == 0) {
+    return OracleResult::Fail(
+        "fit with save performed no fault-layer I/O" + where);
+  }
+
+  for (size_t k = 0; k < num_schedules; ++k) {
+    const int kind = static_cast<int>(rng.UniformInt(0, 2));
+    const size_t fire_at = static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(serve_ops - 1)));
+    const uint32_t delay_ms =
+        static_cast<uint32_t>(5 + rng.UniformInt(0, 35));
+    const double fraction = rng.Uniform01();
+    const bool bounded = rng.Bernoulli(0.5);
+    const uint64_t deadline_ms =
+        bounded ? static_cast<uint64_t>(40 + rng.UniformInt(0, 160))
+                : UINT64_MAX;
+    std::ostringstream trial_oss;
+    trial_oss << " (serve schedule " << k << ": "
+              << (kind == 0 ? "delay" : kind == 1 ? "error" : "crash")
+              << " at op " << fire_at << "/" << serve_ops << ", deadline ";
+    if (bounded) {
+      trial_oss << deadline_ms << " ms)";
+    } else {
+      trial_oss << "none)";
+    }
+    trial_oss << where;
+    const std::string trial = trial_oss.str();
+
+    fs::remove(save_path, ec);
+    serve::RequestBody request;
+    request.options = fit_options(deadline_ms);
+    request.dataset = csv_bytes;
+    serve::RetryOptions retry;
+    retry.max_retries = 2;
+    retry.deadline_ms = bounded ? deadline_ms : 0;
+    retry.seed = plan_seed + k;
+    retry.backoff.base_ms = 5;
+    retry.backoff.cap_ms = 50;
+
+    bool fired = false;
+    Result<serve::ReplyBody> reply = serve::ReplyBody{};
+    {
+      fault::ScopedFaultInjection inject(
+          kind == 0   ? fault::FaultSchedule::DelayAt(fire_at, delay_ms)
+          : kind == 1 ? fault::FaultSchedule::ErrorAt(fire_at, fraction)
+                      : fault::FaultSchedule::CrashAt(fire_at, fraction));
+      reply = client.CallWithRetry(serve::Tag::kFit, "oracle", request,
+                                   retry);
+      fired = inject.fired();
+    }
+    if (!reply.ok()) {
+      return OracleResult::Fail(
+          "the daemon did not survive an injected schedule: " +
+          reply.status().ToString() + trial);
+    }
+    if (kind == 0 && !reply.value().ok() &&
+        reply.value().code != StatusCode::kUnavailable) {
+      // A delay is not an I/O failure: the only legal error surface is
+      // the deadline/overload contract.
+      return OracleResult::Fail(
+          "an injected delay surfaced as a phantom error (code " +
+          std::string(StatusCodeName(reply.value().code)) + ": " +
+          reply.value().text + ")" + trial);
+    }
+    if (kind != 0 && fired && reply.value().ok()) {
+      return OracleResult::Fail(
+          "the injected fault was swallowed: the fit reported success" +
+          trial);
+    }
+    if (!fired && !reply.value().ok() &&
+        reply.value().code != StatusCode::kUnavailable) {
+      return OracleResult::Fail("no fault fired yet the fit failed: " +
+                                reply.value().text + trial);
+    }
+    // The save path never holds a torn document, whatever happened.
+    if (fault::FileExists(save_path)) {
+      auto bytes = fault::ReadFileToString(save_path);
+      if (!bytes.ok() || bytes.value() != expected_plan_doc) {
+        return OracleResult::Fail(
+            "a schedule left a partial plan artifact under the final "
+            "name" + trial);
+      }
+    }
+    // Convergence: a fault-free retry without a deadline publishes the
+    // exact CLI plan bytes.
+    auto settled =
+        client.CallWithRetry(serve::Tag::kFit, "oracle", fit_request, retry);
+    if (!settled.ok() || !settled.value().ok() ||
+        settled.value().body != expected_plan_doc) {
+      return OracleResult::Fail("the fault-free retry did not converge" +
+                                trial);
+    }
+    auto saved = fault::ReadFileToString(save_path);
+    if (!saved.ok() || saved.value() != expected_plan_doc) {
+      return OracleResult::Fail(
+          "the retried save is not the canonical plan document" + trial);
+    }
+  }
+
+  auto bye = client.Call(serve::Tag::kShutdown, "", serve::RequestBody{});
+  if (!bye.ok() || !bye.value().ok()) {
+    return OracleResult::Fail("the shutdown request failed" + where);
+  }
+  server_thread.join();
+  if (serve_exit != 0) {
+    return OracleResult::Fail("a drained daemon exited " +
+                              std::to_string(serve_exit) +
+                              " instead of 0 (log: " + server_log.str() +
+                              ")");
+  }
+  if (fault::FileExists(serve_options.socket_path)) {
+    return OracleResult::Fail(
+        "the daemon exited without removing its socket file" + where);
+  }
+  return OracleResult::Ok();
+}
+
 TrialContext MakeTrialContext(TrialCase c) {
   TrialContext ctx;
   Rng plan_rng(c.plan_seed);
@@ -1547,6 +1967,25 @@ const std::vector<Oracle>& AllOracles() {
            return CheckServeVsCli(ctx.c.data, ctx.c.plan_seed,
                                   ctx.c.transform_options,
                                   /*num_fault_schedules=*/2);
+         }},
+        {"supervised_convergence",
+         [](const TrialContext& ctx) {
+           // Shard counts {2, 3} (supervision is trivial at one shard),
+           // thread counts {1, 2, 7}, and a chunk stepping distinct from
+           // every other oracle. Three schedules per half (shard + serve)
+           // make each trial six randomized crash/error/delay schedules,
+           // so the ci_check resilience stage's trial counts clear the
+           // 200-schedule bar per sanitizer.
+           static constexpr size_t kShardSteps[] = {2, 3};
+           static constexpr size_t kThreadSteps[] = {1, 2, 7};
+           const size_t rows = std::max<size_t>(ctx.c.data.NumRows(), 1);
+           const size_t shards = kShardSteps[ctx.c.plan_seed % 2];
+           const size_t threads = kThreadSteps[(ctx.c.plan_seed / 3) % 3];
+           const size_t chunk = 1 + (ctx.c.plan_seed / 17) % rows;
+           return CheckSupervisedConvergence(
+               ctx.c.data, ctx.plan, ctx.released, ctx.c.plan_seed,
+               ctx.c.transform_options, shards, threads, chunk,
+               /*num_schedules=*/3);
          }},
         {"parallel_determinism",
          [](const TrialContext& ctx) {

@@ -185,6 +185,29 @@ OracleResult CheckServeVsCli(const Dataset& original, uint64_t plan_seed,
                              const PiecewiseOptions& transform_options,
                              size_t num_fault_schedules);
 
+/// The supervision-and-overload contract (src/resil): randomized
+/// crash/error/*delay* schedules composed over both execution backends
+/// must always converge or fail loudly — never hang, never leave debris.
+/// Shard half (thread-mode workers): a delay injected into the release
+/// must leave a successful run whose artifacts are byte-identical to the
+/// fault-free release (a slow worker is not an error); crash/error
+/// schedules must surface as a Status, keep every *published*
+/// meta-manifest verifiable, and converge to the exact golden bytes under
+/// --resume; every trial is wall-clock bounded. Serve half: an in-process
+/// daemon with a tight admission bound (1 in flight, 1 queued) must
+/// answer `health` unconditionally, shed a "deadline-ms 0" request with
+/// an explicit kUnavailable reply, survive randomized delay/error/crash
+/// schedules on a fit-with-save under randomized request deadlines driven
+/// through the client's retry loop (a fired delay may only surface as
+/// kUnavailable — never as a phantom I/O error; the save path never holds
+/// a torn plan document), converge to the exact CLI plan bytes on a
+/// fault-free retry, and still drain to exit 0.
+OracleResult CheckSupervisedConvergence(
+    const Dataset& original, const TransformPlan& plan,
+    const Dataset& released, uint64_t plan_seed,
+    const PiecewiseOptions& transform_options, size_t num_shards,
+    size_t num_threads, size_t chunk_rows, size_t num_schedules);
+
 /// A trial case with its derived artifacts, evaluated by every oracle.
 struct TrialContext {
   TrialCase c;
@@ -205,7 +228,7 @@ struct Oracle {
 /// global_invariant, label_runs, tree_equivalence, tree_equivalence_pruned,
 /// serialize_roundtrip, stream_vs_batch, cols_vs_csv,
 /// compiled_vs_interpreted, parallel_determinism, fault_crash_safety,
-/// shard_vs_stream, serve_vs_cli.
+/// shard_vs_stream, serve_vs_cli, supervised_convergence.
 const std::vector<Oracle>& AllOracles();
 
 /// Evaluates the named oracle on a bare case (re-deriving plan and release).

@@ -46,6 +46,7 @@ constexpr char kUsage[] =
     "  shard-release <in> <out> <key.out> [--shards N] [--workers-mode\n"
     "         thread|process] [--chunk-rows N] [--seed N]\n"
     "         [--policy none|bp|maxmp] [--breakpoints W] [--anti] [--resume]\n"
+    "         [--worker-deadline MS] [--max-worker-restarts N]\n"
     "  decode <tree.in> <key> <original.csv> <tree.out>\n"
     "  verify <original.csv> [--seed N]\n"
     "  verify <release> --manifest [--key key]\n"
@@ -66,9 +67,15 @@ constexpr char kUsage[] =
     "  serve-client <socket> verify <in.csv>\n"
     "  serve-client <socket> risk <in.csv> [--trials N]\n"
     "  serve-client <socket> stats\n"
+    "  serve-client <socket> health\n"
     "  serve-client <socket> shutdown\n"
     "  all take --tenant NAME (default 'default') plus the usual --seed,\n"
-    "  --policy, --breakpoints, --anti, --threads, --no-compiled flags;\n"
+    "  --policy, --breakpoints, --anti, --threads, --no-compiled flags,\n"
+    "  and --deadline-ms MS / --retry N: the deadline rides the request\n"
+    "  (the daemon sheds it with an explicit 'overloaded'/'deadline\n"
+    "  exceeded' reply, exit 6, instead of hanging) and --retry retries\n"
+    "  shed replies with deterministic backoff, honoring the daemon's\n"
+    "  retry-after-ms hint;\n"
     "  dataset files are sent to the daemon verbatim, so a popp-cols input\n"
     "  rides the zero-copy path. Outputs are written atomically\n"
     "  client-side; daemon-served encode output is byte-identical to\n"
@@ -97,6 +104,14 @@ constexpr char kUsage[] =
     "with --workers-mode process), fits one global plan from the merged\n"
     "summaries, then encodes each shard into <out>.shard<k> behind its\n"
     "own journal (--resume continues crashed shards independently).\n"
+    "With --workers-mode process each worker is supervised: a worker\n"
+    "silent past --worker-deadline MS (default 30000; 0 disables the\n"
+    "watchdog) is killed and restarted with jittered exponential backoff,\n"
+    "resuming from its own journal, up to --max-worker-restarts times\n"
+    "(default 2) before the shard is quarantined with its failure\n"
+    "history. A fresh (non---resume) run first sweeps orphaned working\n"
+    "files (*.sum/*.partial/*.manifest/*.tmp/*.hb debris from dead\n"
+    "runs); --resume keeps them, because they are the resume state.\n"
     "<out> itself is the atomic manifest-of-manifests; the concatenated\n"
     "shard files are byte-identical to stream-release with the same\n"
     "flags. `verify <out> --manifest` re-checks every shard's length and\n"
@@ -105,7 +120,7 @@ constexpr char kUsage[] =
     "\n"
     "exit codes: 0 success, 1 runtime failure, 2 usage error,\n"
     "3 file/I-O error, 4 corrupt or integrity-failed artifact,\n"
-    "5 internal error.\n";
+    "5 internal error, 6 deadline exceeded or overloaded.\n";
 
 /// Maps a failed Status onto the CLI exit-code taxonomy above.
 int ExitFor(const Status& status) {
@@ -117,6 +132,8 @@ int ExitFor(const Status& status) {
       return 4;
     case StatusCode::kInternal:
       return 5;
+    case StatusCode::kUnavailable:
+      return 6;
     default:
       return 1;
   }
@@ -371,6 +388,8 @@ int CmdShardRelease(const ParsedArgs& args, std::ostream& out,
     }
     options.workers_mode = mode.value();
   }
+  options.worker_deadline_ms = FlagInt(args, "worker-deadline", 30000);
+  options.max_worker_restarts = FlagInt(args, "max-worker-restarts", 2);
   auto format = FormatFlag(args, "format");
   if (!format.ok()) {
     err << format.status().ToString() << "\n";
@@ -641,6 +660,7 @@ std::string ServeOptionsText(const ParsedArgs& args) {
   copy("threads");
   copy("trials");
   copy("save");
+  copy("deadline-ms");
   if (args.flags.count("anti") > 0) text += "anti\n";
   if (args.flags.count("no-compiled") > 0) text += "no-compiled\n";
   return text;
@@ -650,14 +670,14 @@ int CmdServeClient(const ParsedArgs& args, std::ostream& out,
                    std::ostream& err) {
   if (args.positional.size() < 2) {
     err << "serve-client needs <socket> <op> [args] (ops: fit encode "
-           "decode verify risk stats shutdown)\n";
+           "decode verify risk stats health shutdown)\n";
     return 2;
   }
   const std::string& socket_path = args.positional[0];
   auto tag = serve::ParseTag(args.positional[1]);
   if (!tag.ok() || tag.value() == serve::Tag::kReply) {
     err << "serve-client: unknown op '" << args.positional[1]
-        << "' (ops: fit encode decode verify risk stats shutdown)\n";
+        << "' (ops: fit encode decode verify risk stats health shutdown)\n";
     return 2;
   }
   // Positional shape per op: op args after <socket> <op>.
@@ -683,7 +703,7 @@ int CmdServeClient(const ParsedArgs& args, std::ostream& out,
       want_inputs = 1;
       break;
     default:
-      break;  // stats / shutdown take no op args
+      break;  // stats / health / shutdown take no op args
   }
   if (rest.size() != want_inputs + want_outputs) {
     err << "serve-client " << serve::TagName(tag.value()) << " needs "
@@ -728,7 +748,14 @@ int CmdServeClient(const ParsedArgs& args, std::ostream& out,
   auto tenant_it = args.flags.find("tenant");
   const std::string tenant =
       tenant_it != args.flags.end() ? tenant_it->second : "default";
-  auto reply = client.Call(tag.value(), tenant, request);
+  // --retry N retries explicit shed replies (overload / expired deadline)
+  // with deterministic backoff; --deadline-ms also bounds the whole retry
+  // loop client-side, so a saturated daemon cannot hold the CLI forever.
+  serve::RetryOptions retry;
+  retry.max_retries = static_cast<size_t>(FlagInt(args, "retry", 0));
+  retry.deadline_ms = FlagInt(args, "deadline-ms", 0);
+  retry.seed = FlagInt(args, "seed", 1);
+  auto reply = client.CallWithRetry(tag.value(), tenant, request, retry);
   if (!reply.ok()) {
     err << reply.status().ToString() << "\n";
     return ExitFor(reply.status());
@@ -749,6 +776,7 @@ int CmdServeClient(const ParsedArgs& args, std::ostream& out,
       return 0;
     case serve::Tag::kRisk:
     case serve::Tag::kStats:
+    case serve::Tag::kHealth:
       out << reply.value().body;
       return 0;
     default:
@@ -781,7 +809,8 @@ int RunCli(const std::vector<std::string>& args, std::ostream& out,
       "seed",     "policy", "breakpoints", "criterion",  "max-depth",
       "min-leaf", "trials", "max-risk",    "threads",    "chunk-rows",
       "ood-policy", "fit-rows", "key-in", "format", "to", "tenant",
-      "save", "shards", "workers-mode", "key"};
+      "save", "shards", "workers-mode", "key", "worker-deadline",
+      "max-worker-restarts", "retry", "deadline-ms"};
   const ParsedArgs parsed = Parse(rest, kValueFlags);
   if (command == "encode") return CmdEncode(parsed, out, err);
   if (command == "stream-release") return CmdStreamRelease(parsed, out, err);

@@ -1,8 +1,12 @@
 #include "fault/failpoint.h"
 
+#include <unistd.h>
+
+#include <chrono>
 #include <cmath>
 #include <mutex>
 #include <sstream>
+#include <thread>
 
 namespace popp::fault {
 namespace {
@@ -18,6 +22,10 @@ std::mutex g_mutex;
 FaultSchedule g_schedule;
 size_t g_op_index = 0;
 bool g_fired = false;
+/// Pid that installed the schedule; forked children inherit the installed
+/// state but report a different getpid(), which is how `child_only`
+/// schedules recognise them.
+pid_t g_install_pid = 0;
 
 }  // namespace
 
@@ -58,21 +66,40 @@ Injection Hit(Op op, const std::string& path) {
   (void)op;
   (void)path;
   if (!Enabled()) return Injection{};
-  std::lock_guard<std::mutex> lock(g_mutex);
-  const size_t index = g_op_index++;
-  if (g_crashed.load(std::memory_order_relaxed)) {
-    return Injection{Injection::Kind::kCrash, 0};
+  uint32_t delay_ms = 0;
+  {
+    std::lock_guard<std::mutex> lock(g_mutex);
+    const size_t index = g_op_index++;
+    if (g_crashed.load(std::memory_order_relaxed)) {
+      return Injection{Injection::Kind::kCrash, 0};
+    }
+    if (index != g_schedule.fire_at) return Injection{};
+    if (g_schedule.child_only && ::getpid() == g_install_pid) {
+      return Injection{};
+    }
+    if (!g_schedule.one_shot_token.empty() &&
+        ::unlink(g_schedule.one_shot_token.c_str()) != 0) {
+      return Injection{};  // another process already consumed the token
+    }
+    g_fired = true;
+    if (g_schedule.kind == Injection::Kind::kDelay) {
+      delay_ms = g_schedule.delay_ms;
+    } else {
+      Injection injected;
+      injected.kind = g_schedule.kind;
+      injected.write_fraction =
+          std::min(std::max(g_schedule.write_fraction, 0.0), 1.0);
+      if (injected.kind == Injection::Kind::kCrash) {
+        g_crashed.store(true, std::memory_order_relaxed);
+      }
+      return injected;
+    }
   }
-  if (index != g_schedule.fire_at) return Injection{};
-  g_fired = true;
-  Injection injected;
-  injected.kind = g_schedule.kind;
-  injected.write_fraction =
-      std::min(std::max(g_schedule.write_fraction, 0.0), 1.0);
-  if (injected.kind == Injection::Kind::kCrash) {
-    g_crashed.store(true, std::memory_order_relaxed);
-  }
-  return injected;
+  // Delay fires with the mutex released so the stall never blocks another
+  // thread's fault-layer bookkeeping — the hit operation alone hangs, then
+  // proceeds as if nothing happened.
+  std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+  return Injection{};
 }
 
 ScopedFaultInjection::ScopedFaultInjection(FaultSchedule schedule) {
@@ -82,6 +109,7 @@ ScopedFaultInjection::ScopedFaultInjection(FaultSchedule schedule) {
   g_schedule = schedule;
   g_op_index = 0;
   g_fired = false;
+  g_install_pid = ::getpid();
   g_crashed.store(false, std::memory_order_relaxed);
   g_enabled.store(true, std::memory_order_relaxed);
 }

@@ -25,7 +25,12 @@
 ///  * simulated crashes — from the injection point on, *every* fault-layer
 ///    operation fails (a dead process runs no more code), and cleanup such
 ///    as `AtomicFileWriter::Abandon` is suppressed, so the on-disk state
-///    after the run is exactly what a kill -9 at that instant would leave.
+///    after the run is exactly what a kill -9 at that instant would leave;
+///  * delays (`delay-Nth(ms)`) — the N-th operation stalls for a fixed
+///    wall-clock interval and then proceeds *normally*. Nothing fails: the
+///    injected symptom is pure latency, which is what hangs look like from
+///    the outside. The shard supervisor's watchdog and popp-serve's
+///    deadline checks are tested with exactly this mode.
 ///
 /// Schedules are deterministic: the decision for the N-th I/O operation is
 /// a pure function of (schedule, N), so a failing fault trial replays
@@ -53,6 +58,10 @@ struct Injection {
     kNone = 0,  ///< operation proceeds normally
     kError,     ///< operation fails with a clean Status (process continues)
     kCrash,     ///< simulated kill: this and every later operation fails
+    /// Stall for FaultSchedule::delay_ms, then proceed normally. Handled
+    /// entirely inside Hit() — the file layer never sees a kDelay
+    /// injection, so every caller's error path is untouched.
+    kDelay,
   };
   Kind kind = Kind::kNone;
   /// For faulted writes: fraction of the buffer that still reaches the
@@ -73,16 +82,47 @@ struct FaultSchedule {
   /// Short-write fraction in [0, 1]: how much of the buffer the faulted
   /// write persists. 1.0 persists everything (failure after the data).
   double write_fraction = 0.0;
+  /// For kDelay: how long the hit operation stalls before proceeding.
+  uint32_t delay_ms = 0;
+  /// When non-empty, the fault only fires if `::unlink(one_shot_token)`
+  /// succeeds at the moment the scheduled index is reached. Unlink is
+  /// atomic across processes, so of a whole fork tree that inherited the
+  /// same installed schedule, exactly one process consumes the token and
+  /// fires — a restarted shard worker re-running the same schedule does
+  /// NOT re-fire, which is what lets supervised fault trials converge.
+  std::string one_shot_token;
+  /// When true, the fault never fires in the process that installed the
+  /// schedule — only in forked children (which inherit the installed
+  /// state). Lets tests hang or kill a shard *worker* deterministically
+  /// without ever stalling the coordinator.
+  bool child_only = false;
 
   /// Schedule that never fires; installing it just counts operations.
   static FaultSchedule CountOnly() { return FaultSchedule{}; }
   /// Clean error at the `nth` fault-layer operation.
   static FaultSchedule ErrorAt(size_t nth, double write_fraction = 0.0) {
-    return FaultSchedule{nth, Injection::Kind::kError, write_fraction};
+    FaultSchedule schedule;
+    schedule.fire_at = nth;
+    schedule.kind = Injection::Kind::kError;
+    schedule.write_fraction = write_fraction;
+    return schedule;
   }
   /// Simulated kill at the `nth` fault-layer operation.
   static FaultSchedule CrashAt(size_t nth, double write_fraction = 0.0) {
-    return FaultSchedule{nth, Injection::Kind::kCrash, write_fraction};
+    FaultSchedule schedule;
+    schedule.fire_at = nth;
+    schedule.kind = Injection::Kind::kCrash;
+    schedule.write_fraction = write_fraction;
+    return schedule;
+  }
+  /// Stall the `nth` fault-layer operation for `delay_ms`, then let it
+  /// proceed normally (an injected hang, not a failure).
+  static FaultSchedule DelayAt(size_t nth, uint32_t delay_ms) {
+    FaultSchedule schedule;
+    schedule.fire_at = nth;
+    schedule.kind = Injection::Kind::kDelay;
+    schedule.delay_ms = delay_ms;
+    return schedule;
   }
 };
 

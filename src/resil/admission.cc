@@ -1,0 +1,142 @@
+#include "resil/admission.h"
+
+#include <algorithm>
+#include <chrono>
+#include <sstream>
+
+namespace popp::resil {
+
+bool AdmissionController::AdmissibleLocked(const std::string& tenant) const {
+  if (inflight_ >= options_.max_inflight) return false;
+  if (options_.per_tenant_inflight > 0) {
+    const auto it = tenant_inflight_.find(tenant);
+    if (it != tenant_inflight_.end() &&
+        it->second >= options_.per_tenant_inflight) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void AdmissionController::TakeSlotLocked(const std::string& tenant) {
+  ++inflight_;
+  ++tenant_inflight_[tenant];
+  ++admitted_;
+}
+
+void AdmissionController::GrantWaitersLocked() {
+  // In-order scan that *skips* waiters blocked only by their tenant cap:
+  // a greedy tenant's backlog must not starve an admissible waiter from
+  // another tenant queued behind it.
+  for (auto it = queue_.begin();
+       it != queue_.end() && inflight_ < options_.max_inflight;) {
+    Waiter* waiter = *it;
+    if (!AdmissibleLocked(waiter->tenant)) {
+      ++it;
+      continue;
+    }
+    TakeSlotLocked(waiter->tenant);
+    waiter->granted = true;
+    it = queue_.erase(it);
+  }
+}
+
+Status AdmissionController::Acquire(const std::string& tenant,
+                                    const Deadline& deadline,
+                                    const std::atomic<bool>* stop) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (stop != nullptr && stop->load()) {
+    return Status::FailedPrecondition("server is draining");
+  }
+  if (deadline.Expired()) {
+    ++shed_deadline_;
+    return Status::Unavailable("deadline exceeded before admission");
+  }
+  if (queue_.empty() && AdmissibleLocked(tenant)) {
+    TakeSlotLocked(tenant);
+    return Status::Ok();
+  }
+  if (queue_.size() >= options_.max_queue) {
+    ++shed_queue_full_;
+    std::ostringstream oss;
+    oss << "overloaded: admission queue full (" << queue_.size()
+        << " queued, " << inflight_ << " in flight); retry-after-ms "
+        << options_.retry_after_ms;
+    return Status::Unavailable(oss.str());
+  }
+
+  Waiter self;
+  self.tenant = tenant;
+  queue_.push_back(&self);
+  // A freshly queued waiter may already be admissible (e.g. the queue was
+  // non-empty only with tenant-capped peers).
+  GrantWaitersLocked();
+  cv_.notify_all();
+  while (!self.granted) {
+    const bool stopping = stop != nullptr && stop->load();
+    if (stopping || deadline.Expired()) {
+      queue_.remove(&self);
+      if (stopping) return Status::FailedPrecondition("server is draining");
+      ++shed_deadline_;
+      return Status::Unavailable("deadline exceeded while queued");
+    }
+    // Bounded waits keep both the stop flag and the deadline observable.
+    uint64_t wait_ms = 50;
+    if (deadline.has_deadline()) {
+      wait_ms = std::min<uint64_t>(wait_ms, deadline.RemainingMs() + 1);
+    }
+    cv_.wait_for(lock, std::chrono::milliseconds(std::max<uint64_t>(
+                           1, wait_ms)));
+  }
+  // Granted — but the slot is only usable if the deadline still holds.
+  if (deadline.Expired()) {
+    --inflight_;
+    auto it = tenant_inflight_.find(tenant);
+    if (it != tenant_inflight_.end() && --it->second == 0) {
+      tenant_inflight_.erase(it);
+    }
+    GrantWaitersLocked();
+    cv_.notify_all();
+    ++shed_deadline_;
+    return Status::Unavailable("deadline exceeded while queued");
+  }
+  return Status::Ok();
+}
+
+void AdmissionController::Release(const std::string& tenant) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (inflight_ > 0) --inflight_;
+  auto it = tenant_inflight_.find(tenant);
+  if (it != tenant_inflight_.end() && --it->second == 0) {
+    tenant_inflight_.erase(it);
+  }
+  GrantWaitersLocked();
+  cv_.notify_all();
+}
+
+AdmissionSnapshot AdmissionController::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  AdmissionSnapshot snapshot;
+  snapshot.inflight = inflight_;
+  snapshot.queued = queue_.size();
+  snapshot.admitted = admitted_;
+  snapshot.shed_queue_full = shed_queue_full_;
+  snapshot.shed_deadline = shed_deadline_;
+  return snapshot;
+}
+
+std::string AdmissionController::RenderStats() const {
+  const AdmissionSnapshot snapshot = Snapshot();
+  std::ostringstream oss;
+  oss << "inflight " << snapshot.inflight << "\n"
+      << "queued " << snapshot.queued << "\n"
+      << "admitted " << snapshot.admitted << "\n"
+      << "shed-queue-full " << snapshot.shed_queue_full << "\n"
+      << "shed-deadline " << snapshot.shed_deadline << "\n"
+      << "max-inflight " << options_.max_inflight << "\n"
+      << "max-queue " << options_.max_queue << "\n"
+      << "tenant-cap " << options_.per_tenant_inflight << "\n";
+  return oss.str();
+}
+
+}  // namespace popp::resil

@@ -1,0 +1,107 @@
+#ifndef POPP_RESIL_ADMISSION_H_
+#define POPP_RESIL_ADMISSION_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "resil/deadline.h"
+#include "util/status.h"
+
+/// \file
+/// Bounded admission control for popp-serve.
+///
+/// Every tenant request passes through one AdmissionController before any
+/// work happens. The controller enforces three limits:
+///
+///  * a global in-flight cap — at most `max_inflight` requests execute
+///    concurrently;
+///  * a bounded wait queue — at most `max_queue` requests wait for a
+///    slot; the next one is *shed* with an explicit kUnavailable status
+///    carrying a "retry-after-ms" hint (overload is answered, never
+///    queued silently);
+///  * an optional per-tenant in-flight cap — a greedy tenant saturating
+///    its own cap leaves the remaining global slots grantable to other
+///    tenants, because the grant scan skips tenant-capped waiters
+///    instead of blocking FIFO behind them.
+///
+/// Deadlines are honored at every hold point: a request whose deadline
+/// has already passed is shed on arrival, and one that expires while
+/// queued is shed at dequeue without ever executing.
+
+namespace popp::resil {
+
+struct AdmissionOptions {
+  size_t max_inflight = 4;
+  size_t max_queue = 16;
+  /// Per-tenant concurrent-execution cap; 0 disables the per-tenant limit.
+  size_t per_tenant_inflight = 0;
+  /// Hint embedded in shed replies ("retry-after-ms N").
+  uint64_t retry_after_ms = 100;
+};
+
+/// Counter snapshot for the `health` op and logs.
+struct AdmissionSnapshot {
+  size_t inflight = 0;
+  size_t queued = 0;
+  uint64_t admitted = 0;
+  uint64_t shed_queue_full = 0;
+  uint64_t shed_deadline = 0;
+};
+
+class AdmissionController {
+ public:
+  explicit AdmissionController(AdmissionOptions options)
+      : options_(options) {}
+
+  AdmissionController(const AdmissionController&) = delete;
+  AdmissionController& operator=(const AdmissionController&) = delete;
+
+  /// Blocks until a slot is granted, then returns OK — the caller MUST
+  /// call Release(tenant) when done. Non-OK returns mean no slot is held:
+  /// kUnavailable (queue full, or the deadline expired before/while
+  /// queued; the message carries the shed reason and, for overload, a
+  /// "retry-after-ms N" hint) or kFailedPrecondition (`stop` was raised —
+  /// the server is draining).
+  Status Acquire(const std::string& tenant, const Deadline& deadline,
+                 const std::atomic<bool>* stop);
+
+  /// Returns the slot taken by a successful Acquire.
+  void Release(const std::string& tenant);
+
+  AdmissionSnapshot Snapshot() const;
+
+  /// Multi-line "key value" stats block served by the `health` op.
+  std::string RenderStats() const;
+
+  const AdmissionOptions& options() const { return options_; }
+
+ private:
+  struct Waiter {
+    std::string tenant;
+    bool granted = false;
+  };
+
+  bool AdmissibleLocked(const std::string& tenant) const;
+  void TakeSlotLocked(const std::string& tenant);
+  void GrantWaitersLocked();
+
+  const AdmissionOptions options_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::list<Waiter*> queue_;
+  size_t inflight_ = 0;
+  std::unordered_map<std::string, size_t> tenant_inflight_;
+  uint64_t admitted_ = 0;
+  uint64_t shed_queue_full_ = 0;
+  uint64_t shed_deadline_ = 0;
+};
+
+}  // namespace popp::resil
+
+#endif  // POPP_RESIL_ADMISSION_H_

@@ -1,0 +1,63 @@
+#ifndef POPP_RESIL_DEADLINE_H_
+#define POPP_RESIL_DEADLINE_H_
+
+#include <chrono>
+#include <cstdint>
+
+/// \file
+/// Absolute wall-clock deadlines for request-scoped work.
+///
+/// A Deadline is captured once at the edge (frame receipt in popp-serve,
+/// flag parse in the CLI) and threaded by value through the op pipeline;
+/// each phase boundary asks `Expired()`. Requests transport deadlines as a
+/// *relative* "deadline-ms N" option — the receiving process anchors it
+/// against its own steady clock, so client/server clock skew never
+/// matters.
+
+namespace popp::resil {
+
+/// Optional absolute deadline against std::chrono::steady_clock. A
+/// default-constructed Deadline never expires.
+class Deadline {
+ public:
+  Deadline() = default;
+
+  /// Deadline `ms` milliseconds from now. After(0) is already expired —
+  /// the canonical "shed me immediately" probe.
+  static Deadline After(uint64_t ms) {
+    Deadline d;
+    d.has_deadline_ = true;
+    d.at_ = std::chrono::steady_clock::now() + std::chrono::milliseconds(ms);
+    return d;
+  }
+
+  /// The never-expiring deadline (same as default construction).
+  static Deadline None() { return Deadline(); }
+
+  bool has_deadline() const { return has_deadline_; }
+
+  bool Expired() const {
+    return has_deadline_ && std::chrono::steady_clock::now() >= at_;
+  }
+
+  /// Milliseconds left; 0 when expired, UINT64_MAX when unbounded.
+  uint64_t RemainingMs() const {
+    if (!has_deadline_) return UINT64_MAX;
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= at_) return 0;
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(at_ - now)
+            .count());
+  }
+
+  /// The raw time point (meaningful only when has_deadline()).
+  std::chrono::steady_clock::time_point at() const { return at_; }
+
+ private:
+  bool has_deadline_ = false;
+  std::chrono::steady_clock::time_point at_{};
+};
+
+}  // namespace popp::resil
+
+#endif  // POPP_RESIL_DEADLINE_H_

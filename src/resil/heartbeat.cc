@@ -1,0 +1,43 @@
+#include "resil/heartbeat.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstdio>
+
+namespace popp::resil {
+
+HeartbeatWriter::HeartbeatWriter(const std::string& path) {
+  if (path.empty()) return;
+  fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_APPEND | O_CLOEXEC,
+               0644);
+}
+
+HeartbeatWriter::~HeartbeatWriter() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void HeartbeatWriter::Beat() {
+  if (fd_ < 0) return;
+  char line[32];
+  const int n = std::snprintf(line, sizeof(line), "b %llu\n",
+                              static_cast<unsigned long long>(seq_++));
+  if (n > 0) {
+    // Best-effort: a short or failed append only costs liveness signal.
+    ssize_t ignored = ::write(fd_, line, static_cast<size_t>(n));
+    (void)ignored;
+  }
+}
+
+uint64_t HeartbeatFileBytes(const std::string& path) {
+  struct stat st;
+  if (::stat(path.c_str(), &st) != 0) return 0;
+  return static_cast<uint64_t>(st.st_size);
+}
+
+void RemoveHeartbeatFile(const std::string& path) {
+  if (!path.empty()) ::unlink(path.c_str());
+}
+
+}  // namespace popp::resil

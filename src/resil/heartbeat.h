@@ -1,0 +1,61 @@
+#ifndef POPP_RESIL_HEARTBEAT_H_
+#define POPP_RESIL_HEARTBEAT_H_
+
+#include <cstdint>
+#include <string>
+
+/// \file
+/// Worker liveness heartbeats.
+///
+/// A supervised shard worker appends one record per unit of forward
+/// progress (one chunk read, one artifact flush) to a per-worker `.hb`
+/// file; the coordinator's watchdog treats *file growth* as the liveness
+/// signal. Format: one line `b <seq>\n` per beat, sequence strictly
+/// increasing from 0 within an attempt, so the file size is monotonic and
+/// the content is greppable when debugging a quarantined shard.
+///
+/// Heartbeats deliberately bypass the fault-injection layer (raw POSIX
+/// append): they are advisory — a lost beat can at worst trigger a
+/// spurious restart, never corrupt an artifact — and routing them through
+/// `fault::` would both perturb the deterministic op counts every fault
+/// schedule is keyed on and let a delay injection stall the very signal
+/// the watchdog uses to detect stalls.
+
+namespace popp::resil {
+
+/// Append-only beat emitter. Opens with O_TRUNC so each worker attempt
+/// restarts the sequence — the watchdog re-baselines on restart. All
+/// failures (unwritable path, full disk) are swallowed: a worker must
+/// never fail because its liveness side channel did.
+class HeartbeatWriter {
+ public:
+  /// Empty path constructs a disabled writer (Beat() is a no-op).
+  explicit HeartbeatWriter(const std::string& path);
+  ~HeartbeatWriter();
+
+  HeartbeatWriter(const HeartbeatWriter&) = delete;
+  HeartbeatWriter& operator=(const HeartbeatWriter&) = delete;
+
+  /// Appends one beat record.
+  void Beat();
+
+  bool enabled() const { return fd_ >= 0; }
+
+ private:
+  int fd_ = -1;
+  uint64_t seq_ = 0;
+};
+
+/// Watchdog-side probe: current byte size of the heartbeat file, or 0 if
+/// it does not exist yet (a worker that has not opened its file is judged
+/// by its spawn time instead).
+uint64_t HeartbeatFileBytes(const std::string& path);
+
+/// Removes a heartbeat file (raw unlink, missing file is fine). Used by
+/// the coordinator once a worker task settles so `.hb` files never
+/// outlive the release that created them.
+void RemoveHeartbeatFile(const std::string& path);
+
+}  // namespace popp::resil
+
+#endif  // POPP_RESIL_HEARTBEAT_H_

@@ -1,0 +1,28 @@
+#include "resil/retry.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace popp::resil {
+
+uint64_t RetryPolicy::DelayMs(size_t attempt) const {
+  double nominal = static_cast<double>(options_.base_ms) *
+                   std::pow(options_.multiplier, static_cast<double>(attempt));
+  nominal = std::min(nominal, static_cast<double>(options_.cap_ms));
+  const double jitter = std::clamp(options_.jitter, 0.0, 0.999);
+  if (jitter > 0.0) {
+    // Fork(attempt) gives an independent, order-free stream per attempt:
+    // two supervisors asking for DelayMs(3) of the same seed agree even if
+    // one of them never asked for attempts 0..2.
+    Rng rng = Rng(seed_).Fork(static_cast<uint64_t>(attempt));
+    nominal *= 1.0 - jitter + 2.0 * jitter * rng.Uniform01();
+  }
+  if (nominal <= 0.0) return 0;
+  const double capped =
+      std::min(nominal, static_cast<double>(options_.cap_ms) * 2.0);
+  return std::max<uint64_t>(1, static_cast<uint64_t>(std::llround(capped)));
+}
+
+}  // namespace popp::resil

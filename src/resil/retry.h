@@ -1,0 +1,52 @@
+#ifndef POPP_RESIL_RETRY_H_
+#define POPP_RESIL_RETRY_H_
+
+#include <cstddef>
+#include <cstdint>
+
+/// \file
+/// Deterministic retry backoff.
+///
+/// Every retry loop in the tree — the shard supervisor restarting a
+/// crashed worker, `popp serve-client --retry` re-sending a shed request —
+/// shares one policy: bounded exponential backoff with deterministic
+/// jitter. The jitter is a pure function of (seed, attempt), drawn from
+/// the project Rng's fork tree, so a failing supervised run replays its
+/// exact restart schedule from the seed and the chaos oracle's wall-clock
+/// bound is meaningful.
+
+namespace popp::resil {
+
+/// Shape of the backoff curve. Delay for attempt `a` (0-based) is
+/// `min(cap_ms, base_ms * multiplier^a)` scaled by a jitter factor drawn
+/// uniformly from [1 - jitter, 1 + jitter].
+struct BackoffOptions {
+  uint64_t base_ms = 50;
+  uint64_t cap_ms = 2000;
+  double multiplier = 2.0;
+  double jitter = 0.25;  ///< in [0, 1); 0 disables jitter entirely
+};
+
+/// Deterministic delay schedule: DelayMs(a) depends only on (options,
+/// seed, a) — never on call order or wall clock — so concurrent retry
+/// loops sharing one policy object stay reproducible.
+class RetryPolicy {
+ public:
+  RetryPolicy() : RetryPolicy(BackoffOptions{}, 1) {}
+  RetryPolicy(BackoffOptions options, uint64_t seed)
+      : options_(options), seed_(seed) {}
+
+  /// Backoff before retry number `attempt` (0-based: DelayMs(0) follows
+  /// the first failure). Always >= 1 unless base_ms is 0.
+  uint64_t DelayMs(size_t attempt) const;
+
+  const BackoffOptions& options() const { return options_; }
+
+ private:
+  BackoffOptions options_;
+  uint64_t seed_;
+};
+
+}  // namespace popp::resil
+
+#endif  // POPP_RESIL_RETRY_H_

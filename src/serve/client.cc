@@ -6,9 +6,25 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+
 #include "fault/file.h"
+#include "resil/deadline.h"
 
 namespace popp::serve {
+
+uint64_t ParseRetryAfterMs(const std::string& reply_text) {
+  constexpr const char kKey[] = "retry-after-ms ";
+  const size_t pos = reply_text.find(kKey);
+  if (pos == std::string::npos) return 0;
+  const char* start = reply_text.c_str() + pos + sizeof(kKey) - 1;
+  char* stop = nullptr;
+  const unsigned long long parsed = std::strtoull(start, &stop, 10);
+  return stop == start ? 0 : static_cast<uint64_t>(parsed);
+}
 
 ServeClient::~ServeClient() { Close(); }
 
@@ -57,6 +73,31 @@ Result<ReplyBody> ServeClient::Call(Tag tag, const std::string& tenant,
                             " instead of a reply frame");
   }
   return ReplyBody::Decode(frame.value().payload);
+}
+
+Result<ReplyBody> ServeClient::CallWithRetry(Tag tag,
+                                             const std::string& tenant,
+                                             const RequestBody& request,
+                                             const RetryOptions& retry) {
+  const resil::Deadline deadline = retry.deadline_ms > 0
+                                       ? resil::Deadline::After(retry.deadline_ms)
+                                       : resil::Deadline::None();
+  const resil::RetryPolicy policy(retry.backoff, retry.seed);
+  Result<ReplyBody> reply = Call(tag, tenant, request);
+  for (size_t attempt = 0; attempt < retry.max_retries; ++attempt) {
+    if (!reply.ok()) return reply;  // transport error: connection unknown
+    if (reply.value().code != StatusCode::kUnavailable) return reply;
+    // An explicit shed. Wait the larger of the server's hint and the
+    // deterministic backoff step, but never past the client deadline —
+    // when the deadline cannot fit the wait, hand back the server's own
+    // shed diagnostic instead of burning an attempt that must fail.
+    const uint64_t wait_ms = std::max(ParseRetryAfterMs(reply.value().text),
+                                      policy.DelayMs(attempt));
+    if (deadline.has_deadline() && wait_ms >= deadline.RemainingMs()) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(wait_ms));
+    reply = Call(tag, tenant, request);
+  }
+  return reply;
 }
 
 void ServeClient::Close() {

@@ -1,9 +1,11 @@
 #include "serve/ops.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <cstdlib>
 #include <filesystem>
 #include <mutex>
+#include <optional>
 #include <sstream>
 #include <utility>
 
@@ -28,6 +30,9 @@ struct OpOptions {
   bool use_compiled = true;
   size_t trials = 31;
   std::string save_path;
+  /// Parsed for validation only: the server anchors the deadline at frame
+  /// receipt (ExtractDeadlineMs) and threads it in via RequestContext.
+  uint64_t deadline_ms = UINT64_MAX;
 };
 
 Result<OpOptions> ParseOptions(const std::string& text,
@@ -74,6 +79,8 @@ Result<OpOptions> ParseOptions(const std::string& text,
       options.trials = std::strtoull(value.c_str(), nullptr, 10);
     } else if (key == "save") {
       options.save_path = value;
+    } else if (key == "deadline-ms") {
+      options.deadline_ms = std::strtoull(value.c_str(), nullptr, 10);
     } else {
       return Status::InvalidArgument("unknown request option '" + key + "'");
     }
@@ -133,6 +140,17 @@ Result<std::string> ResolveSavePath(const OpConfig& config,
   return full.string();
 }
 
+/// Phase-boundary deadline check: a non-null return is the kUnavailable
+/// reply to send instead of doing any more work. `phase` names the
+/// boundary for the diagnostic ("after parse", "before save", ...).
+std::optional<ReplyBody> DeadlineReply(const RequestContext& context,
+                                       const char* phase) {
+  if (!context.deadline.Expired()) return std::nullopt;
+  return ReplyBody::Error(Status::Unavailable(
+      std::string("deadline exceeded ") + phase +
+      "; the request was abandoned at this phase boundary"));
+}
+
 /// Parses the request's dataset bytes, sniffing the popp-cols magic so the
 /// binary container takes the PR 7 zero-copy validation path and anything
 /// else goes through the incremental CSV tokenizer.
@@ -167,17 +185,23 @@ std::pair<const CachedPlan*, bool> GetOrFitPlan(Workspace& workspace,
 }
 
 ReplyBody OpFit(Workspace& workspace, const RequestBody& request,
-                const OpConfig& config) {
+                const OpConfig& config, const RequestContext& context) {
   auto options = ParseOptions(request.options, config);
   if (!options.ok()) return ReplyBody::Error(options.status());
   auto data = ParseRequestDataset(request.dataset);
   if (!data.ok()) return ReplyBody::Error(data.status());
+  if (auto late = DeadlineReply(context, "after parsing the request")) {
+    return *late;
+  }
 
   std::lock_guard<std::mutex> lock(workspace.mutex());
   ++workspace.requests_served;
   const auto [cached, hot] = GetOrFitPlan(workspace, data.value(),
                                           options.value());
   const std::string document = SerializePlan(cached->plan);
+  if (auto late = DeadlineReply(context, "after fitting the plan")) {
+    return *late;
+  }
   if (!options.value().save_path.empty()) {
     auto target = ResolveSavePath(config, workspace.name(),
                                   options.value().save_path);
@@ -187,6 +211,11 @@ ReplyBody OpFit(Workspace& workspace, const RequestBody& request,
     // mid-save never leaves a partial key under the final name.
     const Status saved = SavePlan(cached->plan, target.value());
     if (!saved.ok()) return ReplyBody::Error(saved);
+    // A save that out-waited the deadline still produced a complete,
+    // atomic artifact — but the client has moved on: tell it so.
+    if (auto late = DeadlineReply(context, "after the server-side save")) {
+      return *late;
+    }
   }
   const PlanKey key = PlanKey::Make(data.value().schema(),
                                     options.value().seed,
@@ -199,16 +228,22 @@ ReplyBody OpFit(Workspace& workspace, const RequestBody& request,
 }
 
 ReplyBody OpEncode(Workspace& workspace, const RequestBody& request,
-                   const OpConfig& config) {
+                   const OpConfig& config, const RequestContext& context) {
   auto options = ParseOptions(request.options, config);
   if (!options.ok()) return ReplyBody::Error(options.status());
   auto data = ParseRequestDataset(request.dataset);
   if (!data.ok()) return ReplyBody::Error(data.status());
+  if (auto late = DeadlineReply(context, "after parsing the request")) {
+    return *late;
+  }
 
   std::lock_guard<std::mutex> lock(workspace.mutex());
   ++workspace.requests_served;
   const auto [cached, hot] = GetOrFitPlan(workspace, data.value(),
                                           options.value());
+  if (auto late = DeadlineReply(context, "after the plan fit")) {
+    return *late;
+  }
   const Dataset released =
       options.value().use_compiled
           ? cached->compiled.EncodeDataset(data.value(), options.value().exec)
@@ -217,6 +252,9 @@ ReplyBody OpEncode(Workspace& workspace, const RequestBody& request,
   // popp-cols release (the binary container is ~50x cheaper to serialize
   // than CSV, which is where warm-request latency goes otherwise); a CSV
   // request gets the byte-identical CSV that `popp encode` would write.
+  if (auto late = DeadlineReply(context, "after the encode")) {
+    return *late;
+  }
   const bool cols_framed = LooksLikeCols(request.dataset);
   return ReplyBody::Ok("encoded " + std::to_string(released.NumRows()) +
                            " rows x " +
@@ -229,7 +267,7 @@ ReplyBody OpEncode(Workspace& workspace, const RequestBody& request,
 }
 
 ReplyBody OpDecode(Workspace& workspace, const RequestBody& request,
-                   const OpConfig& config) {
+                   const OpConfig& config, const RequestContext& context) {
   auto options = ParseOptions(request.options, config);
   if (!options.ok()) return ReplyBody::Error(options.status());
   if (request.extra.empty()) {
@@ -241,6 +279,9 @@ ReplyBody OpDecode(Workspace& workspace, const RequestBody& request,
   if (!tree.ok()) return ReplyBody::Error(tree.status());
   auto data = ParseRequestDataset(request.dataset);
   if (!data.ok()) return ReplyBody::Error(data.status());
+  if (auto late = DeadlineReply(context, "after parsing the request")) {
+    return *late;
+  }
 
   std::lock_guard<std::mutex> lock(workspace.mutex());
   ++workspace.requests_served;
@@ -248,6 +289,9 @@ ReplyBody OpDecode(Workspace& workspace, const RequestBody& request,
                                           options.value());
   const DecisionTree decoded =
       DecodeTreeWithData(tree.value(), cached->plan, data.value());
+  if (auto late = DeadlineReply(context, "after the decode")) {
+    return *late;
+  }
   return ReplyBody::Ok("decoded tree (" +
                            std::to_string(decoded.NumLeaves()) +
                            " leaves, " + (hot ? "hot" : "cold") + " plan)",
@@ -255,11 +299,14 @@ ReplyBody OpDecode(Workspace& workspace, const RequestBody& request,
 }
 
 ReplyBody OpVerify(Workspace& workspace, const RequestBody& request,
-                   const OpConfig& config) {
+                   const OpConfig& config, const RequestContext& context) {
   auto options = ParseOptions(request.options, config);
   if (!options.ok()) return ReplyBody::Error(options.status());
   auto data = ParseRequestDataset(request.dataset);
   if (!data.ok()) return ReplyBody::Error(data.status());
+  if (auto late = DeadlineReply(context, "after parsing the request")) {
+    return *late;
+  }
 
   std::lock_guard<std::mutex> lock(workspace.mutex());
   ++workspace.requests_served;
@@ -271,17 +318,23 @@ ReplyBody OpVerify(Workspace& workspace, const RequestBody& request,
   const Custodian custodian(std::move(data).value(), custodian_options);
   std::string detail;
   const bool ok = custodian.VerifyNoOutcomeChange(&detail);
+  if (auto late = DeadlineReply(context, "after the verification")) {
+    return *late;
+  }
   return ReplyBody::Ok(ok ? "no-outcome-change: VERIFIED"
                           : "no-outcome-change: FAILED",
                        detail);
 }
 
 ReplyBody OpRisk(Workspace& workspace, const RequestBody& request,
-                 const OpConfig& config) {
+                 const OpConfig& config, const RequestContext& context) {
   auto options = ParseOptions(request.options, config);
   if (!options.ok()) return ReplyBody::Error(options.status());
   auto data = ParseRequestDataset(request.dataset);
   if (!data.ok()) return ReplyBody::Error(data.status());
+  if (auto late = DeadlineReply(context, "after parsing the request")) {
+    return *late;
+  }
 
   std::lock_guard<std::mutex> lock(workspace.mutex());
   ++workspace.requests_served;
@@ -295,16 +348,23 @@ ReplyBody OpRisk(Workspace& workspace, const RequestBody& request,
   report_options.num_trials = options.value().trials;
   report_options.seed = custodian_options.seed + 1;  // the CLI's discipline
   report_options.exec = custodian_options.exec;
+  std::string report =
+      RenderRiskReport(BuildRiskReport(custodian, report_options));
+  if (auto late = DeadlineReply(context, "after the risk report")) {
+    return *late;
+  }
   return ReplyBody::Ok(
       "risk report (" + std::to_string(report_options.num_trials) +
           " trials)",
-      RenderRiskReport(BuildRiskReport(custodian, report_options)));
+      std::move(report));
 }
 
 ReplyBody OpStats(Workspace& workspace, const RequestBody& request,
-                  const OpConfig& config) {
+                  const OpConfig& config, const RequestContext& context) {
   (void)request;
   (void)config;
+  (void)context;  // stats is cheap enough that a deadline check would only
+                  // cost a reply the client already paid for
   std::lock_guard<std::mutex> lock(workspace.mutex());
   ++workspace.requests_served;
   return ReplyBody::Ok("stats for tenant '" + workspace.name() + "'",
@@ -328,14 +388,34 @@ const std::map<Tag, OpHandler>& OpRegistry() {
 }
 
 ReplyBody DispatchOp(Tag tag, Workspace& workspace, const RequestBody& request,
-                     const OpConfig& config) {
+                     const OpConfig& config, const RequestContext& context) {
   const auto it = OpRegistry().find(tag);
   if (it == OpRegistry().end()) {
     return ReplyBody::Error(Status::InvalidArgument(
         "request tag " + std::to_string(static_cast<int>(tag)) +
         " is not a registered operation"));
   }
-  return it->second.run(workspace, request, config);
+  return it->second.run(workspace, request, config, context);
+}
+
+uint64_t ExtractDeadlineMs(const std::string& options_text) {
+  // A line-oriented peek, not a full parse: admission must not reject a
+  // request the op itself would have diagnosed better.
+  size_t pos = 0;
+  while (pos < options_text.size()) {
+    size_t end = options_text.find('\n', pos);
+    if (end == std::string::npos) end = options_text.size();
+    const std::string_view line(options_text.data() + pos, end - pos);
+    constexpr std::string_view kKey = "deadline-ms ";
+    if (line.size() > kKey.size() && line.substr(0, kKey.size()) == kKey) {
+      const std::string value(line.substr(kKey.size()));
+      char* stop = nullptr;
+      const unsigned long long parsed = std::strtoull(value.c_str(), &stop, 10);
+      if (stop != value.c_str()) return static_cast<uint64_t>(parsed);
+    }
+    pos = end + 1;
+  }
+  return UINT64_MAX;
 }
 
 }  // namespace popp::serve

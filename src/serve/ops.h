@@ -5,6 +5,7 @@
 #include <map>
 #include <string>
 
+#include "resil/deadline.h"
 #include "serve/protocol.h"
 #include "serve/workspace.h"
 
@@ -26,6 +27,14 @@
 ///                   capped by the server's max_request_threads)
 ///   no-compiled     force the interpreted encode path
 ///   trials N        risk-report trials                 (risk; default 31)
+///   deadline-ms N   relative deadline for this request. The server
+///                   anchors it at frame receipt against its own steady
+///                   clock (client/server clock skew never matters) and
+///                   checks it at admission, at dequeue and between op
+///                   phases; an expired request is answered with an
+///                   explicit kUnavailable reply (CLI exit 6), never
+///                   silently hung. 0 means "already expired" — the
+///                   canonical shed probe.
 ///   save PATH       also persist the op's artifact server-side (fit:
 ///                   the plan key document), atomically via
 ///                   fault::AtomicFileWriter. PATH must be relative and
@@ -50,6 +59,13 @@ struct OpConfig {
   std::string save_dir;
 };
 
+/// Request-scoped execution context threaded from the server's connection
+/// loop into every op phase.
+struct RequestContext {
+  /// Absolute deadline (anchored at frame receipt); default never expires.
+  resil::Deadline deadline;
+};
+
 /// One registered operation.
 struct OpHandler {
   /// Human name, for diagnostics (= TagName of the registered tag).
@@ -57,19 +73,31 @@ struct OpHandler {
   /// Runs the op against the tenant's workspace. Implementations lock
   /// `workspace.mutex()` themselves around cache access; the registry
   /// wrapper does not serialize, so independent tenants run concurrently.
+  /// Implementations re-check `context.deadline` between phases (after
+  /// request parse, after the main compute, around server-side saves) and
+  /// answer kUnavailable once it expires.
   std::function<ReplyBody(Workspace& workspace, const RequestBody& request,
-                          const OpConfig& config)>
+                          const OpConfig& config,
+                          const RequestContext& context)>
       run;
 };
 
 /// The tag -> handler registry (fit, encode, decode, verify, risk, stats).
-/// kShutdown is intentionally absent: lifecycle belongs to the server.
+/// kShutdown and kHealth are intentionally absent: lifecycle and liveness
+/// belong to the server (health must answer even when admission is
+/// saturated).
 const std::map<Tag, OpHandler>& OpRegistry();
 
 /// Dispatches one request frame body. Unknown tags produce an
 /// InvalidArgument reply; a handler's reply is returned as-is.
 ReplyBody DispatchOp(Tag tag, Workspace& workspace, const RequestBody& request,
-                     const OpConfig& config);
+                     const OpConfig& config,
+                     const RequestContext& context = RequestContext{});
+
+/// Pre-admission peek at a request's "deadline-ms" option (the full parse
+/// happens later, inside the op, after admission): returns the relative
+/// deadline in ms, or UINT64_MAX when the request carries none.
+uint64_t ExtractDeadlineMs(const std::string& options_text);
 
 }  // namespace popp::serve
 

@@ -94,6 +94,8 @@ const char* TagName(Tag tag) {
       return "shutdown";
     case Tag::kReply:
       return "reply";
+    case Tag::kHealth:
+      return "health";
   }
   return "unknown";
 }
@@ -101,12 +103,12 @@ const char* TagName(Tag tag) {
 Result<Tag> ParseTag(std::string_view name) {
   for (const Tag tag :
        {Tag::kFit, Tag::kEncode, Tag::kDecode, Tag::kVerify, Tag::kRisk,
-        Tag::kStats, Tag::kShutdown}) {
+        Tag::kStats, Tag::kShutdown, Tag::kHealth}) {
     if (name == TagName(tag)) return tag;
   }
   return Status::InvalidArgument("unknown serve op '" + std::string(name) +
                                  "' (have: fit encode decode verify risk "
-                                 "stats shutdown)");
+                                 "stats health shutdown)");
 }
 
 std::string EncodeFrame(Tag tag, std::string_view tenant,

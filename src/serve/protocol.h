@@ -68,6 +68,7 @@ enum class Tag : uint8_t {
   kStats = 6,     ///< per-tenant cache/request statistics
   kShutdown = 7,  ///< drain in-flight requests and exit 0
   kReply = 8,     ///< server -> client response
+  kHealth = 9,    ///< liveness + admission stats; bypasses admission
 };
 
 /// Stable lower-case name ("fit", "encode", ...) used in diagnostics and

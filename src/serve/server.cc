@@ -45,6 +45,21 @@ bool SocketIsLive(const std::string& path) {
   return live;
 }
 
+/// Maps the daemon-level knobs onto the admission controller's options.
+/// max_inflight 0 defaults to the connection-pool width: with one
+/// in-flight request per connection worker, admission then only sheds
+/// when the queue bound is also hit.
+resil::AdmissionOptions AdmissionFromServe(const ServeOptions& options) {
+  resil::AdmissionOptions admission;
+  admission.max_inflight =
+      options.max_inflight > 0
+          ? options.max_inflight
+          : (options.num_threads < 1 ? 1 : options.num_threads);
+  admission.max_queue = options.max_queue;
+  admission.per_tenant_inflight = options.per_tenant_inflight;
+  return admission;
+}
+
 std::atomic<Server*> g_signal_server{nullptr};
 
 void HandleShutdownSignal(int /*signo*/) {
@@ -60,6 +75,7 @@ Server::Server(ServeOptions options)
     : options_(std::move(options)),
       op_config_{options_.max_request_threads, options_.save_dir},
       registry_(options_.cache_capacity),
+      admission_(AdmissionFromServe(options_)),
       pool_(options_.num_threads < 1 ? 1 : options_.num_threads) {}
 
 Server::~Server() {
@@ -188,14 +204,52 @@ void Server::HandleConnection(int fd) {
       break;
     }
 
+    if (frame.value().tag == Tag::kHealth) {
+      // Liveness bypasses admission: the whole point of `health` is to be
+      // answerable exactly when every slot and queue position is taken.
+      std::string stats = admission_.RenderStats();
+      stats += "rejected-frames " + std::to_string(rejected_frames_.load(
+                                        std::memory_order_relaxed)) +
+               "\n";
+      stats += "connections " + std::to_string(connections_.load(
+                                    std::memory_order_relaxed)) +
+               "\n";
+      if (!SendFrame(fd, Tag::kReply, "",
+                     ReplyBody::Ok("healthy", std::move(stats)).Encode(),
+                     &shutdown_)
+               .ok()) {
+        break;
+      }
+      continue;
+    }
+
     ReplyBody reply;
     auto body = RequestBody::Decode(frame.value().payload);
     if (!body.ok()) {
       reply = ReplyBody::Error(body.status());
     } else {
-      Workspace* workspace = registry_.GetOrCreate(frame.value().tenant);
-      reply = DispatchOp(frame.value().tag, *workspace, body.value(),
-                         op_config_);
+      // Anchor any request deadline at frame receipt against this
+      // process's steady clock — the wire carries a relative value, so
+      // client/server clock skew never matters.
+      RequestContext context;
+      const uint64_t deadline_ms = ExtractDeadlineMs(body.value().options);
+      if (deadline_ms != UINT64_MAX) {
+        context.deadline = resil::Deadline::After(deadline_ms);
+      }
+      const Status admitted = admission_.Acquire(frame.value().tenant,
+                                                 context.deadline, &shutdown_);
+      if (admitted.ok()) {
+        Workspace* workspace = registry_.GetOrCreate(frame.value().tenant);
+        reply = DispatchOp(frame.value().tag, *workspace, body.value(),
+                           op_config_, context);
+        admission_.Release(frame.value().tenant);
+      } else if (admitted.code() == StatusCode::kFailedPrecondition) {
+        break;  // draining — close like an aborted read, no reply owed
+      } else {
+        // Explicit shed (overload or expired deadline): answer it and keep
+        // the connection open — the client's retry loop reuses it.
+        reply = ReplyBody::Error(admitted);
+      }
     }
     if (!SendFrame(fd, Tag::kReply, "", reply.Encode(), &shutdown_).ok()) {
       break;
@@ -235,10 +289,16 @@ int RunServer(const ServeOptions& options, std::ostream& out,
         return 1;
     }
   }
+  const size_t threads = options.num_threads < 1 ? 1 : options.num_threads;
   out << "popp-serve: listening on " << options.socket_path << " ("
-      << (options.num_threads < 1 ? 1 : options.num_threads)
-      << " connection threads, per-tenant cache capacity "
-      << options.cache_capacity << ")\n";
+      << threads << " connection threads, per-tenant cache capacity "
+      << options.cache_capacity << ", admission "
+      << (options.max_inflight > 0 ? options.max_inflight : threads)
+      << " in flight / " << options.max_queue << " queued";
+  if (options.per_tenant_inflight > 0) {
+    out << ", tenant cap " << options.per_tenant_inflight;
+  }
+  out << ")\n";
   Server::InstallSignalHandlers(&server);
   const int code = server.Serve(out);
   Server::InstallSignalHandlers(nullptr);

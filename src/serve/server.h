@@ -7,6 +7,7 @@
 #include <string>
 
 #include "parallel/thread_pool.h"
+#include "resil/admission.h"
 #include "serve/ops.h"
 #include "serve/workspace.h"
 #include "util/status.h"
@@ -39,6 +40,15 @@
 ///    an EPIPE on that connection, never a process-killing SIGPIPE; a
 ///    peer that stops consuming its reply during a drain is aborted
 ///    within one poll slice, so it cannot block shutdown either.
+///
+/// Overload contract (resil/admission.h): every op except kShutdown and
+/// kHealth passes through a bounded AdmissionController before any work
+/// happens. A request that cannot be admitted gets an explicit
+/// kUnavailable reply with a "retry-after-ms" hint on the same
+/// connection — overload is always answered, never a silent hang — and
+/// the connection stays open so the client can retry. `health` bypasses
+/// admission entirely: liveness must be observable exactly when the
+/// daemon is saturated.
 
 namespace popp::serve {
 
@@ -58,6 +68,14 @@ struct ServeOptions {
   /// server-side saves entirely — a socket peer must not get arbitrary
   /// writes with the daemon's filesystem privileges.
   std::string save_dir;
+  /// Concurrent-execution cap across all tenants; 0 means "match
+  /// num_threads" (one executing request per connection worker).
+  size_t max_inflight = 0;
+  /// Bounded admission queue; the max_queue+1'th waiter is shed with an
+  /// explicit kUnavailable reply instead of queued.
+  size_t max_queue = 16;
+  /// Per-tenant concurrent-execution cap; 0 disables it.
+  size_t per_tenant_inflight = 0;
 };
 
 class Server {
@@ -103,6 +121,7 @@ class Server {
   ServeOptions options_;
   OpConfig op_config_;
   WorkspaceRegistry registry_;
+  resil::AdmissionController admission_;
   ThreadPool pool_;
   std::atomic<bool> shutdown_{false};
   std::atomic<uint64_t> connections_{0};

@@ -6,6 +6,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <filesystem>
 #include <map>
 #include <optional>
 #include <sstream>
@@ -14,6 +15,8 @@
 
 #include "fault/file.h"
 #include "parallel/parallel_for.h"
+#include "resil/heartbeat.h"
+#include "resil/supervisor.h"
 #include "shard/summary_io.h"
 #include "stream/manifest.h"
 #include "stream/streaming_custodian.h"
@@ -71,13 +74,15 @@ stream::StreamOptions WorkerStreamOptions(const ShardOptions& options,
 /// class the worker has seen, in append-only first-appearance order).
 Status SummarizeShard(const std::string& input_path,
                       stream::DatasetFormat format, const CsvOptions& csv,
-                      size_t chunk_rows, ShardSummary* out) {
+                      size_t chunk_rows, ShardSummary* out,
+                      resil::HeartbeatWriter* hb = nullptr) {
   auto inner = stream::MakeChunkReader(input_path, format, csv);
   if (!inner.ok()) return inner.status();
   RangeChunkReader reader(std::move(inner).value(), out->range);
   std::optional<IncrementalSummary> summary;
   std::vector<std::string> class_names;
   for (;;) {
+    if (hb != nullptr) hb->Beat();
     auto next = reader.NextChunk(chunk_rows);
     if (!next.ok()) return next.status();
     const Dataset& chunk = next.value();
@@ -97,18 +102,46 @@ Status SummarizeShard(const std::string& input_path,
 /// plan into the shard's own journaled, resumable output file. Shard 0
 /// writes the CSV header, so concatenating the shard files reproduces the
 /// single-process release byte for byte.
+/// ChunkReader decorator that emits one heartbeat per pull, so a
+/// supervised encode worker proves forward progress at chunk granularity
+/// without the stream layer knowing about supervision.
+class BeatingChunkReader : public stream::ChunkReader {
+ public:
+  BeatingChunkReader(stream::ChunkReader* inner, resil::HeartbeatWriter* hb)
+      : inner_(inner), hb_(hb) {}
+
+  Result<Dataset> NextChunk(size_t max_rows) override {
+    if (hb_ != nullptr) hb_->Beat();
+    return inner_->NextChunk(max_rows);
+  }
+  Status Rewind() override { return inner_->Rewind(); }
+  Result<size_t> SkipRows(size_t rows) override {
+    if (hb_ != nullptr) hb_->Beat();
+    return inner_->SkipRows(rows);
+  }
+
+ private:
+  stream::ChunkReader* inner_;
+  resil::HeartbeatWriter* hb_;
+};
+
 Status EncodeShard(const std::string& input_path, const std::string& out_path,
                    stream::DatasetFormat format, const CsvOptions& csv,
                    const ShardOptions& options, const ExecPolicy& exec,
                    const TransformPlan& plan, size_t index,
-                   const ShardRange& range, stream::StreamStats* stats) {
+                   const ShardRange& range, stream::StreamStats* stats,
+                   size_t attempt = 0, resil::HeartbeatWriter* hb = nullptr) {
   auto inner = stream::MakeChunkReader(input_path, format, csv);
   if (!inner.ok()) return inner.status();
   RangeChunkReader reader(std::move(inner).value(), range);
+  BeatingChunkReader beating(&reader, hb);
   CsvOptions out_csv;
   out_csv.has_header = index == 0;
   stream::ResumeSinkOptions sink;
-  sink.resume = options.resume;
+  // A restarted worker (attempt > 0) always resumes: the failed attempt's
+  // journal records exactly which chunks are durable, so the restart only
+  // re-encodes what is missing.
+  sink.resume = options.resume || attempt > 0;
   // The journal outlives Close: a crash between this shard's rename and
   // the meta-manifest commit must still resume by verification. The
   // coordinator retires the journals once the meta-manifest is durable.
@@ -117,7 +150,7 @@ Status EncodeShard(const std::string& input_path, const std::string& out_path,
   stream::ResumableCsvChunkWriter writer(ShardFilePath(out_path, index),
                                          out_csv, sink);
   auto released = stream::StreamingCustodian::ReleaseWithPlan(
-      reader, writer, plan, WorkerStreamOptions(options, exec), stats);
+      beating, writer, plan, WorkerStreamOptions(options, exec), stats);
   return released.status();
 }
 
@@ -149,6 +182,8 @@ int WorkerExitCode(const Status& status) {
       return 3;
     case StatusCode::kDataLoss:
       return 4;
+    case StatusCode::kUnavailable:
+      return 6;
     default:
       return 1;
   }
@@ -165,6 +200,9 @@ Status WorkerExitStatus(size_t index, int code) {
       return Status::IoError(who + " failed (I/O error)");
     case 4:
       return Status::DataLoss(who + " failed (corrupt or torn artifact)");
+    case 6:
+      return Status::Unavailable(who +
+                                 " failed (deadline exceeded or overloaded)");
     default:
       return Status::Internal(who + " exited with code " +
                               std::to_string(code));
@@ -222,6 +260,63 @@ Status RunForkedWorkers(size_t num_shards,
     if (first.ok() && !status.ok()) first = status;
   }
   return first;
+}
+
+/// Supervised replacement for RunForkedWorkers: forks one child per shard
+/// under the resil watchdog. Each child appends heartbeats to
+/// `<out>.shard<k>.hb`; a child silent past `worker_deadline_ms` is
+/// killed, and any failed attempt (crash, non-zero exit, watchdog kill)
+/// is restarted with deterministic backoff — `body` receives the attempt
+/// number so a restarted encode switches into journal-resume mode. After
+/// `max_worker_restarts` the shard is quarantined and the release fails
+/// with the shard's full failure history. `supervise = false` falls back
+/// to the plain fork-and-block path (the benchmark baseline).
+Status RunShardProcesses(
+    const ShardOptions& options, const std::string& out_path,
+    const char* phase,
+    const std::function<Status(size_t shard, size_t attempt,
+                               resil::HeartbeatWriter* hb)>& body,
+    ShardStats* stats) {
+  if (!options.supervise) {
+    return RunForkedWorkers(options.num_shards, [&](size_t k) {
+      return body(k, 0, nullptr);
+    });
+  }
+  std::vector<resil::WorkerTask> tasks(options.num_shards);
+  for (size_t k = 0; k < options.num_shards; ++k) {
+    tasks[k].name =
+        "shard " + std::to_string(k) + " " + phase + " worker";
+    tasks[k].heartbeat_path = ShardFilePath(out_path, k) + ".hb";
+    const std::string hb_path = tasks[k].heartbeat_path;
+    tasks[k].run = [&body, k, hb_path](size_t attempt) {
+      resil::HeartbeatWriter hb(hb_path);
+      hb.Beat();
+      const Status status = body(k, attempt, &hb);
+      if (!status.ok()) {
+        std::fprintf(stderr, "shard %zu worker (attempt %zu): %s\n", k,
+                     attempt, status.ToString().c_str());
+        std::fflush(stderr);
+      }
+      return WorkerExitCode(status);
+    };
+  }
+  resil::SupervisorOptions sup;
+  sup.worker_deadline_ms = options.worker_deadline_ms;
+  sup.max_restarts = options.max_worker_restarts;
+  sup.seed = options.seed;
+  resil::SupervisionReport report;
+  const Status status = resil::RunSupervised(
+      sup, tasks,
+      [&tasks](const resil::WorkerTask& task, int code) {
+        const size_t k = static_cast<size_t>(&task - tasks.data());
+        return WorkerExitStatus(k, code);
+      },
+      &report);
+  if (stats != nullptr) {
+    stats->workers_killed += report.workers_killed;
+    stats->worker_restarts += report.worker_restarts;
+  }
+  return status;
 }
 
 /// Builds the global class dictionary (union of the shard dictionaries in
@@ -326,6 +421,69 @@ Result<WorkersMode> ParseWorkersMode(std::string_view name) {
                                  "' (expected thread or process)");
 }
 
+namespace {
+
+/// True iff `name` (a filename in the release directory) is an orphaned
+/// *working* file of the `base` release stem: `base.shard<digits>` plus a
+/// non-empty chain of working suffixes, each drawn from {sum, manifest,
+/// partial, tmp, hb} — which covers direct working files and their
+/// atomic-writer temporaries (e.g. `base.shard3.sum.tmp`) but can never
+/// match a live payload shard (`base.shard3`, no suffix) or the published
+/// meta-manifest (`base`, no ".shard").
+bool IsOrphanedWorkingFile(const std::string& name, const std::string& base) {
+  const std::string prefix = base + ".shard";
+  if (name.rfind(prefix, 0) != 0) return false;
+  size_t i = prefix.size();
+  size_t digits = 0;
+  while (i < name.size() && name[i] >= '0' && name[i] <= '9') {
+    ++i;
+    ++digits;
+  }
+  if (digits == 0 || i >= name.size()) return false;
+  size_t suffixes = 0;
+  while (i < name.size()) {
+    if (name[i] != '.') return false;
+    const size_t dot = i;
+    i = name.find('.', dot + 1);
+    if (i == std::string::npos) i = name.size();
+    const std::string token = name.substr(dot + 1, i - dot - 1);
+    if (token != "sum" && token != "manifest" && token != "partial" &&
+        token != "tmp" && token != "hb") {
+      return false;
+    }
+    ++suffixes;
+  }
+  return suffixes > 0;
+}
+
+}  // namespace
+
+Result<size_t> SweepOrphanedShardFiles(const std::string& out_path) {
+  namespace fs = std::filesystem;
+  const fs::path out(out_path);
+  fs::path dir = out.parent_path();
+  if (dir.empty()) dir = ".";
+  const std::string base = out.filename().string();
+  std::error_code ec;
+  if (!fs::is_directory(dir, ec)) return size_t{0};
+  // Collect first, then remove: removal goes through the fault layer (so
+  // crash/error schedules see it) and must not perturb the iteration.
+  std::vector<std::string> doomed;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (ec) break;
+    if (!entry.is_regular_file(ec)) continue;
+    const std::string name = entry.path().filename().string();
+    if (IsOrphanedWorkingFile(name, base) || name == base + ".tmp") {
+      doomed.push_back(entry.path().string());
+    }
+  }
+  std::sort(doomed.begin(), doomed.end());  // deterministic sweep order
+  for (const std::string& path : doomed) {
+    POPP_RETURN_IF_ERROR(fault::RemoveFile(path));
+  }
+  return doomed.size();
+}
+
 std::string ShardStats::Render() const {
   std::ostringstream oss;
   oss << "sharded release: " << rows << " rows across " << shards
@@ -338,6 +496,15 @@ std::string ShardStats::Render() const {
   if (resumed_chunks > 0) {
     oss << "resumed: " << resumed_chunks
         << " chunks reused from interrupted shard runs\n";
+  }
+  if (swept_files > 0) {
+    oss << "swept: " << swept_files
+        << " orphaned working files from a prior crashed run\n";
+  }
+  if (workers_killed > 0 || worker_restarts > 0) {
+    oss << "supervision: " << workers_killed
+        << " hung workers killed by the watchdog, " << worker_restarts
+        << " worker restarts\n";
   }
   oss.precision(3);
   oss << std::fixed << "timings: count " << count_seconds << "s, summarize "
@@ -359,6 +526,15 @@ Result<TransformPlan> ShardedCustodian::Release(const std::string& input_path,
   }
   auto format = stream::SniffDatasetFormat(input_path, options.format);
   if (!format.ok()) return format.status();
+
+  // Fresh runs sweep orphaned working files of this release stem before
+  // doing anything else; --resume must NOT (the journals are the resume
+  // state).
+  if (!options.resume) {
+    auto swept = SweepOrphanedShardFiles(out_path);
+    if (!swept.ok()) return swept.status();
+    if (stats != nullptr) stats->swept_files = swept.value();
+  }
 
   // Plan the shard layout. One shard takes an open range — the exact
   // single-process read path, with no counting pass at all.
@@ -398,15 +574,18 @@ Result<TransformPlan> ShardedCustodian::Release(const std::string& input_path,
       if (!status.ok()) return status;
     }
   } else {
-    POPP_RETURN_IF_ERROR(RunForkedWorkers(
-        options.num_shards, [&](size_t k) {
+    POPP_RETURN_IF_ERROR(RunShardProcesses(
+        options, out_path, "summarize",
+        [&](size_t k, size_t attempt, resil::HeartbeatWriter* hb) {
+          (void)attempt;  // summarize is stateless; a restart reruns whole
           if (summaries[k].range.empty()) return Status::Ok();
           POPP_RETURN_IF_ERROR(SummarizeShard(input_path, format.value(),
                                               options.csv, options.chunk_rows,
-                                              &summaries[k]));
+                                              &summaries[k], hb));
           return SummaryCodec::Save(summaries[k],
                                     ShardSummaryPath(out_path, k));
-        }));
+        },
+        stats));
     for (size_t k = 0; k < options.num_shards; ++k) {
       if (summaries[k].range.empty()) continue;
       auto loaded = SummaryCodec::Load(ShardSummaryPath(out_path, k));
@@ -479,12 +658,14 @@ Result<TransformPlan> ShardedCustodian::Release(const std::string& input_path,
       }
     }
   } else {
-    POPP_RETURN_IF_ERROR(RunForkedWorkers(
-        options.num_shards, [&](size_t k) {
+    POPP_RETURN_IF_ERROR(RunShardProcesses(
+        options, out_path, "encode",
+        [&](size_t k, size_t attempt, resil::HeartbeatWriter* hb) {
           return EncodeShard(input_path, out_path, format.value(),
                              options.csv, options, worker_exec, plan, k,
-                             ranges[k], nullptr);
-        }));
+                             ranges[k], nullptr, attempt, hb);
+        },
+        stats));
     if (stats != nullptr) {
       // Children cannot report stats; the peak is determined by the layout.
       for (size_t k = 0; k < options.num_shards; ++k) {

@@ -58,6 +58,19 @@ struct ShardOptions {
   stream::DatasetFormat format = stream::DatasetFormat::kAuto;
   /// Input CSV dialect.
   CsvOptions csv;
+  /// Process-mode supervision: max ms a forked worker may go without
+  /// heartbeat progress before the coordinator's watchdog kills it.
+  /// 0 disables the watchdog.
+  uint64_t worker_deadline_ms = 30000;
+  /// Restarts per worker after its first failed attempt (crash, non-zero
+  /// exit, or watchdog kill) before the shard is quarantined. A restarted
+  /// encode worker resumes from its journal and only redoes missing
+  /// chunks.
+  size_t max_worker_restarts = 2;
+  /// Escape hatch for benchmarking the supervision overhead: false uses
+  /// the PR 9 fork-and-block path (no heartbeats, no watchdog, no
+  /// restarts). Thread-mode workers are never supervised.
+  bool supervise = true;
 };
 
 /// Observability of one sharded release.
@@ -68,6 +81,9 @@ struct ShardStats {
   size_t resumed_chunks = 0;  ///< thread mode only (children don't report)
   size_t peak_resident_rows = 0;  ///< largest chunk any worker held
   size_t released_bytes = 0;      ///< total bytes across shard files
+  size_t workers_killed = 0;    ///< hung workers SIGKILLed by the watchdog
+  size_t worker_restarts = 0;   ///< failed worker attempts that were retried
+  size_t swept_files = 0;       ///< orphaned working files removed at start
 
   double count_seconds = 0;      ///< row-count pass (0 for 1 shard / cols)
   double summarize_seconds = 0;  ///< phase 1 wall time
@@ -77,6 +93,19 @@ struct ShardStats {
 
   std::string Render() const;
 };
+
+/// Startup debris sweep: removes orphaned *working* files left around the
+/// `out_path` release stem by a previously crashed run — `.sum` summary
+/// hand-offs, `.partial` staging files, `.manifest` journals, `.tmp`
+/// atomic-writer temporaries and `.hb` heartbeat files attached to
+/// `<out_path>.shard<k>`, plus a torn `<out_path>.tmp`. Live artifacts
+/// are never touched: shard payload files (`.shard<k>` with no working
+/// suffix), the published meta-manifest, the input, and anything under a
+/// different stem all survive. Returns the number of files removed.
+/// `ShardedCustodian::Release` runs this automatically on fresh
+/// (non-resume) runs; `--resume` skips it because the journals ARE the
+/// resume state.
+Result<size_t> SweepOrphanedShardFiles(const std::string& out_path);
 
 /// Stateless driver of the sharded workflow.
 class ShardedCustodian {

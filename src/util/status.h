@@ -34,6 +34,13 @@ enum class StatusCode {
   /// from "corrupt/hostile artifact".
   kDataLoss,
   kInternal,
+  /// The operation could not be served right now but may succeed if
+  /// retried: a deadline expired, an admission queue was full, or a
+  /// supervised worker was quarantined after exhausting its restart
+  /// budget. Appended after kInternal so the numeric values of the other
+  /// codes — which travel as a u8 in the popp-serve wire protocol — are
+  /// unchanged.
+  kUnavailable,
 };
 
 /// Returns a stable human-readable name for a StatusCode.
@@ -73,6 +80,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

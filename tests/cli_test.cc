@@ -2,6 +2,7 @@
 
 #include <unistd.h>
 
+#include <cstdio>
 #include <fstream>
 #include <memory>
 #include <sstream>
@@ -503,6 +504,13 @@ TEST(CliBasicsTest, UsageAdvertisesExitTaxonomy) {
   ASSERT_EQ(r.code, 0);
   EXPECT_NE(r.out.find("exit codes:"), std::string::npos);
   EXPECT_NE(r.out.find("--resume"), std::string::npos);
+  // The supervision/overload taxonomy is pinned: 6 is the shed/deadline
+  // exit, and the supervision flags are advertised.
+  EXPECT_NE(r.out.find("6 deadline exceeded or overloaded"),
+            std::string::npos);
+  EXPECT_NE(r.out.find("--worker-deadline"), std::string::npos);
+  EXPECT_NE(r.out.find("--max-worker-restarts"), std::string::npos);
+  EXPECT_NE(r.out.find("--retry"), std::string::npos);
 }
 
 // ------------------------------------------------------- resumable CLI --
@@ -688,6 +696,34 @@ TEST_F(CliServeTest, StatsAndShutdownRoundTrip) {
   const CliResult bye = RunPopp({"serve-client", socket_path_, "shutdown"});
   EXPECT_EQ(bye.code, 0) << bye.err;
   // TearDown joins the drained daemon and asserts exit 0.
+}
+
+TEST_F(CliServeTest, HealthOpReportsAdmissionCounters) {
+  const CliResult r = RunPopp({"serve-client", socket_path_, "health"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("healthy"), std::string::npos) << r.out;
+  EXPECT_NE(r.out.find("inflight 0"), std::string::npos) << r.out;
+  EXPECT_NE(r.out.find("max-inflight"), std::string::npos) << r.out;
+  EXPECT_NE(r.out.find("connections"), std::string::npos) << r.out;
+}
+
+TEST_F(CliServeTest, ExpiredDeadlineIsTheOverloadExit) {
+  // An already-expired deadline is shed with the explicit kUnavailable
+  // reply; the CLI maps it onto exit 6, never a hang or a generic error.
+  const std::string out = TempPath("srv_deadline.csv");
+  std::remove(out.c_str());  // a prior run's success leaves the file behind
+  const CliResult r =
+      RunPopp({"serve-client", socket_path_, "encode", csv_path_, out,
+               "--seed", "9", "--deadline-ms", "0"});
+  EXPECT_EQ(r.code, 6) << r.err;
+  EXPECT_NE(r.err.find("deadline exceeded"), std::string::npos) << r.err;
+  EXPECT_FALSE(std::ifstream(out).good()) << "shed request wrote output";
+  // The same request without a deadline still succeeds: the daemon shed
+  // one request, not the connection.
+  const CliResult ok =
+      RunPopp({"serve-client", socket_path_, "encode", csv_path_, out,
+               "--seed", "9"});
+  EXPECT_EQ(ok.code, 0) << ok.err;
 }
 
 TEST(CliServeFailure, MissingSocketIsAnIoExit) {

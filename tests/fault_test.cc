@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdio>
 #include <string>
 
@@ -105,6 +106,91 @@ TEST(FailPointTest, CrashMakesEveryLaterOperationFail) {
   EXPECT_FALSE(later.ok());
   EXPECT_NE(later.message().find("crash"), std::string::npos)
       << later.ToString();
+}
+
+// ----------------------------------------- delay (hang) injection mode --
+
+TEST(FailPointDelayTest, DelayStallsTheHitOperationThenProceeds) {
+  const std::string path = TempPath("fp_delay.txt");
+  size_t total = 0;
+  {
+    ScopedFaultInjection probe(FaultSchedule::CountOnly());
+    ASSERT_TRUE(fault::WriteFileAtomic(path, "abc\n").ok());
+    total = probe.ops_seen();
+  }
+  for (size_t k = 0; k < total; ++k) {
+    ScopedFaultInjection inject(FaultSchedule::DelayAt(k, 80));
+    const auto start = std::chrono::steady_clock::now();
+    const Status s = fault::WriteFileAtomic(path, "abc\n");
+    const auto elapsed =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - start);
+    // Nothing fails — the injected symptom is pure latency.
+    EXPECT_TRUE(s.ok()) << "op " << k << ": " << s.ToString();
+    EXPECT_TRUE(inject.fired()) << "op " << k;
+    EXPECT_FALSE(inject.crash_triggered());
+    EXPECT_GE(elapsed.count(), 75) << "op " << k << " did not stall";
+  }
+  EXPECT_EQ(Slurp(path), "abc\n");
+}
+
+TEST(FailPointDelayTest, DelayBeyondTheOpRangeNeverStalls) {
+  const std::string path = TempPath("fp_delay_miss.txt");
+  size_t total = 0;
+  {
+    ScopedFaultInjection probe(FaultSchedule::CountOnly());
+    ASSERT_TRUE(fault::WriteFileAtomic(path, "x\n").ok());
+    total = probe.ops_seen();
+  }
+  ScopedFaultInjection inject(FaultSchedule::DelayAt(total, 30000));
+  const auto start = std::chrono::steady_clock::now();
+  ASSERT_TRUE(fault::WriteFileAtomic(path, "x\n").ok());
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - start);
+  EXPECT_FALSE(inject.fired());
+  EXPECT_LT(elapsed.count(), 5000);
+}
+
+TEST(FailPointDelayTest, OneShotTokenIsConsumedExactlyOnce) {
+  const std::string path = TempPath("fp_token_target.txt");
+  const std::string token = TempPath("fp_token");
+  ASSERT_TRUE(fault::WriteFileAtomic(token, "armed").ok());
+  {
+    // Token present: the fault fires and eats the token.
+    FaultSchedule schedule = FaultSchedule::ErrorAt(0);
+    schedule.one_shot_token = token;
+    ScopedFaultInjection inject(schedule);
+    EXPECT_FALSE(fault::WriteFileAtomic(path, "a\n").ok());
+    EXPECT_TRUE(inject.fired());
+  }
+  EXPECT_FALSE(fault::FileExists(token));
+  {
+    // Token gone: the same schedule is inert — this is what keeps a
+    // restarted shard worker from re-firing an already-consumed fault.
+    FaultSchedule schedule = FaultSchedule::ErrorAt(0);
+    schedule.one_shot_token = token;
+    ScopedFaultInjection inject(schedule);
+    EXPECT_TRUE(fault::WriteFileAtomic(path, "a\n").ok());
+    EXPECT_FALSE(inject.fired());
+  }
+  EXPECT_EQ(Slurp(path), "a\n");
+}
+
+TEST(FailPointDelayTest, ChildOnlyScheduleSkipsTheInstallerProcess) {
+  // In the installing process a child_only schedule must neither stall
+  // nor fail anything — it exists to hang forked workers, and this test
+  // runs no fork.
+  const std::string path = TempPath("fp_child_only.txt");
+  FaultSchedule schedule = FaultSchedule::DelayAt(0, 30000);
+  schedule.child_only = true;
+  ScopedFaultInjection inject(schedule);
+  const auto start = std::chrono::steady_clock::now();
+  ASSERT_TRUE(fault::WriteFileAtomic(path, "c\n").ok());
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - start);
+  EXPECT_FALSE(inject.fired());
+  EXPECT_LT(elapsed.count(), 5000);
+  EXPECT_EQ(Slurp(path), "c\n");
 }
 
 // ----------------------------------------------------------- file layer --

@@ -16,6 +16,7 @@
 
 #include "data/cols.h"
 #include "data/csv.h"
+#include "fault/failpoint.h"
 #include "fault/file.h"
 #include "parallel/exec_policy.h"
 #include "serve/client.h"
@@ -830,6 +831,295 @@ TEST_F(ServeEndToEndTest, FitDecodeVerifyRiskRoundTrips) {
   EXPECT_EQ(rejected.value().code, StatusCode::kInvalidArgument);
 
   EXPECT_EQ(daemon.Shutdown(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Admission control and deadlines (the §17 overload contract).
+
+class ServeAdmissionTest : public ServeEndToEndTest {
+ protected:
+  /// Polls the `health` op until its body reports `inflight <want>` (the
+  /// op bypasses admission, so it answers even when every slot is taken).
+  void WaitForInflight(ServeClient& client, size_t want) {
+    // Anchor the match at a line start: the stats body also carries a
+    // "max-inflight N" line whose tail is the same substring.
+    const std::string needle = "inflight " + std::to_string(want) + "\n";
+    for (int spin = 0; spin < 2000; ++spin) {
+      auto health = client.Call(Tag::kHealth, "probe", RequestBody{});
+      ASSERT_TRUE(health.ok()) << health.status().ToString();
+      ASSERT_TRUE(health.value().ok()) << health.value().text;
+      const std::string& body = health.value().body;
+      if (body.rfind(needle, 0) == 0 ||
+          body.find("\n" + needle) != std::string::npos) {
+        return;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    FAIL() << "daemon never reported inflight " << want;
+  }
+
+  /// Joins the guarded thread on scope exit, so a fatal assertion in the
+  /// test body cannot destroy a still-running helper thread (which would
+  /// terminate the whole process).
+  struct ScopedJoin {
+    std::thread& thread;
+    ~ScopedJoin() {
+      if (thread.joinable()) thread.join();
+    }
+  };
+
+  RequestBody EncodeRequest(const std::string& extra_options = "") {
+    RequestBody request;
+    request.options = OptionsText(9, 1) + extra_options;
+    request.dataset = csv_bytes_;
+    return request;
+  }
+};
+
+TEST_F(ServeAdmissionTest, HealthBypassesAdmissionAndReportsCounters) {
+  ServeOptions options;
+  options.socket_path = TempSocketPath("health");
+  options.max_inflight = 3;
+  options.max_queue = 5;
+  options.per_tenant_inflight = 2;
+  TestServer daemon;
+  ASSERT_TRUE(daemon.Start(options).ok());
+  ServeClient client;
+  ASSERT_TRUE(client.Connect(options.socket_path).ok());
+
+  auto health = client.Call(Tag::kHealth, "anyone", RequestBody{});
+  ASSERT_TRUE(health.ok()) << health.status().ToString();
+  ASSERT_TRUE(health.value().ok()) << health.value().text;
+  EXPECT_EQ(health.value().text, "healthy");
+  const std::string& body = health.value().body;
+  EXPECT_NE(body.find("inflight 0\n"), std::string::npos) << body;
+  EXPECT_NE(body.find("max-inflight 3\n"), std::string::npos) << body;
+  EXPECT_NE(body.find("max-queue 5\n"), std::string::npos) << body;
+  EXPECT_NE(body.find("tenant-cap 2\n"), std::string::npos) << body;
+  EXPECT_NE(body.find("rejected-frames "), std::string::npos) << body;
+  EXPECT_NE(body.find("connections "), std::string::npos) << body;
+  EXPECT_EQ(daemon.Shutdown(), 0);
+}
+
+TEST_F(ServeAdmissionTest, ExpiredDeadlineIsShedBeforeAnyWork) {
+  ServeOptions options;
+  options.socket_path = TempSocketPath("dl0");
+  TestServer daemon;
+  ASSERT_TRUE(daemon.Start(options).ok());
+  ServeClient client;
+  ASSERT_TRUE(client.Connect(options.socket_path).ok());
+
+  auto reply = client.Call(Tag::kEncode, "t", EncodeRequest("deadline-ms 0\n"));
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  EXPECT_EQ(reply.value().code, StatusCode::kUnavailable);
+  EXPECT_NE(reply.value().text.find("deadline exceeded"), std::string::npos)
+      << reply.value().text;
+  // The shed was an answer, not a hang: the connection and the daemon
+  // both still serve.
+  auto after = client.Call(Tag::kEncode, "t", EncodeRequest());
+  ASSERT_TRUE(after.ok() && after.value().ok());
+  EXPECT_EQ(daemon.Shutdown(), 0);
+}
+
+TEST_F(ServeAdmissionTest, QueueFullShedsWithRetryAfterHint) {
+  const std::string save_dir = testing::TempDir() + "popp_adm_save_" +
+                               std::to_string(::getpid());
+  ServeOptions options;
+  options.socket_path = TempSocketPath("full");
+  options.num_threads = 2;
+  options.max_inflight = 1;
+  options.max_queue = 0;  // no queue: overflow sheds immediately
+  options.save_dir = save_dir;
+  TestServer daemon;
+  ASSERT_TRUE(daemon.Start(options).ok());
+
+  // A fit-with-save stalls 1500 ms inside the save (an injected hang on
+  // the first fault-layer op), pinning the single execution slot.
+  fault::ScopedFaultInjection injection(
+      fault::FaultSchedule::DelayAt(0, 1500));
+  std::thread blocked([&] {
+    ServeClient slow;
+    ASSERT_TRUE(slow.Connect(options.socket_path).ok());
+    RequestBody fit;
+    fit.options = "seed 4\nsave slow.key\n";
+    fit.dataset = csv_bytes_;
+    auto reply = slow.Call(Tag::kFit, "t", fit);
+    ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+    EXPECT_TRUE(reply.value().ok()) << reply.value().text;
+  });
+  ScopedJoin join_guard{blocked};
+
+  ServeClient client;
+  ASSERT_TRUE(client.Connect(options.socket_path).ok());
+  WaitForInflight(client, 1);
+  auto shed = client.Call(Tag::kEncode, "t", EncodeRequest());
+  ASSERT_TRUE(shed.ok()) << shed.status().ToString();
+  EXPECT_EQ(shed.value().code, StatusCode::kUnavailable);
+  EXPECT_NE(shed.value().text.find("overloaded"), std::string::npos)
+      << shed.value().text;
+  EXPECT_NE(shed.value().text.find("retry-after-ms"), std::string::npos)
+      << shed.value().text;
+  blocked.join();
+
+  // The slot came back; the same request now executes.
+  WaitForInflight(client, 0);
+  auto after = client.Call(Tag::kEncode, "t", EncodeRequest());
+  ASSERT_TRUE(after.ok() && after.value().ok()) << after.value().text;
+  EXPECT_EQ(daemon.Shutdown(), 0);
+  std::error_code ec;
+  std::filesystem::remove_all(save_dir, ec);
+}
+
+TEST_F(ServeAdmissionTest, PerTenantCapLeavesOtherTenantsServed) {
+  const std::string save_dir = testing::TempDir() + "popp_adm_cap_" +
+                               std::to_string(::getpid());
+  ServeOptions options;
+  options.socket_path = TempSocketPath("cap");
+  options.num_threads = 3;
+  options.max_inflight = 2;
+  options.max_queue = 0;
+  options.per_tenant_inflight = 1;
+  options.save_dir = save_dir;
+  TestServer daemon;
+  ASSERT_TRUE(daemon.Start(options).ok());
+
+  fault::ScopedFaultInjection injection(
+      fault::FaultSchedule::DelayAt(0, 1500));
+  std::thread greedy([&] {
+    ServeClient slow;
+    ASSERT_TRUE(slow.Connect(options.socket_path).ok());
+    RequestBody fit;
+    fit.options = "seed 4\nsave slow.key\n";
+    fit.dataset = csv_bytes_;
+    auto reply = slow.Call(Tag::kFit, "greedy", fit);
+    ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+    EXPECT_TRUE(reply.value().ok()) << reply.value().text;
+  });
+  ScopedJoin join_guard{greedy};
+
+  ServeClient client;
+  ASSERT_TRUE(client.Connect(options.socket_path).ok());
+  WaitForInflight(client, 1);
+  // The greedy tenant is at its cap: its second request sheds even though
+  // a global slot is free...
+  auto capped = client.Call(Tag::kEncode, "greedy", EncodeRequest());
+  ASSERT_TRUE(capped.ok());
+  EXPECT_EQ(capped.value().code, StatusCode::kUnavailable);
+  EXPECT_NE(capped.value().text.find("overloaded"), std::string::npos)
+      << capped.value().text;
+  // ...while another tenant takes that free slot immediately.
+  ServeClient other;
+  ASSERT_TRUE(other.Connect(options.socket_path).ok());
+  auto served = other.Call(Tag::kEncode, "other", EncodeRequest());
+  ASSERT_TRUE(served.ok());
+  EXPECT_TRUE(served.value().ok()) << served.value().text;
+  greedy.join();
+  EXPECT_EQ(daemon.Shutdown(), 0);
+  std::error_code ec;
+  std::filesystem::remove_all(save_dir, ec);
+}
+
+TEST_F(ServeAdmissionTest, DeadlineExpiryMidRequestAnswersInsteadOfHanging) {
+  const std::string save_dir = testing::TempDir() + "popp_adm_mid_" +
+                               std::to_string(::getpid());
+  ServeOptions options;
+  options.socket_path = TempSocketPath("mid");
+  options.save_dir = save_dir;
+  TestServer daemon;
+  ASSERT_TRUE(daemon.Start(options).ok());
+  ServeClient client;
+  ASSERT_TRUE(client.Connect(options.socket_path).ok());
+
+  // The save stalls 400 ms but the request's deadline is 120 ms: the
+  // request is admitted (the deadline is live on arrival) and expires
+  // mid-flight, so a phase-boundary check must answer kUnavailable.
+  fault::ScopedFaultInjection injection(
+      fault::FaultSchedule::DelayAt(0, 400));
+  RequestBody fit;
+  fit.options = "seed 4\nsave mid.key\ndeadline-ms 120\n";
+  fit.dataset = csv_bytes_;
+  auto reply = client.Call(Tag::kFit, "alice", fit);
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  EXPECT_EQ(reply.value().code, StatusCode::kUnavailable);
+  EXPECT_NE(reply.value().text.find("deadline exceeded"), std::string::npos)
+      << reply.value().text;
+
+  // The abandoned save never tears: the target holds nothing or the
+  // exact canonical plan document.
+  Rng rng(4);
+  const TransformPlan plan =
+      TransformPlan::Create(data_, PiecewiseOptions{}, rng, ExecPolicy{1});
+  auto saved = fault::ReadFileToString(save_dir + "/alice/mid.key");
+  if (saved.ok()) {
+    EXPECT_EQ(saved.value(), SerializePlan(plan));
+  }
+
+  // The daemon is intact: the identical request without a deadline
+  // converges to the canonical plan bytes.
+  RequestBody retry;
+  retry.options = "seed 4\nsave mid.key\n";
+  retry.dataset = csv_bytes_;
+  auto again = client.Call(Tag::kFit, "alice", retry);
+  ASSERT_TRUE(again.ok() && again.value().ok()) << again.value().text;
+  EXPECT_EQ(again.value().body, SerializePlan(plan));
+  auto final_saved = fault::ReadFileToString(save_dir + "/alice/mid.key");
+  ASSERT_TRUE(final_saved.ok());
+  EXPECT_EQ(final_saved.value(), SerializePlan(plan));
+  EXPECT_EQ(daemon.Shutdown(), 0);
+  std::error_code ec;
+  std::filesystem::remove_all(save_dir, ec);
+}
+
+TEST_F(ServeAdmissionTest, ClientRetryLoopRecoversFromShedding) {
+  const std::string save_dir = testing::TempDir() + "popp_adm_retry_" +
+                               std::to_string(::getpid());
+  ServeOptions options;
+  options.socket_path = TempSocketPath("retry");
+  options.num_threads = 2;
+  options.max_inflight = 1;
+  options.max_queue = 0;
+  options.save_dir = save_dir;
+  TestServer daemon;
+  ASSERT_TRUE(daemon.Start(options).ok());
+
+  fault::ScopedFaultInjection injection(
+      fault::FaultSchedule::DelayAt(0, 1000));
+  std::thread blocked([&] {
+    ServeClient slow;
+    ASSERT_TRUE(slow.Connect(options.socket_path).ok());
+    RequestBody fit;
+    fit.options = "seed 4\nsave slow.key\n";
+    fit.dataset = csv_bytes_;
+    auto reply = slow.Call(Tag::kFit, "t", fit);
+    ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+    EXPECT_TRUE(reply.value().ok()) << reply.value().text;
+  });
+  ScopedJoin join_guard{blocked};
+
+  ServeClient client;
+  ASSERT_TRUE(client.Connect(options.socket_path).ok());
+  WaitForInflight(client, 1);
+  // A plain call sheds right now...
+  auto shed = client.Call(Tag::kEncode, "t", EncodeRequest());
+  ASSERT_TRUE(shed.ok());
+  ASSERT_EQ(shed.value().code, StatusCode::kUnavailable);
+  // ...but the retry loop honors the retry-after hint and converges to
+  // the exact expected bytes once the slot frees.
+  PiecewiseOptions transform;
+  transform.policy = BreakpointPolicy::kChooseBP;
+  RetryOptions retry;
+  retry.max_retries = 20;
+  retry.seed = 7;
+  retry.backoff.base_ms = 50;
+  retry.backoff.cap_ms = 200;
+  auto reply = client.CallWithRetry(Tag::kEncode, "t", EncodeRequest(), retry);
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  ASSERT_TRUE(reply.value().ok()) << reply.value().text;
+  EXPECT_EQ(reply.value().body, ExpectedEncode(9, transform));
+  blocked.join();
+  EXPECT_EQ(daemon.Shutdown(), 0);
+  std::error_code ec;
+  std::filesystem::remove_all(save_dir, ec);
 }
 
 }  // namespace

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <filesystem>
 #include <optional>
 #include <string>
 #include <vector>
@@ -879,6 +880,243 @@ TEST(ShardProcessTest, WorkerFailureSurfacesThroughExitCodes) {
   EXPECT_EQ(plan.status().code(), StatusCode::kIoError);
   EXPECT_NE(plan.status().message().find("worker"), std::string::npos)
       << plan.status().ToString();
+}
+
+// -------------------------------------------------- startup debris sweep --
+
+/// A fresh directory so the sweep's directory scan sees only what the
+/// test plants there.
+std::string FreshSweepDir(const std::string& name) {
+  const std::string dir = testing::TempDir() + "/popp_sweep_" + name;
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+  std::filesystem::create_directories(dir, ec);
+  EXPECT_FALSE(ec) << ec.message();
+  return dir;
+}
+
+void Plant(const std::string& path, const std::string& bytes = "debris") {
+  ASSERT_TRUE(fault::WriteFileAtomic(path, bytes).ok()) << path;
+}
+
+TEST(ShardSweepTest, RemovesOnlyOrphanedWorkingFiles) {
+  const std::string dir = FreshSweepDir("unit");
+  const std::string out = dir + "/release";
+  // Debris of this stem: every working suffix, chained temporaries, and
+  // the torn meta-manifest temp.
+  // Survivors: live payloads, the published meta-manifest, the input,
+  // other stems, and look-alikes that fail the matcher. Planted before
+  // the debris because the atomic writer stages each survivor through
+  // its own `.tmp` name — which for `out` IS one of the debris names.
+  const std::vector<std::string> survivors = {
+      out,                       out + ".shard0",
+      out + ".shard12",          dir + "/input.csv",
+      dir + "/other.shard0.sum", out + ".shardX.sum",
+      out + ".shard0.sumX",      out + ".shard0.backup"};
+  for (const std::string& path : survivors) Plant(path, "live");
+  const std::vector<std::string> debris = {
+      out + ".shard0.sum",     out + ".shard1.partial",
+      out + ".shard2.manifest", out + ".shard0.hb",
+      out + ".shard3.sum.tmp", out + ".tmp"};
+  for (const std::string& path : debris) Plant(path);
+
+  auto swept = shard::SweepOrphanedShardFiles(out);
+  ASSERT_TRUE(swept.ok()) << swept.status().ToString();
+  EXPECT_EQ(swept.value(), debris.size());
+  for (const std::string& path : debris) {
+    EXPECT_FALSE(fault::FileExists(path)) << path;
+  }
+  for (const std::string& path : survivors) {
+    EXPECT_TRUE(fault::FileExists(path)) << path;
+    EXPECT_EQ(Slurp(path), "live") << path;
+  }
+  // Idempotent: a second sweep finds nothing.
+  auto again = shard::SweepOrphanedShardFiles(out);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again.value(), 0u);
+}
+
+TEST(ShardSweepTest, FreshReleaseSweepsDebrisAndConverges) {
+  const Dataset data = CovtypeLikeData(80, 41);
+  const std::string dir = FreshSweepDir("fresh");
+  const std::string input = dir + "/in.csv";
+  ASSERT_TRUE(fault::WriteFileAtomic(input, ToCsvString(data)).ok());
+  std::string golden_plan;
+  const std::string golden = StreamReleaseBytes(input, 25, 3, &golden_plan);
+  const std::string out = dir + "/rel";
+  Plant(out + ".shard0.manifest");
+  Plant(out + ".shard1.sum");
+  Plant(out + ".tmp");
+
+  ShardStats stats;
+  auto plan =
+      ShardedCustodian::Release(input, out, BaseOptions(2, 1, 25, 3), &stats);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_EQ(stats.swept_files, 3u);
+  EXPECT_EQ(ConcatShards(out, 2), golden);
+  EXPECT_EQ(SerializePlan(plan.value()), golden_plan);
+  EXPECT_TRUE(shard::VerifyShardedRelease(out).ok());
+}
+
+TEST(ShardSweepTest, ResumeKeepsWorkingFiles) {
+  // --resume must NOT sweep: surviving journals ARE the resume state, so
+  // even an unrelated planted working file stays untouched.
+  const Dataset data = CovtypeLikeData(70, 43);
+  const std::string dir = FreshSweepDir("resume");
+  const std::string input = dir + "/in.csv";
+  ASSERT_TRUE(fault::WriteFileAtomic(input, ToCsvString(data)).ok());
+  const std::string out = dir + "/rel";
+  ShardOptions options = BaseOptions(2, 1, 20, 5);
+  ASSERT_TRUE(ShardedCustodian::Release(input, out, options, nullptr).ok());
+
+  const std::string planted = out + ".shard0.hb";
+  Plant(planted);
+  options.resume = true;
+  ShardStats stats;
+  auto plan = ShardedCustodian::Release(input, out, options, &stats);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_EQ(stats.swept_files, 0u);
+  EXPECT_TRUE(fault::FileExists(planted));
+}
+
+TEST(ShardSweepTest, PublishedReleaseIsNeverSwept) {
+  // Regression for the sweep matcher: after a complete publish, a sweep
+  // over the same stem must remove nothing and leave the release
+  // verifiable with identical bytes.
+  const Dataset data = CovtypeLikeData(90, 47);
+  const std::string dir = FreshSweepDir("live");
+  const std::string input = dir + "/in.cols";
+  ASSERT_TRUE(fault::WriteFileAtomic(input, SerializeCols(data)).ok());
+  const std::string out = dir + "/rel";
+  auto plan = ShardedCustodian::Release(input, out,
+                                        BaseOptions(3, 2, 30, 7), nullptr);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  const std::string before = ConcatShards(out, 3);
+  auto swept = shard::SweepOrphanedShardFiles(out);
+  ASSERT_TRUE(swept.ok());
+  EXPECT_EQ(swept.value(), 0u);
+  EXPECT_EQ(ConcatShards(out, 3), before);
+  const uint64_t crc = Crc64(SerializePlan(plan.value()));
+  EXPECT_TRUE(shard::VerifyShardedRelease(out, &crc, nullptr).ok());
+}
+
+// ---------------------------------------- supervised forked worker mode --
+// (fork-based like the other ShardProcess* suites; the TSan stage's
+// -*ShardProcess* filter covers this suite too.)
+
+/// Drives supervised process-mode releases with `kind` injected into a
+/// forked child: scans fault-op indices (child_only + a one-shot token,
+/// so the coordinator never stalls and a restarted worker never
+/// re-fires) until a schedule lands inside a worker, then returns that
+/// trial's stats through `stats`. Returns false if no index fired.
+bool DriveChildFault(fault::Injection::Kind kind, uint32_t delay_ms,
+                     const std::string& input, const std::string& out,
+                     ShardOptions options, ShardStats* stats) {
+  options.workers_mode = shard::WorkersMode::kProcess;
+  size_t total_ops = 0;
+  {
+    fault::ScopedFaultInjection probe(fault::FaultSchedule::CountOnly());
+    auto counted =
+        ShardedCustodian::Release(input, out + "_probe", options, nullptr);
+    EXPECT_TRUE(counted.ok()) << counted.status().ToString();
+    total_ops = probe.ops_seen();
+  }
+  const std::string token = out + "_token";
+  for (size_t fire_at = 0; fire_at < total_ops; ++fire_at) {
+    EXPECT_TRUE(fault::WriteFileAtomic(token, "armed").ok());
+    fault::FaultSchedule schedule;
+    schedule.fire_at = fire_at;
+    schedule.kind = kind;
+    schedule.delay_ms = delay_ms;
+    schedule.child_only = true;
+    schedule.one_shot_token = token;
+    {
+      fault::ScopedFaultInjection inject(schedule);
+      auto plan = ShardedCustodian::Release(input, out, options, stats);
+      EXPECT_TRUE(plan.ok()) << plan.status().ToString() << " at op "
+                             << fire_at;
+    }
+    // The token vanished iff some child consumed it and fired.
+    if (!fault::FileExists(token)) return true;
+    (void)fault::RemoveFile(token);
+  }
+  return false;
+}
+
+TEST(ShardProcessSupervisionTest, WatchdogKillsHungWorkerAndConverges) {
+  const Dataset data = CovtypeLikeData(60, 73);
+  const std::string input = WriteInput(data, "sup_hang.csv", false);
+  std::string golden_plan;
+  const std::string golden = StreamReleaseBytes(input, 20, 9, &golden_plan);
+  const std::string out = TempPath("sup_hang_out");
+  ShardOptions options = BaseOptions(2, 1, 20, 9);
+  options.worker_deadline_ms = 200;
+  options.max_worker_restarts = 2;
+
+  // A worker stalls 5 s mid-operation — far past the 200 ms deadline —
+  // so the watchdog must SIGKILL it; the restarted attempt (the delay is
+  // one-shot) finishes, and the release is byte-identical anyway.
+  ShardStats stats;
+  ASSERT_TRUE(DriveChildFault(fault::Injection::Kind::kDelay, 5000, input,
+                              out, options, &stats))
+      << "no fault-op index landed inside a forked worker";
+  EXPECT_GE(stats.workers_killed, 1u);
+  EXPECT_GE(stats.worker_restarts, 1u);
+  EXPECT_EQ(ConcatShards(out, 2), golden);
+  const uint64_t crc = Crc64(golden_plan);
+  EXPECT_TRUE(shard::VerifyShardedRelease(out, &crc, nullptr).ok());
+  // Supervision leaves no working debris: heartbeats are removed when a
+  // task settles.
+  for (size_t k = 0; k < 2; ++k) {
+    EXPECT_FALSE(
+        fault::FileExists(shard::ShardFilePath(out, k) + ".hb"));
+  }
+}
+
+TEST(ShardProcessSupervisionTest, CrashedWorkerIsRestartedAndConverges) {
+  const Dataset data = CovtypeLikeData(60, 79);
+  const std::string input = WriteInput(data, "sup_crash.csv", false);
+  std::string golden_plan;
+  const std::string golden = StreamReleaseBytes(input, 20, 9, &golden_plan);
+  const std::string out = TempPath("sup_crash_out");
+  ShardOptions options = BaseOptions(2, 1, 20, 9);
+  options.max_worker_restarts = 2;
+
+  // A worker dies mid-run (simulated kill); the supervisor restarts it
+  // with the attempt number, so a restarted encode resumes its journal —
+  // and the release still converges to the exact golden bytes.
+  ShardStats stats;
+  ASSERT_TRUE(DriveChildFault(fault::Injection::Kind::kCrash, 0, input, out,
+                              options, &stats))
+      << "no fault-op index landed inside a forked worker";
+  EXPECT_GE(stats.worker_restarts, 1u);
+  EXPECT_EQ(ConcatShards(out, 2), golden);
+  EXPECT_EQ(stats.workers_killed, 0u);  // a crash is not a hang
+  const uint64_t crc = Crc64(golden_plan);
+  EXPECT_TRUE(shard::VerifyShardedRelease(out, &crc, nullptr).ok());
+}
+
+TEST(ShardProcessSupervisionTest, UnsupervisedEscapeHatchStaysByteIdentical) {
+  // supervise=false is the benchmark baseline (the PR 9 fork-and-block
+  // path): same bytes, no heartbeat files, zeroed supervision counters.
+  const Dataset data = CovtypeLikeData(70, 83);
+  const std::string input = WriteInput(data, "sup_off.csv", false);
+  std::string golden_plan;
+  const std::string golden = StreamReleaseBytes(input, 24, 11, &golden_plan);
+  const std::string out = TempPath("sup_off_out");
+  ShardOptions options = BaseOptions(2, 1, 24, 11);
+  options.workers_mode = shard::WorkersMode::kProcess;
+  options.supervise = false;
+  ShardStats stats;
+  auto plan = ShardedCustodian::Release(input, out, options, &stats);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_EQ(SerializePlan(plan.value()), golden_plan);
+  EXPECT_EQ(ConcatShards(out, 2), golden);
+  EXPECT_EQ(stats.workers_killed, 0u);
+  EXPECT_EQ(stats.worker_restarts, 0u);
+  for (size_t k = 0; k < 2; ++k) {
+    EXPECT_FALSE(fault::FileExists(shard::ShardFilePath(out, k) + ".hb"));
+  }
 }
 
 // ---------------------------------------------------------- the oracle --

@@ -17,8 +17,15 @@
 # — TSan cannot host fork()), the serve_vs_cli oracle and the
 # popp-serve test battery (byte-identity, tenant isolation, malformed
 # frames, kill-mid-request crash schedules), and a final smoke stage
-# round-trips a real popp-serve process against `popp encode`. Any
-# failure — test, sanitizer report, or oracle — fails the script.
+# round-trips a real popp-serve process against `popp encode`. Both
+# stages also run the supervised_convergence oracle — randomized
+# crash/error/delay schedules over the shard pipeline and the admission-
+# controlled daemon, under a hard wall-clock timeout so an undetected
+# hang fails the gate instead of stalling it — plus the resilience-layer
+# test battery (retry/deadline/admission, the worker watchdog, the
+# startup debris sweep and the hang-injection fail points). Any
+# failure — test, sanitizer report, oracle, or timeout — fails the
+# script.
 
 set -euo pipefail
 
@@ -81,6 +88,21 @@ echo "== shard_vs_stream oracle + sharded-release tests under ASan =="
   --trials 10 --seed 19 --out "$build_dir"
 "$build_dir/tests/popp_tests" \
   --gtest_filter='SplitRows*:CountRows*:RangeChunkReader*:SkipRows*:SummaryCodec*:MergeProperty*:ShardRelease*:ShardResume*:ShardProcess*:ShardOracle*:MetaManifest*:CliTest.Shard*:CliTest.VerifyManifest*:CliShardProcess*:CliBasicsTest.Shard*'
+
+echo "== supervised_convergence oracle + resilience tests under ASan =="
+# The supervision/overload contract: randomized crash/error/delay
+# schedules over both execution backends must converge byte-identically
+# or fail loudly — never hang, never leave debris. 40 trials x (3 shard
+# + 3 serve) schedules = 240 randomized schedules. The hard timeout is
+# the hang detector of last resort: a supervision bug that deadlocks the
+# oracle fails the gate here instead of wedging CI. The battery adds the
+# deterministic cases: backoff/deadline/admission units, watchdog kills
+# and quarantine (fork-based, ASan only), queue-full shedding, the
+# debris sweep, and the delay fail-point semantics.
+timeout 900 "$build_dir/tools/popp_check" --oracle supervised_convergence \
+  --trials 40 --seed 29 --out "$build_dir"
+"$build_dir/tests/popp_tests" \
+  --gtest_filter='ResilRetry*:ResilDeadline*:ResilHeartbeat*:ResilAdmission*:ResilSupervisor*:ServeAdmission*:ShardSweep*:ShardProcessSupervision*:FailPointDelay*'
 
 echo "== configure (TSan) =="
 cmake -B "$tsan_build_dir" -S "$repo_root" \
@@ -162,6 +184,18 @@ echo "== serve_vs_cli oracle + concurrent serving tests under TSan =="
   --trials 8 --seed 7 --out "$tsan_build_dir"
 "$tsan_build_dir/tests/popp_tests" \
   --gtest_filter='ServeEndToEnd*:ServeLifecycle*:ServeProtocol*'
+
+echo "== supervised_convergence oracle + resilience tests under TSan =="
+# The same contract with TSan watching the admission controller's
+# cv/grant hand-offs, the daemon's deadline checks and the thread-mode
+# shard pipeline under injected delays. 35 trials x 6 schedules = 210
+# randomized schedules. The fork-based ResilSupervisor* and
+# ShardProcessSupervision* suites are excluded — TSan cannot host fork().
+timeout 900 "$tsan_build_dir/tools/popp_check" \
+  --oracle supervised_convergence --trials 35 --seed 29 \
+  --out "$tsan_build_dir"
+"$tsan_build_dir/tests/popp_tests" \
+  --gtest_filter='ResilRetry*:ResilDeadline*:ResilHeartbeat*:ResilAdmission*:ServeAdmission*:ShardSweep*:FailPointDelay*'
 
 echo "== serve smoke: daemon round trip vs one-shot CLI =="
 # Start a real popp-serve process, push one cols-framed encode through

@@ -30,6 +30,12 @@ options:
                         relative path, confined to DIR/<tenant>/.
                         Without this flag server-side saves are refused
                         (a socket peer gets no filesystem writes).
+  --max-inflight N      concurrent-execution cap across all tenants
+                        (default 0 = match --threads)
+  --max-queue N         admission queue bound; the next waiter is shed
+                        with an explicit overloaded reply (default 16)
+  --tenant-cap N        per-tenant concurrent-execution cap
+                        (default 0 = off)
   --help                this text
 
 lifecycle: SIGTERM/SIGINT drain in-flight requests, remove the socket
@@ -83,6 +89,25 @@ int main(int argc, char** argv) {
           options.max_request_threads == 0) {
         std::cerr << "popp-serve: --max-request-threads needs a positive "
                      "integer\n";
+        return 2;
+      }
+    } else if (arg == "--max-inflight") {
+      const std::string* v = value();
+      if (!v || !ParseSize(*v, &options.max_inflight)) {
+        std::cerr << "popp-serve: --max-inflight needs an integer "
+                     "(0 = match --threads)\n";
+        return 2;
+      }
+    } else if (arg == "--max-queue") {
+      const std::string* v = value();
+      if (!v || !ParseSize(*v, &options.max_queue)) {
+        std::cerr << "popp-serve: --max-queue needs an integer\n";
+        return 2;
+      }
+    } else if (arg == "--tenant-cap") {
+      const std::string* v = value();
+      if (!v || !ParseSize(*v, &options.per_tenant_inflight)) {
+        std::cerr << "popp-serve: --tenant-cap needs an integer (0 = off)\n";
         return 2;
       }
     } else if (arg == "--save-dir") {
